@@ -1,0 +1,72 @@
+//! Algorithm Module cost (Steps 1–3) per invocation.
+//!
+//! The paper's Fig 4(d) argument rests on this being cheap: "the overhead
+//! of this algorithm is limited because, usually, transactions' sizes are
+//! not as big to make its computation unfeasible". This bench measures a
+//! full recompute — re-attachment with cycle checks, merge, sort — on the
+//! real benchmark templates.
+
+use acn_core::{AlgorithmModule, SumModel};
+use acn_txir::DependencyModel;
+use acn_workloads::bank::Bank;
+use acn_workloads::schema;
+use acn_workloads::tpcc::{Tpcc, TpccConfig, TpccMix};
+use acn_workloads::vacation::Vacation;
+use acn_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn levels() -> HashMap<u16, f64> {
+    [
+        (schema::BRANCH.id, 8.0),
+        (schema::ACCOUNT.id, 1.0),
+        (schema::CAR.id, 9.0),
+        (schema::FLIGHT.id, 0.5),
+        (schema::ROOM.id, 0.5),
+        (schema::CUSTOMER_V.id, 0.2),
+        (schema::WAREHOUSE.id, 3.0),
+        (schema::DISTRICT.id, 20.0),
+        (schema::STOCK.id, 2.0),
+    ]
+    .into()
+}
+
+fn bench_recompute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm_module");
+    let module = AlgorithmModule::with_model(Box::new(SumModel));
+    let lv = levels();
+
+    let bank = Bank::default();
+    let bank_dm = DependencyModel::analyze(bank.templates()[0].clone()).unwrap();
+    g.bench_function("bank_transfer_4units", |b| {
+        b.iter(|| black_box(module.recompute(&bank_dm, &lv)))
+    });
+
+    let vacation = Vacation::default();
+    let vac_dm = DependencyModel::analyze(vacation.templates()[0].clone()).unwrap();
+    g.bench_function("vacation_reserve_4units", |b| {
+        b.iter(|| black_box(module.recompute(&vac_dm, &lv)))
+    });
+
+    let tpcc = Tpcc::new(
+        TpccConfig {
+            ol_min: 5,
+            ol_max: 15,
+            ..TpccConfig::default()
+        },
+        TpccMix::NEW_ORDER,
+    );
+    for (label, idx) in [
+        ("tpcc_neworder_5_20units", 2usize),
+        ("tpcc_neworder_10_35units", 7),
+        ("tpcc_neworder_15_50units", 12),
+    ] {
+        let dm = DependencyModel::analyze(tpcc.templates()[idx].clone()).unwrap();
+        g.bench_function(label, |b| b.iter(|| black_box(module.recompute(&dm, &lv))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_recompute);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! End-to-end transaction latency on a zero-latency cluster: what closed
+//! nesting costs (child context + merge per Block) relative to flat
+//! execution, with the network out of the picture.
+
+use acn_core::{BlockSeq, ExecStats, ExecutorEngine};
+use acn_dtm::{Cluster, ClusterConfig};
+use acn_txir::{DependencyModel, FieldId, ObjClass, ProgramBuilder, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+const BAL: FieldId = FieldId(0);
+
+fn transfer_dm() -> DependencyModel {
+    let mut b = ProgramBuilder::new("bench/transfer", 5);
+    let amt = b.param(4);
+    let br1 = b.open_update(BRANCH, b.param(0));
+    let br2 = b.open_update(BRANCH, b.param(1));
+    let v1 = b.get(br1, BAL);
+    let n1 = b.sub(v1, amt);
+    b.set(br1, BAL, n1);
+    let v2 = b.get(br2, BAL);
+    let n2 = b.add(v2, amt);
+    b.set(br2, BAL, n2);
+    let a1 = b.open_update(ACCOUNT, b.param(2));
+    let a2 = b.open_update(ACCOUNT, b.param(3));
+    let w1 = b.get(a1, BAL);
+    let m1 = b.sub(w1, amt);
+    b.set(a1, BAL, m1);
+    let w2 = b.get(a2, BAL);
+    let m2 = b.add(w2, amt);
+    b.set(a2, BAL, m2);
+    DependencyModel::analyze(b.finish()).unwrap()
+}
+
+fn bench_commit_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_path");
+    g.sample_size(40);
+    let dm = transfer_dm();
+    let cases = [
+        ("flat", BlockSeq::flat(&dm)),
+        ("nested_per_unit", BlockSeq::from_units(&dm)),
+        (
+            "nested_two_blocks",
+            BlockSeq::group_units(&dm, &[vec![0, 1], vec![2, 3]]),
+        ),
+    ];
+    for (label, seq) in cases {
+        let cluster = Cluster::start(ClusterConfig::test(10, 1));
+        let mut client = cluster.client(0);
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        let mut k = 0i64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                k += 1;
+                engine
+                    .run(
+                        &mut client,
+                        &dm.program,
+                        &[
+                            Value::Int(k % 8),
+                            Value::Int((k + 1) % 8),
+                            Value::Int(100 + k % 64),
+                            Value::Int(200 + k % 64),
+                            Value::Int(1),
+                        ],
+                        &seq,
+                        &mut stats,
+                    )
+                    .unwrap();
+                black_box(stats.commits)
+            })
+        });
+        cluster.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit_path);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Quorum construction micro-benchmarks: read/write quorums on healthy
+//! and degraded trees, level-majority vs the classic recursive protocol.
+
+use acn_quorum::{classic, DaryTree, LevelQuorums};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_level_quorums(c: &mut Criterion) {
+    let mut g = c.benchmark_group("level_quorums");
+    for &n in &[10usize, 40, 121] {
+        let q = LevelQuorums::new(DaryTree::ternary(n));
+        g.bench_with_input(BenchmarkId::new("read_healthy", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(q.read_quorum(seed, &|_| true))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("write_healthy", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(q.write_quorum(seed, &|_| true))
+            })
+        });
+        // Two leaves down: the fault-tolerant path.
+        let dead = [n - 1, n - 2];
+        g.bench_with_input(BenchmarkId::new("read_degraded", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(q.read_quorum(seed, &|r| !dead.contains(&r)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_classic_quorums(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classic_quorums");
+    for &n in &[10usize, 40, 121] {
+        let t = DaryTree::ternary(n);
+        g.bench_with_input(BenchmarkId::new("read_healthy", n), &n, |b, _| {
+            b.iter(|| black_box(classic::read_quorum(&t, &|_| true)))
+        });
+        g.bench_with_input(BenchmarkId::new("write_healthy", n), &n, |b, _| {
+            b.iter(|| black_box(classic::write_quorum(&t, &|_| true)))
+        });
+        g.bench_with_input(BenchmarkId::new("read_root_dead", n), &n, |b, _| {
+            b.iter(|| black_box(classic::read_quorum(&t, &|r| r != 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_level_quorums, bench_classic_quorums);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Static Module cost: full analysis (validation, UnitGraph, data-flow,
+//! UnitBlock extraction, eligibility) per transaction template. This runs
+//! once per template at application start, but its cost bounds how large a
+//! transaction the approach can digest.
+
+use acn_txir::DependencyModel;
+use acn_workloads::bank::Bank;
+use acn_workloads::tpcc::{Tpcc, TpccConfig, TpccMix};
+use acn_workloads::vacation::Vacation;
+use acn_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_analysis");
+    let bank = Bank::default();
+    g.bench_function("bank_transfer", |b| {
+        let p = &bank.templates()[0];
+        b.iter(|| black_box(DependencyModel::analyze(p.clone()).unwrap()))
+    });
+    let vacation = Vacation::default();
+    g.bench_function("vacation_reserve", |b| {
+        let p = &vacation.templates()[0];
+        b.iter(|| black_box(DependencyModel::analyze(p.clone()).unwrap()))
+    });
+    let tpcc = Tpcc::new(
+        TpccConfig {
+            ol_min: 5,
+            ol_max: 15,
+            ..TpccConfig::default()
+        },
+        TpccMix::NEW_ORDER,
+    );
+    g.bench_function("tpcc_payment", |b| {
+        let p = &tpcc.templates()[0];
+        b.iter(|| black_box(DependencyModel::analyze(p.clone()).unwrap()))
+    });
+    for (label, idx) in [("tpcc_neworder_5", 2usize), ("tpcc_neworder_15", 12)] {
+        g.bench_function(label, |b| {
+            let p = &tpcc.templates()[idx];
+            b.iter(|| black_box(DependencyModel::analyze(p.clone()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

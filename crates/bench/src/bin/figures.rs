@@ -1,0 +1,56 @@
+//! Regenerate the paper's Figure 4.
+//!
+//! ```sh
+//! cargo run --release -p acn-bench --bin figures            # all six
+//! cargo run --release -p acn-bench --bin figures fig4a      # one subplot
+//! cargo run --release -p acn-bench --bin figures list       # enumerate
+//! ```
+
+use acn_bench::figures::{all_figures, print_figure, run_figure, write_csv};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--csv DIR` additionally writes each figure's series as CSV.
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| {
+            let dir = args
+                .get(i + 1)
+                .expect("--csv requires a directory")
+                .clone();
+            args.drain(i..=i + 1);
+            std::path::PathBuf::from(dir)
+        });
+    let figs = all_figures();
+
+    if args.first().map(String::as_str) == Some("list") {
+        for f in &figs {
+            println!("{:7} {} — paper: {}", f.id, f.title, f.paper_claim);
+        }
+        return;
+    }
+
+    let wanted: Vec<&str> = if args.is_empty() {
+        figs.iter().map(|f| f.id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for id in wanted {
+        let Some(spec) = figs.iter().find(|f| f.id == id) else {
+            eprintln!("unknown figure `{id}` — try `figures list`");
+            std::process::exit(2);
+        };
+        eprintln!(
+            "running {} (3 systems × {} intervals × {:?}) …",
+            spec.id, spec.intervals, spec.interval
+        );
+        let result = run_figure(spec);
+        print_figure(spec, &result);
+        if let Some(dir) = &csv_dir {
+            let path = write_csv(spec, &result, dir).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Steady-state diagnostic: run one workload at a FIXED contention phase
+//! for all three systems — separates adaptation lag from structural
+//! overhead when tuning the Figure-4 scenarios.
+//!
+//! ```sh
+//! cargo run --release -p acn-bench --bin steady bank 0      # [workload] [phase] [hot_pool]
+//! cargo run --release -p acn-bench --bin steady vacation 1
+//! cargo run --release -p acn-bench --bin steady neworder 0
+//! ```
+
+use acn_dtm::ClusterConfig;
+use acn_simnet::LatencyModel;
+use acn_workloads::bank::{Bank, BankConfig};
+use acn_workloads::tpcc::{Tpcc, TpccConfig, TpccMix};
+use acn_workloads::vacation::{Vacation, VacationConfig};
+use acn_workloads::{run_scenario, ScenarioConfig, SystemKind, Workload};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("bank");
+    let phase: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let hot_pool: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let threads: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let workload: Box<dyn Workload> = match name {
+        "bank" => Box::new(Bank::new(BankConfig {
+            hot_pool,
+            cold_pool: 4096,
+            write_pct: 90,
+        })),
+        "vacation" => Box::new(Vacation::new(VacationConfig {
+            hot_pool,
+            cold_pool: 4096,
+            customers: 8192,
+            write_pct: 90,
+            queries_per_txn: 8,
+        })),
+        "neworder" => Box::new(Tpcc::new(
+            TpccConfig {
+                warehouses: 1,
+                districts_per_warehouse: 4,
+                customers_per_district: 400,
+                items: 200,
+                ol_min: 5,
+                ol_max: 10,
+            },
+            TpccMix::NEW_ORDER,
+        )),
+        "payment" => Box::new(Tpcc::new(
+            TpccConfig {
+                warehouses: 1,
+                districts_per_warehouse: 4,
+                customers_per_district: 400,
+                items: 200,
+                ol_min: 5,
+                ol_max: 10,
+            },
+            TpccMix::PAYMENT,
+        )),
+        other => {
+            eprintln!("unknown workload `{other}` (bank|vacation|neworder|payment)");
+            std::process::exit(2);
+        }
+    };
+
+    println!("steady-state: workload={name} phase={phase}");
+    for system in [SystemKind::QrDtm, SystemKind::QrCn, SystemKind::QrAcn] {
+        let mut cluster = ClusterConfig::paper(threads);
+        cluster.latency = LatencyModel::Uniform {
+            min: Duration::from_micros(80),
+            max: Duration::from_micros(240),
+        };
+        cluster.window.window = Duration::from_millis(150);
+        let cfg = ScenarioConfig {
+            cluster,
+            client_threads: threads,
+            intervals: 5,
+            interval: Duration::from_millis(400),
+            phase_per_interval: vec![phase],
+            system,
+            controller: acn_core::ControllerConfig {
+                period: Duration::from_millis(400),
+                alpha: 1.0,
+                sampling: acn_core::SamplingMode::Explicit,
+            },
+            retry: acn_core::RetryPolicy::default(),
+            seed: 42,
+        };
+        let r = run_scenario(workload.as_ref(), &cfg);
+        let per: Vec<String> = (0..cfg.intervals)
+            .map(|i| format!("{:.0}", r.throughput(i)))
+            .collect();
+        println!(
+            "{:>7}: [{}] tail-mean {:.0} txn/s  ({}f/{}p aborts, {} reconfigs)",
+            system.to_string(),
+            per.join(", "),
+            r.mean_throughput_from(2),
+            r.total_full_aborts(),
+            r.total_partial_aborts(),
+            r.refreshes
+        );
+    }
+}

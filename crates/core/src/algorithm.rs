@@ -1,0 +1,360 @@
+//! The Algorithm Module — Steps 1–3 of §V-C3.
+//!
+//! Invoked periodically on client nodes with the dependency model (static)
+//! and the current per-class contention levels (dynamic); produces the new
+//! Block sequence for the Executor Engine.
+//!
+//! * **Step 1** discards the current composition, splits merged Blocks back
+//!   into UnitBlocks, and re-attaches every local operation to the *most
+//!   contended* UnitBlock that accesses one of the objects it manages (so
+//!   hot UnitBlocks carry their dependent local work and can be shifted as
+//!   a unit). A re-attachment that would create a dependency cycle falls
+//!   back to the static host.
+//! * **Step 2** merges adjacent UnitBlocks whose contention levels are
+//!   similar (within a configured threshold), so an invalidation of one
+//!   member re-executes just the merged Block instead of — once the earlier
+//!   member has already committed into the parent — the entire transaction.
+//!   Adjacency is taken in the contention-sorted order, which reproduces
+//!   the paper's Bank illustration (both branch UnitBlocks merge, both
+//!   account UnitBlocks merge) and its TPC-C narrative ("QR-ACN merges the
+//!   blocks with similar contention levels").
+//! * **Step 3** orders the Blocks by ascending contention level while
+//!   preserving every data dependency, leaving the hottest Blocks as close
+//!   to the commit phase as the dependencies allow.
+
+use crate::blocks::{group_edges, BlockSeq};
+use crate::contention_model::ContentionModel;
+use acn_txir::{is_acyclic, lift_edges, topo_order_preserving, DependencyModel, UnitBlockId};
+use std::collections::HashMap;
+
+/// Tuning knobs for the Algorithm Module.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgorithmConfig {
+    /// Relative component of the similarity band: two levels `a`, `b` are
+    /// "similar" when `|a − b| ≤ abs_threshold + rel_threshold · max(a, b)`.
+    pub rel_threshold: f64,
+    /// Absolute floor of the similarity band.
+    pub abs_threshold: f64,
+}
+
+impl Default for AlgorithmConfig {
+    fn default() -> Self {
+        AlgorithmConfig {
+            rel_threshold: 0.5,
+            abs_threshold: 1.0,
+        }
+    }
+}
+
+/// The Algorithm Module.
+pub struct AlgorithmModule {
+    cfg: AlgorithmConfig,
+    model: Box<dyn ContentionModel>,
+}
+
+impl AlgorithmModule {
+    /// Build with explicit thresholds and contention model.
+    pub fn new(cfg: AlgorithmConfig, model: Box<dyn ContentionModel>) -> Self {
+        AlgorithmModule { cfg, model }
+    }
+
+    /// Default configuration with the given contention model.
+    pub fn with_model(model: Box<dyn ContentionModel>) -> Self {
+        Self::new(AlgorithmConfig::default(), model)
+    }
+
+    fn similar(&self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.cfg.abs_threshold + self.cfg.rel_threshold * a.max(b)
+    }
+
+    /// Should a block boundary separate `prev` from `next` (in the sorted
+    /// execution order)? Only when contention *strictly increases* beyond
+    /// the similarity band. Similar neighbours merge (Step 2's letter);
+    /// and a *hotter-before-colder* inversion — which the sort only
+    /// produces when a data dependency forces a hot block before its
+    /// dependents (e.g., TPC-C order inserts deriving ids from the hot
+    /// District counter) — also merges, per Step 2's rationale: once the
+    /// hot block has committed into the parent, an invalidation of its
+    /// objects can only be a full restart, whereas fused with its
+    /// dependents it partially rolls back.
+    fn boundary(&self, prev: f64, next: f64) -> bool {
+        next > prev && !self.similar(prev, next)
+    }
+
+    /// Contention level of one UnitBlock: the hottest class it opens
+    /// ("each UnitBlock is composed of only one access to a shared
+    /// object"; composite conditional blocks take their hottest member).
+    fn unit_level(dm: &DependencyModel, u: UnitBlockId, class_levels: &HashMap<u16, f64>) -> f64 {
+        dm.units[u]
+            .classes
+            .iter()
+            .map(|c| class_levels.get(&c.id).copied().unwrap_or(0.0))
+            .fold(0.0, f64::max)
+    }
+
+    /// Run Steps 1–3 and produce the new Block sequence.
+    pub fn recompute(
+        &self,
+        dm: &DependencyModel,
+        class_levels: &HashMap<u16, f64>,
+    ) -> BlockSeq {
+        let n_units = dm.unit_count();
+        let levels: Vec<f64> = (0..n_units)
+            .map(|u| Self::unit_level(dm, u, class_levels))
+            .collect();
+
+        // ---- Step 1: re-attach local operations to hot eligible hosts.
+        let mut assignment = dm.default_assignment.clone();
+        for stmt in 0..assignment.len() {
+            let eligible = &dm.eligible_hosts[stmt];
+            if eligible.len() < 2 {
+                continue;
+            }
+            // Most contended eligible host; ties go to the latest open
+            // (the static rule), which eligible_hosts lists last.
+            let best = *eligible
+                .iter()
+                .max_by(|&&a, &&b| {
+                    levels[a]
+                        .partial_cmp(&levels[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                })
+                .expect("eligible set non-empty");
+            if best == assignment[stmt] {
+                continue;
+            }
+            let prev = assignment[stmt];
+            assignment[stmt] = best;
+            let edges = lift_edges(&dm.graph, &assignment);
+            if !is_acyclic(n_units, &edges) {
+                assignment[stmt] = prev; // would deadlock the ordering
+            }
+        }
+        let unit_edges = lift_edges(&dm.graph, &assignment);
+
+        // ---- Step 3 (unit granularity): contention-sorted, dependency-
+        // preserving order. Computed before Step 2 so "adjacent" means
+        // adjacent in the order blocks will actually execute.
+        let order = topo_order_preserving(n_units, &unit_edges, |u| levels[u])
+            .expect("step-1 kept the unit graph acyclic");
+
+        // ---- Step 2: merge runs of similar-contention neighbours.
+        let mut groups: Vec<Vec<UnitBlockId>> = Vec::new();
+        for &u in &order {
+            let start_new = match groups.last() {
+                None => true,
+                Some(g) => {
+                    let prev = *g.last().expect("groups are non-empty");
+                    self.boundary(levels[prev], levels[u])
+                }
+            };
+            if start_new {
+                groups.push(vec![u]);
+                continue;
+            }
+            // Tentatively merge; a contraction cycle forces a new group.
+            groups.last_mut().expect("checked above").push(u);
+            if group_edges(dm, &groups, &assignment).is_none() {
+                let u = groups
+                    .last_mut()
+                    .expect("checked above")
+                    .pop()
+                    .expect("just pushed");
+                groups.push(vec![u]);
+            }
+        }
+
+        // ---- Step 3 (block granularity): final ordering by the block-level
+        // contention model, still dependency-preserving.
+        let block_levels: Vec<f64> = groups
+            .iter()
+            .map(|g| {
+                let member_levels: Vec<f64> = g.iter().map(|&u| levels[u]).collect();
+                self.model.block_level(&member_levels)
+            })
+            .collect();
+        let bedges = group_edges(dm, &groups, &assignment)
+            .expect("merge step verified acyclicity");
+        let border = topo_order_preserving(groups.len(), &bedges, |g| block_levels[g])
+            .expect("group graph is acyclic");
+        let ordered: Vec<Vec<UnitBlockId>> = border.into_iter().map(|g| groups[g].clone()).collect();
+
+        let seq = BlockSeq::compose(dm, &ordered, &assignment);
+        debug_assert!({
+            seq.assert_respects_dependencies(dm);
+            true
+        });
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention_model::SumModel;
+    use acn_txir::{FieldId, ObjClass, ProgramBuilder};
+
+    const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+    const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+    const A: ObjClass = ObjClass::new(2, "A");
+    const B: ObjClass = ObjClass::new(3, "B");
+    const BAL: FieldId = FieldId(0);
+
+    fn module() -> AlgorithmModule {
+        AlgorithmModule::with_model(Box::new(SumModel))
+    }
+
+    fn levels(pairs: &[(u16, f64)]) -> HashMap<u16, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    /// The paper's Bank transfer, written flat in Figure 1 order: branches
+    /// first, then accounts.
+    fn bank_transfer() -> DependencyModel {
+        let mut b = ProgramBuilder::new("bank/transfer", 5);
+        let amt = b.param(4);
+        let br1 = b.open_update(BRANCH, b.param(0)); // unit 0
+        let br2 = b.open_update(BRANCH, b.param(1)); // unit 1
+        let v1 = b.get(br1, BAL);
+        let n1 = b.sub(v1, amt);
+        b.set(br1, BAL, n1);
+        let v2 = b.get(br2, BAL);
+        let n2 = b.add(v2, amt);
+        b.set(br2, BAL, n2);
+        let a1 = b.open_update(ACCOUNT, b.param(2)); // unit 2
+        let a2 = b.open_update(ACCOUNT, b.param(3)); // unit 3
+        let w1 = b.get(a1, BAL);
+        let m1 = b.sub(w1, amt);
+        b.set(a1, BAL, m1);
+        let w2 = b.get(a2, BAL);
+        let m2 = b.add(w2, amt);
+        b.set(a2, BAL, m2);
+        DependencyModel::analyze(b.finish()).unwrap()
+    }
+
+    /// Figure 3's outcome: hot branches merge into one Block executed last;
+    /// cold accounts merge into one Block executed first.
+    #[test]
+    fn bank_reproduces_figure_3() {
+        let dm = bank_transfer();
+        let seq = module().recompute(&dm, &levels(&[(BRANCH.id, 8.0), (ACCOUNT.id, 1.0)]));
+        assert_eq!(seq.len(), 2, "two Blocks: accounts + branches");
+        assert_eq!(seq.block_units[0], vec![2, 3], "accounts first");
+        assert_eq!(seq.block_units[1], vec![0, 1], "branches by the commit");
+        seq.assert_respects_dependencies(&dm);
+    }
+
+    /// When the hot set flips (accounts hot), the ordering flips too —
+    /// the adaptivity the Fig 4(f) experiment exercises.
+    #[test]
+    fn bank_adapts_to_hot_set_shift() {
+        let dm = bank_transfer();
+        let seq = module().recompute(&dm, &levels(&[(BRANCH.id, 1.0), (ACCOUNT.id, 8.0)]));
+        assert_eq!(seq.block_units[0], vec![0, 1], "branches first now");
+        assert_eq!(seq.block_units[1], vec![2, 3], "accounts by the commit");
+    }
+
+    /// Uniform contention merges everything into a single flat-like Block
+    /// (the Fig 4(d) Delivery regime where nesting cannot help).
+    #[test]
+    fn uniform_contention_merges_all() {
+        let dm = bank_transfer();
+        let seq = module().recompute(&dm, &levels(&[(BRANCH.id, 2.0), (ACCOUNT.id, 2.0)]));
+        assert_eq!(seq.len(), 1);
+        seq.assert_respects_dependencies(&dm);
+    }
+
+    /// The end-of-§V-C1 example: T = {Read(OA), Read(OB), var = OA + OB}.
+    /// Statically `var` sits with Read(OB), so BL1 cannot move after BL2.
+    /// With OA hot, Step 1 re-attaches `var` to BL1, and BL2 (cold) is
+    /// executed first.
+    #[test]
+    fn step1_reattachment_enables_reordering() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let oa = b.open_read(A, 0i64); // unit 0 (hot)
+        let ob = b.open_read(B, 0i64); // unit 1 (cold)
+        let va = b.get(oa, BAL);
+        let vb = b.get(ob, BAL);
+        let _c = b.add(va, vb); // stmt 4, eligible for both units
+        let dm = DependencyModel::analyze(b.finish()).unwrap();
+
+        // Large spread so Step 2 does not merge the two units.
+        let seq = module().recompute(&dm, &levels(&[(A.id, 50.0), (B.id, 0.0)]));
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.block_units[0], vec![1], "cold Read(OB) first");
+        assert_eq!(seq.block_units[1], vec![0], "hot Read(OA) last");
+        // And the sum moved with the hot block.
+        assert!(seq.blocks[1].contains(&4));
+        seq.assert_respects_dependencies(&dm);
+    }
+
+    /// With OB hot instead, the static assignment already suits: `var`
+    /// stays in BL2 and BL1 executes first.
+    #[test]
+    fn step1_keeps_static_host_when_optimal() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let oa = b.open_read(A, 0i64);
+        let ob = b.open_read(B, 0i64);
+        let va = b.get(oa, BAL);
+        let vb = b.get(ob, BAL);
+        let _c = b.add(va, vb);
+        let dm = DependencyModel::analyze(b.finish()).unwrap();
+        let seq = module().recompute(&dm, &levels(&[(A.id, 0.0), (B.id, 50.0)]));
+        assert_eq!(seq.block_units[0], vec![0]);
+        assert_eq!(seq.block_units[1], vec![1]);
+        assert!(seq.blocks[1].contains(&4));
+    }
+
+    /// Conflicting re-attachments that would create a cycle fall back to
+    /// the static hosts; the result is always a legal schedule.
+    #[test]
+    fn step1_cycle_fallback_keeps_schedule_legal() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let oa = b.open_read(A, 0i64); // unit 0
+        let ob = b.open_read(B, 0i64); // unit 1
+        let va = b.get(oa, BAL);
+        let vb = b.get(ob, BAL);
+        let s1 = b.add(va, vb); // wants the hotter host
+        let _s2 = b.add(s1, vb); // transitively manages A and B too
+        let dm = DependencyModel::analyze(b.finish()).unwrap();
+        for (la, lb) in [(50.0, 0.0), (0.0, 50.0), (50.0, 50.0)] {
+            let seq = module().recompute(&dm, &levels(&[(A.id, la), (B.id, lb)]));
+            seq.assert_respects_dependencies(&dm);
+        }
+    }
+
+    /// Unknown classes read as zero contention.
+    #[test]
+    fn missing_levels_default_cold() {
+        let dm = bank_transfer();
+        let seq = module().recompute(&dm, &HashMap::new());
+        assert_eq!(seq.len(), 1, "all-cold merges into one block");
+        seq.assert_respects_dependencies(&dm);
+    }
+
+    #[test]
+    fn similarity_threshold_is_relative_and_absolute() {
+        let m = AlgorithmModule::new(
+            AlgorithmConfig {
+                rel_threshold: 0.5,
+                abs_threshold: 1.0,
+            },
+            Box::new(SumModel),
+        );
+        assert!(m.similar(0.0, 1.0), "within absolute floor");
+        assert!(m.similar(10.0, 14.0), "within relative band");
+        assert!(!m.similar(1.0, 10.0));
+        assert!(m.similar(3.0, 3.0));
+    }
+
+    /// Ordering is deterministic for fixed inputs.
+    #[test]
+    fn recompute_is_deterministic() {
+        let dm = bank_transfer();
+        let l = levels(&[(BRANCH.id, 8.0), (ACCOUNT.id, 1.0)]);
+        let a = module().recompute(&dm, &l);
+        let b = module().recompute(&dm, &l);
+        assert_eq!(a, b);
+    }
+}

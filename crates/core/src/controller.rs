@@ -1,0 +1,246 @@
+//! The periodic reconfiguration controller — QR-ACN's control loop.
+//!
+//! One `AcnController` exists per transaction template and is shared by
+//! every client thread executing that template. On each transaction the
+//! thread grabs the current Block sequence; whenever the refresh period
+//! has elapsed, the thread crossing the boundary samples contention
+//! (Dynamic Module) and recomputes the sequence (Algorithm Module), which
+//! then atomically replaces the shared one. "This algorithm is executed
+//! asynchronously and periodically by clients running the transactional
+//! applications."
+
+use crate::algorithm::AlgorithmModule;
+use crate::blocks::BlockSeq;
+use crate::dynamic_module::DynamicModule;
+use acn_dtm::DtmClient;
+use acn_txir::DependencyModel;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the Dynamic Module obtains its contention samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplingMode {
+    /// A dedicated (small) contention query per period.
+    #[default]
+    Explicit,
+    /// Consume the levels piggybacked on the client's ordinary remote
+    /// reads ("meta-data are coupled with existing network messages" —
+    /// §V-C2). Requires [`AcnController::enable_piggyback`] to have armed
+    /// the client; falls back to an explicit query until a piggybacked
+    /// sample has arrived.
+    Piggyback,
+}
+
+/// Controller tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// How often to re-assess the Block composition. The paper ran "QR-ACN's
+    /// algorithm for assessing the effectiveness of the current closed
+    /// nesting configuration every 10 seconds"; scaled-down simulations use
+    /// 50–500 ms.
+    pub period: Duration,
+    /// EWMA smoothing for contention samples (1.0 = none).
+    pub alpha: f64,
+    /// Sample transport.
+    pub sampling: SamplingMode,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            period: Duration::from_millis(200),
+            alpha: 1.0,
+            sampling: SamplingMode::Explicit,
+        }
+    }
+}
+
+/// Shared adaptive state for one transaction template.
+pub struct AcnController {
+    dm: Arc<DependencyModel>,
+    algorithm: AlgorithmModule,
+    cfg: ControllerConfig,
+    seq: RwLock<Arc<BlockSeq>>,
+    /// Sampler + last-refresh stamp, guarded together so only one thread
+    /// refreshes per period (`try_lock`: the others keep executing).
+    sampler: Mutex<SamplerState>,
+    refreshes: std::sync::atomic::AtomicU64,
+}
+
+struct SamplerState {
+    dynamic: DynamicModule,
+    last: Instant,
+}
+
+impl AcnController {
+    /// Build the controller with the initial static configuration (one
+    /// Block per UnitBlock, program order).
+    pub fn new(dm: Arc<DependencyModel>, algorithm: AlgorithmModule, cfg: ControllerConfig) -> Self {
+        let classes: BTreeSet<u16> = dm
+            .units
+            .iter()
+            .flat_map(|u| u.classes.iter().map(|c| c.id))
+            .collect();
+        let initial = Arc::new(BlockSeq::from_units(&dm));
+        AcnController {
+            algorithm,
+            cfg,
+            seq: RwLock::new(initial),
+            sampler: Mutex::new(SamplerState {
+                dynamic: DynamicModule::new(classes.into_iter().collect(), cfg.alpha),
+                last: Instant::now(),
+            }),
+            refreshes: std::sync::atomic::AtomicU64::new(0),
+            dm,
+        }
+    }
+
+    /// The dependency model this controller adapts.
+    pub fn model(&self) -> &Arc<DependencyModel> {
+        &self.dm
+    }
+
+    /// The object classes this controller's template opens.
+    pub fn classes(&self) -> Vec<u16> {
+        self.sampler.lock().dynamic.classes().to_vec()
+    }
+
+    /// Arm `client` so that this controller's classes ride along on every
+    /// remote read (for [`SamplingMode::Piggyback`]). When several
+    /// controllers share one client, arm it once with the union of their
+    /// classes instead.
+    pub fn enable_piggyback(&self, client: &mut DtmClient) {
+        client.set_piggyback_classes(self.classes());
+    }
+
+    /// The Block sequence to execute right now.
+    pub fn current(&self) -> Arc<BlockSeq> {
+        Arc::clone(&self.seq.read())
+    }
+
+    /// How many reconfigurations have been installed.
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Called by client threads between transactions: if the period has
+    /// elapsed (and no other thread is already refreshing), sample
+    /// contention and install a new Block sequence. Returns `true` when a
+    /// refresh happened.
+    pub fn maybe_refresh(&self, client: &mut DtmClient) -> bool {
+        let Some(mut guard) = self.sampler.try_lock() else {
+            return false; // another thread is refreshing
+        };
+        if guard.last.elapsed() < self.cfg.period {
+            return false;
+        }
+        guard.last = Instant::now();
+        let sampled = match self.cfg.sampling {
+            SamplingMode::Explicit => guard.dynamic.refresh(client).is_ok(),
+            SamplingMode::Piggyback => {
+                guard.dynamic.refresh_from_piggyback(client)
+                    // Cold start: no read has carried a sample yet.
+                    || guard.dynamic.refresh(client).is_ok()
+            }
+        };
+        if !sampled {
+            return false; // quorum hiccup: keep the old sequence
+        }
+        let levels = guard.dynamic.levels().clone();
+        drop(guard); // release the sampler while recomputing
+        let next = Arc::new(self.algorithm.recompute(&self.dm, &levels));
+        let changed = {
+            let mut seq = self.seq.write();
+            let changed = **seq != *next;
+            *seq = next;
+            changed
+        };
+        self.refreshes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        changed
+    }
+
+    /// Force a refresh with explicit levels (tests, ablations).
+    pub fn refresh_with_levels(&self, levels: &std::collections::HashMap<u16, f64>) {
+        let next = Arc::new(self.algorithm.recompute(&self.dm, levels));
+        *self.seq.write() = next;
+        self.refreshes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention_model::SumModel;
+    use acn_txir::{FieldId, ObjClass, ProgramBuilder};
+    use std::collections::HashMap;
+
+    const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+    const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+    const BAL: FieldId = FieldId(0);
+
+    fn transfer_dm() -> Arc<DependencyModel> {
+        let mut b = ProgramBuilder::new("t", 3);
+        let amt = b.param(2);
+        let br = b.open_update(BRANCH, b.param(0));
+        let v = b.get(br, BAL);
+        let n = b.sub(v, amt);
+        b.set(br, BAL, n);
+        let a = b.open_update(ACCOUNT, b.param(1));
+        let w = b.get(a, BAL);
+        let m = b.add(w, amt);
+        b.set(a, BAL, m);
+        Arc::new(DependencyModel::analyze(b.finish()).unwrap())
+    }
+
+    fn controller() -> AcnController {
+        AcnController::new(
+            transfer_dm(),
+            AlgorithmModule::with_model(Box::new(SumModel)),
+            ControllerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn initial_sequence_is_static_per_unit() {
+        let c = controller();
+        let seq = c.current();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.block_units, vec![vec![0], vec![1]]);
+        assert_eq!(c.refresh_count(), 0);
+    }
+
+    #[test]
+    fn forced_refresh_reorders_for_hot_branch() {
+        let c = controller();
+        let levels: HashMap<u16, f64> = [(BRANCH.id, 9.0), (ACCOUNT.id, 0.5)].into();
+        c.refresh_with_levels(&levels);
+        let seq = c.current();
+        assert_eq!(
+            seq.block_units,
+            vec![vec![1], vec![0]],
+            "hot branch block moves to the commit side"
+        );
+        assert_eq!(c.refresh_count(), 1);
+    }
+
+    #[test]
+    fn tracked_classes_cover_all_opens() {
+        let c = controller();
+        let guard = c.sampler.lock();
+        let mut classes = guard.dynamic.classes().to_vec();
+        classes.sort_unstable();
+        assert_eq!(classes, vec![BRANCH.id, ACCOUNT.id]);
+    }
+
+    #[test]
+    fn current_is_cheap_and_shared() {
+        let c = controller();
+        let a = c.current();
+        let b = c.current();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

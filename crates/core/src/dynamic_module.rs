@@ -1,0 +1,201 @@
+//! The Dynamic Module: client-side contention sampling.
+//!
+//! "This module collects run-time parameters such as objects' write and
+//! abort ratios and feeds them as input to the Algorithm Module." The
+//! server half (windowed write counters) lives in `acn-dtm`; this half
+//! queries a read quorum and smooths the samples so a single noisy window
+//! does not thrash the Block sequence.
+
+use acn_dtm::{ContentionSample, DtmClient, DtmError};
+use std::collections::HashMap;
+
+/// Which of the collected run-time parameters drives the contention level
+/// fed to the Algorithm Module.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LevelMetric {
+    /// Write counts in the last window — the paper's default
+    /// approximation.
+    #[default]
+    Writes,
+    /// Prepare-rejection (abort) ratios only.
+    Aborts,
+    /// `writes + abort_weight · aborts` — hot spots that cause aborts
+    /// weigh extra.
+    Combined {
+        /// Weight applied to the abort ratio.
+        abort_weight: f64,
+    },
+}
+
+/// Per-class contention sampler with exponential smoothing.
+#[derive(Debug, Clone)]
+pub struct DynamicModule {
+    /// Classes this module tracks (the classes its template opens).
+    classes: Vec<u16>,
+    /// EWMA coefficient for new samples; `1.0` disables smoothing.
+    alpha: f64,
+    metric: LevelMetric,
+    levels: HashMap<u16, f64>,
+}
+
+impl DynamicModule {
+    /// Track `classes` with smoothing factor `alpha` (clamped to (0, 1]).
+    pub fn new(classes: Vec<u16>, alpha: f64) -> Self {
+        Self::with_metric(classes, alpha, LevelMetric::Writes)
+    }
+
+    /// Track `classes`, deriving levels per `metric`.
+    pub fn with_metric(classes: Vec<u16>, alpha: f64, metric: LevelMetric) -> Self {
+        let alpha = alpha.clamp(f64::MIN_POSITIVE, 1.0);
+        DynamicModule {
+            classes,
+            alpha,
+            metric,
+            levels: HashMap::new(),
+        }
+    }
+
+    /// Unsmoothed sampler (every refresh fully replaces the levels).
+    pub fn raw(classes: Vec<u16>) -> Self {
+        Self::new(classes, 1.0)
+    }
+
+    /// The classes being tracked.
+    pub fn classes(&self) -> &[u16] {
+        &self.classes
+    }
+
+    /// Current smoothed levels (empty until the first refresh).
+    pub fn levels(&self) -> &HashMap<u16, f64> {
+        &self.levels
+    }
+
+    /// Query the quorum and fold the sample into the smoothed levels.
+    pub fn refresh(&mut self, client: &mut DtmClient) -> Result<&HashMap<u16, f64>, DtmError> {
+        let sample = client.query_contention_full(&self.classes)?;
+        let combined = self.combine(&sample);
+        self.ingest(&combined);
+        Ok(&self.levels)
+    }
+
+    /// Derive the tracked level from a full sample per the metric.
+    fn combine(&self, sample: &ContentionSample) -> HashMap<u16, f64> {
+        self.classes
+            .iter()
+            .map(|&c| {
+                let w = sample.writes.get(&c).copied().unwrap_or(0.0);
+                let a = sample.aborts.get(&c).copied().unwrap_or(0.0);
+                let level = match self.metric {
+                    LevelMetric::Writes => w,
+                    LevelMetric::Aborts => a,
+                    LevelMetric::Combined { abort_weight } => w + abort_weight * a,
+                };
+                (c, level)
+            })
+            .collect()
+    }
+
+    /// Fold in the levels that piggybacked on the client's recent remote
+    /// reads ([`DtmClient::set_piggyback_classes`]) — no extra messages.
+    /// Returns `false` (and leaves the levels untouched) when no
+    /// piggybacked sample has arrived yet.
+    pub fn refresh_from_piggyback(&mut self, client: &DtmClient) -> bool {
+        let sample = client.piggybacked_levels();
+        if sample.is_empty() {
+            return false;
+        }
+        let owned: HashMap<u16, f64> = sample.clone();
+        self.ingest(&owned);
+        true
+    }
+
+    /// Fold an externally obtained sample (unit-testable without a cluster).
+    pub fn ingest(&mut self, sample: &HashMap<u16, f64>) {
+        for &c in &self.classes {
+            let s = sample.get(&c).copied().unwrap_or(0.0);
+            let e = self.levels.entry(c).or_insert(s);
+            *e = self.alpha * s + (1.0 - self.alpha) * *e;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pairs: &[(u16, f64)]) -> HashMap<u16, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn raw_sampler_replaces_levels() {
+        let mut m = DynamicModule::raw(vec![0, 1]);
+        m.ingest(&sample(&[(0, 4.0), (1, 1.0)]));
+        assert_eq!(m.levels()[&0], 4.0);
+        m.ingest(&sample(&[(0, 2.0), (1, 6.0)]));
+        assert_eq!(m.levels()[&0], 2.0);
+        assert_eq!(m.levels()[&1], 6.0);
+    }
+
+    #[test]
+    fn smoothing_damps_spikes() {
+        let mut m = DynamicModule::new(vec![0], 0.5);
+        m.ingest(&sample(&[(0, 10.0)]));
+        assert_eq!(m.levels()[&0], 10.0, "first sample seeds the level");
+        m.ingest(&sample(&[(0, 0.0)]));
+        assert_eq!(m.levels()[&0], 5.0, "EWMA halves toward the sample");
+        m.ingest(&sample(&[(0, 0.0)]));
+        assert_eq!(m.levels()[&0], 2.5);
+    }
+
+    #[test]
+    fn missing_classes_sample_as_zero() {
+        let mut m = DynamicModule::raw(vec![0, 7]);
+        m.ingest(&sample(&[(0, 3.0)]));
+        assert_eq!(m.levels()[&7], 0.0);
+    }
+
+    #[test]
+    fn untracked_classes_are_ignored() {
+        let mut m = DynamicModule::raw(vec![0]);
+        m.ingest(&sample(&[(0, 1.0), (9, 100.0)]));
+        assert!(!m.levels().contains_key(&9));
+    }
+
+    #[test]
+    fn metric_selects_the_level_definition() {
+        let sample = ContentionSample {
+            writes: [(0u16, 4.0)].into(),
+            aborts: [(0u16, 2.0)].into(),
+        };
+        let m = DynamicModule::with_metric(vec![0], 1.0, LevelMetric::Writes);
+        assert_eq!(m.combine(&sample)[&0], 4.0);
+        let m = DynamicModule::with_metric(vec![0], 1.0, LevelMetric::Aborts);
+        assert_eq!(m.combine(&sample)[&0], 2.0);
+        let m = DynamicModule::with_metric(
+            vec![0],
+            1.0,
+            LevelMetric::Combined { abort_weight: 3.0 },
+        );
+        assert_eq!(m.combine(&sample)[&0], 10.0);
+    }
+
+    #[test]
+    fn combine_defaults_missing_classes_to_zero() {
+        let sample = ContentionSample::default();
+        let m = DynamicModule::with_metric(
+            vec![5],
+            1.0,
+            LevelMetric::Combined { abort_weight: 2.0 },
+        );
+        assert_eq!(m.combine(&sample)[&5], 0.0);
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        let m = DynamicModule::new(vec![0], 5.0);
+        assert_eq!(m.alpha, 1.0);
+        let m = DynamicModule::new(vec![0], -1.0);
+        assert!(m.alpha > 0.0);
+    }
+}

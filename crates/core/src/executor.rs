@@ -1,0 +1,704 @@
+//! The Executor Engine: runs transaction instances over a Block sequence.
+//!
+//! "This module is responsible for maintaining the sequence of Blocks that
+//! comprises a transaction and for executing those Blocks in that order."
+//! Each Block runs as one closed-nested transaction; a single-Block
+//! sequence degenerates to flat execution (the QR-DTM baseline). Partial
+//! rollback, full restart and commit-time conflicts are all handled here,
+//! with a bounded randomized backoff between restarts.
+
+use crate::blocks::BlockSeq;
+use acn_dtm::{AbortScope, ChildCtx, DtmClient, DtmError, TxnCtx};
+use acn_txir::{
+    AccessMode, EvalError, ObjectId, Operand, Program, Stmt, StmtIdx, Value,
+};
+use rand_like::jitter;
+use std::time::Duration;
+
+/// Restart policy for the optimistic retry loops.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Full restarts before giving up with [`RunError::RetriesExhausted`].
+    pub max_restarts: usize,
+    /// Consecutive partial (child) retries of one Block before escalating
+    /// to a full restart.
+    pub max_partial_retries: usize,
+    /// Base of the randomized backoff between full restarts.
+    pub backoff_base: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_restarts: 10_000,
+            max_partial_retries: 64,
+            backoff_base: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Execution counters for one client thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Full transaction restarts (parent scope).
+    pub full_aborts: u64,
+    /// Partial rollbacks (child scope only) — the closed-nesting win.
+    pub partial_aborts: u64,
+    /// Restarts caused by persistent `protected` objects.
+    pub locked_aborts: u64,
+}
+
+impl ExecStats {
+    /// Element-wise accumulate (for merging per-thread stats).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.commits += other.commits;
+        self.full_aborts += other.full_aborts;
+        self.partial_aborts += other.partial_aborts;
+        self.locked_aborts += other.locked_aborts;
+    }
+}
+
+/// Terminal failures of a transaction run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// No quorum available — the cluster lost too many servers.
+    Unavailable,
+    /// The retry policy was exhausted without a commit.
+    RetriesExhausted,
+    /// The program computed an ill-typed value (a workload bug).
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Unavailable => write!(f, "quorum unavailable"),
+            RunError::RetriesExhausted => write!(f, "retry policy exhausted"),
+            RunError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+pub(crate) enum StepError {
+    Dtm(DtmError),
+    Eval(EvalError),
+}
+
+impl From<DtmError> for StepError {
+    fn from(e: DtmError) -> Self {
+        StepError::Dtm(e)
+    }
+}
+impl From<EvalError> for StepError {
+    fn from(e: EvalError) -> Self {
+        StepError::Eval(e)
+    }
+}
+
+/// Uniform access to a flat context or a child-over-parent pair, so one
+/// interpreter serves both execution modes.
+pub(crate) trait Access {
+    fn open(
+        &mut self,
+        client: &mut DtmClient,
+        obj: ObjectId,
+        update: bool,
+    ) -> Result<(), DtmError>;
+    fn get(&self, obj: ObjectId, field: acn_txir::FieldId) -> Value;
+    fn set(&mut self, obj: ObjectId, field: acn_txir::FieldId, value: Value);
+}
+
+pub(crate) struct FlatAccess<'a> {
+    pub(crate) ctx: &'a mut TxnCtx,
+}
+
+impl Access for FlatAccess<'_> {
+    fn open(&mut self, client: &mut DtmClient, obj: ObjectId, update: bool) -> Result<(), DtmError> {
+        self.ctx.open(client, obj, update)
+    }
+    fn get(&self, obj: ObjectId, field: acn_txir::FieldId) -> Value {
+        self.ctx.get_field(obj, field)
+    }
+    fn set(&mut self, obj: ObjectId, field: acn_txir::FieldId, value: Value) {
+        self.ctx.set_field(obj, field, value)
+    }
+}
+
+struct ChildAccess<'a> {
+    child: &'a mut ChildCtx,
+    parent: &'a TxnCtx,
+}
+
+impl Access for ChildAccess<'_> {
+    fn open(&mut self, client: &mut DtmClient, obj: ObjectId, update: bool) -> Result<(), DtmError> {
+        self.child.open(client, self.parent, obj, update)
+    }
+    fn get(&self, obj: ObjectId, field: acn_txir::FieldId) -> Value {
+        self.child.get_field(self.parent, obj, field)
+    }
+    fn set(&mut self, obj: ObjectId, field: acn_txir::FieldId, value: Value) {
+        self.child.set_field(self.parent, obj, field, value)
+    }
+}
+
+/// Register file plus object-handle table for one transaction attempt.
+#[derive(Clone)]
+pub(crate) struct Frame<'p> {
+    params: &'p [Value],
+    env: Vec<Value>,
+    handles: Vec<Option<ObjectId>>,
+}
+
+impl<'p> Frame<'p> {
+    pub(crate) fn new(program: &Program, params: &'p [Value]) -> Self {
+        Frame {
+            params,
+            env: vec![Value::Unit; program.vars as usize],
+            handles: vec![None; program.vars as usize],
+        }
+    }
+
+    fn eval(&self, op: &Operand) -> Value {
+        match op {
+            Operand::Const(v) => v.clone(),
+            Operand::Var(v) => self.env[v.0 as usize].clone(),
+            Operand::Param(p) => self.params[p.0 as usize].clone(),
+        }
+    }
+
+    fn handle(&self, var: acn_txir::VarId) -> ObjectId {
+        self.handles[var.0 as usize].expect("handle used before open")
+    }
+}
+
+fn run_stmt<A: Access>(
+    acc: &mut A,
+    client: &mut DtmClient,
+    frame: &mut Frame<'_>,
+    stmt: &Stmt,
+) -> Result<(), StepError> {
+    match stmt {
+        Stmt::Open {
+            var,
+            class,
+            index,
+            mode,
+        } => {
+            let idx = frame.eval(index).as_int()? as u64;
+            let obj = ObjectId::new(*class, idx);
+            acc.open(client, obj, matches!(mode, AccessMode::Update))?;
+            frame.handles[var.0 as usize] = Some(obj);
+        }
+        Stmt::GetField { var, obj, field } => {
+            let value = acc.get(frame.handle(*obj), *field);
+            frame.env[var.0 as usize] = value;
+        }
+        Stmt::SetField { obj, field, value } => {
+            let v = frame.eval(value);
+            acc.set(frame.handle(*obj), *field, v);
+        }
+        Stmt::Compute { out, op, ins } => {
+            let args: Vec<Value> = ins.iter().map(|o| frame.eval(o)).collect();
+            frame.env[out.0 as usize] = op.eval(&args)?;
+        }
+        Stmt::Cond {
+            pred,
+            then_br,
+            else_br,
+        } => {
+            let branch = if frame.eval(pred).as_bool()? {
+                then_br
+            } else {
+                else_br
+            };
+            for s in branch {
+                run_stmt(acc, client, frame, s)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn run_block<A: Access>(
+    acc: &mut A,
+    client: &mut DtmClient,
+    frame: &mut Frame<'_>,
+    program: &Program,
+    stmts: &[StmtIdx],
+) -> Result<(), StepError> {
+    for &i in stmts {
+        run_stmt(acc, client, frame, &program.stmts[i])?;
+    }
+    Ok(())
+}
+
+/// The Executor Engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutorEngine {
+    policy: RetryPolicy,
+}
+
+impl ExecutorEngine {
+    /// Build with an explicit retry policy.
+    pub fn new(policy: RetryPolicy) -> Self {
+        ExecutorEngine { policy }
+    }
+
+    /// [`ExecutorEngine::run`] plus end-to-end latency recording: the
+    /// duration from first attempt to successful commit (including all
+    /// retries and backoff) lands in `latency`.
+    pub fn run_timed(
+        &self,
+        client: &mut DtmClient,
+        program: &Program,
+        params: &[Value],
+        seq: &BlockSeq,
+        stats: &mut ExecStats,
+        latency: &mut crate::histogram::LatencyHistogram,
+    ) -> Result<(), RunError> {
+        let start = std::time::Instant::now();
+        let out = self.run(client, program, params, seq, stats);
+        if out.is_ok() {
+            latency.record(start.elapsed());
+        }
+        out
+    }
+
+    /// Execute one transaction instance (`program` + `params`) over the
+    /// Block sequence `seq`, retrying on aborts per the policy. Statistics
+    /// are accumulated into `stats`.
+    pub fn run(
+        &self,
+        client: &mut DtmClient,
+        program: &Program,
+        params: &[Value],
+        seq: &BlockSeq,
+        stats: &mut ExecStats,
+    ) -> Result<(), RunError> {
+        assert_eq!(
+            params.len(),
+            program.params as usize,
+            "instance must bind every parameter"
+        );
+        let mut restarts = 0usize;
+        loop {
+            match self.attempt(client, program, params, seq, stats) {
+                Ok(()) => {
+                    stats.commits += 1;
+                    return Ok(());
+                }
+                Err(AttemptError::Restart) => {
+                    restarts += 1;
+                    if restarts >= self.policy.max_restarts {
+                        return Err(RunError::RetriesExhausted);
+                    }
+                    jitter(self.policy.backoff_base, restarts);
+                }
+                Err(AttemptError::Fatal(e)) => return Err(e),
+            }
+        }
+    }
+}
+
+enum AttemptError {
+    /// Full abort — retry from the beginning.
+    Restart,
+    Fatal(RunError),
+}
+
+impl ExecutorEngine {
+    fn attempt(
+        &self,
+        client: &mut DtmClient,
+        program: &Program,
+        params: &[Value],
+        seq: &BlockSeq,
+        stats: &mut ExecStats,
+    ) -> Result<(), AttemptError> {
+        let mut ctx = TxnCtx::begin(client);
+        let mut frame = Frame::new(program, params);
+
+        if seq.is_flat() {
+            let all: Vec<StmtIdx> = seq.blocks.iter().flatten().copied().collect();
+            let mut acc = FlatAccess { ctx: &mut ctx };
+            run_block(&mut acc, client, &mut frame, program, &all)
+                .map_err(|e| self.step_error(e, stats, None))?;
+        } else {
+            for block in &seq.blocks {
+                let mut partial_tries = 0usize;
+                loop {
+                    let mut child = ctx.child();
+                    let result = {
+                        let mut acc = ChildAccess {
+                            child: &mut child,
+                            parent: &ctx,
+                        };
+                        run_block(&mut acc, client, &mut frame, program, block)
+                    };
+                    match result {
+                        Ok(()) => {
+                            child.commit_into(&mut ctx);
+                            break;
+                        }
+                        Err(e) => {
+                            let scope = match &e {
+                                StepError::Dtm(DtmError::Invalidated { objs }) => {
+                                    Some(child.classify(&ctx, objs))
+                                }
+                                _ => None,
+                            };
+                            match scope {
+                                Some(AbortScope::Child) => {
+                                    stats.partial_aborts += 1;
+                                    partial_tries += 1;
+                                    if partial_tries >= self.policy.max_partial_retries {
+                                        // Livelocked child: escalate.
+                                        stats.full_aborts += 1;
+                                        return Err(AttemptError::Restart);
+                                    }
+                                    continue; // re-run just this Block
+                                }
+                                _ => return Err(self.step_error(e, stats, scope)),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        match ctx.commit(client) {
+            Ok(()) => Ok(()),
+            Err(DtmError::Conflict { .. }) => {
+                stats.full_aborts += 1;
+                Err(AttemptError::Restart)
+            }
+            Err(DtmError::Unavailable) => Err(AttemptError::Fatal(RunError::Unavailable)),
+            Err(DtmError::LockedOut { .. }) => {
+                stats.locked_aborts += 1;
+                Err(AttemptError::Restart)
+            }
+            Err(DtmError::Invalidated { .. }) => {
+                stats.full_aborts += 1;
+                Err(AttemptError::Restart)
+            }
+        }
+    }
+
+    fn step_error(
+        &self,
+        e: StepError,
+        stats: &mut ExecStats,
+        _scope: Option<AbortScope>,
+    ) -> AttemptError {
+        match e {
+            StepError::Dtm(DtmError::Invalidated { .. }) => {
+                stats.full_aborts += 1;
+                AttemptError::Restart
+            }
+            StepError::Dtm(DtmError::LockedOut { .. }) => {
+                stats.locked_aborts += 1;
+                AttemptError::Restart
+            }
+            StepError::Dtm(DtmError::Conflict { .. }) => {
+                stats.full_aborts += 1;
+                AttemptError::Restart
+            }
+            StepError::Dtm(DtmError::Unavailable) => AttemptError::Fatal(RunError::Unavailable),
+            StepError::Eval(e) => AttemptError::Fatal(RunError::Eval(e)),
+        }
+    }
+}
+
+/// Tiny local randomized backoff, avoiding a hard dependency on `rand`'s
+/// thread-local generator in the hot retry path.
+pub(crate) mod rand_like {
+    use std::cell::Cell;
+    use std::time::Duration;
+
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0x9E3779B97F4A7C15) };
+    }
+
+    /// Sleep a uniformly random duration in `[0, base · min(attempt, 16))`.
+    pub fn jitter(base: Duration, attempt: usize) {
+        if base.is_zero() {
+            return;
+        }
+        let cap = base.as_nanos() as u64 * attempt.min(16) as u64;
+        let r = STATE.with(|s| {
+            // xorshift64*
+            let mut x = s.get();
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            s.set(x);
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        });
+        std::thread::sleep(Duration::from_nanos(r % cap.max(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::BlockSeq;
+    use acn_dtm::{Cluster, ClusterConfig};
+    use acn_txir::{ComputeOp, DependencyModel, FieldId, ObjClass, ProgramBuilder};
+
+    const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+    const BAL: FieldId = FieldId(0);
+
+    /// deposit(account_id, amount): bal += amount.
+    fn deposit_model() -> DependencyModel {
+        let mut b = ProgramBuilder::new("deposit", 2);
+        let acc = b.open_update(ACCOUNT, b.param(0));
+        let bal = b.get(acc, BAL);
+        let nb = b.add(bal, b.param(1));
+        b.set(acc, BAL, nb);
+        DependencyModel::analyze(b.finish()).unwrap()
+    }
+
+    /// transfer(a, b, amount): two accounts, two unit blocks.
+    fn transfer_model() -> DependencyModel {
+        let mut b = ProgramBuilder::new("transfer", 3);
+        let amt = b.param(2);
+        let a1 = b.open_update(ACCOUNT, b.param(0));
+        let v1 = b.get(a1, BAL);
+        let n1 = b.sub(v1, amt);
+        b.set(a1, BAL, n1);
+        let a2 = b.open_update(ACCOUNT, b.param(1));
+        let v2 = b.get(a2, BAL);
+        let n2 = b.add(v2, amt);
+        b.set(a2, BAL, n2);
+        DependencyModel::analyze(b.finish()).unwrap()
+    }
+
+    fn read_bal(client: &mut DtmClient, i: u64) -> i64 {
+        let mut ctx = TxnCtx::begin(client);
+        let obj = ObjectId::new(ACCOUNT, i);
+        ctx.open(client, obj, false).unwrap();
+        let v = ctx.get_field(obj, BAL).as_int().unwrap();
+        ctx.commit(client).unwrap();
+        v
+    }
+
+    #[test]
+    fn flat_execution_commits() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = deposit_model();
+        let seq = BlockSeq::flat(&dm);
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        for _ in 0..5 {
+            engine
+                .run(
+                    &mut client,
+                    &dm.program,
+                    &[Value::Int(7), Value::Int(10)],
+                    &seq,
+                    &mut stats,
+                )
+                .unwrap();
+        }
+        assert_eq!(stats.commits, 5);
+        assert_eq!(read_bal(&mut client, 7), 50);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn nested_execution_commits_identically() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = transfer_model();
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        // Seed account 1 with 100 via flat deposit.
+        let dep = deposit_model();
+        engine
+            .run(
+                &mut client,
+                &dep.program,
+                &[Value::Int(1), Value::Int(100)],
+                &BlockSeq::flat(&dep),
+                &mut stats,
+            )
+            .unwrap();
+        // Transfer 30 from 1 to 2 with per-unit nesting.
+        let seq = BlockSeq::from_units(&dm);
+        assert_eq!(seq.len(), 2);
+        engine
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(1), Value::Int(2), Value::Int(30)],
+                &seq,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(read_bal(&mut client, 1), 70);
+        assert_eq!(read_bal(&mut client, 2), 30);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn conditional_statements_execute_taken_branch_only() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        // withdraw-if-sufficient: bal >= amt ? bal -= amt : flag := 1.
+        let mut b = ProgramBuilder::new("guarded", 2);
+        let acc = b.open_update(ACCOUNT, b.param(0));
+        let bal = b.get(acc, BAL);
+        let ok = b.compute(ComputeOp::Ge, [bal.into(), b.param(1).into()]);
+        b.cond(
+            ok,
+            |b| {
+                let nb = b.sub(bal, b.param(1));
+                b.set(acc, BAL, nb);
+            },
+            |b| {
+                b.set(acc, BAL, -1i64);
+            },
+        );
+        let dm = DependencyModel::analyze(b.finish()).unwrap();
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        let seq = BlockSeq::flat(&dm);
+        // Insufficient funds: else branch writes -1.
+        engine
+            .run(&mut client, &dm.program, &[Value::Int(3), Value::Int(10)], &seq, &mut stats)
+            .unwrap();
+        assert_eq!(read_bal(&mut client, 3), -1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_money() {
+        let cluster = Cluster::start(ClusterConfig::test(10, 4));
+        let dm = std::sync::Arc::new(transfer_model());
+        let dep = deposit_model();
+        let engine = ExecutorEngine::default();
+        {
+            let mut client = cluster.client(0);
+            let mut stats = ExecStats::default();
+            for i in 0..4 {
+                engine
+                    .run(
+                        &mut client,
+                        &dep.program,
+                        &[Value::Int(i), Value::Int(1000)],
+                        &BlockSeq::flat(&dep),
+                        &mut stats,
+                    )
+                    .unwrap();
+            }
+        }
+        let total_stats: Vec<ExecStats> = std::thread::scope(|s| {
+            (0..4)
+                .map(|t| {
+                    let mut client = cluster.client(t);
+                    let dm = std::sync::Arc::clone(&dm);
+                    s.spawn(move || {
+                        let engine = ExecutorEngine::default();
+                        let seq = BlockSeq::from_units(&dm);
+                        let mut stats = ExecStats::default();
+                        for k in 0..25u64 {
+                            let from = (t as u64 + k) % 4;
+                            let to = (from + 1) % 4;
+                            engine
+                                .run(
+                                    &mut client,
+                                    &dm.program,
+                                    &[
+                                        Value::Int(from as i64),
+                                        Value::Int(to as i64),
+                                        Value::Int(3),
+                                    ],
+                                    &seq,
+                                    &mut stats,
+                                )
+                                .unwrap();
+                        }
+                        stats
+                    })
+                })
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        let mut merged = ExecStats::default();
+        for s in &total_stats {
+            merged.merge(s);
+        }
+        assert_eq!(merged.commits, 100);
+        let mut client = cluster.client(0);
+        let total: i64 = (0..4).map(|i| read_bal(&mut client, i)).sum();
+        assert_eq!(total, 4000, "money conserved under contention");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn param_count_is_checked() {
+        let dm = deposit_model();
+        let cluster = Cluster::start(ClusterConfig::test(1, 1));
+        let mut client = cluster.client(0);
+        let engine = ExecutorEngine::default();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut stats = ExecStats::default();
+            let _ = engine.run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(1)], // missing amount
+                &BlockSeq::flat(&dm),
+                &mut stats,
+            );
+        }));
+        assert!(r.is_err());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn eval_errors_are_fatal_not_retried() {
+        let cluster = Cluster::start(ClusterConfig::test(1, 1));
+        let mut client = cluster.client(0);
+        // amount is a string → Add fails.
+        let dm = deposit_model();
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        let err = engine
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(1), Value::str("oops")],
+                &BlockSeq::flat(&dm),
+                &mut stats,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RunError::Eval(_)));
+        assert_eq!(stats.commits, 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ExecStats {
+            commits: 1,
+            full_aborts: 2,
+            partial_aborts: 3,
+            locked_aborts: 4,
+        };
+        a.merge(&ExecStats {
+            commits: 10,
+            full_aborts: 20,
+            partial_aborts: 30,
+            locked_aborts: 40,
+        });
+        assert_eq!(a.commits, 11);
+        assert_eq!(a.full_aborts, 22);
+        assert_eq!(a.partial_aborts, 33);
+        assert_eq!(a.locked_aborts, 44);
+    }
+}

@@ -1,0 +1,170 @@
+//! A small log-bucketed latency histogram.
+//!
+//! The driver reports commit-latency percentiles next to throughput;
+//! buckets grow geometrically (~8 % per step) so the histogram spans
+//! microseconds to seconds in 256 fixed slots with bounded error — cheap
+//! enough to record on every commit of a saturation benchmark.
+
+use std::time::Duration;
+
+const BUCKETS: usize = 256;
+/// Geometric growth factor per bucket (≈ 8 %).
+const GROWTH: f64 = 1.08;
+/// Lower bound of bucket 0.
+const BASE_NANOS: f64 = 1_000.0; // 1 µs
+
+/// Fixed-size log-bucketed histogram of durations.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LatencyHistogram {{ n: {}, p50: {:?}, p99: {:?} }}",
+            self.total,
+            self.percentile(0.50),
+            self.percentile(0.99)
+        )
+    }
+}
+
+fn bucket_of(d: Duration) -> usize {
+    let nanos = d.as_nanos() as f64;
+    if nanos <= BASE_NANOS {
+        return 0;
+    }
+    let b = (nanos / BASE_NANOS).log(GROWTH).floor() as usize;
+    b.min(BUCKETS - 1)
+}
+
+fn bucket_upper_bound(b: usize) -> Duration {
+    Duration::from_nanos((BASE_NANOS * GROWTH.powi(b as i32 + 1)) as u64)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.counts[bucket_of(d)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The value at quantile `q` (0.0–1.0), or `None` when empty. Reported
+    /// as the upper bound of the bucket containing the quantile, so the
+    /// estimate errs at most one growth step (~8 %) high.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper_bound(b));
+            }
+        }
+        Some(bucket_upper_bound(BUCKETS - 1))
+    }
+
+    /// Merge another histogram into this one (per-thread collection).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), None);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        let p50 = h.percentile(0.5).unwrap();
+        let p999 = h.percentile(0.999).unwrap();
+        assert_eq!(p50, p999);
+        // Bucketing error is bounded by one growth step.
+        assert!(p50 >= Duration::from_micros(100));
+        assert!(p50 <= Duration::from_micros(120), "{p50:?}");
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i * 10));
+        }
+        let p10 = h.percentile(0.10).unwrap();
+        let p50 = h.percentile(0.50).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p10 <= p50 && p50 <= p99, "{p10:?} {p50:?} {p99:?}");
+        // p50 of a uniform 10µs..10ms spread lands near 5 ms.
+        assert!(p50 >= Duration::from_micros(4_000) && p50 <= Duration::from_micros(6_500));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(10_000));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.percentile(0.99).unwrap() > Duration::from_micros(9_000));
+        assert!(a.percentile(0.25).unwrap() < Duration::from_micros(100));
+    }
+
+    #[test]
+    fn extremes_clamp_to_edge_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.len(), 2);
+        assert!(h.percentile(1.0).is_some());
+    }
+
+    #[test]
+    fn sub_microsecond_lands_in_bucket_zero() {
+        assert_eq!(bucket_of(Duration::from_nanos(1)), 0);
+        assert_eq!(bucket_of(Duration::from_nanos(999)), 0);
+    }
+}

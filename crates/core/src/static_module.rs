@@ -1,0 +1,119 @@
+//! The Static Module: per-template analysis, run once and cached.
+//!
+//! "This module maintains static information of transaction code. It is
+//! triggered at the beginning of the application and creates a graph model
+//! of transaction code, called UnitGraph. During run-time, the graph model
+//! is queried by the Algorithm Module for detecting data dependencies."
+
+use acn_txir::{DependencyModel, Program, ValidateError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Caches the dependency model of every transaction template by name.
+/// Thread-safe: many client threads share one `StaticModule`.
+#[derive(Default)]
+pub struct StaticModule {
+    cache: RwLock<HashMap<String, Arc<DependencyModel>>>,
+}
+
+impl StaticModule {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyze `program` (or return the cached model for its name).
+    ///
+    /// Template names are identities: registering two different programs
+    /// under one name returns the first analysis, mirroring how the
+    /// paper's tool transforms each transaction's source exactly once.
+    pub fn analyze(&self, program: &Program) -> Result<Arc<DependencyModel>, ValidateError> {
+        if let Some(dm) = self.cache.read().get(&program.name) {
+            return Ok(Arc::clone(dm));
+        }
+        let dm = Arc::new(DependencyModel::analyze(program.clone())?);
+        let mut cache = self.cache.write();
+        // Another thread may have raced the analysis; keep the first.
+        Ok(Arc::clone(
+            cache
+                .entry(program.name.clone())
+                .or_insert_with(|| Arc::clone(&dm)),
+        ))
+    }
+
+    /// Fetch a previously analyzed template.
+    pub fn get(&self, name: &str) -> Option<Arc<DependencyModel>> {
+        self.cache.read().get(name).map(Arc::clone)
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// True when no template has been analyzed yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acn_txir::{FieldId, ObjClass, ProgramBuilder};
+
+    const C: ObjClass = ObjClass::new(0, "C");
+
+    fn prog(name: &str) -> Program {
+        let mut b = ProgramBuilder::new(name, 1);
+        let o = b.open_read(C, b.param(0));
+        let _v = b.get(o, FieldId(0));
+        b.finish()
+    }
+
+    #[test]
+    fn analysis_is_cached_by_name() {
+        let sm = StaticModule::new();
+        let p = prog("t1");
+        let a = sm.analyze(&p).unwrap();
+        let b = sm.analyze(&p).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(sm.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_models() {
+        let sm = StaticModule::new();
+        let a = sm.analyze(&prog("t1")).unwrap();
+        let b = sm.analyze(&prog("t2")).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(sm.len(), 2);
+    }
+
+    #[test]
+    fn get_returns_cached_only() {
+        let sm = StaticModule::new();
+        assert!(sm.get("missing").is_none());
+        sm.analyze(&prog("t")).unwrap();
+        assert!(sm.get("t").is_some());
+    }
+
+    #[test]
+    fn concurrent_analysis_converges() {
+        let sm = Arc::new(StaticModule::new());
+        let models: Vec<Arc<DependencyModel>> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let sm = Arc::clone(&sm);
+                    s.spawn(move || sm.analyze(&prog("shared")).unwrap())
+                })
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(sm.len(), 1);
+        for m in &models[1..] {
+            assert!(Arc::ptr_eq(&models[0], m));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Property tests: the decomposition is semantics-preserving.
+//!
+//! For randomly generated transaction programs and arbitrary contention
+//! levels, the Algorithm Module's Block sequence must (a) be a legal
+//! schedule of the template, and (b) produce exactly the same final shared
+//! state as flat execution — closed nesting, Step-1 re-attachment, Step-2
+//! merging and Step-3 reordering are never allowed to change what a
+//! transaction *does*.
+
+use acn_core::{AlgorithmConfig, AlgorithmModule, BlockSeq, ExecStats, ExecutorEngine, SumModel};
+use acn_dtm::{Cluster, ClusterConfig, TxnCtx};
+use acn_txir::{ComputeOp, DependencyModel, FieldId, ObjClass, ObjectId, ProgramBuilder, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const CLASSES: [ObjClass; 4] = [
+    ObjClass::new(0, "K0"),
+    ObjClass::new(1, "K1"),
+    ObjClass::new(2, "K2"),
+    ObjClass::new(3, "K3"),
+];
+const F0: FieldId = FieldId(0);
+const F1: FieldId = FieldId(1);
+
+/// One random cross-object operation: read `src.field`, combine with a
+/// constant, write into `dst.field'`.
+#[derive(Debug, Clone)]
+struct Op {
+    src: usize,
+    dst: usize,
+    from_f1: bool,
+    to_f1: bool,
+    amount: i64,
+    mul: bool,
+}
+
+/// A random program: a set of opens followed by cross-object operations.
+#[derive(Debug, Clone)]
+struct Spec {
+    opens: Vec<(usize, u8)>, // (class index, object index)
+    ops: Vec<Op>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    // Distinct (class, index) pairs: the IR contract (shared with the
+    // paper's Soot analysis) is that distinct opens reference distinct
+    // objects — aliased handles with interleaved writes are out of scope
+    // for reordering (see `acn_txir` docs).
+    let open = (0usize..4, 0u8..3);
+    let opens = prop::collection::btree_set(open, 1..6)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+        .prop_shuffle();
+    opens
+        .prop_flat_map(|opens| {
+            let n = opens.len();
+            let op = (0usize..n, 0usize..n, any::<bool>(), any::<bool>(), 1i64..50, any::<bool>())
+                .prop_map(|(src, dst, from_f1, to_f1, amount, mul)| Op {
+                    src,
+                    dst,
+                    from_f1,
+                    to_f1,
+                    amount,
+                    mul,
+                });
+            (Just(opens), prop::collection::vec(op, 0..8))
+        })
+        .prop_map(|(opens, ops)| Spec { opens, ops })
+}
+
+fn build(spec: &Spec) -> (DependencyModel, Vec<ObjectId>) {
+    let mut b = ProgramBuilder::new("prop/random", 0);
+    let mut handles = Vec::new();
+    let mut objects = Vec::new();
+    for &(c, i) in &spec.opens {
+        let class = CLASSES[c];
+        handles.push(b.open_update(class, i64::from(i)));
+        objects.push(ObjectId::new(class, u64::from(i)));
+    }
+    for op in &spec.ops {
+        let sf = if op.from_f1 { F1 } else { F0 };
+        let df = if op.to_f1 { F1 } else { F0 };
+        let v = b.get(handles[op.src], sf);
+        let combined = if op.mul {
+            b.compute(ComputeOp::Mul, [v.into(), op.amount.into()])
+        } else {
+            b.add(v, op.amount)
+        };
+        b.set(handles[op.dst], df, combined);
+    }
+    let dm = DependencyModel::analyze(b.finish()).expect("generated program is valid");
+    objects.sort_unstable();
+    objects.dedup();
+    (dm, objects)
+}
+
+/// Execute `seq` on a fresh single-client cluster; return the final state
+/// of every touched object.
+fn final_state(dm: &DependencyModel, seq: &BlockSeq, objects: &[ObjectId]) -> Vec<(i64, i64)> {
+    let cluster = Cluster::start(ClusterConfig::test(4, 1));
+    let mut client = cluster.client(0);
+    // Seed distinct values so reads are distinguishable.
+    {
+        let mut ctx = TxnCtx::begin(&mut client);
+        for (k, &obj) in objects.iter().enumerate() {
+            ctx.open(&mut client, obj, true).unwrap();
+            ctx.set_field(obj, F0, Value::Int(100 + k as i64));
+            ctx.set_field(obj, F1, Value::Int(1000 + k as i64));
+        }
+        ctx.commit(&mut client).unwrap();
+    }
+    let engine = ExecutorEngine::default();
+    let mut stats = ExecStats::default();
+    engine
+        .run(&mut client, &dm.program, &[], seq, &mut stats)
+        .expect("uncontended run commits");
+    let mut out = Vec::new();
+    let mut ctx = TxnCtx::begin(&mut client);
+    for &obj in objects {
+        ctx.open(&mut client, obj, false).unwrap();
+        out.push((
+            ctx.get_field(obj, F0).as_int().unwrap(),
+            ctx.get_field(obj, F1).as_int().unwrap(),
+        ));
+    }
+    ctx.commit(&mut client).unwrap();
+    cluster.shutdown();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case boots three clusters
+        .. ProptestConfig::default()
+    })]
+
+    /// Flat, per-unit-nested and ACN-recomposed execution agree on the
+    /// final shared state.
+    #[test]
+    fn decompositions_agree_on_final_state(
+        spec in spec_strategy(),
+        levels in prop::collection::vec(0.0f64..30.0, 4),
+    ) {
+        let (dm, objects) = build(&spec);
+        let class_levels: HashMap<u16, f64> =
+            (0u16..4).map(|c| (c, levels[c as usize])).collect();
+        let module = AlgorithmModule::with_model(Box::new(SumModel));
+        let adapted = module.recompute(&dm, &class_levels);
+        adapted.assert_respects_dependencies(&dm);
+
+        let flat = final_state(&dm, &BlockSeq::flat(&dm), &objects);
+        let per_unit = final_state(&dm, &BlockSeq::from_units(&dm), &objects);
+        let acn = final_state(&dm, &adapted, &objects);
+        prop_assert_eq!(&flat, &per_unit, "per-unit nesting diverged");
+        prop_assert_eq!(&flat, &acn, "ACN recomposition diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure-algorithm invariants, no cluster: every recomputed Block
+    /// sequence is a legal, complete schedule regardless of thresholds
+    /// and contention inputs.
+    #[test]
+    fn recompute_always_yields_legal_schedules(
+        spec in spec_strategy(),
+        levels in prop::collection::vec(0.0f64..100.0, 4),
+        rel in 0.0f64..2.0,
+        abs in 0.0f64..10.0,
+    ) {
+        let (dm, _) = build(&spec);
+        let class_levels: HashMap<u16, f64> =
+            (0u16..4).map(|c| (c, levels[c as usize])).collect();
+        let module = AlgorithmModule::new(
+            AlgorithmConfig { rel_threshold: rel, abs_threshold: abs },
+            Box::new(SumModel),
+        );
+        let seq = module.recompute(&dm, &class_levels);
+        seq.assert_respects_dependencies(&dm); // panics on violation
+        // Every unit appears exactly once.
+        let mut units: Vec<usize> = seq.block_units.iter().flatten().copied().collect();
+        units.sort_unstable();
+        prop_assert_eq!(units, (0..dm.unit_count()).collect::<Vec<_>>());
+    }
+
+    /// Monotone hot-last: with a unique hottest class and no dependencies
+    /// forcing otherwise, the hottest class's opens never execute first.
+    #[test]
+    fn hottest_block_is_never_first_when_free(
+        hot_class in 0u16..4,
+        cool in 0.0f64..1.0,
+    ) {
+        // Independent opens of all four classes.
+        let mut b = ProgramBuilder::new("prop/independent", 0);
+        for (i, class) in CLASSES.iter().enumerate() {
+            let h = b.open_update(*class, i as i64);
+            b.set(h, F0, 1i64);
+        }
+        let dm = DependencyModel::analyze(b.finish()).unwrap();
+        let class_levels: HashMap<u16, f64> = (0u16..4)
+            .map(|c| (c, if c == hot_class { 50.0 } else { cool }))
+            .collect();
+        let module = AlgorithmModule::with_model(Box::new(SumModel));
+        let seq = module.recompute(&dm, &class_levels);
+        if seq.len() > 1 {
+            let first = &seq.block_units[0];
+            prop_assert!(
+                !first.contains(&(hot_class as usize)),
+                "hot unit leads the schedule: {:?}",
+                seq.block_units
+            );
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The transaction client: quorum RPC, remote reads with incremental
+//! validation, two-phase commit, and contention queries.
+
+use crate::error::DtmError;
+use crate::messages::{Msg, ReqId, TxnId, ValidateEntry, Version};
+use acn_quorum::LevelQuorums;
+use acn_simnet::{Endpoint, Network, NodeId, RecvError};
+use acn_txir::{ObjectId, ObjectVal};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Client-side protocol knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// How long to wait for a full quorum of responses before treating the
+    /// round as failed and re-selecting a quorum.
+    pub rpc_timeout: Duration,
+    /// How many quorum re-selections before reporting `Unavailable`.
+    pub quorum_retries: usize,
+    /// How many times to re-issue a read that keeps hitting `protected`
+    /// objects before giving up with `LockedOut`.
+    pub locked_retries: usize,
+    /// Pause between locked-read retries (lets the in-flight commit drain).
+    pub locked_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            // Generous: the simulation may run many more threads than
+            // cores, so a slice-starved server must not look failed.
+            rpc_timeout: Duration::from_secs(1),
+            quorum_retries: 3,
+            locked_retries: 20,
+            locked_backoff: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Message counters for one client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Quorum read rounds completed.
+    pub remote_reads: u64,
+    /// Read rounds re-issued because an object was `protected`.
+    pub locked_read_retries: u64,
+    /// Reads that surfaced a stale read-set entry.
+    pub read_invalidations: u64,
+    /// Prepare rounds issued.
+    pub prepares: u64,
+    /// Transactions committed (including read-only validations).
+    pub commits: u64,
+    /// Prepare rounds that voted no.
+    pub conflict_aborts: u64,
+    /// Operations abandoned for lack of a quorum.
+    pub quorum_unavailable: u64,
+}
+
+/// A client node's connection to the DTM: it executes remote operations on
+/// behalf of the transactions running on this node. One `DtmClient` is
+/// owned by one thread (the paper's "client").
+pub struct DtmClient {
+    endpoint: Endpoint<Msg>,
+    net: Network<Msg>,
+    quorums: LevelQuorums,
+    /// Rank→node mapping: server rank `r` lives at `NodeId(r)` (servers
+    /// occupy the first node ids).
+    seed: u64,
+    next_req: ReqId,
+    next_txn: u64,
+    cfg: ClientConfig,
+    stats: ClientStats,
+    /// Classes whose contention levels should be piggybacked on every
+    /// remote read (empty = piggybacking off).
+    piggyback_classes: Vec<u16>,
+    /// Latest piggybacked per-class levels (max across quorum replies).
+    piggybacked: HashMap<u16, f64>,
+}
+
+impl DtmClient {
+    /// Wire a client endpoint to the cluster's quorum system.
+    pub fn new(
+        net: Network<Msg>,
+        endpoint: Endpoint<Msg>,
+        quorums: LevelQuorums,
+        cfg: ClientConfig,
+    ) -> Self {
+        let seed = u64::from(endpoint.id().0);
+        DtmClient {
+            endpoint,
+            net,
+            quorums,
+            seed,
+            next_req: 0,
+            next_txn: 0,
+            cfg,
+            stats: ClientStats::default(),
+            piggyback_classes: Vec::new(),
+            piggybacked: HashMap::new(),
+        }
+    }
+
+    /// Message/outcome counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Piggyback a contention sample of `classes` on every subsequent
+    /// remote read, instead of (or in addition to) explicit
+    /// [`DtmClient::query_contention`] rounds.
+    pub fn set_piggyback_classes(&mut self, classes: Vec<u16>) {
+        self.piggyback_classes = classes;
+    }
+
+    /// The most recent piggybacked per-class contention levels (empty
+    /// until a remote read has carried a sample).
+    pub fn piggybacked_levels(&self) -> &HashMap<u16, f64> {
+        &self.piggybacked
+    }
+
+    /// The client's network node id.
+    pub fn node(&self) -> NodeId {
+        self.endpoint.id()
+    }
+
+    /// Start a transaction: allocate its globally unique id.
+    pub fn begin(&mut self) -> TxnId {
+        let txn = TxnId {
+            client: self.endpoint.id(),
+            seq: self.next_txn,
+        };
+        self.next_txn += 1;
+        txn
+    }
+
+    fn server_node(rank: usize) -> NodeId {
+        NodeId(rank as u32)
+    }
+
+    fn alive_fn(&self) -> impl Fn(usize) -> bool {
+        let failed = self.net.failed_set();
+        move |rank: usize| !failed.contains(&Self::server_node(rank))
+    }
+
+    /// Scatter a request to `members` and gather all their responses.
+    fn rpc_quorum(
+        &mut self,
+        members: &[usize],
+        build: impl Fn(ReqId) -> Msg,
+    ) -> Result<Vec<Msg>, DtmError> {
+        let req = self.next_req;
+        self.next_req += 1;
+        let msg = build(req);
+        for &m in members {
+            self.endpoint.send(Self::server_node(m), msg.clone());
+        }
+        let deadline = Instant::now() + self.cfg.rpc_timeout;
+        let mut got = Vec::with_capacity(members.len());
+        while got.len() < members.len() {
+            match self.endpoint.recv_deadline(deadline) {
+                Ok((_, m)) if m.response_req() == Some(req) => got.push(m),
+                Ok(_) => continue, // stray response from a timed-out round
+                Err(RecvError::Timeout) | Err(RecvError::Closed) => {
+                    return Err(DtmError::Unavailable)
+                }
+            }
+        }
+        Ok(got)
+    }
+
+    /// [`Self::rpc_quorum`] with timeout retries. Safe only for idempotent
+    /// requests — which all QR-DTM protocol messages are: re-prepare
+    /// re-acquires the same locks and re-validates, re-commit re-applies
+    /// capped by version monotonicity, re-abort re-releases. Stray
+    /// responses from an earlier round are discarded by request id.
+    fn rpc_quorum_retry(
+        &mut self,
+        members: &[usize],
+        build: impl Fn(ReqId) -> Msg,
+    ) -> Result<Vec<Msg>, DtmError> {
+        let mut last = DtmError::Unavailable;
+        for _ in 0..=self.cfg.quorum_retries {
+            match self.rpc_quorum(members, &build) {
+                Ok(got) => return Ok(got),
+                Err(e) => last = e,
+            }
+        }
+        self.stats.quorum_unavailable += 1;
+        Err(last)
+    }
+
+    /// Remote read of `obj` through a read quorum, presenting `validate`
+    /// (the transaction's read-set) for incremental validation. Returns the
+    /// freshest `(version, value)` among the quorum's replies.
+    pub fn remote_read(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        validate: &[ValidateEntry],
+    ) -> Result<(Version, ObjectVal), DtmError> {
+        let mut locked_attempts = 0usize;
+        let mut quorum_attempts = 0usize;
+        loop {
+            let alive = self.alive_fn();
+            let Some(quorum) = self
+                .quorums
+                .read_quorum(self.seed.wrapping_add(quorum_attempts as u64), &alive)
+            else {
+                self.stats.quorum_unavailable += 1;
+                return Err(DtmError::Unavailable);
+            };
+            let validate_owned = validate.to_vec();
+            let sample = self.piggyback_classes.clone();
+            let resps = match self.rpc_quorum(&quorum, |req| Msg::ReadReq {
+                txn,
+                req,
+                obj,
+                validate: validate_owned.clone(),
+                sample: sample.clone(),
+            }) {
+                Ok(r) => r,
+                Err(DtmError::Unavailable) => {
+                    quorum_attempts += 1;
+                    if quorum_attempts > self.cfg.quorum_retries {
+                        self.stats.quorum_unavailable += 1;
+                        return Err(DtmError::Unavailable);
+                    }
+                    continue;
+                }
+                Err(other) => return Err(other),
+            };
+            self.stats.remote_reads += 1;
+
+            let mut invalid: Vec<ObjectId> = Vec::new();
+            let mut any_locked = false;
+            let mut best: Option<(Version, ObjectVal)> = None;
+            let mut sampled: HashMap<u16, f64> = HashMap::new();
+            for r in resps {
+                if let Msg::ReadResp {
+                    version,
+                    value,
+                    invalid: inv,
+                    locked,
+                    levels,
+                    ..
+                } = r
+                {
+                    invalid.extend(inv);
+                    for (c, l) in levels {
+                        let e = sampled.entry(c).or_insert(0.0);
+                        if l > *e {
+                            *e = l;
+                        }
+                    }
+                    if locked {
+                        any_locked = true;
+                    } else if best.as_ref().map_or(true, |(v, _)| version > *v) {
+                        best = Some((version, value));
+                    }
+                }
+            }
+            if !sampled.is_empty() {
+                self.piggybacked = sampled;
+            }
+            if !invalid.is_empty() {
+                invalid.sort_unstable();
+                invalid.dedup();
+                self.stats.read_invalidations += 1;
+                return Err(DtmError::Invalidated { objs: invalid });
+            }
+            if any_locked {
+                // The object (or a replica of it) is protected by an
+                // in-flight commit: back off briefly and re-read. Reading
+                // around the lock would be unsafe only for the value — the
+                // freshest unlocked replica may be pre-commit — so we must
+                // retry rather than mix.
+                locked_attempts += 1;
+                self.stats.locked_read_retries += 1;
+                if locked_attempts > self.cfg.locked_retries {
+                    return Err(DtmError::LockedOut { obj });
+                }
+                std::thread::sleep(self.cfg.locked_backoff);
+                continue;
+            }
+            return Ok(best.expect("quorum is non-empty"));
+        }
+    }
+
+    /// Commit a transaction with two-phase commit against a write quorum.
+    ///
+    /// * `validate` — the full read-set (write-set read versions included);
+    /// * `writes` — `(object, version-read, new value)`; the committed
+    ///   version is `version-read + 1`.
+    ///
+    /// Read-only transactions (`writes` empty) run a single validation
+    /// round against a read quorum — no locks, no phase 2.
+    pub fn commit(
+        &mut self,
+        txn: TxnId,
+        validate: &[ValidateEntry],
+        writes: &[(ObjectId, Version, ObjectVal)],
+    ) -> Result<(), DtmError> {
+        let alive = self.alive_fn();
+        let quorum = if writes.is_empty() {
+            self.quorums.read_quorum(self.seed, &alive)
+        } else {
+            self.quorums.write_quorum(self.seed, &alive)
+        };
+        let Some(quorum) = quorum else {
+            self.stats.quorum_unavailable += 1;
+            return Err(DtmError::Unavailable);
+        };
+
+        // Phase 1: prepare.
+        self.stats.prepares += 1;
+        let validate_owned = validate.to_vec();
+        let write_versions: Vec<(ObjectId, Version)> =
+            writes.iter().map(|&(o, v, _)| (o, v)).collect();
+        let resps = self.rpc_quorum_retry(&quorum, |req| Msg::PrepareReq {
+            txn,
+            req,
+            validate: validate_owned.clone(),
+            writes: write_versions.clone(),
+        })?;
+        let mut all_yes = true;
+        let mut invalid: Vec<ObjectId> = Vec::new();
+        for r in &resps {
+            if let Msg::PrepareResp { vote, invalid: inv, .. } = r {
+                if !vote {
+                    all_yes = false;
+                }
+                invalid.extend(inv.iter().copied());
+            }
+        }
+        if writes.is_empty() {
+            // Read-only: validation outcome is the commit outcome.
+            return if all_yes {
+                self.stats.commits += 1;
+                Ok(())
+            } else {
+                invalid.sort_unstable();
+                invalid.dedup();
+                self.stats.conflict_aborts += 1;
+                Err(DtmError::Conflict { invalid })
+            };
+        }
+
+        if !all_yes {
+            // Phase 2: abort everywhere (also the replicas that voted yes).
+            let _ = self.rpc_quorum_retry(&quorum, |req| Msg::AbortReq { txn, req });
+            invalid.sort_unstable();
+            invalid.dedup();
+            self.stats.conflict_aborts += 1;
+            return Err(DtmError::Conflict { invalid });
+        }
+
+        // Phase 2: commit.
+        let commit_writes: Vec<(ObjectId, Version, ObjectVal)> = writes
+            .iter()
+            .map(|(o, v, val)| (*o, v + 1, val.clone()))
+            .collect();
+        self.rpc_quorum_retry(&quorum, |req| Msg::CommitReq {
+            txn,
+            req,
+            writes: commit_writes.clone(),
+        })?;
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Dynamic Module: fetch per-class write contention levels from a read
+    /// quorum, taking the maximum across replicas (each replica only counts
+    /// the commits it participated in).
+    pub fn query_contention(&mut self, classes: &[u16]) -> Result<HashMap<u16, f64>, DtmError> {
+        Ok(self.query_contention_full(classes)?.writes)
+    }
+
+    /// Like [`DtmClient::query_contention`], but returning both run-time
+    /// parameters the paper's Dynamic Module collects: per-class write
+    /// levels and per-class abort ratios.
+    pub fn query_contention_full(
+        &mut self,
+        classes: &[u16],
+    ) -> Result<ContentionSample, DtmError> {
+        let alive = self.alive_fn();
+        let Some(quorum) = self.quorums.read_quorum(self.seed, &alive) else {
+            self.stats.quorum_unavailable += 1;
+            return Err(DtmError::Unavailable);
+        };
+        let classes_owned = classes.to_vec();
+        let resps = self.rpc_quorum_retry(&quorum, |req| Msg::ContentionReq {
+            req,
+            classes: classes_owned.clone(),
+        })?;
+        let mut out = ContentionSample {
+            writes: classes.iter().map(|&c| (c, 0.0)).collect(),
+            aborts: classes.iter().map(|&c| (c, 0.0)).collect(),
+        };
+        let fold = |into: &mut HashMap<u16, f64>, pairs: Vec<(u16, f64)>| {
+            for (c, l) in pairs {
+                let e = into.entry(c).or_insert(0.0);
+                if l > *e {
+                    *e = l;
+                }
+            }
+        };
+        for r in resps {
+            if let Msg::ContentionResp {
+                levels,
+                abort_levels,
+                ..
+            } = r
+            {
+                fold(&mut out.writes, levels);
+                fold(&mut out.aborts, abort_levels);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Both run-time parameters the Dynamic Module collects (§V-B): per-class
+/// write levels and abort ratios, max-aggregated across the quorum.
+#[derive(Debug, Clone, Default)]
+pub struct ContentionSample {
+    /// Mean writes per written object, per class.
+    pub writes: HashMap<u16, f64>,
+    /// Mean prepare rejections blamed per object, per class.
+    pub aborts: HashMap<u16, f64>,
+}

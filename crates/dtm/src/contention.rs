@@ -1,0 +1,236 @@
+//! Server-side contention monitoring (the Dynamic Module's server half).
+//!
+//! "We approximate the contention level of a shared object according to the
+//! number of write operations occurred on that object since the last
+//! observation. This information is maintained by quorum nodes. […] Moving
+//! from one time window to the next one implies resetting the counters."
+//!
+//! Counters live per concrete object; queries aggregate per class because
+//! that is the granularity at which a transaction *template* can act (a
+//! template knows it will open "a District", not which one). The class
+//! level is the **mean write count per written object** — a class with a
+//! few heavily-written objects (District) scores high, a class with many
+//! rarely-written objects (Customer) scores low, which is exactly the
+//! hot-spot signal Steps 1–3 need.
+
+use acn_txir::ObjectId;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Window rotation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowConfig {
+    /// Length of one observation window. The paper uses 10 s windows on a
+    /// real cluster; scaled-down simulations use 50–500 ms.
+    pub window: Duration,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            window: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Rotating per-object write *and abort* counters with per-class
+/// aggregation — "run-time parameters such as objects' write and abort
+/// ratios" (§V-B, Dynamic Module).
+#[derive(Debug)]
+pub struct ContentionWindow {
+    cfg: WindowConfig,
+    window_start: Instant,
+    /// Writes per object in the window being filled.
+    current: HashMap<ObjectId, u64>,
+    /// Aborts attributed per object in the window being filled (the
+    /// objects whose staleness or lock made a prepare vote no).
+    current_aborts: HashMap<ObjectId, u64>,
+    /// Per-class write aggregate of the last complete window:
+    /// (sum, distinct).
+    completed: HashMap<u16, (u64, u64)>,
+    /// Per-class abort aggregate of the last complete window.
+    completed_aborts: HashMap<u16, (u64, u64)>,
+}
+
+impl ContentionWindow {
+    /// Start counting with the given window length.
+    pub fn new(cfg: WindowConfig) -> Self {
+        ContentionWindow {
+            cfg,
+            window_start: Instant::now(),
+            current: HashMap::new(),
+            current_aborts: HashMap::new(),
+            completed: HashMap::new(),
+            completed_aborts: HashMap::new(),
+        }
+    }
+
+    fn aggregate(objs: &mut HashMap<ObjectId, u64>) -> HashMap<u16, (u64, u64)> {
+        let mut agg: HashMap<u16, (u64, u64)> = HashMap::new();
+        for (obj, count) in objs.drain() {
+            let e = agg.entry(obj.class.id).or_insert((0, 0));
+            e.0 += count;
+            e.1 += 1;
+        }
+        agg
+    }
+
+    /// Rotate if the current window has elapsed. Called internally by
+    /// `record_write`/`class_level`, public for tests driving time manually.
+    pub fn maybe_rotate(&mut self, now: Instant) {
+        if now.duration_since(self.window_start) < self.cfg.window {
+            return;
+        }
+        self.completed = Self::aggregate(&mut self.current);
+        self.completed_aborts = Self::aggregate(&mut self.current_aborts);
+        // Jump straight to the current instant rather than advancing by one
+        // window: after an idle gap the stale window should not linger.
+        self.window_start = now;
+    }
+
+    /// Record one committed write to `obj`.
+    pub fn record_write(&mut self, obj: ObjectId, now: Instant) {
+        self.maybe_rotate(now);
+        *self.current.entry(obj).or_insert(0) += 1;
+    }
+
+    /// Record that `obj` caused a prepare rejection (stale version or lock
+    /// conflict).
+    pub fn record_abort(&mut self, obj: ObjectId, now: Instant) {
+        self.maybe_rotate(now);
+        *self.current_aborts.entry(obj).or_insert(0) += 1;
+    }
+
+    fn level_from(agg: &HashMap<u16, (u64, u64)>, class: u16) -> f64 {
+        match agg.get(&class) {
+            Some(&(sum, distinct)) if distinct > 0 => sum as f64 / distinct as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Contention level of a class from the last complete window: mean
+    /// writes per written object, 0.0 for classes without writes.
+    pub fn class_level(&mut self, class: u16, now: Instant) -> f64 {
+        self.maybe_rotate(now);
+        Self::level_from(&self.completed, class)
+    }
+
+    /// Abort ratio of a class from the last complete window: mean aborts
+    /// per blamed object.
+    pub fn class_abort_level(&mut self, class: u16, now: Instant) -> f64 {
+        self.maybe_rotate(now);
+        Self::level_from(&self.completed_aborts, class)
+    }
+
+    /// Write count of one object in the window being filled (tests and
+    /// diagnostics; decision-making uses completed windows).
+    pub fn current_object_count(&self, obj: ObjectId) -> u64 {
+        self.current.get(&obj).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acn_txir::ObjClass;
+
+    const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+    const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+
+    fn win(ms: u64) -> ContentionWindow {
+        ContentionWindow::new(WindowConfig {
+            window: Duration::from_millis(ms),
+        })
+    }
+
+    #[test]
+    fn writes_accumulate_in_current_window() {
+        let mut w = win(1000);
+        let t0 = Instant::now();
+        let obj = ObjectId::new(BRANCH, 1);
+        w.record_write(obj, t0);
+        w.record_write(obj, t0);
+        assert_eq!(w.current_object_count(obj), 2);
+        // Not yet rotated ⇒ completed window empty ⇒ level 0.
+        assert_eq!(w.class_level(BRANCH.id, t0), 0.0);
+    }
+
+    #[test]
+    fn rotation_publishes_class_means() {
+        let mut w = win(100);
+        let t0 = Instant::now();
+        // Branch 1 written 6×, branch 2 written 2× ⇒ mean 4.
+        for _ in 0..6 {
+            w.record_write(ObjectId::new(BRANCH, 1), t0);
+        }
+        for _ in 0..2 {
+            w.record_write(ObjectId::new(BRANCH, 2), t0);
+        }
+        // 4 distinct accounts written once each ⇒ mean 1.
+        for i in 0..4 {
+            w.record_write(ObjectId::new(ACCOUNT, i), t0);
+        }
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(w.class_level(BRANCH.id, t1), 4.0);
+        assert_eq!(w.class_level(ACCOUNT.id, t1), 1.0);
+    }
+
+    #[test]
+    fn rotation_resets_counters() {
+        let mut w = win(100);
+        let t0 = Instant::now();
+        let obj = ObjectId::new(BRANCH, 1);
+        w.record_write(obj, t0);
+        let t1 = t0 + Duration::from_millis(150);
+        w.maybe_rotate(t1);
+        assert_eq!(w.current_object_count(obj), 0, "current window reset");
+        // Second rotation with an empty window clears the published level.
+        let t2 = t1 + Duration::from_millis(150);
+        assert_eq!(w.class_level(BRANCH.id, t2), 0.0);
+    }
+
+    #[test]
+    fn unknown_class_reads_zero() {
+        let mut w = win(100);
+        assert_eq!(w.class_level(42, Instant::now()), 0.0);
+        assert_eq!(w.class_abort_level(42, Instant::now()), 0.0);
+    }
+
+    #[test]
+    fn abort_counters_aggregate_like_writes() {
+        let mut w = win(100);
+        let t0 = Instant::now();
+        // Branch 1 blamed 4×, branch 2 blamed 2× ⇒ mean 3.
+        for _ in 0..4 {
+            w.record_abort(ObjectId::new(BRANCH, 1), t0);
+        }
+        for _ in 0..2 {
+            w.record_abort(ObjectId::new(BRANCH, 2), t0);
+        }
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(w.class_abort_level(BRANCH.id, t1), 3.0);
+        // Writes stay independent.
+        assert_eq!(w.class_level(BRANCH.id, t1), 0.0);
+    }
+
+    #[test]
+    fn no_rotation_before_window_elapses() {
+        let mut w = win(10_000);
+        let t0 = Instant::now();
+        w.record_write(ObjectId::new(BRANCH, 1), t0);
+        w.maybe_rotate(t0 + Duration::from_millis(10));
+        assert_eq!(w.current_object_count(ObjectId::new(BRANCH, 1)), 1);
+    }
+
+    #[test]
+    fn idle_gap_does_not_leak_stale_window() {
+        let mut w = win(100);
+        let t0 = Instant::now();
+        w.record_write(ObjectId::new(BRANCH, 1), t0);
+        // A long idle gap: two rotations worth of silence.
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(w.class_level(BRANCH.id, t1) > 0.0, "first rotation publishes");
+        let t2 = t1 + Duration::from_millis(500);
+        assert_eq!(w.class_level(BRANCH.id, t2), 0.0, "silence clears it");
+    }
+}

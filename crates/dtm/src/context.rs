@@ -1,0 +1,412 @@
+//! Transaction contexts: flat (QR-DTM) and closed-nested (QR-CN).
+//!
+//! A [`TxnCtx`] holds the paper's private read-set and write-set: reads log
+//! `(object, version)`, fetched copies are buffered, `SetField`s mutate the
+//! buffer, and everything is applied to the shared state only at commit.
+//!
+//! A [`ChildCtx`] is a closed-nested sub-transaction: it layers its own
+//! read-set and buffer *overlay* on top of the parent. Committing a child
+//! merges into the parent (nothing becomes globally visible); aborting a
+//! child discards only the overlay. When incremental validation reports
+//! stale objects, [`ChildCtx::classify`] decides the rollback scope: if
+//! every invalidated object was first read by the running child, only the
+//! child re-executes (**partial rollback**); any invalidated object in the
+//! parent's history forces a full restart.
+
+use crate::client::DtmClient;
+use crate::error::{AbortScope, DtmError};
+use crate::messages::{TxnId, ValidateEntry, Version};
+use acn_txir::{FieldId, ObjectId, ObjectVal, Value};
+use std::collections::{HashMap, HashSet};
+
+/// The root (parent) transaction context.
+///
+/// `Clone` exists for the checkpointing executor in `acn-core`, which
+/// snapshots the whole context at sub-transaction boundaries — the very
+/// overhead closed nesting avoids.
+#[derive(Debug, Clone)]
+pub struct TxnCtx {
+    txn: TxnId,
+    /// `(object, version)` in first-read order — the read-set.
+    read_set: Vec<ValidateEntry>,
+    read_index: HashMap<ObjectId, usize>,
+    /// Buffered object copies (current values including local writes).
+    buffers: HashMap<ObjectId, ObjectVal>,
+    /// Objects with buffered writes — the write-set.
+    writes: HashSet<ObjectId>,
+}
+
+impl TxnCtx {
+    /// Begin a fresh transaction on `client`.
+    pub fn begin(client: &mut DtmClient) -> TxnCtx {
+        TxnCtx {
+            txn: client.begin(),
+            read_set: Vec::new(),
+            read_index: HashMap::new(),
+            buffers: HashMap::new(),
+            writes: HashSet::new(),
+        }
+    }
+
+    /// This transaction's globally unique id.
+    pub fn id(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Is `obj` in this context's read-set?
+    pub fn has_read(&self, obj: ObjectId) -> bool {
+        self.read_index.contains_key(&obj)
+    }
+
+    /// The version this transaction read for `obj`.
+    pub fn read_version(&self, obj: ObjectId) -> Option<Version> {
+        self.read_index.get(&obj).map(|&i| self.read_set[i].1)
+    }
+
+    /// The current read-set (for validation payloads).
+    pub fn read_set(&self) -> &[ValidateEntry] {
+        &self.read_set
+    }
+
+    /// Number of objects opened so far.
+    pub fn reads_len(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Open `obj`; the first open of an object is a remote quorum read, a
+    /// repeated open is local. `update` adds it to the write-set.
+    pub fn open(
+        &mut self,
+        client: &mut DtmClient,
+        obj: ObjectId,
+        update: bool,
+    ) -> Result<(), DtmError> {
+        if !self.has_read(obj) {
+            let (version, value) = client.remote_read(self.txn, obj, &self.read_set)?;
+            self.read_index.insert(obj, self.read_set.len());
+            self.read_set.push((obj, version));
+            self.buffers.insert(obj, value);
+        }
+        if update {
+            self.writes.insert(obj);
+        }
+        Ok(())
+    }
+
+    /// Read a field of an opened object's buffered copy.
+    ///
+    /// # Panics
+    /// Panics if `obj` was never opened — that is an executor bug, not a
+    /// run-time condition.
+    pub fn get_field(&self, obj: ObjectId, field: FieldId) -> Value {
+        self.buffers
+            .get(&obj)
+            .unwrap_or_else(|| panic!("get_field on unopened {obj}"))
+            .get_or_zero(field)
+    }
+
+    /// Buffered write to an opened object.
+    pub fn set_field(&mut self, obj: ObjectId, field: FieldId, value: Value) {
+        debug_assert!(self.writes.contains(&obj), "set_field outside write-set");
+        self.buffers
+            .get_mut(&obj)
+            .unwrap_or_else(|| panic!("set_field on unopened {obj}"))
+            .set(field, value);
+    }
+
+    /// Commit via two-phase commit. On success the context is consumed;
+    /// on failure the caller restarts with a fresh context.
+    pub fn commit(self, client: &mut DtmClient) -> Result<(), DtmError> {
+        let mut writes: Vec<(ObjectId, Version, ObjectVal)> = Vec::with_capacity(self.writes.len());
+        for &obj in &self.writes {
+            let version = self.read_version(obj).expect("write implies read");
+            let value = self.buffers[&obj].clone();
+            writes.push((obj, version, value));
+        }
+        // Deterministic order keeps server-side lock patterns stable.
+        writes.sort_by_key(|&(o, _, _)| o);
+        client.commit(self.txn, &self.read_set, &writes)
+    }
+
+    /// Start a closed-nested sub-transaction.
+    pub fn child(&self) -> ChildCtx {
+        ChildCtx {
+            reads: Vec::new(),
+            read_index: HashMap::new(),
+            overlay: HashMap::new(),
+            writes: HashSet::new(),
+        }
+    }
+}
+
+/// A closed-nested sub-transaction: private overlay over a parent
+/// [`TxnCtx`]. ACN uses exactly one nesting level, matching the paper's
+/// system model, so children cannot spawn grandchildren.
+#[derive(Debug)]
+pub struct ChildCtx {
+    /// Objects first read by this child.
+    reads: Vec<ValidateEntry>,
+    read_index: HashMap<ObjectId, usize>,
+    /// Copy-on-write buffers shadowing the parent's.
+    overlay: HashMap<ObjectId, ObjectVal>,
+    writes: HashSet<ObjectId>,
+}
+
+impl ChildCtx {
+    /// Objects this child read first (not via the parent).
+    pub fn reads_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    fn combined_validate(&self, parent: &TxnCtx) -> Vec<ValidateEntry> {
+        let mut v = Vec::with_capacity(parent.read_set.len() + self.reads.len());
+        v.extend_from_slice(&parent.read_set);
+        v.extend_from_slice(&self.reads);
+        v
+    }
+
+    /// Open `obj` inside the sub-transaction. Objects already read by the
+    /// parent (or this child) are local; fresh objects are fetched remotely
+    /// with the *combined* read-set presented for incremental validation.
+    pub fn open(
+        &mut self,
+        client: &mut DtmClient,
+        parent: &TxnCtx,
+        obj: ObjectId,
+        update: bool,
+    ) -> Result<(), DtmError> {
+        if !self.read_index.contains_key(&obj) && !parent.has_read(obj) {
+            let validate = self.combined_validate(parent);
+            let (version, value) = client.remote_read(parent.txn, obj, &validate)?;
+            self.read_index.insert(obj, self.reads.len());
+            self.reads.push((obj, version));
+            self.overlay.insert(obj, value);
+        }
+        if update {
+            self.writes.insert(obj);
+        }
+        Ok(())
+    }
+
+    /// Field read through the overlay chain: child overlay, else parent.
+    pub fn get_field(&self, parent: &TxnCtx, obj: ObjectId, field: FieldId) -> Value {
+        if let Some(val) = self.overlay.get(&obj) {
+            return val.get_or_zero(field);
+        }
+        parent.get_field(obj, field)
+    }
+
+    /// Buffered write: copy-on-write from the parent's buffer into the
+    /// overlay, so an abort of this child never disturbs the parent.
+    pub fn set_field(&mut self, parent: &TxnCtx, obj: ObjectId, field: FieldId, value: Value) {
+        debug_assert!(
+            self.writes.contains(&obj) || parent.writes.contains(&obj),
+            "set_field outside write-set"
+        );
+        let entry = self.overlay.entry(obj).or_insert_with(|| {
+            parent
+                .buffers
+                .get(&obj)
+                .cloned()
+                .unwrap_or_else(|| panic!("set_field on unopened {obj}"))
+        });
+        entry.set(field, value);
+        self.writes.insert(obj);
+    }
+
+    /// Closed-nested commit: merge into the parent's private context. No
+    /// remote interaction — results stay invisible until the parent
+    /// commits.
+    pub fn commit_into(self, parent: &mut TxnCtx) {
+        for (obj, version) in self.reads {
+            if !parent.has_read(obj) {
+                parent.read_index.insert(obj, parent.read_set.len());
+                parent.read_set.push((obj, version));
+            }
+        }
+        for (obj, value) in self.overlay {
+            parent.buffers.insert(obj, value);
+        }
+        parent.writes.extend(self.writes);
+    }
+
+    /// Decide the rollback scope for an invalidation report: child-only iff
+    /// *every* stale object was first read by this child. Anything touching
+    /// the parent's history means the parent's merged state is stale and
+    /// the whole transaction must re-execute.
+    pub fn classify(&self, parent: &TxnCtx, invalid: &[ObjectId]) -> AbortScope {
+        let all_child_local = invalid
+            .iter()
+            .all(|o| self.read_index.contains_key(o) && !parent.has_read(*o));
+        if all_child_local && !invalid.is_empty() {
+            AbortScope::Child
+        } else {
+            AbortScope::Parent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Context-local logic (merge, overlay, classification). End-to-end
+    //! behaviour against live servers is covered in the crate's
+    //! integration tests.
+    use super::*;
+    use acn_simnet::{LatencyModel, Network, NodeId};
+    use acn_txir::ObjClass;
+
+    const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+    const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+    const B1: ObjectId = ObjectId::new(BRANCH, 1);
+    const A1: ObjectId = ObjectId::new(ACCOUNT, 1);
+    const A2: ObjectId = ObjectId::new(ACCOUNT, 2);
+    const F: FieldId = FieldId(0);
+
+    /// A client wired to an empty network — usable for pure context tests
+    /// that never issue remote operations.
+    fn offline_client() -> DtmClient {
+        let net: Network<crate::messages::Msg> = Network::new(2, LatencyModel::Zero);
+        let quorums = acn_quorum::LevelQuorums::new(acn_quorum::DaryTree::ternary(1));
+        DtmClient::new(
+            net.clone(),
+            net.endpoint(NodeId(1)),
+            quorums,
+            crate::client::ClientConfig::default(),
+        )
+    }
+
+    /// Hand-construct a parent with pre-loaded buffers (as if read).
+    fn parent_with(objs: &[(ObjectId, i64)]) -> TxnCtx {
+        let mut client = offline_client();
+        let mut ctx = TxnCtx::begin(&mut client);
+        for &(obj, v) in objs {
+            ctx.read_index.insert(obj, ctx.read_set.len());
+            ctx.read_set.push((obj, 1));
+            ctx.buffers
+                .insert(obj, ObjectVal::from_fields([(F, Value::Int(v))]));
+            ctx.writes.insert(obj);
+        }
+        ctx
+    }
+
+    #[test]
+    fn parent_field_roundtrip() {
+        let mut p = parent_with(&[(A1, 10)]);
+        assert_eq!(p.get_field(A1, F), Value::Int(10));
+        p.set_field(A1, F, Value::Int(25));
+        assert_eq!(p.get_field(A1, F), Value::Int(25));
+        assert!(p.has_read(A1));
+        assert_eq!(p.read_version(A1), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unopened")]
+    fn get_field_unopened_panics() {
+        let p = parent_with(&[]);
+        let _ = p.get_field(A1, F);
+    }
+
+    #[test]
+    fn child_overlay_shadows_parent() {
+        let p = parent_with(&[(A1, 10)]);
+        let mut c = p.child();
+        assert_eq!(c.get_field(&p, A1, F), Value::Int(10), "falls through");
+        c.set_field(&p, A1, F, Value::Int(99));
+        assert_eq!(c.get_field(&p, A1, F), Value::Int(99), "overlay wins");
+        assert_eq!(p.get_field(A1, F), Value::Int(10), "parent untouched");
+    }
+
+    #[test]
+    fn child_abort_discards_overlay() {
+        let mut p = parent_with(&[(A1, 10)]);
+        {
+            let mut c = p.child();
+            c.set_field(&p, A1, F, Value::Int(99));
+            // dropped without commit_into = aborted
+        }
+        assert_eq!(p.get_field(A1, F), Value::Int(10));
+        // A fresh child sees the parent value again.
+        let c2 = p.child();
+        assert_eq!(c2.get_field(&p, A1, F), Value::Int(10));
+        p.set_field(A1, F, Value::Int(11));
+        assert_eq!(p.get_field(A1, F), Value::Int(11));
+    }
+
+    #[test]
+    fn child_commit_merges_state() {
+        let mut p = parent_with(&[(A1, 10)]);
+        let mut c = p.child();
+        // Simulate the child having read B1 remotely.
+        c.read_index.insert(B1, 0);
+        c.reads.push((B1, 7));
+        c.overlay
+            .insert(B1, ObjectVal::from_fields([(F, Value::Int(100))]));
+        c.writes.insert(B1);
+        c.set_field(&p, A1, F, Value::Int(42));
+        c.commit_into(&mut p);
+        assert!(p.has_read(B1));
+        assert_eq!(p.read_version(B1), Some(7));
+        assert_eq!(p.get_field(B1, F), Value::Int(100));
+        assert_eq!(p.get_field(A1, F), Value::Int(42));
+        assert!(p.writes.contains(&B1));
+    }
+
+    #[test]
+    fn merge_does_not_duplicate_parent_reads() {
+        let mut p = parent_with(&[(A1, 10)]);
+        let c = p.child();
+        // Child "re-reads" A1 — open() would short-circuit, but even a
+        // manual duplicate entry must not double up the parent read-set.
+        c.commit_into(&mut p);
+        assert_eq!(p.reads_len(), 1);
+    }
+
+    #[test]
+    fn classify_child_scope() {
+        let p = parent_with(&[(A1, 10)]);
+        let mut c = p.child();
+        c.read_index.insert(B1, 0);
+        c.reads.push((B1, 3));
+        // B1 is child-first ⇒ child scope.
+        assert_eq!(c.classify(&p, &[B1]), AbortScope::Child);
+    }
+
+    #[test]
+    fn classify_parent_scope_when_history_invalid() {
+        let p = parent_with(&[(A1, 10)]);
+        let mut c = p.child();
+        c.read_index.insert(B1, 0);
+        c.reads.push((B1, 3));
+        // A1 belongs to the parent's history ⇒ parent scope, even though
+        // B1 is child-local.
+        assert_eq!(c.classify(&p, &[B1, A1]), AbortScope::Parent);
+        assert_eq!(c.classify(&p, &[A1]), AbortScope::Parent);
+    }
+
+    #[test]
+    fn classify_empty_or_unknown_is_parent() {
+        let p = parent_with(&[(A1, 10)]);
+        let c = p.child();
+        assert_eq!(c.classify(&p, &[]), AbortScope::Parent);
+        assert_eq!(c.classify(&p, &[A2]), AbortScope::Parent);
+    }
+
+    #[test]
+    fn combined_validate_covers_both_histories() {
+        let p = parent_with(&[(A1, 10)]);
+        let mut c = p.child();
+        c.read_index.insert(B1, 0);
+        c.reads.push((B1, 3));
+        let v = c.combined_validate(&p);
+        assert_eq!(v, vec![(A1, 1), (B1, 3)]);
+    }
+
+    #[test]
+    fn child_copy_on_write_from_parent_buffer() {
+        let p = parent_with(&[(A1, 10)]);
+        let mut c = p.child();
+        c.set_field(&p, A1, F, Value::Int(11));
+        // Write marked in the child's write-set so the merge propagates it.
+        assert!(c.writes.contains(&A1));
+    }
+}

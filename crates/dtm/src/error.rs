@@ -1,0 +1,77 @@
+//! Error and abort taxonomy.
+
+use acn_txir::ObjectId;
+use std::fmt;
+
+/// How far a conflict rolls a transaction back — the heart of QR-CN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortScope {
+    /// Only the running sub-transaction is rolled back and re-issued
+    /// (every invalidated object was first read by it).
+    Child,
+    /// The whole (parent) transaction restarts: an object in the parent's
+    /// history — read before the running sub-transaction started — was
+    /// invalidated, or the conflict surfaced at commit time.
+    Parent,
+}
+
+/// Failures surfaced by the DTM layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtmError {
+    /// Incremental validation found stale read-set entries.
+    Invalidated {
+        /// The objects whose versions went stale.
+        objs: Vec<ObjectId>,
+    },
+    /// Two-phase commit failed: a lock conflict or stale read at prepare.
+    Conflict {
+        /// Stale read-set entries reported by the quorum (empty for pure
+        /// lock conflicts).
+        invalid: Vec<ObjectId>,
+    },
+    /// A read kept hitting `protected` objects and gave up after the
+    /// configured number of retries.
+    LockedOut {
+        /// The object that stayed protected.
+        obj: ObjectId,
+    },
+    /// No quorum available (too many failed servers) or RPC timeout.
+    Unavailable,
+}
+
+impl fmt::Display for DtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtmError::Invalidated { objs } => write!(f, "read-set invalidated: {objs:?}"),
+            DtmError::Conflict { invalid } => write!(f, "commit conflict (stale: {invalid:?})"),
+            DtmError::LockedOut { obj } => write!(f, "read locked out on {obj}"),
+            DtmError::Unavailable => write!(f, "quorum unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for DtmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acn_txir::ObjClass;
+
+    #[test]
+    fn display_is_informative() {
+        const C: ObjClass = ObjClass::new(0, "C");
+        let e = DtmError::Invalidated {
+            objs: vec![ObjectId::new(C, 1)],
+        };
+        assert!(e.to_string().contains("C#1"));
+        assert!(DtmError::Unavailable.to_string().contains("unavailable"));
+        assert!(DtmError::LockedOut { obj: ObjectId::new(C, 2) }
+            .to_string()
+            .contains("C#2"));
+    }
+
+    #[test]
+    fn scopes_are_distinct() {
+        assert_ne!(AbortScope::Child, AbortScope::Parent);
+    }
+}

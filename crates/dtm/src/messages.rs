@@ -1,0 +1,206 @@
+//! The wire protocol between transaction clients and quorum servers.
+
+use acn_simnet::NodeId;
+use acn_txir::{ObjectId, ObjectVal};
+use std::fmt;
+
+/// Object version number, bumped on every commit. Fresh (never-committed)
+/// objects have version 0 on every replica.
+pub type Version = u64;
+
+/// Per-client request correlation id. Clients discard stray responses from
+/// timed-out earlier requests by matching this.
+pub type ReqId = u64;
+
+/// Globally unique transaction identity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId {
+    /// The client node running the transaction.
+    pub client: NodeId,
+    /// Client-local sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn({}:{})", self.client, self.seq)
+    }
+}
+
+/// A read-set entry presented for incremental validation.
+pub type ValidateEntry = (ObjectId, Version);
+
+/// Messages exchanged between clients and quorum servers.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client → read quorum member: fetch the latest copy of `obj` and
+    /// re-validate the presented read-set (incremental validation).
+    /// `sample` piggybacks a contention query on the existing message —
+    /// "meta-data are coupled with existing network messages, which
+    /// slightly increases the network transmission delay" (paper §V-C2) —
+    /// listing the object classes whose levels the Dynamic Module wants.
+    ReadReq {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// Correlation id.
+        req: ReqId,
+        /// The object to fetch.
+        obj: ObjectId,
+        /// Read-set presented for incremental validation.
+        validate: Vec<ValidateEntry>,
+        /// Classes whose contention level should ride along on the reply.
+        sample: Vec<u16>,
+    },
+    /// Server → client: the replica's copy, plus any read-set entries this
+    /// replica knows to be stale (its version is newer than presented).
+    /// `locked` is set when the object is `protected` by an in-flight
+    /// commit, in which case `version`/`value` must be ignored. `levels`
+    /// answers the request's piggybacked contention sample.
+    ReadResp {
+        /// Correlation id.
+        req: ReqId,
+        /// This replica's version of the object.
+        version: Version,
+        /// This replica's copy of the object.
+        value: ObjectVal,
+        /// Presented read-set entries this replica knows to be stale.
+        invalid: Vec<ObjectId>,
+        /// The object is `protected` by an in-flight commit.
+        locked: bool,
+        /// Piggybacked per-class contention levels (see `ReadReq::sample`).
+        levels: Vec<(u16, f64)>,
+    },
+    /// Phase 1 of 2PC: lock the write-set and validate the read-set.
+    PrepareReq {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Correlation id.
+        req: ReqId,
+        /// Full read-set (write-set read versions included).
+        validate: Vec<ValidateEntry>,
+        /// Objects to be written, with the version the client read.
+        writes: Vec<(ObjectId, Version)>,
+    },
+    /// Server vote. `invalid` lists stale read-set entries (for diagnostics);
+    /// a lock conflict yields `vote == false` with `invalid` empty.
+    PrepareResp {
+        /// Correlation id.
+        req: ReqId,
+        /// Yes/no vote for phase 2.
+        vote: bool,
+        /// Stale read-set entries, when the rejection was a validation
+        /// failure.
+        invalid: Vec<ObjectId>,
+    },
+    /// Phase 2, commit: apply buffered writes, bump versions, count writes
+    /// into the contention window, release locks.
+    CommitReq {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Correlation id.
+        req: ReqId,
+        /// `(object, new version, new value)` to install.
+        writes: Vec<(ObjectId, Version, ObjectVal)>,
+    },
+    /// Acknowledges a [`Msg::CommitReq`].
+    CommitAck {
+        /// Correlation id.
+        req: ReqId,
+    },
+    /// Phase 2, abort: release locks without applying.
+    AbortReq {
+        /// The aborting transaction.
+        txn: TxnId,
+        /// Correlation id.
+        req: ReqId,
+    },
+    /// Acknowledges a [`Msg::AbortReq`].
+    AbortAck {
+        /// Correlation id.
+        req: ReqId,
+    },
+    /// Dynamic Module: ask for the contention level of object classes
+    /// (identified by `ObjClass::id`).
+    ContentionReq {
+        /// Correlation id.
+        req: ReqId,
+        /// Class ids to report on.
+        classes: Vec<u16>,
+    },
+    /// Per-class contention levels from the last complete window:
+    /// `levels` from write counts, `abort_levels` from prepare rejections
+    /// blamed on each class's objects.
+    ContentionResp {
+        /// Correlation id.
+        req: ReqId,
+        /// Per-class write levels.
+        levels: Vec<(u16, f64)>,
+        /// Per-class abort ratios.
+        abort_levels: Vec<(u16, f64)>,
+    },
+    /// Orderly server termination (cluster shutdown).
+    Shutdown,
+}
+
+impl Msg {
+    /// The correlation id of a *response* message, if it is one.
+    pub fn response_req(&self) -> Option<ReqId> {
+        match self {
+            Msg::ReadResp { req, .. }
+            | Msg::PrepareResp { req, .. }
+            | Msg::CommitAck { req }
+            | Msg::AbortAck { req }
+            | Msg::ContentionResp { req, .. } => Some(*req),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_debug_format() {
+        let t = TxnId {
+            client: NodeId(3),
+            seq: 9,
+        };
+        assert_eq!(format!("{t:?}"), "txn(n3:9)");
+    }
+
+    #[test]
+    fn response_req_extracts_correlation_ids() {
+        assert_eq!(
+            Msg::ReadResp {
+                req: 5,
+                version: 0,
+                value: ObjectVal::new(),
+                invalid: vec![],
+                locked: false,
+                levels: vec![]
+            }
+            .response_req(),
+            Some(5)
+        );
+        assert_eq!(Msg::CommitAck { req: 7 }.response_req(), Some(7));
+        assert_eq!(Msg::AbortAck { req: 8 }.response_req(), Some(8));
+        assert_eq!(
+            Msg::ContentionResp { req: 9, levels: vec![], abort_levels: vec![] }.response_req(),
+            Some(9)
+        );
+        assert_eq!(Msg::Shutdown.response_req(), None);
+        assert_eq!(
+            Msg::ContentionReq { req: 1, classes: vec![] }.response_req(),
+            None,
+            "requests are not responses"
+        );
+    }
+
+    #[test]
+    fn txn_ids_order_by_client_then_seq() {
+        let a = TxnId { client: NodeId(1), seq: 5 };
+        let b = TxnId { client: NodeId(2), seq: 1 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,539 @@
+//! The quorum server: request handling and the service loop.
+
+use crate::contention::{ContentionWindow, WindowConfig};
+use crate::messages::{Msg, TxnId};
+use crate::store::Store;
+use acn_simnet::{Endpoint, RecvError};
+use acn_txir::ObjectId;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Counters a server reports on shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Prepare requests processed.
+    pub prepares: u64,
+    /// Prepares that voted no.
+    pub prepare_rejects: u64,
+    /// Commit requests applied.
+    pub commits: u64,
+    /// Abort requests processed.
+    pub aborts: u64,
+    /// Explicit contention queries answered.
+    pub contention_queries: u64,
+}
+
+/// One quorum node: a full replica of every object plus commit-lock and
+/// contention bookkeeping. The server is single-threaded — it owns its
+/// state and processes messages in arrival order, so each request is
+/// handled atomically with respect to the others (the concurrency in the
+/// system is *between* nodes, as in the paper's deployment).
+pub struct Server {
+    store: Store,
+    contention: ContentionWindow,
+    /// Objects locked at prepare per transaction, so abort/commit releases
+    /// exactly what was acquired.
+    prepared: HashMap<TxnId, Vec<ObjectId>>,
+    stats: ServerStats,
+}
+
+impl Server {
+    /// A fresh replica with an empty store.
+    pub fn new(window: WindowConfig) -> Self {
+        Server {
+            store: Store::new(),
+            contention: ContentionWindow::new(window),
+            prepared: HashMap::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Direct store access for tests and cluster seeding.
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Handle one request, producing the reply to send back (if any).
+    pub fn handle(&mut self, msg: Msg, now: Instant) -> Option<Msg> {
+        match msg {
+            Msg::ReadReq {
+                txn,
+                req,
+                obj,
+                validate,
+                sample,
+            } => {
+                self.stats.reads += 1;
+                let (version, value, lock) = self.store.read(obj);
+                // Incremental validation runs regardless of lock state: a
+                // stale read-set is worth reporting even when the requested
+                // object is protected.
+                let invalid: Vec<ObjectId> = validate
+                    .iter()
+                    .filter(|&&(o, v)| self.store.version(o) > v)
+                    .map(|&(o, _)| o)
+                    .collect();
+                let locked = matches!(lock, Some(holder) if holder != txn);
+                let levels = sample
+                    .iter()
+                    .map(|&c| (c, self.contention.class_level(c, now)))
+                    .collect();
+                Some(Msg::ReadResp {
+                    req,
+                    version,
+                    value,
+                    invalid,
+                    locked,
+                    levels,
+                })
+            }
+            Msg::PrepareReq {
+                txn,
+                req,
+                validate,
+                writes,
+            } => {
+                self.stats.prepares += 1;
+                // Lock the write-set all-or-nothing on this replica.
+                let mut locked: Vec<ObjectId> = Vec::with_capacity(writes.len());
+                let mut vote = true;
+                for &(obj, _) in &writes {
+                    if self.store.try_lock(obj, txn) {
+                        locked.push(obj);
+                    } else {
+                        // Blame the contended object for the rejection.
+                        self.contention.record_abort(obj, now);
+                        vote = false;
+                        break;
+                    }
+                }
+                let mut invalid = Vec::new();
+                if vote {
+                    invalid = validate
+                        .iter()
+                        .filter(|&&(o, v)| self.store.version(o) > v)
+                        .map(|&(o, _)| o)
+                        .collect();
+                    vote = invalid.is_empty();
+                    for &o in &invalid {
+                        self.contention.record_abort(o, now);
+                    }
+                }
+                if vote {
+                    // Read-only prepares (no writes) hold no locks and need
+                    // no phase 2, so nothing is recorded for them.
+                    if !locked.is_empty() {
+                        self.prepared.insert(txn, locked);
+                    }
+                } else {
+                    for obj in locked {
+                        self.store.unlock(obj, txn);
+                    }
+                    self.stats.prepare_rejects += 1;
+                }
+                Some(Msg::PrepareResp { req, vote, invalid })
+            }
+            Msg::CommitReq { txn, req, writes } => {
+                self.stats.commits += 1;
+                for (obj, version, value) in writes {
+                    self.store.apply(obj, version, value, txn);
+                    self.contention.record_write(obj, now);
+                }
+                self.prepared.remove(&txn);
+                Some(Msg::CommitAck { req })
+            }
+            Msg::AbortReq { txn, req } => {
+                self.stats.aborts += 1;
+                if let Some(objs) = self.prepared.remove(&txn) {
+                    for obj in objs {
+                        self.store.unlock(obj, txn);
+                    }
+                }
+                Some(Msg::AbortAck { req })
+            }
+            Msg::ContentionReq { req, classes } => {
+                self.stats.contention_queries += 1;
+                let levels = classes
+                    .iter()
+                    .map(|&c| (c, self.contention.class_level(c, now)))
+                    .collect();
+                let abort_levels = classes
+                    .iter()
+                    .map(|&c| (c, self.contention.class_abort_level(c, now)))
+                    .collect();
+                Some(Msg::ContentionResp { req, levels, abort_levels })
+            }
+            Msg::Shutdown => None,
+            // Responses should never arrive at a server.
+            other => {
+                debug_assert!(false, "server received non-request {other:?}");
+                None
+            }
+        }
+    }
+
+    /// Service loop: receive, handle, reply, until `Msg::Shutdown` arrives
+    /// or the network closes. Returns the final stats.
+    pub fn run(mut self, endpoint: Endpoint<Msg>) -> ServerStats {
+        loop {
+            match endpoint.recv_timeout(Duration::from_millis(100)) {
+                Ok((src, Msg::Shutdown)) => {
+                    let _ = src;
+                    break;
+                }
+                Ok((src, msg)) => {
+                    if let Some(reply) = self.handle(msg, Instant::now()) {
+                        endpoint.send(src, reply);
+                    }
+                }
+                Err(RecvError::Timeout) => continue,
+                Err(RecvError::Closed) => break,
+            }
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acn_simnet::NodeId;
+    use acn_txir::{FieldId, ObjClass, ObjectVal, Value};
+
+    const C: ObjClass = ObjClass::new(0, "C");
+    const OBJ: ObjectId = ObjectId::new(C, 1);
+    const OBJ2: ObjectId = ObjectId::new(C, 2);
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId {
+            client: NodeId(10),
+            seq,
+        }
+    }
+
+    fn val(v: i64) -> ObjectVal {
+        ObjectVal::from_fields([(FieldId(0), Value::Int(v))])
+    }
+
+    fn server() -> Server {
+        Server::new(WindowConfig::default())
+    }
+
+    fn read(s: &mut Server, t: TxnId, obj: ObjectId, validate: Vec<(ObjectId, u64)>) -> Msg {
+        s.handle(
+            Msg::ReadReq {
+                txn: t,
+                req: 1,
+                obj,
+                validate,
+                sample: vec![],
+            },
+            Instant::now(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_read_returns_version_zero() {
+        let mut s = server();
+        match read(&mut s, txn(1), OBJ, vec![]) {
+            Msg::ReadResp {
+                version,
+                invalid,
+                locked,
+                ..
+            } => {
+                assert_eq!(version, 0);
+                assert!(invalid.is_empty());
+                assert!(!locked);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_commit_cycle() {
+        let mut s = server();
+        let t = txn(1);
+        // Prepare: lock OBJ, validate read version 0.
+        let resp = s
+            .handle(
+                Msg::PrepareReq {
+                    txn: t,
+                    req: 2,
+                    validate: vec![(OBJ, 0)],
+                    writes: vec![(OBJ, 0)],
+                },
+                Instant::now(),
+            )
+            .unwrap();
+        assert!(matches!(resp, Msg::PrepareResp { vote: true, .. }));
+        // Commit at version 1.
+        let ack = s
+            .handle(
+                Msg::CommitReq {
+                    txn: t,
+                    req: 3,
+                    writes: vec![(OBJ, 1, val(42))],
+                },
+                Instant::now(),
+            )
+            .unwrap();
+        assert!(matches!(ack, Msg::CommitAck { req: 3 }));
+        // A later read sees it.
+        match read(&mut s, txn(2), OBJ, vec![]) {
+            Msg::ReadResp { version, value, .. } => {
+                assert_eq!(version, 1);
+                assert_eq!(value, val(42));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_read_set_is_reported() {
+        let mut s = server();
+        let t = txn(1);
+        s.handle(
+            Msg::PrepareReq {
+                txn: t,
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            Instant::now(),
+        );
+        s.handle(
+            Msg::CommitReq {
+                txn: t,
+                req: 2,
+                writes: vec![(OBJ, 1, val(1))],
+            },
+            Instant::now(),
+        );
+        // Reader presents version 0 for OBJ while reading OBJ2.
+        match read(&mut s, txn(2), OBJ2, vec![(OBJ, 0)]) {
+            Msg::ReadResp { invalid, .. } => assert_eq!(invalid, vec![OBJ]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn locked_object_reported_but_validation_still_runs() {
+        let mut s = server();
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            Instant::now(),
+        );
+        match read(&mut s, txn(2), OBJ, vec![]) {
+            Msg::ReadResp { locked, .. } => assert!(locked),
+            other => panic!("{other:?}"),
+        }
+        // The lock holder itself is not "locked out".
+        match read(&mut s, txn(1), OBJ, vec![]) {
+            Msg::ReadResp { locked, .. } => assert!(!locked),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepare_lock_conflict_votes_no_and_rolls_back_partial_locks() {
+        let mut s = server();
+        assert!(matches!(
+            s.handle(
+                Msg::PrepareReq {
+                    txn: txn(1),
+                    req: 1,
+                    validate: vec![],
+                    writes: vec![(OBJ, 0)],
+                },
+                Instant::now()
+            ),
+            Some(Msg::PrepareResp { vote: true, .. })
+        ));
+        // txn 2 wants OBJ2 then OBJ: OBJ conflicts, OBJ2 must be released.
+        assert!(matches!(
+            s.handle(
+                Msg::PrepareReq {
+                    txn: txn(2),
+                    req: 2,
+                    validate: vec![],
+                    writes: vec![(OBJ2, 0), (OBJ, 0)],
+                },
+                Instant::now()
+            ),
+            Some(Msg::PrepareResp { vote: false, .. })
+        ));
+        // txn 3 can now lock OBJ2 — proof the partial lock was released.
+        assert!(matches!(
+            s.handle(
+                Msg::PrepareReq {
+                    txn: txn(3),
+                    req: 3,
+                    validate: vec![],
+                    writes: vec![(OBJ2, 0)],
+                },
+                Instant::now()
+            ),
+            Some(Msg::PrepareResp { vote: true, .. })
+        ));
+        assert_eq!(s.stats().prepare_rejects, 1);
+    }
+
+    #[test]
+    fn prepare_rejects_stale_validation() {
+        let mut s = server();
+        // Install version 2.
+        s.handle(
+            Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![], writes: vec![(OBJ, 0)] },
+            Instant::now(),
+        );
+        s.handle(
+            Msg::CommitReq { txn: txn(1), req: 2, writes: vec![(OBJ, 2, val(5))] },
+            Instant::now(),
+        );
+        // txn 2 read version 1 (stale).
+        match s
+            .handle(
+                Msg::PrepareReq {
+                    txn: txn(2),
+                    req: 3,
+                    validate: vec![(OBJ, 1)],
+                    writes: vec![(OBJ2, 0)],
+                },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::PrepareResp { vote, invalid, .. } => {
+                assert!(!vote);
+                assert_eq!(invalid, vec![OBJ]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // And its failed prepare released the OBJ2 lock.
+        assert!(matches!(
+            s.handle(
+                Msg::PrepareReq { txn: txn(3), req: 4, validate: vec![], writes: vec![(OBJ2, 0)] },
+                Instant::now()
+            ),
+            Some(Msg::PrepareResp { vote: true, .. })
+        ));
+    }
+
+    #[test]
+    fn abort_releases_locks() {
+        let mut s = server();
+        s.handle(
+            Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![], writes: vec![(OBJ, 0)] },
+            Instant::now(),
+        );
+        s.handle(Msg::AbortReq { txn: txn(1), req: 2 }, Instant::now());
+        assert!(matches!(
+            s.handle(
+                Msg::PrepareReq { txn: txn(2), req: 3, validate: vec![], writes: vec![(OBJ, 0)] },
+                Instant::now()
+            ),
+            Some(Msg::PrepareResp { vote: true, .. })
+        ));
+        assert_eq!(s.stats().aborts, 1);
+    }
+
+    #[test]
+    fn contention_query_reports_committed_writes() {
+        let mut s = Server::new(WindowConfig {
+            window: Duration::from_millis(1),
+        });
+        let t0 = Instant::now();
+        s.handle(
+            Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![], writes: vec![(OBJ, 0)] },
+            t0,
+        );
+        s.handle(
+            Msg::CommitReq { txn: txn(1), req: 2, writes: vec![(OBJ, 1, val(1))] },
+            t0,
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        match s
+            .handle(Msg::ContentionReq { req: 3, classes: vec![C.id, 99] }, Instant::now())
+            .unwrap()
+        {
+            Msg::ContentionResp { levels, .. } => {
+                assert_eq!(levels.len(), 2);
+                assert!(levels[0].1 > 0.0, "class C saw a write");
+                assert_eq!(levels[1].1, 0.0, "unknown class is cold");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn piggybacked_sample_rides_on_read_responses() {
+        let mut s = Server::new(WindowConfig {
+            window: Duration::from_millis(1),
+        });
+        let t0 = Instant::now();
+        s.handle(
+            Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![], writes: vec![(OBJ, 0)] },
+            t0,
+        );
+        s.handle(
+            Msg::CommitReq { txn: txn(1), req: 2, writes: vec![(OBJ, 1, val(1))] },
+            t0,
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        let resp = s
+            .handle(
+                Msg::ReadReq {
+                    txn: txn(2),
+                    req: 3,
+                    obj: OBJ2,
+                    validate: vec![],
+                    sample: vec![C.id, 77],
+                },
+                Instant::now(),
+            )
+            .unwrap();
+        match resp {
+            Msg::ReadResp { levels, .. } => {
+                assert_eq!(levels.len(), 2);
+                assert!(levels[0].1 > 0.0, "class C saw a committed write");
+                assert_eq!(levels[1].1, 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // An empty sample costs nothing on the wire.
+        match read(&mut s, txn(3), OBJ2, vec![]) {
+            Msg::ReadResp { levels, .. } => assert!(levels.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_only_prepare_validates_without_locking() {
+        let mut s = server();
+        match s
+            .handle(
+                Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![(OBJ, 0)], writes: vec![] },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::PrepareResp { vote, .. } => assert!(vote),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.store_mut().lock_holder(OBJ), None);
+    }
+}

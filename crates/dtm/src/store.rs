@@ -1,0 +1,190 @@
+//! A replica's object store.
+
+use crate::messages::{TxnId, Version};
+use acn_txir::{ObjectId, ObjectVal};
+use std::collections::HashMap;
+
+/// One replicated object as held by a server: the paper's per-object
+/// meta-data is the *version number* (used during validation) and the
+/// *protected* flag (here the id of the transaction holding the commit
+/// lock, so release is owner-checked).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionedObject {
+    /// Commit version (0 = never written).
+    pub version: Version,
+    /// The object payload.
+    pub value: ObjectVal,
+    /// `Some(txn)` while `txn` holds the commit lock ("protected is true").
+    pub protected: Option<TxnId>,
+}
+
+/// A server's full-replication object store. Objects materialise lazily:
+/// a never-written object reads as version 0 with a default value on every
+/// replica, which is also how the benchmarks "insert" rows (open a fresh
+/// id, populate, commit).
+#[derive(Debug, Default)]
+pub struct Store {
+    objects: HashMap<ObjectId, VersionedObject>,
+}
+
+impl Store {
+    /// An empty replica store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the replica's copy: `(version, value, protected-by)`.
+    pub fn read(&self, obj: ObjectId) -> (Version, ObjectVal, Option<TxnId>) {
+        match self.objects.get(&obj) {
+            Some(o) => (o.version, o.value.clone(), o.protected),
+            None => (0, ObjectVal::new(), None),
+        }
+    }
+
+    /// This replica's version of `obj` (0 if never written here).
+    pub fn version(&self, obj: ObjectId) -> Version {
+        self.objects.get(&obj).map(|o| o.version).unwrap_or(0)
+    }
+
+    /// Who protects `obj`, if anyone.
+    pub fn lock_holder(&self, obj: ObjectId) -> Option<TxnId> {
+        self.objects.get(&obj).and_then(|o| o.protected)
+    }
+
+    /// Try to protect `obj` for `txn`. Re-acquisition by the same holder
+    /// succeeds (idempotent prepare retries). Returns `false` on conflict.
+    pub fn try_lock(&mut self, obj: ObjectId, txn: TxnId) -> bool {
+        let entry = self.objects.entry(obj).or_default();
+        match entry.protected {
+            None => {
+                entry.protected = Some(txn);
+                true
+            }
+            Some(holder) => holder == txn,
+        }
+    }
+
+    /// Release `obj` if held by `txn`; foreign locks are left untouched.
+    pub fn unlock(&mut self, obj: ObjectId, txn: TxnId) {
+        if let Some(entry) = self.objects.get_mut(&obj) {
+            if entry.protected == Some(txn) {
+                entry.protected = None;
+            }
+        }
+    }
+
+    /// Apply a committed write: install `value` at `version` and release
+    /// `txn`'s lock. Versions only move forward — a replica that already
+    /// holds a newer copy (possible when a stale client commit races a
+    /// recovered replica) keeps it.
+    pub fn apply(&mut self, obj: ObjectId, version: Version, value: ObjectVal, txn: TxnId) {
+        let entry = self.objects.entry(obj).or_default();
+        if version > entry.version {
+            entry.version = version;
+            entry.value = value;
+        }
+        if entry.protected == Some(txn) {
+            entry.protected = None;
+        }
+    }
+
+    /// Number of objects this replica has materialised.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no object has materialised.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acn_simnet::NodeId;
+    use acn_txir::{FieldId, ObjClass, Value};
+
+    const C: ObjClass = ObjClass::new(0, "C");
+    const OBJ: ObjectId = ObjectId::new(C, 1);
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId {
+            client: NodeId(9),
+            seq,
+        }
+    }
+
+    fn val(v: i64) -> ObjectVal {
+        ObjectVal::from_fields([(FieldId(0), Value::Int(v))])
+    }
+
+    #[test]
+    fn unknown_object_reads_as_fresh() {
+        let s = Store::new();
+        let (ver, value, lock) = s.read(OBJ);
+        assert_eq!(ver, 0);
+        assert!(value.is_empty());
+        assert!(lock.is_none());
+        assert_eq!(s.version(OBJ), 0);
+    }
+
+    #[test]
+    fn apply_installs_and_unlocks() {
+        let mut s = Store::new();
+        assert!(s.try_lock(OBJ, txn(1)));
+        s.apply(OBJ, 1, val(10), txn(1));
+        let (ver, value, lock) = s.read(OBJ);
+        assert_eq!(ver, 1);
+        assert_eq!(value, val(10));
+        assert!(lock.is_none());
+    }
+
+    #[test]
+    fn lock_conflicts_are_detected() {
+        let mut s = Store::new();
+        assert!(s.try_lock(OBJ, txn(1)));
+        assert!(!s.try_lock(OBJ, txn(2)), "second holder must fail");
+        assert!(s.try_lock(OBJ, txn(1)), "re-acquisition is idempotent");
+        assert_eq!(s.lock_holder(OBJ), Some(txn(1)));
+    }
+
+    #[test]
+    fn unlock_is_owner_checked() {
+        let mut s = Store::new();
+        s.try_lock(OBJ, txn(1));
+        s.unlock(OBJ, txn(2)); // not the owner
+        assert_eq!(s.lock_holder(OBJ), Some(txn(1)));
+        s.unlock(OBJ, txn(1));
+        assert_eq!(s.lock_holder(OBJ), None);
+    }
+
+    #[test]
+    fn versions_never_regress() {
+        let mut s = Store::new();
+        s.apply(OBJ, 5, val(50), txn(1));
+        s.apply(OBJ, 3, val(30), txn(2)); // stale apply
+        let (ver, value, _) = s.read(OBJ);
+        assert_eq!(ver, 5);
+        assert_eq!(value, val(50));
+    }
+
+    #[test]
+    fn stale_apply_still_releases_own_lock() {
+        let mut s = Store::new();
+        s.apply(OBJ, 5, val(50), txn(1));
+        s.try_lock(OBJ, txn(2));
+        s.apply(OBJ, 3, val(30), txn(2));
+        assert_eq!(s.lock_holder(OBJ), None);
+        assert_eq!(s.version(OBJ), 5);
+    }
+
+    #[test]
+    fn len_counts_materialised_objects() {
+        let mut s = Store::new();
+        assert!(s.is_empty());
+        s.apply(OBJ, 1, val(1), txn(1));
+        s.apply(ObjectId::new(C, 2), 1, val(2), txn(1));
+        assert_eq!(s.len(), 2);
+    }
+}

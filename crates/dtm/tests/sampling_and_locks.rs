@@ -1,0 +1,152 @@
+//! Contention sampling transports and lock-out behaviour.
+
+use acn_dtm::{ClientConfig, Cluster, ClusterConfig, DtmError, Msg, TxnCtx, TxnId};
+use acn_simnet::NodeId;
+use acn_txir::{FieldId, ObjClass, ObjectId, Value};
+use std::time::Duration;
+
+const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+const BAL: FieldId = FieldId(0);
+
+fn seed(client: &mut acn_dtm::DtmClient, obj: ObjectId, value: i64) {
+    let mut ctx = TxnCtx::begin(client);
+    ctx.open(client, obj, true).unwrap();
+    ctx.set_field(obj, BAL, Value::Int(value));
+    ctx.commit(client).unwrap();
+}
+
+/// Piggybacked sampling rides on existing reads: after enabling it, the
+/// client learns contention levels without any `ContentionReq` round,
+/// i.e. with zero additional messages.
+#[test]
+fn piggyback_learns_levels_without_extra_messages() {
+    let mut cfg = ClusterConfig::test(4, 1);
+    cfg.window.window = Duration::from_millis(20);
+    let cluster = Cluster::start(cfg);
+    let mut client = cluster.client(0);
+    let hot = ObjectId::new(BRANCH, 1);
+    for i in 0..8 {
+        seed(&mut client, hot, i);
+    }
+    std::thread::sleep(Duration::from_millis(40));
+
+    client.set_piggyback_classes(vec![BRANCH.id]);
+    assert!(client.piggybacked_levels().is_empty(), "nothing sampled yet");
+
+    let sent_before = cluster.net().stats().sent;
+    // One ordinary read both does its job and carries the sample home.
+    let mut ctx = TxnCtx::begin(&mut client);
+    ctx.open(&mut client, hot, false).unwrap();
+    ctx.commit(&mut client).unwrap();
+    let sent_with_piggyback = cluster.net().stats().sent - sent_before;
+
+    let levels = client.piggybacked_levels().clone();
+    assert!(levels[&BRANCH.id] > 0.0, "sample should show branch writes");
+
+    // An explicit query costs a full extra scatter-gather round.
+    let sent_before = cluster.net().stats().sent;
+    let explicit = client.query_contention(&[BRANCH.id]).unwrap();
+    let sent_explicit = cluster.net().stats().sent - sent_before;
+    assert!(explicit[&BRANCH.id] > 0.0);
+    assert!(
+        sent_explicit > 0,
+        "explicit sampling costs messages ({sent_explicit})"
+    );
+    // The piggybacked read cost exactly what a plain read+commit costs —
+    // re-measure a plain read to compare.
+    client.set_piggyback_classes(vec![]);
+    let sent_before = cluster.net().stats().sent;
+    let mut ctx = TxnCtx::begin(&mut client);
+    ctx.open(&mut client, hot, false).unwrap();
+    ctx.commit(&mut client).unwrap();
+    let sent_plain = cluster.net().stats().sent - sent_before;
+    assert_eq!(
+        sent_with_piggyback, sent_plain,
+        "piggybacking must not add messages"
+    );
+    cluster.shutdown();
+}
+
+/// A reader that keeps hitting a `protected` object gives up with
+/// `LockedOut` after the configured retries: simulate a stalled committer
+/// by sending a bare `PrepareReq` to every server and never finishing the
+/// 2PC.
+#[test]
+fn reads_lock_out_behind_a_stalled_commit() {
+    let mut cfg = ClusterConfig::test(4, 2);
+    cfg.client_cfg = ClientConfig {
+        locked_retries: 3,
+        locked_backoff: Duration::from_micros(50),
+        ..ClientConfig::default()
+    };
+    let cluster = Cluster::start(cfg);
+    let obj = ObjectId::new(BRANCH, 7);
+
+    // A "zombie" coordinator: client slot 1's raw endpoint locks the
+    // object on every replica and stalls before phase 2.
+    let zombie = cluster.net().endpoint(NodeId(4 + 1));
+    let ztxn = TxnId {
+        client: NodeId(4 + 1),
+        seq: 0,
+    };
+    for rank in 0..4u32 {
+        zombie.send(
+            NodeId(rank),
+            Msg::PrepareReq {
+                txn: ztxn,
+                req: 1,
+                validate: vec![],
+                writes: vec![(obj, 0)],
+            },
+        );
+    }
+    // Drain the votes so they don't linger.
+    for _ in 0..4 {
+        let _ = zombie.recv_timeout(Duration::from_millis(200));
+    }
+
+    let mut reader = cluster.client(0);
+    let mut ctx = TxnCtx::begin(&mut reader);
+    match ctx.open(&mut reader, obj, false) {
+        Err(DtmError::LockedOut { obj: o }) => assert_eq!(o, obj),
+        other => panic!("expected LockedOut, got {other:?}"),
+    }
+    assert!(reader.stats().locked_read_retries >= 3);
+
+    // The zombie aborts; reads flow again.
+    for rank in 0..4u32 {
+        zombie.send(NodeId(rank), Msg::AbortReq { txn: ztxn, req: 2 });
+    }
+    for _ in 0..4 {
+        let _ = zombie.recv_timeout(Duration::from_millis(200));
+    }
+    let mut ctx = TxnCtx::begin(&mut reader);
+    ctx.open(&mut reader, obj, false).unwrap();
+    ctx.commit(&mut reader).unwrap();
+    cluster.shutdown();
+}
+
+/// Contention windows rotate: a burst of writes shows up in the next
+/// window's levels and fades once traffic stops.
+#[test]
+fn contention_levels_rise_and_fade() {
+    let mut cfg = ClusterConfig::test(4, 1);
+    cfg.window.window = Duration::from_millis(25);
+    let cluster = Cluster::start(cfg);
+    let mut client = cluster.client(0);
+    let hot = ObjectId::new(BRANCH, 1);
+    for i in 0..10 {
+        seed(&mut client, hot, i);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let levels = client.query_contention(&[BRANCH.id]).unwrap();
+    assert!(levels[&BRANCH.id] > 0.0, "burst must register");
+
+    // Two idle windows later the class is cold again.
+    std::thread::sleep(Duration::from_millis(80));
+    let _ = client.query_contention(&[BRANCH.id]).unwrap(); // forces rotation
+    std::thread::sleep(Duration::from_millis(40));
+    let levels = client.query_contention(&[BRANCH.id]).unwrap();
+    assert_eq!(levels[&BRANCH.id], 0.0, "idle class must fade");
+    cluster.shutdown();
+}

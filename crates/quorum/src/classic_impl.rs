@@ -1,0 +1,182 @@
+//! Classic recursive Agrawal–El Abbadi tree quorums.
+//!
+//! * A **read quorum** for a subtree is its root if alive, otherwise the
+//!   union of read quorums of a majority of its children.
+//! * A **write quorum** for a subtree is its root **plus** write quorums of
+//!   a majority of its children, recursively to the leaves; a dead node on
+//!   the required path makes writes unavailable for that subtree.
+//!
+//! The DTM uses the level-majority variant ([`crate::LevelQuorums`]); this
+//! module exists for protocol comparison (the original protocol degrades
+//! read quorum size gracefully as nodes fail) and to cross-check the
+//! intersection property in tests.
+
+use crate::tree::{majority, DaryTree};
+
+/// Classic tree read quorum, or `None` if unavailable.
+pub fn read_quorum(tree: &DaryTree, alive: &dyn Fn(usize) -> bool) -> Option<Vec<usize>> {
+    let mut out = read_subtree(tree, 0, alive)?;
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+fn read_subtree(tree: &DaryTree, root: usize, alive: &dyn Fn(usize) -> bool) -> Option<Vec<usize>> {
+    if alive(root) {
+        return Some(vec![root]);
+    }
+    let children: Vec<usize> = tree.children(root).collect();
+    if children.is_empty() {
+        return None; // dead leaf
+    }
+    let need = majority(children.len());
+    let mut out = Vec::new();
+    let mut got = 0;
+    for c in children {
+        if let Some(sub) = read_subtree(tree, c, alive) {
+            out.extend(sub);
+            got += 1;
+            if got == need {
+                return Some(out);
+            }
+        }
+    }
+    None
+}
+
+/// Classic tree write quorum, or `None` if unavailable.
+pub fn write_quorum(tree: &DaryTree, alive: &dyn Fn(usize) -> bool) -> Option<Vec<usize>> {
+    let mut out = write_subtree(tree, 0, alive)?;
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+fn write_subtree(
+    tree: &DaryTree,
+    root: usize,
+    alive: &dyn Fn(usize) -> bool,
+) -> Option<Vec<usize>> {
+    if !alive(root) {
+        return None;
+    }
+    let children: Vec<usize> = tree.children(root).collect();
+    let mut out = vec![root];
+    if children.is_empty() {
+        return Some(out);
+    }
+    let need = majority(children.len());
+    let mut got = 0;
+    for c in children {
+        if let Some(sub) = write_subtree(tree, c, alive) {
+            out.extend(sub);
+            got += 1;
+            if got == need {
+                return Some(out);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersects;
+
+    fn all_alive(_: usize) -> bool {
+        true
+    }
+
+    #[test]
+    fn healthy_tree_reads_from_root_only() {
+        let t = DaryTree::ternary(13);
+        assert_eq!(read_quorum(&t, &all_alive).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn root_failure_degrades_read_to_children() {
+        let t = DaryTree::ternary(13);
+        let alive = |r: usize| r != 0;
+        let q = read_quorum(&t, &alive).unwrap();
+        // Majority (2 of 3) of the root's children.
+        assert_eq!(q.len(), 2);
+        assert!(q.iter().all(|&r| (1..4).contains(&r)));
+    }
+
+    #[test]
+    fn cascading_failures_descend_further() {
+        let t = DaryTree::ternary(13);
+        // Root and child 1 dead: quorum uses majority of child 1's children
+        // plus one other level-1 node (or two other level-1 nodes).
+        let alive = |r: usize| r != 0 && r != 1;
+        let q = read_quorum(&t, &alive).unwrap();
+        assert!(q.iter().all(|&r| alive(r)));
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn write_includes_root_and_majorities() {
+        let t = DaryTree::ternary(13);
+        let q = write_quorum(&t, &all_alive).unwrap();
+        assert!(q.contains(&0), "write quorum always contains the root");
+        // Root + 2 children + 2 grandchildren each = 1 + 2 + 4 = 7.
+        assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn write_unavailable_without_root() {
+        let t = DaryTree::ternary(13);
+        let alive = |r: usize| r != 0;
+        assert!(write_quorum(&t, &alive).is_none());
+    }
+
+    #[test]
+    fn read_write_intersection_under_failures() {
+        let t = DaryTree::ternary(13);
+        // Any failure set under which BOTH quorums exist must intersect,
+        // provided writes succeeded before the read's failures. Classic
+        // protocol guarantees R ∩ W ≠ ∅ for quorums over the same failure
+        // view; exhaustively test single and double failures.
+        let n = 13;
+        for f1 in 0..n {
+            for f2 in 0..n {
+                let alive = |r: usize| r != f1 && r != f2;
+                if let (Some(r), Some(w)) = (read_quorum(&t, &alive), write_quorum(&t, &alive)) {
+                    assert!(intersects(&r, &w), "f1={f1} f2={f2} r={r:?} w={w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_writes_always_intersect() {
+        let t = DaryTree::ternary(13);
+        for f in 0..13 {
+            let alive_a = |r: usize| r != f;
+            let alive_b = all_alive;
+            if let (Some(a), Some(b)) = (write_quorum(&t, &alive_a), write_quorum(&t, &alive_b)) {
+                assert!(intersects(&a, &b), "f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = DaryTree::ternary(1);
+        assert_eq!(read_quorum(&t, &all_alive).unwrap(), vec![0]);
+        assert_eq!(write_quorum(&t, &all_alive).unwrap(), vec![0]);
+        let dead = |_: usize| false;
+        assert!(read_quorum(&t, &dead).is_none());
+        assert!(write_quorum(&t, &dead).is_none());
+    }
+
+    #[test]
+    fn all_leaves_dead_still_reads_from_root() {
+        let t = DaryTree::ternary(13);
+        let alive = |r: usize| r < 4;
+        assert_eq!(read_quorum(&t, &alive).unwrap(), vec![0]);
+        // Writes need leaf majorities under each selected child ⇒ unavailable.
+        assert!(write_quorum(&t, &alive).is_none());
+    }
+}

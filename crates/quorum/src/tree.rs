@@ -1,0 +1,202 @@
+//! The logical d-ary tree over server ranks.
+
+/// A complete d-ary tree laid out breadth-first over ranks `0..n`.
+///
+/// Rank 0 is the root; the children of rank `i` are
+/// `arity*i + 1 ..= arity*i + arity` (those below `n`). QR-DTM uses a
+/// ternary tree (`arity == 3`); other arities are supported for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaryTree {
+    n: usize,
+    arity: usize,
+}
+
+impl DaryTree {
+    /// Create a tree over `n` ranks with the given arity.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `arity == 0`.
+    pub fn new(n: usize, arity: usize) -> Self {
+        assert!(n > 0, "tree needs at least one node");
+        assert!(arity > 0, "arity must be positive");
+        DaryTree { n, arity }
+    }
+
+    /// The ternary tree the paper uses.
+    pub fn ternary(n: usize) -> Self {
+        Self::new(n, 3)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the tree has exactly one node.
+    pub fn is_empty(&self) -> bool {
+        false // n > 0 is an invariant; method exists to satisfy len/is_empty pairing
+    }
+
+    /// Tree arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Parent of `rank`, or `None` for the root.
+    pub fn parent(&self, rank: usize) -> Option<usize> {
+        debug_assert!(rank < self.n);
+        if rank == 0 {
+            None
+        } else {
+            Some((rank - 1) / self.arity)
+        }
+    }
+
+    /// Children of `rank` that exist in the tree.
+    pub fn children(&self, rank: usize) -> impl Iterator<Item = usize> + '_ {
+        debug_assert!(rank < self.n);
+        let first = self.arity * rank + 1;
+        (first..first + self.arity).take_while(move |&c| c < self.n)
+    }
+
+    /// Depth of `rank` (root is level 0).
+    pub fn level_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.n);
+        // Level ℓ starts at (arity^ℓ - 1)/(arity - 1) for arity > 1.
+        if self.arity == 1 {
+            return rank;
+        }
+        let mut level = 0;
+        let mut level_start = 0usize;
+        let mut level_size = 1usize;
+        loop {
+            if rank < level_start + level_size {
+                return level;
+            }
+            level_start += level_size;
+            level_size *= self.arity;
+            level += 1;
+        }
+    }
+
+    /// Number of levels in the tree.
+    pub fn depth(&self) -> usize {
+        self.level_of(self.n - 1) + 1
+    }
+
+    /// Ranks grouped by level, shallowest first.
+    pub fn levels(&self) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); self.depth()];
+        if self.arity == 1 {
+            for r in 0..self.n {
+                out[r].push(r);
+            }
+            return out;
+        }
+        let mut level_start = 0usize;
+        let mut level_size = 1usize;
+        for lvl in out.iter_mut() {
+            let end = (level_start + level_size).min(self.n);
+            lvl.extend(level_start..end);
+            level_start += level_size;
+            level_size *= self.arity;
+        }
+        out
+    }
+}
+
+/// Majority count for a group of `k` members: `⌊k/2⌋ + 1`.
+pub(crate) fn majority(k: usize) -> usize {
+    k / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_ten_matches_paper_testbed() {
+        // 10 servers: root, 3 children, 6 grandchildren.
+        let t = DaryTree::ternary(10);
+        let levels = t.levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![0]);
+        assert_eq!(levels[1], vec![1, 2, 3]);
+        assert_eq!(levels[2], vec![4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn parent_child_are_inverse() {
+        let t = DaryTree::ternary(40);
+        for r in 0..40 {
+            for c in t.children(r) {
+                assert_eq!(t.parent(c), Some(r), "child {c} of {r}");
+            }
+        }
+        assert_eq!(t.parent(0), None);
+    }
+
+    #[test]
+    fn level_of_is_consistent_with_levels() {
+        for n in [1, 2, 3, 4, 5, 10, 13, 27, 100] {
+            let t = DaryTree::ternary(n);
+            for (lvl, ranks) in t.levels().into_iter().enumerate() {
+                for r in ranks {
+                    assert_eq!(t.level_of(r), lvl, "n={n} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_partition_all_ranks() {
+        for n in [1, 2, 7, 10, 31] {
+            let t = DaryTree::ternary(n);
+            let mut all: Vec<usize> = t.levels().into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn binary_tree_levels() {
+        let t = DaryTree::new(7, 2);
+        assert_eq!(
+            t.levels(),
+            vec![vec![0], vec![1, 2], vec![3, 4, 5, 6]]
+        );
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn unary_tree_is_a_chain() {
+        let t = DaryTree::new(4, 1);
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.level_of(3), 3);
+        assert_eq!(t.parent(3), Some(2));
+        assert_eq!(t.children(1).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = DaryTree::ternary(1);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.children(0).count(), 0);
+        assert_eq!(t.levels(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn majority_counts() {
+        assert_eq!(majority(1), 1);
+        assert_eq!(majority(2), 2);
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(4), 3);
+        assert_eq!(majority(6), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = DaryTree::ternary(0);
+    }
+}

@@ -1,0 +1,82 @@
+//! In-flight message representation.
+
+use crate::node::NodeId;
+use std::cmp::Ordering;
+use std::time::Instant;
+
+/// A message in flight: payload plus routing and timing metadata.
+///
+/// Envelopes are ordered by delivery time (earliest first) with the send
+/// sequence number as a tie-breaker so that two messages with identical
+/// delivery instants are received in send order — this keeps zero-latency
+/// test runs perfectly FIFO.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sender node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Earliest instant at which the destination may observe the message.
+    pub deliver_at: Instant,
+    /// Global send sequence number (tie-breaker for equal `deliver_at`).
+    pub seq: u64,
+    /// The payload.
+    pub payload: M,
+}
+
+impl<M> PartialEq for Envelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Envelope<M> {}
+
+impl<M> PartialOrd for Envelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Envelope<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Earliest delivery first; BinaryHeap is a max-heap so the inbox
+        // wraps envelopes in `Reverse`.
+        self.deliver_at
+            .cmp(&other.deliver_at)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn env(at: Instant, seq: u64) -> Envelope<u32> {
+        Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            deliver_at: at,
+            seq,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn orders_by_delivery_time() {
+        let now = Instant::now();
+        let early = env(now, 5);
+        let late = env(now + Duration::from_micros(10), 1);
+        assert!(early < late, "earlier delivery must sort first");
+    }
+
+    #[test]
+    fn ties_break_by_sequence() {
+        let now = Instant::now();
+        let first = env(now, 1);
+        let second = env(now, 2);
+        assert!(first < second);
+        assert_eq!(first, env(now, 1));
+    }
+}

@@ -1,0 +1,78 @@
+//! Node failure injection.
+
+use crate::node::NodeId;
+use parking_lot::RwLock;
+use std::collections::HashSet;
+
+/// Shared record of which nodes are currently failed.
+///
+/// A failed node neither receives new messages (they are dropped at the
+/// sender, as on a real network where the host is unreachable) nor should it
+/// keep servicing requests — server loops consult [`FaultTable::is_failed`]
+/// between messages. Recovery makes the node reachable again; the DTM layer
+/// is quorum-replicated, so a recovered server simply resumes with whatever
+/// (possibly stale) state it holds and the version numbers reconcile reads.
+#[derive(Default)]
+pub struct FaultTable {
+    failed: RwLock<HashSet<NodeId>>,
+}
+
+impl FaultTable {
+    /// An empty table (all nodes alive).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark `node` as failed. Returns `true` if it was previously alive.
+    pub fn fail(&self, node: NodeId) -> bool {
+        self.failed.write().insert(node)
+    }
+
+    /// Mark `node` as recovered. Returns `true` if it was previously failed.
+    pub fn recover(&self, node: NodeId) -> bool {
+        self.failed.write().remove(&node)
+    }
+
+    /// Is `node` currently failed?
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.read().contains(&node)
+    }
+
+    /// Number of currently failed nodes.
+    pub fn failed_count(&self) -> usize {
+        self.failed.read().len()
+    }
+
+    /// Snapshot of the failed set, for quorum construction.
+    pub fn failed_set(&self) -> HashSet<NodeId> {
+        self.failed.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_and_recover_round_trip() {
+        let t = FaultTable::new();
+        assert!(!t.is_failed(NodeId(3)));
+        assert!(t.fail(NodeId(3)));
+        assert!(t.is_failed(NodeId(3)));
+        assert!(!t.fail(NodeId(3)), "double-fail reports already failed");
+        assert_eq!(t.failed_count(), 1);
+        assert!(t.recover(NodeId(3)));
+        assert!(!t.is_failed(NodeId(3)));
+        assert!(!t.recover(NodeId(3)), "double-recover reports not failed");
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let t = FaultTable::new();
+        t.fail(NodeId(1));
+        let snap = t.failed_set();
+        t.fail(NodeId(2));
+        assert!(snap.contains(&NodeId(1)));
+        assert!(!snap.contains(&NodeId(2)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-node inbox: a delay queue ordered by delivery instant.
+
+use crate::envelope::Envelope;
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Why a receive returned without a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message became deliverable before the deadline.
+    Timeout,
+    /// The network was shut down (all endpoints dropped / closed).
+    Closed,
+}
+
+struct State<M> {
+    heap: BinaryHeap<Reverse<Envelope<M>>>,
+    closed: bool,
+}
+
+/// A node's inbox. Messages become visible only once their `deliver_at`
+/// instant has passed, which is how network latency is realised: the
+/// receiving thread sleeps on a condvar until the earliest message matures.
+pub(crate) struct Inbox<M> {
+    state: Mutex<State<M>>,
+    cond: Condvar,
+}
+
+impl<M> Inbox<M> {
+    pub(crate) fn new() -> Self {
+        Inbox {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a message. Returns `false` when the inbox is closed (the
+    /// message vanishes, like traffic to a dead host).
+    pub(crate) fn push(&self, env: Envelope<M>) -> bool {
+        let mut st = self.state.lock();
+        if st.closed {
+            return false;
+        }
+        st.heap.push(Reverse(env));
+        // Wake the receiver: even if the new message is not yet mature it
+        // may be earlier than what the receiver is currently waiting for.
+        self.cond.notify_one();
+        true
+    }
+
+    pub(crate) fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        st.heap.clear();
+        self.cond.notify_all();
+    }
+
+    /// Drop all queued messages without closing (used by fault injection so
+    /// a "crashed" node loses its in-flight traffic).
+    pub(crate) fn drain(&self) -> usize {
+        let mut st = self.state.lock();
+        let n = st.heap.len();
+        st.heap.clear();
+        n
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().heap.len()
+    }
+
+    /// Block until a message matures or `deadline` passes.
+    pub(crate) fn recv_deadline(&self, deadline: Instant) -> Result<Envelope<M>, RecvError> {
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(RecvError::Closed);
+            }
+            let now = Instant::now();
+            // Earliest message, if any.
+            let next_at = st.heap.peek().map(|Reverse(e)| e.deliver_at);
+            match next_at {
+                Some(at) if at <= now => {
+                    let Reverse(env) = st.heap.pop().expect("peeked");
+                    return Ok(env);
+                }
+                Some(at) => {
+                    let wake = at.min(deadline);
+                    if wake <= now {
+                        return Err(RecvError::Timeout);
+                    }
+                    self.cond.wait_until(&mut st, wake);
+                }
+                None => {
+                    if deadline <= now {
+                        return Err(RecvError::Timeout);
+                    }
+                    self.cond.wait_until(&mut st, deadline);
+                }
+            }
+            if Instant::now() >= deadline
+                && !matches!(st.heap.peek(), Some(Reverse(e)) if e.deliver_at <= Instant::now())
+            {
+                return Err(RecvError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking receive of a mature message.
+    pub(crate) fn try_recv(&self) -> Option<Envelope<M>> {
+        let mut st = self.state.lock();
+        let now = Instant::now();
+        match st.heap.peek() {
+            Some(Reverse(e)) if e.deliver_at <= now => {
+                let Reverse(env) = st.heap.pop().expect("peeked");
+                Some(env)
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvError> {
+        self.recv_deadline(Instant::now() + timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn env(payload: u32, delay: Duration, seq: u64) -> Envelope<u32> {
+        Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            deliver_at: Instant::now() + delay,
+            seq,
+            payload,
+        }
+    }
+
+    #[test]
+    fn immediate_message_is_received() {
+        let inbox = Inbox::new();
+        inbox.push(env(42, Duration::ZERO, 0));
+        let got = inbox.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(got.payload, 42);
+    }
+
+    #[test]
+    fn empty_inbox_times_out() {
+        let inbox: Inbox<u32> = Inbox::new();
+        let err = inbox.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, RecvError::Timeout);
+    }
+
+    #[test]
+    fn delayed_message_waits_for_maturity() {
+        let inbox = Inbox::new();
+        let delay = Duration::from_millis(20);
+        inbox.push(env(1, delay, 0));
+        assert!(inbox.try_recv().is_none(), "message must not be early");
+        let start = Instant::now();
+        let got = inbox.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(got.payload, 1);
+        assert!(
+            start.elapsed() >= delay - Duration::from_millis(1),
+            "delivered after only {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn shorter_latency_overtakes() {
+        let inbox = Inbox::new();
+        inbox.push(env(1, Duration::from_millis(50), 0));
+        inbox.push(env(2, Duration::from_millis(5), 1));
+        let first = inbox.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(first.payload, 2, "low-latency message should overtake");
+        let second = inbox.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(second.payload, 1);
+    }
+
+    #[test]
+    fn equal_instants_delivered_in_send_order() {
+        let inbox = Inbox::new();
+        let at = Instant::now();
+        for seq in 0..10u64 {
+            inbox.push(Envelope {
+                src: NodeId(0),
+                dst: NodeId(1),
+                deliver_at: at,
+                seq,
+                payload: seq as u32,
+            });
+        }
+        for expect in 0..10u32 {
+            let got = inbox.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(got.payload, expect);
+        }
+    }
+
+    #[test]
+    fn close_unblocks_receiver() {
+        let inbox: std::sync::Arc<Inbox<u32>> = std::sync::Arc::new(Inbox::new());
+        let i2 = inbox.clone();
+        let h = std::thread::spawn(move || i2.recv_timeout(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(10));
+        inbox.close();
+        assert_eq!(h.join().unwrap().unwrap_err(), RecvError::Closed);
+    }
+
+    #[test]
+    fn push_after_close_is_dropped() {
+        let inbox = Inbox::new();
+        inbox.close();
+        inbox.push(env(1, Duration::ZERO, 0));
+        assert_eq!(inbox.len(), 0);
+    }
+
+    #[test]
+    fn drain_discards_pending() {
+        let inbox = Inbox::new();
+        inbox.push(env(1, Duration::ZERO, 0));
+        inbox.push(env(2, Duration::ZERO, 1));
+        assert_eq!(inbox.drain(), 2);
+        assert!(inbox.try_recv().is_none());
+    }
+}

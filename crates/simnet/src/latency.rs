@@ -1,0 +1,134 @@
+//! Per-message latency models.
+
+use rand::Rng;
+use std::time::Duration;
+
+/// How long a message takes to cross the network.
+///
+/// The paper's test-bed is a 1 Gbps switched LAN where a remote object fetch
+/// costs a sub-millisecond round trip that nonetheless dominates transaction
+/// execution time. We reproduce that cost structure at laptop scale:
+/// benchmarks typically use `Uniform` with a few tens to hundreds of
+/// microseconds of one-way latency, and the experiment time windows are
+/// scaled down proportionally (paper 10 s windows → 100–500 ms here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Instant delivery. Used by unit tests that need determinism.
+    Zero,
+    /// Fixed one-way latency for every message.
+    Constant(Duration),
+    /// One-way latency sampled uniformly from `[min, max]` per message.
+    Uniform {
+        /// Minimum one-way latency.
+        min: Duration,
+        /// Maximum one-way latency.
+        max: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// A LAN-like default: 50–150 µs one-way, jittered per message.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            min: Duration::from_micros(50),
+            max: Duration::from_micros(150),
+        }
+    }
+
+    /// Sample the one-way latency for a single message.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        match *self {
+            LatencyModel::Zero => Duration::ZERO,
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                if max <= min {
+                    return min;
+                }
+                let span = (max - min).as_nanos() as u64;
+                min + Duration::from_nanos(rng.gen_range(0..=span))
+            }
+        }
+    }
+
+    /// Upper bound of the model, used to size RPC timeouts.
+    pub fn max_latency(&self) -> Duration {
+        match *self {
+            LatencyModel::Zero => Duration::ZERO,
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { max, .. } => max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_samples_zero() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(LatencyModel::Zero.sample(&mut rng), Duration::ZERO);
+        assert_eq!(LatencyModel::Zero.max_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn constant_samples_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let d = Duration::from_micros(75);
+        assert_eq!(LatencyModel::Constant(d).sample(&mut rng), d);
+        assert_eq!(LatencyModel::Constant(d).max_latency(), d);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let min = Duration::from_micros(10);
+        let max = Duration::from_micros(90);
+        let m = LatencyModel::Uniform { min, max };
+        for _ in 0..1000 {
+            let s = m.sample(&mut rng);
+            assert!(s >= min && s <= max, "sample {s:?} out of range");
+        }
+        assert_eq!(m.max_latency(), max);
+    }
+
+    #[test]
+    fn uniform_degenerate_range_returns_min() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let d = Duration::from_micros(30);
+        let m = LatencyModel::Uniform { min: d, max: d };
+        assert_eq!(m.sample(&mut rng), d);
+    }
+
+    #[test]
+    fn uniform_covers_span() {
+        // With 1000 samples over a 100 µs span we should see both halves.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = LatencyModel::Uniform {
+            min: Duration::ZERO,
+            max: Duration::from_micros(100),
+        };
+        let mid = Duration::from_micros(50);
+        let (mut low, mut high) = (0u32, 0u32);
+        for _ in 0..1000 {
+            if m.sample(&mut rng) < mid {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        assert!(low > 300 && high > 300, "low={low} high={high}");
+    }
+
+    #[test]
+    fn lan_preset_is_jittered_lanlike() {
+        match LatencyModel::lan() {
+            LatencyModel::Uniform { min, max } => {
+                assert!(min < max);
+                assert!(max <= Duration::from_millis(1));
+            }
+            other => panic!("unexpected preset {other:?}"),
+        }
+    }
+}

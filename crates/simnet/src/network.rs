@@ -1,0 +1,332 @@
+//! The network object and per-node endpoints.
+
+use crate::envelope::Envelope;
+use crate::fault::FaultTable;
+use crate::inbox::{Inbox, RecvError};
+use crate::latency::LatencyModel;
+use crate::node::NodeId;
+use crate::stats::NetStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Shared<M> {
+    inboxes: Vec<Inbox<M>>,
+    latency: LatencyModel,
+    faults: FaultTable,
+    stats: NetStats,
+    seq: AtomicU64,
+}
+
+/// A simulated message-passing network with a fixed set of nodes.
+///
+/// `Network` is cheap to clone (it is an `Arc` handle). Each logical node
+/// obtains an [`Endpoint`] for sending and receiving. Message payloads are
+/// the caller's own type `M`; the DTM layer instantiates this with its
+/// protocol message enum.
+pub struct Network<M> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Create a network with `nodes` addressable nodes and the given
+    /// latency model.
+    pub fn new(nodes: usize, latency: LatencyModel) -> Self {
+        let inboxes = (0..nodes).map(|_| Inbox::new()).collect();
+        Network {
+            shared: Arc::new(Shared {
+                inboxes,
+                latency,
+                faults: FaultTable::new(),
+                stats: NetStats::default(),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.shared.inboxes.len()
+    }
+
+    /// Obtain the endpoint for `node`. Multiple endpoints for the same node
+    /// may coexist (e.g., a sender handle cloned into another thread), but
+    /// only one thread should call the receive methods for a given node.
+    pub fn endpoint(&self, node: NodeId) -> Endpoint<M> {
+        assert!(
+            node.index() < self.shared.inboxes.len(),
+            "node {node} out of range ({} nodes)",
+            self.shared.inboxes.len()
+        );
+        Endpoint {
+            id: node,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Fault-injection handle: mark a node failed. In-flight and future
+    /// messages to it are dropped until [`Network::recover`].
+    pub fn fail(&self, node: NodeId) {
+        self.shared.faults.fail(node);
+        self.shared.inboxes[node.index()].drain();
+    }
+
+    /// Recover a previously failed node.
+    pub fn recover(&self, node: NodeId) {
+        self.shared.faults.recover(node);
+    }
+
+    /// Is `node` currently failed?
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.shared.faults.is_failed(node)
+    }
+
+    /// Snapshot of the failed-node set.
+    pub fn failed_set(&self) -> std::collections::HashSet<NodeId> {
+        self.shared.faults.failed_set()
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> crate::stats::NetStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Close every inbox, unblocking all receivers with [`RecvError::Closed`].
+    pub fn shutdown(&self) {
+        for inbox in &self.shared.inboxes {
+            inbox.close();
+        }
+    }
+}
+
+/// A node's connection to the network.
+pub struct Endpoint<M> {
+    id: NodeId,
+    shared: Arc<Shared<M>>,
+}
+
+impl<M> Clone for Endpoint<M> {
+    fn clone(&self) -> Self {
+        Endpoint {
+            id: self.id,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// The node this endpoint belongs to.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Send `payload` to `to`. The message is delayed by a latency sample
+    /// and dropped if the destination is failed. Sending from a failed node
+    /// is also suppressed (a crashed host emits nothing).
+    pub fn send(&self, to: NodeId, payload: M) {
+        self.shared.stats.record_sent();
+        if self.shared.faults.is_failed(self.id) || self.shared.faults.is_failed(to) {
+            self.shared.stats.record_dropped_failed();
+            return;
+        }
+        let delay = self.shared.latency.sample(&mut rand::thread_rng());
+        let env = Envelope {
+            src: self.id,
+            dst: to,
+            deliver_at: Instant::now() + delay,
+            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            payload,
+        };
+        let inbox = &self.shared.inboxes[to.index()];
+        if inbox.push(env) {
+            self.shared.stats.record_delivered();
+        } else {
+            self.shared.stats.record_dropped_closed();
+        }
+    }
+
+    /// Blocking receive with a timeout. Returns the sender and payload.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, M), RecvError> {
+        self.shared.inboxes[self.id.index()]
+            .recv_timeout(timeout)
+            .map(|e| (e.src, e.payload))
+    }
+
+    /// Blocking receive with an absolute deadline.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<(NodeId, M), RecvError> {
+        self.shared.inboxes[self.id.index()]
+            .recv_deadline(deadline)
+            .map(|e| (e.src, e.payload))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(NodeId, M)> {
+        self.shared.inboxes[self.id.index()]
+            .try_recv()
+            .map(|e| (e.src, e.payload))
+    }
+
+    /// Number of queued (possibly not yet mature) messages.
+    pub fn pending(&self) -> usize {
+        self.shared.inboxes[self.id.index()].len()
+    }
+
+    /// Is this endpoint's own node failed?
+    pub fn is_failed(&self) -> bool {
+        self.shared.faults.is_failed(self.id)
+    }
+
+    /// Upper-bound one-way latency of the network's model (for timeouts).
+    pub fn max_latency(&self) -> Duration {
+        self.shared.latency.max_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net: Network<u32> = Network::new(3, LatencyModel::Zero);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), 99);
+        let (src, v) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((src, v), (NodeId(0), 99));
+    }
+
+    #[test]
+    fn fifo_under_zero_latency() {
+        let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        for i in 0..100 {
+            a.send(NodeId(1), i);
+        }
+        for i in 0..100 {
+            let (_, v) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net: Network<u32> = Network::new(2, LatencyModel::Constant(Duration::from_millis(15)));
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        let start = Instant::now();
+        a.send(NodeId(1), 1);
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(14));
+    }
+
+    #[test]
+    fn messages_to_failed_node_are_dropped() {
+        let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        net.fail(NodeId(1));
+        a.send(NodeId(1), 7);
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvError::Timeout
+        );
+        net.recover(NodeId(1));
+        a.send(NodeId(1), 8);
+        let (_, v) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(v, 8);
+    }
+
+    #[test]
+    fn failing_a_node_drops_inflight_messages() {
+        let net: Network<u32> =
+            Network::new(2, LatencyModel::Constant(Duration::from_millis(50)));
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), 1); // in flight for 50 ms
+        net.fail(NodeId(1));
+        net.recover(NodeId(1));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(80)).unwrap_err(),
+            RecvError::Timeout,
+            "in-flight message should have been lost with the crash"
+        );
+    }
+
+    #[test]
+    fn failed_sender_emits_nothing() {
+        let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        net.fail(NodeId(0));
+        a.send(NodeId(1), 1);
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+
+    #[test]
+    fn shutdown_unblocks_receivers() {
+        let net: Network<u32> = Network::new(1, LatencyModel::Zero);
+        let e = net.endpoint(NodeId(0));
+        let n2 = net.clone();
+        let h = std::thread::spawn(move || e.recv_timeout(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(10));
+        n2.shutdown();
+        assert_eq!(h.join().unwrap().unwrap_err(), RecvError::Closed);
+    }
+
+    #[test]
+    fn stats_track_sends_and_drops() {
+        let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+        let a = net.endpoint(NodeId(0));
+        a.send(NodeId(1), 1);
+        net.fail(NodeId(1));
+        a.send(NodeId(1), 2);
+        let s = net.stats();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.dropped_failed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn endpoint_out_of_range_panics() {
+        let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+        let _ = net.endpoint(NodeId(5));
+    }
+
+    #[test]
+    fn concurrent_senders_all_delivered() {
+        let net: Network<u64> = Network::new(5, LatencyModel::lan());
+        let rx = net.endpoint(NodeId(4));
+        let mut handles = Vec::new();
+        for n in 0..4u32 {
+            let ep = net.endpoint(NodeId(n));
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    ep.send(NodeId(4), u64::from(n) * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let (_, v) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert!(got.insert(v), "duplicate delivery of {v}");
+        }
+        assert_eq!(got.len(), 200);
+    }
+}

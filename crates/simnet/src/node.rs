@@ -1,0 +1,70 @@
+//! Node identity.
+
+use std::fmt;
+
+/// Identity of a logical node in the simulated network.
+///
+/// Nodes are numbered densely from zero; the network is created with a fixed
+/// node count and every id below that count is valid. The DTM layer assigns
+/// the first `S` ids to quorum servers and the rest to clients, mirroring
+/// the paper's test-bed split (10 servers, up to 20 clients).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Numeric index of the node (usable directly as a `Vec` index).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(NodeId::from(7usize), NodeId(7));
+        assert_eq!(NodeId::from(7u32), NodeId(7));
+    }
+
+    #[test]
+    fn display_and_debug_are_compact() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_order() {
+        assert!(NodeId(1) < NodeId(2));
+        let mut v = vec![NodeId(5), NodeId(1), NodeId(3)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Network delivery statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for the whole network. All counters are monotonically
+/// increasing; consumers take [`NetStats::snapshot`]s and difference them
+/// per measurement interval.
+#[derive(Default)]
+pub struct NetStats {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped_failed: AtomicU64,
+    dropped_closed: AtomicU64,
+}
+
+/// A point-in-time copy of the network counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStatsSnapshot {
+    /// Messages handed to the network by senders.
+    pub sent: u64,
+    /// Messages enqueued on a live destination inbox.
+    pub delivered: u64,
+    /// Messages dropped because the destination was failed.
+    pub dropped_failed: u64,
+    /// Messages dropped because the destination inbox was closed.
+    pub dropped_closed: u64,
+}
+
+impl NetStats {
+    pub(crate) fn record_sent(&self) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_delivered(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_dropped_failed(&self) {
+        self.dropped_failed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_dropped_closed(&self) {
+        self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters at this instant.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            sent: self.sent.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped_failed: self.dropped_failed.load(Ordering::Relaxed),
+            dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl NetStatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating, so a stale
+    /// snapshot never underflows).
+    pub fn since(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            sent: self.sent.saturating_sub(earlier.sent),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            dropped_failed: self.dropped_failed.saturating_sub(earlier.dropped_failed),
+            dropped_closed: self.dropped_closed.saturating_sub(earlier.dropped_closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetStats::default();
+        s.record_sent();
+        s.record_sent();
+        s.record_delivered();
+        s.record_dropped_failed();
+        let snap = s.snapshot();
+        assert_eq!(snap.sent, 2);
+        assert_eq!(snap.delivered, 1);
+        assert_eq!(snap.dropped_failed, 1);
+        assert_eq!(snap.dropped_closed, 0);
+    }
+
+    #[test]
+    fn since_differences_snapshots() {
+        let s = NetStats::default();
+        s.record_sent();
+        let a = s.snapshot();
+        s.record_sent();
+        s.record_delivered();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.sent, 1);
+        assert_eq!(d.delivered, 1);
+    }
+
+    #[test]
+    fn since_saturates_on_reversed_order() {
+        let s = NetStats::default();
+        s.record_sent();
+        let later = s.snapshot();
+        let d = NetStatsSnapshot::default().since(&later);
+        assert_eq!(d.sent, 0);
+    }
+}

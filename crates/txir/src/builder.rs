@@ -1,0 +1,244 @@
+//! Fluent construction of SSA transaction programs.
+
+use crate::ir::{AccessMode, ComputeOp, Operand, ParamId, Program, Stmt, VarId};
+use crate::object::{FieldId, ObjClass};
+use crate::validate::{validate, ValidateError};
+use crate::value::Value;
+
+/// Builds a [`Program`] while allocating SSA registers.
+///
+/// ```
+/// use acn_txir::{ProgramBuilder, ComputeOp, ObjClass, FieldId};
+///
+/// const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+/// const BAL: FieldId = FieldId(0);
+///
+/// let mut b = ProgramBuilder::new("withdraw", 2); // params: account id, amount
+/// let acc = b.open_update(ACCOUNT, b.param(0));
+/// let bal = b.get(acc, BAL);
+/// let amt = b.param(1);
+/// let newbal = b.compute(ComputeOp::Sub, [bal.into(), amt.into()]);
+/// b.set(acc, BAL, newbal);
+/// let program = b.finish();
+/// assert_eq!(program.open_count(), 1);
+/// ```
+pub struct ProgramBuilder {
+    name: String,
+    params: u16,
+    next_var: u16,
+    /// Statement-list stack: the last entry is the list currently being
+    /// appended to (branch bodies push/pop around the base program).
+    frames: Vec<Vec<Stmt>>,
+}
+
+impl ProgramBuilder {
+    /// Start a template named `name` taking `params` instance parameters.
+    pub fn new(name: impl Into<String>, params: u16) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            params,
+            next_var: 0,
+            frames: vec![Vec::new()],
+        }
+    }
+
+    fn fresh(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var = self
+            .next_var
+            .checked_add(1)
+            .expect("register space exhausted");
+        v
+    }
+
+    fn push(&mut self, stmt: Stmt) {
+        self.frames
+            .last_mut()
+            .expect("builder frame stack never empty")
+            .push(stmt);
+    }
+
+    /// Reference parameter `i`.
+    pub fn param(&self, i: u16) -> ParamId {
+        assert!(i < self.params, "param {i} out of range ({})", self.params);
+        ParamId(i)
+    }
+
+    /// Open an object for reading; returns its handle register.
+    pub fn open_read(&mut self, class: ObjClass, index: impl Into<Operand>) -> VarId {
+        self.open(class, index, AccessMode::Read)
+    }
+
+    /// Open an object for read-write; returns its handle register.
+    pub fn open_update(&mut self, class: ObjClass, index: impl Into<Operand>) -> VarId {
+        self.open(class, index, AccessMode::Update)
+    }
+
+    fn open(&mut self, class: ObjClass, index: impl Into<Operand>, mode: AccessMode) -> VarId {
+        let var = self.fresh();
+        self.push(Stmt::Open {
+            var,
+            class,
+            index: index.into(),
+            mode,
+        });
+        var
+    }
+
+    /// Read `obj.field` into a fresh register.
+    pub fn get(&mut self, obj: VarId, field: FieldId) -> VarId {
+        let var = self.fresh();
+        self.push(Stmt::GetField { var, obj, field });
+        var
+    }
+
+    /// Buffered write `obj.field = value`.
+    pub fn set(&mut self, obj: VarId, field: FieldId, value: impl Into<Operand>) {
+        self.push(Stmt::SetField {
+            obj,
+            field,
+            value: value.into(),
+        });
+    }
+
+    /// Pure computation into a fresh register.
+    pub fn compute<const N: usize>(&mut self, op: ComputeOp, ins: [Operand; N]) -> VarId {
+        let out = self.fresh();
+        self.push(Stmt::Compute {
+            out,
+            op,
+            ins: ins.to_vec(),
+        });
+        out
+    }
+
+    /// Name a constant.
+    pub fn constant(&mut self, v: impl Into<Value>) -> VarId {
+        let val: Value = v.into();
+        self.compute(ComputeOp::Id, [Operand::Const(val)])
+    }
+
+    /// Convenience: `a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VarId {
+        self.compute(ComputeOp::Add, [a.into(), b.into()])
+    }
+
+    /// Convenience: `a - b`.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VarId {
+        self.compute(ComputeOp::Sub, [a.into(), b.into()])
+    }
+
+    /// Effect-level conditional; registers defined inside the closures are
+    /// branch-local and must not escape.
+    pub fn cond(
+        &mut self,
+        pred: impl Into<Operand>,
+        then_build: impl FnOnce(&mut Self),
+        else_build: impl FnOnce(&mut Self),
+    ) {
+        self.frames.push(Vec::new());
+        then_build(self);
+        let then_br = self.frames.pop().expect("then frame");
+        self.frames.push(Vec::new());
+        else_build(self);
+        let else_br = self.frames.pop().expect("else frame");
+        self.push(Stmt::Cond {
+            pred: pred.into(),
+            then_br,
+            else_br,
+        });
+    }
+
+    /// Finish and validate, panicking on malformed programs (builder misuse
+    /// is a programming error in the workload definition).
+    pub fn finish(self) -> Program {
+        self.try_finish()
+            .unwrap_or_else(|e| panic!("invalid program: {e}"))
+    }
+
+    /// Finish, returning validation errors instead of panicking.
+    pub fn try_finish(self) -> Result<Program, ValidateError> {
+        assert_eq!(self.frames.len(), 1, "unclosed cond frame");
+        let program = Program {
+            name: self.name,
+            params: self.params,
+            vars: self.next_var,
+            stmts: self.frames.into_iter().next().expect("base frame"),
+        };
+        validate(&program)?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+    const BAL: FieldId = FieldId(0);
+
+    #[test]
+    fn builds_a_simple_transfer() {
+        let mut b = ProgramBuilder::new("transfer", 3);
+        let a1 = b.open_update(ACCOUNT, b.param(0));
+        let a2 = b.open_update(ACCOUNT, b.param(1));
+        let bal1 = b.get(a1, BAL);
+        let bal2 = b.get(a2, BAL);
+        let amt = b.param(2);
+        let n1 = b.sub(bal1, amt);
+        let n2 = b.add(bal2, amt);
+        b.set(a1, BAL, n1);
+        b.set(a2, BAL, n2);
+        let p = b.finish();
+        assert_eq!(p.stmts.len(), 8);
+        assert_eq!(p.open_count(), 2);
+        assert_eq!(p.vars, 6);
+    }
+
+    #[test]
+    fn vars_are_fresh_and_sequential() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let v0 = b.constant(1i64);
+        let v1 = b.constant(2i64);
+        assert_eq!((v0, v1), (VarId(0), VarId(1)));
+    }
+
+    #[test]
+    fn cond_bodies_nest() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let acc = b.open_update(ACCOUNT, b.param(0));
+        let bal = b.get(acc, BAL);
+        let pred = b.compute(ComputeOp::Gt, [bal.into(), Operand::from(0i64)]);
+        b.cond(
+            pred,
+            |b| b.set(acc, BAL, 0i64),
+            |_| {},
+        );
+        let p = b.finish();
+        match &p.stmts[3] {
+            Stmt::Cond { then_br, else_br, .. } => {
+                assert_eq!(then_br.len(), 1);
+                assert!(else_br.is_empty());
+            }
+            other => panic!("expected Cond, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "param 2 out of range")]
+    fn out_of_range_param_panics() {
+        let b = ProgramBuilder::new("t", 2);
+        let _ = b.param(2);
+    }
+
+    #[test]
+    fn doc_example_compiles_and_validates() {
+        let mut b = ProgramBuilder::new("withdraw", 2);
+        let acc = b.open_update(ACCOUNT, b.param(0));
+        let bal = b.get(acc, BAL);
+        let amt = b.param(1);
+        let nb = b.compute(ComputeOp::Sub, [bal.into(), amt.into()]);
+        b.set(acc, BAL, nb);
+        assert!(b.try_finish().is_ok());
+    }
+}

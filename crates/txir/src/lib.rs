@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # acn-txir — transaction IR and static analysis
+//!
+//! The paper's Static Module feeds Java transaction code to the Soot
+//! framework, obtains a *UnitGraph* (control-flow graph), runs data-flow
+//! analysis over it, and extracts **UnitBlocks** — the smallest logical
+//! units of transactional code, each containing exactly one remote object
+//! invocation plus the local computation that depends on it — together with
+//! a **dependency model** between UnitBlocks.
+//!
+//! Rust has no Soot, so this crate provides the equivalent from first
+//! principles: transactions are written in a small SSA-form IR (built with
+//! [`ProgramBuilder`]), and the same analyses run over it:
+//!
+//! * [`UnitGraph`] — statement-level graph with flow (def-use) and
+//!   object-state (read/write ordering) dependency edges;
+//! * [`extract_unit_blocks`] — the §V-C1 assignment rules: one UnitBlock per
+//!   remote open, each local operation enclosed in the latest UnitBlock that
+//!   accesses one of the shared objects it manages, purely-local operations
+//!   following their dependency chains;
+//! * [`DependencyModel`] — UnitBlocks, lifted block-level edges, and per-
+//!   operation *eligible host* sets that the run-time Algorithm Module uses
+//!   to re-attach local operations to the most contended eligible UnitBlock
+//!   (Step 1), merge similar-contention neighbours (Step 2) and sort blocks
+//!   by contention (Step 3).
+//!
+//! The IR is deliberately interpretation-friendly: the Executor Engine in
+//! `acn-core` walks statements and evaluates [`ComputeOp`]s over [`Value`]s,
+//! issuing remote opens through the DTM for every [`Stmt::Open`].
+//!
+//! ## Aliasing contract
+//!
+//! The dependency analysis treats distinct `Open` statements as touching
+//! distinct objects — object indices are run-time values, so may-alias
+//! information is statically unavailable, exactly as for the paper's
+//! Soot-based analysis of `getRemote(id)` call sites. Consequently a
+//! template whose instances open the *same* object through two different
+//! statements must ensure the two statements' effects commute (e.g. pure
+//! reads); otherwise Block reordering may change which buffered value a
+//! later read observes. Transaction-level atomicity and isolation are
+//! never affected — the hazard is purely the intra-transaction read/write
+//! order around an aliased handle. The bundled workload generators draw
+//! ids without replacement where it matters (e.g. TPC-C order lines).
+
+mod analysis;
+mod builder;
+mod depmodel;
+mod ir;
+mod object;
+mod unitgraph;
+mod validate;
+mod value;
+
+pub use analysis::{extract_unit_blocks, UnitBlock, UnitBlockId};
+pub use builder::ProgramBuilder;
+pub use depmodel::{is_acyclic, lift_edges, topo_order_preserving, DependencyModel, StmtAssignment};
+pub use ir::{AccessMode, ComputeOp, Operand, ParamId, Program, Stmt, StmtIdx, VarId};
+pub use object::{FieldId, ObjClass, ObjectId, ObjectVal};
+pub use unitgraph::{StmtInfo, UnitGraph};
+pub use validate::{validate, ValidateError};
+pub use value::{EvalError, Value};

@@ -1,0 +1,426 @@
+//! The UnitGraph: statement-level dependency graph.
+//!
+//! This is our equivalent of the Soot UnitGraph plus the data-flow analysis
+//! the paper runs on top of it: "for every node in the UnitGraph, the
+//! in-flow and out-flow data is tracked to create data dependency edges
+//! among the nodes". Nodes are top-level statements (a `Cond` is a single
+//! composite node); edges are
+//!
+//! * **flow** edges (def → use of a register), and
+//! * **object-state** edges, ordering buffered reads and writes of the same
+//!   opened object so that reordering cannot change what a `GetField`
+//!   observes (read-after-write, write-after-read, write-after-write).
+
+use crate::ir::{Operand, Program, Stmt, StmtIdx, VarId};
+use crate::object::ObjClass;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Summary of one top-level statement's effects, with `Cond` branches
+/// conservatively folded in (branch-local registers excluded).
+#[derive(Debug, Clone, Default)]
+pub struct StmtInfo {
+    /// Registers this statement reads (including object handles).
+    pub uses: Vec<VarId>,
+    /// Registers this statement defines (branch-local defs excluded).
+    pub defs: Vec<VarId>,
+    /// Object handles whose buffered state is read (`GetField`).
+    pub obj_reads: Vec<VarId>,
+    /// Object handles whose buffered state is written (`SetField`).
+    pub obj_writes: Vec<VarId>,
+    /// Objects opened by this statement: handle register and class.
+    pub opens: Vec<(VarId, ObjClass)>,
+}
+
+impl StmtInfo {
+    /// Does this statement perform at least one remote invocation?
+    pub fn is_open(&self) -> bool {
+        !self.opens.is_empty()
+    }
+}
+
+/// The statement dependency graph of one program.
+#[derive(Debug, Clone)]
+pub struct UnitGraph {
+    /// Per-statement effect summaries, indexed by [`StmtIdx`].
+    pub stmts: Vec<StmtInfo>,
+    /// Dependency edges `(u, v)`: statement `u` must execute before `v`.
+    pub edges: BTreeSet<(StmtIdx, StmtIdx)>,
+    /// For each register: the top-level statement defining it.
+    pub def_site: HashMap<VarId, StmtIdx>,
+}
+
+fn collect_branch(
+    stmts: &[Stmt],
+    local: &mut HashSet<VarId>,
+    info: &mut StmtInfo,
+) {
+    let use_op = |op: &Operand, local: &HashSet<VarId>, info: &mut StmtInfo| {
+        if let Some(v) = op.var() {
+            if !local.contains(&v) {
+                info.uses.push(v);
+            }
+        }
+    };
+    for s in stmts {
+        match s {
+            Stmt::Open { var, index, class, .. } => {
+                use_op(index, local, info);
+                local.insert(*var);
+                info.opens.push((*var, *class));
+            }
+            Stmt::GetField { var, obj, .. } => {
+                if !local.contains(obj) {
+                    info.uses.push(*obj);
+                    info.obj_reads.push(*obj);
+                }
+                local.insert(*var);
+            }
+            Stmt::SetField { obj, value, .. } => {
+                if !local.contains(obj) {
+                    info.uses.push(*obj);
+                    info.obj_writes.push(*obj);
+                }
+                use_op(value, local, info);
+            }
+            Stmt::Compute { out, ins, .. } => {
+                for op in ins {
+                    use_op(op, local, info);
+                }
+                local.insert(*out);
+            }
+            Stmt::Cond { pred, then_br, else_br } => {
+                use_op(pred, local, info);
+                let mut then_local = local.clone();
+                collect_branch(then_br, &mut then_local, info);
+                let mut else_local = local.clone();
+                collect_branch(else_br, &mut else_local, info);
+            }
+        }
+    }
+}
+
+fn summarize(stmt: &Stmt) -> StmtInfo {
+    let mut info = StmtInfo::default();
+    match stmt {
+        Stmt::Open { var, index, class, .. } => {
+            if let Some(v) = index.var() {
+                info.uses.push(v);
+            }
+            info.defs.push(*var);
+            info.opens.push((*var, *class));
+        }
+        Stmt::GetField { var, obj, .. } => {
+            info.uses.push(*obj);
+            info.obj_reads.push(*obj);
+            info.defs.push(*var);
+        }
+        Stmt::SetField { obj, value, .. } => {
+            info.uses.push(*obj);
+            info.obj_writes.push(*obj);
+            if let Some(v) = value.var() {
+                info.uses.push(v);
+            }
+        }
+        Stmt::Compute { out, ins, .. } => {
+            for op in ins {
+                if let Some(v) = op.var() {
+                    info.uses.push(v);
+                }
+            }
+            info.defs.push(*out);
+        }
+        Stmt::Cond { pred, then_br, else_br } => {
+            if let Some(v) = pred.var() {
+                info.uses.push(v);
+            }
+            let mut local = HashSet::new();
+            collect_branch(then_br, &mut local.clone(), &mut info);
+            collect_branch(else_br, &mut local, &mut info);
+            // A composite node both reads and writes every object handle it
+            // touches inside a branch: which effects actually run is a
+            // run-time question, so ordering must assume the strongest.
+            let touched: Vec<VarId> = info
+                .obj_reads
+                .iter()
+                .chain(info.obj_writes.iter())
+                .copied()
+                .collect();
+            for v in touched {
+                if !info.obj_reads.contains(&v) {
+                    info.obj_reads.push(v);
+                }
+                if !info.obj_writes.contains(&v) {
+                    info.obj_writes.push(v);
+                }
+            }
+        }
+    }
+    info.uses.sort_unstable();
+    info.uses.dedup();
+    info
+}
+
+impl UnitGraph {
+    /// Build the dependency graph of `program`. The program must already be
+    /// validated ([`crate::validate`]).
+    pub fn build(program: &Program) -> UnitGraph {
+        let stmts: Vec<StmtInfo> = program.stmts.iter().map(summarize).collect();
+        let mut def_site: HashMap<VarId, StmtIdx> = HashMap::new();
+        for (i, info) in stmts.iter().enumerate() {
+            for &d in &info.defs {
+                def_site.insert(d, i);
+            }
+        }
+
+        let mut edges: BTreeSet<(StmtIdx, StmtIdx)> = BTreeSet::new();
+        // Flow edges: def → use.
+        for (i, info) in stmts.iter().enumerate() {
+            for u in &info.uses {
+                if let Some(&d) = def_site.get(u) {
+                    if d != i {
+                        edges.insert((d, i));
+                    }
+                }
+            }
+        }
+        // Object-state edges per handle: a read depends on the last write;
+        // a write depends on the last write and every read since it.
+        struct ObjState {
+            last_write: Option<StmtIdx>,
+            reads_since: Vec<StmtIdx>,
+        }
+        let mut state: HashMap<VarId, ObjState> = HashMap::new();
+        for (i, info) in stmts.iter().enumerate() {
+            // Reads first at a given statement would self-order against its
+            // own writes; composite nodes list a handle in both sets, which
+            // is fine because self-edges are skipped.
+            for &h in &info.obj_reads {
+                let st = state.entry(h).or_insert(ObjState {
+                    last_write: None,
+                    reads_since: Vec::new(),
+                });
+                if let Some(w) = st.last_write {
+                    if w != i {
+                        edges.insert((w, i));
+                    }
+                }
+                st.reads_since.push(i);
+            }
+            for &h in &info.obj_writes {
+                let st = state.entry(h).or_insert(ObjState {
+                    last_write: None,
+                    reads_since: Vec::new(),
+                });
+                if let Some(w) = st.last_write {
+                    if w != i {
+                        edges.insert((w, i));
+                    }
+                }
+                for &r in &st.reads_since {
+                    if r != i {
+                        edges.insert((r, i));
+                    }
+                }
+                st.last_write = Some(i);
+                st.reads_since.clear();
+            }
+        }
+
+        UnitGraph {
+            stmts,
+            edges,
+            def_site,
+        }
+    }
+
+    /// Direct dependencies of statement `v` (statements that must precede it).
+    pub fn preds(&self, v: StmtIdx) -> impl Iterator<Item = StmtIdx> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(_, b)| b == v)
+            .map(|&(a, _)| a)
+    }
+
+    /// Statements that depend on `u`.
+    pub fn succs(&self, u: StmtIdx) -> impl Iterator<Item = StmtIdx> + '_ {
+        self.edges
+            .range((u, 0)..(u + 1, 0))
+            .map(|&(_, b)| b)
+    }
+
+    /// For every register, the set of opens whose values transitively flow
+    /// into it — `src_opens[v]` is the set of `Open` statement indices the
+    /// paper's rules call "the shared objects managed by" a computation on
+    /// `v`. Handles map to their own open; `GetField` results inherit the
+    /// handle's open; `Compute` unions its operands.
+    pub fn source_opens(&self, program: &Program) -> HashMap<VarId, BTreeSet<StmtIdx>> {
+        let mut src: HashMap<VarId, BTreeSet<StmtIdx>> = HashMap::new();
+        for (i, stmt) in program.stmts.iter().enumerate() {
+            match stmt {
+                Stmt::Open { var, .. } => {
+                    src.insert(*var, BTreeSet::from([i]));
+                }
+                Stmt::GetField { var, obj, .. } => {
+                    let s = src.get(obj).cloned().unwrap_or_default();
+                    src.insert(*var, s);
+                }
+                Stmt::Compute { out, ins, .. } => {
+                    let mut s = BTreeSet::new();
+                    for op in ins {
+                        if let Some(v) = op.var() {
+                            if let Some(os) = src.get(&v) {
+                                s.extend(os.iter().copied());
+                            }
+                        }
+                    }
+                    src.insert(*out, s);
+                }
+                Stmt::SetField { .. } | Stmt::Cond { .. } => {}
+            }
+        }
+        src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::ComputeOp;
+    use crate::object::{FieldId, ObjClass};
+
+    const A: ObjClass = ObjClass::new(0, "A");
+    const B: ObjClass = ObjClass::new(1, "B");
+    const F: FieldId = FieldId(0);
+
+    /// The paper's §I-A example Tp1: {Read(OA), Read(OB), C = OA+OB, D = C+φ}.
+    fn tp1() -> (Program, UnitGraph) {
+        let mut b = ProgramBuilder::new("tp1", 0);
+        let oa = b.open_read(A, 0i64);
+        let ob = b.open_read(B, 0i64);
+        let va = b.get(oa, F);
+        let vb = b.get(ob, F);
+        let c = b.add(va, vb);
+        let _d = b.add(c, 42i64);
+        let p = b.finish();
+        let g = UnitGraph::build(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn flow_edges_follow_def_use() {
+        let (_, g) = tp1();
+        // GetField(va) [2] depends on Open(oa) [0]; C=va+vb [4] on [2],[3];
+        // D=C+42 [5] on [4].
+        assert!(g.edges.contains(&(0, 2)));
+        assert!(g.edges.contains(&(1, 3)));
+        assert!(g.edges.contains(&(2, 4)));
+        assert!(g.edges.contains(&(3, 4)));
+        assert!(g.edges.contains(&(4, 5)));
+        assert!(!g.edges.contains(&(0, 1)), "independent opens have no edge");
+    }
+
+    #[test]
+    fn def_sites_recorded() {
+        let (_, g) = tp1();
+        assert_eq!(g.def_site[&crate::ir::VarId(0)], 0);
+        assert_eq!(g.def_site[&crate::ir::VarId(4)], 4);
+    }
+
+    #[test]
+    fn source_opens_propagate_through_computation() {
+        let (p, g) = tp1();
+        let src = g.source_opens(&p);
+        // C (var 4) derives from both opens; D (var 5) likewise, through C.
+        assert_eq!(src[&crate::ir::VarId(4)], BTreeSet::from([0, 1]));
+        assert_eq!(src[&crate::ir::VarId(5)], BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn object_state_edges_order_read_write() {
+        // open A; get; set; get — the second get must depend on the set.
+        let mut b = ProgramBuilder::new("t", 0);
+        let oa = b.open_update(A, 0i64);
+        let v0 = b.get(oa, F);
+        let v1 = b.add(v0, 1i64);
+        b.set(oa, F, v1); // stmt 3
+        let _v2 = b.get(oa, F); // stmt 4
+        let p = b.finish();
+        let g = UnitGraph::build(&p);
+        assert!(g.edges.contains(&(3, 4)), "RAW edge missing");
+        assert!(g.edges.contains(&(1, 3)), "WAR edge missing");
+    }
+
+    #[test]
+    fn write_after_write_is_ordered() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let oa = b.open_update(A, 0i64);
+        b.set(oa, F, 1i64); // stmt 1
+        b.set(oa, F, 2i64); // stmt 2
+        let p = b.finish();
+        let g = UnitGraph::build(&p);
+        assert!(g.edges.contains(&(1, 2)), "WAW edge missing");
+    }
+
+    #[test]
+    fn cond_is_composite_with_conservative_effects() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let oa = b.open_update(A, 0i64);
+        let v = b.get(oa, F);
+        let pred = b.compute(ComputeOp::Gt, [v.into(), 0i64.into()]);
+        b.cond(pred, |b| b.set(oa, F, 0i64), |_| {}); // stmt 3
+        let _after = b.get(oa, F); // stmt 4
+        let p = b.finish();
+        let g = UnitGraph::build(&p);
+        let info = &g.stmts[3];
+        assert!(info.obj_writes.contains(&crate::ir::VarId(0)));
+        assert!(g.edges.contains(&(3, 4)), "read after composite write");
+        assert!(g.edges.contains(&(2, 3)), "pred flow edge");
+    }
+
+    #[test]
+    fn cond_with_open_is_an_open_node() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let flag = b.constant(true);
+        b.cond(
+            flag,
+            |b| {
+                let o = b.open_update(B, 1i64);
+                b.set(o, F, 5i64);
+            },
+            |_| {},
+        );
+        let p = b.finish();
+        let g = UnitGraph::build(&p);
+        assert!(g.stmts[1].is_open());
+        assert_eq!(g.stmts[1].opens.len(), 1);
+        assert_eq!(g.stmts[1].opens[0].1, B);
+    }
+
+    #[test]
+    fn branch_local_uses_do_not_leak() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let flag = b.constant(true);
+        b.cond(
+            flag,
+            |b| {
+                let x = b.constant(1i64);
+                let _y = b.add(x, 2i64); // uses branch-local x only
+            },
+            |_| {},
+        );
+        let p = b.finish();
+        let g = UnitGraph::build(&p);
+        // The composite's only outer use is the predicate.
+        assert_eq!(g.stmts[1].uses, vec![crate::ir::VarId(0)]);
+    }
+
+    #[test]
+    fn succs_and_preds_agree() {
+        let (_, g) = tp1();
+        let succs0: Vec<_> = g.succs(0).collect();
+        assert_eq!(succs0, vec![2]);
+        let preds4: Vec<_> = g.preds(4).collect();
+        assert_eq!(preds4, vec![2, 3]);
+    }
+}

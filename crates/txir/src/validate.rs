@@ -1,0 +1,382 @@
+//! Well-formedness checking for transaction programs.
+
+use crate::ir::{Operand, Program, Stmt, VarId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why a program is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A register is assigned more than once (the IR is SSA).
+    DoubleDefinition(VarId),
+    /// A register is read before (or without) being defined.
+    UseBeforeDef(VarId),
+    /// A register defined inside a `Cond` branch escapes the branch.
+    BranchLocalEscape(VarId),
+    /// A parameter index is out of range.
+    ParamOutOfRange(u16),
+    /// A register index is outside the program's declared register count.
+    VarOutOfRange(VarId),
+    /// `SetField` targets an object opened read-only.
+    WriteToReadOnly(VarId),
+    /// An object handle is used as a plain value operand.
+    HandleUsedAsValue(VarId),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::DoubleDefinition(v) => write!(f, "register {v:?} defined twice"),
+            ValidateError::UseBeforeDef(v) => write!(f, "register {v:?} used before definition"),
+            ValidateError::BranchLocalEscape(v) => {
+                write!(f, "branch-local register {v:?} used outside its branch")
+            }
+            ValidateError::ParamOutOfRange(p) => write!(f, "parameter {p} out of range"),
+            ValidateError::VarOutOfRange(v) => write!(f, "register {v:?} out of range"),
+            ValidateError::WriteToReadOnly(v) => {
+                write!(f, "SetField on read-only handle {v:?}")
+            }
+            ValidateError::HandleUsedAsValue(v) => {
+                write!(f, "object handle {v:?} used as a value operand")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+struct Checker {
+    params: u16,
+    vars: u16,
+    /// Registers defined so far, program-wide (SSA check).
+    defined_anywhere: HashSet<VarId>,
+    /// Handles opened read-only / read-write.
+    read_handles: HashSet<VarId>,
+    write_handles: HashSet<VarId>,
+}
+
+impl Checker {
+    fn check_operand(
+        &self,
+        op: &Operand,
+        in_scope: &HashSet<VarId>,
+    ) -> Result<(), ValidateError> {
+        match op {
+            Operand::Const(_) => Ok(()),
+            Operand::Param(p) => {
+                if p.0 >= self.params {
+                    Err(ValidateError::ParamOutOfRange(p.0))
+                } else {
+                    Ok(())
+                }
+            }
+            Operand::Var(v) => {
+                if v.0 >= self.vars {
+                    return Err(ValidateError::VarOutOfRange(*v));
+                }
+                if !in_scope.contains(v) {
+                    return Err(ValidateError::UseBeforeDef(*v));
+                }
+                if self.read_handles.contains(v) || self.write_handles.contains(v) {
+                    return Err(ValidateError::HandleUsedAsValue(*v));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn define(&mut self, v: VarId, in_scope: &mut HashSet<VarId>) -> Result<(), ValidateError> {
+        if v.0 >= self.vars {
+            return Err(ValidateError::VarOutOfRange(v));
+        }
+        if !self.defined_anywhere.insert(v) {
+            return Err(ValidateError::DoubleDefinition(v));
+        }
+        in_scope.insert(v);
+        Ok(())
+    }
+
+    fn check_handle(&self, v: VarId, in_scope: &HashSet<VarId>) -> Result<(), ValidateError> {
+        if v.0 >= self.vars {
+            return Err(ValidateError::VarOutOfRange(v));
+        }
+        if !in_scope.contains(&v) {
+            return Err(ValidateError::UseBeforeDef(v));
+        }
+        Ok(())
+    }
+
+    fn check_block(
+        &mut self,
+        stmts: &[Stmt],
+        in_scope: &mut HashSet<VarId>,
+    ) -> Result<(), ValidateError> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Open {
+                    var, index, mode, ..
+                } => {
+                    self.check_operand(index, in_scope)?;
+                    self.define(*var, in_scope)?;
+                    match mode {
+                        crate::ir::AccessMode::Read => self.read_handles.insert(*var),
+                        crate::ir::AccessMode::Update => self.write_handles.insert(*var),
+                    };
+                }
+                Stmt::GetField { var, obj, .. } => {
+                    self.check_handle(*obj, in_scope)?;
+                    self.define(*var, in_scope)?;
+                }
+                Stmt::SetField { obj, value, .. } => {
+                    self.check_handle(*obj, in_scope)?;
+                    if self.read_handles.contains(obj) {
+                        return Err(ValidateError::WriteToReadOnly(*obj));
+                    }
+                    self.check_operand(value, in_scope)?;
+                }
+                Stmt::Compute { out, ins, .. } => {
+                    for op in ins {
+                        self.check_operand(op, in_scope)?;
+                    }
+                    self.define(*out, in_scope)?;
+                }
+                Stmt::Cond {
+                    pred,
+                    then_br,
+                    else_br,
+                } => {
+                    self.check_operand(pred, in_scope)?;
+                    // Each branch gets a scope copy: defs inside do not
+                    // escape (branch-local rule). SSA is still global, so a
+                    // register cannot be defined in both branches either.
+                    let mut then_scope = in_scope.clone();
+                    self.check_block(then_br, &mut then_scope)?;
+                    let mut else_scope = in_scope.clone();
+                    self.check_block(else_br, &mut else_scope)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Check that `program` is well-formed: SSA, no use-before-def, branch-local
+/// registers stay local, parameters/registers in range, no writes through
+/// read-only handles, and object handles only used as `GetField`/`SetField`
+/// targets.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let mut checker = Checker {
+        params: program.params,
+        vars: program.vars,
+        defined_anywhere: HashSet::new(),
+        read_handles: HashSet::new(),
+        write_handles: HashSet::new(),
+    };
+    let mut scope = HashSet::new();
+    checker.check_block(&program.stmts, &mut scope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{AccessMode, ComputeOp, Operand};
+    use crate::object::{FieldId, ObjClass};
+
+    const C: ObjClass = ObjClass::new(0, "C");
+    const F: FieldId = FieldId(0);
+
+    fn prog(vars: u16, stmts: Vec<Stmt>) -> Program {
+        Program {
+            name: "t".into(),
+            params: 2,
+            vars,
+            stmts,
+        }
+    }
+
+    fn open(var: u16, mode: AccessMode) -> Stmt {
+        Stmt::Open {
+            var: VarId(var),
+            class: C,
+            index: Operand::from(0i64),
+            mode,
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let p = prog(
+            3,
+            vec![
+                open(0, AccessMode::Update),
+                Stmt::GetField {
+                    var: VarId(1),
+                    obj: VarId(0),
+                    field: F,
+                },
+                Stmt::Compute {
+                    out: VarId(2),
+                    op: ComputeOp::Add,
+                    ins: vec![Operand::Var(VarId(1)), Operand::Param(crate::ir::ParamId(1))],
+                },
+                Stmt::SetField {
+                    obj: VarId(0),
+                    field: F,
+                    value: Operand::Var(VarId(2)),
+                },
+            ],
+        );
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let p = prog(
+            1,
+            vec![
+                Stmt::Compute {
+                    out: VarId(0),
+                    op: ComputeOp::Id,
+                    ins: vec![Operand::from(1i64)],
+                },
+                Stmt::Compute {
+                    out: VarId(0),
+                    op: ComputeOp::Id,
+                    ins: vec![Operand::from(2i64)],
+                },
+            ],
+        );
+        assert_eq!(validate(&p), Err(ValidateError::DoubleDefinition(VarId(0))));
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let p = prog(
+            2,
+            vec![Stmt::Compute {
+                out: VarId(0),
+                op: ComputeOp::Id,
+                ins: vec![Operand::Var(VarId(1))],
+            }],
+        );
+        assert_eq!(validate(&p), Err(ValidateError::UseBeforeDef(VarId(1))));
+    }
+
+    #[test]
+    fn rejects_branch_local_escape() {
+        let p = prog(
+            2,
+            vec![
+                Stmt::Cond {
+                    pred: Operand::from(true),
+                    then_br: vec![Stmt::Compute {
+                        out: VarId(0),
+                        op: ComputeOp::Id,
+                        ins: vec![Operand::from(1i64)],
+                    }],
+                    else_br: vec![],
+                },
+                Stmt::Compute {
+                    out: VarId(1),
+                    op: ComputeOp::Id,
+                    ins: vec![Operand::Var(VarId(0))],
+                },
+            ],
+        );
+        // Escape manifests as use-before-def in the outer scope.
+        assert_eq!(validate(&p), Err(ValidateError::UseBeforeDef(VarId(0))));
+    }
+
+    #[test]
+    fn rejects_write_through_read_handle() {
+        let p = prog(
+            1,
+            vec![
+                open(0, AccessMode::Read),
+                Stmt::SetField {
+                    obj: VarId(0),
+                    field: F,
+                    value: Operand::from(1i64),
+                },
+            ],
+        );
+        assert_eq!(validate(&p), Err(ValidateError::WriteToReadOnly(VarId(0))));
+    }
+
+    #[test]
+    fn rejects_handle_as_value() {
+        let p = prog(
+            2,
+            vec![
+                open(0, AccessMode::Read),
+                Stmt::Compute {
+                    out: VarId(1),
+                    op: ComputeOp::Id,
+                    ins: vec![Operand::Var(VarId(0))],
+                },
+            ],
+        );
+        assert_eq!(validate(&p), Err(ValidateError::HandleUsedAsValue(VarId(0))));
+    }
+
+    #[test]
+    fn rejects_param_out_of_range() {
+        let p = prog(
+            1,
+            vec![Stmt::Compute {
+                out: VarId(0),
+                op: ComputeOp::Id,
+                ins: vec![Operand::Param(crate::ir::ParamId(9))],
+            }],
+        );
+        assert_eq!(validate(&p), Err(ValidateError::ParamOutOfRange(9)));
+    }
+
+    #[test]
+    fn rejects_var_out_of_range() {
+        let p = prog(0, vec![open(5, AccessMode::Read)]);
+        assert_eq!(validate(&p), Err(ValidateError::VarOutOfRange(VarId(5))));
+    }
+
+    #[test]
+    fn same_register_cannot_be_defined_in_both_branches() {
+        let def = |v: u16, val: i64| Stmt::Compute {
+            out: VarId(v),
+            op: ComputeOp::Id,
+            ins: vec![Operand::from(val)],
+        };
+        let p = prog(
+            1,
+            vec![Stmt::Cond {
+                pred: Operand::from(true),
+                then_br: vec![def(0, 1)],
+                else_br: vec![def(0, 2)],
+            }],
+        );
+        assert_eq!(validate(&p), Err(ValidateError::DoubleDefinition(VarId(0))));
+    }
+
+    #[test]
+    fn branch_may_read_outer_registers() {
+        let p = prog(
+            2,
+            vec![
+                Stmt::Compute {
+                    out: VarId(0),
+                    op: ComputeOp::Id,
+                    ins: vec![Operand::from(1i64)],
+                },
+                Stmt::Cond {
+                    pred: Operand::from(true),
+                    then_br: vec![Stmt::Compute {
+                        out: VarId(1),
+                        op: ComputeOp::Id,
+                        ins: vec![Operand::Var(VarId(0))],
+                    }],
+                    else_br: vec![],
+                },
+            ],
+        );
+        assert_eq!(validate(&p), Ok(()));
+    }
+}

@@ -1,0 +1,169 @@
+//! Run-time values flowing through transaction-local registers.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically-typed value. Object fields and transaction registers hold
+/// `Value`s, which lets one interpreter serve Bank, Vacation and TPC-C
+/// without per-benchmark code generation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// The unit value (uninitialised registers).
+    Unit,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An immutable shared string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The integer payload, or a type-mismatch error.
+    pub fn as_int(&self) -> Result<i64, EvalError> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(EvalError::TypeMismatch {
+                expected: "Int",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// The boolean payload, or a type-mismatch error.
+    pub fn as_bool(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(EvalError::TypeMismatch {
+                expected: "Bool",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// The string payload, or a type-mismatch error.
+    pub fn as_str(&self) -> Result<&str, EvalError> {
+        match self {
+            Value::Str(v) => Ok(v),
+            other => Err(EvalError::TypeMismatch {
+                expected: "Str",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "Unit",
+            Value::Int(_) => "Int",
+            Value::Bool(_) => "Bool",
+            Value::Str(_) => "Str",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+/// Errors from evaluating a compute operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An operand had the wrong type.
+    TypeMismatch {
+        /// The type the operation required.
+        expected: &'static str,
+        /// The type it was given.
+        got: &'static str,
+    },
+    /// An operation received the wrong number of operands.
+    ArityMismatch {
+        /// The operation's name.
+        op: &'static str,
+        /// How many operands it requires.
+        expected: usize,
+        /// How many it was given.
+        got: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            EvalError::ArityMismatch { op, expected, got } => {
+                write!(f, "{op} expects {expected} operands, got {got}")
+            }
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::str("x"));
+    }
+
+    #[test]
+    fn accessors_check_types() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert_eq!(Value::str("hi").as_str().unwrap(), "hi");
+        assert!(matches!(
+            Value::Bool(true).as_int(),
+            Err(EvalError::TypeMismatch { expected: "Int", got: "Bool" })
+        ));
+        assert!(Value::Unit.as_bool().is_err());
+        assert!(Value::Int(1).as_str().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests over the static-analysis pipeline: for arbitrary valid
+//! programs, the UnitBlock extraction and dependency model must uphold the
+//! invariants everything downstream builds on.
+
+use acn_txir::{
+    is_acyclic, lift_edges, ComputeOp, DependencyModel, FieldId, ObjClass, Operand, Program,
+    ProgramBuilder, Stmt, VarId,
+};
+use proptest::prelude::*;
+
+const CLASSES: [ObjClass; 4] = [
+    ObjClass::new(0, "C0"),
+    ObjClass::new(1, "C1"),
+    ObjClass::new(2, "C2"),
+    ObjClass::new(3, "C3"),
+];
+const F: FieldId = FieldId(0);
+const G: FieldId = FieldId(1);
+
+/// Abstract actions a generated program is assembled from.
+#[derive(Debug, Clone)]
+enum Action {
+    Open { class: usize, idx: u8, update: bool },
+    /// get a field of open `o` (mod number of opens so far)
+    Get { o: usize, g: bool },
+    /// set a field of an *update* open from a previous register/constant
+    Set { o: usize, val: usize, g: bool },
+    /// combine two previous registers (or constants when none exist)
+    Compute { a: usize, b: usize, op_mul: bool },
+    /// pure parameter computation (floater)
+    Floater { p: usize },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..4, 0u8..4, any::<bool>())
+            .prop_map(|(class, idx, update)| Action::Open { class, idx, update }),
+        (any::<usize>(), any::<bool>()).prop_map(|(o, g)| Action::Get { o, g }),
+        (any::<usize>(), any::<usize>(), any::<bool>())
+            .prop_map(|(o, val, g)| Action::Set { o, val, g }),
+        (any::<usize>(), any::<usize>(), any::<bool>())
+            .prop_map(|(a, b, op_mul)| Action::Compute { a, b, op_mul }),
+        (0usize..3).prop_map(|p| Action::Floater { p }),
+    ]
+}
+
+/// Materialise actions into a valid program (skipping actions whose
+/// prerequisites don't exist yet).
+fn build(actions: &[Action]) -> Program {
+    let mut b = ProgramBuilder::new("prop/gen", 3);
+    let mut update_opens: Vec<VarId> = Vec::new();
+    let mut all_opens: Vec<VarId> = Vec::new();
+    let mut regs: Vec<VarId> = Vec::new();
+    for a in actions {
+        match *a {
+            Action::Open { class, idx, update } => {
+                let h = if update {
+                    let h = b.open_update(CLASSES[class], i64::from(idx));
+                    update_opens.push(h);
+                    h
+                } else {
+                    b.open_read(CLASSES[class], i64::from(idx))
+                };
+                all_opens.push(h);
+            }
+            Action::Get { o, g } => {
+                if all_opens.is_empty() {
+                    continue;
+                }
+                let h = all_opens[o % all_opens.len()];
+                let r = b.get(h, if g { G } else { F });
+                regs.push(r);
+            }
+            Action::Set { o, val, g } => {
+                if update_opens.is_empty() {
+                    continue;
+                }
+                let h = update_opens[o % update_opens.len()];
+                let operand: Operand = if regs.is_empty() {
+                    Operand::from(7i64)
+                } else {
+                    regs[val % regs.len()].into()
+                };
+                b.set(h, if g { G } else { F }, operand);
+            }
+            Action::Compute { a, b: b2, op_mul } => {
+                let (x, y): (Operand, Operand) = if regs.is_empty() {
+                    (Operand::from(1i64), Operand::from(2i64))
+                } else {
+                    (
+                        regs[a % regs.len()].into(),
+                        regs[b2 % regs.len()].into(),
+                    )
+                };
+                let op = if op_mul { ComputeOp::Mul } else { ComputeOp::Add };
+                let r = b.compute(op, [x, y]);
+                regs.push(r);
+            }
+            Action::Floater { p } => {
+                let r = b.compute(ComputeOp::Add, [b.param(p as u16).into(), 1i64.into()]);
+                regs.push(r);
+            }
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn analysis_invariants_hold(actions in prop::collection::vec(action_strategy(), 1..40)) {
+        let program = build(&actions);
+        let dm = DependencyModel::analyze(program.clone()).expect("builder output is valid");
+
+        // 1. Statements are partitioned across UnitBlocks.
+        let mut covered: Vec<usize> = dm.units.iter().flat_map(|u| u.stmts.clone()).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..program.stmts.len()).collect::<Vec<_>>());
+
+        // 2. Assignment agrees with block membership and within-block
+        //    statements are in program order.
+        for unit in &dm.units {
+            prop_assert!(unit.stmts.windows(2).all(|w| w[0] < w[1]));
+            for &s in &unit.stmts {
+                prop_assert_eq!(dm.default_assignment[s], unit.id);
+            }
+        }
+
+        // 3. Exactly one UnitBlock per remote open (or a single block for
+        //    open-free programs).
+        let opens = program.open_count();
+        if opens == 0 {
+            prop_assert_eq!(dm.unit_count(), 1);
+        } else {
+            prop_assert_eq!(dm.unit_count(), opens);
+        }
+
+        // 4. The default composition is acyclic — the invariant the
+        //    Algorithm Module's reordering relies on.
+        let edges = lift_edges(&dm.graph, &dm.default_assignment);
+        prop_assert!(is_acyclic(dm.unit_count(), &edges), "edges {edges:?}");
+
+        // 5. Default block edges only point forward in block order.
+        for &(a, b) in &edges {
+            prop_assert!(a < b, "backward default edge {a}→{b}");
+        }
+
+        // 6. Eligible hosts always include the default assignment.
+        for (s, hosts) in dm.eligible_hosts.iter().enumerate() {
+            prop_assert!(
+                hosts.contains(&dm.default_assignment[s])
+                    || hosts == &vec![dm.default_assignment[s]],
+                "stmt {s}: default {} not in eligible {hosts:?}",
+                dm.default_assignment[s]
+            );
+        }
+
+        // 7. Statement-level graph edges respect program order.
+        for &(a, b) in &dm.graph.edges {
+            prop_assert!(a < b);
+        }
+    }
+
+    /// Anchors host themselves: every open statement is the anchor of the
+    /// block it is assigned to.
+    #[test]
+    fn anchors_host_themselves(actions in prop::collection::vec(action_strategy(), 1..40)) {
+        let program = build(&actions);
+        let dm = DependencyModel::analyze(program).expect("valid");
+        for unit in &dm.units {
+            if !unit.classes.is_empty() {
+                prop_assert_eq!(dm.default_assignment[unit.anchor], unit.id);
+                prop_assert!(unit.stmts.contains(&unit.anchor));
+            }
+        }
+    }
+}
+
+/// Mutation check: breaking SSA or scoping in an otherwise valid program
+/// is caught by validation.
+#[test]
+fn validate_catches_injected_corruption() {
+    let mut b = ProgramBuilder::new("ok", 1);
+    let h = b.open_update(CLASSES[0], b.param(0));
+    let v = b.get(h, F);
+    let w = b.add(v, 1i64);
+    b.set(h, F, w);
+    let good = b.finish();
+
+    // Corrupt: redefine an existing register.
+    let mut bad = good.clone();
+    bad.stmts.push(Stmt::Compute {
+        out: VarId(1),
+        op: ComputeOp::Id,
+        ins: vec![Operand::from(0i64)],
+    });
+    assert!(acn_txir::validate(&bad).is_err(), "double definition accepted");
+
+    // Corrupt: reference a register that never exists.
+    let mut bad = good.clone();
+    bad.vars += 1;
+    bad.stmts.push(Stmt::Compute {
+        out: VarId(bad.vars - 1),
+        op: ComputeOp::Id,
+        ins: vec![Operand::Var(VarId(99))],
+    });
+    assert!(acn_txir::validate(&bad).is_err(), "phantom register accepted");
+
+    // Corrupt: write through a read-only handle.
+    let mut b = ProgramBuilder::new("ro", 1);
+    let h = b.open_read(CLASSES[1], b.param(0));
+    let _ = b.get(h, F);
+    let mut bad = b.finish();
+    bad.stmts.push(Stmt::SetField {
+        obj: VarId(0),
+        field: F,
+        value: Operand::from(1i64),
+    });
+    assert!(acn_txir::validate(&bad).is_err(), "read-only write accepted");
+}

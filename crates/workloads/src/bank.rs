@@ -1,0 +1,268 @@
+//! The Bank benchmark — §V-A / Figures 1–3 of the paper.
+//!
+//! A transfer moves funds between two accounts belonging to two branches.
+//! Branch objects are "globally shared objects for their respective
+//! branches, hence, other transactions will also access them. Thus, at
+//! run-time, they will be highly contended. On the other hand, objects
+//! Account1 and Account2 will have low contention." The template is
+//! written exactly in Figure 1's flat order — branch operations first —
+//! which is the order ACN must learn to invert.
+//!
+//! Contention phases (Fig 4(f)): in even phases branches are drawn from a
+//! small hot pool and accounts from a large cold pool; odd phases swap the
+//! pools, moving the hot spot to the accounts.
+
+use crate::schema::{ACCOUNT, BAL, BRANCH};
+use crate::workload::{TxnRequest, Workload};
+use acn_txir::{ComputeOp, DependencyModel, Program, ProgramBuilder, UnitBlockId, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Bank workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BankConfig {
+    /// Size of the hot pool the contended class draws from.
+    pub hot_pool: u64,
+    /// Size of the cold pool the uncontended class draws from.
+    pub cold_pool: u64,
+    /// Percentage of write (transfer) transactions; the rest are balance
+    /// queries.
+    pub write_pct: u8,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            hot_pool: 4,
+            cold_pool: 4096,
+            write_pct: 90,
+        }
+    }
+}
+
+/// The Bank benchmark.
+pub struct Bank {
+    cfg: BankConfig,
+    templates: Vec<Program>,
+}
+
+/// Figure 1: branch1/branch2 withdraw+deposit, then account1/account2.
+fn transfer_template() -> Program {
+    let mut b = ProgramBuilder::new("bank/transfer", 5);
+    let amt = b.param(4);
+    let br1 = b.open_update(BRANCH, b.param(0));
+    let br2 = b.open_update(BRANCH, b.param(1));
+    let v1 = b.get(br1, BAL);
+    let n1 = b.sub(v1, amt);
+    b.set(br1, BAL, n1); // branch1.withdraw(amt)
+    let v2 = b.get(br2, BAL);
+    let n2 = b.add(v2, amt);
+    b.set(br2, BAL, n2); // branch2.deposit(amt)
+    let a1 = b.open_update(ACCOUNT, b.param(2));
+    let a2 = b.open_update(ACCOUNT, b.param(3));
+    let w1 = b.get(a1, BAL);
+    let m1 = b.sub(w1, amt);
+    b.set(a1, BAL, m1); // account1.withdraw(amt)
+    let w2 = b.get(a2, BAL);
+    let m2 = b.add(w2, amt);
+    b.set(a2, BAL, m2); // account2.deposit(amt)
+    b.finish()
+}
+
+/// Read-only balance audit over the same four objects.
+fn audit_template() -> Program {
+    let mut b = ProgramBuilder::new("bank/audit", 4);
+    let br1 = b.open_read(BRANCH, b.param(0));
+    let br2 = b.open_read(BRANCH, b.param(1));
+    let a1 = b.open_read(ACCOUNT, b.param(2));
+    let a2 = b.open_read(ACCOUNT, b.param(3));
+    let v1 = b.get(br1, BAL);
+    let v2 = b.get(br2, BAL);
+    let v3 = b.get(a1, BAL);
+    let v4 = b.get(a2, BAL);
+    let s1 = b.add(v1, v2);
+    let s2 = b.add(v3, v4);
+    let _sum = b.compute(ComputeOp::Add, [s1.into(), s2.into()]);
+    b.finish()
+}
+
+impl Bank {
+    /// Build the benchmark with explicit parameters.
+    pub fn new(cfg: BankConfig) -> Self {
+        Bank {
+            cfg,
+            templates: vec![transfer_template(), audit_template()],
+        }
+    }
+
+    /// The parameters this instance runs with.
+    pub fn config(&self) -> BankConfig {
+        self.cfg
+    }
+
+    /// Pool sizes per phase: `(branch_pool, account_pool)`.
+    fn pools(&self, phase: usize) -> (u64, u64) {
+        if phase % 2 == 0 {
+            (self.cfg.hot_pool, self.cfg.cold_pool)
+        } else {
+            (self.cfg.cold_pool, self.cfg.hot_pool)
+        }
+    }
+
+    fn distinct_pair(rng: &mut StdRng, pool: u64) -> (u64, u64) {
+        let a = rng.gen_range(0..pool);
+        if pool == 1 {
+            return (a, a);
+        }
+        let b = (a + 1 + rng.gen_range(0..pool - 1)) % pool;
+        (a, b)
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new(BankConfig::default())
+    }
+}
+
+impl Workload for Bank {
+    fn name(&self) -> &str {
+        "bank"
+    }
+
+    fn templates(&self) -> &[Program] {
+        &self.templates
+    }
+
+    /// The manual QR-CN decomposition: the programmer wraps the branch
+    /// operations and the account operations in two sub-transactions, in
+    /// the source (Figure 1) order — branches first. Sensible, but blind
+    /// to run-time contention.
+    fn manual_groups(&self, t: usize, dm: &DependencyModel) -> Vec<Vec<UnitBlockId>> {
+        assert_eq!(dm.unit_count(), 4, "bank templates open four objects");
+        match t {
+            0 | 1 => vec![vec![0, 1], vec![2, 3]],
+            _ => unreachable!("bank has two templates"),
+        }
+    }
+
+    fn next(&self, rng: &mut StdRng, phase: usize) -> TxnRequest {
+        let (branch_pool, account_pool) = self.pools(phase);
+        let (b1, b2) = Self::distinct_pair(rng, branch_pool);
+        let (a1, a2) = Self::distinct_pair(rng, account_pool);
+        if rng.gen_range(0..100) < self.cfg.write_pct {
+            let amt = rng.gen_range(1..100i64);
+            TxnRequest {
+                template: 0,
+                params: vec![
+                    Value::Int(b1 as i64),
+                    Value::Int(b2 as i64),
+                    Value::Int(a1 as i64),
+                    Value::Int(a2 as i64),
+                    Value::Int(amt),
+                ],
+            }
+        } else {
+            TxnRequest {
+                template: 1,
+                params: vec![
+                    Value::Int(b1 as i64),
+                    Value::Int(b2 as i64),
+                    Value::Int(a1 as i64),
+                    Value::Int(a2 as i64),
+                ],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transfer_has_four_units_in_figure1_order() {
+        let dm = DependencyModel::analyze(transfer_template()).unwrap();
+        assert_eq!(dm.unit_count(), 4);
+        assert_eq!(dm.units[0].classes, vec![BRANCH]);
+        assert_eq!(dm.units[1].classes, vec![BRANCH]);
+        assert_eq!(dm.units[2].classes, vec![ACCOUNT]);
+        assert_eq!(dm.units[3].classes, vec![ACCOUNT]);
+        // Branch and account halves are mutually independent — the property
+        // code repositioning exploits.
+        assert!(dm.default_unit_edges().is_empty());
+    }
+
+    #[test]
+    fn audit_is_read_only() {
+        let p = audit_template();
+        assert!(p
+            .stmts
+            .iter()
+            .all(|s| !matches!(s, acn_txir::Stmt::SetField { .. })));
+    }
+
+    #[test]
+    fn manual_groups_are_legal() {
+        let bank = Bank::default();
+        for t in 0..2 {
+            let dm = DependencyModel::analyze(bank.templates()[t].clone()).unwrap();
+            let groups = bank.manual_groups(t, &dm);
+            // group_units validates the partition and dependency order.
+            let seq = acn_core::BlockSeq::group_units(&dm, &groups);
+            assert_eq!(seq.len(), 2);
+        }
+    }
+
+    #[test]
+    fn phase_swaps_hot_pools() {
+        let bank = Bank::default();
+        assert_eq!(bank.pools(0), (4, 4096));
+        assert_eq!(bank.pools(1), (4096, 4));
+        assert_eq!(bank.pools(2), (4, 4096));
+    }
+
+    #[test]
+    fn generated_params_are_in_pool_range() {
+        let bank = Bank::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for phase in 0..2 {
+            for _ in 0..200 {
+                let req = bank.next(&mut rng, phase);
+                let (bp, ap) = bank.pools(phase);
+                let p: Vec<i64> = req.params.iter().map(|v| v.as_int().unwrap()).collect();
+                assert!(p[0] < bp as i64 && p[1] < bp as i64);
+                assert!(p[2] < ap as i64 && p[3] < ap as i64);
+                if req.template == 0 {
+                    assert!(p[4] > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_mix_matches_config() {
+        let bank = Bank::new(BankConfig {
+            write_pct: 50,
+            ..BankConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let writes = (0..1000)
+            .filter(|_| bank.next(&mut rng, 0).template == 0)
+            .count();
+        assert!((350..650).contains(&writes), "writes = {writes}");
+    }
+
+    #[test]
+    fn distinct_pair_never_aliases_in_big_pools() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let (a, b) = Bank::distinct_pair(&mut rng, 16);
+            assert_ne!(a, b);
+            assert!(a < 16 && b < 16);
+        }
+        let (a, b) = Bank::distinct_pair(&mut rng, 1);
+        assert_eq!((a, b), (0, 0));
+    }
+}

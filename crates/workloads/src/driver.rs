@@ -1,0 +1,437 @@
+//! The measurement driver: cluster + client threads + per-interval stats.
+//!
+//! Reproduces the paper's methodology: "We measured the throughput on
+//! client nodes as transactions committed per second. […] We ran QR-ACN's
+//! algorithm for assessing the effectiveness of the current closed nesting
+//! configuration every 10 seconds, and measured the system throughput for
+//! every 10 second time interval." Intervals are scaled down together with
+//! the network latency; hot-set shifts are expressed as a phase index per
+//! interval.
+
+use crate::workload::Workload;
+use acn_core::{
+    AcnController, AlgorithmModule, BlockSeq, ContentionModel, ControllerConfig, ExecStats,
+    ExecutorEngine, LatencyHistogram, RetryPolicy, StaticModule, SumModel,
+};
+use parking_lot::Mutex;
+use acn_dtm::{Cluster, ClusterConfig};
+use acn_txir::DependencyModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which of the three evaluated systems executes the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Flat nesting — the QR-DTM baseline.
+    QrDtm,
+    /// Manual closed nesting — the QR-CN baseline
+    /// ([`Workload::manual_groups`]).
+    QrCn,
+    /// Automated closed nesting — the paper's contribution.
+    QrAcn,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemKind::QrDtm => write!(f, "QR-DTM"),
+            SystemKind::QrCn => write!(f, "QR-CN"),
+            SystemKind::QrAcn => write!(f, "QR-ACN"),
+        }
+    }
+}
+
+/// Scenario shape.
+pub struct ScenarioConfig {
+    /// Cluster shape and network parameters.
+    pub cluster: ClusterConfig,
+    /// Client threads (≤ `cluster.clients`).
+    pub client_threads: usize,
+    /// Number of measurement windows.
+    pub intervals: usize,
+    /// Window length (the paper's "10 second time interval", scaled).
+    pub interval: Duration,
+    /// Contention phase per interval index; shorter vectors repeat their
+    /// last entry, an empty vector means phase 0 throughout.
+    pub phase_per_interval: Vec<usize>,
+    /// Which system executes the workload.
+    pub system: SystemKind,
+    /// ACN controller tuning (ignored by the baselines).
+    pub controller: ControllerConfig,
+    /// Executor retry policy.
+    pub retry: RetryPolicy,
+    /// Base RNG seed (thread `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// A scaled-down default: paper-shaped cluster, `threads` clients,
+    /// six 200 ms intervals.
+    pub fn scaled(system: SystemKind, threads: usize) -> Self {
+        let mut cluster = ClusterConfig::paper(threads.max(1));
+        cluster.window.window = Duration::from_millis(100);
+        ScenarioConfig {
+            cluster,
+            client_threads: threads,
+            intervals: 6,
+            interval: Duration::from_millis(200),
+            phase_per_interval: Vec::new(),
+            system,
+            controller: ControllerConfig {
+                period: Duration::from_millis(200),
+                alpha: 1.0,
+                sampling: acn_core::SamplingMode::Explicit,
+            },
+            retry: RetryPolicy::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Commit/abort counts for one measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalStats {
+    /// Transactions committed in the window.
+    pub commits: u64,
+    /// Full restarts absorbed in the window.
+    pub full_aborts: u64,
+    /// Partial rollbacks absorbed in the window.
+    pub partial_aborts: u64,
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The system that ran.
+    pub system: SystemKind,
+    /// Window length used.
+    pub interval: Duration,
+    /// Per-window counters.
+    pub intervals: Vec<IntervalStats>,
+    /// Total ACN reconfigurations installed (0 for the baselines).
+    pub refreshes: u64,
+    /// End-to-end commit latency (includes retries and backoff).
+    pub latency: LatencyHistogram,
+}
+
+impl ScenarioResult {
+    /// Committed transactions per second in window `i`.
+    pub fn throughput(&self, i: usize) -> f64 {
+        self.intervals[i].commits as f64 / self.interval.as_secs_f64()
+    }
+
+    /// Mean throughput over windows `from..`.
+    pub fn mean_throughput_from(&self, from: usize) -> f64 {
+        let n = self.intervals.len().saturating_sub(from).max(1);
+        let total: u64 = self.intervals[from.min(self.intervals.len())..]
+            .iter()
+            .map(|w| w.commits)
+            .sum();
+        total as f64 / (n as f64 * self.interval.as_secs_f64())
+    }
+
+    /// Commits across all windows.
+    pub fn total_commits(&self) -> u64 {
+        self.intervals.iter().map(|w| w.commits).sum()
+    }
+
+    /// Partial rollbacks across all windows.
+    pub fn total_partial_aborts(&self) -> u64 {
+        self.intervals.iter().map(|w| w.partial_aborts).sum()
+    }
+
+    /// Full restarts across all windows.
+    pub fn total_full_aborts(&self) -> u64 {
+        self.intervals.iter().map(|w| w.full_aborts).sum()
+    }
+}
+
+enum Plan {
+    Fixed(Vec<Arc<BlockSeq>>),
+    Acn(Vec<Arc<AcnController>>),
+}
+
+struct Buckets {
+    commits: Vec<AtomicU64>,
+    fulls: Vec<AtomicU64>,
+    partials: Vec<AtomicU64>,
+}
+
+impl Buckets {
+    fn new(n: usize) -> Self {
+        let make = || (0..n).map(|_| AtomicU64::new(0)).collect();
+        Buckets {
+            commits: make(),
+            fulls: make(),
+            partials: make(),
+        }
+    }
+}
+
+fn phase_for(cfg: &ScenarioConfig, interval: usize) -> usize {
+    match cfg.phase_per_interval.len() {
+        0 => 0,
+        n => cfg.phase_per_interval[interval.min(n - 1)],
+    }
+}
+
+/// Run one scenario and collect per-interval statistics.
+///
+/// # Panics
+/// Panics on quorum unavailability or retry exhaustion — scenarios run on
+/// a healthy cluster, so those indicate a configuration error.
+pub fn run_scenario(workload: &dyn Workload, cfg: &ScenarioConfig) -> ScenarioResult {
+    run_scenario_with_model(workload, cfg, || Box::new(SumModel))
+}
+
+/// [`run_scenario`] with a custom contention model factory (ablations).
+pub fn run_scenario_with_model(
+    workload: &dyn Workload,
+    cfg: &ScenarioConfig,
+    model: impl Fn() -> Box<dyn ContentionModel>,
+) -> ScenarioResult {
+    assert!(cfg.client_threads >= 1);
+    assert!(
+        cfg.client_threads <= cfg.cluster.clients,
+        "not enough client slots"
+    );
+    let cluster = Cluster::start(cfg.cluster.clone());
+
+    // Seed initial state from slot 0 before measurement starts.
+    {
+        let mut seeder = cluster.client(0);
+        workload.seed(&mut seeder);
+    }
+
+    // Static Module: analyze every template once.
+    let static_module = StaticModule::new();
+    let dms: Vec<Arc<DependencyModel>> = workload
+        .templates()
+        .iter()
+        .map(|p| static_module.analyze(p).expect("workload template invalid"))
+        .collect();
+
+    let plan = match cfg.system {
+        SystemKind::QrDtm => {
+            Plan::Fixed(dms.iter().map(|dm| Arc::new(BlockSeq::flat(dm))).collect())
+        }
+        SystemKind::QrCn => Plan::Fixed(
+            dms.iter()
+                .enumerate()
+                .map(|(t, dm)| {
+                    Arc::new(BlockSeq::group_units(dm, &workload.manual_groups(t, dm)))
+                })
+                .collect(),
+        ),
+        SystemKind::QrAcn => Plan::Acn(
+            dms.iter()
+                .map(|dm| {
+                    Arc::new(AcnController::new(
+                        Arc::clone(dm),
+                        AlgorithmModule::with_model(model()),
+                        cfg.controller,
+                    ))
+                })
+                .collect(),
+        ),
+    };
+
+    let buckets = Buckets::new(cfg.intervals);
+    let latency = Mutex::new(LatencyHistogram::new());
+    let deadline_len = cfg.interval * cfg.intervals as u32;
+    let start = Instant::now();
+
+    // With piggybacked sampling, every client carries the union of all
+    // templates' classes on its remote reads.
+    let piggyback_classes: Vec<u16> = match (&plan, cfg.controller.sampling) {
+        (Plan::Acn(ctrls), acn_core::SamplingMode::Piggyback) => {
+            let mut all: Vec<u16> = ctrls.iter().flat_map(|c| c.classes()).collect();
+            all.sort_unstable();
+            all.dedup();
+            all
+        }
+        _ => Vec::new(),
+    };
+
+    std::thread::scope(|s| {
+        for t in 0..cfg.client_threads {
+            let mut client = cluster.client(t);
+            if !piggyback_classes.is_empty() {
+                client.set_piggyback_classes(piggyback_classes.clone());
+            }
+            let buckets = &buckets;
+            let latency = &latency;
+            let plan = &plan;
+            let dms = &dms;
+            let engine = ExecutorEngine::new(cfg.retry);
+            let mut rng = StdRng::seed_from_u64(cfg.seed + t as u64);
+            s.spawn(move || {
+                let mut stats = ExecStats::default();
+                let mut hist = LatencyHistogram::new();
+                let mut prev = stats;
+                loop {
+                    let elapsed = start.elapsed();
+                    if elapsed >= deadline_len {
+                        break;
+                    }
+                    let interval_now =
+                        (elapsed.as_nanos() / cfg.interval.as_nanos()) as usize;
+                    let phase = phase_for(cfg, interval_now);
+                    let req = workload.next(&mut rng, phase);
+                    let dm = &dms[req.template];
+                    let seq = match plan {
+                        Plan::Fixed(seqs) => Arc::clone(&seqs[req.template]),
+                        Plan::Acn(ctrls) => {
+                            let c = &ctrls[req.template];
+                            c.maybe_refresh(&mut client);
+                            c.current()
+                        }
+                    };
+                    engine
+                        .run_timed(&mut client, &dm.program, &req.params, &seq, &mut stats, &mut hist)
+                        .expect("scenario transaction failed");
+                    // Attribute the commit (and the aborts it absorbed) to
+                    // the window in which it completed.
+                    let done = start.elapsed();
+                    let idx =
+                        ((done.as_nanos() / cfg.interval.as_nanos()) as usize).min(cfg.intervals - 1);
+                    buckets.commits[idx]
+                        .fetch_add(stats.commits - prev.commits, Ordering::Relaxed);
+                    buckets.fulls[idx]
+                        .fetch_add(stats.full_aborts - prev.full_aborts, Ordering::Relaxed);
+                    buckets.partials[idx]
+                        .fetch_add(stats.partial_aborts - prev.partial_aborts, Ordering::Relaxed);
+                    prev = stats;
+                }
+                latency.lock().merge(&hist);
+            });
+        }
+    });
+
+    let refreshes = match &plan {
+        Plan::Fixed(_) => 0,
+        Plan::Acn(ctrls) => ctrls.iter().map(|c| c.refresh_count()).sum(),
+    };
+    cluster.shutdown();
+
+    ScenarioResult {
+        latency: latency.into_inner(),
+        system: cfg.system,
+        interval: cfg.interval,
+        intervals: (0..cfg.intervals)
+            .map(|i| IntervalStats {
+                commits: buckets.commits[i].load(Ordering::Relaxed),
+                full_aborts: buckets.fulls[i].load(Ordering::Relaxed),
+                partial_aborts: buckets.partials[i].load(Ordering::Relaxed),
+            })
+            .collect(),
+        refreshes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::{Bank, BankConfig};
+    use acn_simnet::LatencyModel;
+
+    fn tiny(system: SystemKind) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::scaled(system, 2);
+        cfg.cluster = ClusterConfig::test(10, 2);
+        cfg.cluster.latency = LatencyModel::Zero;
+        cfg.cluster.window.window = Duration::from_millis(20);
+        cfg.intervals = 3;
+        cfg.interval = Duration::from_millis(60);
+        cfg.controller.period = Duration::from_millis(40);
+        cfg
+    }
+
+    #[test]
+    fn flat_scenario_commits_in_every_interval() {
+        let bank = Bank::new(BankConfig {
+            hot_pool: 4,
+            cold_pool: 256,
+            write_pct: 90,
+        });
+        let r = run_scenario(&bank, &tiny(SystemKind::QrDtm));
+        assert_eq!(r.intervals.len(), 3);
+        assert!(r.total_commits() > 0);
+        assert_eq!(r.refreshes, 0);
+        assert_eq!(r.total_partial_aborts(), 0, "flat cannot partially abort");
+    }
+
+    #[test]
+    fn manual_cn_scenario_runs() {
+        let bank = Bank::default();
+        let r = run_scenario(&bank, &tiny(SystemKind::QrCn));
+        assert!(r.total_commits() > 0);
+        assert_eq!(r.refreshes, 0);
+    }
+
+    #[test]
+    fn acn_scenario_reconfigures() {
+        let bank = Bank::default();
+        let r = run_scenario(&bank, &tiny(SystemKind::QrAcn));
+        assert!(r.total_commits() > 0);
+        assert!(r.refreshes > 0, "controller should fire at least once");
+    }
+
+    #[test]
+    fn acn_scenario_with_piggybacked_sampling() {
+        let bank = Bank::default();
+        let mut cfg = tiny(SystemKind::QrAcn);
+        cfg.controller.sampling = acn_core::SamplingMode::Piggyback;
+        let r = run_scenario(&bank, &cfg);
+        assert!(r.total_commits() > 0);
+        assert!(r.refreshes > 0, "piggybacked sampling must still refresh");
+    }
+
+    #[test]
+    fn latency_histogram_covers_every_commit() {
+        let bank = Bank::default();
+        let r = run_scenario(&bank, &tiny(SystemKind::QrDtm));
+        assert_eq!(
+            r.latency.len(),
+            r.total_commits(),
+            "one latency sample per committed transaction"
+        );
+        let p50 = r.latency.percentile(0.5).unwrap();
+        let p99 = r.latency.percentile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(p99 < Duration::from_secs(5), "sane upper bound: {p99:?}");
+    }
+
+    #[test]
+    fn phase_schedule_clamps() {
+        let cfg = tiny(SystemKind::QrDtm);
+        assert_eq!(phase_for(&cfg, 5), 0, "empty schedule is phase 0");
+        let mut cfg = cfg;
+        cfg.phase_per_interval = vec![0, 1];
+        assert_eq!(phase_for(&cfg, 0), 0);
+        assert_eq!(phase_for(&cfg, 1), 1);
+        assert_eq!(phase_for(&cfg, 9), 1, "repeats the last entry");
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = ScenarioResult {
+            latency: LatencyHistogram::new(),
+            system: SystemKind::QrDtm,
+            interval: Duration::from_millis(500),
+            intervals: vec![
+                IntervalStats { commits: 50, full_aborts: 1, partial_aborts: 0 },
+                IntervalStats { commits: 100, full_aborts: 2, partial_aborts: 3 },
+            ],
+            refreshes: 0,
+        };
+        assert_eq!(r.throughput(0), 100.0);
+        assert_eq!(r.throughput(1), 200.0);
+        assert_eq!(r.mean_throughput_from(1), 200.0);
+        assert_eq!(r.total_commits(), 150);
+        assert_eq!(r.total_full_aborts(), 3);
+        assert_eq!(r.total_partial_aborts(), 3);
+    }
+}

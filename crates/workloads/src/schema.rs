@@ -1,0 +1,107 @@
+//! Object classes and field ids for every benchmark.
+//!
+//! Class ids are globally unique so the benchmarks can share a cluster
+//! (and so contention queries never alias across benchmarks).
+
+use acn_txir::{FieldId, ObjClass};
+
+// ---- Bank ----------------------------------------------------------------
+/// Bank branch — few objects, hot under the default phase.
+pub const BRANCH: ObjClass = ObjClass::new(1, "Branch");
+/// Bank account — many objects, cold under the default phase.
+pub const ACCOUNT: ObjClass = ObjClass::new(2, "Account");
+/// Balance field shared by Branch and Account.
+pub const BAL: FieldId = FieldId(0);
+
+// ---- Vacation ------------------------------------------------------------
+/// Vacation rental cars table.
+pub const CAR: ObjClass = ObjClass::new(10, "Car");
+/// Vacation flights table.
+pub const FLIGHT: ObjClass = ObjClass::new(11, "Flight");
+/// Vacation hotel rooms table.
+pub const ROOM: ObjClass = ObjClass::new(12, "Room");
+/// Vacation customer records.
+pub const CUSTOMER_V: ObjClass = ObjClass::new(13, "VCustomer");
+/// Item price (Vacation tables).
+pub const PRICE: FieldId = FieldId(0);
+/// Remaining availability (Vacation tables).
+pub const AVAIL: FieldId = FieldId(1);
+/// Customer running total (Vacation).
+pub const TOTAL_SPENT: FieldId = FieldId(2);
+
+// ---- TPC-C ---------------------------------------------------------------
+/// TPC-C warehouse rows (very few ⇒ hot under Payment).
+pub const WAREHOUSE: ObjClass = ObjClass::new(20, "Warehouse");
+/// TPC-C district rows (order-id counters ⇒ hot under NewOrder).
+pub const DISTRICT: ObjClass = ObjClass::new(21, "District");
+/// TPC-C customer rows.
+pub const CUSTOMER: ObjClass = ObjClass::new(22, "Customer");
+/// TPC-C item catalogue (read-only).
+pub const ITEM: ObjClass = ObjClass::new(23, "Item");
+/// TPC-C per-warehouse stock rows.
+pub const STOCK: ObjClass = ObjClass::new(24, "Stock");
+/// TPC-C order rows (inserted by NewOrder).
+pub const ORDER: ObjClass = ObjClass::new(25, "Order");
+/// TPC-C new-order queue rows.
+pub const NEW_ORDER: ObjClass = ObjClass::new(26, "NewOrder");
+/// TPC-C order-line rows.
+pub const ORDER_LINE: ObjClass = ObjClass::new(27, "OrderLine");
+/// TPC-C payment history rows (insert-only).
+pub const HISTORY: ObjClass = ObjClass::new(28, "History");
+
+/// Warehouse sales tax.
+pub const W_TAX: FieldId = FieldId(0);
+/// Warehouse year-to-date total.
+pub const W_YTD: FieldId = FieldId(1);
+/// District sales tax.
+pub const D_TAX: FieldId = FieldId(0);
+/// District next-order-id counter — the NewOrder hot spot.
+pub const D_NEXT_OID: FieldId = FieldId(2);
+/// District year-to-date total.
+pub const D_YTD: FieldId = FieldId(1);
+/// Customer discount percentage.
+pub const C_DISCOUNT: FieldId = FieldId(0);
+/// Customer balance.
+pub const C_BALANCE: FieldId = FieldId(1);
+/// Customer delivery count.
+pub const C_DELIV_CNT: FieldId = FieldId(2);
+/// Item price.
+pub const I_PRICE: FieldId = FieldId(0);
+/// Stock quantity on hand.
+pub const S_QTY: FieldId = FieldId(0);
+/// Stock year-to-date ordered.
+pub const S_YTD: FieldId = FieldId(1);
+/// Order line count.
+pub const O_OL_CNT: FieldId = FieldId(0);
+/// Order carrier id (set by Delivery).
+pub const O_CARRIER: FieldId = FieldId(1);
+/// Ordering customer.
+pub const O_CUSTOMER: FieldId = FieldId(2);
+/// Order total amount.
+pub const O_TOTAL: FieldId = FieldId(3);
+/// New-order pending flag (cleared by Delivery).
+pub const NO_PENDING: FieldId = FieldId(0);
+/// Order line item id.
+pub const OL_ITEM: FieldId = FieldId(0);
+/// Order line amount.
+pub const OL_AMOUNT: FieldId = FieldId(1);
+/// Order line delivery date.
+pub const OL_DELIV_D: FieldId = FieldId(2);
+/// History payment amount.
+pub const H_AMOUNT: FieldId = FieldId(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ids_are_unique() {
+        let ids = [
+            BRANCH.id, ACCOUNT.id, CAR.id, FLIGHT.id, ROOM.id, CUSTOMER_V.id,
+            WAREHOUSE.id, DISTRICT.id, CUSTOMER.id, ITEM.id, STOCK.id, ORDER.id,
+            NEW_ORDER.id, ORDER_LINE.id, HISTORY.id,
+        ];
+        let set: std::collections::HashSet<u16> = ids.iter().copied().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+}

@@ -1,0 +1,93 @@
+//! The Delivery transaction profile.
+//!
+//! The paper uses Delivery as the *negative control*: it "accesses objects
+//! such that the difference between their contention levels is not
+//! significant (all the objects have similar low contention levels)", so
+//! neither manual nor automated closed nesting can improve on flat
+//! execution — the experiment measures QR-ACN's overhead instead. Order,
+//! NewOrder and OrderLine rows are drawn from a large uniform pool;
+//! parameters: `[order_index, order_line_index, c_index, carrier]`.
+
+use super::Tpcc;
+use crate::schema::{
+    C_BALANCE, C_DELIV_CNT, CUSTOMER, NEW_ORDER, NO_PENDING, O_CARRIER, OL_AMOUNT, OL_DELIV_D,
+    ORDER, ORDER_LINE,
+};
+use acn_txir::{DependencyModel, Program, ProgramBuilder, UnitBlockId, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Pool of order ids Delivery draws from (large ⇒ uniform low contention).
+const ORDER_POOL: u64 = 100_000;
+
+pub fn template() -> Program {
+    let mut b = ProgramBuilder::new("tpcc/delivery", 4);
+    let no = b.open_update(NEW_ORDER, b.param(0));
+    b.set(no, NO_PENDING, 0i64);
+    let o = b.open_update(ORDER, b.param(0));
+    b.set(o, O_CARRIER, b.param(3));
+    let ol = b.open_update(ORDER_LINE, b.param(1));
+    let amt = b.get(ol, OL_AMOUNT);
+    b.set(ol, OL_DELIV_D, 1i64);
+    let c = b.open_update(CUSTOMER, b.param(2));
+    let bal = b.get(c, C_BALANCE);
+    let bal2 = b.add(bal, amt);
+    b.set(c, C_BALANCE, bal2);
+    let cnt = b.get(c, C_DELIV_CNT);
+    let cnt2 = b.add(cnt, 1i64);
+    b.set(c, C_DELIV_CNT, cnt2);
+    b.finish()
+}
+
+/// Units: 0 = NewOrder, 1 = Order, 2 = OrderLine, 3 = Customer (the
+/// customer credit depends on the line amount).
+pub fn manual_groups(dm: &DependencyModel) -> Vec<Vec<UnitBlockId>> {
+    assert_eq!(dm.unit_count(), 4, "unexpected Delivery unit count");
+    vec![vec![0, 1], vec![2, 3]]
+}
+
+pub fn params(tpcc: &Tpcc, rng: &mut StdRng) -> Vec<Value> {
+    let cfg = tpcc.config();
+    let order = rng.gen_range(0..ORDER_POOL);
+    let line = order * 16 + rng.gen_range(0..16);
+    let d_index = tpcc.district_index(
+        rng.gen_range(0..cfg.warehouses),
+        rng.gen_range(0..cfg.districts_per_warehouse),
+    );
+    let c_index = tpcc.customer_index(d_index, rng.gen_range(0..cfg.customers_per_district));
+    vec![
+        Value::Int(order as i64),
+        Value::Int(line as i64),
+        Value::Int(c_index as i64),
+        Value::Int(rng.gen_range(1..10i64)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_structure_and_dependency() {
+        let dm = DependencyModel::analyze(template()).unwrap();
+        assert_eq!(dm.unit_count(), 4);
+        let edges = dm.default_unit_edges();
+        assert!(
+            edges.contains(&(2, 3)),
+            "customer credit depends on the line amount"
+        );
+        assert!(!edges.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn order_and_line_ids_are_related() {
+        let tpcc = Tpcc::default();
+        let mut rng = rand::SeedableRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = params(&tpcc, &mut rng);
+            let order = p[0].as_int().unwrap();
+            let line = p[1].as_int().unwrap();
+            assert_eq!(line / 16, order);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The NewOrder transaction profile.
+//!
+//! Parameter layout for a `k`-line order:
+//! `[w, d_index, c_index, item_0…item_{k−1}, stock_0…stock_{k−1},
+//!   qty_0…qty_{k−1}]`.
+//!
+//! The TPC-C specification "performs the remote operations initially in
+//! the execution" — Warehouse, then the hot District increment, then
+//! Customer, then the per-line Item/Stock work, then the inserts. ACN's
+//! measured win on this profile comes from shifting the District open as
+//! close to the commit phase as the Order/NewOrder/OrderLine id
+//! derivations allow.
+
+use super::Tpcc;
+use crate::schema::{
+    C_DISCOUNT, CUSTOMER, D_NEXT_OID, D_TAX, DISTRICT, I_PRICE, ITEM, NEW_ORDER, NO_PENDING,
+    O_CUSTOMER, O_OL_CNT, O_TOTAL, OL_AMOUNT, OL_ITEM, ORDER, ORDER_LINE, S_QTY, S_YTD, STOCK,
+    W_TAX, WAREHOUSE,
+};
+use acn_txir::{ComputeOp, DependencyModel, Operand, Program, ProgramBuilder, UnitBlockId, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Build the `k`-line NewOrder template.
+pub fn template(k: usize) -> Program {
+    let params = (3 + 3 * k) as u16;
+    let mut b = ProgramBuilder::new(format!("tpcc/neworder/{k}"), params);
+
+    // Header: warehouse tax, district counter (hot), customer discount.
+    let wh = b.open_read(WAREHOUSE, b.param(0));
+    let wtax = b.get(wh, W_TAX);
+    let d = b.open_update(DISTRICT, b.param(1));
+    let dtax = b.get(d, D_TAX);
+    let oid = b.get(d, D_NEXT_OID);
+    let oid_next = b.add(oid, 1i64);
+    b.set(d, D_NEXT_OID, oid_next);
+    let cust = b.open_read(CUSTOMER, b.param(2));
+    let disc = b.get(cust, C_DISCOUNT);
+
+    // Per-line item price lookup and stock decrement.
+    let mut total = b.constant(0i64);
+    let mut amounts = Vec::with_capacity(k);
+    for i in 0..k {
+        let item_p = b.param((3 + i) as u16);
+        let stock_p = b.param((3 + k + i) as u16);
+        let qty_p = b.param((3 + 2 * k + i) as u16);
+        let it = b.open_read(ITEM, item_p);
+        let price = b.get(it, I_PRICE);
+        let st = b.open_update(STOCK, stock_p);
+        let sq = b.get(st, S_QTY);
+        let raw = b.compute(ComputeOp::Sub, [sq.into(), qty_p.into()]);
+        let enough = b.compute(ComputeOp::Ge, [raw.into(), 10i64.into()]);
+        let refill = b.add(raw, 91i64);
+        let newq = b.compute(ComputeOp::Select, [enough.into(), raw.into(), refill.into()]);
+        b.set(st, S_QTY, newq);
+        let sy = b.get(st, S_YTD);
+        let sy2 = b.compute(ComputeOp::Add, [sy.into(), qty_p.into()]);
+        b.set(st, S_YTD, sy2);
+        let amt = b.compute(ComputeOp::Mul, [price.into(), qty_p.into()]);
+        total = b.add(total, amt);
+        amounts.push(amt);
+    }
+
+    // Inserts: ids derive from the District counter, so these blocks can
+    // only run after the District open (the dependency ACN must respect
+    // when shifting the hot block towards commit).
+    let obase = b.compute(ComputeOp::Mul, [b.param(1).into(), 1_000_000i64.into()]);
+    let oidx = b.add(obase, oid);
+    let ord = b.open_update(ORDER, oidx);
+    b.set(ord, O_OL_CNT, k as i64);
+    b.set(ord, O_CUSTOMER, b.param(2));
+    // grand = total · (100 + w_tax + d_tax) / 100 · (100 − discount) / 100
+    let taxes = b.add(wtax, dtax);
+    let tax_pct = b.add(taxes, 100i64);
+    let taxed_raw = b.compute(ComputeOp::Mul, [total.into(), tax_pct.into()]);
+    let taxed = b.compute(ComputeOp::Div, [taxed_raw.into(), 100i64.into()]);
+    let disc_pct = b.compute(ComputeOp::Sub, [Operand::from(100i64), disc.into()]);
+    let disc_raw = b.compute(ComputeOp::Mul, [taxed.into(), disc_pct.into()]);
+    let grand = b.compute(ComputeOp::Div, [disc_raw.into(), 100i64.into()]);
+    b.set(ord, O_TOTAL, grand);
+
+    let no = b.open_update(NEW_ORDER, oidx);
+    b.set(no, NO_PENDING, 1i64);
+
+    let olbase = b.compute(ComputeOp::Mul, [oidx.into(), 16i64.into()]);
+    for (i, &amt) in amounts.iter().enumerate() {
+        let olx = b.add(olbase, i as i64);
+        let ol = b.open_update(ORDER_LINE, olx);
+        b.set(ol, OL_ITEM, b.param((3 + i) as u16));
+        b.set(ol, OL_AMOUNT, amt);
+    }
+    b.finish()
+}
+
+/// Unit layout of the `k`-line template: 0 = Warehouse, 1 = District,
+/// 2 = Customer, then per line (Item, Stock), then Order, NewOrder and the
+/// OrderLines.
+pub fn manual_groups(dm: &DependencyModel, k: usize) -> Vec<Vec<UnitBlockId>> {
+    let expected = 3 + 2 * k + 2 + k;
+    assert_eq!(dm.unit_count(), expected, "unexpected NewOrder unit count");
+    // Programmer's grouping: header block, one block per line, one block
+    // for all the inserts — spec order, District in the first block.
+    let mut groups = vec![vec![0, 1, 2]];
+    for i in 0..k {
+        groups.push(vec![3 + 2 * i, 4 + 2 * i]);
+    }
+    groups.push((3 + 2 * k..expected).collect());
+    groups
+}
+
+/// Generate instance parameters.
+pub fn params(tpcc: &Tpcc, rng: &mut StdRng, k: usize) -> Vec<Value> {
+    let cfg = tpcc.config();
+    let w = rng.gen_range(0..cfg.warehouses);
+    let d = rng.gen_range(0..cfg.districts_per_warehouse);
+    let d_index = tpcc.district_index(w, d);
+    let c = rng.gen_range(0..cfg.customers_per_district);
+    let mut out = Vec::with_capacity(3 + 3 * k);
+    out.push(Value::Int(w as i64));
+    out.push(Value::Int(d_index as i64));
+    out.push(Value::Int(tpcc.customer_index(d_index, c) as i64));
+    // Items are drawn without replacement: opening the same Stock row via
+    // two different statements would alias the handles, and the static
+    // dependency analysis (like the paper's Soot-based one) assumes
+    // distinct opens touch distinct objects when reordering blocks.
+    let mut items: Vec<u64> = Vec::with_capacity(k);
+    while items.len() < k {
+        let it = rng.gen_range(0..cfg.items);
+        if !items.contains(&it) {
+            items.push(it);
+        }
+    }
+    for &it in &items {
+        out.push(Value::Int(it as i64));
+    }
+    for &it in &items {
+        out.push(Value::Int(tpcc.stock_index(w, it) as i64));
+    }
+    for _ in 0..k {
+        out.push(Value::Int(rng.gen_range(1..10i64)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_structure_matches_layout() {
+        let k = 5;
+        let dm = DependencyModel::analyze(template(k)).unwrap();
+        assert_eq!(dm.unit_count(), 3 + 2 * k + 2 + k);
+        assert_eq!(dm.units[0].classes, vec![WAREHOUSE]);
+        assert_eq!(dm.units[1].classes, vec![DISTRICT]);
+        assert_eq!(dm.units[2].classes, vec![CUSTOMER]);
+        assert_eq!(dm.units[3].classes, vec![ITEM]);
+        assert_eq!(dm.units[4].classes, vec![STOCK]);
+        let order_unit = 3 + 2 * k;
+        assert_eq!(dm.units[order_unit].classes, vec![ORDER]);
+        assert_eq!(dm.units[order_unit + 1].classes, vec![NEW_ORDER]);
+        assert_eq!(dm.units[order_unit + 2].classes, vec![ORDER_LINE]);
+    }
+
+    #[test]
+    fn inserts_depend_on_district_but_stocks_do_not() {
+        let k = 5;
+        let dm = DependencyModel::analyze(template(k)).unwrap();
+        let edges = dm.default_unit_edges();
+        let district = 1;
+        let order_unit = 3 + 2 * k;
+        assert!(
+            edges.contains(&(district, order_unit)),
+            "Order id derives from the District counter"
+        );
+        assert!(edges.contains(&(district, order_unit + 1)));
+        for i in 0..k {
+            let stock = 4 + 2 * i;
+            assert!(
+                !edges.contains(&(district, stock)),
+                "stock line {i} must not depend on District"
+            );
+        }
+    }
+
+    #[test]
+    fn params_shape_matches_template() {
+        let tpcc = Tpcc::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 5..=10 {
+            let p = params(&tpcc, &mut rng, k);
+            assert_eq!(p.len(), 3 + 3 * k);
+            assert_eq!(template(k).params as usize, p.len());
+        }
+    }
+
+    #[test]
+    fn stock_indices_match_item_and_warehouse() {
+        let tpcc = Tpcc::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let k = 5;
+        let p = params(&tpcc, &mut rng, k);
+        let w = p[0].as_int().unwrap() as u64;
+        for i in 0..k {
+            let item = p[3 + i].as_int().unwrap() as u64;
+            let stock = p[3 + k + i].as_int().unwrap() as u64;
+            assert_eq!(stock, tpcc.stock_index(w, item));
+        }
+    }
+
+    #[test]
+    fn manual_groups_have_district_in_first_block() {
+        let k = 5;
+        let dm = DependencyModel::analyze(template(k)).unwrap();
+        let groups = manual_groups(&dm, k);
+        assert!(groups[0].contains(&1), "spec order: District up front");
+        assert_eq!(groups.len(), 1 + k + 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! The Payment transaction profile.
+//!
+//! Updates the Warehouse and District year-to-date totals (the hot spots
+//! Fig 4(b) is about — only `warehouses` Warehouse rows exist), debits the
+//! Customer and inserts a History row. Parameters:
+//! `[w, d_index, c_index, amount, h_id]`.
+
+use super::Tpcc;
+use crate::schema::{
+    C_BALANCE, CUSTOMER, D_YTD, DISTRICT, H_AMOUNT, HISTORY, W_YTD, WAREHOUSE,
+};
+use acn_txir::{DependencyModel, Program, ProgramBuilder, UnitBlockId, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub fn template() -> Program {
+    let mut b = ProgramBuilder::new("tpcc/payment", 5);
+    let amt = b.param(3);
+    let wh = b.open_update(WAREHOUSE, b.param(0));
+    let wy = b.get(wh, W_YTD);
+    let wy2 = b.add(wy, amt);
+    b.set(wh, W_YTD, wy2);
+    let d = b.open_update(DISTRICT, b.param(1));
+    let dy = b.get(d, D_YTD);
+    let dy2 = b.add(dy, amt);
+    b.set(d, D_YTD, dy2);
+    let c = b.open_update(CUSTOMER, b.param(2));
+    let bal = b.get(c, C_BALANCE);
+    let bal2 = b.sub(bal, amt);
+    b.set(c, C_BALANCE, bal2);
+    let h = b.open_update(HISTORY, b.param(4));
+    b.set(h, H_AMOUNT, amt);
+    b.finish()
+}
+
+/// Units: 0 = Warehouse, 1 = District, 2 = Customer, 3 = History. The
+/// programmer's grouping keeps spec order with the hot pair up front.
+pub fn manual_groups(dm: &DependencyModel) -> Vec<Vec<UnitBlockId>> {
+    assert_eq!(dm.unit_count(), 4, "unexpected Payment unit count");
+    vec![vec![0, 1], vec![2, 3]]
+}
+
+pub fn params(tpcc: &Tpcc, rng: &mut StdRng) -> Vec<Value> {
+    let cfg = tpcc.config();
+    let w = rng.gen_range(0..cfg.warehouses);
+    let d_index = tpcc.district_index(w, rng.gen_range(0..cfg.districts_per_warehouse));
+    let c_index = tpcc.customer_index(d_index, rng.gen_range(0..cfg.customers_per_district));
+    vec![
+        Value::Int(w as i64),
+        Value::Int(d_index as i64),
+        Value::Int(c_index as i64),
+        Value::Int(rng.gen_range(1..5_000i64)),
+        Value::Int(rng.gen_range(0..u32::MAX as i64)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_structure() {
+        let dm = DependencyModel::analyze(template()).unwrap();
+        assert_eq!(dm.unit_count(), 4);
+        assert_eq!(dm.units[0].classes, vec![WAREHOUSE]);
+        assert_eq!(dm.units[1].classes, vec![DISTRICT]);
+        assert_eq!(dm.units[2].classes, vec![CUSTOMER]);
+        assert_eq!(dm.units[3].classes, vec![HISTORY]);
+        // All four rows are mutually independent: ACN may shift the hot
+        // Warehouse/District blocks to the very end.
+        assert!(dm.default_unit_edges().is_empty());
+    }
+
+    #[test]
+    fn params_are_consistent() {
+        let tpcc = Tpcc::default();
+        let mut rng = rand::SeedableRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let p = params(&tpcc, &mut rng);
+            assert_eq!(p.len(), 5);
+            let w = p[0].as_int().unwrap() as u64;
+            let d = p[1].as_int().unwrap() as u64;
+            assert!(w < tpcc.config().warehouses);
+            assert_eq!(d / tpcc.config().districts_per_warehouse, w);
+            assert!(p[3].as_int().unwrap() > 0);
+        }
+    }
+}

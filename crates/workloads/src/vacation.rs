@@ -1,0 +1,311 @@
+//! The Vacation benchmark — a STAMP-style travel reservation system.
+//!
+//! `makeReservation` opens one car, one flight and one room (reserving a
+//! seat/bed in each: `avail -= 1`) and charges the customer record with
+//! the total price. Which table is hot changes over time: the Fig 4(e)
+//! experiment changes the contended objects in the second and fourth time
+//! intervals, and QR-ACN must chase the hot spot while the static systems
+//! cannot.
+
+use crate::schema::{AVAIL, CAR, CUSTOMER_V, FLIGHT, PRICE, ROOM, TOTAL_SPENT};
+use crate::workload::{TxnRequest, Workload};
+use acn_txir::{DependencyModel, Program, ProgramBuilder, UnitBlockId, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Vacation workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VacationConfig {
+    /// Pool the hot table draws ids from.
+    pub hot_pool: u64,
+    /// Pool the cold tables draw ids from.
+    pub cold_pool: u64,
+    /// Customer pool (always cold — customers are per-user records).
+    pub customers: u64,
+    /// Percentage of reservation (write) transactions; the rest are
+    /// price-query reads.
+    pub write_pct: u8,
+    /// Cold price-browse lookups per reservation, mirroring STAMP
+    /// Vacation's `numQueries`: the client comparison-shops several items
+    /// before reserving. These reads are what a full restart wastes.
+    pub queries_per_txn: usize,
+}
+
+impl Default for VacationConfig {
+    fn default() -> Self {
+        VacationConfig {
+            hot_pool: 4,
+            cold_pool: 4096,
+            customers: 8192,
+            write_pct: 90,
+            queries_per_txn: 8,
+        }
+    }
+}
+
+/// The Vacation benchmark. Phase `p` makes table `p % 3` hot
+/// (0 = Car, 1 = Flight, 2 = Room).
+pub struct Vacation {
+    cfg: VacationConfig,
+    templates: Vec<Program>,
+}
+
+/// makeReservation(car, flight, room, customer, browse…): reserve a car
+/// and a flight, comparison-shop `q` further items (independent read-only
+/// price lookups, cycling through the three tables), then reserve the
+/// room and charge the customer the total price. Parameters:
+/// `[car, flight, room, customer, browse_0 … browse_{q−1}]`.
+///
+/// Source order matters for the experiments: the car and flight opens sit
+/// *early* (long exposure under flat execution when those tables are
+/// hot), the room open sits late (flat is nearly optimal when rooms are
+/// hot) — the asymmetry behind Fig 4(e)'s second- vs fourth-interval
+/// behaviour.
+fn reserve_template(q: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("vacation/reserve/{q}"), (4 + q) as u16);
+    let car = b.open_update(CAR, b.param(0));
+    let cp = b.get(car, PRICE);
+    let ca = b.get(car, AVAIL);
+    let ca2 = b.sub(ca, 1i64);
+    b.set(car, AVAIL, ca2);
+    let fl = b.open_update(FLIGHT, b.param(1));
+    let fp = b.get(fl, PRICE);
+    let fa = b.get(fl, AVAIL);
+    let fa2 = b.sub(fa, 1i64);
+    b.set(fl, AVAIL, fa2);
+    // Browse phase: independent price lookups (no cross-item data flow,
+    // so the static analysis sees q mutually independent UnitBlocks and
+    // ACN is free to reorder them around the reservations).
+    for i in 0..q {
+        let class = [CAR, FLIGHT, ROOM][i % 3];
+        let item = b.open_read(class, b.param((4 + i) as u16));
+        let _p = b.get(item, PRICE);
+    }
+    let rm = b.open_update(ROOM, b.param(2));
+    let rp = b.get(rm, PRICE);
+    let ra = b.get(rm, AVAIL);
+    let ra2 = b.sub(ra, 1i64);
+    b.set(rm, AVAIL, ra2);
+    let cust = b.open_update(CUSTOMER_V, b.param(3));
+    let spent = b.get(cust, TOTAL_SPENT);
+    // Accumulate starting from the customer's running total so every sum
+    // manages the Customer object: the whole charge computation then lives
+    // in the Customer UnitBlock, leaving the three table blocks mutually
+    // independent (re-orderable).
+    let s1 = b.add(spent, cp);
+    let s2 = b.add(s1, fp);
+    let s3 = b.add(s2, rp);
+    b.set(cust, TOTAL_SPENT, s3);
+    b.finish()
+}
+
+/// Price query across the three tables (read-only).
+fn query_template() -> Program {
+    let mut b = ProgramBuilder::new("vacation/query", 3);
+    let car = b.open_read(CAR, b.param(0));
+    let fl = b.open_read(FLIGHT, b.param(1));
+    let rm = b.open_read(ROOM, b.param(2));
+    let cp = b.get(car, PRICE);
+    let fp = b.get(fl, PRICE);
+    let rp = b.get(rm, PRICE);
+    let s1 = b.add(cp, fp);
+    let _total = b.add(s1, rp);
+    b.finish()
+}
+
+impl Vacation {
+    /// Build the benchmark with explicit parameters.
+    pub fn new(cfg: VacationConfig) -> Self {
+        Vacation {
+            cfg,
+            templates: vec![reserve_template(cfg.queries_per_txn), query_template()],
+        }
+    }
+
+    /// The parameters this instance runs with.
+    pub fn config(&self) -> VacationConfig {
+        self.cfg
+    }
+
+    /// Table pools for a phase: `(car, flight, room)`.
+    fn pools(&self, phase: usize) -> (u64, u64, u64) {
+        let (h, c) = (self.cfg.hot_pool, self.cfg.cold_pool);
+        match phase % 3 {
+            0 => (h, c, c),
+            1 => (c, h, c),
+            _ => (c, c, h),
+        }
+    }
+}
+
+impl Default for Vacation {
+    fn default() -> Self {
+        Self::new(VacationConfig::default())
+    }
+}
+
+impl Workload for Vacation {
+    fn name(&self) -> &str {
+        "vacation"
+    }
+
+    fn templates(&self) -> &[Program] {
+        &self.templates
+    }
+
+    /// Manual QR-CN nesting, tuned by the "programmer" for the *initial*
+    /// phase (cars hot): flight and room first, the car block second to
+    /// last, the dependent customer charge last. Good at t = 0, stale
+    /// after the first hot-set shift.
+    fn manual_groups(&self, t: usize, dm: &DependencyModel) -> Vec<Vec<UnitBlockId>> {
+        match t {
+            0 => {
+                let q = self.cfg.queries_per_txn;
+                assert_eq!(dm.unit_count(), q + 4);
+                // Unit layout: 0 = car, 1 = flight, 2..2+q = browse,
+                // 2+q = room, 3+q = customer. The programmer tuned this
+                // grouping for the initial phase (cars hot): flight and
+                // the browse block first, the hot car block near the end,
+                // the dependent customer charge last.
+                let mut groups = vec![vec![1]]; // flight
+                if q > 0 {
+                    groups.push((2..2 + q).collect::<Vec<_>>()); // browse
+                }
+                groups.push(vec![2 + q]); // room
+                groups.push(vec![0]); // car (hot at t1 → late)
+                groups.push(vec![3 + q]); // customer
+                groups
+            }
+            1 => {
+                // The price sums chain the query's units (each partial sum
+                // lives with the latest table it reads), so source order is
+                // the only legal single-unit grouping.
+                assert_eq!(dm.unit_count(), 3);
+                vec![vec![0], vec![1], vec![2]]
+            }
+            _ => unreachable!("vacation has two templates"),
+        }
+    }
+
+    fn next(&self, rng: &mut StdRng, phase: usize) -> TxnRequest {
+        let (carp, flp, rmp) = self.pools(phase);
+        let car = rng.gen_range(0..carp) as i64;
+        let fl = rng.gen_range(0..flp) as i64;
+        let rm = rng.gen_range(0..rmp) as i64;
+        if rng.gen_range(0..100) < self.cfg.write_pct {
+            let cust = rng.gen_range(0..self.cfg.customers) as i64;
+            let mut params = vec![
+                Value::Int(car),
+                Value::Int(fl),
+                Value::Int(rm),
+                Value::Int(cust),
+            ];
+            // Browse ids always come from the cold pool: window shopping is
+            // spread across the whole catalogue.
+            for _ in 0..self.cfg.queries_per_txn {
+                params.push(Value::Int(rng.gen_range(0..self.cfg.cold_pool) as i64));
+            }
+            TxnRequest {
+                template: 0,
+                params,
+            }
+        } else {
+            TxnRequest {
+                template: 1,
+                params: vec![Value::Int(car), Value::Int(fl), Value::Int(rm)],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reserve_units_and_dependencies() {
+        let q = 8;
+        let dm = DependencyModel::analyze(reserve_template(q)).unwrap();
+        assert_eq!(dm.unit_count(), q + 4);
+        let (car, flight, room, cust) = (0, 1, q + 2, q + 3);
+        // The customer charge depends on all three reserved prices.
+        let edges = dm.default_unit_edges();
+        assert!(edges.contains(&(car, cust)));
+        assert!(edges.contains(&(flight, cust)));
+        assert!(edges.contains(&(room, cust)));
+        // The three reservations are mutually independent …
+        assert!(!edges.contains(&(car, flight)));
+        assert!(!edges.contains(&(flight, room)));
+        // … and so are the browse lookups (no cross-item data flow).
+        assert!(!edges.contains(&(2, 3)));
+        assert!(!edges.contains(&(3, 4)));
+    }
+
+    #[test]
+    fn reserve_without_browsing_still_analyzes() {
+        let dm = DependencyModel::analyze(reserve_template(0)).unwrap();
+        assert_eq!(dm.unit_count(), 4);
+    }
+
+    #[test]
+    fn manual_groups_are_legal_and_car_late() {
+        let v = Vacation::default();
+        let q = v.config().queries_per_txn;
+        let dm = DependencyModel::analyze(v.templates()[0].clone()).unwrap();
+        let groups = v.manual_groups(0, &dm);
+        let seq = acn_core::BlockSeq::group_units(&dm, &groups);
+        assert_eq!(seq.len(), 5);
+        // Car (unit 0) is the penultimate block in the manual layout.
+        assert_eq!(seq.block_units[3], vec![0]);
+        assert_eq!(seq.block_units[4], vec![q + 3], "customer last");
+    }
+
+    #[test]
+    fn manual_groups_handle_zero_browse() {
+        let v = Vacation::new(VacationConfig {
+            queries_per_txn: 0,
+            ..VacationConfig::default()
+        });
+        let dm = DependencyModel::analyze(v.templates()[0].clone()).unwrap();
+        let groups = v.manual_groups(0, &dm);
+        let seq = acn_core::BlockSeq::group_units(&dm, &groups);
+        assert_eq!(seq.len(), 4);
+    }
+
+    #[test]
+    fn hot_table_rotates_with_phase() {
+        let v = Vacation::default();
+        assert_eq!(v.pools(0).0, v.config().hot_pool);
+        assert_eq!(v.pools(1).1, v.config().hot_pool);
+        assert_eq!(v.pools(2).2, v.config().hot_pool);
+        assert_eq!(v.pools(3).0, v.config().hot_pool, "wraps around");
+    }
+
+    #[test]
+    fn generated_ids_respect_pools() {
+        let v = Vacation::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for phase in 0..3 {
+            let (cp, fp, rp) = v.pools(phase);
+            for _ in 0..100 {
+                let req = v.next(&mut rng, phase);
+                let p: Vec<i64> = req.params.iter().map(|x| x.as_int().unwrap()).collect();
+                assert!(p[0] < cp as i64);
+                assert!(p[1] < fp as i64);
+                assert!(p[2] < rp as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn query_is_read_only() {
+        let p = query_template();
+        assert!(p
+            .stmts
+            .iter()
+            .all(|s| !matches!(s, acn_txir::Stmt::SetField { .. })));
+        let dm = DependencyModel::analyze(p).unwrap();
+        assert_eq!(dm.unit_count(), 3);
+    }
+}

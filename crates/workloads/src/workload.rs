@@ -1,0 +1,39 @@
+//! The workload abstraction consumed by the driver.
+
+use acn_dtm::DtmClient;
+use acn_txir::{DependencyModel, Program, UnitBlockId, Value};
+use rand::rngs::StdRng;
+
+/// One transaction to execute: which template and with which parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnRequest {
+    /// Index into [`Workload::templates`].
+    pub template: usize,
+    /// Parameter bindings for this instance.
+    pub params: Vec<Value>,
+}
+
+/// A benchmark: a fixed set of transaction templates plus a generator of
+/// transaction instances. `phase` indexes the contention regime — the
+/// driver advances it per the scenario's schedule to reproduce the paper's
+/// hot-set shifts (Fig 4(e)/(f)).
+pub trait Workload: Send + Sync {
+    /// Short benchmark name.
+    fn name(&self) -> &str;
+
+    /// The transaction templates, analyzed once by the Static Module.
+    fn templates(&self) -> &[Program];
+
+    /// The "programmer's" manual closed-nesting decomposition of template
+    /// `t` — the QR-CN baseline. Groups are UnitBlock ids in execution
+    /// order and must satisfy the template's dependencies.
+    fn manual_groups(&self, t: usize, dm: &DependencyModel) -> Vec<Vec<UnitBlockId>>;
+
+    /// Generate the next transaction instance under contention phase
+    /// `phase`.
+    fn next(&self, rng: &mut StdRng, phase: usize) -> TxnRequest;
+
+    /// Populate initial state before measurement (default: nothing — the
+    /// store materialises objects lazily).
+    fn seed(&self, _client: &mut DtmClient) {}
+}

@@ -1,0 +1,132 @@
+//! Vacation consistency invariant: every committed reservation decrements
+//! the availability of exactly one car, one flight and one room and
+//! charges the customer the sum of their prices — so, whatever
+//! decomposition executes the workload under concurrency,
+//!
+//! `Σ customer.TOTAL_SPENT == Σ_table price(item) · (seeded_avail − avail)`.
+
+use acn_core::{BlockSeq, ExecStats, ExecutorEngine};
+use acn_dtm::{Cluster, ClusterConfig, DtmClient, TxnCtx};
+use acn_txir::{DependencyModel, FieldId, ObjClass, ObjectId, Value};
+use acn_workloads::schema::{AVAIL, CAR, CUSTOMER_V, FLIGHT, PRICE, ROOM, TOTAL_SPENT};
+use acn_workloads::vacation::{Vacation, VacationConfig};
+use acn_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const POOL: u64 = 6;
+const CUSTOMERS: u64 = 16;
+const SEED_AVAIL: i64 = 10_000;
+
+fn read_int(client: &mut DtmClient, obj: ObjectId, field: FieldId) -> i64 {
+    let mut ctx = TxnCtx::begin(client);
+    ctx.open(client, obj, false).unwrap();
+    let v = ctx.get_field(obj, field).as_int().unwrap();
+    ctx.commit(client).unwrap();
+    v
+}
+
+/// Seed every table item with a distinct price and a large availability.
+fn seed(client: &mut DtmClient) {
+    let mut ctx = TxnCtx::begin(client);
+    for (t, class) in [CAR, FLIGHT, ROOM].into_iter().enumerate() {
+        for i in 0..POOL {
+            let obj = ObjectId::new(class, i);
+            ctx.open(client, obj, true).unwrap();
+            ctx.set_field(obj, PRICE, Value::Int(100 + (t as i64) * 10 + i as i64));
+            ctx.set_field(obj, AVAIL, Value::Int(SEED_AVAIL));
+        }
+    }
+    ctx.commit(client).unwrap();
+}
+
+fn run_with(seq_for: impl Fn(&Arc<DependencyModel>) -> Arc<BlockSeq>) {
+    // Both pools small and equal so reservations and browses share the
+    // seeded id range; write_pct 100 so every transaction reserves.
+    let vacation = Vacation::new(VacationConfig {
+        hot_pool: POOL,
+        cold_pool: POOL,
+        customers: CUSTOMERS,
+        write_pct: 100,
+        queries_per_txn: 4,
+    });
+    let cluster = Cluster::start(ClusterConfig::test(10, 4));
+    {
+        let mut seeder = cluster.client(0);
+        seed(&mut seeder);
+    }
+    let dm = Arc::new(DependencyModel::analyze(vacation.templates()[0].clone()).unwrap());
+    let seq = seq_for(&dm);
+    seq.assert_respects_dependencies(&dm);
+
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let mut client = cluster.client(t);
+            let vacation = &vacation;
+            let dm = Arc::clone(&dm);
+            let seq = Arc::clone(&seq);
+            s.spawn(move || {
+                let engine = ExecutorEngine::default();
+                let mut stats = ExecStats::default();
+                let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                for _ in 0..25 {
+                    let req = vacation.next(&mut rng, 0);
+                    assert_eq!(req.template, 0, "write_pct 100 ⇒ all reserve");
+                    engine
+                        .run(&mut client, &dm.program, &req.params, &seq, &mut stats)
+                        .unwrap();
+                }
+                assert_eq!(stats.commits, 25);
+            });
+        }
+    });
+
+    let mut client = cluster.client(0);
+    // Money charged to customers…
+    let charged: i64 = (0..CUSTOMERS)
+        .map(|c| read_int(&mut client, ObjectId::new(CUSTOMER_V, c), TOTAL_SPENT))
+        .sum();
+    // …must equal the prices of every seat/bed handed out.
+    let mut sold = 0i64;
+    let mut reservations = 0i64;
+    for class in [CAR, FLIGHT, ROOM] {
+        for i in 0..POOL {
+            let obj = ObjectId::new(class, i);
+            let price = read_int(&mut client, obj, PRICE);
+            let avail = read_int(&mut client, obj, AVAIL);
+            let taken = SEED_AVAIL - avail;
+            assert!(taken >= 0, "{obj} availability grew");
+            sold += price * taken;
+            reservations += taken;
+        }
+    }
+    assert_eq!(
+        reservations, 3 * 100,
+        "100 reservations × 3 tables decremented"
+    );
+    assert_eq!(charged, sold, "customer charges equal items handed out");
+    cluster.shutdown();
+}
+
+#[test]
+fn reservation_money_conserved_flat() {
+    run_with(|dm| Arc::new(BlockSeq::flat(dm)));
+}
+
+#[test]
+fn reservation_money_conserved_per_unit_nesting() {
+    run_with(|dm| Arc::new(BlockSeq::from_units(dm)));
+}
+
+#[test]
+fn reservation_money_conserved_acn_adapted() {
+    run_with(|dm| {
+        let module = acn_core::AlgorithmModule::with_model(Box::new(acn_core::SumModel));
+        // Cars hot: the regime that reorders the reservation blocks.
+        let levels = [(CAR.id, 9.0), (FLIGHT.id, 0.5), (ROOM.id, 0.5), (CUSTOMER_V.id, 0.2)]
+            .into_iter()
+            .collect();
+        Arc::new(module.recompute(dm, &levels))
+    });
+}

@@ -1,0 +1,60 @@
+//! Bank under a hot-set shift — a miniature of the paper's Figure 4(f).
+//!
+//! Runs the Bank benchmark for six measurement intervals with the hot
+//! class flipping from branches to accounts mid-run, under all three
+//! systems, and prints the per-interval throughput table. QR-ACN should
+//! track the shift; QR-CN's manual decomposition goes stale.
+//!
+//! ```sh
+//! cargo run --release --example bank_adaptive
+//! ```
+
+use acn_workloads::bank::{Bank, BankConfig};
+use qr_acn::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let bank = Bank::new(BankConfig {
+        hot_pool: 4,
+        cold_pool: 4096,
+        write_pct: 90,
+    });
+
+    let systems = [SystemKind::QrDtm, SystemKind::QrCn, SystemKind::QrAcn];
+    let mut results = Vec::new();
+    for system in systems {
+        let mut cfg = ScenarioConfig::scaled(system, 8);
+        cfg.intervals = 6;
+        cfg.interval = Duration::from_millis(300);
+        cfg.controller.period = Duration::from_millis(150);
+        // Hot set shifts in the 3rd interval (phase 0 → 1): branches cool
+        // down, accounts heat up.
+        cfg.phase_per_interval = vec![0, 0, 1, 1, 1, 1];
+        println!("running {system} …");
+        results.push(run_scenario(&bank, &cfg));
+    }
+
+    println!("\nthroughput (committed txn/s) per interval — hot set shifts at t3:");
+    print!("{:>10}", "interval");
+    for r in &results {
+        print!("{:>10}", r.system.to_string());
+    }
+    println!();
+    for i in 0..6 {
+        print!("{:>10}", format!("t{}", i + 1));
+        for r in &results {
+            print!("{:>10.0}", r.throughput(i));
+        }
+        println!();
+    }
+    for r in &results {
+        println!(
+            "{}: {} commits, {} full aborts, {} partial aborts, {} reconfigurations",
+            r.system,
+            r.total_commits(),
+            r.total_full_aborts(),
+            r.total_partial_aborts(),
+            r.refreshes
+        );
+    }
+}

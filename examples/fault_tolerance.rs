@@ -1,0 +1,63 @@
+//! Fault tolerance: tree quorums keep the DTM available through failures.
+//!
+//! Kills leaf replicas while transactions run (reads and writes survive),
+//! then the tree root (writes block, reads survive), then recovers it.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use qr_acn::prelude::*;
+
+const COUNTER: ObjClass = ObjClass::new(0, "Counter");
+const VAL: FieldId = FieldId(0);
+
+fn increment(client: &mut DtmClient) -> Result<i64, DtmError> {
+    let obj = ObjectId::new(COUNTER, 0);
+    let mut ctx = TxnCtx::begin(client);
+    ctx.open(client, obj, true)?;
+    let v = ctx.get_field(obj, VAL).as_int().unwrap();
+    ctx.set_field(obj, VAL, Value::Int(v + 1));
+    ctx.commit(client)?;
+    Ok(v + 1)
+}
+
+fn main() {
+    // 10 servers in a ternary tree: root 0, mid-level 1–3, leaves 4–9.
+    let cluster = Cluster::start(ClusterConfig::test(10, 1));
+    let mut client = cluster.client(0);
+
+    println!("healthy cluster:");
+    for _ in 0..3 {
+        println!("  counter = {}", increment(&mut client).unwrap());
+    }
+
+    println!("failing leaf servers 4 and 9 …");
+    cluster.fail_server(4);
+    cluster.fail_server(9);
+    for _ in 0..3 {
+        println!("  counter = {} (still committing)", increment(&mut client).unwrap());
+    }
+
+    println!("failing the tree root (server 0) …");
+    cluster.fail_server(0);
+    match increment(&mut client) {
+        Err(DtmError::Unavailable) => {
+            println!("  write unavailable, as tree quorums require the root")
+        }
+        other => println!("  unexpected: {other:?}"),
+    }
+    // Reads still work: a read quorum is a majority of one level.
+    let obj = ObjectId::new(COUNTER, 0);
+    let mut ctx = TxnCtx::begin(&mut client);
+    ctx.open(&mut client, obj, false).unwrap();
+    println!("  read survives: counter = {}", ctx.get_field(obj, VAL));
+    ctx.commit(&mut client).unwrap();
+
+    println!("recovering the root …");
+    cluster.recover_server(0);
+    println!("  counter = {}", increment(&mut client).unwrap());
+
+    cluster.shutdown();
+    println!("done.");
+}

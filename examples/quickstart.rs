@@ -1,0 +1,108 @@
+//! Quickstart: define a transaction, let ACN decompose it, execute it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qr_acn::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+const BAL: FieldId = FieldId(0);
+
+/// The paper's Figure 1 Bank transfer, written flat: branch operations
+/// first, account operations second.
+fn transfer() -> Program {
+    let mut b = ProgramBuilder::new("transfer", 5);
+    let amt = b.param(4);
+    let br1 = b.open_update(BRANCH, b.param(0));
+    let br2 = b.open_update(BRANCH, b.param(1));
+    let v1 = b.get(br1, BAL);
+    let n1 = b.sub(v1, amt);
+    b.set(br1, BAL, n1);
+    let v2 = b.get(br2, BAL);
+    let n2 = b.add(v2, amt);
+    b.set(br2, BAL, n2);
+    let a1 = b.open_update(ACCOUNT, b.param(2));
+    let a2 = b.open_update(ACCOUNT, b.param(3));
+    let w1 = b.get(a1, BAL);
+    let m1 = b.sub(w1, amt);
+    b.set(a1, BAL, m1);
+    let w2 = b.get(a2, BAL);
+    let m2 = b.add(w2, amt);
+    b.set(a2, BAL, m2);
+    b.finish()
+}
+
+fn describe(seq: &BlockSeq) -> String {
+    seq.block_units
+        .iter()
+        .map(|g| format!("{g:?}"))
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+fn main() {
+    // 1. Static Module: analyze the template into UnitBlocks.
+    let dm = Arc::new(DependencyModel::analyze(transfer()).expect("valid template"));
+    println!("template `{}`:", dm.program.name);
+    println!("  {} UnitBlocks, dependency edges: {:?}", dm.unit_count(), dm.default_unit_edges());
+
+    // 2. Bring up a paper-shaped cluster: 10 quorum servers, ternary tree,
+    //    LAN-like latency, plus one client slot.
+    let cluster = Cluster::start(ClusterConfig::paper(1));
+    let mut client = cluster.client(0);
+
+    // 3. The ACN controller starts from the static decomposition.
+    let controller = AcnController::new(
+        Arc::clone(&dm),
+        AlgorithmModule::with_model(Box::new(SumModel)),
+        ControllerConfig::default(),
+    );
+    println!("initial Block sequence : {}", describe(&controller.current()));
+
+    // 4. Feed it contention levels (here: branches hot), as the Dynamic
+    //    Module would at run time, and watch the recomposition: account
+    //    blocks merge and run first, hot branch blocks merge and move to
+    //    the commit side.
+    let levels: HashMap<u16, f64> = [(BRANCH.id, 9.0), (ACCOUNT.id, 1.0)].into();
+    controller.refresh_with_levels(&levels);
+    println!("adapted Block sequence : {}", describe(&controller.current()));
+
+    // 5. Execute transfers through the Executor Engine.
+    let engine = ExecutorEngine::default();
+    let mut stats = ExecStats::default();
+    for i in 0..100 {
+        engine
+            .run(
+                &mut client,
+                &dm.program,
+                &[
+                    Value::Int(i % 4),
+                    Value::Int((i + 1) % 4),
+                    Value::Int(100 + i),
+                    Value::Int(200 + i),
+                    Value::Int(5),
+                ],
+                &controller.current(),
+                &mut stats,
+            )
+            .expect("transfer");
+    }
+    println!(
+        "executed: {} commits, {} full aborts, {} partial aborts",
+        stats.commits, stats.full_aborts, stats.partial_aborts
+    );
+
+    // 6. Verify the money moved.
+    let mut ctx = TxnCtx::begin(&mut client);
+    let b0 = ObjectId::new(BRANCH, 0);
+    ctx.open(&mut client, b0, false).unwrap();
+    println!("Branch#0 balance = {}", ctx.get_field(b0, BAL));
+    ctx.commit(&mut client).unwrap();
+
+    cluster.shutdown();
+    println!("done.");
+}

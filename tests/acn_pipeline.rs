@@ -1,0 +1,299 @@
+//! Cross-crate integration tests: the full ACN pipeline from template
+//! analysis through adaptive execution on a live cluster.
+
+use qr_acn::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+const BAL: FieldId = FieldId(0);
+
+fn transfer() -> Program {
+    let mut b = ProgramBuilder::new("it/transfer", 5);
+    let amt = b.param(4);
+    let br1 = b.open_update(BRANCH, b.param(0));
+    let br2 = b.open_update(BRANCH, b.param(1));
+    let v1 = b.get(br1, BAL);
+    let n1 = b.sub(v1, amt);
+    b.set(br1, BAL, n1);
+    let v2 = b.get(br2, BAL);
+    let n2 = b.add(v2, amt);
+    b.set(br2, BAL, n2);
+    let a1 = b.open_update(ACCOUNT, b.param(2));
+    let a2 = b.open_update(ACCOUNT, b.param(3));
+    let w1 = b.get(a1, BAL);
+    let m1 = b.sub(w1, amt);
+    b.set(a1, BAL, m1);
+    let w2 = b.get(a2, BAL);
+    let m2 = b.add(w2, amt);
+    b.set(a2, BAL, m2);
+    b.finish()
+}
+
+fn read_all(client: &mut DtmClient, class: ObjClass, n: u64) -> i64 {
+    let mut total = 0;
+    for i in 0..n {
+        let obj = ObjectId::new(class, i);
+        let mut ctx = TxnCtx::begin(client);
+        ctx.open(client, obj, false).unwrap();
+        total += ctx.get_field(obj, BAL).as_int().unwrap();
+        ctx.commit(client).unwrap();
+    }
+    total
+}
+
+/// Money is conserved no matter which Block sequence executes the
+/// transfers — flat, static per-unit, manual grouping or the adapted
+/// hot-last composition — and no matter how they interleave.
+#[test]
+fn money_conserved_across_all_decompositions() {
+    let dm = Arc::new(DependencyModel::analyze(transfer()).unwrap());
+    let controller = AcnController::new(
+        Arc::clone(&dm),
+        AlgorithmModule::with_model(Box::new(SumModel)),
+        ControllerConfig::default(),
+    );
+    controller.refresh_with_levels(&[(BRANCH.id, 9.0), (ACCOUNT.id, 1.0)].into());
+    let adapted = controller.current();
+
+    let seqs: Vec<Arc<BlockSeq>> = vec![
+        Arc::new(BlockSeq::flat(&dm)),
+        Arc::new(BlockSeq::from_units(&dm)),
+        Arc::new(BlockSeq::group_units(&dm, &[vec![0, 1], vec![2, 3]])),
+        adapted,
+    ];
+    for seq in &seqs {
+        seq.assert_respects_dependencies(&dm);
+    }
+
+    let cluster = Cluster::start(ClusterConfig::test(10, 4));
+    std::thread::scope(|s| {
+        for (t, seq) in seqs.iter().enumerate() {
+            let mut client = cluster.client(t);
+            let dm = Arc::clone(&dm);
+            let seq = Arc::clone(seq);
+            s.spawn(move || {
+                let engine = ExecutorEngine::default();
+                let mut stats = ExecStats::default();
+                for k in 0..40u64 {
+                    engine
+                        .run(
+                            &mut client,
+                            &dm.program,
+                            &[
+                                Value::Int((k % 4) as i64),
+                                Value::Int(((k + 1) % 4) as i64),
+                                Value::Int(((t as u64 * 31 + k) % 64) as i64),
+                                Value::Int(((t as u64 * 31 + k + 1) % 64) as i64),
+                                Value::Int(7),
+                            ],
+                            &seq,
+                            &mut stats,
+                        )
+                        .unwrap();
+                }
+                assert_eq!(stats.commits, 40);
+            });
+        }
+    });
+
+    let mut client = cluster.client(0);
+    assert_eq!(read_all(&mut client, BRANCH, 4), 0, "branch money conserved");
+    assert_eq!(read_all(&mut client, ACCOUNT, 64), 0, "account money conserved");
+    cluster.shutdown();
+}
+
+/// Flat and adapted execution must produce identical final state for an
+/// identical (deterministic, single-client) instance stream — the
+/// decomposition is semantics-preserving.
+#[test]
+fn decomposition_preserves_semantics() {
+    let dm = Arc::new(DependencyModel::analyze(transfer()).unwrap());
+    let controller = AcnController::new(
+        Arc::clone(&dm),
+        AlgorithmModule::with_model(Box::new(SumModel)),
+        ControllerConfig::default(),
+    );
+    controller.refresh_with_levels(&[(BRANCH.id, 9.0), (ACCOUNT.id, 1.0)].into());
+    let adapted = controller.current();
+    let flat = Arc::new(BlockSeq::flat(&dm));
+
+    let mut finals = Vec::new();
+    for seq in [flat, adapted] {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        for k in 0..30u64 {
+            engine
+                .run(
+                    &mut client,
+                    &dm.program,
+                    &[
+                        Value::Int((k % 3) as i64),
+                        Value::Int(((k + 1) % 3) as i64),
+                        Value::Int((k % 5) as i64),
+                        Value::Int(((k + 2) % 5) as i64),
+                        Value::Int((k % 11) as i64 + 1),
+                    ],
+                    &seq,
+                    &mut stats,
+                )
+                .unwrap();
+        }
+        let branches: Vec<i64> = (0..3)
+            .map(|i| {
+                let obj = ObjectId::new(BRANCH, i);
+                let mut ctx = TxnCtx::begin(&mut client);
+                ctx.open(&mut client, obj, false).unwrap();
+                let v = ctx.get_field(obj, BAL).as_int().unwrap();
+                ctx.commit(&mut client).unwrap();
+                v
+            })
+            .collect();
+        let accounts: Vec<i64> = (0..5)
+            .map(|i| {
+                let obj = ObjectId::new(ACCOUNT, i);
+                let mut ctx = TxnCtx::begin(&mut client);
+                ctx.open(&mut client, obj, false).unwrap();
+                let v = ctx.get_field(obj, BAL).as_int().unwrap();
+                ctx.commit(&mut client).unwrap();
+                v
+            })
+            .collect();
+        finals.push((branches, accounts));
+        cluster.shutdown();
+    }
+    assert_eq!(finals[0], finals[1], "flat vs adapted state diverged");
+}
+
+/// The controller's full loop against a live cluster: hammer one branch,
+/// let `maybe_refresh` observe it through the Dynamic Module, and verify
+/// the installed sequence moved the hot class to the end.
+#[test]
+fn controller_adapts_from_live_contention() {
+    let mut cluster_cfg = ClusterConfig::test(4, 2);
+    cluster_cfg.window.window = std::time::Duration::from_millis(30);
+    let cluster = Cluster::start(cluster_cfg);
+    let dm = Arc::new(DependencyModel::analyze(transfer()).unwrap());
+    let controller = AcnController::new(
+        Arc::clone(&dm),
+        AlgorithmModule::with_model(Box::new(SumModel)),
+        ControllerConfig {
+            period: std::time::Duration::from_millis(50),
+            alpha: 1.0,
+            sampling: acn_core::SamplingMode::Explicit,
+        },
+    );
+    // Initially static: four singleton blocks in program order.
+    assert_eq!(controller.current().block_units, vec![vec![0], vec![1], vec![2], vec![3]]);
+
+    // Generate branch-heavy traffic from client 0.
+    let mut client = cluster.client(0);
+    let engine = ExecutorEngine::default();
+    let mut stats = ExecStats::default();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(400);
+    let mut k = 0i64;
+    while std::time::Instant::now() < deadline {
+        engine
+            .run(
+                &mut client,
+                &dm.program,
+                &[
+                    Value::Int(k % 2),
+                    Value::Int((k + 1) % 2),
+                    Value::Int(1000 + k % 512),
+                    Value::Int(1600 + k % 512),
+                    Value::Int(1),
+                ],
+                &controller.current(),
+                &mut stats,
+            )
+            .unwrap();
+        controller.maybe_refresh(&mut client);
+        k += 1;
+    }
+    assert!(controller.refresh_count() > 0, "controller never fired");
+    let seq = controller.current();
+    // Branch units (0, 1) must both execute after the account units.
+    let pos: HashMap<usize, usize> = seq
+        .block_units
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, us)| us.iter().map(move |&u| (u, bi)))
+        .collect();
+    assert!(
+        pos[&0] > pos[&2] && pos[&0] > pos[&3] && pos[&1] > pos[&2] && pos[&1] > pos[&3],
+        "hot branch blocks should trail: {:?}",
+        seq.block_units
+    );
+    cluster.shutdown();
+}
+
+/// The three evaluated systems produce commits (and only the nested ones
+/// produce partial aborts) on the TPC-C NewOrder profile.
+#[test]
+fn all_systems_run_tpcc_neworder() {
+    use acn_workloads::tpcc::{Tpcc, TpccConfig, TpccMix};
+    let tpcc = Tpcc::new(TpccConfig::default(), TpccMix::NEW_ORDER);
+    for system in [SystemKind::QrDtm, SystemKind::QrCn, SystemKind::QrAcn] {
+        let mut cfg = ScenarioConfig::scaled(system, 2);
+        cfg.cluster = ClusterConfig::test(10, 2);
+        cfg.intervals = 2;
+        cfg.interval = std::time::Duration::from_millis(100);
+        cfg.controller.period = std::time::Duration::from_millis(50);
+        let r = run_scenario(&tpcc, &cfg);
+        assert!(r.total_commits() > 0, "{system} committed nothing");
+        if system == SystemKind::QrDtm {
+            assert_eq!(r.total_partial_aborts(), 0);
+        }
+    }
+}
+
+/// Node failures mid-run do not break ACN execution (leaf failures keep
+/// both quorum kinds available).
+#[test]
+fn acn_survives_leaf_failures() {
+    let dm = Arc::new(DependencyModel::analyze(transfer()).unwrap());
+    let cluster = Cluster::start(ClusterConfig::test(10, 1));
+    let controller = AcnController::new(
+        Arc::clone(&dm),
+        AlgorithmModule::with_model(Box::new(SumModel)),
+        ControllerConfig::default(),
+    );
+    let mut client = cluster.client(0);
+    let engine = ExecutorEngine::default();
+    let mut stats = ExecStats::default();
+    let run_one = |client: &mut DtmClient, stats: &mut ExecStats, k: i64| {
+        engine
+            .run(
+                client,
+                &dm.program,
+                &[
+                    Value::Int(k % 2),
+                    Value::Int((k + 1) % 2),
+                    Value::Int(10 + k),
+                    Value::Int(20 + k),
+                    Value::Int(1),
+                ],
+                &controller.current(),
+                stats,
+            )
+            .unwrap();
+    };
+    for k in 0..5 {
+        run_one(&mut client, &mut stats, k);
+    }
+    cluster.fail_server(4);
+    cluster.fail_server(7);
+    for k in 5..10 {
+        run_one(&mut client, &mut stats, k);
+    }
+    cluster.recover_server(4);
+    for k in 10..15 {
+        run_one(&mut client, &mut stats, k);
+    }
+    assert_eq!(stats.commits, 15);
+    cluster.shutdown();
+}
