@@ -11,8 +11,8 @@
 //!   pure overhead comparison behind the paper's design choice.
 
 use acn_core::{
-    run_checkpointed, AbortProbabilityModel, AlgorithmModule, BlockSeq, CheckpointStats,
-    ExecStats, ExecutorEngine, RetryPolicy, SumModel,
+    run_checkpointed, AbortProbabilityModel, AlgorithmModule, BlockSeq, CheckpointStats, ExecStats,
+    ExecutorEngine, RetryPolicy, SumModel,
 };
 use acn_dtm::{Cluster, ClusterConfig};
 use acn_txir::{DependencyModel, Value};

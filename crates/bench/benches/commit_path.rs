@@ -2,7 +2,7 @@
 //! nesting costs (child context + merge per Block) relative to flat
 //! execution, with the network out of the picture.
 
-use acn_core::{BlockSeq, ExecStats, ExecutorEngine};
+use acn_core::{BlockSeq, ExecStats, ExecutorConfig, ExecutorEngine, RetryPolicy};
 use acn_dtm::{Cluster, ClusterConfig};
 use acn_txir::{DependencyModel, FieldId, ObjClass, ProgramBuilder, Value};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -78,5 +78,61 @@ fn bench_commit_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_commit_path);
+/// Wide audit: open `n` accounts, sum balances, credit the first — a
+/// read-dominated shape where the batched quorum read pays off.
+fn audit_dm(n: u16) -> DependencyModel {
+    let mut b = ProgramBuilder::new("bench/audit", n);
+    let first = b.open_update(ACCOUNT, b.param(0));
+    let mut sum = b.get(first, BAL);
+    for i in 1..n {
+        let acc = b.open_read(ACCOUNT, b.param(i));
+        let v = b.get(acc, BAL);
+        sum = b.add(sum, v);
+    }
+    let credited = b.add(sum, 1i64);
+    b.set(first, BAL, credited);
+    DependencyModel::analyze(b.finish()).unwrap()
+}
+
+/// Batched vs unbatched read path on an 8-object flat transaction: the
+/// batched engine fetches all statically known opens in one quorum round.
+fn bench_read_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_path");
+    g.sample_size(40);
+    let dm = audit_dm(8);
+    let seq = BlockSeq::flat(&dm);
+    let params: Vec<Value> = (0..8i64).map(Value::Int).collect();
+    let cases = [
+        (
+            "unbatched",
+            ExecutorConfig {
+                batched_reads: false,
+            },
+        ),
+        (
+            "batched",
+            ExecutorConfig {
+                batched_reads: true,
+            },
+        ),
+    ];
+    for (label, exec) in cases {
+        let cluster = Cluster::start(ClusterConfig::test(10, 1));
+        let mut client = cluster.client(0);
+        let engine = ExecutorEngine::with_config(RetryPolicy::default(), exec);
+        let mut stats = ExecStats::default();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                engine
+                    .run(&mut client, &dm.program, &params, &seq, &mut stats)
+                    .unwrap();
+                black_box(stats.commits)
+            })
+        });
+        cluster.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit_path, bench_read_path);
 criterion_main!(benches);

@@ -4,30 +4,38 @@
 //! cargo run --release -p acn-bench --bin figures            # all six
 //! cargo run --release -p acn-bench --bin figures fig4a      # one subplot
 //! cargo run --release -p acn-bench --bin figures list       # enumerate
+//! cargo run --release -p acn-bench --bin figures readpath   # batched-read ablation
 //! ```
 
-use acn_bench::figures::{all_figures, print_figure, run_figure, write_csv};
+use acn_bench::figures::{
+    all_figures, print_figure, print_read_path_ablation, run_figure, write_csv,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--csv DIR` additionally writes each figure's series as CSV.
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|i| {
-            let dir = args
-                .get(i + 1)
-                .expect("--csv requires a directory")
-                .clone();
-            args.drain(i..=i + 1);
-            std::path::PathBuf::from(dir)
-        });
+    let csv_dir = args.iter().position(|a| a == "--csv").map(|i| {
+        let dir = args.get(i + 1).expect("--csv requires a directory").clone();
+        args.drain(i..=i + 1);
+        std::path::PathBuf::from(dir)
+    });
     let figs = all_figures();
 
     if args.first().map(String::as_str) == Some("list") {
         for f in &figs {
             println!("{:7} {} — paper: {}", f.id, f.title, f.paper_claim);
         }
+        return;
+    }
+
+    if args.first().map(String::as_str) == Some("readpath") {
+        let objects: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+        let txns: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+        if objects < 2 {
+            eprintln!("readpath needs at least 2 objects (got {objects})");
+            std::process::exit(2);
+        }
+        print_read_path_ablation(objects, txns);
         return;
     }
 

@@ -85,6 +85,7 @@ fn main() {
                 sampling: acn_core::SamplingMode::Explicit,
             },
             retry: acn_core::RetryPolicy::default(),
+            exec: acn_core::ExecutorConfig::default(),
             seed: 42,
         };
         let r = run_scenario(workload.as_ref(), &cfg);

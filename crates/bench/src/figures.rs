@@ -158,6 +158,7 @@ pub fn run_figure(spec: &FigureSpec) -> FigureResult {
                 sampling: acn_core::SamplingMode::Piggyback,
             },
             retry: acn_core::RetryPolicy::default(),
+            exec: acn_core::ExecutorConfig::default(),
             seed: 42,
         };
         eprintln!("  {system} …");
@@ -245,12 +246,19 @@ pub fn print_figure(spec: &FigureSpec, fig: &FigureResult) {
 
 /// Write one figure's series as CSV (`interval,system,throughput,commits,
 /// full_aborts,partial_aborts`), for external plotting.
-pub fn write_csv(spec: &FigureSpec, fig: &FigureResult, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+pub fn write_csv(
+    spec: &FigureSpec,
+    fig: &FigureResult,
+    dir: &std::path::Path,
+) -> std::io::Result<std::path::PathBuf> {
     use std::io::Write as _;
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.csv", spec.id));
     let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "interval,system,throughput,commits,full_aborts,partial_aborts")?;
+    writeln!(
+        f,
+        "interval,system,throughput,commits,full_aborts,partial_aborts"
+    )?;
     for r in &fig.results {
         for (i, w) in r.intervals.iter().enumerate() {
             writeln!(
@@ -268,6 +276,111 @@ pub fn write_csv(spec: &FigureSpec, fig: &FigureResult, dir: &std::path::Path) -
     Ok(path)
 }
 
+/// One arm of the read-path ablation: network and client counters for a
+/// run of Bank-style wide-read transactions under one executor config.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadPathSample {
+    /// Messages handed to the network across the whole run.
+    pub messages_sent: u64,
+    /// Estimated payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Quorum read rounds the client completed.
+    pub read_rounds: u64,
+    /// Of those, batched rounds (multi-object).
+    pub batched_rounds: u64,
+    /// Validation entries shipped, counted per receiving member.
+    pub validate_entries_sent: u64,
+    /// Transactions committed.
+    pub commits: u64,
+}
+
+/// Run `txns` Bank-style audit-and-credit transactions, each opening
+/// `objects` accounts (read-mostly: the first account takes the credit),
+/// on a fresh 10-server cluster, and return the counter deltas. The
+/// schedule splits the opens into two Blocks so the second batch exercises
+/// delta validation against the first batch's watermarks.
+pub fn read_path_sample(objects: usize, txns: usize, batched: bool) -> ReadPathSample {
+    use acn_core::{BlockSeq, ExecStats, ExecutorConfig, ExecutorEngine, RetryPolicy};
+    use acn_dtm::Cluster;
+    use acn_txir::{DependencyModel, FieldId, ObjClass, ProgramBuilder, Value};
+
+    const ACCOUNT: ObjClass = ObjClass::new(1, "Account");
+    const BAL: FieldId = FieldId(0);
+    assert!(objects >= 2, "the ablation needs a multi-object read-set");
+
+    // audit+credit(objects): sum every account's balance, credit account 0.
+    let mut b = ProgramBuilder::new("bank/audit_credit", objects as u16);
+    let first = b.open_update(ACCOUNT, b.param(0));
+    let mut sum = b.get(first, BAL);
+    for i in 1..objects as u16 {
+        let acc = b.open_read(ACCOUNT, b.param(i));
+        let v = b.get(acc, BAL);
+        sum = b.add(sum, v);
+    }
+    let credited = b.add(sum, 1i64);
+    b.set(first, BAL, credited);
+    let dm = DependencyModel::analyze(b.finish()).unwrap();
+
+    // Two Blocks of objects/2 opens each: the second Block's batch ships
+    // only the validation delta past the first batch's watermark.
+    let half = dm.unit_count() / 2;
+    let groups = vec![
+        (0..half).collect::<Vec<_>>(),
+        (half..dm.unit_count()).collect(),
+    ];
+    let seq = BlockSeq::group_units(&dm, &groups);
+
+    let cluster = Cluster::start(acn_dtm::ClusterConfig::test(10, 1));
+    let mut client = cluster.client(0);
+    let engine = ExecutorEngine::with_config(
+        RetryPolicy::default(),
+        ExecutorConfig {
+            batched_reads: batched,
+        },
+    );
+    let net_before = cluster.net().stats();
+    let cli_before = client.stats();
+    let mut stats = ExecStats::default();
+    let params: Vec<Value> = (0..objects as i64).map(Value::Int).collect();
+    for _ in 0..txns {
+        engine
+            .run(&mut client, &dm.program, &params, &seq, &mut stats)
+            .expect("ablation transaction failed");
+    }
+    let net = cluster.net().stats().since(&net_before);
+    let cli = client.stats();
+    cluster.shutdown();
+    ReadPathSample {
+        messages_sent: net.sent,
+        bytes_sent: net.bytes_sent,
+        read_rounds: cli.remote_reads - cli_before.remote_reads,
+        batched_rounds: cli.batched_reads - cli_before.batched_reads,
+        validate_entries_sent: cli.validate_entries_sent - cli_before.validate_entries_sent,
+        commits: stats.commits,
+    }
+}
+
+/// Run and print the batched-vs-unbatched read-path ablation.
+pub fn print_read_path_ablation(objects: usize, txns: usize) {
+    println!("\n== read path ablation — {objects}-object Bank audit+credit × {txns} ==");
+    let unbatched = read_path_sample(objects, txns, false);
+    let batched = read_path_sample(objects, txns, true);
+    let row = |label: &str, s: &ReadPathSample| {
+        println!(
+            "{label:>10}: {:>6} msgs  {:>8} bytes  {:>5} read rounds ({} batched)  {:>6} validate entries",
+            s.messages_sent, s.bytes_sent, s.read_rounds, s.batched_rounds, s.validate_entries_sent
+        );
+    };
+    row("unbatched", &unbatched);
+    row("batched", &batched);
+    println!(
+        "reduction: {:.1}x messages, {:.1}x read rounds, {:.1}x validate entries",
+        unbatched.messages_sent as f64 / batched.messages_sent.max(1) as f64,
+        unbatched.read_rounds as f64 / batched.read_rounds.max(1) as f64,
+        unbatched.validate_entries_sent as f64 / batched.validate_entries_sent.max(1) as f64,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,7 +390,10 @@ mod tests {
         let figs = all_figures();
         assert_eq!(figs.len(), 6);
         let ids: Vec<&str> = figs.iter().map(|f| f.id).collect();
-        assert_eq!(ids, vec!["fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f"]);
+        assert_eq!(
+            ids,
+            vec!["fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f"]
+        );
     }
 
     #[test]

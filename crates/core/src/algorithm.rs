@@ -93,11 +93,7 @@ impl AlgorithmModule {
     }
 
     /// Run Steps 1–3 and produce the new Block sequence.
-    pub fn recompute(
-        &self,
-        dm: &DependencyModel,
-        class_levels: &HashMap<u16, f64>,
-    ) -> BlockSeq {
+    pub fn recompute(&self, dm: &DependencyModel, class_levels: &HashMap<u16, f64>) -> BlockSeq {
         let n_units = dm.unit_count();
         let levels: Vec<f64> = (0..n_units)
             .map(|u| Self::unit_level(dm, u, class_levels))
@@ -174,11 +170,11 @@ impl AlgorithmModule {
                 self.model.block_level(&member_levels)
             })
             .collect();
-        let bedges = group_edges(dm, &groups, &assignment)
-            .expect("merge step verified acyclicity");
+        let bedges = group_edges(dm, &groups, &assignment).expect("merge step verified acyclicity");
         let border = topo_order_preserving(groups.len(), &bedges, |g| block_levels[g])
             .expect("group graph is acyclic");
-        let ordered: Vec<Vec<UnitBlockId>> = border.into_iter().map(|g| groups[g].clone()).collect();
+        let ordered: Vec<Vec<UnitBlockId>> =
+            border.into_iter().map(|g| groups[g].clone()).collect();
 
         let seq = BlockSeq::compose(dm, &ordered, &assignment);
         debug_assert!({

@@ -63,7 +63,13 @@ pub fn run_checkpointed(
             let reads_before = ctx.reads_len();
             let result = {
                 let mut acc = FlatAccess { ctx: &mut ctx };
-                run_block(&mut acc, client, &mut frame, program, &seq.blocks[block_idx])
+                run_block(
+                    &mut acc,
+                    client,
+                    &mut frame,
+                    program,
+                    &seq.blocks[block_idx],
+                )
             };
             match result {
                 Ok(()) => {

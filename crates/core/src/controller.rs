@@ -77,7 +77,11 @@ struct SamplerState {
 impl AcnController {
     /// Build the controller with the initial static configuration (one
     /// Block per UnitBlock, program order).
-    pub fn new(dm: Arc<DependencyModel>, algorithm: AlgorithmModule, cfg: ControllerConfig) -> Self {
+    pub fn new(
+        dm: Arc<DependencyModel>,
+        algorithm: AlgorithmModule,
+        cfg: ControllerConfig,
+    ) -> Self {
         let classes: BTreeSet<u16> = dm
             .units
             .iter()

@@ -172,22 +172,16 @@ mod tests {
         assert_eq!(m.combine(&sample)[&0], 4.0);
         let m = DynamicModule::with_metric(vec![0], 1.0, LevelMetric::Aborts);
         assert_eq!(m.combine(&sample)[&0], 2.0);
-        let m = DynamicModule::with_metric(
-            vec![0],
-            1.0,
-            LevelMetric::Combined { abort_weight: 3.0 },
-        );
+        let m =
+            DynamicModule::with_metric(vec![0], 1.0, LevelMetric::Combined { abort_weight: 3.0 });
         assert_eq!(m.combine(&sample)[&0], 10.0);
     }
 
     #[test]
     fn combine_defaults_missing_classes_to_zero() {
         let sample = ContentionSample::default();
-        let m = DynamicModule::with_metric(
-            vec![5],
-            1.0,
-            LevelMetric::Combined { abort_weight: 2.0 },
-        );
+        let m =
+            DynamicModule::with_metric(vec![5], 1.0, LevelMetric::Combined { abort_weight: 2.0 });
         assert_eq!(m.combine(&sample)[&5], 0.0);
     }
 

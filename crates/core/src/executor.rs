@@ -10,7 +10,7 @@
 use crate::blocks::BlockSeq;
 use acn_dtm::{AbortScope, ChildCtx, DtmClient, DtmError, TxnCtx};
 use acn_txir::{
-    AccessMode, EvalError, ObjectId, Operand, Program, Stmt, StmtIdx, Value,
+    prefetchable_opens, AccessMode, EvalError, ObjectId, Operand, Program, Stmt, StmtIdx, Value,
 };
 use rand_like::jitter;
 use std::time::Duration;
@@ -33,6 +33,25 @@ impl Default for RetryPolicy {
             max_restarts: 10_000,
             max_partial_retries: 64,
             backoff_base: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Execution-path toggles, independent of the retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Fetch the statically known remote opens of each Block
+    /// ([`prefetchable_opens`]) in one batched quorum round at Block start
+    /// instead of one round trip per open. Data-dependent opens always fall
+    /// back to single reads. On by default; turn off for the unbatched
+    /// baseline in ablations.
+    pub batched_reads: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            batched_reads: true,
         }
     }
 }
@@ -102,12 +121,8 @@ impl From<EvalError> for StepError {
 /// Uniform access to a flat context or a child-over-parent pair, so one
 /// interpreter serves both execution modes.
 pub(crate) trait Access {
-    fn open(
-        &mut self,
-        client: &mut DtmClient,
-        obj: ObjectId,
-        update: bool,
-    ) -> Result<(), DtmError>;
+    fn open(&mut self, client: &mut DtmClient, obj: ObjectId, update: bool)
+        -> Result<(), DtmError>;
     fn get(&self, obj: ObjectId, field: acn_txir::FieldId) -> Value;
     fn set(&mut self, obj: ObjectId, field: acn_txir::FieldId, value: Value);
 }
@@ -117,7 +132,12 @@ pub(crate) struct FlatAccess<'a> {
 }
 
 impl Access for FlatAccess<'_> {
-    fn open(&mut self, client: &mut DtmClient, obj: ObjectId, update: bool) -> Result<(), DtmError> {
+    fn open(
+        &mut self,
+        client: &mut DtmClient,
+        obj: ObjectId,
+        update: bool,
+    ) -> Result<(), DtmError> {
         self.ctx.open(client, obj, update)
     }
     fn get(&self, obj: ObjectId, field: acn_txir::FieldId) -> Value {
@@ -134,7 +154,12 @@ struct ChildAccess<'a> {
 }
 
 impl Access for ChildAccess<'_> {
-    fn open(&mut self, client: &mut DtmClient, obj: ObjectId, update: bool) -> Result<(), DtmError> {
+    fn open(
+        &mut self,
+        client: &mut DtmClient,
+        obj: ObjectId,
+        update: bool,
+    ) -> Result<(), DtmError> {
         self.child.open(client, self.parent, obj, update)
     }
     fn get(&self, obj: ObjectId, field: acn_txir::FieldId) -> Value {
@@ -223,6 +248,39 @@ fn run_stmt<A: Access>(
     Ok(())
 }
 
+/// Resolve each Block's statically known remote opens to concrete
+/// `ObjectId`s for one instance: per Block (in schedule order), the deduped
+/// targets of its prefetchable opens under `params`. An operand that fails
+/// to evaluate (e.g. a mistyped parameter) is silently skipped here — the
+/// `Open` statement itself will surface the error when it executes, keeping
+/// eval-error semantics identical with and without batching.
+fn prefetch_plan(program: &Program, params: &[Value], seq: &BlockSeq) -> Vec<Vec<ObjectId>> {
+    let candidates = prefetchable_opens(program);
+    seq.blocks
+        .iter()
+        .map(|block| {
+            let mut objs: Vec<ObjectId> = Vec::new();
+            for c in &candidates {
+                if block.binary_search(&c.stmt).is_err() {
+                    continue;
+                }
+                let idx = match &c.index {
+                    Operand::Const(v) => v.as_int(),
+                    Operand::Param(p) => params[p.0 as usize].as_int(),
+                    Operand::Var(_) => unreachable!("prefetchable opens never use registers"),
+                };
+                if let Ok(i) = idx {
+                    let obj = ObjectId::new(c.class, i as u64);
+                    if !objs.contains(&obj) {
+                        objs.push(obj);
+                    }
+                }
+            }
+            objs
+        })
+        .collect()
+}
+
 pub(crate) fn run_block<A: Access>(
     acc: &mut A,
     client: &mut DtmClient,
@@ -240,12 +298,18 @@ pub(crate) fn run_block<A: Access>(
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecutorEngine {
     policy: RetryPolicy,
+    config: ExecutorConfig,
 }
 
 impl ExecutorEngine {
-    /// Build with an explicit retry policy.
+    /// Build with an explicit retry policy and default execution config.
     pub fn new(policy: RetryPolicy) -> Self {
-        ExecutorEngine { policy }
+        Self::with_config(policy, ExecutorConfig::default())
+    }
+
+    /// Build with explicit retry policy and execution config.
+    pub fn with_config(policy: RetryPolicy, config: ExecutorConfig) -> Self {
+        ExecutorEngine { policy, config }
     }
 
     /// [`ExecutorEngine::run`] plus end-to-end latency recording: the
@@ -284,9 +348,17 @@ impl ExecutorEngine {
             program.params as usize,
             "instance must bind every parameter"
         );
+        // The plan depends only on the template, the instance parameters
+        // and the schedule — all fixed for the whole retry loop — so it is
+        // computed once per run, not per attempt.
+        let plan = if self.config.batched_reads {
+            Some(prefetch_plan(program, params, seq))
+        } else {
+            None
+        };
         let mut restarts = 0usize;
         loop {
-            match self.attempt(client, program, params, seq, stats) {
+            match self.attempt(client, program, params, seq, plan.as_deref(), stats) {
                 Ok(()) => {
                     stats.commits += 1;
                     return Ok(());
@@ -317,28 +389,51 @@ impl ExecutorEngine {
         program: &Program,
         params: &[Value],
         seq: &BlockSeq,
+        plan: Option<&[Vec<ObjectId>]>,
         stats: &mut ExecStats,
     ) -> Result<(), AttemptError> {
         let mut ctx = TxnCtx::begin(client);
         let mut frame = Frame::new(program, params);
 
         if seq.is_flat() {
+            if let Some(plan) = plan {
+                // Flat execution has a single Block: prefetch the union of
+                // every statically known open in one quorum round.
+                let mut union: Vec<ObjectId> = Vec::new();
+                for obj in plan.iter().flatten() {
+                    if !union.contains(obj) {
+                        union.push(*obj);
+                    }
+                }
+                ctx.open_batch(client, &union)
+                    .map_err(|e| self.step_error(StepError::Dtm(e), stats, None))?;
+            }
             let all: Vec<StmtIdx> = seq.blocks.iter().flatten().copied().collect();
             let mut acc = FlatAccess { ctx: &mut ctx };
             run_block(&mut acc, client, &mut frame, program, &all)
                 .map_err(|e| self.step_error(e, stats, None))?;
         } else {
-            for block in &seq.blocks {
+            for (bi, block) in seq.blocks.iter().enumerate() {
                 let mut partial_tries = 0usize;
                 loop {
                     let mut child = ctx.child();
-                    let result = {
+                    // Prefetch this Block's known opens through the child:
+                    // the fetches become child-first reads, so a later
+                    // invalidation of a prefetched object still rolls back
+                    // only this Block.
+                    let prefetched = match plan {
+                        Some(plan) => child
+                            .open_batch(client, &mut ctx, &plan[bi])
+                            .map_err(StepError::Dtm),
+                        None => Ok(()),
+                    };
+                    let result = prefetched.and_then(|()| {
                         let mut acc = ChildAccess {
                             child: &mut child,
                             parent: &ctx,
                         };
                         run_block(&mut acc, client, &mut frame, program, block)
-                    };
+                    });
                     match result {
                         Ok(()) => {
                             child.commit_into(&mut ctx);
@@ -570,7 +665,13 @@ mod tests {
         let seq = BlockSeq::flat(&dm);
         // Insufficient funds: else branch writes -1.
         engine
-            .run(&mut client, &dm.program, &[Value::Int(3), Value::Int(10)], &seq, &mut stats)
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(3), Value::Int(10)],
+                &seq,
+                &mut stats,
+            )
             .unwrap();
         assert_eq!(read_bal(&mut client, 3), -1);
         cluster.shutdown();
@@ -637,6 +738,168 @@ mod tests {
         let mut client = cluster.client(0);
         let total: i64 = (0..4).map(|i| read_bal(&mut client, i)).sum();
         assert_eq!(total, 4000, "money conserved under contention");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn flat_batched_prefetch_commits_and_batches() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = transfer_model();
+        let seq = BlockSeq::flat(&dm);
+        // Seed account 1 so the transfer has funds to move.
+        let dep = deposit_model();
+        let mut stats = ExecStats::default();
+        ExecutorEngine::default()
+            .run(
+                &mut client,
+                &dep.program,
+                &[Value::Int(1), Value::Int(100)],
+                &BlockSeq::flat(&dep),
+                &mut stats,
+            )
+            .unwrap();
+        let before = client.stats().batched_reads;
+        // Both transfer opens are Param-indexed → one batched round for two
+        // objects on the flat schedule.
+        ExecutorEngine::default()
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(1), Value::Int(2), Value::Int(30)],
+                &seq,
+                &mut stats,
+            )
+            .unwrap();
+        assert!(
+            client.stats().batched_reads > before,
+            "two prefetchable opens must go through the batch path"
+        );
+        assert_eq!(read_bal(&mut client, 1), 70);
+        assert_eq!(read_bal(&mut client, 2), 30);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unbatched_config_never_batches() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = transfer_model();
+        let engine = ExecutorEngine::with_config(
+            RetryPolicy::default(),
+            ExecutorConfig {
+                batched_reads: false,
+            },
+        );
+        let mut stats = ExecStats::default();
+        engine
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(1), Value::Int(2), Value::Int(5)],
+                &BlockSeq::flat(&dm),
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(client.stats().batched_reads, 0);
+        assert_eq!(read_bal(&mut client, 1), -5);
+        assert_eq!(read_bal(&mut client, 2), 5);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn nested_blocks_prefetch_through_the_child() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        // Three deposits; group the first two units into one Block so that
+        // Block prefetches two objects as child-first reads.
+        let mut b = ProgramBuilder::new("triple", 3);
+        for i in 0..3u16 {
+            let acc = b.open_update(ACCOUNT, b.param(i));
+            let bal = b.get(acc, BAL);
+            let nb = b.add(bal, 10i64);
+            b.set(acc, BAL, nb);
+        }
+        let dm = DependencyModel::analyze(b.finish()).unwrap();
+        let seq = BlockSeq::group_units(&dm, &[vec![0, 1], vec![2]]);
+        assert_eq!(seq.len(), 2, "nested schedule");
+        let mut stats = ExecStats::default();
+        ExecutorEngine::default()
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(4), Value::Int(5), Value::Int(6)],
+                &seq,
+                &mut stats,
+            )
+            .unwrap();
+        assert!(client.stats().batched_reads > 0, "block 0 batches 2 opens");
+        for i in 4..7 {
+            assert_eq!(read_bal(&mut client, i), 10);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn data_dependent_opens_fall_back_to_single_reads() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        // Pointer chase: the second open's index is read from the first
+        // object — not prefetchable, must still execute correctly.
+        let mut b = ProgramBuilder::new("chase", 1);
+        let head = b.open_read(ACCOUNT, b.param(0));
+        let next = b.get(head, BAL);
+        let tail = b.open_update(ACCOUNT, next);
+        let tv = b.get(tail, BAL);
+        let nv = b.add(tv, 1i64);
+        b.set(tail, BAL, nv);
+        let dm = DependencyModel::analyze(b.finish()).unwrap();
+        assert_eq!(dm.prefetch.len(), 1, "only the head open is static");
+        // Seed: account 8's balance names account 9.
+        let dep = deposit_model();
+        let mut stats = ExecStats::default();
+        ExecutorEngine::default()
+            .run(
+                &mut client,
+                &dep.program,
+                &[Value::Int(8), Value::Int(9)],
+                &BlockSeq::flat(&dep),
+                &mut stats,
+            )
+            .unwrap();
+        ExecutorEngine::default()
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(8)],
+                &BlockSeq::flat(&dm),
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(read_bal(&mut client, 9), 1, "chased object updated");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn prefetch_skips_bad_operands_so_eval_errors_stay_fatal() {
+        let cluster = Cluster::start(ClusterConfig::test(1, 1));
+        let mut client = cluster.client(0);
+        // The open's index parameter is a string: the prefetch pass must
+        // skip it silently and the Open statement itself must fail the run
+        // exactly as in the unbatched path.
+        let dm = deposit_model();
+        let mut stats = ExecStats::default();
+        let err = ExecutorEngine::default()
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::str("oops"), Value::Int(1)],
+                &BlockSeq::flat(&dm),
+                &mut stats,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RunError::Eval(_)));
+        assert_eq!(client.stats().batched_reads, 0, "nothing was prefetched");
         cluster.shutdown();
     }
 

@@ -49,6 +49,6 @@ pub use checkpoint::{run_checkpointed, CheckpointStats};
 pub use contention_model::{AbortProbabilityModel, ContentionModel, MaxModel, SumModel};
 pub use controller::{AcnController, ControllerConfig, SamplingMode};
 pub use dynamic_module::{DynamicModule, LevelMetric};
-pub use executor::{ExecStats, ExecutorEngine, RetryPolicy, RunError};
+pub use executor::{ExecStats, ExecutorConfig, ExecutorEngine, RetryPolicy, RunError};
 pub use histogram::LatencyHistogram;
 pub use static_module::StaticModule;

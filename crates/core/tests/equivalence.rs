@@ -53,7 +53,14 @@ fn spec_strategy() -> impl Strategy<Value = Spec> {
     opens
         .prop_flat_map(|opens| {
             let n = opens.len();
-            let op = (0usize..n, 0usize..n, any::<bool>(), any::<bool>(), 1i64..50, any::<bool>())
+            let op = (
+                0usize..n,
+                0usize..n,
+                any::<bool>(),
+                any::<bool>(),
+                1i64..50,
+                any::<bool>(),
+            )
                 .prop_map(|(src, dst, from_f1, to_f1, amount, mul)| Op {
                     src,
                     dst,

@@ -54,6 +54,15 @@ pub struct ClientStats {
     pub conflict_aborts: u64,
     /// Operations abandoned for lack of a quorum.
     pub quorum_unavailable: u64,
+    /// Batched read rounds completed (also counted in `remote_reads`).
+    pub batched_reads: u64,
+    /// Read-set validation entries shipped on read rounds, counted once
+    /// per receiving quorum member. Delta validation keeps this linear in
+    /// the read-set size; the unbatched path grows quadratically.
+    pub validate_entries_sent: u64,
+    /// Responses *not* waited for because a read round returned at its
+    /// quorum size instead of draining the whole contact group.
+    pub quorum_waits_saved: u64,
 }
 
 /// A client node's connection to the DTM: it executes remote operations on
@@ -142,30 +151,51 @@ impl DtmClient {
         move |rank: usize| !failed.contains(&Self::server_node(rank))
     }
 
-    /// Scatter a request to `members` and gather all their responses.
-    fn rpc_quorum(
+    /// Scatter one request to `members` (a single shared-payload broadcast,
+    /// not a clone per member) and gather responses until `need` have
+    /// arrived. Responses past `need` are left unread — strays are
+    /// discarded by request id on later rounds — and counted as saved
+    /// waits.
+    fn rpc_round(
         &mut self,
         members: &[usize],
+        need: usize,
         build: impl Fn(ReqId) -> Msg,
-    ) -> Result<Vec<Msg>, DtmError> {
+    ) -> Result<Vec<(NodeId, Msg)>, DtmError> {
+        debug_assert!((1..=members.len()).contains(&need));
         let req = self.next_req;
         self.next_req += 1;
         let msg = build(req);
-        for &m in members {
-            self.endpoint.send(Self::server_node(m), msg.clone());
-        }
+        let bytes = msg.wire_bytes();
+        let nodes: Vec<NodeId> = members.iter().map(|&m| Self::server_node(m)).collect();
+        self.endpoint.broadcast(&nodes, msg, bytes);
         let deadline = Instant::now() + self.cfg.rpc_timeout;
-        let mut got = Vec::with_capacity(members.len());
-        while got.len() < members.len() {
+        let mut got = Vec::with_capacity(need);
+        while got.len() < need {
             match self.endpoint.recv_deadline(deadline) {
-                Ok((_, m)) if m.response_req() == Some(req) => got.push(m),
+                Ok((src, m)) if m.response_req() == Some(req) => got.push((src, m)),
                 Ok(_) => continue, // stray response from a timed-out round
                 Err(RecvError::Timeout) | Err(RecvError::Closed) => {
                     return Err(DtmError::Unavailable)
                 }
             }
         }
+        self.stats.quorum_waits_saved += (members.len() - got.len()) as u64;
         Ok(got)
+    }
+
+    /// [`Self::rpc_round`] waiting for *all* members (writes and explicit
+    /// queries need every contacted member's answer).
+    fn rpc_quorum(
+        &mut self,
+        members: &[usize],
+        build: impl Fn(ReqId) -> Msg,
+    ) -> Result<Vec<Msg>, DtmError> {
+        Ok(self
+            .rpc_round(members, members.len(), build)?
+            .into_iter()
+            .map(|(_, m)| m)
+            .collect())
     }
 
     /// [`Self::rpc_quorum`] with timeout retries. Safe only for idempotent
@@ -189,9 +219,15 @@ impl DtmClient {
         Err(last)
     }
 
-    /// Remote read of `obj` through a read quorum, presenting `validate`
-    /// (the transaction's read-set) for incremental validation. Returns the
-    /// freshest `(version, value)` among the quorum's replies.
+    /// Remote read of `obj`, presenting `validate` (the transaction's read
+    /// set) for incremental validation. Returns the freshest
+    /// `(version, value)` among the quorum's replies.
+    ///
+    /// The request fans out to *every* live member of the designated level
+    /// and returns at the first quorum-sized set of replies: any majority
+    /// of one level is a valid read quorum (see
+    /// [`LevelQuorums::read_group`]), so the round never waits for a
+    /// straggler once a majority has answered.
     pub fn remote_read(
         &mut self,
         txn: TxnId,
@@ -202,16 +238,17 @@ impl DtmClient {
         let mut quorum_attempts = 0usize;
         loop {
             let alive = self.alive_fn();
-            let Some(quorum) = self
+            let Some((group, need)) = self
                 .quorums
-                .read_quorum(self.seed.wrapping_add(quorum_attempts as u64), &alive)
+                .read_group(self.seed.wrapping_add(quorum_attempts as u64), &alive)
             else {
                 self.stats.quorum_unavailable += 1;
                 return Err(DtmError::Unavailable);
             };
             let validate_owned = validate.to_vec();
+            self.stats.validate_entries_sent += (validate.len() * group.len()) as u64;
             let sample = self.piggyback_classes.clone();
-            let resps = match self.rpc_quorum(&quorum, |req| Msg::ReadReq {
+            let resps = match self.rpc_round(&group, need, |req| Msg::ReadReq {
                 txn,
                 req,
                 obj,
@@ -235,7 +272,7 @@ impl DtmClient {
             let mut any_locked = false;
             let mut best: Option<(Version, ObjectVal)> = None;
             let mut sampled: HashMap<u16, f64> = HashMap::new();
-            for r in resps {
+            for (_, r) in resps {
                 if let Msg::ReadResp {
                     version,
                     value,
@@ -254,7 +291,7 @@ impl DtmClient {
                     }
                     if locked {
                         any_locked = true;
-                    } else if best.as_ref().map_or(true, |(v, _)| version > *v) {
+                    } else if best.as_ref().is_none_or(|(v, _)| version > *v) {
                         best = Some((version, value));
                     }
                 }
@@ -283,6 +320,141 @@ impl DtmClient {
                 continue;
             }
             return Ok(best.expect("quorum is non-empty"));
+        }
+    }
+
+    /// Remote read of several objects in **one** quorum round trip.
+    ///
+    /// `validate` is the transaction's full read-set; `watermarks` maps
+    /// each server to the length of the read-set prefix it has already
+    /// validated for this transaction. Only the suffix past the slowest
+    /// contacted member's watermark is shipped (the *delta*), and the
+    /// watermarks of the members that replied are advanced on success —
+    /// so total shipped validation payload stays linear in the read-set
+    /// size. Skipped entries are still validated at prepare time; the
+    /// delta only affects how early staleness is detected, never safety.
+    ///
+    /// Unlike [`DtmClient::remote_read`], the batch round contacts exactly
+    /// one minimal quorum and waits for every member: advancing watermarks
+    /// for a member that never replied would skip validation it has not
+    /// done, and *not* advancing stragglers would pin the delta at the full
+    /// read-set, defeating the point.
+    ///
+    /// Returns `(object, version, value)` in request order.
+    pub fn remote_read_batch(
+        &mut self,
+        txn: TxnId,
+        objs: &[ObjectId],
+        validate: &[ValidateEntry],
+        watermarks: &mut HashMap<NodeId, usize>,
+    ) -> Result<Vec<(ObjectId, Version, ObjectVal)>, DtmError> {
+        assert!(!objs.is_empty(), "batch read of zero objects");
+        let mut locked_attempts = 0usize;
+        let mut quorum_attempts = 0usize;
+        loop {
+            let alive = self.alive_fn();
+            let Some(quorum) = self
+                .quorums
+                .read_quorum(self.seed.wrapping_add(quorum_attempts as u64), &alive)
+            else {
+                self.stats.quorum_unavailable += 1;
+                return Err(DtmError::Unavailable);
+            };
+            let start = quorum
+                .iter()
+                .map(|&m| watermarks.get(&Self::server_node(m)).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(0)
+                .min(validate.len());
+            let delta = validate[start..].to_vec();
+            self.stats.validate_entries_sent += (delta.len() * quorum.len()) as u64;
+            let objs_owned = objs.to_vec();
+            let sample = self.piggyback_classes.clone();
+            let resps = match self.rpc_round(&quorum, quorum.len(), |req| Msg::ReadBatchReq {
+                txn,
+                req,
+                objs: objs_owned.clone(),
+                validate: delta.clone(),
+                sample: sample.clone(),
+            }) {
+                Ok(r) => r,
+                Err(DtmError::Unavailable) => {
+                    quorum_attempts += 1;
+                    if quorum_attempts > self.cfg.quorum_retries {
+                        self.stats.quorum_unavailable += 1;
+                        return Err(DtmError::Unavailable);
+                    }
+                    continue;
+                }
+                Err(other) => return Err(other),
+            };
+            self.stats.remote_reads += 1;
+            self.stats.batched_reads += 1;
+
+            let mut invalid: Vec<ObjectId> = Vec::new();
+            let mut locked_obj: Option<ObjectId> = None;
+            let mut best: Vec<Option<(Version, ObjectVal)>> = vec![None; objs.len()];
+            let mut sampled: HashMap<u16, f64> = HashMap::new();
+            let mut repliers: Vec<NodeId> = Vec::with_capacity(resps.len());
+            for (src, r) in resps {
+                if let Msg::ReadBatchResp {
+                    reads,
+                    invalid: inv,
+                    levels,
+                    ..
+                } = r
+                {
+                    debug_assert_eq!(reads.len(), objs.len(), "reply not in request shape");
+                    repliers.push(src);
+                    invalid.extend(inv);
+                    for (c, l) in levels {
+                        let e = sampled.entry(c).or_insert(0.0);
+                        if l > *e {
+                            *e = l;
+                        }
+                    }
+                    for (i, read) in reads.into_iter().enumerate().take(objs.len()) {
+                        if read.locked {
+                            locked_obj.get_or_insert(read.obj);
+                        } else if best[i].as_ref().is_none_or(|(v, _)| read.version > *v) {
+                            best[i] = Some((read.version, read.value));
+                        }
+                    }
+                }
+            }
+            if !sampled.is_empty() {
+                self.piggybacked = sampled;
+            }
+            if !invalid.is_empty() {
+                invalid.sort_unstable();
+                invalid.dedup();
+                self.stats.read_invalidations += 1;
+                return Err(DtmError::Invalidated { objs: invalid });
+            }
+            if let Some(obj) = locked_obj {
+                locked_attempts += 1;
+                self.stats.locked_read_retries += 1;
+                if locked_attempts > self.cfg.locked_retries {
+                    return Err(DtmError::LockedOut { obj });
+                }
+                std::thread::sleep(self.cfg.locked_backoff);
+                continue;
+            }
+            // The round validated `validate[start..]` at every replier, and
+            // entries before `start` were covered by each replier's own
+            // (>= start) watermark: the full prefix is now validated there.
+            for node in repliers {
+                let w = watermarks.entry(node).or_insert(0);
+                *w = (*w).max(validate.len());
+            }
+            return Ok(objs
+                .iter()
+                .zip(best)
+                .map(|(&o, b)| {
+                    let (v, val) = b.expect("quorum is non-empty");
+                    (o, v, val)
+                })
+                .collect());
         }
     }
 
@@ -325,7 +497,10 @@ impl DtmClient {
         let mut all_yes = true;
         let mut invalid: Vec<ObjectId> = Vec::new();
         for r in &resps {
-            if let Msg::PrepareResp { vote, invalid: inv, .. } = r {
+            if let Msg::PrepareResp {
+                vote, invalid: inv, ..
+            } = r
+            {
                 if !vote {
                     all_yes = false;
                 }
@@ -378,10 +553,7 @@ impl DtmClient {
     /// Like [`DtmClient::query_contention`], but returning both run-time
     /// parameters the paper's Dynamic Module collects: per-class write
     /// levels and per-class abort ratios.
-    pub fn query_contention_full(
-        &mut self,
-        classes: &[u16],
-    ) -> Result<ContentionSample, DtmError> {
+    pub fn query_contention_full(&mut self, classes: &[u16]) -> Result<ContentionSample, DtmError> {
         let alive = self.alive_fn();
         let Some(quorum) = self.quorums.read_quorum(self.seed, &alive) else {
             self.stats.quorum_unavailable += 1;

@@ -229,7 +229,10 @@ mod tests {
         w.record_write(ObjectId::new(BRANCH, 1), t0);
         // A long idle gap: two rotations worth of silence.
         let t1 = t0 + Duration::from_millis(150);
-        assert!(w.class_level(BRANCH.id, t1) > 0.0, "first rotation publishes");
+        assert!(
+            w.class_level(BRANCH.id, t1) > 0.0,
+            "first rotation publishes"
+        );
         let t2 = t1 + Duration::from_millis(500);
         assert_eq!(w.class_level(BRANCH.id, t2), 0.0, "silence clears it");
     }

@@ -16,6 +16,7 @@
 use crate::client::DtmClient;
 use crate::error::{AbortScope, DtmError};
 use crate::messages::{TxnId, ValidateEntry, Version};
+use acn_simnet::NodeId;
 use acn_txir::{FieldId, ObjectId, ObjectVal, Value};
 use std::collections::{HashMap, HashSet};
 
@@ -34,6 +35,12 @@ pub struct TxnCtx {
     buffers: HashMap<ObjectId, ObjectVal>,
     /// Objects with buffered writes — the write-set.
     writes: HashSet<ObjectId>,
+    /// Per-server validated watermark: how many leading entries of the
+    /// current validation vector (this read-set, extended by a running
+    /// child's reads) each server has already validated. Batched reads
+    /// ship only the suffix past the contacted quorum's minimum watermark
+    /// (see [`DtmClient::remote_read_batch`]).
+    watermarks: HashMap<NodeId, usize>,
 }
 
 impl TxnCtx {
@@ -45,6 +52,7 @@ impl TxnCtx {
             read_index: HashMap::new(),
             buffers: HashMap::new(),
             writes: HashSet::new(),
+            watermarks: HashMap::new(),
         }
     }
 
@@ -93,6 +101,42 @@ impl TxnCtx {
         Ok(())
     }
 
+    /// Open every not-yet-read object of `objs` in **one** quorum round
+    /// trip (the executor's prefetch path). A single missing object falls
+    /// back to [`TxnCtx::open`]; none missing is free. Objects are fetched
+    /// read-only — the `Open` statement itself still records update intent
+    /// when it executes.
+    pub fn open_batch(
+        &mut self,
+        client: &mut DtmClient,
+        objs: &[ObjectId],
+    ) -> Result<(), DtmError> {
+        let mut missing: Vec<ObjectId> = Vec::new();
+        for &obj in objs {
+            if !self.has_read(obj) && !missing.contains(&obj) {
+                missing.push(obj);
+            }
+        }
+        match missing.len() {
+            0 => Ok(()),
+            1 => self.open(client, missing[0], false),
+            _ => {
+                let fetched = client.remote_read_batch(
+                    self.txn,
+                    &missing,
+                    &self.read_set,
+                    &mut self.watermarks,
+                )?;
+                for (obj, version, value) in fetched {
+                    self.read_index.insert(obj, self.read_set.len());
+                    self.read_set.push((obj, version));
+                    self.buffers.insert(obj, value);
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Read a field of an opened object's buffered copy.
     ///
     /// # Panics
@@ -129,7 +173,16 @@ impl TxnCtx {
     }
 
     /// Start a closed-nested sub-transaction.
-    pub fn child(&self) -> ChildCtx {
+    ///
+    /// Also re-clamps the validated watermarks to this context's own
+    /// read-set length: a previously aborted child may have advanced them
+    /// over its (now discarded) reads, and those positions are about to be
+    /// reused by the new child's validation vector.
+    pub fn child(&mut self) -> ChildCtx {
+        let len = self.read_set.len();
+        for w in self.watermarks.values_mut() {
+            *w = (*w).min(len);
+        }
         ChildCtx {
             reads: Vec::new(),
             read_index: HashMap::new(),
@@ -188,6 +241,47 @@ impl ChildCtx {
         Ok(())
     }
 
+    /// Batch-open inside the sub-transaction (see [`TxnCtx::open_batch`]).
+    /// Fetched objects become **child-first** reads, so a later
+    /// invalidation of a prefetched object still classifies as a partial
+    /// (child-scope) rollback. Takes the parent mutably for its validated
+    /// watermarks; the parent's read-set is untouched.
+    pub fn open_batch(
+        &mut self,
+        client: &mut DtmClient,
+        parent: &mut TxnCtx,
+        objs: &[ObjectId],
+    ) -> Result<(), DtmError> {
+        let mut missing: Vec<ObjectId> = Vec::new();
+        for &obj in objs {
+            if !self.read_index.contains_key(&obj)
+                && !parent.has_read(obj)
+                && !missing.contains(&obj)
+            {
+                missing.push(obj);
+            }
+        }
+        match missing.len() {
+            0 => Ok(()),
+            1 => self.open(client, parent, missing[0], false),
+            _ => {
+                let validate = self.combined_validate(parent);
+                let fetched = client.remote_read_batch(
+                    parent.txn,
+                    &missing,
+                    &validate,
+                    &mut parent.watermarks,
+                )?;
+                for (obj, version, value) in fetched {
+                    self.read_index.insert(obj, self.reads.len());
+                    self.reads.push((obj, version));
+                    self.overlay.insert(obj, value);
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Field read through the overlay chain: child overlay, else parent.
     pub fn get_field(&self, parent: &TxnCtx, obj: ObjectId, field: FieldId) -> Value {
         if let Some(val) = self.overlay.get(&obj) {
@@ -218,10 +312,21 @@ impl ChildCtx {
     /// remote interaction — results stay invisible until the parent
     /// commits.
     pub fn commit_into(self, parent: &mut TxnCtx) {
+        let base = parent.read_set.len();
+        let expect = base + self.reads.len();
         for (obj, version) in self.reads {
             if !parent.has_read(obj) {
                 parent.read_index.insert(obj, parent.read_set.len());
                 parent.read_set.push((obj, version));
+            }
+        }
+        if parent.read_set.len() != expect {
+            // A duplicate child read was skipped, shifting the positions the
+            // watermarks were advanced against — fall back to the stable
+            // parent prefix. (Cannot happen via `open`, which short-circuits
+            // parent reads; this guards hand-built children.)
+            for w in parent.watermarks.values_mut() {
+                *w = (*w).min(base);
             }
         }
         for (obj, value) in self.overlay {
@@ -308,7 +413,7 @@ mod tests {
 
     #[test]
     fn child_overlay_shadows_parent() {
-        let p = parent_with(&[(A1, 10)]);
+        let mut p = parent_with(&[(A1, 10)]);
         let mut c = p.child();
         assert_eq!(c.get_field(&p, A1, F), Value::Int(10), "falls through");
         c.set_field(&p, A1, F, Value::Int(99));
@@ -363,7 +468,7 @@ mod tests {
 
     #[test]
     fn classify_child_scope() {
-        let p = parent_with(&[(A1, 10)]);
+        let mut p = parent_with(&[(A1, 10)]);
         let mut c = p.child();
         c.read_index.insert(B1, 0);
         c.reads.push((B1, 3));
@@ -373,7 +478,7 @@ mod tests {
 
     #[test]
     fn classify_parent_scope_when_history_invalid() {
-        let p = parent_with(&[(A1, 10)]);
+        let mut p = parent_with(&[(A1, 10)]);
         let mut c = p.child();
         c.read_index.insert(B1, 0);
         c.reads.push((B1, 3));
@@ -385,7 +490,7 @@ mod tests {
 
     #[test]
     fn classify_empty_or_unknown_is_parent() {
-        let p = parent_with(&[(A1, 10)]);
+        let mut p = parent_with(&[(A1, 10)]);
         let c = p.child();
         assert_eq!(c.classify(&p, &[]), AbortScope::Parent);
         assert_eq!(c.classify(&p, &[A2]), AbortScope::Parent);
@@ -393,7 +498,7 @@ mod tests {
 
     #[test]
     fn combined_validate_covers_both_histories() {
-        let p = parent_with(&[(A1, 10)]);
+        let mut p = parent_with(&[(A1, 10)]);
         let mut c = p.child();
         c.read_index.insert(B1, 0);
         c.reads.push((B1, 3));
@@ -403,7 +508,7 @@ mod tests {
 
     #[test]
     fn child_copy_on_write_from_parent_buffer() {
-        let p = parent_with(&[(A1, 10)]);
+        let mut p = parent_with(&[(A1, 10)]);
         let mut c = p.child();
         c.set_field(&p, A1, F, Value::Int(11));
         // Write marked in the child's write-set so the merge propagates it.

@@ -65,9 +65,11 @@ mod tests {
         };
         assert!(e.to_string().contains("C#1"));
         assert!(DtmError::Unavailable.to_string().contains("unavailable"));
-        assert!(DtmError::LockedOut { obj: ObjectId::new(C, 2) }
-            .to_string()
-            .contains("C#2"));
+        assert!(DtmError::LockedOut {
+            obj: ObjectId::new(C, 2)
+        }
+        .to_string()
+        .contains("C#2"));
     }
 
     #[test]

@@ -42,8 +42,8 @@ mod store;
 pub use client::{ClientConfig, ClientStats, ContentionSample, DtmClient};
 pub use cluster::{Cluster, ClusterConfig};
 pub use contention::{ContentionWindow, WindowConfig};
-pub use error::{AbortScope, DtmError};
-pub use messages::{Msg, ReqId, TxnId, Version};
 pub use context::{ChildCtx, TxnCtx};
+pub use error::{AbortScope, DtmError};
+pub use messages::{BatchRead, Msg, ReqId, TxnId, ValidateEntry, Version};
 pub use server::{Server, ServerStats};
 pub use store::{Store, VersionedObject};

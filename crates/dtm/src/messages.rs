@@ -30,6 +30,20 @@ impl fmt::Debug for TxnId {
 /// A read-set entry presented for incremental validation.
 pub type ValidateEntry = (ObjectId, Version);
 
+/// One object's copy inside a [`Msg::ReadBatchResp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRead {
+    /// The object this entry answers for.
+    pub obj: ObjectId,
+    /// This replica's version of the object.
+    pub version: Version,
+    /// This replica's copy of the object.
+    pub value: ObjectVal,
+    /// The object is `protected` by an in-flight commit; `version`/`value`
+    /// must be ignored.
+    pub locked: bool,
+}
+
 /// Messages exchanged between clients and quorum servers.
 #[derive(Debug, Clone)]
 pub enum Msg {
@@ -68,6 +82,40 @@ pub enum Msg {
         /// The object is `protected` by an in-flight commit.
         locked: bool,
         /// Piggybacked per-class contention levels (see `ReadReq::sample`).
+        levels: Vec<(u16, f64)>,
+    },
+    /// Client → read quorum member: fetch the latest copies of several
+    /// objects in one round trip (the executor's static prefetch pass
+    /// batches every open whose object id is known at block entry).
+    ///
+    /// `validate` carries only the *delta* of the read-set — entries not
+    /// yet validated against the slowest member of this quorum, per the
+    /// client's per-server watermarks — so the shipped validation payload
+    /// grows linearly with the read-set instead of quadratically. The full
+    /// read-set is still validated at prepare time, so delta validation
+    /// only affects how early a stale read is detected, never safety.
+    ReadBatchReq {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// Correlation id.
+        req: ReqId,
+        /// The objects to fetch.
+        objs: Vec<ObjectId>,
+        /// Read-set delta presented for incremental validation.
+        validate: Vec<ValidateEntry>,
+        /// Classes whose contention level should ride along on the reply.
+        sample: Vec<u16>,
+    },
+    /// Server → client: one [`BatchRead`] per requested object (same
+    /// order), served atomically against the replica's store.
+    ReadBatchResp {
+        /// Correlation id.
+        req: ReqId,
+        /// Per-object replies, in request order.
+        reads: Vec<BatchRead>,
+        /// Presented read-set entries this replica knows to be stale.
+        invalid: Vec<ObjectId>,
+        /// Piggybacked per-class contention levels.
         levels: Vec<(u16, f64)>,
     },
     /// Phase 1 of 2PC: lock the write-set and validate the read-set.
@@ -147,11 +195,80 @@ impl Msg {
     pub fn response_req(&self) -> Option<ReqId> {
         match self {
             Msg::ReadResp { req, .. }
+            | Msg::ReadBatchResp { req, .. }
             | Msg::PrepareResp { req, .. }
             | Msg::CommitAck { req }
             | Msg::AbortAck { req }
             | Msg::ContentionResp { req, .. } => Some(*req),
             _ => None,
+        }
+    }
+
+    /// Approximate serialised size in bytes, for the simulator's byte
+    /// accounting ([`acn_simnet::NetStatsSnapshot::bytes_sent`]). The
+    /// estimate uses fixed per-field costs (8-byte versions and ids, 12-byte
+    /// object ids, 16 bytes per populated object field) — precise enough to
+    /// compare read-path variants, which is all the simulator needs.
+    pub fn wire_bytes(&self) -> u64 {
+        const HDR: u64 = 16; // tag + txn/req ids common to all messages
+        const OID: u64 = 12; // class + index
+        const VE: u64 = OID + 8; // validate entry: object id + version
+        const LVL: u64 = 10; // class id + level
+        fn val_bytes(v: &ObjectVal) -> u64 {
+            8 + 16 * v.len() as u64
+        }
+        match self {
+            Msg::ReadReq {
+                validate, sample, ..
+            } => HDR + OID + VE * validate.len() as u64 + 2 * sample.len() as u64,
+            Msg::ReadResp {
+                value,
+                invalid,
+                levels,
+                ..
+            } => {
+                HDR + 9 + val_bytes(value) + OID * invalid.len() as u64 + LVL * levels.len() as u64
+            }
+            Msg::ReadBatchReq {
+                objs,
+                validate,
+                sample,
+                ..
+            } => {
+                HDR + OID * objs.len() as u64 + VE * validate.len() as u64 + 2 * sample.len() as u64
+            }
+            Msg::ReadBatchResp {
+                reads,
+                invalid,
+                levels,
+                ..
+            } => {
+                HDR + reads
+                    .iter()
+                    .map(|r| OID + 9 + val_bytes(&r.value))
+                    .sum::<u64>()
+                    + OID * invalid.len() as u64
+                    + LVL * levels.len() as u64
+            }
+            Msg::PrepareReq {
+                validate, writes, ..
+            } => HDR + VE * (validate.len() + writes.len()) as u64,
+            Msg::PrepareResp { invalid, .. } => HDR + 1 + OID * invalid.len() as u64,
+            Msg::CommitReq { writes, .. } => {
+                HDR + writes
+                    .iter()
+                    .map(|(_, _, v)| VE + val_bytes(v))
+                    .sum::<u64>()
+            }
+            Msg::CommitAck { .. } | Msg::AbortAck { .. } => HDR,
+            Msg::AbortReq { .. } => HDR,
+            Msg::ContentionReq { classes, .. } => HDR + 2 * classes.len() as u64,
+            Msg::ContentionResp {
+                levels,
+                abort_levels,
+                ..
+            } => HDR + LVL * (levels.len() + abort_levels.len()) as u64,
+            Msg::Shutdown => HDR,
         }
     }
 }
@@ -183,24 +300,81 @@ mod tests {
             .response_req(),
             Some(5)
         );
+        assert_eq!(
+            Msg::ReadBatchResp {
+                req: 6,
+                reads: vec![],
+                invalid: vec![],
+                levels: vec![]
+            }
+            .response_req(),
+            Some(6)
+        );
         assert_eq!(Msg::CommitAck { req: 7 }.response_req(), Some(7));
         assert_eq!(Msg::AbortAck { req: 8 }.response_req(), Some(8));
         assert_eq!(
-            Msg::ContentionResp { req: 9, levels: vec![], abort_levels: vec![] }.response_req(),
+            Msg::ContentionResp {
+                req: 9,
+                levels: vec![],
+                abort_levels: vec![]
+            }
+            .response_req(),
             Some(9)
         );
         assert_eq!(Msg::Shutdown.response_req(), None);
         assert_eq!(
-            Msg::ContentionReq { req: 1, classes: vec![] }.response_req(),
+            Msg::ContentionReq {
+                req: 1,
+                classes: vec![]
+            }
+            .response_req(),
             None,
             "requests are not responses"
         );
     }
 
     #[test]
+    fn wire_bytes_scales_with_payload() {
+        use acn_txir::ObjClass;
+        let t = TxnId {
+            client: NodeId(0),
+            seq: 1,
+        };
+        let obj = |i| ObjectId::new(ObjClass::new(1, "c"), i);
+        let batch = |n: u64, v: usize| Msg::ReadBatchReq {
+            txn: t,
+            req: 1,
+            objs: (0..n).map(obj).collect(),
+            validate: (0..v as u64).map(|i| (obj(i), 0)).collect(),
+            sample: vec![],
+        };
+        // Doubling the object list or the validate delta grows the
+        // estimate by exactly the per-entry cost.
+        let base = batch(4, 0).wire_bytes();
+        assert_eq!(batch(8, 0).wire_bytes() - base, 4 * 12);
+        assert_eq!(batch(4, 3).wire_bytes() - base, 3 * 20);
+        // A batch of n objects costs less than n single-object requests.
+        let single = Msg::ReadReq {
+            txn: t,
+            req: 1,
+            obj: obj(0),
+            validate: vec![],
+            sample: vec![],
+        }
+        .wire_bytes();
+        assert!(batch(8, 0).wire_bytes() < 8 * single);
+    }
+
+    #[test]
     fn txn_ids_order_by_client_then_seq() {
-        let a = TxnId { client: NodeId(1), seq: 5 };
-        let b = TxnId { client: NodeId(2), seq: 1 };
+        let a = TxnId {
+            client: NodeId(1),
+            seq: 5,
+        };
+        let b = TxnId {
+            client: NodeId(2),
+            seq: 1,
+        };
         assert!(a < b);
     }
 }

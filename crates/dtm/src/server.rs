@@ -23,6 +23,18 @@ pub struct ServerStats {
     pub aborts: u64,
     /// Explicit contention queries answered.
     pub contention_queries: u64,
+    /// Batched read rounds served (objects are also counted in `reads`).
+    pub batched_reads: u64,
+    /// Prepared transactions whose locks were reclaimed because the client
+    /// never finished phase 2 within the prepare TTL.
+    pub expired_prepares: u64,
+}
+
+/// Locks a transaction holds on this replica between prepare and phase 2.
+struct PreparedTxn {
+    objs: Vec<ObjectId>,
+    /// When the prepare was granted — drives the expiry sweep.
+    at: Instant,
 }
 
 /// One quorum node: a full replica of every object plus commit-lock and
@@ -35,9 +47,19 @@ pub struct Server {
     contention: ContentionWindow,
     /// Objects locked at prepare per transaction, so abort/commit releases
     /// exactly what was acquired.
-    prepared: HashMap<TxnId, Vec<ObjectId>>,
+    prepared: HashMap<TxnId, PreparedTxn>,
+    /// How long a prepared transaction may sit without a phase-2 message
+    /// before its entry and locks are reclaimed.
+    prepared_ttl: Duration,
     stats: ServerStats,
 }
+
+/// Default prepare TTL. Must comfortably exceed the client's worst-case
+/// phase-2 latency (`rpc_timeout × (quorum_retries + 1)`, 4 s with default
+/// [`crate::ClientConfig`]): reclaiming a *live* client's locks would let
+/// another transaction commit in between, and version monotonicity would
+/// then silently discard the first client's phase-2 writes on this replica.
+const DEFAULT_PREPARED_TTL: Duration = Duration::from_secs(30);
 
 impl Server {
     /// A fresh replica with an empty store.
@@ -46,8 +68,38 @@ impl Server {
             store: Store::new(),
             contention: ContentionWindow::new(window),
             prepared: HashMap::new(),
+            prepared_ttl: DEFAULT_PREPARED_TTL,
             stats: ServerStats::default(),
         }
+    }
+
+    /// Override the prepare TTL (see `DEFAULT_PREPARED_TTL` for the safety
+    /// bound it must respect relative to client timeouts).
+    pub fn set_prepared_ttl(&mut self, ttl: Duration) {
+        self.prepared_ttl = ttl;
+    }
+
+    /// Reclaim prepared entries older than the TTL, releasing their locks.
+    /// Returns how many transactions were expired. Invoked periodically by
+    /// [`Server::run`]; public so tests (and embedders with their own
+    /// service loops) can drive it directly.
+    pub fn sweep_expired(&mut self, now: Instant) -> usize {
+        let ttl = self.prepared_ttl;
+        let expired: Vec<TxnId> = self
+            .prepared
+            .iter()
+            .filter(|(_, p)| now.duration_since(p.at) >= ttl)
+            .map(|(&t, _)| t)
+            .collect();
+        for txn in &expired {
+            if let Some(p) = self.prepared.remove(txn) {
+                for obj in p.objs {
+                    self.store.unlock(obj, *txn);
+                }
+            }
+        }
+        self.stats.expired_prepares += expired.len() as u64;
+        expired.len()
     }
 
     /// Counters so far.
@@ -94,6 +146,47 @@ impl Server {
                     levels,
                 })
             }
+            Msg::ReadBatchReq {
+                txn,
+                req,
+                objs,
+                validate,
+                sample,
+            } => {
+                // The server is single-threaded, so the whole batch is
+                // served against one atomic snapshot of the store. Each
+                // object bumps the read counter once, exactly as its own
+                // ReadReq would have.
+                self.stats.reads += objs.len() as u64;
+                self.stats.batched_reads += 1;
+                let invalid: Vec<ObjectId> = validate
+                    .iter()
+                    .filter(|&&(o, v)| self.store.version(o) > v)
+                    .map(|&(o, _)| o)
+                    .collect();
+                let reads = objs
+                    .iter()
+                    .map(|&obj| {
+                        let (version, value, lock) = self.store.read(obj);
+                        crate::messages::BatchRead {
+                            obj,
+                            version,
+                            value,
+                            locked: matches!(lock, Some(holder) if holder != txn),
+                        }
+                    })
+                    .collect();
+                let levels = sample
+                    .iter()
+                    .map(|&c| (c, self.contention.class_level(c, now)))
+                    .collect();
+                Some(Msg::ReadBatchResp {
+                    req,
+                    reads,
+                    invalid,
+                    levels,
+                })
+            }
             Msg::PrepareReq {
                 txn,
                 req,
@@ -130,7 +223,13 @@ impl Server {
                     // Read-only prepares (no writes) hold no locks and need
                     // no phase 2, so nothing is recorded for them.
                     if !locked.is_empty() {
-                        self.prepared.insert(txn, locked);
+                        self.prepared.insert(
+                            txn,
+                            PreparedTxn {
+                                objs: locked,
+                                at: now,
+                            },
+                        );
                     }
                 } else {
                     for obj in locked {
@@ -151,8 +250,8 @@ impl Server {
             }
             Msg::AbortReq { txn, req } => {
                 self.stats.aborts += 1;
-                if let Some(objs) = self.prepared.remove(&txn) {
-                    for obj in objs {
+                if let Some(p) = self.prepared.remove(&txn) {
+                    for obj in p.objs {
                         self.store.unlock(obj, txn);
                     }
                 }
@@ -168,7 +267,11 @@ impl Server {
                     .iter()
                     .map(|&c| (c, self.contention.class_abort_level(c, now)))
                     .collect();
-                Some(Msg::ContentionResp { req, levels, abort_levels })
+                Some(Msg::ContentionResp {
+                    req,
+                    levels,
+                    abort_levels,
+                })
             }
             Msg::Shutdown => None,
             // Responses should never arrive at a server.
@@ -181,7 +284,13 @@ impl Server {
 
     /// Service loop: receive, handle, reply, until `Msg::Shutdown` arrives
     /// or the network closes. Returns the final stats.
+    ///
+    /// Periodically sweeps expired prepared transactions, so a client that
+    /// crashed (or timed out) between prepare and phase 2 cannot leave its
+    /// write-set locked — and the `prepared` map growing — forever.
     pub fn run(mut self, endpoint: Endpoint<Msg>) -> ServerStats {
+        let sweep_every = (self.prepared_ttl / 4).max(Duration::from_millis(100));
+        let mut next_sweep = Instant::now() + sweep_every;
         loop {
             match endpoint.recv_timeout(Duration::from_millis(100)) {
                 Ok((src, Msg::Shutdown)) => {
@@ -190,11 +299,17 @@ impl Server {
                 }
                 Ok((src, msg)) => {
                     if let Some(reply) = self.handle(msg, Instant::now()) {
-                        endpoint.send(src, reply);
+                        let bytes = reply.wire_bytes();
+                        endpoint.send_sized(src, reply, bytes);
                     }
                 }
-                Err(RecvError::Timeout) => continue,
+                Err(RecvError::Timeout) => {}
                 Err(RecvError::Closed) => break,
+            }
+            let now = Instant::now();
+            if now >= next_sweep {
+                self.sweep_expired(now);
+                next_sweep = now + sweep_every;
             }
         }
         self.stats
@@ -397,11 +512,20 @@ mod tests {
         let mut s = server();
         // Install version 2.
         s.handle(
-            Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![], writes: vec![(OBJ, 0)] },
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
             Instant::now(),
         );
         s.handle(
-            Msg::CommitReq { txn: txn(1), req: 2, writes: vec![(OBJ, 2, val(5))] },
+            Msg::CommitReq {
+                txn: txn(1),
+                req: 2,
+                writes: vec![(OBJ, 2, val(5))],
+            },
             Instant::now(),
         );
         // txn 2 read version 1 (stale).
@@ -426,7 +550,12 @@ mod tests {
         // And its failed prepare released the OBJ2 lock.
         assert!(matches!(
             s.handle(
-                Msg::PrepareReq { txn: txn(3), req: 4, validate: vec![], writes: vec![(OBJ2, 0)] },
+                Msg::PrepareReq {
+                    txn: txn(3),
+                    req: 4,
+                    validate: vec![],
+                    writes: vec![(OBJ2, 0)]
+                },
                 Instant::now()
             ),
             Some(Msg::PrepareResp { vote: true, .. })
@@ -437,13 +566,29 @@ mod tests {
     fn abort_releases_locks() {
         let mut s = server();
         s.handle(
-            Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![], writes: vec![(OBJ, 0)] },
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
             Instant::now(),
         );
-        s.handle(Msg::AbortReq { txn: txn(1), req: 2 }, Instant::now());
+        s.handle(
+            Msg::AbortReq {
+                txn: txn(1),
+                req: 2,
+            },
+            Instant::now(),
+        );
         assert!(matches!(
             s.handle(
-                Msg::PrepareReq { txn: txn(2), req: 3, validate: vec![], writes: vec![(OBJ, 0)] },
+                Msg::PrepareReq {
+                    txn: txn(2),
+                    req: 3,
+                    validate: vec![],
+                    writes: vec![(OBJ, 0)]
+                },
                 Instant::now()
             ),
             Some(Msg::PrepareResp { vote: true, .. })
@@ -458,16 +603,31 @@ mod tests {
         });
         let t0 = Instant::now();
         s.handle(
-            Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![], writes: vec![(OBJ, 0)] },
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
             t0,
         );
         s.handle(
-            Msg::CommitReq { txn: txn(1), req: 2, writes: vec![(OBJ, 1, val(1))] },
+            Msg::CommitReq {
+                txn: txn(1),
+                req: 2,
+                writes: vec![(OBJ, 1, val(1))],
+            },
             t0,
         );
         std::thread::sleep(Duration::from_millis(5));
         match s
-            .handle(Msg::ContentionReq { req: 3, classes: vec![C.id, 99] }, Instant::now())
+            .handle(
+                Msg::ContentionReq {
+                    req: 3,
+                    classes: vec![C.id, 99],
+                },
+                Instant::now(),
+            )
             .unwrap()
         {
             Msg::ContentionResp { levels, .. } => {
@@ -486,11 +646,20 @@ mod tests {
         });
         let t0 = Instant::now();
         s.handle(
-            Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![], writes: vec![(OBJ, 0)] },
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
             t0,
         );
         s.handle(
-            Msg::CommitReq { txn: txn(1), req: 2, writes: vec![(OBJ, 1, val(1))] },
+            Msg::CommitReq {
+                txn: txn(1),
+                req: 2,
+                writes: vec![(OBJ, 1, val(1))],
+            },
             t0,
         );
         std::thread::sleep(Duration::from_millis(5));
@@ -522,11 +691,183 @@ mod tests {
     }
 
     #[test]
+    fn batch_read_serves_all_objects_and_validates_once() {
+        let mut s = server();
+        // Install OBJ at version 1 so validation has something to catch.
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            Instant::now(),
+        );
+        s.handle(
+            Msg::CommitReq {
+                txn: txn(1),
+                req: 2,
+                writes: vec![(OBJ, 1, val(5))],
+            },
+            Instant::now(),
+        );
+        let resp = s
+            .handle(
+                Msg::ReadBatchReq {
+                    txn: txn(2),
+                    req: 3,
+                    objs: vec![OBJ, OBJ2],
+                    validate: vec![(OBJ, 0)],
+                    sample: vec![],
+                },
+                Instant::now(),
+            )
+            .unwrap();
+        match resp {
+            Msg::ReadBatchResp { reads, invalid, .. } => {
+                assert_eq!(reads.len(), 2, "one reply per requested object");
+                assert_eq!(reads[0].obj, OBJ);
+                assert_eq!(reads[0].version, 1);
+                assert_eq!(reads[0].value, val(5));
+                assert_eq!(reads[1].obj, OBJ2);
+                assert_eq!(reads[1].version, 0);
+                assert_eq!(invalid, vec![OBJ], "stale delta entry reported");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Each object counts as a read; the round counts once.
+        assert_eq!(s.stats().reads, 2);
+        assert_eq!(s.stats().batched_reads, 1);
+    }
+
+    #[test]
+    fn batch_read_reports_locks_per_object() {
+        let mut s = server();
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            Instant::now(),
+        );
+        match s
+            .handle(
+                Msg::ReadBatchReq {
+                    txn: txn(2),
+                    req: 2,
+                    objs: vec![OBJ, OBJ2],
+                    validate: vec![],
+                    sample: vec![],
+                },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::ReadBatchResp { reads, .. } => {
+                assert!(reads[0].locked, "OBJ is protected by txn 1");
+                assert!(!reads[1].locked);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The lock holder itself is not locked out of its own objects.
+        match s
+            .handle(
+                Msg::ReadBatchReq {
+                    txn: txn(1),
+                    req: 3,
+                    objs: vec![OBJ, OBJ2],
+                    validate: vec![],
+                    sample: vec![],
+                },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::ReadBatchResp { reads, .. } => {
+                assert!(!reads[0].locked);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_prepare_releases_locks_and_entry() {
+        let mut s = server();
+        s.set_prepared_ttl(Duration::from_millis(10));
+        let t0 = Instant::now();
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            t0,
+        );
+        assert_eq!(s.store_mut().lock_holder(OBJ), Some(txn(1)));
+        // Before the TTL: nothing to reclaim.
+        assert_eq!(s.sweep_expired(t0 + Duration::from_millis(5)), 0);
+        assert_eq!(s.store_mut().lock_holder(OBJ), Some(txn(1)));
+        // Past the TTL: entry gone, lock free, counter bumped.
+        assert_eq!(s.sweep_expired(t0 + Duration::from_millis(11)), 1);
+        assert_eq!(s.store_mut().lock_holder(OBJ), None);
+        assert_eq!(s.stats().expired_prepares, 1);
+        assert!(s.prepared.is_empty(), "prepared map must not leak");
+        // A new transaction can prepare the same object.
+        assert!(matches!(
+            s.handle(
+                Msg::PrepareReq {
+                    txn: txn(2),
+                    req: 2,
+                    validate: vec![],
+                    writes: vec![(OBJ, 0)]
+                },
+                Instant::now()
+            ),
+            Some(Msg::PrepareResp { vote: true, .. })
+        ));
+        // A straggling abort from the expired txn is harmless.
+        s.handle(
+            Msg::AbortReq {
+                txn: txn(1),
+                req: 3,
+            },
+            Instant::now(),
+        );
+        assert_eq!(s.store_mut().lock_holder(OBJ), Some(txn(2)));
+    }
+
+    #[test]
+    fn sweep_leaves_fresh_prepares_alone() {
+        let mut s = server();
+        let t0 = Instant::now();
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            t0,
+        );
+        // Default TTL is 30 s; a sweep "now" must not touch the entry.
+        assert_eq!(s.sweep_expired(t0 + Duration::from_secs(1)), 0);
+        assert_eq!(s.store_mut().lock_holder(OBJ), Some(txn(1)));
+    }
+
+    #[test]
     fn read_only_prepare_validates_without_locking() {
         let mut s = server();
         match s
             .handle(
-                Msg::PrepareReq { txn: txn(1), req: 1, validate: vec![(OBJ, 0)], writes: vec![] },
+                Msg::PrepareReq {
+                    txn: txn(1),
+                    req: 1,
+                    validate: vec![(OBJ, 0)],
+                    writes: vec![],
+                },
                 Instant::now(),
             )
             .unwrap()

@@ -31,7 +31,10 @@ fn piggyback_learns_levels_without_extra_messages() {
     std::thread::sleep(Duration::from_millis(40));
 
     client.set_piggyback_classes(vec![BRANCH.id]);
-    assert!(client.piggybacked_levels().is_empty(), "nothing sampled yet");
+    assert!(
+        client.piggybacked_levels().is_empty(),
+        "nothing sampled yet"
+    );
 
     let sent_before = cluster.net().stats().sent;
     // One ordinary read both does its job and carries the sample home.

@@ -88,8 +88,8 @@ impl DaryTree {
     pub fn levels(&self) -> Vec<Vec<usize>> {
         let mut out: Vec<Vec<usize>> = vec![Vec::new(); self.depth()];
         if self.arity == 1 {
-            for r in 0..self.n {
-                out[r].push(r);
+            for (r, lvl) in out.iter_mut().enumerate().take(self.n) {
+                lvl.push(r);
             }
             return out;
         }
@@ -161,10 +161,7 @@ mod tests {
     #[test]
     fn binary_tree_levels() {
         let t = DaryTree::new(7, 2);
-        assert_eq!(
-            t.levels(),
-            vec![vec![0], vec![1, 2], vec![3, 4, 5, 6]]
-        );
+        assert_eq!(t.levels(), vec![vec![0], vec![1, 2], vec![3, 4, 5, 6]]);
         assert_eq!(t.depth(), 3);
     }
 

@@ -3,6 +3,7 @@
 //! These are the safety properties 1-copy serializability rests on:
 //! * every read quorum intersects every write quorum, and
 //! * any two write quorums intersect,
+//!
 //! over arbitrary tree sizes, arities, seeds and failure sets.
 
 use acn_quorum::{classic, intersects, DaryTree, LevelQuorums, ReadLevelPolicy};
@@ -162,11 +163,10 @@ fn read_rotation_balances_leaf_load() {
             *hits.entry(r).or_insert(0u64) += 1;
         }
     }
-    let counts: Vec<u64> = (4..13).map(|r| hits.get(&r).copied().unwrap_or(0)).collect();
-    let (min, max) = (
-        *counts.iter().min().unwrap(),
-        *counts.iter().max().unwrap(),
-    );
+    let counts: Vec<u64> = (4..13)
+        .map(|r| hits.get(&r).copied().unwrap_or(0))
+        .collect();
+    let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
     assert!(min > 0, "every leaf serves some quorums: {counts:?}");
     assert!(
         max <= min * 2,

@@ -2,7 +2,37 @@
 
 use crate::node::NodeId;
 use std::cmp::Ordering;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// An in-flight payload: either owned by its single envelope, or shared
+/// across the envelopes of one broadcast.
+///
+/// A quorum round sends the *same* request to every member. Cloning a
+/// message with a large validation vector once per member is pure overhead
+/// in an in-process simulator, so [`crate::Endpoint::broadcast`] allocates
+/// the payload once and every member's envelope holds an `Arc` to it. Byte
+/// accounting still charges each member individually (see
+/// [`crate::NetStatsSnapshot`]): sharing is a simulator optimisation, not a
+/// change to the modelled wire cost.
+#[derive(Debug)]
+pub enum Payload<M> {
+    /// A point-to-point payload, owned by this envelope alone.
+    Owned(M),
+    /// One broadcast's payload, shared by all member envelopes.
+    Shared(Arc<M>),
+}
+
+impl<M: Clone> Payload<M> {
+    /// Extract the message. The last receiver of a broadcast takes the
+    /// allocation without copying; earlier receivers clone.
+    pub fn into_inner(self) -> M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
 
 /// A message in flight: payload plus routing and timing metadata.
 ///
@@ -21,7 +51,7 @@ pub struct Envelope<M> {
     /// Global send sequence number (tie-breaker for equal `deliver_at`).
     pub seq: u64,
     /// The payload.
-    pub payload: M,
+    pub payload: Payload<M>,
 }
 
 impl<M> PartialEq for Envelope<M> {
@@ -59,7 +89,7 @@ mod tests {
             dst: NodeId(1),
             deliver_at: at,
             seq,
-            payload: 0,
+            payload: Payload::Owned(0),
         }
     }
 
@@ -78,5 +108,14 @@ mod tests {
         let second = env(now, 2);
         assert!(first < second);
         assert_eq!(first, env(now, 1));
+    }
+
+    #[test]
+    fn shared_payload_unwraps_without_copy_for_last_holder() {
+        let a = Arc::new(vec![1u8, 2, 3]);
+        let p1: Payload<Vec<u8>> = Payload::Shared(Arc::clone(&a));
+        let p2: Payload<Vec<u8>> = Payload::Shared(a);
+        assert_eq!(p1.into_inner(), vec![1, 2, 3]); // clones (refcount 2)
+        assert_eq!(p2.into_inner(), vec![1, 2, 3]); // takes (refcount 1)
     }
 }

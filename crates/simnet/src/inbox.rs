@@ -131,6 +131,7 @@ impl<M> Inbox<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::envelope::Payload;
     use crate::node::NodeId;
 
     fn env(payload: u32, delay: Duration, seq: u64) -> Envelope<u32> {
@@ -139,8 +140,12 @@ mod tests {
             dst: NodeId(1),
             deliver_at: Instant::now() + delay,
             seq,
-            payload,
+            payload: Payload::Owned(payload),
         }
+    }
+
+    fn val(p: Payload<u32>) -> u32 {
+        p.into_inner()
     }
 
     #[test]
@@ -148,7 +153,7 @@ mod tests {
         let inbox = Inbox::new();
         inbox.push(env(42, Duration::ZERO, 0));
         let got = inbox.recv_timeout(Duration::from_millis(100)).unwrap();
-        assert_eq!(got.payload, 42);
+        assert_eq!(val(got.payload), 42);
     }
 
     #[test]
@@ -166,7 +171,7 @@ mod tests {
         assert!(inbox.try_recv().is_none(), "message must not be early");
         let start = Instant::now();
         let got = inbox.recv_timeout(Duration::from_secs(1)).unwrap();
-        assert_eq!(got.payload, 1);
+        assert_eq!(val(got.payload), 1);
         assert!(
             start.elapsed() >= delay - Duration::from_millis(1),
             "delivered after only {:?}",
@@ -180,9 +185,9 @@ mod tests {
         inbox.push(env(1, Duration::from_millis(50), 0));
         inbox.push(env(2, Duration::from_millis(5), 1));
         let first = inbox.recv_timeout(Duration::from_secs(1)).unwrap();
-        assert_eq!(first.payload, 2, "low-latency message should overtake");
+        assert_eq!(val(first.payload), 2, "low-latency message should overtake");
         let second = inbox.recv_timeout(Duration::from_secs(1)).unwrap();
-        assert_eq!(second.payload, 1);
+        assert_eq!(val(second.payload), 1);
     }
 
     #[test]
@@ -195,12 +200,12 @@ mod tests {
                 dst: NodeId(1),
                 deliver_at: at,
                 seq,
-                payload: seq as u32,
+                payload: Payload::Owned(seq as u32),
             });
         }
         for expect in 0..10u32 {
             let got = inbox.recv_timeout(Duration::from_secs(1)).unwrap();
-            assert_eq!(got.payload, expect);
+            assert_eq!(val(got.payload), expect);
         }
     }
 

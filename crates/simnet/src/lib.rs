@@ -44,7 +44,7 @@ mod network;
 mod node;
 mod stats;
 
-pub use envelope::Envelope;
+pub use envelope::{Envelope, Payload};
 pub use fault::FaultTable;
 pub use inbox::RecvError;
 pub use latency::LatencyModel;

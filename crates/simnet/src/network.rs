@@ -1,6 +1,6 @@
 //! The network object and per-node endpoints.
 
-use crate::envelope::Envelope;
+use crate::envelope::{Envelope, Payload};
 use crate::fault::FaultTable;
 use crate::inbox::{Inbox, RecvError};
 use crate::latency::LatencyModel;
@@ -122,7 +122,7 @@ impl<M> Clone for Endpoint<M> {
     }
 }
 
-impl<M: Send + 'static> Endpoint<M> {
+impl<M: Send + Clone + 'static> Endpoint<M> {
     /// The node this endpoint belongs to.
     pub fn id(&self) -> NodeId {
         self.id
@@ -131,8 +131,34 @@ impl<M: Send + 'static> Endpoint<M> {
     /// Send `payload` to `to`. The message is delayed by a latency sample
     /// and dropped if the destination is failed. Sending from a failed node
     /// is also suppressed (a crashed host emits nothing).
+    ///
+    /// The message's wire size is approximated as `size_of::<M>()`; callers
+    /// with variable-size payloads should use [`Endpoint::send_sized`].
     pub fn send(&self, to: NodeId, payload: M) {
-        self.shared.stats.record_sent();
+        self.send_sized(to, payload, std::mem::size_of::<M>() as u64);
+    }
+
+    /// [`Endpoint::send`] with an explicit wire size for byte accounting.
+    pub fn send_sized(&self, to: NodeId, payload: M, bytes: u64) {
+        self.dispatch(to, Payload::Owned(payload), bytes);
+    }
+
+    /// Send one payload to every member of `members`, allocating it once
+    /// and sharing it via `Arc` instead of cloning per member.
+    ///
+    /// Each member is still treated as an independent point-to-point send:
+    /// its own fault check, its own latency sample, its own sequence number
+    /// and its own message/byte counters. Sharing the allocation changes
+    /// simulator cost only, never the modelled network behaviour.
+    pub fn broadcast(&self, members: &[NodeId], payload: M, bytes_per_member: u64) {
+        let shared = Arc::new(payload);
+        for &to in members {
+            self.dispatch(to, Payload::Shared(Arc::clone(&shared)), bytes_per_member);
+        }
+    }
+
+    fn dispatch(&self, to: NodeId, payload: Payload<M>, bytes: u64) {
+        self.shared.stats.record_sent(bytes);
         if self.shared.faults.is_failed(self.id) || self.shared.faults.is_failed(to) {
             self.shared.stats.record_dropped_failed();
             return;
@@ -147,7 +173,7 @@ impl<M: Send + 'static> Endpoint<M> {
         };
         let inbox = &self.shared.inboxes[to.index()];
         if inbox.push(env) {
-            self.shared.stats.record_delivered();
+            self.shared.stats.record_delivered(bytes);
         } else {
             self.shared.stats.record_dropped_closed();
         }
@@ -157,21 +183,21 @@ impl<M: Send + 'static> Endpoint<M> {
     pub fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, M), RecvError> {
         self.shared.inboxes[self.id.index()]
             .recv_timeout(timeout)
-            .map(|e| (e.src, e.payload))
+            .map(|e| (e.src, e.payload.into_inner()))
     }
 
     /// Blocking receive with an absolute deadline.
     pub fn recv_deadline(&self, deadline: Instant) -> Result<(NodeId, M), RecvError> {
         self.shared.inboxes[self.id.index()]
             .recv_deadline(deadline)
-            .map(|e| (e.src, e.payload))
+            .map(|e| (e.src, e.payload.into_inner()))
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<(NodeId, M)> {
         self.shared.inboxes[self.id.index()]
             .try_recv()
-            .map(|e| (e.src, e.payload))
+            .map(|e| (e.src, e.payload.into_inner()))
     }
 
     /// Number of queued (possibly not yet mature) messages.
@@ -248,8 +274,7 @@ mod tests {
 
     #[test]
     fn failing_a_node_drops_inflight_messages() {
-        let net: Network<u32> =
-            Network::new(2, LatencyModel::Constant(Duration::from_millis(50)));
+        let net: Network<u32> = Network::new(2, LatencyModel::Constant(Duration::from_millis(50)));
         let a = net.endpoint(NodeId(0));
         let b = net.endpoint(NodeId(1));
         a.send(NodeId(1), 1); // in flight for 50 ms

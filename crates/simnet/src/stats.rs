@@ -5,12 +5,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Live counters for the whole network. All counters are monotonically
 /// increasing; consumers take [`NetStats::snapshot`]s and difference them
 /// per measurement interval.
+///
+/// Byte counters are driven by the sender's own size accounting
+/// ([`crate::Endpoint::send_sized`] / [`crate::Endpoint::broadcast`]): the
+/// simulator does not serialise payloads, so callers state the wire size of
+/// each message. A broadcast that shares one payload allocation still
+/// charges the full size once **per member**, because that is what would
+/// cross a real network.
 #[derive(Default)]
 pub struct NetStats {
     sent: AtomicU64,
     delivered: AtomicU64,
     dropped_failed: AtomicU64,
     dropped_closed: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_delivered: AtomicU64,
 }
 
 /// A point-in-time copy of the network counters.
@@ -24,14 +33,21 @@ pub struct NetStatsSnapshot {
     pub dropped_failed: u64,
     /// Messages dropped because the destination inbox was closed.
     pub dropped_closed: u64,
+    /// Payload bytes handed to the network (per destination, as declared by
+    /// the sender).
+    pub bytes_sent: u64,
+    /// Payload bytes enqueued on live destination inboxes.
+    pub bytes_delivered: u64,
 }
 
 impl NetStats {
-    pub(crate) fn record_sent(&self) {
+    pub(crate) fn record_sent(&self, bytes: u64) {
         self.sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
     }
-    pub(crate) fn record_delivered(&self) {
+    pub(crate) fn record_delivered(&self, bytes: u64) {
         self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.bytes_delivered.fetch_add(bytes, Ordering::Relaxed);
     }
     pub(crate) fn record_dropped_failed(&self) {
         self.dropped_failed.fetch_add(1, Ordering::Relaxed);
@@ -47,6 +63,8 @@ impl NetStats {
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped_failed: self.dropped_failed.load(Ordering::Relaxed),
             dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_delivered: self.bytes_delivered.load(Ordering::Relaxed),
         }
     }
 }
@@ -60,6 +78,8 @@ impl NetStatsSnapshot {
             delivered: self.delivered.saturating_sub(earlier.delivered),
             dropped_failed: self.dropped_failed.saturating_sub(earlier.dropped_failed),
             dropped_closed: self.dropped_closed.saturating_sub(earlier.dropped_closed),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_delivered: self.bytes_delivered.saturating_sub(earlier.bytes_delivered),
         }
     }
 }
@@ -71,36 +91,41 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = NetStats::default();
-        s.record_sent();
-        s.record_sent();
-        s.record_delivered();
+        s.record_sent(10);
+        s.record_sent(20);
+        s.record_delivered(10);
         s.record_dropped_failed();
         let snap = s.snapshot();
         assert_eq!(snap.sent, 2);
         assert_eq!(snap.delivered, 1);
         assert_eq!(snap.dropped_failed, 1);
         assert_eq!(snap.dropped_closed, 0);
+        assert_eq!(snap.bytes_sent, 30);
+        assert_eq!(snap.bytes_delivered, 10);
     }
 
     #[test]
     fn since_differences_snapshots() {
         let s = NetStats::default();
-        s.record_sent();
+        s.record_sent(5);
         let a = s.snapshot();
-        s.record_sent();
-        s.record_delivered();
+        s.record_sent(7);
+        s.record_delivered(7);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.sent, 1);
         assert_eq!(d.delivered, 1);
+        assert_eq!(d.bytes_sent, 7);
+        assert_eq!(d.bytes_delivered, 7);
     }
 
     #[test]
     fn since_saturates_on_reversed_order() {
         let s = NetStats::default();
-        s.record_sent();
+        s.record_sent(1);
         let later = s.snapshot();
         let d = NetStatsSnapshot::default().since(&later);
         assert_eq!(d.sent, 0);
+        assert_eq!(d.bytes_sent, 0);
     }
 }

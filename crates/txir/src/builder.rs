@@ -209,14 +209,12 @@ mod tests {
         let acc = b.open_update(ACCOUNT, b.param(0));
         let bal = b.get(acc, BAL);
         let pred = b.compute(ComputeOp::Gt, [bal.into(), Operand::from(0i64)]);
-        b.cond(
-            pred,
-            |b| b.set(acc, BAL, 0i64),
-            |_| {},
-        );
+        b.cond(pred, |b| b.set(acc, BAL, 0i64), |_| {});
         let p = b.finish();
         match &p.stmts[3] {
-            Stmt::Cond { then_br, else_br, .. } => {
+            Stmt::Cond {
+                then_br, else_br, ..
+            } => {
                 assert_eq!(then_br.len(), 1);
                 assert!(else_br.is_empty());
             }

@@ -7,7 +7,9 @@
 //! contended *eligible* host). Graph utilities for lifting statement edges
 //! to block edges and for dependency-preserving sorts live here too.
 
-use crate::analysis::{extract_unit_blocks, UnitBlock, UnitBlockId};
+use crate::analysis::{
+    extract_unit_blocks, prefetchable_opens, PrefetchOpen, UnitBlock, UnitBlockId,
+};
 use crate::ir::{Program, StmtIdx};
 use crate::unitgraph::UnitGraph;
 use crate::validate::{validate, ValidateError};
@@ -31,6 +33,9 @@ pub struct DependencyModel {
     /// floaters are pinned to their default block; a local operation is
     /// eligible for any block whose open feeds it.
     pub eligible_hosts: Vec<Vec<UnitBlockId>>,
+    /// Opens whose target `ObjectId` is known at transaction entry
+    /// ([`prefetchable_opens`]) — the executor's batched-read candidates.
+    pub prefetch: Vec<PrefetchOpen>,
 }
 
 impl DependencyModel {
@@ -75,12 +80,14 @@ impl DependencyModel {
             })
             .collect();
 
+        let prefetch = prefetchable_opens(&program);
         Ok(DependencyModel {
             program,
             graph,
             units,
             default_assignment,
             eligible_hosts,
+            prefetch,
         })
     }
 
@@ -122,11 +129,7 @@ impl DependencyModel {
                 .iter()
                 .map(|h| h.to_string())
                 .collect();
-            let _ = writeln!(
-                out,
-                "  u{unit}{mark} [{}]	{stmt:?}",
-                hosts.join(",")
-            );
+            let _ = writeln!(out, "  u{unit}{mark} [{}]	{stmt:?}", hosts.join(","));
         }
         out
     }
@@ -265,8 +268,7 @@ mod tests {
     fn topo_sort_respects_edges_and_keys() {
         // 4 blocks, edges 0→1; keys favour 3, 2, 1, 0.
         let edges = BTreeSet::from([(0, 1)]);
-        let order =
-            topo_order_preserving(4, &edges, |u| -(u as f64)).expect("acyclic");
+        let order = topo_order_preserving(4, &edges, |u| -(u as f64)).expect("acyclic");
         // 3 and 2 have the smallest keys and no constraints; 0 must precede 1.
         assert_eq!(order, vec![3, 2, 0, 1]);
     }
@@ -289,6 +291,15 @@ mod tests {
     fn empty_graph_sorts_empty() {
         let edges = BTreeSet::new();
         assert_eq!(topo_order_preserving(0, &edges, |u| u as f64), Some(vec![]));
+    }
+
+    #[test]
+    fn analyze_records_prefetchable_opens() {
+        let m = two_block_model();
+        // Both opens use Const indices → both are batched-read candidates.
+        assert_eq!(m.prefetch.len(), 2);
+        assert_eq!(m.prefetch[0].stmt, 0);
+        assert_eq!(m.prefetch[1].stmt, 1);
     }
 
     #[test]

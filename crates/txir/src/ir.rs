@@ -355,7 +355,10 @@ mod tests {
         assert_eq!(Lt.eval(&[i(1), i(2)]).unwrap(), b(true));
         assert_eq!(Ge.eval(&[i(2), i(2)]).unwrap(), b(true));
         assert_eq!(Eq.eval(&[i(2), i(2)]).unwrap(), b(true));
-        assert_eq!(Ne.eval(&[Value::str("a"), Value::str("b")]).unwrap(), b(true));
+        assert_eq!(
+            Ne.eval(&[Value::str("a"), Value::str("b")]).unwrap(),
+            b(true)
+        );
         assert_eq!(And.eval(&[b(true), b(false)]).unwrap(), b(false));
         assert_eq!(Or.eval(&[b(true), b(false)]).unwrap(), b(true));
         assert_eq!(Not.eval(&[b(false)]).unwrap(), b(true));
@@ -388,7 +391,11 @@ mod tests {
     fn arity_is_enforced() {
         assert!(matches!(
             ComputeOp::Add.eval(&[Value::Int(1)]),
-            Err(EvalError::ArityMismatch { expected: 2, got: 1, .. })
+            Err(EvalError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
         assert!(ComputeOp::Not.eval(&[]).is_err());
         assert!(ComputeOp::Select.eval(&[Value::Bool(true)]).is_err());
@@ -396,15 +403,23 @@ mod tests {
 
     #[test]
     fn type_errors_surface() {
-        assert!(ComputeOp::Add.eval(&[Value::Bool(true), Value::Int(1)]).is_err());
-        assert!(ComputeOp::And.eval(&[Value::Int(1), Value::Bool(true)]).is_err());
-        assert!(ComputeOp::Concat.eval(&[Value::Int(1), Value::str("x")]).is_err());
+        assert!(ComputeOp::Add
+            .eval(&[Value::Bool(true), Value::Int(1)])
+            .is_err());
+        assert!(ComputeOp::And
+            .eval(&[Value::Int(1), Value::Bool(true)])
+            .is_err());
+        assert!(ComputeOp::Concat
+            .eval(&[Value::Int(1), Value::str("x")])
+            .is_err());
     }
 
     #[test]
     fn wrapping_semantics() {
         assert_eq!(
-            ComputeOp::Add.eval(&[Value::Int(i64::MAX), Value::Int(1)]).unwrap(),
+            ComputeOp::Add
+                .eval(&[Value::Int(i64::MAX), Value::Int(1)])
+                .unwrap(),
             Value::Int(i64::MIN)
         );
     }

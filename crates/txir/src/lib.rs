@@ -52,9 +52,11 @@ mod unitgraph;
 mod validate;
 mod value;
 
-pub use analysis::{extract_unit_blocks, UnitBlock, UnitBlockId};
+pub use analysis::{extract_unit_blocks, prefetchable_opens, PrefetchOpen, UnitBlock, UnitBlockId};
 pub use builder::ProgramBuilder;
-pub use depmodel::{is_acyclic, lift_edges, topo_order_preserving, DependencyModel, StmtAssignment};
+pub use depmodel::{
+    is_acyclic, lift_edges, topo_order_preserving, DependencyModel, StmtAssignment,
+};
 pub use ir::{AccessMode, ComputeOp, Operand, ParamId, Program, Stmt, StmtIdx, VarId};
 pub use object::{FieldId, ObjClass, ObjectId, ObjectVal};
 pub use unitgraph::{StmtInfo, UnitGraph};

@@ -208,10 +208,7 @@ mod tests {
 
     #[test]
     fn from_fields_later_duplicate_wins() {
-        let v = ObjectVal::from_fields([
-            (FieldId(2), Value::Int(1)),
-            (FieldId(2), Value::Int(9)),
-        ]);
+        let v = ObjectVal::from_fields([(FieldId(2), Value::Int(1)), (FieldId(2), Value::Int(9))]);
         assert_eq!(v.get(FieldId(2)), Some(&Value::Int(9)));
         assert_eq!(v.len(), 1);
     }

@@ -49,11 +49,7 @@ pub struct UnitGraph {
     pub def_site: HashMap<VarId, StmtIdx>,
 }
 
-fn collect_branch(
-    stmts: &[Stmt],
-    local: &mut HashSet<VarId>,
-    info: &mut StmtInfo,
-) {
+fn collect_branch(stmts: &[Stmt], local: &mut HashSet<VarId>, info: &mut StmtInfo) {
     let use_op = |op: &Operand, local: &HashSet<VarId>, info: &mut StmtInfo| {
         if let Some(v) = op.var() {
             if !local.contains(&v) {
@@ -63,7 +59,9 @@ fn collect_branch(
     };
     for s in stmts {
         match s {
-            Stmt::Open { var, index, class, .. } => {
+            Stmt::Open {
+                var, index, class, ..
+            } => {
                 use_op(index, local, info);
                 local.insert(*var);
                 info.opens.push((*var, *class));
@@ -88,7 +86,11 @@ fn collect_branch(
                 }
                 local.insert(*out);
             }
-            Stmt::Cond { pred, then_br, else_br } => {
+            Stmt::Cond {
+                pred,
+                then_br,
+                else_br,
+            } => {
                 use_op(pred, local, info);
                 let mut then_local = local.clone();
                 collect_branch(then_br, &mut then_local, info);
@@ -102,7 +104,9 @@ fn collect_branch(
 fn summarize(stmt: &Stmt) -> StmtInfo {
     let mut info = StmtInfo::default();
     match stmt {
-        Stmt::Open { var, index, class, .. } => {
+        Stmt::Open {
+            var, index, class, ..
+        } => {
             if let Some(v) = index.var() {
                 info.uses.push(v);
             }
@@ -129,7 +133,11 @@ fn summarize(stmt: &Stmt) -> StmtInfo {
             }
             info.defs.push(*out);
         }
-        Stmt::Cond { pred, then_br, else_br } => {
+        Stmt::Cond {
+            pred,
+            then_br,
+            else_br,
+        } => {
             if let Some(v) = pred.var() {
                 info.uses.push(v);
             }
@@ -243,9 +251,7 @@ impl UnitGraph {
 
     /// Statements that depend on `u`.
     pub fn succs(&self, u: StmtIdx) -> impl Iterator<Item = StmtIdx> + '_ {
-        self.edges
-            .range((u, 0)..(u + 1, 0))
-            .map(|&(_, b)| b)
+        self.edges.range((u, 0)..(u + 1, 0)).map(|&(_, b)| b)
     }
 
     /// For every register, the set of opens whose values transitively flow

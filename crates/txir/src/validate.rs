@@ -56,11 +56,7 @@ struct Checker {
 }
 
 impl Checker {
-    fn check_operand(
-        &self,
-        op: &Operand,
-        in_scope: &HashSet<VarId>,
-    ) -> Result<(), ValidateError> {
+    fn check_operand(&self, op: &Operand, in_scope: &HashSet<VarId>) -> Result<(), ValidateError> {
         match op {
             Operand::Const(_) => Ok(()),
             Operand::Param(p) => {
@@ -217,7 +213,10 @@ mod tests {
                 Stmt::Compute {
                     out: VarId(2),
                     op: ComputeOp::Add,
-                    ins: vec![Operand::Var(VarId(1)), Operand::Param(crate::ir::ParamId(1))],
+                    ins: vec![
+                        Operand::Var(VarId(1)),
+                        Operand::Param(crate::ir::ParamId(1)),
+                    ],
                 },
                 Stmt::SetField {
                     obj: VarId(0),
@@ -316,7 +315,10 @@ mod tests {
                 },
             ],
         );
-        assert_eq!(validate(&p), Err(ValidateError::HandleUsedAsValue(VarId(0))));
+        assert_eq!(
+            validate(&p),
+            Err(ValidateError::HandleUsedAsValue(VarId(0)))
+        );
     }
 
     #[test]

@@ -150,11 +150,14 @@ mod tests {
     #[test]
     fn accessors_check_types() {
         assert_eq!(Value::Int(3).as_int().unwrap(), 3);
-        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert!(Value::Bool(true).as_bool().unwrap());
         assert_eq!(Value::str("hi").as_str().unwrap(), "hi");
         assert!(matches!(
             Value::Bool(true).as_int(),
-            Err(EvalError::TypeMismatch { expected: "Int", got: "Bool" })
+            Err(EvalError::TypeMismatch {
+                expected: "Int",
+                got: "Bool"
+            })
         ));
         assert!(Value::Unit.as_bool().is_err());
         assert!(Value::Int(1).as_str().is_err());

@@ -20,24 +20,47 @@ const G: FieldId = FieldId(1);
 /// Abstract actions a generated program is assembled from.
 #[derive(Debug, Clone)]
 enum Action {
-    Open { class: usize, idx: u8, update: bool },
+    Open {
+        class: usize,
+        idx: u8,
+        update: bool,
+    },
     /// get a field of open `o` (mod number of opens so far)
-    Get { o: usize, g: bool },
+    Get {
+        o: usize,
+        g: bool,
+    },
     /// set a field of an *update* open from a previous register/constant
-    Set { o: usize, val: usize, g: bool },
+    Set {
+        o: usize,
+        val: usize,
+        g: bool,
+    },
     /// combine two previous registers (or constants when none exist)
-    Compute { a: usize, b: usize, op_mul: bool },
+    Compute {
+        a: usize,
+        b: usize,
+        op_mul: bool,
+    },
     /// pure parameter computation (floater)
-    Floater { p: usize },
+    Floater {
+        p: usize,
+    },
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
-        (0usize..4, 0u8..4, any::<bool>())
-            .prop_map(|(class, idx, update)| Action::Open { class, idx, update }),
+        (0usize..4, 0u8..4, any::<bool>()).prop_map(|(class, idx, update)| Action::Open {
+            class,
+            idx,
+            update
+        }),
         (any::<usize>(), any::<bool>()).prop_map(|(o, g)| Action::Get { o, g }),
-        (any::<usize>(), any::<usize>(), any::<bool>())
-            .prop_map(|(o, val, g)| Action::Set { o, val, g }),
+        (any::<usize>(), any::<usize>(), any::<bool>()).prop_map(|(o, val, g)| Action::Set {
+            o,
+            val,
+            g
+        }),
         (any::<usize>(), any::<usize>(), any::<bool>())
             .prop_map(|(a, b, op_mul)| Action::Compute { a, b, op_mul }),
         (0usize..3).prop_map(|p| Action::Floater { p }),
@@ -87,12 +110,13 @@ fn build(actions: &[Action]) -> Program {
                 let (x, y): (Operand, Operand) = if regs.is_empty() {
                     (Operand::from(1i64), Operand::from(2i64))
                 } else {
-                    (
-                        regs[a % regs.len()].into(),
-                        regs[b2 % regs.len()].into(),
-                    )
+                    (regs[a % regs.len()].into(), regs[b2 % regs.len()].into())
                 };
-                let op = if op_mul { ComputeOp::Mul } else { ComputeOp::Add };
+                let op = if op_mul {
+                    ComputeOp::Mul
+                } else {
+                    ComputeOp::Add
+                };
                 let r = b.compute(op, [x, y]);
                 regs.push(r);
             }
@@ -195,7 +219,10 @@ fn validate_catches_injected_corruption() {
         op: ComputeOp::Id,
         ins: vec![Operand::from(0i64)],
     });
-    assert!(acn_txir::validate(&bad).is_err(), "double definition accepted");
+    assert!(
+        acn_txir::validate(&bad).is_err(),
+        "double definition accepted"
+    );
 
     // Corrupt: reference a register that never exists.
     let mut bad = good.clone();
@@ -205,7 +232,10 @@ fn validate_catches_injected_corruption() {
         op: ComputeOp::Id,
         ins: vec![Operand::Var(VarId(99))],
     });
-    assert!(acn_txir::validate(&bad).is_err(), "phantom register accepted");
+    assert!(
+        acn_txir::validate(&bad).is_err(),
+        "phantom register accepted"
+    );
 
     // Corrupt: write through a read-only handle.
     let mut b = ProgramBuilder::new("ro", 1);
@@ -217,5 +247,8 @@ fn validate_catches_injected_corruption() {
         field: F,
         value: Operand::from(1i64),
     });
-    assert!(acn_txir::validate(&bad).is_err(), "read-only write accepted");
+    assert!(
+        acn_txir::validate(&bad).is_err(),
+        "read-only write accepted"
+    );
 }

@@ -102,7 +102,7 @@ impl Bank {
 
     /// Pool sizes per phase: `(branch_pool, account_pool)`.
     fn pools(&self, phase: usize) -> (u64, u64) {
-        if phase % 2 == 0 {
+        if phase.is_multiple_of(2) {
             (self.cfg.hot_pool, self.cfg.cold_pool)
         } else {
             (self.cfg.cold_pool, self.cfg.hot_pool)

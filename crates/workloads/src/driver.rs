@@ -11,11 +11,11 @@
 use crate::workload::Workload;
 use acn_core::{
     AcnController, AlgorithmModule, BlockSeq, ContentionModel, ControllerConfig, ExecStats,
-    ExecutorEngine, LatencyHistogram, RetryPolicy, StaticModule, SumModel,
+    ExecutorConfig, ExecutorEngine, LatencyHistogram, RetryPolicy, StaticModule, SumModel,
 };
-use parking_lot::Mutex;
 use acn_dtm::{Cluster, ClusterConfig};
 use acn_txir::DependencyModel;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,6 +63,8 @@ pub struct ScenarioConfig {
     pub controller: ControllerConfig,
     /// Executor retry policy.
     pub retry: RetryPolicy,
+    /// Executor path toggles (batched reads on by default).
+    pub exec: ExecutorConfig,
     /// Base RNG seed (thread `i` uses `seed + i`).
     pub seed: u64,
 }
@@ -86,6 +88,7 @@ impl ScenarioConfig {
                 sampling: acn_core::SamplingMode::Explicit,
             },
             retry: RetryPolicy::default(),
+            exec: ExecutorConfig::default(),
             seed: 42,
         }
     }
@@ -221,9 +224,7 @@ pub fn run_scenario_with_model(
         SystemKind::QrCn => Plan::Fixed(
             dms.iter()
                 .enumerate()
-                .map(|(t, dm)| {
-                    Arc::new(BlockSeq::group_units(dm, &workload.manual_groups(t, dm)))
-                })
+                .map(|(t, dm)| Arc::new(BlockSeq::group_units(dm, &workload.manual_groups(t, dm))))
                 .collect(),
         ),
         SystemKind::QrAcn => Plan::Acn(
@@ -266,7 +267,7 @@ pub fn run_scenario_with_model(
             let latency = &latency;
             let plan = &plan;
             let dms = &dms;
-            let engine = ExecutorEngine::new(cfg.retry);
+            let engine = ExecutorEngine::with_config(cfg.retry, cfg.exec);
             let mut rng = StdRng::seed_from_u64(cfg.seed + t as u64);
             s.spawn(move || {
                 let mut stats = ExecStats::default();
@@ -277,8 +278,7 @@ pub fn run_scenario_with_model(
                     if elapsed >= deadline_len {
                         break;
                     }
-                    let interval_now =
-                        (elapsed.as_nanos() / cfg.interval.as_nanos()) as usize;
+                    let interval_now = (elapsed.as_nanos() / cfg.interval.as_nanos()) as usize;
                     let phase = phase_for(cfg, interval_now);
                     let req = workload.next(&mut rng, phase);
                     let dm = &dms[req.template];
@@ -291,19 +291,27 @@ pub fn run_scenario_with_model(
                         }
                     };
                     engine
-                        .run_timed(&mut client, &dm.program, &req.params, &seq, &mut stats, &mut hist)
+                        .run_timed(
+                            &mut client,
+                            &dm.program,
+                            &req.params,
+                            &seq,
+                            &mut stats,
+                            &mut hist,
+                        )
                         .expect("scenario transaction failed");
                     // Attribute the commit (and the aborts it absorbed) to
                     // the window in which it completed.
                     let done = start.elapsed();
-                    let idx =
-                        ((done.as_nanos() / cfg.interval.as_nanos()) as usize).min(cfg.intervals - 1);
-                    buckets.commits[idx]
-                        .fetch_add(stats.commits - prev.commits, Ordering::Relaxed);
+                    let idx = ((done.as_nanos() / cfg.interval.as_nanos()) as usize)
+                        .min(cfg.intervals - 1);
+                    buckets.commits[idx].fetch_add(stats.commits - prev.commits, Ordering::Relaxed);
                     buckets.fulls[idx]
                         .fetch_add(stats.full_aborts - prev.full_aborts, Ordering::Relaxed);
-                    buckets.partials[idx]
-                        .fetch_add(stats.partial_aborts - prev.partial_aborts, Ordering::Relaxed);
+                    buckets.partials[idx].fetch_add(
+                        stats.partial_aborts - prev.partial_aborts,
+                        Ordering::Relaxed,
+                    );
                     prev = stats;
                 }
                 latency.lock().merge(&hist);
@@ -422,8 +430,16 @@ mod tests {
             system: SystemKind::QrDtm,
             interval: Duration::from_millis(500),
             intervals: vec![
-                IntervalStats { commits: 50, full_aborts: 1, partial_aborts: 0 },
-                IntervalStats { commits: 100, full_aborts: 2, partial_aborts: 3 },
+                IntervalStats {
+                    commits: 50,
+                    full_aborts: 1,
+                    partial_aborts: 0,
+                },
+                IntervalStats {
+                    commits: 100,
+                    full_aborts: 2,
+                    partial_aborts: 3,
+                },
             ],
             refreshes: 0,
         };

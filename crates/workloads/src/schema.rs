@@ -97,9 +97,21 @@ mod tests {
     #[test]
     fn class_ids_are_unique() {
         let ids = [
-            BRANCH.id, ACCOUNT.id, CAR.id, FLIGHT.id, ROOM.id, CUSTOMER_V.id,
-            WAREHOUSE.id, DISTRICT.id, CUSTOMER.id, ITEM.id, STOCK.id, ORDER.id,
-            NEW_ORDER.id, ORDER_LINE.id, HISTORY.id,
+            BRANCH.id,
+            ACCOUNT.id,
+            CAR.id,
+            FLIGHT.id,
+            ROOM.id,
+            CUSTOMER_V.id,
+            WAREHOUSE.id,
+            DISTRICT.id,
+            CUSTOMER.id,
+            ITEM.id,
+            STOCK.id,
+            ORDER.id,
+            NEW_ORDER.id,
+            ORDER_LINE.id,
+            HISTORY.id,
         ];
         let set: std::collections::HashSet<u16> = ids.iter().copied().collect();
         assert_eq!(set.len(), ids.len());

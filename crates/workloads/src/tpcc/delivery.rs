@@ -10,8 +10,8 @@
 
 use super::Tpcc;
 use crate::schema::{
-    C_BALANCE, C_DELIV_CNT, CUSTOMER, NEW_ORDER, NO_PENDING, O_CARRIER, OL_AMOUNT, OL_DELIV_D,
-    ORDER, ORDER_LINE,
+    CUSTOMER, C_BALANCE, C_DELIV_CNT, NEW_ORDER, NO_PENDING, OL_AMOUNT, OL_DELIV_D, ORDER,
+    ORDER_LINE, O_CARRIER,
 };
 use acn_txir::{DependencyModel, Program, ProgramBuilder, UnitBlockId, Value};
 use rand::rngs::StdRng;

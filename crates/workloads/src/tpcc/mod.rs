@@ -23,7 +23,7 @@ mod delivery;
 mod neworder;
 mod payment;
 
-use crate::schema::{D_TAX, I_PRICE, ITEM, S_QTY, STOCK, W_TAX, WAREHOUSE};
+use crate::schema::{D_TAX, ITEM, I_PRICE, STOCK, S_QTY, WAREHOUSE, W_TAX};
 use crate::workload::{TxnRequest, Workload};
 use acn_dtm::{DtmClient, TxnCtx};
 use acn_txir::{DependencyModel, ObjectId, Program, UnitBlockId, Value};
@@ -76,13 +76,29 @@ pub struct TpccMix {
 
 impl TpccMix {
     /// 100 % NewOrder (Fig 4(a)).
-    pub const NEW_ORDER: TpccMix = TpccMix { neworder: 100, payment: 0, delivery: 0 };
+    pub const NEW_ORDER: TpccMix = TpccMix {
+        neworder: 100,
+        payment: 0,
+        delivery: 0,
+    };
     /// 100 % Payment (Fig 4(b)).
-    pub const PAYMENT: TpccMix = TpccMix { neworder: 0, payment: 100, delivery: 0 };
+    pub const PAYMENT: TpccMix = TpccMix {
+        neworder: 0,
+        payment: 100,
+        delivery: 0,
+    };
     /// 50 % NewOrder + 50 % Payment (Fig 4(c)).
-    pub const MIXED: TpccMix = TpccMix { neworder: 50, payment: 50, delivery: 0 };
+    pub const MIXED: TpccMix = TpccMix {
+        neworder: 50,
+        payment: 50,
+        delivery: 0,
+    };
     /// 100 % Delivery (Fig 4(d)).
-    pub const DELIVERY: TpccMix = TpccMix { neworder: 0, payment: 0, delivery: 100 };
+    pub const DELIVERY: TpccMix = TpccMix {
+        neworder: 0,
+        payment: 0,
+        delivery: 100,
+    };
 }
 
 /// The TPC-C workload. Template layout: `[payment, delivery,
@@ -268,7 +284,11 @@ mod tests {
     fn bad_mix_is_rejected() {
         let _ = Tpcc::new(
             TpccConfig::default(),
-            TpccMix { neworder: 50, payment: 20, delivery: 10 },
+            TpccMix {
+                neworder: 50,
+                payment: 20,
+                delivery: 10,
+            },
         );
     }
 
@@ -287,7 +307,12 @@ mod tests {
         let t = Tpcc::default();
         for p in t.templates() {
             let dm = DependencyModel::analyze(p.clone()).unwrap();
-            assert!(dm.unit_count() >= 4, "{} has {} units", p.name, dm.unit_count());
+            assert!(
+                dm.unit_count() >= 4,
+                "{} has {} units",
+                p.name,
+                dm.unit_count()
+            );
         }
     }
 

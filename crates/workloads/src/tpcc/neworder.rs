@@ -13,9 +13,9 @@
 
 use super::Tpcc;
 use crate::schema::{
-    C_DISCOUNT, CUSTOMER, D_NEXT_OID, D_TAX, DISTRICT, I_PRICE, ITEM, NEW_ORDER, NO_PENDING,
-    O_CUSTOMER, O_OL_CNT, O_TOTAL, OL_AMOUNT, OL_ITEM, ORDER, ORDER_LINE, S_QTY, S_YTD, STOCK,
-    W_TAX, WAREHOUSE,
+    CUSTOMER, C_DISCOUNT, DISTRICT, D_NEXT_OID, D_TAX, ITEM, I_PRICE, NEW_ORDER, NO_PENDING,
+    OL_AMOUNT, OL_ITEM, ORDER, ORDER_LINE, O_CUSTOMER, O_OL_CNT, O_TOTAL, STOCK, S_QTY, S_YTD,
+    WAREHOUSE, W_TAX,
 };
 use acn_txir::{ComputeOp, DependencyModel, Operand, Program, ProgramBuilder, UnitBlockId, Value};
 use rand::rngs::StdRng;
@@ -51,7 +51,10 @@ pub fn template(k: usize) -> Program {
         let raw = b.compute(ComputeOp::Sub, [sq.into(), qty_p.into()]);
         let enough = b.compute(ComputeOp::Ge, [raw.into(), 10i64.into()]);
         let refill = b.add(raw, 91i64);
-        let newq = b.compute(ComputeOp::Select, [enough.into(), raw.into(), refill.into()]);
+        let newq = b.compute(
+            ComputeOp::Select,
+            [enough.into(), raw.into(), refill.into()],
+        );
         b.set(st, S_QTY, newq);
         let sy = b.get(st, S_YTD);
         let sy2 = b.compute(ComputeOp::Add, [sy.into(), qty_p.into()]);

@@ -6,9 +6,7 @@
 //! `[w, d_index, c_index, amount, h_id]`.
 
 use super::Tpcc;
-use crate::schema::{
-    C_BALANCE, CUSTOMER, D_YTD, DISTRICT, H_AMOUNT, HISTORY, W_YTD, WAREHOUSE,
-};
+use crate::schema::{CUSTOMER, C_BALANCE, DISTRICT, D_YTD, HISTORY, H_AMOUNT, WAREHOUSE, W_YTD};
 use acn_txir::{DependencyModel, Program, ProgramBuilder, UnitBlockId, Value};
 use rand::rngs::StdRng;
 use rand::Rng;

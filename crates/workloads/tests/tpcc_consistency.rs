@@ -3,13 +3,12 @@
 //! of committed orders, and every committed order's rows must exist.
 
 use acn_core::{
-    AcnController, AlgorithmModule, BlockSeq, ControllerConfig, ExecStats, ExecutorEngine,
-    SumModel,
+    AcnController, AlgorithmModule, BlockSeq, ControllerConfig, ExecStats, ExecutorEngine, SumModel,
 };
 use acn_dtm::{Cluster, ClusterConfig, DtmClient, TxnCtx};
-use acn_txir::{DependencyModel, ObjectId, Value};
+use acn_txir::{DependencyModel, ObjectId};
 use acn_workloads::schema::{
-    D_NEXT_OID, DISTRICT, NEW_ORDER, NO_PENDING, O_OL_CNT, ORDER, ORDER_LINE, S_QTY, STOCK,
+    DISTRICT, D_NEXT_OID, NEW_ORDER, NO_PENDING, ORDER, ORDER_LINE, O_OL_CNT, STOCK, S_QTY,
 };
 use acn_workloads::tpcc::{Tpcc, TpccConfig, TpccMix};
 use acn_workloads::Workload;
@@ -42,9 +41,7 @@ fn run_neworders(
     let mut client = cluster.client(0);
     tpcc.seed(&mut client);
 
-    let dm = Arc::new(
-        DependencyModel::analyze(tpcc.templates()[2].clone()).unwrap(),
-    );
+    let dm = Arc::new(DependencyModel::analyze(tpcc.templates()[2].clone()).unwrap());
     let seq = seq_for(&dm);
     let engine = ExecutorEngine::default();
     let mut stats = ExecStats::default();
@@ -78,11 +75,7 @@ fn run_neworders(
             let order_idx = d_index * 1_000_000 + oid as u64;
             let ol_cnt = read_int(&mut client, ObjectId::new(ORDER, order_idx), O_OL_CNT);
             assert_eq!(ol_cnt, 5, "order {order_idx} line count");
-            let pending = read_int(
-                &mut client,
-                ObjectId::new(NEW_ORDER, order_idx),
-                NO_PENDING,
-            );
+            let pending = read_int(&mut client, ObjectId::new(NEW_ORDER, order_idx), NO_PENDING);
             assert_eq!(pending, 1, "new-order row present");
             for line in 0..5 {
                 let amount = read_int(

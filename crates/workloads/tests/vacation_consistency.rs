@@ -7,7 +7,7 @@
 
 use acn_core::{BlockSeq, ExecStats, ExecutorEngine};
 use acn_dtm::{Cluster, ClusterConfig, DtmClient, TxnCtx};
-use acn_txir::{DependencyModel, FieldId, ObjClass, ObjectId, Value};
+use acn_txir::{DependencyModel, FieldId, ObjectId, Value};
 use acn_workloads::schema::{AVAIL, CAR, CUSTOMER_V, FLIGHT, PRICE, ROOM, TOTAL_SPENT};
 use acn_workloads::vacation::{Vacation, VacationConfig};
 use acn_workloads::Workload;
@@ -102,7 +102,8 @@ fn run_with(seq_for: impl Fn(&Arc<DependencyModel>) -> Arc<BlockSeq>) {
         }
     }
     assert_eq!(
-        reservations, 3 * 100,
+        reservations,
+        3 * 100,
         "100 reservations × 3 tables decremented"
     );
     assert_eq!(charged, sold, "customer charges equal items handed out");
@@ -124,9 +125,14 @@ fn reservation_money_conserved_acn_adapted() {
     run_with(|dm| {
         let module = acn_core::AlgorithmModule::with_model(Box::new(acn_core::SumModel));
         // Cars hot: the regime that reorders the reservation blocks.
-        let levels = [(CAR.id, 9.0), (FLIGHT.id, 0.5), (ROOM.id, 0.5), (CUSTOMER_V.id, 0.2)]
-            .into_iter()
-            .collect();
+        let levels = [
+            (CAR.id, 9.0),
+            (FLIGHT.id, 0.5),
+            (ROOM.id, 0.5),
+            (CUSTOMER_V.id, 0.2),
+        ]
+        .into_iter()
+        .collect();
         Arc::new(module.recompute(dm, &levels))
     });
 }

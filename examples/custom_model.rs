@@ -60,14 +60,21 @@ fn tpcb() -> Program {
 
 fn main() {
     let dm = Arc::new(DependencyModel::analyze(tpcb()).expect("valid template"));
-    let levels: HashMap<u16, f64> =
-        [(BRANCH.id, 15.0), (TELLER.id, 6.0), (ACCOUNT.id, 0.2)].into();
+    let levels: HashMap<u16, f64> = [(BRANCH.id, 15.0), (TELLER.id, 6.0), (ACCOUNT.id, 0.2)].into();
 
     let models: Vec<(&str, Box<dyn ContentionModel>)> = vec![
         ("write-count sum (default)", Box::new(SumModel)),
         ("hottest member (MaxModel)", Box::new(MaxModel)),
-        ("analytic abort probability", Box::new(AbortProbabilityModel { exposure: 0.15 })),
-        ("custom: worst object dominates", Box::new(WorstObjectDominates { crowding_penalty: 0.5 })),
+        (
+            "analytic abort probability",
+            Box::new(AbortProbabilityModel { exposure: 0.15 }),
+        ),
+        (
+            "custom: worst object dominates",
+            Box::new(WorstObjectDominates {
+                crowding_penalty: 0.5,
+            }),
+        ),
     ];
 
     println!("contention: Branch=15, Teller=6 (x3), Account=0.2\n");
@@ -104,6 +111,9 @@ fn main() {
             )
             .expect("tpcb update");
     }
-    println!("\nexecuted {} commits under the custom model's sequence", stats.commits);
+    println!(
+        "\nexecuted {} commits under the custom model's sequence",
+        stats.commits
+    );
     cluster.shutdown();
 }

@@ -36,7 +36,10 @@ fn main() {
     cluster.fail_server(4);
     cluster.fail_server(9);
     for _ in 0..3 {
-        println!("  counter = {} (still committing)", increment(&mut client).unwrap());
+        println!(
+            "  counter = {} (still committing)",
+            increment(&mut client).unwrap()
+        );
     }
 
     println!("failing the tree root (server 0) …");

@@ -48,7 +48,11 @@ fn main() {
     // 1. Static Module: analyze the template into UnitBlocks.
     let dm = Arc::new(DependencyModel::analyze(transfer()).expect("valid template"));
     println!("template `{}`:", dm.program.name);
-    println!("  {} UnitBlocks, dependency edges: {:?}", dm.unit_count(), dm.default_unit_edges());
+    println!(
+        "  {} UnitBlocks, dependency edges: {:?}",
+        dm.unit_count(),
+        dm.default_unit_edges()
+    );
 
     // 2. Bring up a paper-shaped cluster: 10 quorum servers, ternary tree,
     //    LAN-like latency, plus one client slot.
@@ -61,7 +65,10 @@ fn main() {
         AlgorithmModule::with_model(Box::new(SumModel)),
         ControllerConfig::default(),
     );
-    println!("initial Block sequence : {}", describe(&controller.current()));
+    println!(
+        "initial Block sequence : {}",
+        describe(&controller.current())
+    );
 
     // 4. Feed it contention levels (here: branches hot), as the Dynamic
     //    Module would at run time, and watch the recomposition: account
@@ -69,7 +76,10 @@ fn main() {
     //    the commit side.
     let levels: HashMap<u16, f64> = [(BRANCH.id, 9.0), (ACCOUNT.id, 1.0)].into();
     controller.refresh_with_levels(&levels);
-    println!("adapted Block sequence : {}", describe(&controller.current()));
+    println!(
+        "adapted Block sequence : {}",
+        describe(&controller.current())
+    );
 
     // 5. Execute transfers through the Executor Engine.
     let engine = ExecutorEngine::default();

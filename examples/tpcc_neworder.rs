@@ -30,7 +30,10 @@ fn main() {
         AlgorithmModule::with_model(Box::new(SumModel)),
         ControllerConfig::default(),
     );
-    println!("\nstatic sequence:\n  {}", controller.current().describe(&dm));
+    println!(
+        "\nstatic sequence:\n  {}",
+        controller.current().describe(&dm)
+    );
 
     // District is the hot spot in a pure NewOrder workload; stocks see
     // moderate writes; everything else is cold.
@@ -46,7 +49,10 @@ fn main() {
     ]
     .into();
     controller.refresh_with_levels(&levels);
-    println!("\nACN sequence under District contention:\n  {}", controller.current().describe(&dm));
+    println!(
+        "\nACN sequence under District contention:\n  {}",
+        controller.current().describe(&dm)
+    );
 
     // And measure throughput for a short run of the full profile.
     let mut cfg = ScenarioConfig::scaled(SystemKind::QrAcn, 6);

@@ -87,8 +87,8 @@ pub use acn_workloads as workloads;
 pub mod prelude {
     pub use acn_core::{
         AbortProbabilityModel, AcnController, AlgorithmModule, BlockSeq, ContentionModel,
-        ControllerConfig, ExecStats, ExecutorEngine, MaxModel, RetryPolicy, RunError,
-        StaticModule, SumModel,
+        ControllerConfig, ExecStats, ExecutorEngine, MaxModel, RetryPolicy, RunError, StaticModule,
+        SumModel,
     };
     pub use acn_dtm::{
         ChildCtx, ClientConfig, Cluster, ClusterConfig, DtmClient, DtmError, TxnCtx, TxnId,
@@ -96,8 +96,8 @@ pub mod prelude {
     pub use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
     pub use acn_simnet::{LatencyModel, Network, NodeId};
     pub use acn_txir::{
-        AccessMode, ComputeOp, DependencyModel, FieldId, ObjClass, ObjectId, ObjectVal,
-        Operand, Program, ProgramBuilder, Stmt, Value,
+        AccessMode, ComputeOp, DependencyModel, FieldId, ObjClass, ObjectId, ObjectVal, Operand,
+        Program, ProgramBuilder, Stmt, Value,
     };
     pub use acn_workloads::{
         run_scenario, ScenarioConfig, ScenarioResult, SystemKind, TxnRequest, Workload,

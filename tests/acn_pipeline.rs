@@ -99,8 +99,16 @@ fn money_conserved_across_all_decompositions() {
     });
 
     let mut client = cluster.client(0);
-    assert_eq!(read_all(&mut client, BRANCH, 4), 0, "branch money conserved");
-    assert_eq!(read_all(&mut client, ACCOUNT, 64), 0, "account money conserved");
+    assert_eq!(
+        read_all(&mut client, BRANCH, 4),
+        0,
+        "branch money conserved"
+    );
+    assert_eq!(
+        read_all(&mut client, ACCOUNT, 64),
+        0,
+        "account money conserved"
+    );
     cluster.shutdown();
 }
 
@@ -187,7 +195,10 @@ fn controller_adapts_from_live_contention() {
         },
     );
     // Initially static: four singleton blocks in program order.
-    assert_eq!(controller.current().block_units, vec![vec![0], vec![1], vec![2], vec![3]]);
+    assert_eq!(
+        controller.current().block_units,
+        vec![vec![0], vec![1], vec![2], vec![3]]
+    );
 
     // Generate branch-heavy traffic from client 0.
     let mut client = cluster.client(0);

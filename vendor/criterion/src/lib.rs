@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace's benches use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with `sample_size`,
+//! `bench_function` / `bench_with_input`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timing is a simple mean over a fixed batch
+//! — good enough for relative comparisons and for keeping `cargo bench`
+//! runnable without a crates.io mirror. Honors `CRITERION_SAMPLE_SIZE` to
+//! cap iteration counts in CI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark case: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to the measurement closure; drives the timed iterations.
+pub struct Bencher {
+    samples: u64,
+    /// Mean wall-clock time per iteration, recorded by [`Bencher::iter`].
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `samples` times after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+fn env_sample_cap() -> Option<u64> {
+    std::env::var("CRITERION_SAMPLE_SIZE").ok()?.parse().ok()
+}
+
+/// A named collection of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    fn run_case(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = env_sample_cap().unwrap_or(self.samples).max(1);
+        let mut b = Bencher {
+            samples,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "bench {:<50} {:>12.3?}/iter ({} iters)",
+            format!("{}/{}", self.name, id),
+            b.last_mean,
+            samples
+        );
+    }
+
+    /// Benchmark one case of this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_case(&id.name, &mut f);
+        self
+    }
+
+    /// Benchmark one case parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_case(&id.name, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Criterion {
+    /// Start a named group of benchmark cases.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let samples = if self.default_samples == 0 {
+            20
+        } else {
+            self.default_samples
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single stand-alone case.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(name);
+        g.bench_function("base", f);
+        drop(g);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_requested_times() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            samples: 5,
+            last_mean: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 6, "one warm-up plus five timed iterations");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("case", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| b.iter(|| n * 2));
+        g.finish();
+        c.bench_function("lone", |b| b.iter(|| ()));
+    }
+}

@@ -1,0 +1,646 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io mirror, so the workspace vendors
+//! the slice of proptest it uses: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_shuffle`, range and tuple
+//! strategies, [`collection`] strategies (`vec`, `hash_set`, `btree_set`),
+//! `any`, `Just`, `prop_oneof!` and the [`proptest!`] test macro.
+//!
+//! Semantics differences from real proptest, deliberate for size:
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimised counterexample.
+//! * Generation is deterministic per test name (seeded by an FNV hash of
+//!   the test function's name), so failures reproduce across runs.
+
+pub mod test_runner {
+    /// Deterministic RNG driving all strategies (splitmix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test name.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next uniform 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below: empty range");
+            self.next_u64() % bound
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Per-test configuration (`cases` is the only knob the runner reads).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per test.
+        pub cases: u32,
+        /// Accepted for API parity; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feed generated values into a strategy-producing `f`.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Randomly permute generated collections.
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle { inner: self }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_shuffle`].
+    pub struct Shuffle<S> {
+        inner: S,
+    }
+
+    impl<T, S> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut v = self.inner.generate(rng);
+            // Fisher–Yates.
+            for i in (1..v.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                v.swap(i, j);
+            }
+            v
+        }
+    }
+
+    /// Uniform choice among equally weighted alternatives
+    /// (the engine behind [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the (non-empty) list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Scalar types sampleable from `low..high` / `low..=high` strategies.
+    pub trait RangeValue: Sized + Copy {
+        /// Uniform draw from `[low, high)`.
+        fn half_open(low: Self, high: Self, rng: &mut TestRng) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn inclusive(low: Self, high: Self, rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_range_value_int {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn half_open(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                    assert!(low < high, "strategy range is empty");
+                    let span = (high as i128 - low as i128) as u128 as u64;
+                    low.wrapping_add(rng.below(span) as $t)
+                }
+                fn inclusive(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                    assert!(low <= high, "strategy range is empty");
+                    let span = (high as i128 - low as i128) as u128 as u64;
+                    if span == u64::MAX {
+                        return low.wrapping_add(rng.next_u64() as $t);
+                    }
+                    low.wrapping_add(rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl RangeValue for f64 {
+        fn half_open(low: Self, high: Self, rng: &mut TestRng) -> Self {
+            assert!(low < high, "strategy range is empty");
+            low + (high - low) * rng.unit_f64()
+        }
+        fn inclusive(low: Self, high: Self, rng: &mut TestRng) -> Self {
+            assert!(low <= high, "strategy range is empty");
+            low + (high - low) * rng.unit_f64()
+        }
+    }
+
+    impl<T: RangeValue> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: RangeValue> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($S:ident : $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_tuple!(A: 0);
+    impl_strategy_tuple!(A: 0, B: 1);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// Types with a canonical whole-domain strategy (see [`any`]).
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for the whole domain of `T` (returned by [`any`]).
+    pub struct Any<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: `any::<u64>()` etc.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeSet, HashSet};
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size range is empty");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "collection size range is empty");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `vec(element, 0..8)`, `vec(element, 4)`, …
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    // Set generation aims for the drawn size but settles for fewer elements
+    // when the element domain keeps colliding (real proptest rejects and
+    // retries whole cases; settling keeps generation total without it).
+    const COLLISION_ATTEMPTS_PER_ELEMENT: usize = 32;
+
+    /// Strategy for `HashSet<S::Value>`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = HashSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * COLLISION_ATTEMPTS_PER_ELEMENT {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `HashSet` strategy: `hash_set(element, 0..=5)`, …
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * COLLISION_ATTEMPTS_PER_ELEMENT {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `BTreeSet` strategy: `btree_set(element, 1..6)`, …
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Run each `#[test]` function over `cases` generated inputs.
+///
+/// Supports the standard form:
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_test(x in 0usize..10, flag in any::<bool>()) { … }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body (panics; no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(…)` works.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t1");
+        let s = (0usize..4, 1i64..10, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _) = s.generate(&mut rng);
+            assert!(a < 4);
+            assert!((1..10).contains(&b));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_without_loss() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t2");
+        let s = Just((0..20).collect::<Vec<i32>>()).prop_shuffle();
+        let mut changed = false;
+        for _ in 0..20 {
+            let mut v = s.generate(&mut rng);
+            if v != (0..20).collect::<Vec<i32>>() {
+                changed = true;
+            }
+            v.sort_unstable();
+            assert_eq!(v, (0..20).collect::<Vec<i32>>());
+        }
+        assert!(changed, "shuffle never permuted");
+    }
+
+    #[test]
+    fn oneof_reaches_every_arm() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t3");
+        let s = prop_oneof![Just(0u8), Just(1u8), (2u8..4).prop_map(|x| x)];
+        let got: HashSet<u8> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert_eq!(got, HashSet::from([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn collections_respect_size_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t4");
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u8..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let hs = prop::collection::hash_set(0usize..50, 0..=5).generate(&mut rng);
+            assert!(hs.len() <= 5);
+            let bs = prop::collection::btree_set((0usize..4, 0u8..3), 1..6).generate(&mut rng);
+            assert!((1..6).contains(&bs.len()));
+        }
+    }
+
+    #[test]
+    fn flat_map_sees_inner_value() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t5");
+        let s = (1usize..5).prop_flat_map(|n| prop::collection::vec(0usize..n, n));
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 5);
+            assert!(v.iter().all(|&x| x < v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, config, prop_assert forms.
+        #[test]
+        fn macro_smoke(a in 0usize..10, b in any::<u64>(), v in prop::collection::vec(0u8..3, 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b.wrapping_add(0), b);
+            prop_assert!(v.len() < 4, "len {}", v.len());
+        }
+    }
+}
