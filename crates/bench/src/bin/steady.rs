@@ -87,6 +87,8 @@ fn main() {
             retry: acn_core::RetryPolicy::default(),
             exec: acn_core::ExecutorConfig::default(),
             seed: 42,
+            chaos: None,
+            history: None,
         };
         let r = run_scenario(workload.as_ref(), &cfg);
         let per: Vec<String> = (0..cfg.intervals)

@@ -160,6 +160,8 @@ pub fn run_figure(spec: &FigureSpec) -> FigureResult {
             retry: acn_core::RetryPolicy::default(),
             exec: acn_core::ExecutorConfig::default(),
             seed: 42,
+            chaos: None,
+            history: None,
         };
         eprintln!("  {system} …");
         results.push(run_scenario(spec.workload.as_ref(), &cfg));

@@ -25,6 +25,13 @@ pub struct RetryPolicy {
     pub max_partial_retries: usize,
     /// Base of the randomized backoff between full restarts.
     pub backoff_base: Duration,
+    /// Restarts allowed on [`RunError::Unavailable`] before it is surfaced
+    /// as fatal. Defaults to 0 (fail fast, the historical behavior): a
+    /// healthy cluster never loses a quorum, so unavailability means
+    /// misconfiguration. Chaos runs set this high — a fault schedule can
+    /// partition a client away from every quorum for a while, and the run
+    /// should resume once links heal rather than kill the worker.
+    pub max_unavailable_retries: usize,
 }
 
 impl Default for RetryPolicy {
@@ -33,6 +40,7 @@ impl Default for RetryPolicy {
             max_restarts: 10_000,
             max_partial_retries: 64,
             backoff_base: Duration::from_micros(100),
+            max_unavailable_retries: 0,
         }
     }
 }
@@ -67,6 +75,9 @@ pub struct ExecStats {
     pub partial_aborts: u64,
     /// Restarts caused by persistent `protected` objects.
     pub locked_aborts: u64,
+    /// Restarts after a quorum-unavailable round (chaos/partition runs
+    /// with [`RetryPolicy::max_unavailable_retries`] > 0).
+    pub unavailable_retries: u64,
 }
 
 impl ExecStats {
@@ -76,6 +87,7 @@ impl ExecStats {
         self.full_aborts += other.full_aborts;
         self.partial_aborts += other.partial_aborts;
         self.locked_aborts += other.locked_aborts;
+        self.unavailable_retries += other.unavailable_retries;
     }
 }
 
@@ -357,6 +369,7 @@ impl ExecutorEngine {
             None
         };
         let mut restarts = 0usize;
+        let mut unavailable = 0usize;
         loop {
             match self.attempt(client, program, params, seq, plan.as_deref(), stats) {
                 Ok(()) => {
@@ -369,6 +382,16 @@ impl ExecutorEngine {
                         return Err(RunError::RetriesExhausted);
                     }
                     jitter(self.policy.backoff_base, restarts);
+                }
+                Err(AttemptError::Fatal(RunError::Unavailable))
+                    if unavailable < self.policy.max_unavailable_retries =>
+                {
+                    // A fault window may have cut this client off from every
+                    // quorum; back off (the window is typically much longer
+                    // than a conflict) and restart the attempt from scratch.
+                    unavailable += 1;
+                    stats.unavailable_retries += 1;
+                    jitter(self.policy.backoff_base.saturating_mul(8), unavailable);
                 }
                 Err(AttemptError::Fatal(e)) => return Err(e),
             }
@@ -952,16 +975,19 @@ mod tests {
             full_aborts: 2,
             partial_aborts: 3,
             locked_aborts: 4,
+            unavailable_retries: 5,
         };
         a.merge(&ExecStats {
             commits: 10,
             full_aborts: 20,
             partial_aborts: 30,
             locked_aborts: 40,
+            unavailable_retries: 50,
         });
         assert_eq!(a.commits, 11);
         assert_eq!(a.full_aborts, 22);
         assert_eq!(a.partial_aborts, 33);
         assert_eq!(a.locked_aborts, 44);
+        assert_eq!(a.unavailable_retries, 55);
     }
 }

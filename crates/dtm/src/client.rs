@@ -2,11 +2,13 @@
 //! validation, two-phase commit, and contention queries.
 
 use crate::error::DtmError;
+use crate::history::{CommitRecord, HistoryLog};
 use crate::messages::{Msg, ReqId, TxnId, ValidateEntry, Version};
 use acn_quorum::LevelQuorums;
 use acn_simnet::{Endpoint, Network, NodeId, RecvError};
 use acn_txir::{ObjectId, ObjectVal};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Client-side protocol knobs.
@@ -22,6 +24,10 @@ pub struct ClientConfig {
     pub locked_retries: usize,
     /// Pause between locked-read retries (lets the in-flight commit drain).
     pub locked_backoff: Duration,
+    /// Base pause before a quorum-RPC retry. Doubles per attempt (capped
+    /// at 16×) with uniform jitter, so retries from clients that timed out
+    /// together do not stampede back in lock-step.
+    pub retry_backoff: Duration,
 }
 
 impl Default for ClientConfig {
@@ -33,6 +39,7 @@ impl Default for ClientConfig {
             quorum_retries: 3,
             locked_retries: 20,
             locked_backoff: Duration::from_micros(200),
+            retry_backoff: Duration::from_micros(200),
         }
     }
 }
@@ -63,6 +70,14 @@ pub struct ClientStats {
     /// Responses *not* waited for because a read round returned at its
     /// quorum size instead of draining the whole contact group.
     pub quorum_waits_saved: u64,
+    /// Quorum RPC rounds re-broadcast after a timeout (same request id,
+    /// after backoff).
+    pub rpc_retries: u64,
+    /// Best-effort abort broadcasts fired when a 2PC round died without a
+    /// quorum (e.g. the client found itself on a partition's minority
+    /// side), so reachable servers release locks without waiting for the
+    /// prepared-entry TTL.
+    pub best_effort_aborts: u64,
 }
 
 /// A client node's connection to the DTM: it executes remote operations on
@@ -84,7 +99,20 @@ pub struct DtmClient {
     piggyback_classes: Vec<u16>,
     /// Latest piggybacked per-class levels (max across quorum replies).
     piggybacked: HashMap<u16, f64>,
+    /// xorshift state for retry-backoff jitter.
+    backoff_state: u64,
+    /// Cluster-wide committed-history log; every successful commit
+    /// (read-only validations included) appends a [`CommitRecord`].
+    history: Option<Arc<HistoryLog>>,
 }
+
+/// Process-wide client incarnation counter. Two `DtmClient` instances bound
+/// to the *same* node id (a slot reused sequentially, or rebuilt after a
+/// crash) must not reuse txn/req ids: servers dedup Prepare/Commit/Abort by
+/// `(txn, req)`, and a reused id would replay the previous incarnation's
+/// cached response instead of executing. Each incarnation gets a disjoint
+/// `2^40`-wide id band.
+static INCARNATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl DtmClient {
     /// Wire a client endpoint to the cluster's quorum system.
@@ -95,23 +123,33 @@ impl DtmClient {
         cfg: ClientConfig,
     ) -> Self {
         let seed = u64::from(endpoint.id().0);
+        let id_base = INCARNATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed) << 40;
         DtmClient {
             endpoint,
             net,
             quorums,
             seed,
-            next_req: 0,
-            next_txn: 0,
+            next_req: id_base,
+            next_txn: id_base,
             cfg,
             stats: ClientStats::default(),
             piggyback_classes: Vec::new(),
             piggybacked: HashMap::new(),
+            backoff_state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            history: None,
         }
     }
 
     /// Message/outcome counters so far.
     pub fn stats(&self) -> ClientStats {
         self.stats
+    }
+
+    /// Attach a cluster-wide committed-history log. Every subsequent
+    /// successful commit appends its read/write versions for the
+    /// serializability checker.
+    pub fn set_history(&mut self, history: Arc<HistoryLog>) {
+        self.history = Some(history);
     }
 
     /// Piggyback a contention sample of `classes` on every subsequent
@@ -151,6 +189,54 @@ impl DtmClient {
         move |rank: usize| !failed.contains(&Self::server_node(rank))
     }
 
+    /// Collect responses for `req` into `got` until it holds `need` of
+    /// them, keeping at most one response **per source node**: the chaos
+    /// layer can duplicate a reply in flight, and counting one server twice
+    /// toward a quorum would void quorum intersection. Other strays are
+    /// discarded by request id.
+    fn gather(
+        &mut self,
+        req: ReqId,
+        need: usize,
+        deadline: Instant,
+        got: &mut Vec<(NodeId, Msg)>,
+    ) -> Result<(), DtmError> {
+        while got.len() < need {
+            match self.endpoint.recv_deadline(deadline) {
+                Ok((src, m))
+                    if m.response_req() == Some(req) && !got.iter().any(|&(s, _)| s == src) =>
+                {
+                    got.push((src, m))
+                }
+                Ok(_) => continue, // stray or duplicate response
+                Err(RecvError::Timeout) | Err(RecvError::Closed) => {
+                    return Err(DtmError::Unavailable)
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sleep a jittered, bounded-exponential backoff before retry `attempt`
+    /// (1-based): uniform in `[base·2^(a-1)/2, base·2^(a-1)]`, with the
+    /// exponent capped at 16×.
+    fn backoff(&mut self, attempt: usize) {
+        let factor = 1u32 << (attempt.saturating_sub(1)).min(4);
+        let ceil = self.cfg.retry_backoff.saturating_mul(factor);
+        // xorshift64* jitter, seeded per client.
+        let mut x = self.backoff_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.backoff_state = x;
+        let nanos = ceil.as_nanos() as u64;
+        if nanos == 0 {
+            return;
+        }
+        let jittered = nanos / 2 + x % (nanos / 2 + 1);
+        std::thread::sleep(Duration::from_nanos(jittered));
+    }
+
     /// Scatter one request to `members` (a single shared-payload broadcast,
     /// not a clone per member) and gather responses until `need` have
     /// arrived. Responses past `need` are left unread — strays are
@@ -171,52 +257,62 @@ impl DtmClient {
         self.endpoint.broadcast(&nodes, msg, bytes);
         let deadline = Instant::now() + self.cfg.rpc_timeout;
         let mut got = Vec::with_capacity(need);
-        while got.len() < need {
-            match self.endpoint.recv_deadline(deadline) {
-                Ok((src, m)) if m.response_req() == Some(req) => got.push((src, m)),
-                Ok(_) => continue, // stray response from a timed-out round
-                Err(RecvError::Timeout) | Err(RecvError::Closed) => {
-                    return Err(DtmError::Unavailable)
-                }
-            }
-        }
+        self.gather(req, need, deadline, &mut got)?;
         self.stats.quorum_waits_saved += (members.len() - got.len()) as u64;
         Ok(got)
     }
 
-    /// [`Self::rpc_round`] waiting for *all* members (writes and explicit
-    /// queries need every contacted member's answer).
-    fn rpc_quorum(
-        &mut self,
-        members: &[usize],
-        build: impl Fn(ReqId) -> Msg,
-    ) -> Result<Vec<Msg>, DtmError> {
-        Ok(self
-            .rpc_round(members, members.len(), build)?
-            .into_iter()
-            .map(|(_, m)| m)
-            .collect())
-    }
-
-    /// [`Self::rpc_quorum`] with timeout retries. Safe only for idempotent
-    /// requests — which all QR-DTM protocol messages are: re-prepare
-    /// re-acquires the same locks and re-validates, re-commit re-applies
-    /// capped by version monotonicity, re-abort re-releases. Stray
-    /// responses from an earlier round are discarded by request id.
+    /// [`Self::rpc_round`] waiting for *all* members, with timeout retries
+    /// (writes and explicit queries need every contacted member's answer).
+    ///
+    /// One logical request keeps **one** request id across every attempt: a
+    /// timeout re-broadcasts the same correlation id after a jittered,
+    /// bounded-exponential backoff, responses already gathered are kept
+    /// (a retry only needs the members that have not answered yet), and
+    /// servers dedup retried Prepare/Commit/Abort by `(txn, req)` so a
+    /// request whose *response* was lost is answered from the dedup cache
+    /// instead of being re-executed.
     fn rpc_quorum_retry(
         &mut self,
         members: &[usize],
         build: impl Fn(ReqId) -> Msg,
     ) -> Result<Vec<Msg>, DtmError> {
-        let mut last = DtmError::Unavailable;
-        for _ in 0..=self.cfg.quorum_retries {
-            match self.rpc_quorum(members, &build) {
-                Ok(got) => return Ok(got),
-                Err(e) => last = e,
+        let req = self.next_req;
+        self.next_req += 1;
+        let msg = build(req);
+        let bytes = msg.wire_bytes();
+        let nodes: Vec<NodeId> = members.iter().map(|&m| Self::server_node(m)).collect();
+        let mut got: Vec<(NodeId, Msg)> = Vec::with_capacity(members.len());
+        for attempt in 0..=self.cfg.quorum_retries {
+            if attempt > 0 {
+                self.stats.rpc_retries += 1;
+                self.backoff(attempt);
+            }
+            // Re-broadcast to everyone: servers that already answered hit
+            // their dedup cache (or redo an idempotent read), the rest get
+            // another chance to respond.
+            self.endpoint.broadcast(&nodes, msg.clone(), bytes);
+            let deadline = Instant::now() + self.cfg.rpc_timeout;
+            if self.gather(req, members.len(), deadline, &mut got).is_ok() {
+                return Ok(got.into_iter().map(|(_, m)| m).collect());
             }
         }
         self.stats.quorum_unavailable += 1;
-        Err(last)
+        Err(DtmError::Unavailable)
+    }
+
+    /// Fire-and-forget abort to `members`: used when a 2PC round could not
+    /// assemble a quorum (this client may be on a partition's minority
+    /// side). Reachable servers release their locks now; unreachable ones
+    /// fall back to the prepared-entry TTL sweep.
+    fn abort_best_effort(&mut self, txn: TxnId, members: &[usize]) {
+        let req = self.next_req;
+        self.next_req += 1;
+        let msg = Msg::AbortReq { txn, req };
+        let bytes = msg.wire_bytes();
+        let nodes: Vec<NodeId> = members.iter().map(|&m| Self::server_node(m)).collect();
+        self.endpoint.broadcast(&nodes, msg, bytes);
+        self.stats.best_effort_aborts += 1;
     }
 
     /// Remote read of `obj`, presenting `validate` (the transaction's read
@@ -488,12 +584,24 @@ impl DtmClient {
         let validate_owned = validate.to_vec();
         let write_versions: Vec<(ObjectId, Version)> =
             writes.iter().map(|&(o, v, _)| (o, v)).collect();
-        let resps = self.rpc_quorum_retry(&quorum, |req| Msg::PrepareReq {
+        let resps = match self.rpc_quorum_retry(&quorum, |req| Msg::PrepareReq {
             txn,
             req,
             validate: validate_owned.clone(),
             writes: write_versions.clone(),
-        })?;
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                // No quorum for prepare (this client may be stuck on a
+                // partition's minority side). Members that *did* receive
+                // the prepare are holding locks: tell every reachable one
+                // to release now instead of waiting out the TTL sweep.
+                if !writes.is_empty() {
+                    self.abort_best_effort(txn, &quorum);
+                }
+                return Err(e);
+            }
+        };
         let mut all_yes = true;
         let mut invalid: Vec<ObjectId> = Vec::new();
         for r in &resps {
@@ -511,6 +619,13 @@ impl DtmClient {
             // Read-only: validation outcome is the commit outcome.
             return if all_yes {
                 self.stats.commits += 1;
+                if let Some(h) = &self.history {
+                    h.record(CommitRecord {
+                        txn,
+                        reads: validate.to_vec(),
+                        writes: Vec::new(),
+                    });
+                }
                 Ok(())
             } else {
                 invalid.sort_unstable();
@@ -529,11 +644,22 @@ impl DtmClient {
             return Err(DtmError::Conflict { invalid });
         }
 
-        // Phase 2: commit.
+        // Phase 2: commit. The decision is reached *here* — a yes-vote from
+        // the full write quorum — so the history record is appended now:
+        // even if every CommitAck is lost, servers that receive the
+        // CommitReq will apply it, and the checker must account those
+        // writes to a committed transaction.
         let commit_writes: Vec<(ObjectId, Version, ObjectVal)> = writes
             .iter()
             .map(|(o, v, val)| (*o, v + 1, val.clone()))
             .collect();
+        if let Some(h) = &self.history {
+            h.record(CommitRecord {
+                txn,
+                reads: validate.to_vec(),
+                writes: commit_writes.iter().map(|&(o, v, _)| (o, v)).collect(),
+            });
+        }
         self.rpc_quorum_retry(&quorum, |req| Msg::CommitReq {
             txn,
             req,

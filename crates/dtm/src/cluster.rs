@@ -5,8 +5,9 @@ use crate::contention::WindowConfig;
 use crate::messages::Msg;
 use crate::server::{Server, ServerStats};
 use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
-use acn_simnet::{LatencyModel, Network, NodeId};
+use acn_simnet::{FaultPlan, LatencyModel, Network, NodeId};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Cluster shape and protocol parameters.
 #[derive(Debug, Clone)]
@@ -25,6 +26,14 @@ pub struct ClusterConfig {
     pub window: WindowConfig,
     /// Protocol knobs applied to every client.
     pub client_cfg: ClientConfig,
+    /// Prepared-entry TTL applied to every server. Must comfortably exceed
+    /// the clients' worst-case phase-2 latency
+    /// (`rpc_timeout × (quorum_retries + 1)` plus backoffs): sweeping a
+    /// *live* client's locks lets another transaction slip a commit in
+    /// between, after which version monotonicity silently discards the
+    /// first client's phase-2 writes on this replica — a torn commit the
+    /// history checker will flag.
+    pub prepared_ttl: Duration,
 }
 
 impl ClusterConfig {
@@ -39,6 +48,7 @@ impl ClusterConfig {
             latency: LatencyModel::Zero,
             window: WindowConfig::default(),
             client_cfg: ClientConfig::default(),
+            prepared_ttl: Duration::from_secs(30),
         }
     }
 
@@ -52,6 +62,7 @@ impl ClusterConfig {
             latency: LatencyModel::lan(),
             window: WindowConfig::default(),
             client_cfg: ClientConfig::default(),
+            prepared_ttl: Duration::from_secs(30),
         }
     }
 }
@@ -74,7 +85,8 @@ impl Cluster {
         let handles = (0..cfg.servers)
             .map(|rank| {
                 let endpoint = net.endpoint(NodeId(rank as u32));
-                let server = Server::new(cfg.window);
+                let mut server = Server::new(cfg.window);
+                server.set_prepared_ttl(cfg.prepared_ttl);
                 std::thread::Builder::new()
                     .name(format!("qr-server-{rank}"))
                     .spawn(move || server.run(endpoint))
@@ -124,10 +136,54 @@ impl Cluster {
         self.net.recover(NodeId(rank as u32));
     }
 
+    /// Install a chaos plan on the cluster network, classifying messages by
+    /// [`Msg::kind`] so the plan's (src, dst, kind) rules apply to protocol
+    /// message types.
+    pub fn install_chaos(&self, plan: &FaultPlan) {
+        self.net.set_chaos(plan.clone(), Msg::kind);
+    }
+
+    /// Remove the installed chaos plan.
+    pub fn clear_chaos(&self) {
+        self.net.clear_chaos();
+    }
+
+    /// Partition the cluster: `side_servers` (ranks) and `side_clients`
+    /// (slots) form one side, everyone else the other. Both directions of
+    /// every cross-side link fail until [`Cluster::heal_partition`].
+    pub fn partition(&self, side_servers: &[usize], side_clients: &[usize]) {
+        let mut side: Vec<NodeId> = Vec::new();
+        let mut rest: Vec<NodeId> = Vec::new();
+        for rank in 0..self.cfg.servers {
+            if side_servers.contains(&rank) {
+                side.push(NodeId(rank as u32));
+            } else {
+                rest.push(NodeId(rank as u32));
+            }
+        }
+        for slot in 0..self.cfg.clients {
+            let node = NodeId((self.cfg.servers + slot) as u32);
+            if side_clients.contains(&slot) {
+                side.push(node);
+            } else {
+                rest.push(node);
+            }
+        }
+        self.net.partition(&[side, rest]);
+    }
+
+    /// Heal every failed link (partitions included).
+    pub fn heal_partition(&self) {
+        self.net.heal_all_links();
+    }
+
     /// Orderly shutdown: stop every server and collect their stats.
     pub fn shutdown(self) -> Vec<ServerStats> {
-        // A failed server cannot receive Shutdown; recover it first so the
-        // thread can exit.
+        // A failed server cannot receive Shutdown, a failed link or a
+        // lingering chaos plan could eat it; clear all faults first so
+        // every thread can exit.
+        self.net.clear_chaos();
+        self.net.heal_all_links();
         for rank in 0..self.cfg.servers {
             self.net.recover(NodeId(rank as u32));
         }

@@ -1,0 +1,436 @@
+//! Cluster-wide committed-transaction history and its invariant checker.
+//!
+//! Every client appends a [`CommitRecord`] to a shared [`HistoryLog`] at
+//! its commit decision point (read-only validations included). The checker
+//! then verifies, mechanically, the invariants the QR-DTM design argues for
+//! on paper:
+//!
+//! 1. **At-most-once commit** — no transaction id commits twice. Retried
+//!    2PC rounds are deduped server-side; a duplicate here means a client
+//!    decided the same transaction twice.
+//! 2. **Version lineage** — at most one committed writer per (object,
+//!    version), every writer of version `v` read version `v − 1` (no lost
+//!    updates), and every committed read of version `v > 0` matches some
+//!    committed write of exactly `(object, v)` — reading a version no
+//!    committed transaction produced means a torn or phantom commit leaked
+//!    through quorum intersection.
+//! 3. **Serializability** — the multiversion serialization graph over the
+//!    committed transactions (version order = version number) is acyclic.
+//!
+//! The checker is deliberately history-only: it never inspects server
+//! state, so it works identically under chaos schedules where replicas
+//! legitimately diverge within version-monotonicity bounds.
+
+use crate::messages::{TxnId, ValidateEntry, Version};
+use acn_txir::ObjectId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One committed transaction's externally visible footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRecord {
+    /// The committed transaction.
+    pub txn: TxnId,
+    /// Full read-set with the versions read (write-set reads included).
+    pub reads: Vec<ValidateEntry>,
+    /// `(object, installed version)` per write; empty for read-only.
+    pub writes: Vec<(ObjectId, Version)>,
+}
+
+/// Append-only, thread-shared log of committed transactions.
+#[derive(Default)]
+pub struct HistoryLog {
+    records: Mutex<Vec<CommitRecord>>,
+}
+
+impl HistoryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one committed transaction.
+    pub fn record(&self, rec: CommitRecord) {
+        self.records.lock().push(rec);
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Copy of the records so far.
+    pub fn snapshot(&self) -> Vec<CommitRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Run the invariant checker over the current records.
+    pub fn check(&self) -> Result<HistorySummary, Vec<Violation>> {
+        check_history(&self.snapshot())
+    }
+}
+
+/// A broken history invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// One transaction id committed more than once.
+    DuplicateCommit {
+        /// The doubly committed transaction.
+        txn: TxnId,
+    },
+    /// Two committed transactions installed the same (object, version) —
+    /// a torn commit: quorum intersection failed to serialize the writers.
+    TornWrite {
+        /// The doubly written object.
+        obj: ObjectId,
+        /// The version both writers installed.
+        version: Version,
+        /// The two writers.
+        txns: (TxnId, TxnId),
+    },
+    /// A committed transaction read a version no committed transaction
+    /// wrote.
+    ReadOfUncommitted {
+        /// The reading transaction.
+        txn: TxnId,
+        /// The object read.
+        obj: ObjectId,
+        /// The phantom version.
+        version: Version,
+    },
+    /// A writer installed version `v` without having read `v − 1`: the
+    /// update lost whatever `v − 1`'s writer installed.
+    LostUpdate {
+        /// The writing transaction.
+        txn: TxnId,
+        /// The object written.
+        obj: ObjectId,
+        /// The version installed.
+        wrote: Version,
+    },
+    /// The multiversion serialization graph has a cycle.
+    Cycle {
+        /// The transactions on the detected cycle, in graph order.
+        txns: Vec<TxnId>,
+    },
+}
+
+/// What a passing check covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistorySummary {
+    /// Committed transactions checked.
+    pub commits: usize,
+    /// Distinct objects touched.
+    pub objects: usize,
+    /// Highest version installed on any object.
+    pub max_version: Version,
+    /// Dependency edges in the serialization graph.
+    pub edges: usize,
+}
+
+/// Check a history for the invariants described at module level. Returns
+/// every violation found, or a summary of what a clean history covered.
+pub fn check_history(records: &[CommitRecord]) -> Result<HistorySummary, Vec<Violation>> {
+    let mut violations = Vec::new();
+
+    // At-most-once commit per transaction id.
+    let mut seen: HashMap<TxnId, usize> = HashMap::new();
+    for rec in records {
+        if seen.insert(rec.txn, seen.len()).is_some() {
+            violations.push(Violation::DuplicateCommit { txn: rec.txn });
+        }
+    }
+
+    // Version lineage: unique writers, no lost updates.
+    // writers[obj][version] = index of the (first) record that wrote it.
+    let mut writers: HashMap<ObjectId, HashMap<Version, usize>> = HashMap::new();
+    for (i, rec) in records.iter().enumerate() {
+        for &(obj, version) in &rec.writes {
+            match writers.entry(obj).or_default().entry(version) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    // A retried commit deduped at (txn, req) never reaches
+                    // here twice; same-txn duplicates are DuplicateCommit.
+                    if records[*e.get()].txn != rec.txn {
+                        violations.push(Violation::TornWrite {
+                            obj,
+                            version,
+                            txns: (records[*e.get()].txn, rec.txn),
+                        });
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+            let read_prior = rec.reads.iter().any(|&(o, v)| o == obj && v + 1 == version);
+            if !read_prior {
+                violations.push(Violation::LostUpdate {
+                    txn: rec.txn,
+                    obj,
+                    wrote: version,
+                });
+            }
+        }
+    }
+
+    // Every committed read of v > 0 matches a committed write of (obj, v).
+    for rec in records {
+        for &(obj, version) in &rec.reads {
+            if version == 0 {
+                continue; // initial state
+            }
+            let written = writers
+                .get(&obj)
+                .is_some_and(|vs| vs.contains_key(&version));
+            if !written {
+                violations.push(Violation::ReadOfUncommitted {
+                    txn: rec.txn,
+                    obj,
+                    version,
+                });
+            }
+        }
+    }
+
+    // Multiversion serialization graph, version order = version number:
+    //   wr: writer(o, v)   → reader(o, v)
+    //   ww: writer(o, v)   → writer(o, next(v))
+    //   rw: reader(o, v)   → writer(o, next(v))   (anti-dependency)
+    let mut readers: HashMap<(ObjectId, Version), Vec<usize>> = HashMap::new();
+    for (i, rec) in records.iter().enumerate() {
+        for &(obj, version) in &rec.reads {
+            readers.entry((obj, version)).or_default().push(i);
+        }
+    }
+    let n = records.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut edges = 0usize;
+    let mut add_edge = |adj: &mut Vec<Vec<usize>>, from: usize, to: usize| {
+        if from != to && !adj[from].contains(&to) {
+            adj[from].push(to);
+            edges += 1;
+        }
+    };
+    for (&obj, versions) in &writers {
+        let mut ordered: Vec<(Version, usize)> = versions.iter().map(|(&v, &i)| (v, i)).collect();
+        ordered.sort_unstable_by_key(|&(v, _)| v);
+        for (idx, &(v, wi)) in ordered.iter().enumerate() {
+            if let Some(rs) = readers.get(&(obj, v)) {
+                for &ri in rs {
+                    add_edge(&mut adj, wi, ri);
+                }
+            }
+            if let Some(&(_, nwi)) = ordered.get(idx + 1) {
+                add_edge(&mut adj, wi, nwi);
+                // Readers of version v antidepend on the next version's
+                // writer.
+                if let Some(rs) = readers.get(&(obj, v)) {
+                    for &ri in rs {
+                        add_edge(&mut adj, ri, nwi);
+                    }
+                }
+            }
+        }
+        // Readers of the initial state antidepend on the first writer.
+        if let Some(&(_, first_wi)) = ordered.first() {
+            if let Some(rs) = readers.get(&(obj, 0)) {
+                for &ri in rs {
+                    add_edge(&mut adj, ri, first_wi);
+                }
+            }
+        }
+    }
+
+    // Iterative three-color DFS for a cycle.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // Stack of (node, next child index); `path` mirrors the gray chain.
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = GRAY;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if let Some(&child) = adj[node].get(*next) {
+                *next += 1;
+                match color[child] {
+                    WHITE => {
+                        color[child] = GRAY;
+                        stack.push((child, 0));
+                    }
+                    GRAY => {
+                        let from = stack.iter().position(|&(nd, _)| nd == child).unwrap_or(0);
+                        violations.push(Violation::Cycle {
+                            txns: stack[from..]
+                                .iter()
+                                .map(|&(nd, _)| records[nd].txn)
+                                .collect(),
+                        });
+                        // One cycle is enough evidence; stop searching.
+                        color.iter_mut().for_each(|c| *c = BLACK);
+                        stack.clear();
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+
+    if !violations.is_empty() {
+        return Err(violations);
+    }
+    Ok(HistorySummary {
+        commits: records.len(),
+        objects: {
+            let mut objs: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
+            for rec in records {
+                objs.extend(rec.writes.iter().map(|&(o, _)| o));
+                objs.extend(rec.reads.iter().map(|&(o, _)| o));
+            }
+            objs.len()
+        },
+        max_version: writers
+            .values()
+            .flat_map(|vs| vs.keys().copied())
+            .max()
+            .unwrap_or(0),
+        edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acn_simnet::NodeId;
+    use acn_txir::ObjClass;
+
+    fn obj(i: u64) -> ObjectId {
+        ObjectId::new(ObjClass::new(1, "t"), i)
+    }
+
+    fn txn(client: u32, seq: u64) -> TxnId {
+        TxnId {
+            client: NodeId(client),
+            seq,
+        }
+    }
+
+    fn rec(t: TxnId, reads: &[(u64, Version)], writes: &[(u64, Version)]) -> CommitRecord {
+        CommitRecord {
+            txn: t,
+            reads: reads.iter().map(|&(o, v)| (obj(o), v)).collect(),
+            writes: writes.iter().map(|&(o, v)| (obj(o), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn clean_serial_history_passes() {
+        // t1 writes a:1, t2 reads a:1 writes a:2, t3 reads a:2 (read-only).
+        let h = vec![
+            rec(txn(9, 0), &[(1, 0)], &[(1, 1)]),
+            rec(txn(9, 1), &[(1, 1)], &[(1, 2)]),
+            rec(txn(10, 0), &[(1, 2)], &[]),
+        ];
+        let summary = check_history(&h).expect("history is serializable");
+        assert_eq!(summary.commits, 3);
+        assert_eq!(summary.objects, 1);
+        assert_eq!(summary.max_version, 2);
+        assert!(summary.edges >= 2);
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        assert!(check_history(&[]).is_ok());
+    }
+
+    #[test]
+    fn duplicate_txn_id_flagged() {
+        let h = vec![
+            rec(txn(9, 0), &[(1, 0)], &[(1, 1)]),
+            rec(txn(9, 0), &[(1, 1)], &[(1, 2)]),
+        ];
+        let v = check_history(&h).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DuplicateCommit { txn } if *txn == txn9())));
+        fn txn9() -> TxnId {
+            TxnId {
+                client: NodeId(9),
+                seq: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn torn_write_flagged() {
+        // Two different transactions install a:1 — quorum intersection broke.
+        let h = vec![
+            rec(txn(9, 0), &[(1, 0)], &[(1, 1)]),
+            rec(txn(10, 0), &[(1, 0)], &[(1, 1)]),
+        ];
+        let v = check_history(&h).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::TornWrite { version: 1, .. })));
+    }
+
+    #[test]
+    fn read_of_uncommitted_version_flagged() {
+        let h = vec![rec(txn(9, 0), &[(1, 7)], &[])];
+        let v = check_history(&h).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ReadOfUncommitted { version: 7, .. })));
+    }
+
+    #[test]
+    fn lost_update_flagged() {
+        // t2 writes a:2 but read a:0 — it overwrote t1 blindly.
+        let h = vec![
+            rec(txn(9, 0), &[(1, 0)], &[(1, 1)]),
+            rec(txn(10, 0), &[(1, 0)], &[(1, 2)]),
+        ];
+        let v = check_history(&h).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::LostUpdate { wrote: 2, .. })));
+    }
+
+    #[test]
+    fn write_skew_cycle_flagged() {
+        // Classic write skew: t1 reads a:0,b:0 writes a:1; t2 reads a:0,b:0
+        // writes b:1. Each antidepends on the other → rw/rw cycle, even
+        // though versions are unique and lineage is intact.
+        let h = vec![
+            rec(txn(9, 0), &[(1, 0), (2, 0)], &[(1, 1)]),
+            rec(txn(10, 0), &[(1, 0), (2, 0)], &[(2, 1)]),
+        ];
+        let v = check_history(&h).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Cycle { txns } if txns.len() == 2)));
+    }
+
+    #[test]
+    fn log_records_and_checks() {
+        let log = HistoryLog::new();
+        assert!(log.is_empty());
+        log.record(rec(txn(9, 0), &[(1, 0)], &[(1, 1)]));
+        assert_eq!(log.len(), 1);
+        assert!(log.check().is_ok());
+        log.record(rec(txn(10, 0), &[(1, 0)], &[(1, 1)]));
+        assert!(log.check().is_err(), "torn write detected via the log");
+        assert_eq!(log.snapshot().len(), 2);
+    }
+}

@@ -35,6 +35,7 @@ mod cluster;
 mod contention;
 mod context;
 mod error;
+mod history;
 mod messages;
 mod server;
 mod store;
@@ -44,6 +45,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use contention::{ContentionWindow, WindowConfig};
 pub use context::{ChildCtx, TxnCtx};
 pub use error::{AbortScope, DtmError};
-pub use messages::{BatchRead, Msg, ReqId, TxnId, ValidateEntry, Version};
+pub use history::{check_history, CommitRecord, HistoryLog, HistorySummary, Violation};
+pub use messages::{kind as msg_kind, BatchRead, Msg, ReqId, TxnId, ValidateEntry, Version};
 pub use server::{Server, ServerStats};
 pub use store::{Store, VersionedObject};

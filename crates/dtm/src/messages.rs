@@ -190,7 +190,59 @@ pub enum Msg {
     Shutdown,
 }
 
+/// Message-kind constants for the chaos layer's (src, dst, kind) filters.
+/// Stable small integers so fault plans can be written against them.
+pub mod kind {
+    use acn_simnet::MsgKind;
+
+    /// [`super::Msg::ReadReq`]
+    pub const READ_REQ: MsgKind = 0;
+    /// [`super::Msg::ReadResp`]
+    pub const READ_RESP: MsgKind = 1;
+    /// [`super::Msg::ReadBatchReq`]
+    pub const READ_BATCH_REQ: MsgKind = 2;
+    /// [`super::Msg::ReadBatchResp`]
+    pub const READ_BATCH_RESP: MsgKind = 3;
+    /// [`super::Msg::PrepareReq`]
+    pub const PREPARE_REQ: MsgKind = 4;
+    /// [`super::Msg::PrepareResp`]
+    pub const PREPARE_RESP: MsgKind = 5;
+    /// [`super::Msg::CommitReq`]
+    pub const COMMIT_REQ: MsgKind = 6;
+    /// [`super::Msg::CommitAck`]
+    pub const COMMIT_ACK: MsgKind = 7;
+    /// [`super::Msg::AbortReq`]
+    pub const ABORT_REQ: MsgKind = 8;
+    /// [`super::Msg::AbortAck`]
+    pub const ABORT_ACK: MsgKind = 9;
+    /// [`super::Msg::ContentionReq`]
+    pub const CONTENTION_REQ: MsgKind = 10;
+    /// [`super::Msg::ContentionResp`]
+    pub const CONTENTION_RESP: MsgKind = 11;
+    /// [`super::Msg::Shutdown`]
+    pub const SHUTDOWN: MsgKind = 12;
+}
+
 impl Msg {
+    /// This message's [`acn_simnet::MsgKind`] for chaos-rule filtering.
+    pub fn kind(&self) -> acn_simnet::MsgKind {
+        match self {
+            Msg::ReadReq { .. } => kind::READ_REQ,
+            Msg::ReadResp { .. } => kind::READ_RESP,
+            Msg::ReadBatchReq { .. } => kind::READ_BATCH_REQ,
+            Msg::ReadBatchResp { .. } => kind::READ_BATCH_RESP,
+            Msg::PrepareReq { .. } => kind::PREPARE_REQ,
+            Msg::PrepareResp { .. } => kind::PREPARE_RESP,
+            Msg::CommitReq { .. } => kind::COMMIT_REQ,
+            Msg::CommitAck { .. } => kind::COMMIT_ACK,
+            Msg::AbortReq { .. } => kind::ABORT_REQ,
+            Msg::AbortAck { .. } => kind::ABORT_ACK,
+            Msg::ContentionReq { .. } => kind::CONTENTION_REQ,
+            Msg::ContentionResp { .. } => kind::CONTENTION_RESP,
+            Msg::Shutdown => kind::SHUTDOWN,
+        }
+    }
+
     /// The correlation id of a *response* message, if it is one.
     pub fn response_req(&self) -> Option<ReqId> {
         match self {

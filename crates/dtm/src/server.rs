@@ -1,11 +1,11 @@
 //! The quorum server: request handling and the service loop.
 
 use crate::contention::{ContentionWindow, WindowConfig};
-use crate::messages::{Msg, TxnId};
+use crate::messages::{Msg, ReqId, TxnId};
 use crate::store::Store;
 use acn_simnet::{Endpoint, RecvError};
 use acn_txir::ObjectId;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Counters a server reports on shutdown.
@@ -28,6 +28,9 @@ pub struct ServerStats {
     /// Prepared transactions whose locks were reclaimed because the client
     /// never finished phase 2 within the prepare TTL.
     pub expired_prepares: u64,
+    /// Retried 2PC requests answered from the dedup cache instead of being
+    /// re-executed (duplicate (txn, req) Prepare/Commit/Abort).
+    pub dedup_hits: u64,
 }
 
 /// Locks a transaction holds on this replica between prepare and phase 2.
@@ -51,8 +54,22 @@ pub struct Server {
     /// How long a prepared transaction may sit without a phase-2 message
     /// before its entry and locks are reclaimed.
     prepared_ttl: Duration,
+    /// Replies already sent for 2PC requests, keyed by (txn, req): a
+    /// retried or chaos-duplicated Prepare/Commit/Abort is answered from
+    /// here instead of re-executing. This is what makes the client's
+    /// same-request-id retry loop genuinely idempotent — without it, a
+    /// delayed duplicate PrepareReq arriving *after* the commit would
+    /// re-lock the write-set and strand the locks until the TTL sweep.
+    completed: HashMap<(TxnId, ReqId), Msg>,
+    /// Insertion order of `completed`, for FIFO eviction.
+    completed_order: VecDeque<(TxnId, ReqId)>,
     stats: ServerStats,
 }
+
+/// Bound on the dedup cache. Eviction is FIFO: a reply only needs to
+/// survive as long as its client might still retransmit the request, so
+/// the oldest entry is always the safest to shed.
+const DEDUP_CAPACITY: usize = 8192;
 
 /// Default prepare TTL. Must comfortably exceed the client's worst-case
 /// phase-2 latency (`rpc_timeout × (quorum_retries + 1)`, 4 s with default
@@ -69,6 +86,8 @@ impl Server {
             contention: ContentionWindow::new(window),
             prepared: HashMap::new(),
             prepared_ttl: DEFAULT_PREPARED_TTL,
+            completed: HashMap::new(),
+            completed_order: VecDeque::new(),
             stats: ServerStats::default(),
         }
     }
@@ -113,7 +132,42 @@ impl Server {
     }
 
     /// Handle one request, producing the reply to send back (if any).
+    ///
+    /// 2PC requests (Prepare/Commit/Abort) are deduped by (txn, req): a
+    /// duplicate — from a client retry whose response was lost, or from
+    /// chaos duplication in flight — replays the original reply without
+    /// touching locks, versions, or counters. Reads are not deduped; they
+    /// are naturally idempotent and re-reading gives the client fresher
+    /// data.
     pub fn handle(&mut self, msg: Msg, now: Instant) -> Option<Msg> {
+        let dedup_key = match &msg {
+            Msg::PrepareReq { txn, req, .. }
+            | Msg::CommitReq { txn, req, .. }
+            | Msg::AbortReq { txn, req } => Some((*txn, *req)),
+            _ => None,
+        };
+        if let Some(key) = dedup_key {
+            if let Some(reply) = self.completed.get(&key) {
+                self.stats.dedup_hits += 1;
+                return Some(reply.clone());
+            }
+        }
+        let reply = self.handle_fresh(msg, now);
+        if let (Some(key), Some(r)) = (dedup_key, &reply) {
+            if self.completed.len() >= DEDUP_CAPACITY {
+                if let Some(old) = self.completed_order.pop_front() {
+                    self.completed.remove(&old);
+                }
+            }
+            if self.completed.insert(key, r.clone()).is_none() {
+                self.completed_order.push_back(key);
+            }
+        }
+        reply
+    }
+
+    /// [`Server::handle`] past the dedup cache: executes the request.
+    fn handle_fresh(&mut self, msg: Msg, now: Instant) -> Option<Msg> {
         match msg {
             Msg::ReadReq {
                 txn,
@@ -855,6 +909,125 @@ mod tests {
         // Default TTL is 30 s; a sweep "now" must not touch the entry.
         assert_eq!(s.sweep_expired(t0 + Duration::from_secs(1)), 0);
         assert_eq!(s.store_mut().lock_holder(OBJ), Some(txn(1)));
+    }
+
+    #[test]
+    fn duplicate_prepare_replays_vote_without_relocking() {
+        let mut s = server();
+        let prepare = Msg::PrepareReq {
+            txn: txn(1),
+            req: 1,
+            validate: vec![(OBJ, 0)],
+            writes: vec![(OBJ, 0)],
+        };
+        assert!(matches!(
+            s.handle(prepare.clone(), Instant::now()),
+            Some(Msg::PrepareResp { vote: true, .. })
+        ));
+        s.handle(
+            Msg::CommitReq {
+                txn: txn(1),
+                req: 2,
+                writes: vec![(OBJ, 1, val(9))],
+            },
+            Instant::now(),
+        );
+        assert_eq!(s.store_mut().lock_holder(OBJ), None);
+        // A delayed duplicate of the original prepare arrives after the
+        // commit: it must replay the cached vote, not re-lock OBJ.
+        assert!(matches!(
+            s.handle(prepare, Instant::now()),
+            Some(Msg::PrepareResp { vote: true, .. })
+        ));
+        assert_eq!(
+            s.store_mut().lock_holder(OBJ),
+            None,
+            "dup prepare must not resurrect the lock"
+        );
+        assert_eq!(s.stats().dedup_hits, 1);
+        assert_eq!(s.stats().prepares, 1, "the duplicate was not re-executed");
+    }
+
+    #[test]
+    fn duplicate_commit_applies_once() {
+        let mut s = server();
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            Instant::now(),
+        );
+        let commit = Msg::CommitReq {
+            txn: txn(1),
+            req: 2,
+            writes: vec![(OBJ, 1, val(7))],
+        };
+        assert!(matches!(
+            s.handle(commit.clone(), Instant::now()),
+            Some(Msg::CommitAck { req: 2 })
+        ));
+        assert!(matches!(
+            s.handle(commit, Instant::now()),
+            Some(Msg::CommitAck { req: 2 })
+        ));
+        assert_eq!(s.stats().commits, 1, "duplicate commit not re-applied");
+        assert_eq!(s.stats().dedup_hits, 1);
+    }
+
+    #[test]
+    fn distinct_requests_of_same_txn_are_not_deduped() {
+        // The same transaction legitimately issues prepare (req a) and
+        // commit (req b): different request ids, both must execute.
+        let mut s = server();
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 10,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            Instant::now(),
+        );
+        s.handle(
+            Msg::CommitReq {
+                txn: txn(1),
+                req: 11,
+                writes: vec![(OBJ, 1, val(3))],
+            },
+            Instant::now(),
+        );
+        assert_eq!(s.stats().prepares, 1);
+        assert_eq!(s.stats().commits, 1);
+        assert_eq!(s.stats().dedup_hits, 0);
+    }
+
+    #[test]
+    fn dedup_cache_is_bounded() {
+        let mut s = server();
+        for i in 0..(super::DEDUP_CAPACITY as u64 + 10) {
+            s.handle(
+                Msg::AbortReq {
+                    txn: txn(i),
+                    req: i,
+                },
+                Instant::now(),
+            );
+        }
+        assert_eq!(s.completed.len(), super::DEDUP_CAPACITY);
+        assert_eq!(s.completed_order.len(), super::DEDUP_CAPACITY);
+        // The oldest entries were evicted: replaying the very first abort
+        // re-executes it (harmlessly) rather than hitting the cache.
+        s.handle(
+            Msg::AbortReq {
+                txn: txn(0),
+                req: 0,
+            },
+            Instant::now(),
+        );
+        assert_eq!(s.stats().dedup_hits, 0);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Client recovery under faults: prepared-entry TTL sweeps, partition-aware
+//! aborts, and request dedup under message-level chaos.
+
+use acn_dtm::{msg_kind, ClientConfig, Cluster, ClusterConfig, DtmError, Msg, TxnCtx, TxnId};
+use acn_simnet::{ChaosRule, FaultPlan, NodeId};
+use acn_txir::{FieldId, ObjClass, ObjectId, Value};
+use std::time::Duration;
+
+const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+const BAL: FieldId = FieldId(0);
+
+fn seed(client: &mut acn_dtm::DtmClient, obj: ObjectId, value: i64) {
+    let mut ctx = TxnCtx::begin(client);
+    ctx.open(client, obj, true).unwrap();
+    ctx.set_field(obj, BAL, Value::Int(value));
+    ctx.commit(client).unwrap();
+}
+
+/// A coordinator that dies between prepare and its decision must not strand
+/// its write-set locks: the servers' TTL sweep releases them, after which
+/// another client can commit the same objects.
+#[test]
+fn ttl_sweep_releases_a_dead_coordinators_locks() {
+    let mut cfg = ClusterConfig::test(4, 2);
+    cfg.prepared_ttl = Duration::from_millis(120);
+    let cluster = Cluster::start(cfg);
+    let obj = ObjectId::new(BRANCH, 3);
+    let mut writer = cluster.client(0);
+    seed(&mut writer, obj, 5);
+
+    // "Kill a client between prepare and decision": a raw endpoint locks
+    // the object on every replica and never sends phase 2.
+    let zombie = cluster.net().endpoint(NodeId(4 + 1));
+    let ztxn = TxnId {
+        client: NodeId(4 + 1),
+        seq: 0,
+    };
+    for rank in 0..4u32 {
+        zombie.send(
+            NodeId(rank),
+            Msg::PrepareReq {
+                txn: ztxn,
+                req: 1,
+                validate: vec![],
+                writes: vec![(obj, 1)],
+            },
+        );
+    }
+    for _ in 0..4 {
+        let _ = zombie.recv_timeout(Duration::from_millis(200));
+    }
+
+    // Immediately after, the object is protected on every replica.
+    {
+        let mut ctx = TxnCtx::begin(&mut writer);
+        match ctx.open(&mut writer, obj, true) {
+            Err(DtmError::LockedOut { obj: o }) => assert_eq!(o, obj),
+            other => panic!("expected LockedOut while zombie holds locks, got {other:?}"),
+        }
+    }
+
+    // Past the TTL (plus sweep cadence slack) the locks are gone and a
+    // second client can commit.
+    std::thread::sleep(Duration::from_millis(350));
+    let mut second = cluster.client(1);
+    let mut ctx = TxnCtx::begin(&mut second);
+    ctx.open(&mut second, obj, true).unwrap();
+    ctx.set_field(obj, BAL, Value::Int(6));
+    ctx.commit(&mut second).unwrap();
+
+    let stats = cluster.shutdown();
+    let expired: u64 = stats.iter().map(|s| s.expired_prepares).sum();
+    assert!(
+        expired >= 1,
+        "at least one sweep must have fired: {expired}"
+    );
+}
+
+/// A client stuck on a partition's minority side cannot assemble a write
+/// quorum: it must give up with `Unavailable` and fire a best-effort abort
+/// so the minority servers it *did* prepare on release their locks without
+/// waiting out the (long) TTL.
+#[test]
+fn minority_client_aborts_and_releases_minority_locks() {
+    let mut cfg = ClusterConfig::test(4, 2);
+    cfg.client_cfg = ClientConfig {
+        rpc_timeout: Duration::from_millis(30),
+        quorum_retries: 1,
+        retry_backoff: Duration::from_micros(100),
+        ..ClientConfig::default()
+    };
+    // TTL far beyond the test runtime: if the lock releases, it was the
+    // best-effort abort, not the sweep.
+    cfg.prepared_ttl = Duration::from_secs(30);
+    let cluster = Cluster::start(cfg);
+    let obj = ObjectId::new(BRANCH, 9);
+    let mut minority = cluster.client(0);
+    seed(&mut minority, obj, 1);
+
+    // Client 0 sides with server 3 only; servers 0-2 and client 1 are the
+    // majority. Note the fault table is consulted at *send* time, so the
+    // minority client still reaches server 3 and locks there.
+    cluster.partition(&[3], &[0]);
+
+    let mut ctx = TxnCtx::begin(&mut minority);
+    let err = match ctx.open(&mut minority, obj, true) {
+        Err(e) => e,
+        Ok(()) => {
+            ctx.set_field(obj, BAL, Value::Int(2));
+            ctx.commit(&mut minority).unwrap_err()
+        }
+    };
+    assert_eq!(err, DtmError::Unavailable, "minority side must starve");
+    assert!(
+        minority.stats().quorum_unavailable >= 1,
+        "unavailability must be counted"
+    );
+
+    cluster.heal_partition();
+
+    // If server 3 were still holding the zombie prepare's lock, this write
+    // would run out of locked-read retries (the TTL is 30 s). Its prompt
+    // success proves the best-effort abort (or the absence of a stranded
+    // prepare) cleaned up.
+    let mut majority = cluster.client(1);
+    let mut ctx = TxnCtx::begin(&mut majority);
+    ctx.open(&mut majority, obj, true).unwrap();
+    ctx.set_field(obj, BAL, Value::Int(3));
+    ctx.commit(&mut majority).unwrap();
+
+    let stats = cluster.shutdown();
+    let expired: u64 = stats.iter().map(|s| s.expired_prepares).sum();
+    assert_eq!(expired, 0, "cleanup must not have come from the TTL sweep");
+}
+
+/// Asymmetric link faults that lose only the *votes*: every server
+/// receives the prepare and locks, the client starves and gives up — its
+/// fire-and-forget abort (which still flows client→server) must release
+/// the locks without the TTL sweep.
+#[test]
+fn lost_votes_trigger_best_effort_abort_that_releases_locks() {
+    let mut cfg = ClusterConfig::test(4, 2);
+    cfg.client_cfg = ClientConfig {
+        rpc_timeout: Duration::from_millis(25),
+        quorum_retries: 1,
+        retry_backoff: Duration::from_micros(100),
+        ..ClientConfig::default()
+    };
+    cfg.prepared_ttl = Duration::from_secs(30);
+    let cluster = Cluster::start(cfg);
+    let obj = ObjectId::new(BRANCH, 13);
+    let mut victim = cluster.client(0);
+    seed(&mut victim, obj, 1);
+
+    let mut ctx = TxnCtx::begin(&mut victim);
+    ctx.open(&mut victim, obj, true).unwrap();
+    ctx.set_field(obj, BAL, Value::Int(2));
+
+    // Votes (server → client 0) die; requests (client 0 → server) flow.
+    let client0 = NodeId(4);
+    for rank in 0..4u32 {
+        cluster.net().fail_link(NodeId(rank), client0);
+    }
+    let err = ctx.commit(&mut victim).unwrap_err();
+    assert_eq!(err, DtmError::Unavailable);
+    assert_eq!(
+        victim.stats().best_effort_aborts,
+        1,
+        "the failed 2PC must fire exactly one best-effort abort"
+    );
+    cluster.heal_partition();
+
+    // Give the (already delivered) aborts a beat to be processed, then
+    // prove the locks are gone long before the 30 s TTL could fire.
+    let mut other = cluster.client(1);
+    let mut ctx = TxnCtx::begin(&mut other);
+    ctx.open(&mut other, obj, true).unwrap();
+    ctx.set_field(obj, BAL, Value::Int(3));
+    ctx.commit(&mut other).unwrap();
+
+    let stats = cluster.shutdown();
+    let expired: u64 = stats.iter().map(|s| s.expired_prepares).sum();
+    assert_eq!(expired, 0, "release must not have come from the TTL sweep");
+    let aborts: u64 = stats.iter().map(|s| s.aborts).sum();
+    assert!(
+        aborts >= 1,
+        "servers must have processed the abort: {aborts}"
+    );
+}
+
+/// With every `PrepareReq` duplicated (and half of them delayed behind
+/// later traffic), commits must still apply exactly once: servers dedup
+/// retried phase-1/phase-2 requests by `(txn, req)` id.
+#[test]
+fn duplicated_prepares_commit_exactly_once() {
+    let mut cfg = ClusterConfig::test(4, 1);
+    cfg.client_cfg = ClientConfig {
+        rpc_timeout: Duration::from_millis(200),
+        ..ClientConfig::default()
+    };
+    let cluster = Cluster::start(cfg);
+    let obj = ObjectId::new(BRANCH, 11);
+    let mut client = cluster.client(0);
+    seed(&mut client, obj, 0);
+
+    cluster.install_chaos(&FaultPlan::with_rules(
+        7,
+        vec![ChaosRule::for_kind(
+            msg_kind::PREPARE_REQ,
+            0.0, // never drop
+            1.0, // always duplicate
+            0.5, // half the duplicates arrive late, behind the CommitReq
+            Duration::from_millis(2),
+        )],
+    ));
+
+    for i in 1..=20i64 {
+        let mut ctx = TxnCtx::begin(&mut client);
+        ctx.open(&mut client, obj, true).unwrap();
+        let v = ctx.get_field(obj, BAL).as_int().unwrap();
+        assert_eq!(v, i - 1, "previous increment must be visible exactly once");
+        ctx.set_field(obj, BAL, Value::Int(v + 1));
+        ctx.commit(&mut client).unwrap();
+    }
+
+    cluster.clear_chaos();
+    // Late duplicate prepares must not have resurrected any lock.
+    let mut ctx = TxnCtx::begin(&mut client);
+    ctx.open(&mut client, obj, false).unwrap();
+    assert_eq!(ctx.get_field(obj, BAL).as_int().unwrap(), 20);
+    ctx.commit(&mut client).unwrap();
+
+    let stats = cluster.shutdown();
+    let dedup_hits: u64 = stats.iter().map(|s| s.dedup_hits).sum();
+    assert!(
+        dedup_hits > 0,
+        "duplicated prepares must hit the dedup cache: {dedup_hits}"
+    );
+}

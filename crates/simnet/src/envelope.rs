@@ -34,6 +34,28 @@ impl<M: Clone> Payload<M> {
     }
 }
 
+impl<M> Payload<M> {
+    /// Borrow the message (e.g. to classify it for fault injection).
+    pub fn message(&self) -> &M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(a) => a,
+        }
+    }
+}
+
+impl<M: Clone> Clone for Payload<M> {
+    /// Cloning a payload is how chaos injection duplicates a message: the
+    /// copy of a shared broadcast payload stays shared (another `Arc`
+    /// handle), an owned payload is cloned outright.
+    fn clone(&self) -> Self {
+        match self {
+            Payload::Owned(m) => Payload::Owned(m.clone()),
+            Payload::Shared(a) => Payload::Shared(Arc::clone(a)),
+        }
+    }
+}
+
 /// A message in flight: payload plus routing and timing metadata.
 ///
 /// Envelopes are ordered by delivery time (earliest first) with the send

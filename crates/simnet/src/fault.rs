@@ -1,10 +1,10 @@
-//! Node failure injection.
+//! Node and link failure injection.
 
 use crate::node::NodeId;
 use parking_lot::RwLock;
 use std::collections::HashSet;
 
-/// Shared record of which nodes are currently failed.
+/// Shared record of which nodes and directed links are currently failed.
 ///
 /// A failed node neither receives new messages (they are dropped at the
 /// sender, as on a real network where the host is unreachable) nor should it
@@ -12,9 +12,17 @@ use std::collections::HashSet;
 /// between messages. Recovery makes the node reachable again; the DTM layer
 /// is quorum-replicated, so a recovered server simply resumes with whatever
 /// (possibly stale) state it holds and the version numbers reconcile reads.
+///
+/// Link faults are *directed*: failing `a → b` silently drops messages from
+/// `a` to `b` while `b → a` keeps working, which models asymmetric routing
+/// failures. [`FaultTable::partition`] fails both directions of every
+/// cross-group link, which is how quorum-splitting network partitions are
+/// injected. Both sides keep running — unlike a crash, nothing is drained —
+/// so partitioned nodes can still time out, retry, and release state.
 #[derive(Default)]
 pub struct FaultTable {
     failed: RwLock<HashSet<NodeId>>,
+    links: RwLock<HashSet<(NodeId, NodeId)>>,
 }
 
 impl FaultTable {
@@ -47,6 +55,52 @@ impl FaultTable {
     pub fn failed_set(&self) -> HashSet<NodeId> {
         self.failed.read().clone()
     }
+
+    /// Fail the directed link `src → dst`. Returns `true` if it was
+    /// previously healthy.
+    pub fn fail_link(&self, src: NodeId, dst: NodeId) -> bool {
+        self.links.write().insert((src, dst))
+    }
+
+    /// Heal the directed link `src → dst`. Returns `true` if it was
+    /// previously failed.
+    pub fn heal_link(&self, src: NodeId, dst: NodeId) -> bool {
+        self.links.write().remove(&(src, dst))
+    }
+
+    /// Is the directed link `src → dst` currently failed?
+    pub fn is_link_failed(&self, src: NodeId, dst: NodeId) -> bool {
+        let links = self.links.read();
+        !links.is_empty() && links.contains(&(src, dst))
+    }
+
+    /// Number of currently failed directed links.
+    pub fn failed_link_count(&self) -> usize {
+        self.links.read().len()
+    }
+
+    /// Partition the listed groups from each other: both directions of
+    /// every cross-group link fail. Nodes absent from every group are not
+    /// touched and keep full connectivity to everyone.
+    pub fn partition(&self, groups: &[Vec<NodeId>]) {
+        let mut links = self.links.write();
+        for (i, ga) in groups.iter().enumerate() {
+            for gb in groups.iter().skip(i + 1) {
+                for &a in ga {
+                    for &b in gb {
+                        links.insert((a, b));
+                        links.insert((b, a));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heal every failed link (partitions included). Node faults are
+    /// unaffected.
+    pub fn heal_all_links(&self) {
+        self.links.write().clear();
+    }
 }
 
 #[cfg(test)]
@@ -74,5 +128,43 @@ mod tests {
         t.fail(NodeId(2));
         assert!(snap.contains(&NodeId(1)));
         assert!(!snap.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn link_faults_are_directed() {
+        let t = FaultTable::new();
+        assert!(t.fail_link(NodeId(0), NodeId(1)));
+        assert!(t.is_link_failed(NodeId(0), NodeId(1)));
+        assert!(
+            !t.is_link_failed(NodeId(1), NodeId(0)),
+            "reverse direction stays up"
+        );
+        assert!(!t.is_failed(NodeId(0)), "link faults are not node faults");
+        assert!(t.heal_link(NodeId(0), NodeId(1)));
+        assert!(!t.is_link_failed(NodeId(0), NodeId(1)));
+        assert!(
+            !t.heal_link(NodeId(0), NodeId(1)),
+            "double-heal reports not failed"
+        );
+    }
+
+    #[test]
+    fn partition_fails_cross_group_links_both_ways() {
+        let t = FaultTable::new();
+        t.partition(&[vec![NodeId(0), NodeId(1)], vec![NodeId(2)]]);
+        for &a in &[NodeId(0), NodeId(1)] {
+            assert!(t.is_link_failed(a, NodeId(2)));
+            assert!(t.is_link_failed(NodeId(2), a));
+        }
+        assert!(
+            !t.is_link_failed(NodeId(0), NodeId(1)),
+            "intra-group links stay up"
+        );
+        // Node 3 is in no group: untouched.
+        assert!(!t.is_link_failed(NodeId(3), NodeId(2)));
+        assert_eq!(t.failed_link_count(), 4);
+        t.heal_all_links();
+        assert_eq!(t.failed_link_count(), 0);
+        assert!(!t.is_link_failed(NodeId(0), NodeId(2)));
     }
 }

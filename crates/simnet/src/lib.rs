@@ -36,6 +36,7 @@
 //! assert_eq!(msg, "ping");
 //! ```
 
+mod chaos;
 mod envelope;
 mod fault;
 mod inbox;
@@ -44,6 +45,9 @@ mod network;
 mod node;
 mod stats;
 
+pub use chaos::{
+    ChaosDecision, ChaosProfile, ChaosRule, FaultAction, FaultPlan, MsgKind, TimedFault, ANY_KIND,
+};
 pub use envelope::{Envelope, Payload};
 pub use fault::FaultTable;
 pub use inbox::RecvError;

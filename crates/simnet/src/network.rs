@@ -1,14 +1,37 @@
 //! The network object and per-node endpoints.
 
+use crate::chaos::{ChaosDecision, FaultAction, FaultPlan, MsgKind, TimedFault};
 use crate::envelope::{Envelope, Payload};
 use crate::fault::FaultTable;
 use crate::inbox::{Inbox, RecvError};
 use crate::latency::LatencyModel;
 use crate::node::NodeId;
 use crate::stats::NetStats;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Installed chaos state: the plan plus a protocol-supplied classifier and
+/// the per-(src, dst, kind) message counters that feed the plan's
+/// deterministic fate hash.
+struct ChaosRuntime<M> {
+    plan: FaultPlan,
+    classify: Box<dyn Fn(&M) -> MsgKind + Send + Sync>,
+    counters: Mutex<HashMap<(NodeId, NodeId, MsgKind), u64>>,
+}
+
+impl<M> ChaosRuntime<M> {
+    /// Sequence number of the next message on this (src, dst, kind) link.
+    fn next_seq(&self, src: NodeId, dst: NodeId, kind: MsgKind) -> u64 {
+        let mut counters = self.counters.lock();
+        let n = counters.entry((src, dst, kind)).or_insert(0);
+        let cur = *n;
+        *n += 1;
+        cur
+    }
+}
 
 struct Shared<M> {
     inboxes: Vec<Inbox<M>>,
@@ -16,6 +39,7 @@ struct Shared<M> {
     faults: FaultTable,
     stats: NetStats,
     seq: AtomicU64,
+    chaos: RwLock<Option<ChaosRuntime<M>>>,
 }
 
 /// A simulated message-passing network with a fixed set of nodes.
@@ -48,6 +72,7 @@ impl<M: Send + 'static> Network<M> {
                 faults: FaultTable::new(),
                 stats: NetStats::default(),
                 seq: AtomicU64::new(0),
+                chaos: RwLock::new(None),
             }),
         }
     }
@@ -80,7 +105,13 @@ impl<M: Send + 'static> Network<M> {
     }
 
     /// Recover a previously failed node.
+    ///
+    /// The inbox is drained again on recovery: a sender that raced past the
+    /// fault check while [`Network::fail`]'s drain ran can still have pushed
+    /// a pre-crash message afterwards, and a recovering node must not replay
+    /// stale pre-crash traffic.
     pub fn recover(&self, node: NodeId) {
+        self.shared.inboxes[node.index()].drain();
         self.shared.faults.recover(node);
     }
 
@@ -92,6 +123,84 @@ impl<M: Send + 'static> Network<M> {
     /// Snapshot of the failed-node set.
     pub fn failed_set(&self) -> std::collections::HashSet<NodeId> {
         self.shared.faults.failed_set()
+    }
+
+    /// Fail the directed link `src → dst`: messages in that direction are
+    /// silently dropped until [`Network::heal_link`]. Neither node is
+    /// crashed and nothing is drained.
+    pub fn fail_link(&self, src: NodeId, dst: NodeId) {
+        self.shared.faults.fail_link(src, dst);
+    }
+
+    /// Heal the directed link `src → dst`.
+    pub fn heal_link(&self, src: NodeId, dst: NodeId) {
+        self.shared.faults.heal_link(src, dst);
+    }
+
+    /// Is the directed link `src → dst` currently failed?
+    pub fn is_link_failed(&self, src: NodeId, dst: NodeId) -> bool {
+        self.shared.faults.is_link_failed(src, dst)
+    }
+
+    /// Partition the listed groups from each other (both directions of
+    /// every cross-group link fail). Nodes in no group keep full
+    /// connectivity.
+    pub fn partition(&self, groups: &[Vec<NodeId>]) {
+        self.shared.faults.partition(groups);
+    }
+
+    /// Heal every failed link, partitions included.
+    pub fn heal_all_links(&self) {
+        self.shared.faults.heal_all_links();
+    }
+
+    /// Install a chaos plan. `classify` maps each payload to the
+    /// [`MsgKind`] the plan's rules filter on. Replaces any previous plan
+    /// and resets the per-link message counters.
+    pub fn set_chaos(
+        &self,
+        plan: FaultPlan,
+        classify: impl Fn(&M) -> MsgKind + Send + Sync + 'static,
+    ) {
+        *self.shared.chaos.write() = Some(ChaosRuntime {
+            plan,
+            classify: Box::new(classify),
+            counters: Mutex::new(HashMap::new()),
+        });
+    }
+
+    /// Remove the installed chaos plan (timed link/node faults already
+    /// applied stay in force until healed individually).
+    pub fn clear_chaos(&self) {
+        *self.shared.chaos.write() = None;
+    }
+
+    /// Apply one scheduled fault action now.
+    pub fn apply_fault(&self, action: &FaultAction) {
+        match action {
+            FaultAction::Crash(n) => self.fail(*n),
+            FaultAction::Recover(n) => self.recover(*n),
+            FaultAction::FailLink { src, dst } => self.fail_link(*src, *dst),
+            FaultAction::HealLink { src, dst } => self.heal_link(*src, *dst),
+            FaultAction::Partition(groups) => self.partition(groups),
+            FaultAction::HealAllLinks => self.heal_all_links(),
+        }
+    }
+
+    /// Apply `events` (sorted or not) at their offsets from `start`,
+    /// sleeping in between. Blocks until the last event has fired; run it
+    /// on a supervisor thread alongside the workload.
+    pub fn run_fault_schedule(&self, events: &[TimedFault], start: Instant) {
+        let mut ordered: Vec<&TimedFault> = events.iter().collect();
+        ordered.sort_by_key(|e| e.at);
+        for ev in ordered {
+            let due = start + ev.at;
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            self.apply_fault(&ev.action);
+        }
     }
 
     /// Delivery statistics.
@@ -163,7 +272,51 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
             self.shared.stats.record_dropped_failed();
             return;
         }
-        let delay = self.shared.latency.sample(&mut rand::thread_rng());
+        if self.shared.faults.is_link_failed(self.id, to) {
+            self.shared.stats.record_dropped_link();
+            return;
+        }
+        // Chaos fate: drop, duplicate, delay, or deliver. `extra` is the
+        // added latency for the delayed copy; a duplicate's second copy
+        // carries it (first copy ships normally), a plain delay applies it
+        // to the only copy.
+        let mut duplicate = false;
+        let mut extra = Duration::ZERO;
+        if let Some(rt) = self.shared.chaos.read().as_ref() {
+            let kind = (rt.classify)(payload.message());
+            let n = rt.next_seq(self.id, to, kind);
+            match rt.plan.decide(self.id, to, kind, n) {
+                ChaosDecision::Deliver => {}
+                ChaosDecision::Drop => {
+                    self.shared.stats.record_dropped_chaos();
+                    return;
+                }
+                ChaosDecision::Duplicate => {
+                    duplicate = true;
+                    self.shared.stats.record_chaos_duplicated();
+                }
+                ChaosDecision::Delay(d) => {
+                    extra = d;
+                    self.shared.stats.record_chaos_delayed();
+                }
+                ChaosDecision::DuplicateDelayed(d) => {
+                    duplicate = true;
+                    extra = d;
+                    self.shared.stats.record_chaos_duplicated();
+                    self.shared.stats.record_chaos_delayed();
+                }
+            }
+        }
+        if duplicate {
+            self.enqueue(to, payload.clone(), bytes, Duration::ZERO);
+            self.enqueue(to, payload, bytes, extra);
+        } else {
+            self.enqueue(to, payload, bytes, extra);
+        }
+    }
+
+    fn enqueue(&self, to: NodeId, payload: Payload<M>, bytes: u64, extra: Duration) {
+        let delay = self.shared.latency.sample(&mut rand::thread_rng()) + extra;
         let env = Envelope {
             src: self.id,
             dst: to,
@@ -172,11 +325,20 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
             payload,
         };
         let inbox = &self.shared.inboxes[to.index()];
-        if inbox.push(env) {
-            self.shared.stats.record_delivered(bytes);
-        } else {
+        if !inbox.push(env) {
             self.shared.stats.record_dropped_closed();
+            return;
         }
+        // Close the crash/push race: if `to` failed after our fault check,
+        // its crash drain may have run before this push landed, leaving a
+        // stale message to be replayed at recovery. (Recovery drains too;
+        // this keeps the inbox clean even while the node stays down.)
+        if self.shared.faults.is_failed(to) {
+            inbox.drain();
+            self.shared.stats.record_dropped_failed();
+            return;
+        }
+        self.shared.stats.record_delivered(bytes);
     }
 
     /// Blocking receive with a timeout. Returns the sender and payload.

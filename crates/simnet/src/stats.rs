@@ -18,6 +18,10 @@ pub struct NetStats {
     delivered: AtomicU64,
     dropped_failed: AtomicU64,
     dropped_closed: AtomicU64,
+    dropped_link: AtomicU64,
+    dropped_chaos: AtomicU64,
+    chaos_duplicated: AtomicU64,
+    chaos_delayed: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_delivered: AtomicU64,
 }
@@ -33,6 +37,16 @@ pub struct NetStatsSnapshot {
     pub dropped_failed: u64,
     /// Messages dropped because the destination inbox was closed.
     pub dropped_closed: u64,
+    /// Messages dropped because the directed link to the destination was
+    /// failed (partitions count here, not under `dropped_failed`).
+    pub dropped_link: u64,
+    /// Messages dropped by a chaos rule's drop draw.
+    pub dropped_chaos: u64,
+    /// Extra copies enqueued by chaos duplication (each counts one extra
+    /// delivery).
+    pub chaos_duplicated: u64,
+    /// Messages delayed-reordered by a chaos rule.
+    pub chaos_delayed: u64,
     /// Payload bytes handed to the network (per destination, as declared by
     /// the sender).
     pub bytes_sent: u64,
@@ -55,6 +69,18 @@ impl NetStats {
     pub(crate) fn record_dropped_closed(&self) {
         self.dropped_closed.fetch_add(1, Ordering::Relaxed);
     }
+    pub(crate) fn record_dropped_link(&self) {
+        self.dropped_link.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_dropped_chaos(&self) {
+        self.dropped_chaos.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_chaos_duplicated(&self) {
+        self.chaos_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_chaos_delayed(&self) {
+        self.chaos_delayed.fetch_add(1, Ordering::Relaxed);
+    }
 
     /// Copy the counters at this instant.
     pub fn snapshot(&self) -> NetStatsSnapshot {
@@ -63,6 +89,10 @@ impl NetStats {
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped_failed: self.dropped_failed.load(Ordering::Relaxed),
             dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
+            dropped_link: self.dropped_link.load(Ordering::Relaxed),
+            dropped_chaos: self.dropped_chaos.load(Ordering::Relaxed),
+            chaos_duplicated: self.chaos_duplicated.load(Ordering::Relaxed),
+            chaos_delayed: self.chaos_delayed.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_delivered: self.bytes_delivered.load(Ordering::Relaxed),
         }
@@ -78,6 +108,12 @@ impl NetStatsSnapshot {
             delivered: self.delivered.saturating_sub(earlier.delivered),
             dropped_failed: self.dropped_failed.saturating_sub(earlier.dropped_failed),
             dropped_closed: self.dropped_closed.saturating_sub(earlier.dropped_closed),
+            dropped_link: self.dropped_link.saturating_sub(earlier.dropped_link),
+            dropped_chaos: self.dropped_chaos.saturating_sub(earlier.dropped_chaos),
+            chaos_duplicated: self
+                .chaos_duplicated
+                .saturating_sub(earlier.chaos_duplicated),
+            chaos_delayed: self.chaos_delayed.saturating_sub(earlier.chaos_delayed),
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
             bytes_delivered: self.bytes_delivered.saturating_sub(earlier.bytes_delivered),
         }

@@ -1,0 +1,267 @@
+//! Integration tests for the chaos layer: link faults, partitions, and
+//! seeded per-message drop/dup/delay injection.
+
+use acn_simnet::{
+    ChaosRule, FaultAction, FaultPlan, LatencyModel, Network, NodeId, RecvError, TimedFault,
+};
+use std::time::{Duration, Instant};
+
+const KIND_PING: u8 = 1;
+const KIND_PONG: u8 = 2;
+
+fn classify(m: &u32) -> u8 {
+    if (*m).is_multiple_of(2) {
+        KIND_PING
+    } else {
+        KIND_PONG
+    }
+}
+
+#[test]
+fn link_fault_is_asymmetric() {
+    let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    net.fail_link(NodeId(0), NodeId(1));
+    a.send(NodeId(1), 1);
+    assert_eq!(
+        b.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+        RecvError::Timeout,
+        "failed direction drops"
+    );
+    b.send(NodeId(0), 2);
+    let (_, v) = a.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert_eq!(v, 2, "reverse direction still delivers");
+    net.heal_link(NodeId(0), NodeId(1));
+    a.send(NodeId(1), 3);
+    assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().1, 3);
+    assert_eq!(net.stats().dropped_link, 1);
+}
+
+#[test]
+fn partition_splits_and_heals() {
+    let net: Network<u32> = Network::new(4, LatencyModel::Zero);
+    let eps: Vec<_> = (0..4).map(|i| net.endpoint(NodeId(i))).collect();
+    net.partition(&[vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+    // Intra-group works.
+    eps[0].send(NodeId(1), 10);
+    assert_eq!(eps[1].recv_timeout(Duration::from_secs(1)).unwrap().1, 10);
+    eps[2].send(NodeId(3), 20);
+    assert_eq!(eps[3].recv_timeout(Duration::from_secs(1)).unwrap().1, 20);
+    // Cross-group drops in both directions.
+    eps[0].send(NodeId(2), 30);
+    eps[2].send(NodeId(0), 40);
+    assert_eq!(
+        eps[2].recv_timeout(Duration::from_millis(10)).unwrap_err(),
+        RecvError::Timeout
+    );
+    assert_eq!(
+        eps[0].recv_timeout(Duration::from_millis(10)).unwrap_err(),
+        RecvError::Timeout
+    );
+    net.heal_all_links();
+    eps[0].send(NodeId(2), 50);
+    assert_eq!(eps[2].recv_timeout(Duration::from_secs(1)).unwrap().1, 50);
+}
+
+#[test]
+fn chaos_drop_all_suppresses_delivery() {
+    let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+    net.set_chaos(
+        FaultPlan::with_rules(5, vec![ChaosRule::all(1.0, 0.0, 0.0, Duration::ZERO)]),
+        classify,
+    );
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    for i in 0..20 {
+        a.send(NodeId(1), i);
+    }
+    assert_eq!(
+        b.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+        RecvError::Timeout
+    );
+    let s = net.stats();
+    assert_eq!(s.dropped_chaos, 20);
+    assert_eq!(s.delivered, 0);
+    net.clear_chaos();
+    a.send(NodeId(1), 99);
+    assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().1, 99);
+}
+
+#[test]
+fn chaos_duplicates_deliver_twice() {
+    let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+    net.set_chaos(
+        FaultPlan::with_rules(5, vec![ChaosRule::all(0.0, 1.0, 0.0, Duration::ZERO)]),
+        classify,
+    );
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    a.send(NodeId(1), 7);
+    assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().1, 7);
+    assert_eq!(
+        b.recv_timeout(Duration::from_secs(1)).unwrap().1,
+        7,
+        "duplicate copy arrives too"
+    );
+    let s = net.stats();
+    assert_eq!(s.sent, 1);
+    assert_eq!(s.delivered, 2);
+    assert_eq!(s.chaos_duplicated, 1);
+}
+
+#[test]
+fn chaos_delay_reorders_behind_later_traffic() {
+    let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+    // Kind PING (even values) delayed 30 ms; PONG unaffected.
+    net.set_chaos(
+        FaultPlan::with_rules(
+            5,
+            vec![ChaosRule::for_kind(
+                KIND_PING,
+                0.0,
+                0.0,
+                1.0,
+                Duration::from_millis(30),
+            )],
+        ),
+        classify,
+    );
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    a.send(NodeId(1), 2); // PING, delayed
+    a.send(NodeId(1), 3); // PONG, prompt
+    assert_eq!(
+        b.recv_timeout(Duration::from_secs(1)).unwrap().1,
+        3,
+        "later prompt message overtakes the delayed one"
+    );
+    assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().1, 2);
+    assert_eq!(net.stats().chaos_delayed, 1);
+}
+
+#[test]
+fn chaos_kind_filter_spares_other_kinds() {
+    let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+    net.set_chaos(
+        FaultPlan::with_rules(
+            5,
+            vec![ChaosRule::for_kind(
+                KIND_PING,
+                1.0,
+                0.0,
+                0.0,
+                Duration::ZERO,
+            )],
+        ),
+        classify,
+    );
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    a.send(NodeId(1), 4); // PING: dropped
+    a.send(NodeId(1), 5); // PONG: delivered
+    assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().1, 5);
+    assert_eq!(
+        b.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+        RecvError::Timeout
+    );
+}
+
+#[test]
+fn same_seed_same_fates_across_networks() {
+    // Two separate networks with the same plan and same traffic see the
+    // same per-message decisions (delivery counts match exactly).
+    let plan = FaultPlan::with_rules(77, vec![ChaosRule::all(0.3, 0.2, 0.0, Duration::ZERO)]);
+    let mut outcomes = Vec::new();
+    for _ in 0..2 {
+        let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+        net.set_chaos(plan.clone(), classify);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        for i in 0..100 {
+            a.send(NodeId(1), i * 2); // all PING so one (src,dst,kind) stream
+        }
+        let mut got = Vec::new();
+        while let Ok((_, v)) = b.recv_timeout(Duration::from_millis(20)) {
+            got.push(v);
+        }
+        outcomes.push(got);
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+}
+
+#[test]
+fn fault_schedule_applies_in_order() {
+    let net: Network<u32> = Network::new(2, LatencyModel::Zero);
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    let events = vec![
+        TimedFault {
+            at: Duration::from_millis(0),
+            action: FaultAction::FailLink {
+                src: NodeId(0),
+                dst: NodeId(1),
+            },
+        },
+        TimedFault {
+            at: Duration::from_millis(30),
+            action: FaultAction::HealAllLinks,
+        },
+    ];
+    let n2 = net.clone();
+    let start = Instant::now();
+    let h = std::thread::spawn(move || n2.run_fault_schedule(&events, start));
+    std::thread::sleep(Duration::from_millis(10));
+    a.send(NodeId(1), 1); // inside the fault window: dropped
+    h.join().unwrap();
+    a.send(NodeId(1), 2); // after heal: delivered
+    assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().1, 2);
+    assert_eq!(net.stats().dropped_link, 1);
+}
+
+#[test]
+fn recovery_does_not_replay_pre_crash_traffic() {
+    // Hammer a node with sends from several threads while it is failed;
+    // regardless of races between the fault check, the crash drain, and
+    // the push, the inbox must be empty once things quiesce, so recovery
+    // never replays pre-crash messages.
+    let net: Network<u64> = Network::new(5, LatencyModel::Zero);
+    let rx = net.endpoint(NodeId(4));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for n in 0..4u32 {
+        let ep = net.endpoint(NodeId(n));
+        let stop = std::sync::Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                ep.send(NodeId(4), i);
+                i += 1;
+            }
+        }));
+    }
+    for _ in 0..20 {
+        net.fail(NodeId(4));
+        // A sender inside its push/self-drain window can make pending
+        // transiently non-zero; it must settle back to zero.
+        let deadline = Instant::now() + Duration::from_millis(200);
+        while rx.pending() != 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(rx.pending(), 0, "failed node's inbox must stay drained");
+        net.recover(NodeId(4));
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    net.fail(NodeId(4));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(rx.pending(), 0);
+    net.recover(NodeId(4));
+    assert_eq!(
+        rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+        RecvError::Timeout,
+        "no stale pre-crash message may be replayed after recovery"
+    );
+}

@@ -13,7 +13,8 @@ use acn_core::{
     AcnController, AlgorithmModule, BlockSeq, ContentionModel, ControllerConfig, ExecStats,
     ExecutorConfig, ExecutorEngine, LatencyHistogram, RetryPolicy, StaticModule, SumModel,
 };
-use acn_dtm::{Cluster, ClusterConfig};
+use acn_dtm::{Cluster, ClusterConfig, HistoryLog};
+use acn_simnet::FaultPlan;
 use acn_txir::DependencyModel;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -67,6 +68,15 @@ pub struct ScenarioConfig {
     pub exec: ExecutorConfig,
     /// Base RNG seed (thread `i` uses `seed + i`).
     pub seed: u64,
+    /// Deterministic fault plan installed *after* seeding (the initial
+    /// state is always loaded on a healthy network). When set, worker
+    /// threads tolerate terminal transaction failures — a fault window can
+    /// legitimately exhaust a retry policy — and count them into
+    /// [`ScenarioResult::failed`] instead of panicking.
+    pub chaos: Option<FaultPlan>,
+    /// When set, every client (the seeder included) appends its committed
+    /// read/write versions here for the serializability checker.
+    pub history: Option<Arc<HistoryLog>>,
 }
 
 impl ScenarioConfig {
@@ -90,6 +100,8 @@ impl ScenarioConfig {
             retry: RetryPolicy::default(),
             exec: ExecutorConfig::default(),
             seed: 42,
+            chaos: None,
+            history: None,
         }
     }
 }
@@ -118,6 +130,9 @@ pub struct ScenarioResult {
     pub refreshes: u64,
     /// End-to-end commit latency (includes retries and backoff).
     pub latency: LatencyHistogram,
+    /// Transactions that failed terminally (chaos runs only; always 0 on a
+    /// healthy cluster, where a terminal failure panics instead).
+    pub failed: u64,
 }
 
 impl ScenarioResult {
@@ -184,8 +199,10 @@ fn phase_for(cfg: &ScenarioConfig, interval: usize) -> usize {
 /// Run one scenario and collect per-interval statistics.
 ///
 /// # Panics
-/// Panics on quorum unavailability or retry exhaustion — scenarios run on
-/// a healthy cluster, so those indicate a configuration error.
+/// Without a chaos plan, panics on quorum unavailability or retry
+/// exhaustion — scenarios on a healthy cluster treat those as
+/// configuration errors. With [`ScenarioConfig::chaos`] set they are
+/// counted into [`ScenarioResult::failed`] instead.
 pub fn run_scenario(workload: &dyn Workload, cfg: &ScenarioConfig) -> ScenarioResult {
     run_scenario_with_model(workload, cfg, || Box::new(SumModel))
 }
@@ -203,10 +220,20 @@ pub fn run_scenario_with_model(
     );
     let cluster = Cluster::start(cfg.cluster.clone());
 
-    // Seed initial state from slot 0 before measurement starts.
+    // Seed initial state from slot 0 before measurement starts. The seeder
+    // records into the history log too — the checker needs the initial
+    // versions to account for later reads of them.
     {
         let mut seeder = cluster.client(0);
+        if let Some(h) = &cfg.history {
+            seeder.set_history(Arc::clone(h));
+        }
         workload.seed(&mut seeder);
+    }
+
+    // Faults start only after the initial state is fully loaded.
+    if let Some(plan) = &cfg.chaos {
+        cluster.install_chaos(plan);
     }
 
     // Static Module: analyze every template once.
@@ -242,6 +269,7 @@ pub fn run_scenario_with_model(
 
     let buckets = Buckets::new(cfg.intervals);
     let latency = Mutex::new(LatencyHistogram::new());
+    let failed = AtomicU64::new(0);
     let deadline_len = cfg.interval * cfg.intervals as u32;
     let start = Instant::now();
 
@@ -258,13 +286,28 @@ pub fn run_scenario_with_model(
     };
 
     std::thread::scope(|s| {
+        // Timed crash/partition events run on a supervisor thread; the
+        // schedule ends at its last event, all of which precede the
+        // measurement deadline in a sane plan, so the scope's implicit
+        // join does not stall.
+        if let Some(plan) = &cfg.chaos {
+            if !plan.events.is_empty() {
+                let net = cluster.net().clone();
+                let events = plan.events.clone();
+                s.spawn(move || net.run_fault_schedule(&events, start));
+            }
+        }
         for t in 0..cfg.client_threads {
             let mut client = cluster.client(t);
             if !piggyback_classes.is_empty() {
                 client.set_piggyback_classes(piggyback_classes.clone());
             }
+            if let Some(h) = &cfg.history {
+                client.set_history(Arc::clone(h));
+            }
             let buckets = &buckets;
             let latency = &latency;
+            let failed = &failed;
             let plan = &plan;
             let dms = &dms;
             let engine = ExecutorEngine::with_config(cfg.retry, cfg.exec);
@@ -290,16 +333,23 @@ pub fn run_scenario_with_model(
                             c.current()
                         }
                     };
-                    engine
-                        .run_timed(
-                            &mut client,
-                            &dm.program,
-                            &req.params,
-                            &seq,
-                            &mut stats,
-                            &mut hist,
-                        )
-                        .expect("scenario transaction failed");
+                    if let Err(e) = engine.run_timed(
+                        &mut client,
+                        &dm.program,
+                        &req.params,
+                        &seq,
+                        &mut stats,
+                        &mut hist,
+                    ) {
+                        if cfg.chaos.is_some() {
+                            // A fault window can legitimately starve this
+                            // client; count it and keep the thread alive so
+                            // progress resumes once the faults heal.
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            panic!("scenario transaction failed: {e}");
+                        }
+                    }
                     // Attribute the commit (and the aborts it absorbed) to
                     // the window in which it completed.
                     let done = start.elapsed();
@@ -337,6 +387,7 @@ pub fn run_scenario_with_model(
             })
             .collect(),
         refreshes,
+        failed: failed.into_inner(),
     }
 }
 
@@ -442,6 +493,7 @@ mod tests {
                 },
             ],
             refreshes: 0,
+            failed: 0,
         };
         assert_eq!(r.throughput(0), 100.0);
         assert_eq!(r.throughput(1), 200.0);

@@ -91,10 +91,13 @@ pub mod prelude {
         SumModel,
     };
     pub use acn_dtm::{
-        ChildCtx, ClientConfig, Cluster, ClusterConfig, DtmClient, DtmError, TxnCtx, TxnId,
+        check_history, ChildCtx, ClientConfig, Cluster, ClusterConfig, CommitRecord, DtmClient,
+        DtmError, HistoryLog, HistorySummary, TxnCtx, TxnId, Violation,
     };
     pub use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
-    pub use acn_simnet::{LatencyModel, Network, NodeId};
+    pub use acn_simnet::{
+        ChaosProfile, ChaosRule, FaultAction, FaultPlan, LatencyModel, Network, NodeId, TimedFault,
+    };
     pub use acn_txir::{
         AccessMode, ComputeOp, DependencyModel, FieldId, ObjClass, ObjectId, ObjectVal, Operand,
         Program, ProgramBuilder, Stmt, Value,
