@@ -8,7 +8,7 @@
 //! ```
 
 use acn_bench::figures::{
-    all_figures, print_figure, print_read_path_ablation, run_figure, write_csv,
+    all_figures, print_figure, print_read_path_ablation, run_figure, write_csv, write_jsonl,
 };
 
 fn main() {
@@ -16,6 +16,15 @@ fn main() {
     // `--csv DIR` additionally writes each figure's series as CSV.
     let csv_dir = args.iter().position(|a| a == "--csv").map(|i| {
         let dir = args.get(i + 1).expect("--csv requires a directory").clone();
+        args.drain(i..=i + 1);
+        std::path::PathBuf::from(dir)
+    });
+    // `--jsonl DIR` writes each system's full MetricsReport as JSON-lines.
+    let jsonl_dir = args.iter().position(|a| a == "--jsonl").map(|i| {
+        let dir = args
+            .get(i + 1)
+            .expect("--jsonl requires a directory")
+            .clone();
         args.drain(i..=i + 1);
         std::path::PathBuf::from(dir)
     });
@@ -59,6 +68,11 @@ fn main() {
         if let Some(dir) = &csv_dir {
             let path = write_csv(spec, &result, dir).expect("write csv");
             eprintln!("wrote {}", path.display());
+        }
+        if let Some(dir) = &jsonl_dir {
+            for path in write_jsonl(spec, &result, dir).expect("write jsonl") {
+                eprintln!("wrote {}", path.display());
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 //! cargo run --release -p acn-bench --bin steady neworder 0
 //! ```
 
+use acn_bench::figures::obs_from_env;
 use acn_dtm::ClusterConfig;
 use acn_simnet::LatencyModel;
 use acn_workloads::bank::{Bank, BankConfig};
@@ -89,19 +90,38 @@ fn main() {
             seed: 42,
             chaos: None,
             history: None,
+            obs: obs_from_env(),
         };
         let r = run_scenario(workload.as_ref(), &cfg);
         let per: Vec<String> = (0..cfg.intervals)
             .map(|i| format!("{:.0}", r.throughput(i)))
             .collect();
+        // Top abort-inducing classes ride along with the throughput line
+        // (empty when ACN_OBS=0 disables observability).
+        let top = r
+            .obs
+            .as_ref()
+            .map(|obs| {
+                obs.aborts
+                    .top_classes(3)
+                    .into_iter()
+                    .map(|(name, n)| format!("{name}={n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .filter(|s| !s.is_empty())
+            .map(|s| format!("  top aborters: {s}"))
+            .unwrap_or_default();
         println!(
-            "{:>7}: [{}] tail-mean {:.0} txn/s  ({}f/{}p aborts, {} reconfigs)",
+            "{:>7}: [{}] tail-mean {:.0} txn/s  ({}f/{}p/{}l aborts, {} reconfigs){}",
             system.to_string(),
             per.join(", "),
             r.mean_throughput_from(2),
             r.total_full_aborts(),
             r.total_partial_aborts(),
-            r.refreshes
+            r.total_locked_aborts(),
+            r.refreshes,
+            top
         );
     }
 }

@@ -10,12 +10,24 @@
 //! is the reproduction target, not absolute numbers.
 
 use acn_dtm::ClusterConfig;
+use acn_obs::{MetricsReport, ObsConfig};
 use acn_simnet::LatencyModel;
 use acn_workloads::bank::{Bank, BankConfig};
 use acn_workloads::tpcc::{Tpcc, TpccConfig, TpccMix};
 use acn_workloads::vacation::{Vacation, VacationConfig};
 use acn_workloads::{run_scenario, ScenarioConfig, ScenarioResult, SystemKind, Workload};
 use std::time::Duration;
+
+/// Observability default for bench runs: on unless `ACN_OBS=0`. The
+/// trace-ring path costs a couple of integer stores per event, so leaving
+/// it on is the right default; the env switch exists for overhead A/B
+/// measurements.
+pub fn obs_from_env() -> Option<ObsConfig> {
+    match std::env::var("ACN_OBS") {
+        Ok(v) if v == "0" => None,
+        _ => Some(ObsConfig::default()),
+    }
+}
 
 /// One experiment (= one subplot of Figure 4).
 pub struct FigureSpec {
@@ -162,6 +174,7 @@ pub fn run_figure(spec: &FigureSpec) -> FigureResult {
             seed: 42,
             chaos: None,
             history: None,
+            obs: obs_from_env(),
         };
         eprintln!("  {system} …");
         results.push(run_scenario(spec.workload.as_ref(), &cfg));
@@ -244,6 +257,23 @@ pub fn print_figure(spec: &FigureSpec, fig: &FigureResult) {
         acn.total_partial_aborts(),
         acn.refreshes
     );
+    for r in &fig.results {
+        if let Some(obs) = &r.obs {
+            let top: Vec<String> = obs
+                .aborts
+                .top_classes(3)
+                .into_iter()
+                .map(|(name, n)| format!("{name}={n}"))
+                .collect();
+            if !top.is_empty() {
+                println!(
+                    "{:>7} hottest aborters: {}",
+                    r.system.to_string(),
+                    top.join("  ")
+                );
+            }
+        }
+    }
 }
 
 /// Write one figure's series as CSV (`interval,system,throughput,commits,
@@ -276,6 +306,39 @@ pub fn write_csv(
         }
     }
     Ok(path)
+}
+
+/// Write one figure's full metrics as JSON-lines, one
+/// `<figure>-<system>.jsonl` file per system, each a complete
+/// [`MetricsReport`] export. Every file is parsed back and compared for
+/// equality before this returns, so a partial write never goes unnoticed.
+pub fn write_jsonl(
+    spec: &FigureSpec,
+    fig: &FigureResult,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for r in &fig.results {
+        let report = r.metrics_report(&[
+            ("figure", spec.id.to_string()),
+            ("title", spec.title.to_string()),
+        ]);
+        let text = report.to_json_lines();
+        let parsed = MetricsReport::parse_json_lines(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        assert_eq!(parsed, report, "JSON-lines export must round-trip");
+        let path = dir.join(format!(
+            "{}-{}.jsonl",
+            spec.id,
+            r.system.to_string().to_lowercase()
+        ));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(text.as_bytes())?;
+        paths.push(path);
+    }
+    Ok(paths)
 }
 
 /// One arm of the read-path ablation: network and client counters for a

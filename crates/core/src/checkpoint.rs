@@ -17,8 +17,15 @@ use crate::blocks::BlockSeq;
 use crate::executor::rand_like::jitter;
 use crate::executor::{run_block, FlatAccess, Frame, RetryPolicy, RunError, StepError};
 use acn_dtm::{DtmClient, DtmError, TxnCtx};
+use acn_obs::{AbortKind, TxnEvent, TxnObserver};
 use acn_txir::{ObjectId, Program, Value};
 use std::collections::HashMap;
+
+fn emit(obs: &mut Option<&mut TxnObserver>, ev: TxnEvent) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.on_event(ev);
+    }
+}
 
 /// Counters for checkpointed execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +41,17 @@ pub struct CheckpointStats {
     pub full_restarts: u64,
 }
 
+impl From<CheckpointStats> for acn_obs::CheckpointCounters {
+    fn from(s: CheckpointStats) -> Self {
+        acn_obs::CheckpointCounters {
+            commits: s.commits,
+            rollbacks: s.rollbacks,
+            checkpoints: s.checkpoints,
+            full_restarts: s.full_restarts,
+        }
+    }
+}
+
 /// Execute one instance with checkpoint-based partial rollback. `seq`
 /// provides the checkpoint boundaries (normally
 /// [`BlockSeq::from_units`]'s one-block-per-UnitBlock schedule).
@@ -45,8 +63,26 @@ pub fn run_checkpointed(
     policy: &RetryPolicy,
     stats: &mut CheckpointStats,
 ) -> Result<(), RunError> {
+    run_checkpointed_observed(client, program, params, seq, policy, stats, None)
+}
+
+/// [`run_checkpointed`] with an optional [`TxnObserver`]: rollbacks and
+/// restarts are attributed under the checkpoint-specific abort kinds
+/// ([`AbortKind::CkptRollback`] / [`AbortKind::CkptRestart`]), so a mixed
+/// run never conflates the two partial-rollback designs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_checkpointed_observed(
+    client: &mut DtmClient,
+    program: &Program,
+    params: &[Value],
+    seq: &BlockSeq,
+    policy: &RetryPolicy,
+    stats: &mut CheckpointStats,
+    mut obs: Option<&mut TxnObserver>,
+) -> Result<(), RunError> {
     let mut restarts = 0usize;
     'restart: loop {
+        emit(&mut obs, TxnEvent::Begin);
         let mut ctx = TxnCtx::begin(client);
         let mut frame = Frame::new(program, params);
         // Saved states: snapshots[k] is the state *before* block k ran.
@@ -56,6 +92,12 @@ pub fn run_checkpointed(
 
         let mut block_idx = 0usize;
         while block_idx < seq.len() {
+            emit(
+                &mut obs,
+                TxnEvent::BlockStart {
+                    block: block_idx as u32,
+                },
+            );
             snapshots.truncate(block_idx);
             snapshots.push((ctx.clone(), frame.clone()));
             stats.checkpoints += 1;
@@ -90,6 +132,14 @@ pub fn run_checkpointed(
                         .min()
                         .unwrap_or(block_idx);
                     stats.rollbacks += 1;
+                    emit(
+                        &mut obs,
+                        TxnEvent::PartialAbort {
+                            block: block_idx as u32,
+                            obj: objs.first().copied(),
+                            kind: AbortKind::CkptRollback,
+                        },
+                    );
                     let (saved_ctx, saved_frame) = snapshots[target].clone();
                     ctx = saved_ctx;
                     frame = saved_frame;
@@ -98,8 +148,16 @@ pub fn run_checkpointed(
                     block_idx = target;
                 }
                 Err(StepError::Dtm(DtmError::Unavailable)) => return Err(RunError::Unavailable),
-                Err(StepError::Dtm(_)) => {
+                Err(StepError::Dtm(e)) => {
                     stats.full_restarts += 1;
+                    emit(
+                        &mut obs,
+                        TxnEvent::FullAbort {
+                            block: Some(block_idx as u32),
+                            obj: blamed_object(&e),
+                            kind: AbortKind::CkptRestart,
+                        },
+                    );
                     restarts += 1;
                     if restarts >= policy.max_restarts {
                         return Err(RunError::RetriesExhausted);
@@ -114,11 +172,25 @@ pub fn run_checkpointed(
         match ctx.commit(client) {
             Ok(()) => {
                 stats.commits += 1;
+                emit(
+                    &mut obs,
+                    TxnEvent::Commit {
+                        restarts: restarts as u32,
+                    },
+                );
                 return Ok(());
             }
             Err(DtmError::Unavailable) => return Err(RunError::Unavailable),
-            Err(_) => {
+            Err(e) => {
                 stats.full_restarts += 1;
+                emit(
+                    &mut obs,
+                    TxnEvent::FullAbort {
+                        block: None,
+                        obj: blamed_object(&e),
+                        kind: AbortKind::CkptRestart,
+                    },
+                );
                 restarts += 1;
                 if restarts >= policy.max_restarts {
                     return Err(RunError::RetriesExhausted);
@@ -126,6 +198,18 @@ pub fn run_checkpointed(
                 jitter(policy.backoff_base, restarts);
             }
         }
+    }
+}
+
+/// The first object a DTM error blames, when it blames any.
+fn blamed_object(e: &DtmError) -> Option<ObjectId> {
+    match e {
+        DtmError::Invalidated { objs } => objs.first().copied(),
+        DtmError::Conflict { invalid, locked } => {
+            invalid.first().or_else(|| locked.first()).copied()
+        }
+        DtmError::LockedOut { obj } => Some(*obj),
+        DtmError::Unavailable => None,
     }
 }
 
@@ -241,6 +325,39 @@ mod tests {
         assert!(stats.commits > 0);
         // Both writers target branch 9, so some conflicts are certain;
         // the checkpointing path resolves them via rollback or restart.
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn observed_checkpoint_run_uses_ckpt_kinds() {
+        use acn_obs::{AbortKind, TxnObserver};
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = transfer_dm();
+        let seq = BlockSeq::from_units(&dm);
+        let mut stats = CheckpointStats::default();
+        let mut obs = TxnObserver::default();
+        run_checkpointed_observed(
+            &mut client,
+            &dm.program,
+            &[Value::Int(1), Value::Int(2), Value::Int(25)],
+            &seq,
+            &RetryPolicy::default(),
+            &mut stats,
+            Some(&mut obs),
+        )
+        .unwrap();
+        assert!(matches!(
+            obs.trace.iter().last(),
+            Some(TxnEvent::Commit { .. })
+        ));
+        assert_eq!(
+            obs.aborts
+                .total_of(&[AbortKind::CkptRollback, AbortKind::CkptRestart]),
+            stats.rollbacks + stats.full_restarts,
+            "checkpoint aborts attribute under checkpoint kinds only"
+        );
+        assert_eq!(obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS), 0);
         cluster.shutdown();
     }
 

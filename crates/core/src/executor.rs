@@ -9,11 +9,20 @@
 
 use crate::blocks::BlockSeq;
 use acn_dtm::{AbortScope, ChildCtx, DtmClient, DtmError, TxnCtx};
+use acn_obs::{AbortKind, TxnEvent, TxnObserver};
 use acn_txir::{
     prefetchable_opens, AccessMode, EvalError, ObjectId, Operand, Program, Stmt, StmtIdx, Value,
 };
 use rand_like::jitter;
 use std::time::Duration;
+
+/// Record `ev` when an observer is attached; a no-op (one branch) when not,
+/// so the unobserved hot path stays unchanged.
+fn emit(obs: &mut Option<&mut TxnObserver>, ev: TxnEvent) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.on_event(ev);
+    }
+}
 
 /// Restart policy for the optimistic retry loops.
 #[derive(Debug, Clone, Copy)]
@@ -88,6 +97,18 @@ impl ExecStats {
         self.partial_aborts += other.partial_aborts;
         self.locked_aborts += other.locked_aborts;
         self.unavailable_retries += other.unavailable_retries;
+    }
+}
+
+impl From<ExecStats> for acn_obs::ExecCounters {
+    fn from(s: ExecStats) -> Self {
+        acn_obs::ExecCounters {
+            commits: s.commits,
+            full_aborts: s.full_aborts,
+            partial_aborts: s.partial_aborts,
+            locked_aborts: s.locked_aborts,
+            unavailable_retries: s.unavailable_retries,
+        }
     }
 }
 
@@ -336,8 +357,24 @@ impl ExecutorEngine {
         stats: &mut ExecStats,
         latency: &mut crate::histogram::LatencyHistogram,
     ) -> Result<(), RunError> {
+        self.run_timed_observed(client, program, params, seq, stats, latency, None)
+    }
+
+    /// [`ExecutorEngine::run_timed`] with an optional [`TxnObserver`]
+    /// recording structured events and abort attribution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_timed_observed(
+        &self,
+        client: &mut DtmClient,
+        program: &Program,
+        params: &[Value],
+        seq: &BlockSeq,
+        stats: &mut ExecStats,
+        latency: &mut crate::histogram::LatencyHistogram,
+        obs: Option<&mut TxnObserver>,
+    ) -> Result<(), RunError> {
         let start = std::time::Instant::now();
-        let out = self.run(client, program, params, seq, stats);
+        let out = self.run_observed(client, program, params, seq, stats, obs);
         if out.is_ok() {
             latency.record(start.elapsed());
         }
@@ -355,6 +392,22 @@ impl ExecutorEngine {
         seq: &BlockSeq,
         stats: &mut ExecStats,
     ) -> Result<(), RunError> {
+        self.run_observed(client, program, params, seq, stats, None)
+    }
+
+    /// [`ExecutorEngine::run`] with an optional [`TxnObserver`]. Every
+    /// `stats` abort increment emits exactly one matching abort event, so
+    /// the observer's attribution table reconciles against `stats` to the
+    /// unit (`total_of(EXECUTOR_KINDS) == full + partial + locked`).
+    pub fn run_observed(
+        &self,
+        client: &mut DtmClient,
+        program: &Program,
+        params: &[Value],
+        seq: &BlockSeq,
+        stats: &mut ExecStats,
+        mut obs: Option<&mut TxnObserver>,
+    ) -> Result<(), RunError> {
         assert_eq!(
             params.len(),
             program.params as usize,
@@ -371,9 +424,23 @@ impl ExecutorEngine {
         let mut restarts = 0usize;
         let mut unavailable = 0usize;
         loop {
-            match self.attempt(client, program, params, seq, plan.as_deref(), stats) {
+            match self.attempt(
+                client,
+                program,
+                params,
+                seq,
+                plan.as_deref(),
+                stats,
+                obs.as_deref_mut(),
+            ) {
                 Ok(()) => {
                     stats.commits += 1;
+                    emit(
+                        &mut obs,
+                        TxnEvent::Commit {
+                            restarts: restarts as u32,
+                        },
+                    );
                     return Ok(());
                 }
                 Err(AttemptError::Restart) => {
@@ -391,6 +458,7 @@ impl ExecutorEngine {
                     // than a conflict) and restart the attempt from scratch.
                     unavailable += 1;
                     stats.unavailable_retries += 1;
+                    emit(&mut obs, TxnEvent::UnavailableRetry);
                     jitter(self.policy.backoff_base.saturating_mul(8), unavailable);
                 }
                 Err(AttemptError::Fatal(e)) => return Err(e),
@@ -406,6 +474,7 @@ enum AttemptError {
 }
 
 impl ExecutorEngine {
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         client: &mut DtmClient,
@@ -414,7 +483,9 @@ impl ExecutorEngine {
         seq: &BlockSeq,
         plan: Option<&[Vec<ObjectId>]>,
         stats: &mut ExecStats,
+        mut obs: Option<&mut TxnObserver>,
     ) -> Result<(), AttemptError> {
+        emit(&mut obs, TxnEvent::Begin);
         let mut ctx = TxnCtx::begin(client);
         let mut frame = Frame::new(program, params);
 
@@ -429,16 +500,26 @@ impl ExecutorEngine {
                     }
                 }
                 ctx.open_batch(client, &union)
-                    .map_err(|e| self.step_error(StepError::Dtm(e), stats, None))?;
+                    .map_err(|e| self.step_error(StepError::Dtm(e), stats, None, &mut obs))?;
+                if !union.is_empty() {
+                    emit(
+                        &mut obs,
+                        TxnEvent::BatchedRead {
+                            block: None,
+                            objs: union.len() as u32,
+                        },
+                    );
+                }
             }
             let all: Vec<StmtIdx> = seq.blocks.iter().flatten().copied().collect();
             let mut acc = FlatAccess { ctx: &mut ctx };
             run_block(&mut acc, client, &mut frame, program, &all)
-                .map_err(|e| self.step_error(e, stats, None))?;
+                .map_err(|e| self.step_error(e, stats, None, &mut obs))?;
         } else {
             for (bi, block) in seq.blocks.iter().enumerate() {
                 let mut partial_tries = 0usize;
                 loop {
+                    emit(&mut obs, TxnEvent::BlockStart { block: bi as u32 });
                     let mut child = ctx.child();
                     // Prefetch this Block's known opens through the child:
                     // the fetches become child-first reads, so a later
@@ -450,6 +531,19 @@ impl ExecutorEngine {
                             .map_err(StepError::Dtm),
                         None => Ok(()),
                     };
+                    if prefetched.is_ok() {
+                        if let Some(plan) = plan {
+                            if !plan[bi].is_empty() {
+                                emit(
+                                    &mut obs,
+                                    TxnEvent::BatchedRead {
+                                        block: Some(bi as u32),
+                                        objs: plan[bi].len() as u32,
+                                    },
+                                );
+                            }
+                        }
+                    }
                     let result = prefetched.and_then(|()| {
                         let mut acc = ChildAccess {
                             child: &mut child,
@@ -463,24 +557,47 @@ impl ExecutorEngine {
                             break;
                         }
                         Err(e) => {
-                            let scope = match &e {
+                            let (scope, blamed) = match &e {
                                 StepError::Dtm(DtmError::Invalidated { objs }) => {
-                                    Some(child.classify(&ctx, objs))
+                                    (Some(child.classify(&ctx, objs)), objs.first().copied())
                                 }
-                                _ => None,
+                                _ => (None, None),
                             };
                             match scope {
                                 Some(AbortScope::Child) => {
                                     stats.partial_aborts += 1;
+                                    emit(
+                                        &mut obs,
+                                        TxnEvent::PartialAbort {
+                                            block: bi as u32,
+                                            obj: blamed,
+                                            kind: AbortKind::Partial,
+                                        },
+                                    );
                                     partial_tries += 1;
                                     if partial_tries >= self.policy.max_partial_retries {
                                         // Livelocked child: escalate.
                                         stats.full_aborts += 1;
+                                        emit(
+                                            &mut obs,
+                                            TxnEvent::FullAbort {
+                                                block: Some(bi as u32),
+                                                obj: blamed,
+                                                kind: AbortKind::Escalated,
+                                            },
+                                        );
                                         return Err(AttemptError::Restart);
                                     }
                                     continue; // re-run just this Block
                                 }
-                                _ => return Err(self.step_error(e, stats, scope)),
+                                _ => {
+                                    return Err(self.step_error(
+                                        e,
+                                        stats,
+                                        Some(bi as u32),
+                                        &mut obs,
+                                    ))
+                                }
                             }
                         }
                     }
@@ -490,39 +607,57 @@ impl ExecutorEngine {
 
         match ctx.commit(client) {
             Ok(()) => Ok(()),
-            Err(DtmError::Conflict { .. }) => {
-                stats.full_aborts += 1;
-                Err(AttemptError::Restart)
-            }
-            Err(DtmError::Unavailable) => Err(AttemptError::Fatal(RunError::Unavailable)),
-            Err(DtmError::LockedOut { .. }) => {
-                stats.locked_aborts += 1;
-                Err(AttemptError::Restart)
-            }
-            Err(DtmError::Invalidated { .. }) => {
-                stats.full_aborts += 1;
-                Err(AttemptError::Restart)
-            }
+            Err(e) => Err(self.step_error(StepError::Dtm(e), stats, None, &mut obs)),
         }
     }
 
+    /// Map a step (or commit) error to its retry decision, bumping the
+    /// matching `stats` counter and emitting the matching abort event —
+    /// one event per increment, which is what keeps attribution exact.
     fn step_error(
         &self,
         e: StepError,
         stats: &mut ExecStats,
-        _scope: Option<AbortScope>,
+        block: Option<u32>,
+        obs: &mut Option<&mut TxnObserver>,
     ) -> AttemptError {
         match e {
-            StepError::Dtm(DtmError::Invalidated { .. }) => {
+            StepError::Dtm(DtmError::Invalidated { objs }) => {
                 stats.full_aborts += 1;
+                emit(
+                    obs,
+                    TxnEvent::FullAbort {
+                        block,
+                        obj: objs.first().copied(),
+                        kind: AbortKind::ReadInvalid,
+                    },
+                );
                 AttemptError::Restart
             }
-            StepError::Dtm(DtmError::LockedOut { .. }) => {
+            StepError::Dtm(DtmError::LockedOut { obj }) => {
                 stats.locked_aborts += 1;
+                emit(
+                    obs,
+                    TxnEvent::FullAbort {
+                        block,
+                        obj: Some(obj),
+                        kind: AbortKind::LockedOut,
+                    },
+                );
                 AttemptError::Restart
             }
-            StepError::Dtm(DtmError::Conflict { .. }) => {
+            StepError::Dtm(DtmError::Conflict { invalid, locked }) => {
                 stats.full_aborts += 1;
+                emit(
+                    obs,
+                    TxnEvent::FullAbort {
+                        block,
+                        // Stale reads outrank lock conflicts for blame; a
+                        // pure lock conflict blames the locked object.
+                        obj: invalid.first().or_else(|| locked.first()).copied(),
+                        kind: AbortKind::CommitConflict,
+                    },
+                );
                 AttemptError::Restart
             }
             StepError::Dtm(DtmError::Unavailable) => AttemptError::Fatal(RunError::Unavailable),
@@ -535,10 +670,40 @@ impl ExecutorEngine {
 /// thread-local generator in the hot retry path.
 pub(crate) mod rand_like {
     use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Duration;
 
+    /// Global thread counter: each thread that touches the generator draws
+    /// a distinct sequence number to seed from. Seeding every thread with
+    /// the same constant (the old behavior) made contending workers back
+    /// off in lockstep — the jitter existed but did not decorrelate them.
+    static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// splitmix64 finalizer: spreads consecutive integers into
+    /// well-separated 64-bit states.
+    fn splitmix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
     thread_local! {
-        static STATE: Cell<u64> = const { Cell::new(0x9E3779B97F4A7C15) };
+        // `| 1` keeps the state nonzero — zero is xorshift's fixed point.
+        static STATE: Cell<u64> =
+            Cell::new(splitmix64(THREAD_SEQ.fetch_add(1, Ordering::Relaxed)) | 1);
+    }
+
+    /// Advance this thread's xorshift64* state and return the next draw.
+    pub(crate) fn next_u64() -> u64 {
+        STATE.with(|s| {
+            let mut x = s.get();
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            s.set(x);
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        })
     }
 
     /// Sleep a uniformly random duration in `[0, base · min(attempt, 16))`.
@@ -547,16 +712,7 @@ pub(crate) mod rand_like {
             return;
         }
         let cap = base.as_nanos() as u64 * attempt.min(16) as u64;
-        let r = STATE.with(|s| {
-            // xorshift64*
-            let mut x = s.get();
-            x ^= x >> 12;
-            x ^= x << 25;
-            x ^= x >> 27;
-            s.set(x);
-            x.wrapping_mul(0x2545F4914F6CDD1D)
-        });
-        std::thread::sleep(Duration::from_nanos(r % cap.max(1)));
+        std::thread::sleep(Duration::from_nanos(next_u64() % cap.max(1)));
     }
 }
 
@@ -965,6 +1121,119 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RunError::Eval(_)));
         assert_eq!(stats.commits, 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn backoff_sequences_differ_across_threads() {
+        // Regression: every thread used to seed its xorshift state with the
+        // same constant, so contending workers drew identical backoff
+        // sequences and kept colliding in lockstep.
+        let draws: Vec<Vec<u64>> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| (0..8).map(|_| rand_like::next_u64()).collect::<Vec<u64>>())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        assert_ne!(
+            draws[0], draws[1],
+            "two fresh threads must draw distinct jitter sequences"
+        );
+    }
+
+    #[test]
+    fn observed_run_records_commits_and_reads() {
+        use acn_obs::{TxnEvent, TxnObserver};
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = transfer_model();
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        let mut obs = TxnObserver::default();
+        let seq = BlockSeq::from_units(&dm);
+        engine
+            .run_observed(
+                &mut client,
+                &dm.program,
+                &[Value::Int(1), Value::Int(2), Value::Int(30)],
+                &seq,
+                &mut stats,
+                Some(&mut obs),
+            )
+            .unwrap();
+        let events: Vec<&TxnEvent> = obs.trace.iter().collect();
+        assert!(matches!(events.first(), Some(TxnEvent::Begin)));
+        assert!(matches!(events.last(), Some(TxnEvent::Commit { .. })));
+        let blocks = events
+            .iter()
+            .filter(|e| matches!(e, TxnEvent::BlockStart { .. }))
+            .count();
+        assert_eq!(blocks, 2, "one BlockStart per Block of the schedule");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TxnEvent::BatchedRead { .. })),
+            "prefetchable opens must show up as batched-read rounds"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn observed_contention_attribution_matches_stats() {
+        use acn_obs::{AbortKind, TxnObserver};
+        // Hammer one hot account from 4 threads so aborts actually happen,
+        // then check the invariant the whole layer is built around: one
+        // attributed event per stats increment.
+        let cluster = Cluster::start(ClusterConfig::test(10, 4));
+        let dm = std::sync::Arc::new(transfer_model());
+        let (stats, obs) = std::thread::scope(|s| {
+            (0..4)
+                .map(|t| {
+                    let mut client = cluster.client(t);
+                    let dm = std::sync::Arc::clone(&dm);
+                    s.spawn(move || {
+                        let engine = ExecutorEngine::default();
+                        let seq = BlockSeq::from_units(&dm);
+                        let mut stats = ExecStats::default();
+                        let mut obs = TxnObserver::default();
+                        for k in 0..25u64 {
+                            let from = (t as u64 + k) % 2;
+                            engine
+                                .run_observed(
+                                    &mut client,
+                                    &dm.program,
+                                    &[
+                                        Value::Int(from as i64),
+                                        Value::Int((1 - from) as i64),
+                                        Value::Int(1),
+                                    ],
+                                    &seq,
+                                    &mut stats,
+                                    Some(&mut obs),
+                                )
+                                .unwrap();
+                        }
+                        (stats, obs)
+                    })
+                })
+                .map(|h| h.join().unwrap())
+                .fold(
+                    (ExecStats::default(), acn_obs::AbortTable::new()),
+                    |(mut st, mut tb), (s, o)| {
+                        st.merge(&s);
+                        tb.merge(&o.aborts);
+                        (st, tb)
+                    },
+                )
+        });
+        assert_eq!(stats.commits, 100);
+        assert_eq!(
+            obs.total_of(&AbortKind::EXECUTOR_KINDS),
+            stats.full_aborts + stats.partial_aborts + stats.locked_aborts,
+            "attribution must reconcile against ExecStats to the unit"
+        );
         cluster.shutdown();
     }
 

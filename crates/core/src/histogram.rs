@@ -102,6 +102,18 @@ impl LatencyHistogram {
         }
         self.total += other.total;
     }
+
+    /// Integer-nanosecond percentile summary for the metrics export
+    /// (zeroes when empty).
+    pub fn summary(&self) -> acn_obs::LatencySummary {
+        let nanos = |q: f64| self.percentile(q).map(|d| d.as_nanos() as u64).unwrap_or(0);
+        acn_obs::LatencySummary {
+            samples: self.total,
+            p50_nanos: nanos(0.50),
+            p95_nanos: nanos(0.95),
+            p99_nanos: nanos(0.99),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,75 @@
+//! Property tests for the log-bucketed latency histogram.
+//!
+//! The histogram backs every latency number the benches report, so its
+//! contract is pinned down here: percentiles are monotone in the quantile,
+//! merging per-thread histograms is indistinguishable from recording into
+//! one, and the bucketing error stays within one geometric growth step.
+
+use acn_core::LatencyHistogram;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Build a histogram from microsecond samples.
+fn hist_of(micros: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &us in micros {
+        h.record(Duration::from_micros(us));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For any sample set, a higher quantile never reports a lower value.
+    #[test]
+    fn percentile_is_monotone_in_q(
+        micros in prop::collection::vec(1u64..100_000_000, 1..64),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&micros);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let plo = h.percentile(lo).unwrap();
+        let phi = h.percentile(hi).unwrap();
+        prop_assert!(plo <= phi, "p({lo}) = {plo:?} > p({hi}) = {phi:?}");
+    }
+
+    /// Merging two per-thread histograms is equivalent to recording every
+    /// sample into a single one: same count, same value at every quantile.
+    #[test]
+    fn merge_agrees_with_direct_recording(
+        left in prop::collection::vec(1u64..100_000_000, 0..48),
+        right in prop::collection::vec(1u64..100_000_000, 0..48),
+    ) {
+        let mut merged = hist_of(&left);
+        merged.merge(&hist_of(&right));
+        let mut all = left.clone();
+        all.extend_from_slice(&right);
+        let direct = hist_of(&all);
+        prop_assert_eq!(merged.len(), direct.len());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(
+                merged.percentile(q), direct.percentile(q),
+                "quantile {} disagrees", q
+            );
+        }
+    }
+
+    /// A single sample is reported as its bucket's upper bound: never
+    /// below the true value (modulo float rounding) and at most one ~8 %
+    /// growth step above it.
+    #[test]
+    fn bucket_error_is_within_one_growth_step(us in 1u64..100_000_000) {
+        let mut h = LatencyHistogram::new();
+        let d = Duration::from_micros(us);
+        h.record(d);
+        let p = h.percentile(1.0).unwrap().as_nanos() as f64;
+        let true_nanos = d.as_nanos() as f64;
+        prop_assert!(p >= true_nanos * 0.995, "{p} under-reports {true_nanos}");
+        prop_assert!(
+            p <= true_nanos * 1.09,
+            "{p} exceeds one growth step above {true_nanos}"
+        );
+    }
+}

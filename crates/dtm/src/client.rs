@@ -604,17 +604,29 @@ impl DtmClient {
         };
         let mut all_yes = true;
         let mut invalid: Vec<ObjectId> = Vec::new();
+        let mut locked: Vec<ObjectId> = Vec::new();
         for r in &resps {
             if let Msg::PrepareResp {
-                vote, invalid: inv, ..
+                vote,
+                invalid: inv,
+                locked: lock,
+                ..
             } = r
             {
                 if !vote {
                     all_yes = false;
                 }
                 invalid.extend(inv.iter().copied());
+                locked.extend(lock.iter().copied());
             }
         }
+        let conflict = |mut invalid: Vec<ObjectId>, mut locked: Vec<ObjectId>| {
+            invalid.sort_unstable();
+            invalid.dedup();
+            locked.sort_unstable();
+            locked.dedup();
+            DtmError::Conflict { invalid, locked }
+        };
         if writes.is_empty() {
             // Read-only: validation outcome is the commit outcome.
             return if all_yes {
@@ -628,20 +640,16 @@ impl DtmClient {
                 }
                 Ok(())
             } else {
-                invalid.sort_unstable();
-                invalid.dedup();
                 self.stats.conflict_aborts += 1;
-                Err(DtmError::Conflict { invalid })
+                Err(conflict(invalid, locked))
             };
         }
 
         if !all_yes {
             // Phase 2: abort everywhere (also the replicas that voted yes).
             let _ = self.rpc_quorum_retry(&quorum, |req| Msg::AbortReq { txn, req });
-            invalid.sort_unstable();
-            invalid.dedup();
             self.stats.conflict_aborts += 1;
-            return Err(DtmError::Conflict { invalid });
+            return Err(conflict(invalid, locked));
         }
 
         // Phase 2: commit. The decision is reached *here* — a yes-vote from

@@ -78,13 +78,26 @@ impl ContentionWindow {
     /// Rotate if the current window has elapsed. Called internally by
     /// `record_write`/`class_level`, public for tests driving time manually.
     pub fn maybe_rotate(&mut self, now: Instant) {
-        if now.duration_since(self.window_start) < self.cfg.window {
+        let elapsed = now.duration_since(self.window_start);
+        if elapsed < self.cfg.window {
             return;
         }
-        self.completed = Self::aggregate(&mut self.current);
-        self.completed_aborts = Self::aggregate(&mut self.current_aborts);
+        if elapsed >= self.cfg.window * 2 {
+            // Two or more windows passed: whatever sits in `current` was
+            // collected in a window that ended at least one full (silent)
+            // window ago — it is not the "last complete window" any more.
+            // Publishing it would hand consumers stale hot-spot data, so
+            // drop it and report silence instead.
+            self.current.clear();
+            self.current_aborts.clear();
+            self.completed.clear();
+            self.completed_aborts.clear();
+        } else {
+            self.completed = Self::aggregate(&mut self.current);
+            self.completed_aborts = Self::aggregate(&mut self.current_aborts);
+        }
         // Jump straight to the current instant rather than advancing by one
-        // window: after an idle gap the stale window should not linger.
+        // window: after an idle gap the window grid restarts here.
         self.window_start = now;
     }
 
@@ -235,5 +248,33 @@ mod tests {
         );
         let t2 = t1 + Duration::from_millis(500);
         assert_eq!(w.class_level(BRANCH.id, t2), 0.0, "silence clears it");
+
+        // Regression: data pending in `current` across a multi-window gap
+        // must be dropped at the next rotation, not published as the "last
+        // complete window" — that window ended several silent windows ago.
+        w.record_write(ObjectId::new(BRANCH, 1), t2);
+        w.record_abort(ObjectId::new(BRANCH, 1), t2);
+        let t3 = t2 + Duration::from_millis(500);
+        assert_eq!(
+            w.class_level(BRANCH.id, t3),
+            0.0,
+            "stale writes are not republished after a gap"
+        );
+        assert_eq!(
+            w.class_abort_level(BRANCH.id, t3),
+            0.0,
+            "stale aborts are not republished after a gap"
+        );
+        assert_eq!(
+            w.current_object_count(ObjectId::new(BRANCH, 1)),
+            0,
+            "stale current counters are discarded, not carried forward"
+        );
+
+        // Exactly one window late (elapsed in [window, 2·window)) still
+        // publishes: the data genuinely is the last complete window.
+        w.record_write(ObjectId::new(BRANCH, 1), t3);
+        let t4 = t3 + Duration::from_millis(150);
+        assert!(w.class_level(BRANCH.id, t4) > 0.0, "on-time data publishes");
     }
 }

@@ -28,6 +28,10 @@ pub enum DtmError {
         /// Stale read-set entries reported by the quorum (empty for pure
         /// lock conflicts).
         invalid: Vec<ObjectId>,
+        /// Write-set objects the quorum failed to lock (empty for pure
+        /// validation failures). Feeds abort attribution: without it a
+        /// lock conflict blamed no object at all.
+        locked: Vec<ObjectId>,
     },
     /// A read kept hitting `protected` objects and gave up after the
     /// configured number of retries.
@@ -43,7 +47,12 @@ impl fmt::Display for DtmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DtmError::Invalidated { objs } => write!(f, "read-set invalidated: {objs:?}"),
-            DtmError::Conflict { invalid } => write!(f, "commit conflict (stale: {invalid:?})"),
+            DtmError::Conflict { invalid, locked } => {
+                write!(
+                    f,
+                    "commit conflict (stale: {invalid:?}, locked: {locked:?})"
+                )
+            }
             DtmError::LockedOut { obj } => write!(f, "read locked out on {obj}"),
             DtmError::Unavailable => write!(f, "quorum unavailable"),
         }

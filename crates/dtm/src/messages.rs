@@ -129,8 +129,10 @@ pub enum Msg {
         /// Objects to be written, with the version the client read.
         writes: Vec<(ObjectId, Version)>,
     },
-    /// Server vote. `invalid` lists stale read-set entries (for diagnostics);
-    /// a lock conflict yields `vote == false` with `invalid` empty.
+    /// Server vote. `invalid` lists stale read-set entries; `locked` names
+    /// the write-set object a lock conflict rejected on. Both feed the
+    /// client's abort attribution: a no-vote with empty `invalid` and
+    /// empty `locked` would leave the conflict unattributable.
     PrepareResp {
         /// Correlation id.
         req: ReqId,
@@ -139,6 +141,9 @@ pub enum Msg {
         /// Stale read-set entries, when the rejection was a validation
         /// failure.
         invalid: Vec<ObjectId>,
+        /// The already-locked write-set object, when the rejection was a
+        /// lock conflict (at most one: locking stops at the first failure).
+        locked: Option<ObjectId>,
     },
     /// Phase 2, commit: apply buffered writes, bump versions, count writes
     /// into the contention window, release locks.
@@ -305,7 +310,9 @@ impl Msg {
             Msg::PrepareReq {
                 validate, writes, ..
             } => HDR + VE * (validate.len() + writes.len()) as u64,
-            Msg::PrepareResp { invalid, .. } => HDR + 1 + OID * invalid.len() as u64,
+            Msg::PrepareResp {
+                invalid, locked, ..
+            } => HDR + 1 + OID * (invalid.len() as u64 + u64::from(locked.is_some())),
             Msg::CommitReq { writes, .. } => {
                 HDR + writes
                     .iter()

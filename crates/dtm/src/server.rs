@@ -250,13 +250,16 @@ impl Server {
                 self.stats.prepares += 1;
                 // Lock the write-set all-or-nothing on this replica.
                 let mut locked: Vec<ObjectId> = Vec::with_capacity(writes.len());
+                let mut lock_conflict: Option<ObjectId> = None;
                 let mut vote = true;
                 for &(obj, _) in &writes {
                     if self.store.try_lock(obj, txn) {
                         locked.push(obj);
                     } else {
-                        // Blame the contended object for the rejection.
+                        // Blame the contended object for the rejection,
+                        // locally and in the response.
                         self.contention.record_abort(obj, now);
+                        lock_conflict = Some(obj);
                         vote = false;
                         break;
                     }
@@ -291,7 +294,12 @@ impl Server {
                     }
                     self.stats.prepare_rejects += 1;
                 }
-                Some(Msg::PrepareResp { req, vote, invalid })
+                Some(Msg::PrepareResp {
+                    req,
+                    vote,
+                    invalid,
+                    locked: lock_conflict,
+                })
             }
             Msg::CommitReq { txn, req, writes } => {
                 self.stats.commits += 1;
@@ -532,19 +540,24 @@ mod tests {
             ),
             Some(Msg::PrepareResp { vote: true, .. })
         ));
-        // txn 2 wants OBJ2 then OBJ: OBJ conflicts, OBJ2 must be released.
-        assert!(matches!(
-            s.handle(
-                Msg::PrepareReq {
-                    txn: txn(2),
-                    req: 2,
-                    validate: vec![],
-                    writes: vec![(OBJ2, 0), (OBJ, 0)],
-                },
-                Instant::now()
-            ),
-            Some(Msg::PrepareResp { vote: false, .. })
-        ));
+        // txn 2 wants OBJ2 then OBJ: OBJ conflicts, OBJ2 must be released,
+        // and the response blames the object it could not lock.
+        match s.handle(
+            Msg::PrepareReq {
+                txn: txn(2),
+                req: 2,
+                validate: vec![],
+                writes: vec![(OBJ2, 0), (OBJ, 0)],
+            },
+            Instant::now(),
+        ) {
+            Some(Msg::PrepareResp {
+                vote: false,
+                locked,
+                ..
+            }) => assert_eq!(locked, Some(OBJ), "lock conflict must be attributable"),
+            other => panic!("{other:?}"),
+        }
         // txn 3 can now lock OBJ2 — proof the partial lock was released.
         assert!(matches!(
             s.handle(
@@ -653,7 +666,7 @@ mod tests {
     #[test]
     fn contention_query_reports_committed_writes() {
         let mut s = Server::new(WindowConfig {
-            window: Duration::from_millis(1),
+            window: Duration::from_millis(100),
         });
         let t0 = Instant::now();
         s.handle(
@@ -673,14 +686,15 @@ mod tests {
             },
             t0,
         );
-        std::thread::sleep(Duration::from_millis(5));
+        // Query one window later (within [window, 2·window), so the write
+        // window is the last *complete* one — any later and it is stale).
         match s
             .handle(
                 Msg::ContentionReq {
                     req: 3,
                     classes: vec![C.id, 99],
                 },
-                Instant::now(),
+                t0 + Duration::from_millis(150),
             )
             .unwrap()
         {
@@ -696,7 +710,7 @@ mod tests {
     #[test]
     fn piggybacked_sample_rides_on_read_responses() {
         let mut s = Server::new(WindowConfig {
-            window: Duration::from_millis(1),
+            window: Duration::from_millis(100),
         });
         let t0 = Instant::now();
         s.handle(
@@ -716,7 +730,8 @@ mod tests {
             },
             t0,
         );
-        std::thread::sleep(Duration::from_millis(5));
+        // Sample one window later so the write window is the last complete
+        // one (a multi-window gap would — correctly — read as cold).
         let resp = s
             .handle(
                 Msg::ReadReq {
@@ -726,7 +741,7 @@ mod tests {
                     validate: vec![],
                     sample: vec![C.id, 77],
                 },
-                Instant::now(),
+                t0 + Duration::from_millis(150),
             )
             .unwrap();
         match resp {

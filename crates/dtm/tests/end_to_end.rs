@@ -123,7 +123,10 @@ fn read_only_commit_validates() {
     ro.open(&mut c1, acct(1), false).unwrap();
     seed(&mut c0, acct(1), 6); // invalidate before the read-only commit
     match ro.commit(&mut c1) {
-        Err(DtmError::Conflict { invalid }) => assert_eq!(invalid, vec![acct(1)]),
+        Err(DtmError::Conflict { invalid, locked }) => {
+            assert_eq!(invalid, vec![acct(1)]);
+            assert!(locked.is_empty(), "validation failure, not a lock conflict");
+        }
         other => panic!("expected conflict, got {other:?}"),
     }
     cluster.shutdown();
@@ -291,7 +294,7 @@ fn recovered_stale_replica_reconciles_via_versions() {
 #[test]
 fn contention_query_sees_hot_class() {
     let mut cfg = ClusterConfig::test(4, 1);
-    cfg.window.window = std::time::Duration::from_millis(30);
+    cfg.window.window = std::time::Duration::from_millis(100);
     let cluster = Cluster::start(cfg);
     let mut c = cluster.client(0);
     // Hammer one branch, touch many accounts once.
@@ -299,7 +302,10 @@ fn contention_query_sees_hot_class() {
         seed(&mut c, branch(1), i);
         seed(&mut c, acct(i as u64), i);
     }
-    std::thread::sleep(std::time::Duration::from_millis(60));
+    // Query one window after the writes: within [window, 2·window) the
+    // write window is the last complete one and gets published; waiting
+    // past 2·window would (correctly, post-fix) read as cold.
+    std::thread::sleep(std::time::Duration::from_millis(130));
     let levels = c.query_contention(&[BRANCH.id, ACCOUNT.id]).unwrap();
     assert!(
         levels[&BRANCH.id] > levels[&ACCOUNT.id],

@@ -21,14 +21,16 @@ fn seed(client: &mut acn_dtm::DtmClient, obj: ObjectId, value: i64) {
 #[test]
 fn piggyback_learns_levels_without_extra_messages() {
     let mut cfg = ClusterConfig::test(4, 1);
-    cfg.window.window = Duration::from_millis(20);
+    cfg.window.window = Duration::from_millis(100);
     let cluster = Cluster::start(cfg);
     let mut client = cluster.client(0);
     let hot = ObjectId::new(BRANCH, 1);
     for i in 0..8 {
         seed(&mut client, hot, i);
     }
-    std::thread::sleep(Duration::from_millis(40));
+    // One window later the write burst is the last complete window (past
+    // 2·window it would — correctly — have faded to cold).
+    std::thread::sleep(Duration::from_millis(130));
 
     client.set_piggyback_classes(vec![BRANCH.id]);
     assert!(
@@ -134,21 +136,20 @@ fn reads_lock_out_behind_a_stalled_commit() {
 #[test]
 fn contention_levels_rise_and_fade() {
     let mut cfg = ClusterConfig::test(4, 1);
-    cfg.window.window = Duration::from_millis(25);
+    cfg.window.window = Duration::from_millis(100);
     let cluster = Cluster::start(cfg);
     let mut client = cluster.client(0);
     let hot = ObjectId::new(BRANCH, 1);
     for i in 0..10 {
         seed(&mut client, hot, i);
     }
-    std::thread::sleep(Duration::from_millis(50));
+    std::thread::sleep(Duration::from_millis(130));
     let levels = client.query_contention(&[BRANCH.id]).unwrap();
     assert!(levels[&BRANCH.id] > 0.0, "burst must register");
 
-    // Two idle windows later the class is cold again.
-    std::thread::sleep(Duration::from_millis(80));
-    let _ = client.query_contention(&[BRANCH.id]).unwrap(); // forces rotation
-    std::thread::sleep(Duration::from_millis(40));
+    // Multi-window silence clears the published level at the next
+    // rotation — no intermediate query needed to force it.
+    std::thread::sleep(Duration::from_millis(250));
     let levels = client.query_contention(&[BRANCH.id]).unwrap();
     assert_eq!(levels[&BRANCH.id], 0.0, "idle class must fade");
     cluster.shutdown();

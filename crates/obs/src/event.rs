@@ -1,0 +1,162 @@
+//! Structured transaction events and the abort taxonomy.
+//!
+//! Events are small `Copy` values so recording one into a
+//! [`crate::TraceRing`] is a couple of integer stores — cheap enough to
+//! leave enabled on every abort/commit/retry site of a saturation run.
+
+use acn_txir::ObjectId;
+
+/// Why an execution attempt (or one Block of it) was thrown away.
+///
+/// The first five kinds are emitted by the nesting executor and map
+/// one-to-one onto its [`ExecStats`]-incrementing sites, so
+/// `sum(attributed aborts over executor kinds) == full_aborts +
+/// partial_aborts + locked_aborts`. The checkpoint runner uses its own two
+/// kinds so a mixed run never conflates the two partial-rollback designs.
+///
+/// [`ExecStats`]: crate::ExecCounters
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbortKind {
+    /// Child-scope rollback of one Block (the closed-nesting win).
+    Partial,
+    /// Incremental read validation surfaced stale read-set entries in the
+    /// parent's history — full restart.
+    ReadInvalid,
+    /// Two-phase commit voted no (lock conflict or stale read at prepare).
+    CommitConflict,
+    /// A read kept hitting `protected` objects until the retry budget ran
+    /// out.
+    LockedOut,
+    /// A livelocked child exhausted its partial-retry budget and escalated
+    /// to a full restart.
+    Escalated,
+    /// Checkpoint runner: rollback to an intermediate checkpoint.
+    CkptRollback,
+    /// Checkpoint runner: restart from the very beginning.
+    CkptRestart,
+}
+
+impl AbortKind {
+    /// The executor kinds whose attributed counts sum to
+    /// `full_aborts + partial_aborts + locked_aborts` of the nesting
+    /// executor's stats (everything except the checkpoint-runner kinds).
+    pub const EXECUTOR_KINDS: [AbortKind; 5] = [
+        AbortKind::Partial,
+        AbortKind::ReadInvalid,
+        AbortKind::CommitConflict,
+        AbortKind::LockedOut,
+        AbortKind::Escalated,
+    ];
+
+    /// Stable lower-case label used in the JSON-lines export.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AbortKind::Partial => "partial",
+            AbortKind::ReadInvalid => "read_invalid",
+            AbortKind::CommitConflict => "commit_conflict",
+            AbortKind::LockedOut => "locked_out",
+            AbortKind::Escalated => "escalated",
+            AbortKind::CkptRollback => "ckpt_rollback",
+            AbortKind::CkptRestart => "ckpt_restart",
+        }
+    }
+
+    /// Inverse of [`AbortKind::label`] (JSON-lines import).
+    pub fn from_label(s: &str) -> Option<AbortKind> {
+        Some(match s {
+            "partial" => AbortKind::Partial,
+            "read_invalid" => AbortKind::ReadInvalid,
+            "commit_conflict" => AbortKind::CommitConflict,
+            "locked_out" => AbortKind::LockedOut,
+            "escalated" => AbortKind::Escalated,
+            "ckpt_rollback" => AbortKind::CkptRollback,
+            "ckpt_restart" => AbortKind::CkptRestart,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for AbortKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One structured event in a transaction's life, recorded into the
+/// per-thread [`crate::TraceRing`].
+///
+/// `block` is the index into the Block sequence where the event happened;
+/// `None` means the flat (single-Block) body or the commit phase, where no
+/// sub-transaction scope exists. `obj` is the first object the DTM blamed,
+/// when it blamed any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnEvent {
+    /// An execution attempt started (one per full restart).
+    Begin,
+    /// A Block started executing as a closed-nested sub-transaction.
+    BlockStart {
+        /// Index into the Block sequence.
+        block: u32,
+    },
+    /// A batched quorum read round fetched this Block's prefetchable opens.
+    BatchedRead {
+        /// Block the round belongs to (`None` = flat body).
+        block: Option<u32>,
+        /// Number of objects fetched in the round.
+        objs: u32,
+    },
+    /// A child-scope rollback: only this Block re-runs.
+    PartialAbort {
+        /// Block that rolled back.
+        block: u32,
+        /// First object blamed by the invalidation.
+        obj: Option<ObjectId>,
+        /// Why ([`AbortKind::Partial`] from the executor).
+        kind: AbortKind,
+    },
+    /// A full restart: the whole transaction re-runs from the top.
+    FullAbort {
+        /// Block in which the conflict surfaced (`None` = flat body or
+        /// commit phase).
+        block: Option<u32>,
+        /// First object blamed, when the DTM blamed one.
+        obj: Option<ObjectId>,
+        /// Why.
+        kind: AbortKind,
+    },
+    /// A quorum-unavailable round was absorbed by the retry policy.
+    UnavailableRetry,
+    /// The transaction committed.
+    Commit {
+        /// Full restarts this run absorbed before committing.
+        restarts: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for k in [
+            AbortKind::Partial,
+            AbortKind::ReadInvalid,
+            AbortKind::CommitConflict,
+            AbortKind::LockedOut,
+            AbortKind::Escalated,
+            AbortKind::CkptRollback,
+            AbortKind::CkptRestart,
+        ] {
+            assert_eq!(AbortKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(AbortKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn events_are_small() {
+        // The ring pre-allocates capacity × size_of::<TxnEvent>() bytes;
+        // keep the event word-sized-ish so a 4096-slot ring stays ≪ 1 MiB.
+        assert!(std::mem::size_of::<TxnEvent>() <= 48);
+    }
+}

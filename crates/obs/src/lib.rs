@@ -1,0 +1,33 @@
+//! Unified observability layer for the QR-ACN workspace.
+//!
+//! Three pieces, one crate, zero upward dependencies (only `acn-txir` for
+//! object identity, so every other crate can use it without cycles):
+//!
+//! - **Trace rings** ([`TraceRing`]): per-thread bounded buffers of
+//!   structured [`TxnEvent`]s — begin / block start / batched-read round /
+//!   partial abort / full restart / commit — overwrite-oldest with a drop
+//!   counter, so memory stays fixed while the tail of the story survives.
+//! - **Abort attribution** ([`AbortTable`], fed via [`TxnObserver`]):
+//!   exact counts keyed by `(class, block, kind)`. The executor emits one
+//!   event per stats increment, so attributed totals reconcile against
+//!   `ExecStats` to the unit.
+//! - **Metrics registry** ([`MetricsRegistry`] → [`MetricsReport`]):
+//!   neutral mirrors of executor / checkpoint / network / latency /
+//!   contention counters with a JSON-lines exporter whose output parses
+//!   back to an equal report.
+
+#![warn(missing_docs)]
+
+mod attribution;
+mod event;
+pub mod json;
+mod registry;
+mod trace;
+
+pub use attribution::{AbortSite, AbortTable, TxnObserver};
+pub use event::{AbortKind, TxnEvent};
+pub use registry::{
+    AbortRow, CheckpointCounters, ContentionLevel, ExecCounters, LatencySummary, MetricsRegistry,
+    MetricsReport, NetCounters,
+};
+pub use trace::{ObsConfig, TraceRing, TraceSummary, DEFAULT_TRACE_CAPACITY};

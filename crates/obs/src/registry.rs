@@ -1,0 +1,539 @@
+//! The unified metrics registry: one place where a run's executor,
+//! checkpoint, network, latency, contention, and attribution numbers meet.
+//!
+//! `acn-obs` sits below every other crate, so it cannot import their stats
+//! types; instead it defines neutral counter mirrors and the upper layers
+//! convert into them when they publish a snapshot. The payoff is a single
+//! [`MetricsReport`] that serialises to JSON-lines and parses back to an
+//! equal value, so exports are verifiable by round-trip rather than by
+//! inspection.
+
+use crate::attribution::{AbortSite, AbortTable};
+use crate::event::AbortKind;
+use crate::json::{parse_line, req_str, req_u64, JsonObj, JsonVal};
+use crate::trace::TraceSummary;
+use std::collections::BTreeMap;
+
+/// Mirror of the nesting executor's `ExecStats` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Full restarts (whole transaction re-ran).
+    pub full_aborts: u64,
+    /// Child-scope rollbacks (one Block re-ran).
+    pub partial_aborts: u64,
+    /// Retries after reads kept hitting locked objects.
+    pub locked_aborts: u64,
+    /// Quorum-unavailable rounds absorbed by the retry policy.
+    pub unavailable_retries: u64,
+}
+
+impl ExecCounters {
+    /// Every abort the executor attributed: the invariant checked by the
+    /// smoke test is `AbortTable::total_of(EXECUTOR_KINDS) == this`.
+    pub fn total_aborts(&self) -> u64 {
+        self.full_aborts + self.partial_aborts + self.locked_aborts
+    }
+}
+
+/// Mirror of the checkpoint runner's `CheckpointStats` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointCounters {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Rollbacks to an intermediate checkpoint.
+    pub rollbacks: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Restarts from the very beginning.
+    pub full_restarts: u64,
+}
+
+/// Mirror of the simulated network's `NetStatsSnapshot`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages enqueued on live inboxes.
+    pub delivered: u64,
+    /// Drops: destination failed.
+    pub dropped_failed: u64,
+    /// Drops: destination inbox closed.
+    pub dropped_closed: u64,
+    /// Drops: directed link failed (partitions).
+    pub dropped_link: u64,
+    /// Drops: chaos rule drop draw.
+    pub dropped_chaos: u64,
+    /// Extra copies from chaos duplication.
+    pub chaos_duplicated: u64,
+    /// Messages delay-reordered by chaos.
+    pub chaos_delayed: u64,
+    /// Payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Payload bytes enqueued on live inboxes.
+    pub bytes_delivered: u64,
+}
+
+/// Commit-latency percentiles in nanoseconds (integer, so the JSON
+/// round-trip is exact).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub samples: u64,
+    /// Median, as the containing bucket's upper bound.
+    pub p50_nanos: u64,
+    /// 95th percentile.
+    pub p95_nanos: u64,
+    /// 99th percentile.
+    pub p99_nanos: u64,
+}
+
+/// One class's contention-window reading from the DTM's Dynamic Module:
+/// mean writes / aborts per touched object in the last complete window.
+/// Levels are stored in integer milli-units (level × 1000, rounded) so the
+/// JSON round-trip is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentionLevel {
+    /// Class name.
+    pub class: String,
+    /// Write level × 1000.
+    pub writes_milli: u64,
+    /// Abort level × 1000.
+    pub aborts_milli: u64,
+}
+
+/// One attribution row, flattened for export ([`AbortTable`] carries
+/// `&'static` class names, which an importer cannot reconstruct).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbortRow {
+    /// Blamed class name, `None` when no object was blamed.
+    pub class: Option<String>,
+    /// Block index, `None` = flat body or commit phase.
+    pub block: Option<u32>,
+    /// Abort kind.
+    pub kind: AbortKind,
+    /// Occurrences.
+    pub count: u64,
+}
+
+/// Everything a run exports, in one comparable value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Free-form run description (`system`, `threads`, `seed`, …), in
+    /// insertion order.
+    pub meta: Vec<(String, String)>,
+    /// Executor counters.
+    pub exec: ExecCounters,
+    /// Checkpoint-runner counters, when that design ran.
+    pub checkpoint: Option<CheckpointCounters>,
+    /// Network counters.
+    pub net: NetCounters,
+    /// Commit-latency percentiles.
+    pub latency: LatencySummary,
+    /// Per-class contention-window levels, as sampled.
+    pub contention: Vec<ContentionLevel>,
+    /// Abort attribution rows, in [`AbortTable`] key order.
+    pub aborts: Vec<AbortRow>,
+    /// Trace-ring counters summed over threads.
+    pub trace: TraceSummary,
+}
+
+impl MetricsReport {
+    /// Total attributed aborts over the given kinds.
+    pub fn attributed_total_of(&self, kinds: &[AbortKind]) -> u64 {
+        self.aborts
+            .iter()
+            .filter(|r| kinds.contains(&r.kind))
+            .map(|r| r.count)
+            .sum()
+    }
+
+    /// Induced-abort count per class name, heaviest first (`None` groups
+    /// unattributed aborts; ties break on name).
+    pub fn top_classes(&self, k: usize) -> Vec<(String, u64)> {
+        let mut agg: BTreeMap<Option<&str>, u64> = BTreeMap::new();
+        for r in &self.aborts {
+            *agg.entry(r.class.as_deref()).or_insert(0) += r.count;
+        }
+        let mut out: Vec<(String, u64)> = agg
+            .into_iter()
+            .map(|(c, n)| (c.unwrap_or("<none>").to_owned(), n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// Serialise to JSON-lines: one flat object per line, first line is the
+    /// report header, last line is `{"type":"end"}` so truncation is
+    /// detectable.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&JsonObj::new("report").finish());
+        out.push('\n');
+        for (k, v) in &self.meta {
+            let mut o = JsonObj::new("meta");
+            o.str_field("key", k).str_field("value", v);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        {
+            let mut o = JsonObj::new("exec");
+            o.u64_field("commits", self.exec.commits)
+                .u64_field("full_aborts", self.exec.full_aborts)
+                .u64_field("partial_aborts", self.exec.partial_aborts)
+                .u64_field("locked_aborts", self.exec.locked_aborts)
+                .u64_field("unavailable_retries", self.exec.unavailable_retries);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        if let Some(c) = &self.checkpoint {
+            let mut o = JsonObj::new("checkpoint");
+            o.u64_field("commits", c.commits)
+                .u64_field("rollbacks", c.rollbacks)
+                .u64_field("checkpoints", c.checkpoints)
+                .u64_field("full_restarts", c.full_restarts);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        {
+            let n = &self.net;
+            let mut o = JsonObj::new("net");
+            o.u64_field("sent", n.sent)
+                .u64_field("delivered", n.delivered)
+                .u64_field("dropped_failed", n.dropped_failed)
+                .u64_field("dropped_closed", n.dropped_closed)
+                .u64_field("dropped_link", n.dropped_link)
+                .u64_field("dropped_chaos", n.dropped_chaos)
+                .u64_field("chaos_duplicated", n.chaos_duplicated)
+                .u64_field("chaos_delayed", n.chaos_delayed)
+                .u64_field("bytes_sent", n.bytes_sent)
+                .u64_field("bytes_delivered", n.bytes_delivered);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        {
+            let l = &self.latency;
+            let mut o = JsonObj::new("latency");
+            o.u64_field("samples", l.samples)
+                .u64_field("p50_nanos", l.p50_nanos)
+                .u64_field("p95_nanos", l.p95_nanos)
+                .u64_field("p99_nanos", l.p99_nanos);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        for c in &self.contention {
+            let mut o = JsonObj::new("contention");
+            o.str_field("class", &c.class)
+                .u64_field("writes_milli", c.writes_milli)
+                .u64_field("aborts_milli", c.aborts_milli);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        for r in &self.aborts {
+            let mut o = JsonObj::new("abort");
+            if let Some(c) = &r.class {
+                o.str_field("class", c);
+            }
+            o.i64_field("block", r.block.map(i64::from).unwrap_or(-1))
+                .str_field("kind", r.kind.label())
+                .u64_field("count", r.count);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        {
+            let t = &self.trace;
+            let mut o = JsonObj::new("trace");
+            o.u64_field("recorded", t.recorded)
+                .u64_field("dropped", t.dropped)
+                .u64_field("capacity", t.capacity);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        out.push_str(&JsonObj::new("end").finish());
+        out.push('\n');
+        out
+    }
+
+    /// Parse a JSON-lines export back into a report; inverse of
+    /// [`MetricsReport::to_json_lines`].
+    pub fn parse_json_lines(input: &str) -> Result<MetricsReport, String> {
+        let mut report = MetricsReport::default();
+        let mut saw_header = false;
+        let mut saw_end = false;
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if saw_end {
+                return Err(format!("line {}: content after end marker", lineno + 1));
+            }
+            let map = parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let ty = req_str(&map, "type").map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let ctx = |e: String| format!("line {} ({ty}): {e}", lineno + 1);
+            match ty.as_str() {
+                "report" => saw_header = true,
+                "end" => saw_end = true,
+                "meta" => report.meta.push((req_str(&map, "key").map_err(ctx)?, {
+                    req_str(&map, "value").map_err(ctx)?
+                })),
+                "exec" => {
+                    report.exec = ExecCounters {
+                        commits: req_u64(&map, "commits").map_err(ctx)?,
+                        full_aborts: req_u64(&map, "full_aborts").map_err(ctx)?,
+                        partial_aborts: req_u64(&map, "partial_aborts").map_err(ctx)?,
+                        locked_aborts: req_u64(&map, "locked_aborts").map_err(ctx)?,
+                        unavailable_retries: req_u64(&map, "unavailable_retries").map_err(ctx)?,
+                    }
+                }
+                "checkpoint" => {
+                    report.checkpoint = Some(CheckpointCounters {
+                        commits: req_u64(&map, "commits").map_err(ctx)?,
+                        rollbacks: req_u64(&map, "rollbacks").map_err(ctx)?,
+                        checkpoints: req_u64(&map, "checkpoints").map_err(ctx)?,
+                        full_restarts: req_u64(&map, "full_restarts").map_err(ctx)?,
+                    })
+                }
+                "net" => {
+                    report.net = NetCounters {
+                        sent: req_u64(&map, "sent").map_err(ctx)?,
+                        delivered: req_u64(&map, "delivered").map_err(ctx)?,
+                        dropped_failed: req_u64(&map, "dropped_failed").map_err(ctx)?,
+                        dropped_closed: req_u64(&map, "dropped_closed").map_err(ctx)?,
+                        dropped_link: req_u64(&map, "dropped_link").map_err(ctx)?,
+                        dropped_chaos: req_u64(&map, "dropped_chaos").map_err(ctx)?,
+                        chaos_duplicated: req_u64(&map, "chaos_duplicated").map_err(ctx)?,
+                        chaos_delayed: req_u64(&map, "chaos_delayed").map_err(ctx)?,
+                        bytes_sent: req_u64(&map, "bytes_sent").map_err(ctx)?,
+                        bytes_delivered: req_u64(&map, "bytes_delivered").map_err(ctx)?,
+                    }
+                }
+                "latency" => {
+                    report.latency = LatencySummary {
+                        samples: req_u64(&map, "samples").map_err(ctx)?,
+                        p50_nanos: req_u64(&map, "p50_nanos").map_err(ctx)?,
+                        p95_nanos: req_u64(&map, "p95_nanos").map_err(ctx)?,
+                        p99_nanos: req_u64(&map, "p99_nanos").map_err(ctx)?,
+                    }
+                }
+                "contention" => report.contention.push(ContentionLevel {
+                    class: req_str(&map, "class").map_err(ctx)?,
+                    writes_milli: req_u64(&map, "writes_milli").map_err(ctx)?,
+                    aborts_milli: req_u64(&map, "aborts_milli").map_err(ctx)?,
+                }),
+                "abort" => {
+                    let block = match map.get("block") {
+                        Some(JsonVal::Int(-1)) => None,
+                        Some(JsonVal::Int(n)) if (0..=i64::from(u32::MAX)).contains(n) => {
+                            Some(*n as u32)
+                        }
+                        other => return Err(ctx(format!("bad block field {other:?}"))),
+                    };
+                    let kind_label = req_str(&map, "kind").map_err(ctx)?;
+                    let kind = AbortKind::from_label(&kind_label)
+                        .ok_or_else(|| ctx(format!("unknown abort kind {kind_label:?}")))?;
+                    report.aborts.push(AbortRow {
+                        class: map.get("class").and_then(|v| v.as_str()).map(str::to_owned),
+                        block,
+                        kind,
+                        count: req_u64(&map, "count").map_err(ctx)?,
+                    });
+                }
+                "trace" => {
+                    report.trace = TraceSummary {
+                        recorded: req_u64(&map, "recorded").map_err(ctx)?,
+                        dropped: req_u64(&map, "dropped").map_err(ctx)?,
+                        capacity: req_u64(&map, "capacity").map_err(ctx)?,
+                    }
+                }
+                other => return Err(format!("line {}: unknown type {other:?}", lineno + 1)),
+            }
+        }
+        if !saw_header {
+            return Err("missing report header line".into());
+        }
+        if !saw_end {
+            return Err("missing end marker (truncated export?)".into());
+        }
+        Ok(report)
+    }
+}
+
+/// Builder that accumulates a run's metric sources and snapshots them into
+/// a [`MetricsReport`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    report: MetricsReport,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a free-form meta key/value (run description).
+    pub fn meta(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.report.meta.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Publish the executor counters.
+    pub fn exec(&mut self, exec: ExecCounters) -> &mut Self {
+        self.report.exec = exec;
+        self
+    }
+
+    /// Publish checkpoint-runner counters.
+    pub fn checkpoint(&mut self, c: CheckpointCounters) -> &mut Self {
+        self.report.checkpoint = Some(c);
+        self
+    }
+
+    /// Publish the network counters.
+    pub fn net(&mut self, net: NetCounters) -> &mut Self {
+        self.report.net = net;
+        self
+    }
+
+    /// Publish the latency percentiles.
+    pub fn latency(&mut self, latency: LatencySummary) -> &mut Self {
+        self.report.latency = latency;
+        self
+    }
+
+    /// Append one class's contention-window reading.
+    pub fn contention(&mut self, level: ContentionLevel) -> &mut Self {
+        self.report.contention.push(level);
+        self
+    }
+
+    /// Publish the abort attribution table (flattened to rows in key
+    /// order).
+    pub fn aborts(&mut self, table: &AbortTable) -> &mut Self {
+        self.report.aborts = table
+            .iter()
+            .map(|(site, &count)| {
+                let AbortSite { class, block, kind } = *site;
+                AbortRow {
+                    class: class.map(|c| c.name.to_owned()),
+                    block,
+                    kind,
+                    count,
+                }
+            })
+            .collect();
+        self
+    }
+
+    /// Publish the merged trace-ring counters.
+    pub fn trace(&mut self, trace: TraceSummary) -> &mut Self {
+        self.report.trace = trace;
+        self
+    }
+
+    /// The assembled report.
+    pub fn snapshot(&self) -> MetricsReport {
+        self.report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acn_txir::ObjClass;
+
+    fn sample_report() -> MetricsReport {
+        let mut table = AbortTable::new();
+        table.record_n(
+            AbortSite {
+                class: Some(ObjClass::new(1, "Branch")),
+                block: Some(0),
+                kind: AbortKind::Partial,
+            },
+            7,
+        );
+        table.record_n(
+            AbortSite {
+                class: None,
+                block: None,
+                kind: AbortKind::CommitConflict,
+            },
+            2,
+        );
+        let mut reg = MetricsRegistry::new();
+        reg.meta("system", "QrAcn")
+            .meta("seed", 42u64)
+            .exec(ExecCounters {
+                commits: 100,
+                full_aborts: 2,
+                partial_aborts: 7,
+                locked_aborts: 0,
+                unavailable_retries: 1,
+            })
+            .checkpoint(CheckpointCounters {
+                commits: 10,
+                rollbacks: 3,
+                checkpoints: 20,
+                full_restarts: 1,
+            })
+            .net(NetCounters {
+                sent: 500,
+                delivered: 498,
+                bytes_sent: 12_345,
+                bytes_delivered: 12_000,
+                ..Default::default()
+            })
+            .latency(LatencySummary {
+                samples: 100,
+                p50_nanos: 1_000_000,
+                p95_nanos: 2_000_000,
+                p99_nanos: 3_000_000,
+            })
+            .contention(ContentionLevel {
+                class: "Branch".into(),
+                writes_milli: 50_000,
+                aborts_milli: 9_000,
+            })
+            .aborts(&table)
+            .trace(TraceSummary {
+                recorded: 1_000,
+                dropped: 12,
+                capacity: 4096,
+            });
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_lines_round_trip_is_exact() {
+        let report = sample_report();
+        let text = report.to_json_lines();
+        let back = MetricsReport::parse_json_lines(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn attribution_matches_exec_counters() {
+        let report = sample_report();
+        assert_eq!(
+            report.attributed_total_of(&AbortKind::EXECUTOR_KINDS),
+            report.exec.total_aborts()
+        );
+        assert_eq!(report.top_classes(1), vec![("Branch".to_owned(), 7)]);
+    }
+
+    #[test]
+    fn truncated_export_is_rejected() {
+        let report = sample_report();
+        let text = report.to_json_lines();
+        let cut = &text[..text.len() - "{\"type\":\"end\"}\n".len()];
+        assert!(MetricsReport::parse_json_lines(cut)
+            .unwrap_err()
+            .contains("end marker"));
+        assert!(MetricsReport::parse_json_lines("")
+            .unwrap_err()
+            .contains("header"));
+    }
+}

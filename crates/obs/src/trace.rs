@@ -1,0 +1,181 @@
+//! Per-thread bounded trace ring.
+//!
+//! Each client thread owns one [`TraceRing`]; no synchronisation is needed
+//! on the record path (the "lock-free" in lock-free-ish is by
+//! construction: single writer, no sharing). Memory is bounded by the
+//! fixed capacity; once full, the oldest event is overwritten and counted
+//! in [`TraceRing::dropped`], so a long run keeps the *tail* of the trace
+//! — the part that explains the state the run ended in.
+
+use crate::event::TxnEvent;
+
+/// Default per-thread ring capacity (events, not bytes).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Observability knobs for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Capacity of each thread's trace ring, in events.
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+/// A fixed-capacity overwrite-oldest ring of [`TxnEvent`]s.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TxnEvent>,
+    /// Ring size in events (`Vec::capacity` may over-allocate, so the
+    /// logical bound is tracked separately).
+    cap: usize,
+    /// Next write position (wraps at `cap`).
+    head: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        TraceRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record one event: O(1), no allocation after the ring first fills.
+    pub fn push(&mut self, ev: TxnEvent) {
+        self.recorded += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+            self.head = self.buf.len() % self.cap;
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events ever recorded (dropped ones included).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TxnEvent> {
+        let (newer, older) = if self.buf.len() < self.cap {
+            (&self.buf[..], &[][..])
+        } else {
+            self.buf.split_at(self.head)
+        };
+        older.iter().chain(newer.iter())
+    }
+
+    /// Counter summary for merging across threads.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            recorded: self.recorded,
+            dropped: self.dropped,
+            capacity: self.cap as u64,
+        }
+    }
+}
+
+/// Aggregated ring counters — what a multi-thread run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Events recorded across all rings.
+    pub recorded: u64,
+    /// Events overwritten (bounded-memory drops) across all rings.
+    pub dropped: u64,
+    /// Total retained-event capacity across all rings.
+    pub capacity: u64,
+}
+
+impl TraceSummary {
+    /// Element-wise accumulate (per-thread collection).
+    pub fn merge(&mut self, other: &TraceSummary) {
+        self.recorded += other.recorded;
+        self.dropped += other.dropped;
+        self.capacity += other.capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u32) -> TxnEvent {
+        TxnEvent::BlockStart { block: n }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = TraceRing::new(3);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.len(), 3);
+        r.push(ev(3));
+        r.push(ev(4));
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.len(), 3, "memory stays bounded");
+        let got: Vec<u32> = r
+            .iter()
+            .map(|e| match e {
+                TxnEvent::BlockStart { block } => *block,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![2, 3, 4], "oldest first, tail retained");
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut r = TraceRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn summaries_merge() {
+        let mut r = TraceRing::new(2);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let mut total = r.summary();
+        total.merge(&r.summary());
+        assert_eq!(total.recorded, 10);
+        assert_eq!(total.dropped, 6);
+        assert_eq!(total.capacity, 4);
+    }
+}

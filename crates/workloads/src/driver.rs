@@ -14,8 +14,12 @@ use acn_core::{
     ExecutorConfig, ExecutorEngine, LatencyHistogram, RetryPolicy, StaticModule, SumModel,
 };
 use acn_dtm::{Cluster, ClusterConfig, HistoryLog};
-use acn_simnet::FaultPlan;
-use acn_txir::DependencyModel;
+use acn_obs::{
+    AbortTable, ContentionLevel, MetricsRegistry, MetricsReport, NetCounters, ObsConfig,
+    TraceSummary, TxnObserver,
+};
+use acn_simnet::{FaultPlan, NetStatsSnapshot};
+use acn_txir::{DependencyModel, ObjClass, Stmt};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,6 +81,10 @@ pub struct ScenarioConfig {
     /// When set, every client (the seeder included) appends its committed
     /// read/write versions here for the serializability checker.
     pub history: Option<Arc<HistoryLog>>,
+    /// Observability: when set, every worker records txn events and abort
+    /// attribution into a per-thread [`TxnObserver`], merged into
+    /// [`ScenarioResult::obs`] at the end. `None` = zero overhead.
+    pub obs: Option<ObsConfig>,
 }
 
 impl ScenarioConfig {
@@ -102,11 +110,15 @@ impl ScenarioConfig {
             seed: 42,
             chaos: None,
             history: None,
+            obs: None,
         }
     }
 }
 
-/// Commit/abort counts for one measurement window.
+/// Commit/abort counts for one measurement window. Carries every
+/// [`ExecStats`] counter — earlier versions dropped `locked_aborts` and
+/// `unavailable_retries` on the floor, which made lock-heavy and chaos
+/// runs look artificially clean.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IntervalStats {
     /// Transactions committed in the window.
@@ -115,6 +127,10 @@ pub struct IntervalStats {
     pub full_aborts: u64,
     /// Partial rollbacks absorbed in the window.
     pub partial_aborts: u64,
+    /// Restarts caused by persistent `protected` objects.
+    pub locked_aborts: u64,
+    /// Quorum-unavailable rounds absorbed by the retry policy.
+    pub unavailable_retries: u64,
 }
 
 /// The outcome of one scenario run.
@@ -133,6 +149,22 @@ pub struct ScenarioResult {
     /// Transactions that failed terminally (chaos runs only; always 0 on a
     /// healthy cluster, where a terminal failure panics instead).
     pub failed: u64,
+    /// Network counters accumulated over the whole run (seeding included).
+    pub net: NetStatsSnapshot,
+    /// Observability outputs, present when [`ScenarioConfig::obs`] was set.
+    pub obs: Option<ScenarioObs>,
+}
+
+/// Merged observability outputs of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioObs {
+    /// Abort attribution merged over all worker threads.
+    pub aborts: AbortTable,
+    /// Trace-ring counters merged over all worker threads.
+    pub trace: TraceSummary,
+    /// Per-class contention levels sampled from the cluster right after
+    /// the measurement deadline (empty if the quorum was unavailable).
+    pub contention: Vec<ContentionLevel>,
 }
 
 impl ScenarioResult {
@@ -165,6 +197,87 @@ impl ScenarioResult {
     pub fn total_full_aborts(&self) -> u64 {
         self.intervals.iter().map(|w| w.full_aborts).sum()
     }
+
+    /// Locked-out restarts across all windows.
+    pub fn total_locked_aborts(&self) -> u64 {
+        self.intervals.iter().map(|w| w.locked_aborts).sum()
+    }
+
+    /// Unavailable-retries across all windows.
+    pub fn total_unavailable_retries(&self) -> u64 {
+        self.intervals.iter().map(|w| w.unavailable_retries).sum()
+    }
+
+    /// Assemble the unified [`MetricsReport`] for this run: executor
+    /// totals, network counters, latency percentiles, plus attribution /
+    /// trace / contention when observability was enabled. `meta` key-values
+    /// are prepended to the run's own (`system`, `interval_ms`, `windows`).
+    pub fn metrics_report(&self, meta: &[(&str, String)]) -> MetricsReport {
+        let mut reg = MetricsRegistry::new();
+        reg.meta("system", self.system)
+            .meta("interval_ms", self.interval.as_millis())
+            .meta("windows", self.intervals.len());
+        for (k, v) in meta {
+            reg.meta(k, v);
+        }
+        reg.exec(acn_obs::ExecCounters {
+            commits: self.total_commits(),
+            full_aborts: self.total_full_aborts(),
+            partial_aborts: self.total_partial_aborts(),
+            locked_aborts: self.total_locked_aborts(),
+            unavailable_retries: self.total_unavailable_retries(),
+        })
+        .net(net_counters(&self.net))
+        .latency(self.latency.summary());
+        if let Some(obs) = &self.obs {
+            for level in &obs.contention {
+                reg.contention(level.clone());
+            }
+            reg.aborts(&obs.aborts).trace(obs.trace);
+        }
+        reg.snapshot()
+    }
+}
+
+fn net_counters(s: &NetStatsSnapshot) -> NetCounters {
+    NetCounters {
+        sent: s.sent,
+        delivered: s.delivered,
+        dropped_failed: s.dropped_failed,
+        dropped_closed: s.dropped_closed,
+        dropped_link: s.dropped_link,
+        dropped_chaos: s.dropped_chaos,
+        chaos_duplicated: s.chaos_duplicated,
+        chaos_delayed: s.chaos_delayed,
+        bytes_sent: s.bytes_sent,
+        bytes_delivered: s.bytes_delivered,
+    }
+}
+
+/// Every distinct object class the workload's templates open, in id order.
+fn collect_classes(dms: &[Arc<DependencyModel>]) -> Vec<ObjClass> {
+    fn walk(stmts: &[Stmt], out: &mut Vec<ObjClass>) {
+        for s in stmts {
+            match s {
+                Stmt::Open { class, .. } if !out.iter().any(|c| c.id == class.id) => {
+                    out.push(*class);
+                }
+                Stmt::Cond {
+                    then_br, else_br, ..
+                } => {
+                    walk(then_br, out);
+                    walk(else_br, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut classes = Vec::new();
+    for dm in dms {
+        walk(&dm.program.stmts, &mut classes);
+    }
+    classes.sort_by_key(|c| c.id);
+    classes
 }
 
 enum Plan {
@@ -176,6 +289,8 @@ struct Buckets {
     commits: Vec<AtomicU64>,
     fulls: Vec<AtomicU64>,
     partials: Vec<AtomicU64>,
+    locked: Vec<AtomicU64>,
+    unavail: Vec<AtomicU64>,
 }
 
 impl Buckets {
@@ -185,6 +300,8 @@ impl Buckets {
             commits: make(),
             fulls: make(),
             partials: make(),
+            locked: make(),
+            unavail: make(),
         }
     }
 }
@@ -270,6 +387,8 @@ pub fn run_scenario_with_model(
     let buckets = Buckets::new(cfg.intervals);
     let latency = Mutex::new(LatencyHistogram::new());
     let failed = AtomicU64::new(0);
+    // Per-thread observers merge here when the scope ends.
+    let merged_obs: Mutex<(AbortTable, TraceSummary)> = Mutex::new(Default::default());
     let deadline_len = cfg.interval * cfg.intervals as u32;
     let start = Instant::now();
 
@@ -308,6 +427,7 @@ pub fn run_scenario_with_model(
             let buckets = &buckets;
             let latency = &latency;
             let failed = &failed;
+            let merged_obs = &merged_obs;
             let plan = &plan;
             let dms = &dms;
             let engine = ExecutorEngine::with_config(cfg.retry, cfg.exec);
@@ -315,6 +435,7 @@ pub fn run_scenario_with_model(
             s.spawn(move || {
                 let mut stats = ExecStats::default();
                 let mut hist = LatencyHistogram::new();
+                let mut observer = cfg.obs.map(TxnObserver::new);
                 let mut prev = stats;
                 loop {
                     let elapsed = start.elapsed();
@@ -333,13 +454,14 @@ pub fn run_scenario_with_model(
                             c.current()
                         }
                     };
-                    if let Err(e) = engine.run_timed(
+                    if let Err(e) = engine.run_timed_observed(
                         &mut client,
                         &dm.program,
                         &req.params,
                         &seq,
                         &mut stats,
                         &mut hist,
+                        observer.as_mut(),
                     ) {
                         if cfg.chaos.is_some() {
                             // A fault window can legitimately starve this
@@ -362,9 +484,20 @@ pub fn run_scenario_with_model(
                         stats.partial_aborts - prev.partial_aborts,
                         Ordering::Relaxed,
                     );
+                    buckets.locked[idx]
+                        .fetch_add(stats.locked_aborts - prev.locked_aborts, Ordering::Relaxed);
+                    buckets.unavail[idx].fetch_add(
+                        stats.unavailable_retries - prev.unavailable_retries,
+                        Ordering::Relaxed,
+                    );
                     prev = stats;
                 }
                 latency.lock().merge(&hist);
+                if let Some(obs) = &observer {
+                    let mut m = merged_obs.lock();
+                    let (aborts, trace) = &mut *m;
+                    obs.merge_into(aborts, trace);
+                }
             });
         }
     });
@@ -373,6 +506,39 @@ pub fn run_scenario_with_model(
         Plan::Fixed(_) => 0,
         Plan::Acn(ctrls) => ctrls.iter().map(|c| c.refresh_count()).sum(),
     };
+
+    // While the cluster is still up: one contention sample over every class
+    // the workload touches (best-effort — a chaos plan may have taken the
+    // quorum down, in which case the report just omits contention rows).
+    let obs = cfg.obs.map(|_| {
+        let (aborts, trace) = merged_obs.into_inner();
+        let classes = collect_classes(&dms);
+        let ids: Vec<u16> = classes.iter().map(|c| c.id).collect();
+        let mut sampler = cluster.client(0);
+        let contention = match sampler.query_contention_full(&ids) {
+            Ok(sample) => classes
+                .iter()
+                .map(|c| {
+                    let milli = |m: &std::collections::HashMap<u16, f64>| {
+                        (m.get(&c.id).copied().unwrap_or(0.0) * 1000.0).round() as u64
+                    };
+                    ContentionLevel {
+                        class: c.name.to_string(),
+                        writes_milli: milli(&sample.writes),
+                        aborts_milli: milli(&sample.aborts),
+                    }
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        ScenarioObs {
+            aborts,
+            trace,
+            contention,
+        }
+    });
+
+    let net = cluster.net().stats();
     cluster.shutdown();
 
     ScenarioResult {
@@ -384,10 +550,14 @@ pub fn run_scenario_with_model(
                 commits: buckets.commits[i].load(Ordering::Relaxed),
                 full_aborts: buckets.fulls[i].load(Ordering::Relaxed),
                 partial_aborts: buckets.partials[i].load(Ordering::Relaxed),
+                locked_aborts: buckets.locked[i].load(Ordering::Relaxed),
+                unavailable_retries: buckets.unavail[i].load(Ordering::Relaxed),
             })
             .collect(),
         refreshes,
         failed: failed.into_inner(),
+        net,
+        obs,
     }
 }
 
@@ -485,15 +655,21 @@ mod tests {
                     commits: 50,
                     full_aborts: 1,
                     partial_aborts: 0,
+                    locked_aborts: 4,
+                    unavailable_retries: 0,
                 },
                 IntervalStats {
                     commits: 100,
                     full_aborts: 2,
                     partial_aborts: 3,
+                    locked_aborts: 1,
+                    unavailable_retries: 7,
                 },
             ],
             refreshes: 0,
             failed: 0,
+            net: NetStatsSnapshot::default(),
+            obs: None,
         };
         assert_eq!(r.throughput(0), 100.0);
         assert_eq!(r.throughput(1), 200.0);
@@ -501,5 +677,41 @@ mod tests {
         assert_eq!(r.total_commits(), 150);
         assert_eq!(r.total_full_aborts(), 3);
         assert_eq!(r.total_partial_aborts(), 3);
+        // Regression: these two used to be dropped on the floor.
+        assert_eq!(r.total_locked_aborts(), 5);
+        assert_eq!(r.total_unavailable_retries(), 7);
+        // The unified report carries every executor counter through.
+        let report = r.metrics_report(&[("bench", "unit".to_string())]);
+        assert_eq!(report.exec.commits, 150);
+        assert_eq!(report.exec.locked_aborts, 5);
+        assert_eq!(report.exec.unavailable_retries, 7);
+        let lines = report.to_json_lines();
+        let parsed = MetricsReport::parse_json_lines(&lines).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn observed_scenario_reconciles_attribution() {
+        let bank = Bank::new(BankConfig {
+            hot_pool: 4,
+            cold_pool: 64,
+            write_pct: 95,
+        });
+        let mut cfg = tiny(SystemKind::QrCn);
+        cfg.obs = Some(ObsConfig::default());
+        let r = run_scenario(&bank, &cfg);
+        assert!(r.total_commits() > 0);
+        assert!(r.net.sent > 0, "network counters captured");
+        let obs = r.obs.as_ref().expect("obs enabled");
+        // Exactness: every executor-counted abort was attributed once.
+        assert_eq!(
+            obs.aborts.total_of(&acn_obs::AbortKind::EXECUTOR_KINDS),
+            r.total_full_aborts() + r.total_partial_aborts() + r.total_locked_aborts(),
+            "attribution must reconcile with the interval counters"
+        );
+        assert!(obs.trace.recorded > 0, "events were traced");
+        let report = r.metrics_report(&[]);
+        let parsed = MetricsReport::parse_json_lines(&report.to_json_lines()).unwrap();
+        assert_eq!(parsed, report);
     }
 }

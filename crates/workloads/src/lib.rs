@@ -29,5 +29,7 @@ pub mod tpcc;
 pub mod vacation;
 mod workload;
 
-pub use driver::{run_scenario, IntervalStats, ScenarioConfig, ScenarioResult, SystemKind};
+pub use driver::{
+    run_scenario, IntervalStats, ScenarioConfig, ScenarioObs, ScenarioResult, SystemKind,
+};
 pub use workload::{TxnRequest, Workload};

@@ -20,6 +20,7 @@
 //! | [`quorum`] | `acn-quorum` | Agrawal–El Abbadi tree quorums (level-majority + classic) |
 //! | [`txir`] | `acn-txir` | transaction IR, UnitGraph, data-flow, UnitBlock extraction |
 //! | [`dtm`] | `acn-dtm` | QR-DTM replication protocol + QR-CN closed nesting + contention windows |
+//! | [`obs`] | `acn-obs` | observability: txn traces, abort attribution, unified metrics export |
 //! | [`core`] | `acn-core` | ACN: static/dynamic/algorithm modules, executor engine, controller |
 //! | [`workloads`] | `acn-workloads` | Bank, Vacation, TPC-C + the measurement driver |
 //!
@@ -78,6 +79,7 @@
 
 pub use acn_core as core;
 pub use acn_dtm as dtm;
+pub use acn_obs as obs;
 pub use acn_quorum as quorum;
 pub use acn_simnet as simnet;
 pub use acn_txir as txir;
@@ -94,6 +96,10 @@ pub mod prelude {
         check_history, ChildCtx, ClientConfig, Cluster, ClusterConfig, CommitRecord, DtmClient,
         DtmError, HistoryLog, HistorySummary, TxnCtx, TxnId, Violation,
     };
+    pub use acn_obs::{
+        AbortKind, AbortSite, AbortTable, MetricsRegistry, MetricsReport, ObsConfig, TraceRing,
+        TraceSummary, TxnEvent, TxnObserver,
+    };
     pub use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
     pub use acn_simnet::{
         ChaosProfile, ChaosRule, FaultAction, FaultPlan, LatencyModel, Network, NodeId, TimedFault,
@@ -103,6 +109,6 @@ pub mod prelude {
         Program, ProgramBuilder, Stmt, Value,
     };
     pub use acn_workloads::{
-        run_scenario, ScenarioConfig, ScenarioResult, SystemKind, TxnRequest, Workload,
+        run_scenario, ScenarioConfig, ScenarioObs, ScenarioResult, SystemKind, TxnRequest, Workload,
     };
 }

@@ -1,0 +1,87 @@
+//! Observability smoke test — the CI gate for the `acn-obs` layer.
+//!
+//! Runs a tiny contended Bank scenario with observability enabled and
+//! checks the layer's end-to-end contract: abort attribution reconciles
+//! *exactly* against the executor counters (no lost or double-counted
+//! events), the hot class is identified as the top aborter, and the
+//! JSON-lines export parses back to an equal report.
+
+use acn_workloads::bank::{Bank, BankConfig};
+use qr_acn::prelude::*;
+use std::time::Duration;
+
+fn observed_bank_scenario() -> ScenarioResult {
+    let bank = Bank::new(BankConfig {
+        hot_pool: 8,
+        cold_pool: 1024,
+        write_pct: 95,
+    });
+    let mut cfg = ScenarioConfig::scaled(SystemKind::QrCn, 4);
+    cfg.cluster = ClusterConfig::test(10, 4);
+    cfg.cluster.latency = LatencyModel::Zero;
+    cfg.cluster.window.window = Duration::from_millis(40);
+    cfg.intervals = 3;
+    cfg.interval = Duration::from_millis(80);
+    cfg.obs = Some(ObsConfig::default());
+    run_scenario(&bank, &cfg)
+}
+
+#[test]
+fn obs_smoke() {
+    let r = observed_bank_scenario();
+    assert!(r.total_commits() > 0, "scenario must make progress");
+    let obs = r.obs.as_ref().expect("observability was enabled");
+
+    // Attribution exactness: every abort the executor counted was
+    // attributed exactly once — equality, not approximation.
+    let counted = r.total_full_aborts() + r.total_partial_aborts() + r.total_locked_aborts();
+    assert_eq!(
+        obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS),
+        counted,
+        "attributed aborts must equal the executor's counters exactly"
+    );
+
+    // Four threads on an 8-object hot Branch pool: contention is real,
+    // and the hot class is the top aborter.
+    assert!(counted > 0, "hot-pool Bank run should see aborts");
+    let top = obs.aborts.top_classes(1);
+    assert_eq!(top[0].0, "Branch", "hot class must top the table: {top:?}");
+
+    // The trace ring saw the run (at least one event per commit).
+    assert!(obs.trace.recorded >= r.total_commits());
+
+    // JSON-lines export: parses, round-trips to an equal value, and the
+    // parsed counters match the run.
+    let report = r.metrics_report(&[("bench", "obs_smoke".to_string())]);
+    let text = report.to_json_lines();
+    let parsed = MetricsReport::parse_json_lines(&text).expect("export must parse");
+    assert_eq!(parsed, report, "JSON-lines round-trip must be exact");
+    assert_eq!(parsed.exec.commits, r.total_commits());
+    assert_eq!(parsed.exec.total_aborts(), counted);
+    assert_eq!(
+        parsed.attributed_total_of(&AbortKind::EXECUTOR_KINDS),
+        counted
+    );
+    assert_eq!(parsed.top_classes(1)[0].0, "Branch");
+}
+
+/// `ExecCounters` exposed through the report agree with the per-interval
+/// buckets — the regression guard for the counters the driver used to
+/// drop (`locked_aborts`, `unavailable_retries`).
+#[test]
+fn report_carries_every_interval_counter() {
+    let r = observed_bank_scenario();
+    let report = r.metrics_report(&[]);
+    assert_eq!(report.exec.commits, r.total_commits());
+    assert_eq!(report.exec.full_aborts, r.total_full_aborts());
+    assert_eq!(report.exec.partial_aborts, r.total_partial_aborts());
+    assert_eq!(report.exec.locked_aborts, r.total_locked_aborts());
+    assert_eq!(
+        report.exec.unavailable_retries,
+        r.total_unavailable_retries()
+    );
+    assert_eq!(
+        report.trace.recorded,
+        r.obs.as_ref().unwrap().trace.recorded
+    );
+}
