@@ -205,9 +205,9 @@ pub fn run_checkpointed_observed(
 fn blamed_object(e: &DtmError) -> Option<ObjectId> {
     match e {
         DtmError::Invalidated { objs } => objs.first().copied(),
-        DtmError::Conflict { invalid, locked } => {
-            invalid.first().or_else(|| locked.first()).copied()
-        }
+        DtmError::Conflict {
+            invalid, locked, ..
+        } => invalid.first().or_else(|| locked.first()).copied(),
         DtmError::LockedOut { obj } => Some(*obj),
         DtmError::Unavailable => None,
     }

@@ -646,8 +646,22 @@ impl ExecutorEngine {
                 );
                 AttemptError::Restart
             }
-            StepError::Dtm(DtmError::Conflict { invalid, locked }) => {
+            StepError::Dtm(DtmError::Conflict {
+                invalid,
+                locked,
+                syncing,
+            }) => {
                 stats.full_aborts += 1;
+                // A conflict that names no stale and no locked object and
+                // was flagged `syncing` is pure recovery back-pressure — a
+                // replica refused to vote while catching up after a
+                // crash-with-amnesia. Attribute it separately so chaos runs
+                // can tell recovery stalls from data contention.
+                let kind = if syncing && invalid.is_empty() && locked.is_empty() {
+                    AbortKind::SyncRefused
+                } else {
+                    AbortKind::CommitConflict
+                };
                 emit(
                     obs,
                     TxnEvent::FullAbort {
@@ -655,7 +669,7 @@ impl ExecutorEngine {
                         // Stale reads outrank lock conflicts for blame; a
                         // pure lock conflict blames the locked object.
                         obj: invalid.first().or_else(|| locked.first()).copied(),
-                        kind: AbortKind::CommitConflict,
+                        kind,
                     },
                 );
                 AttemptError::Restart
@@ -1140,6 +1154,96 @@ mod tests {
         assert_ne!(
             draws[0], draws[1],
             "two fresh threads must draw distinct jitter sequences"
+        );
+    }
+
+    #[test]
+    fn unavailable_retries_are_bounded_by_policy() {
+        // Fully partition the client from every server: each attempt must
+        // fail a quorum round, burn one unavailable retry, and the run must
+        // surface Unavailable after exactly `max_unavailable_retries`
+        // re-attempts — not loop forever and not give up early.
+        let mut cfg = ClusterConfig::test(4, 1);
+        cfg.client_cfg.rpc_timeout = Duration::from_millis(5);
+        cfg.client_cfg.quorum_retries = 0;
+        cfg.client_cfg.retry_backoff = Duration::ZERO;
+        let cluster = Cluster::start(cfg);
+        for rank in 0..4 {
+            cluster.fail_server(rank);
+        }
+        let mut client = cluster.client(0);
+        let dm = deposit_model();
+        let seq = BlockSeq::flat(&dm);
+        let engine = ExecutorEngine::new(RetryPolicy {
+            max_unavailable_retries: 3,
+            backoff_base: Duration::ZERO,
+            ..RetryPolicy::default()
+        });
+        let mut stats = ExecStats::default();
+        let err = engine
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(7), Value::Int(10)],
+                &seq,
+                &mut stats,
+            )
+            .unwrap_err();
+        assert_eq!(err, RunError::Unavailable);
+        assert_eq!(
+            stats.unavailable_retries, 3,
+            "exactly max_unavailable_retries re-attempts before surfacing"
+        );
+        assert_eq!(stats.commits, 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unavailable_fails_fast_with_default_policy() {
+        // The default policy keeps the historical fail-fast contract:
+        // zero unavailable retries, first quorum loss is fatal.
+        let mut cfg = ClusterConfig::test(4, 1);
+        cfg.client_cfg.rpc_timeout = Duration::from_millis(5);
+        cfg.client_cfg.quorum_retries = 0;
+        cfg.client_cfg.retry_backoff = Duration::ZERO;
+        let cluster = Cluster::start(cfg);
+        for rank in 0..4 {
+            cluster.fail_server(rank);
+        }
+        let mut client = cluster.client(0);
+        let dm = deposit_model();
+        let seq = BlockSeq::flat(&dm);
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        let err = engine
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(7), Value::Int(10)],
+                &seq,
+                &mut stats,
+            )
+            .unwrap_err();
+        assert_eq!(err, RunError::Unavailable);
+        assert_eq!(stats.unavailable_retries, 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn jitter_caps_the_exponent_at_large_attempt_counts() {
+        // jitter sleeps uniformly in [0, base · min(attempt, 16)): a huge
+        // attempt count must neither overflow the nanosecond product nor
+        // stretch the backoff past the 16× ceiling.
+        let base = Duration::from_nanos(100);
+        let start = std::time::Instant::now();
+        for _ in 0..32 {
+            rand_like::jitter(base, usize::MAX);
+        }
+        // 32 sleeps of < 1.6µs each: generous margin for scheduler slop,
+        // but orders of magnitude below an uncapped base·attempt product.
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "jitter at attempt=usize::MAX must stay capped at 16x base"
         );
     }
 

@@ -28,6 +28,12 @@ pub struct ClientConfig {
     /// at 16×) with uniform jitter, so retries from clients that timed out
     /// together do not stampede back in lock-step.
     pub retry_backoff: Duration,
+    /// Read repair: after a quorum read, push the freshest version back to
+    /// at most this many lagging responders per round (fire-and-forget
+    /// [`Msg::RepairWrite`], no ack awaited). Safe because repairs install
+    /// only already-committed versions and the store is forward-only; 0
+    /// disables repair.
+    pub read_repair_max: usize,
 }
 
 impl Default for ClientConfig {
@@ -40,6 +46,7 @@ impl Default for ClientConfig {
             locked_retries: 20,
             locked_backoff: Duration::from_micros(200),
             retry_backoff: Duration::from_micros(200),
+            read_repair_max: 2,
         }
     }
 }
@@ -78,6 +85,14 @@ pub struct ClientStats {
     /// side), so reachable servers release locks without waiting for the
     /// prepared-entry TTL.
     pub best_effort_aborts: u64,
+    /// Read-repair messages sent to lagging responders (fire-and-forget;
+    /// whether each repair actually advanced the replica is counted
+    /// server-side).
+    pub repair_writes_sent: u64,
+    /// Responses refused because the replica was catching up after a
+    /// crash-with-amnesia: [`Msg::Syncing`] read refusals plus
+    /// syncing-flagged prepare no-votes.
+    pub sync_refusals_seen: u64,
 }
 
 /// A client node's connection to the DTM: it executes remote operations on
@@ -194,15 +209,32 @@ impl DtmClient {
     /// layer can duplicate a reply in flight, and counting one server twice
     /// toward a quorum would void quorum intersection. Other strays are
     /// discarded by request id.
+    ///
+    /// A [`Msg::Syncing`] refusal (the replica is catching up after a
+    /// crash-with-amnesia) never counts toward the quorum; once refusals
+    /// leave fewer than `need` of the `total` contacted members able to
+    /// answer, the round fails fast as `Unavailable` instead of burning the
+    /// full deadline on replies that cannot arrive.
     fn gather(
         &mut self,
         req: ReqId,
         need: usize,
+        total: usize,
         deadline: Instant,
         got: &mut Vec<(NodeId, Msg)>,
     ) -> Result<(), DtmError> {
+        let mut refused: Vec<NodeId> = Vec::new();
         while got.len() < need {
             match self.endpoint.recv_deadline(deadline) {
+                Ok((src, Msg::Syncing { req: r })) if r == req => {
+                    if !refused.contains(&src) {
+                        refused.push(src);
+                        self.stats.sync_refusals_seen += 1;
+                        if total - refused.len() < need {
+                            return Err(DtmError::Unavailable);
+                        }
+                    }
+                }
                 Ok((src, m))
                     if m.response_req() == Some(req) && !got.iter().any(|&(s, _)| s == src) =>
                 {
@@ -257,7 +289,7 @@ impl DtmClient {
         self.endpoint.broadcast(&nodes, msg, bytes);
         let deadline = Instant::now() + self.cfg.rpc_timeout;
         let mut got = Vec::with_capacity(need);
-        self.gather(req, need, deadline, &mut got)?;
+        self.gather(req, need, members.len(), deadline, &mut got)?;
         self.stats.quorum_waits_saved += (members.len() - got.len()) as u64;
         Ok(got)
     }
@@ -293,7 +325,10 @@ impl DtmClient {
             // another chance to respond.
             self.endpoint.broadcast(&nodes, msg.clone(), bytes);
             let deadline = Instant::now() + self.cfg.rpc_timeout;
-            if self.gather(req, members.len(), deadline, &mut got).is_ok() {
+            if self
+                .gather(req, members.len(), members.len(), deadline, &mut got)
+                .is_ok()
+            {
                 return Ok(got.into_iter().map(|(_, m)| m).collect());
             }
         }
@@ -368,7 +403,10 @@ impl DtmClient {
             let mut any_locked = false;
             let mut best: Option<(Version, ObjectVal)> = None;
             let mut sampled: HashMap<u16, f64> = HashMap::new();
-            for (_, r) in resps {
+            // (responder, version it served, was it locked there) — feeds
+            // read repair once the freshest version is known.
+            let mut served: Vec<(NodeId, Version, bool)> = Vec::with_capacity(resps.len());
+            for (src, r) in resps {
                 if let Msg::ReadResp {
                     version,
                     value,
@@ -378,6 +416,7 @@ impl DtmClient {
                     ..
                 } = r
                 {
+                    served.push((src, version, locked));
                     invalid.extend(inv);
                     for (c, l) in levels {
                         let e = sampled.entry(c).or_insert(0.0);
@@ -415,7 +454,31 @@ impl DtmClient {
                 std::thread::sleep(self.cfg.locked_backoff);
                 continue;
             }
-            return Ok(best.expect("quorum is non-empty"));
+            let (best_version, best_value) = best.expect("quorum is non-empty");
+            // Read repair: push the freshest committed copy back to lagging
+            // responders (bounded, fire-and-forget). Locked responders are
+            // skipped — the in-flight commit holding the lock will install
+            // a version ≥ ours anyway.
+            if self.cfg.read_repair_max > 0 && best_version > 0 {
+                let lagging: Vec<NodeId> = served
+                    .iter()
+                    .filter(|&&(_, v, locked)| !locked && v < best_version)
+                    .map(|&(src, _, _)| src)
+                    .take(self.cfg.read_repair_max)
+                    .collect();
+                if !lagging.is_empty() {
+                    let req = self.next_req;
+                    self.next_req += 1;
+                    let msg = Msg::RepairWrite {
+                        req,
+                        writes: vec![(obj, best_version, best_value.clone())],
+                    };
+                    let bytes = msg.wire_bytes();
+                    self.endpoint.broadcast(&lagging, msg, bytes);
+                    self.stats.repair_writes_sent += lagging.len() as u64;
+                }
+            }
+            return Ok((best_version, best_value));
         }
     }
 
@@ -492,6 +555,8 @@ impl DtmClient {
             let mut best: Vec<Option<(Version, ObjectVal)>> = vec![None; objs.len()];
             let mut sampled: HashMap<u16, f64> = HashMap::new();
             let mut repliers: Vec<NodeId> = Vec::with_capacity(resps.len());
+            // Per responder: (version, locked) in request order, for repair.
+            let mut served: Vec<(NodeId, Vec<(Version, bool)>)> = Vec::with_capacity(resps.len());
             for (src, r) in resps {
                 if let Msg::ReadBatchResp {
                     reads,
@@ -509,13 +574,16 @@ impl DtmClient {
                             *e = l;
                         }
                     }
+                    let mut versions = Vec::with_capacity(objs.len());
                     for (i, read) in reads.into_iter().enumerate().take(objs.len()) {
+                        versions.push((read.version, read.locked));
                         if read.locked {
                             locked_obj.get_or_insert(read.obj);
                         } else if best[i].as_ref().is_none_or(|(v, _)| read.version > *v) {
                             best[i] = Some((read.version, read.value));
                         }
                     }
+                    served.push((src, versions));
                 }
             }
             if !sampled.is_empty() {
@@ -542,6 +610,38 @@ impl DtmClient {
             for node in repliers {
                 let w = watermarks.entry(node).or_insert(0);
                 *w = (*w).max(validate.len());
+            }
+            // Read repair, batched per lagging responder: each repaired
+            // node gets one RepairWrite carrying exactly the objects it
+            // served stale (and unlocked). Bounded and fire-and-forget,
+            // like the single-object path.
+            if self.cfg.read_repair_max > 0 {
+                let mut repaired = 0usize;
+                for (node, versions) in &served {
+                    if repaired >= self.cfg.read_repair_max {
+                        break;
+                    }
+                    let writes: Vec<(ObjectId, Version, ObjectVal)> = versions
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &(v, locked))| match &best[i] {
+                            Some((bv, bval)) if !locked && v < *bv => {
+                                Some((objs[i], *bv, bval.clone()))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    if writes.is_empty() {
+                        continue;
+                    }
+                    let req = self.next_req;
+                    self.next_req += 1;
+                    let msg = Msg::RepairWrite { req, writes };
+                    let bytes = msg.wire_bytes();
+                    self.endpoint.send_sized(*node, msg, bytes);
+                    self.stats.repair_writes_sent += 1;
+                    repaired += 1;
+                }
             }
             return Ok(objs
                 .iter()
@@ -605,16 +705,22 @@ impl DtmClient {
         let mut all_yes = true;
         let mut invalid: Vec<ObjectId> = Vec::new();
         let mut locked: Vec<ObjectId> = Vec::new();
+        let mut sync_refused = false;
         for r in &resps {
             if let Msg::PrepareResp {
                 vote,
                 invalid: inv,
                 locked: lock,
+                syncing,
                 ..
             } = r
             {
                 if !vote {
                     all_yes = false;
+                }
+                if *syncing {
+                    sync_refused = true;
+                    self.stats.sync_refusals_seen += 1;
                 }
                 invalid.extend(inv.iter().copied());
                 locked.extend(lock.iter().copied());
@@ -625,7 +731,11 @@ impl DtmClient {
             invalid.dedup();
             locked.sort_unstable();
             locked.dedup();
-            DtmError::Conflict { invalid, locked }
+            DtmError::Conflict {
+                invalid,
+                locked,
+                syncing: sync_refused,
+            }
         };
         if writes.is_empty() {
             // Read-only: validation outcome is the commit outcome.

@@ -3,7 +3,7 @@
 use crate::client::{ClientConfig, DtmClient};
 use crate::contention::WindowConfig;
 use crate::messages::Msg;
-use crate::server::{Server, ServerStats};
+use crate::server::{Server, ServerStats, SyncConfig};
 use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
 use acn_simnet::{FaultPlan, LatencyModel, Network, NodeId};
 use std::thread::JoinHandle;
@@ -87,6 +87,11 @@ impl Cluster {
                 let endpoint = net.endpoint(NodeId(rank as u32));
                 let mut server = Server::new(cfg.window);
                 server.set_prepared_ttl(cfg.prepared_ttl);
+                server.set_sync_config(SyncConfig {
+                    quorums: quorums.clone(),
+                    rank,
+                    servers: cfg.servers,
+                });
                 std::thread::Builder::new()
                     .name(format!("qr-server-{rank}"))
                     .spawn(move || server.run(endpoint))
@@ -128,6 +133,15 @@ impl Cluster {
     pub fn fail_server(&self, rank: usize) {
         assert!(rank < self.cfg.servers);
         self.net.fail(NodeId(rank as u32));
+    }
+
+    /// Crash server `rank` *with amnesia*: besides dropping its messages,
+    /// the replica wipes its store, prepared table and dedup cache, and —
+    /// once recovered — must catch up from a read quorum of peers before it
+    /// serves reads or votes in prepares again.
+    pub fn fail_server_amnesia(&self, rank: usize) {
+        assert!(rank < self.cfg.servers);
+        self.net.fail_amnesia(NodeId(rank as u32));
     }
 
     /// Recover server `rank`.

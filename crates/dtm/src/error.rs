@@ -32,6 +32,12 @@ pub enum DtmError {
         /// validation failures). Feeds abort attribution: without it a
         /// lock conflict blamed no object at all.
         locked: Vec<ObjectId>,
+        /// True when at least one quorum member refused to vote because it
+        /// was still catching up after a crash-with-amnesia. A conflict
+        /// with *only* this set (no stale, no locked objects) is transient
+        /// recovery back-pressure, not data contention — the abort
+        /// attribution layer classifies it separately.
+        syncing: bool,
     },
     /// A read kept hitting `protected` objects and gave up after the
     /// configured number of retries.
@@ -47,10 +53,14 @@ impl fmt::Display for DtmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DtmError::Invalidated { objs } => write!(f, "read-set invalidated: {objs:?}"),
-            DtmError::Conflict { invalid, locked } => {
+            DtmError::Conflict {
+                invalid,
+                locked,
+                syncing,
+            } => {
                 write!(
                     f,
-                    "commit conflict (stale: {invalid:?}, locked: {locked:?})"
+                    "commit conflict (stale: {invalid:?}, locked: {locked:?}, syncing: {syncing})"
                 )
             }
             DtmError::LockedOut { obj } => write!(f, "read locked out on {obj}"),

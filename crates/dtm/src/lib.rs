@@ -47,5 +47,5 @@ pub use context::{ChildCtx, TxnCtx};
 pub use error::{AbortScope, DtmError};
 pub use history::{check_history, CommitRecord, HistoryLog, HistorySummary, Violation};
 pub use messages::{kind as msg_kind, BatchRead, Msg, ReqId, TxnId, ValidateEntry, Version};
-pub use server::{Server, ServerStats};
-pub use store::{Store, VersionedObject};
+pub use server::{Server, ServerStats, SyncConfig};
+pub use store::{ClassDigest, Store, StoreDigest, VersionedObject};

@@ -144,6 +144,11 @@ pub enum Msg {
         /// The already-locked write-set object, when the rejection was a
         /// lock conflict (at most one: locking stops at the first failure).
         locked: Option<ObjectId>,
+        /// The replica refused to vote because it is still catching up
+        /// after a crash-with-amnesia. Always a no-vote with empty
+        /// `invalid`/`locked`; the client must not blame an object and
+        /// should retry against a fresh quorum.
+        syncing: bool,
     },
     /// Phase 2, commit: apply buffered writes, bump versions, count writes
     /// into the contention window, release locks.
@@ -191,6 +196,47 @@ pub enum Msg {
         /// Per-class abort ratios.
         abort_levels: Vec<(u16, f64)>,
     },
+    /// Recovering server → peer server: a replica that lost its state to a
+    /// crash-with-amnesia asks for a full object/version inventory. The
+    /// `incarnation` (bumped on every wipe) lets the requester discard
+    /// stale responses to a previous recovery attempt.
+    SyncReq {
+        /// Correlation id (the recovering server's own counter).
+        req: ReqId,
+        /// The requester's recovery incarnation this request belongs to.
+        incarnation: u64,
+    },
+    /// Peer server → recovering server: the peer's complete inventory.
+    /// Servers that are themselves syncing do not answer — an amnesiac
+    /// store full of version-0 entries must never seed another replica.
+    SyncResp {
+        /// Correlation id, echoed from the [`Msg::SyncReq`].
+        req: ReqId,
+        /// The requester's incarnation, echoed for staleness filtering.
+        incarnation: u64,
+        /// `(object, version, value)` for every object the peer holds.
+        entries: Vec<(ObjectId, Version, ObjectVal)>,
+    },
+    /// Client → lagging read-quorum member, fire-and-forget: after a
+    /// quorum read disagreed on versions, push the winning copy back to
+    /// the responders that served an older one. Applied through the same
+    /// forward-only [`crate::Store::apply`] as commits, so a concurrent
+    /// newer commit can never be regressed. No response message.
+    RepairWrite {
+        /// Correlation id (unused — there is no reply — but kept for
+        /// uniform tracing).
+        req: ReqId,
+        /// `(object, version, value)` copies to install if newer.
+        writes: Vec<(ObjectId, Version, ObjectVal)>,
+    },
+    /// Server → client: the replica cannot serve reads because it is
+    /// catching up after a crash-with-amnesia. The client treats the
+    /// responder as unavailable for this round (it does not count toward
+    /// the quorum) without waiting out the RPC timeout.
+    Syncing {
+        /// Correlation id, echoed from the refused request.
+        req: ReqId,
+    },
     /// Orderly server termination (cluster shutdown).
     Shutdown,
 }
@@ -226,6 +272,14 @@ pub mod kind {
     pub const CONTENTION_RESP: MsgKind = 11;
     /// [`super::Msg::Shutdown`]
     pub const SHUTDOWN: MsgKind = 12;
+    /// [`super::Msg::SyncReq`]
+    pub const SYNC_REQ: MsgKind = 13;
+    /// [`super::Msg::SyncResp`]
+    pub const SYNC_RESP: MsgKind = 14;
+    /// [`super::Msg::RepairWrite`]
+    pub const REPAIR_WRITE: MsgKind = 15;
+    /// [`super::Msg::Syncing`]
+    pub const SYNCING: MsgKind = 16;
 }
 
 impl Msg {
@@ -244,6 +298,10 @@ impl Msg {
             Msg::AbortAck { .. } => kind::ABORT_ACK,
             Msg::ContentionReq { .. } => kind::CONTENTION_REQ,
             Msg::ContentionResp { .. } => kind::CONTENTION_RESP,
+            Msg::SyncReq { .. } => kind::SYNC_REQ,
+            Msg::SyncResp { .. } => kind::SYNC_RESP,
+            Msg::RepairWrite { .. } => kind::REPAIR_WRITE,
+            Msg::Syncing { .. } => kind::SYNCING,
             Msg::Shutdown => kind::SHUTDOWN,
         }
     }
@@ -256,7 +314,9 @@ impl Msg {
             | Msg::PrepareResp { req, .. }
             | Msg::CommitAck { req }
             | Msg::AbortAck { req }
-            | Msg::ContentionResp { req, .. } => Some(*req),
+            | Msg::ContentionResp { req, .. }
+            | Msg::SyncResp { req, .. }
+            | Msg::Syncing { req } => Some(*req),
             _ => None,
         }
     }
@@ -312,8 +372,12 @@ impl Msg {
             } => HDR + VE * (validate.len() + writes.len()) as u64,
             Msg::PrepareResp {
                 invalid, locked, ..
-            } => HDR + 1 + OID * (invalid.len() as u64 + u64::from(locked.is_some())),
-            Msg::CommitReq { writes, .. } => {
+            } => HDR + 2 + OID * (invalid.len() as u64 + u64::from(locked.is_some())),
+            Msg::CommitReq { writes, .. }
+            | Msg::SyncResp {
+                entries: writes, ..
+            }
+            | Msg::RepairWrite { writes, .. } => {
                 HDR + writes
                     .iter()
                     .map(|(_, _, v)| VE + val_bytes(v))
@@ -327,6 +391,8 @@ impl Msg {
                 abort_levels,
                 ..
             } => HDR + LVL * (levels.len() + abort_levels.len()) as u64,
+            Msg::SyncReq { .. } => HDR + 8,
+            Msg::Syncing { .. } => HDR,
             Msg::Shutdown => HDR,
         }
     }
@@ -390,6 +456,81 @@ mod tests {
             None,
             "requests are not responses"
         );
+        assert_eq!(
+            Msg::SyncResp {
+                req: 10,
+                incarnation: 1,
+                entries: vec![]
+            }
+            .response_req(),
+            Some(10)
+        );
+        assert_eq!(
+            Msg::Syncing { req: 11 }.response_req(),
+            Some(11),
+            "a sync refusal correlates with the refused request"
+        );
+        assert_eq!(
+            Msg::SyncReq {
+                req: 1,
+                incarnation: 1
+            }
+            .response_req(),
+            None
+        );
+        assert_eq!(
+            Msg::RepairWrite {
+                req: 1,
+                writes: vec![]
+            }
+            .response_req(),
+            None,
+            "repair writes are fire-and-forget"
+        );
+    }
+
+    #[test]
+    fn recovery_messages_have_distinct_kinds() {
+        let t = TxnId {
+            client: NodeId(0),
+            seq: 1,
+        };
+        let all = [
+            Msg::SyncReq {
+                req: 1,
+                incarnation: 1,
+            },
+            Msg::SyncResp {
+                req: 1,
+                incarnation: 1,
+                entries: vec![],
+            },
+            Msg::RepairWrite {
+                req: 1,
+                writes: vec![],
+            },
+            Msg::Syncing { req: 1 },
+            Msg::PrepareReq {
+                txn: t,
+                req: 1,
+                validate: vec![],
+                writes: vec![],
+            },
+        ];
+        let kinds: std::collections::HashSet<_> = all.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), all.len(), "kinds must not collide");
+        assert_eq!(all[0].kind(), kind::SYNC_REQ);
+        assert_eq!(all[3].kind(), kind::SYNCING);
+        // Sync payload cost scales with the inventory like a commit's.
+        use acn_txir::ObjClass;
+        let obj = |i| ObjectId::new(ObjClass::new(1, "c"), i);
+        let resp = |n: u64| Msg::SyncResp {
+            req: 1,
+            incarnation: 1,
+            entries: (0..n).map(|i| (obj(i), i, ObjectVal::new())).collect(),
+        };
+        let per_entry = resp(2).wire_bytes() - resp(1).wire_bytes();
+        assert!(per_entry >= 20, "entries are not free: {per_entry}");
     }
 
     #[test]

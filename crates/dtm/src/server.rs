@@ -2,14 +2,15 @@
 
 use crate::contention::{ContentionWindow, WindowConfig};
 use crate::messages::{Msg, ReqId, TxnId};
-use crate::store::Store;
-use acn_simnet::{Endpoint, RecvError};
+use crate::store::{Store, StoreDigest};
+use acn_quorum::LevelQuorums;
+use acn_simnet::{Endpoint, NodeId, RecvError};
 use acn_txir::ObjectId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Counters a server reports on shutdown.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Read requests served.
     pub reads: u64,
@@ -31,6 +32,40 @@ pub struct ServerStats {
     /// Retried 2PC requests answered from the dedup cache instead of being
     /// re-executed (duplicate (txn, req) Prepare/Commit/Abort).
     pub dedup_hits: u64,
+    /// Amnesia wipes this replica performed (state lost, catch-up begun).
+    pub amnesia_wipes: u64,
+    /// Prepare votes refused because this replica was still catching up.
+    pub sync_vote_refusals: u64,
+    /// Read rounds refused ([`Msg::Syncing`] sent) while catching up.
+    pub sync_read_refusals: u64,
+    /// Objects whose copy moved forward while absorbing peer inventories.
+    pub sync_objects_received: u64,
+    /// Inventories served to recovering peers.
+    pub syncs_served: u64,
+    /// Catch-up rounds completed (responders covered a read quorum).
+    pub syncs_completed: u64,
+    /// Client repair writes received (messages, not objects).
+    pub repair_writes_received: u64,
+    /// Repaired objects that actually advanced this replica's copy.
+    pub repair_writes_applied: u64,
+    /// Per-class store fingerprint, filled when the stats are taken — the
+    /// cheap divergence check between replicas.
+    pub digest: StoreDigest,
+}
+
+/// Cluster-awareness a server needs to run the catch-up protocol after a
+/// crash-with-amnesia: which peers exist and what counts as a read quorum
+/// among those that answered. Servers without one (standalone unit-test
+/// servers) skip catch-up and restart empty.
+#[derive(Clone)]
+pub struct SyncConfig {
+    /// The cluster's quorum structure (shared with clients).
+    pub quorums: LevelQuorums,
+    /// This server's own rank (excluded from its sync quorum: a replica's
+    /// pre-crash quorum participation is void once its state is lost).
+    pub rank: usize,
+    /// Total number of servers (ranks `0..servers`).
+    pub servers: usize,
 }
 
 /// Locks a transaction holds on this replica between prepare and phase 2.
@@ -64,7 +99,36 @@ pub struct Server {
     /// Insertion order of `completed`, for FIFO eviction.
     completed_order: VecDeque<(TxnId, ReqId)>,
     stats: ServerStats,
+    /// Window shape, kept to rebuild the contention window after a wipe.
+    window: WindowConfig,
+    /// Cluster-awareness for catch-up sync (`None` = standalone server).
+    sync: Option<SyncConfig>,
+    /// True from an amnesia wipe until peer inventories covering a read
+    /// quorum have been absorbed. While set, reads and prepare votes are
+    /// refused; phase-2 commits/aborts (decisions already made) and
+    /// repair writes are still applied.
+    syncing: bool,
+    /// Recovery incarnation, bumped on every wipe. Stale [`Msg::SyncResp`]s
+    /// from a previous recovery attempt are discarded by it.
+    incarnation: u64,
+    /// Peer ranks that answered the current incarnation's [`Msg::SyncReq`].
+    sync_responders: HashSet<usize>,
+    /// Correlation ids for server-originated requests (SyncReq).
+    server_req: ReqId,
+    /// Last amnesia epoch acted upon (vs. the endpoint's fault table).
+    amnesia_seen: u64,
+    /// When the message-path lazy sweep last ran (see [`Server::handle`]).
+    last_sweep: Instant,
 }
+
+/// Lock-release sentinel for writes installed outside 2PC (sync catch-up
+/// and client read-repair): a transaction id no client can mint — client
+/// node ids start at the server count — so [`Store::apply`] never releases
+/// a real transaction's lock on its behalf.
+const REPAIR_TXN: TxnId = TxnId {
+    client: NodeId(u32::MAX),
+    seq: u64::MAX,
+};
 
 /// Bound on the dedup cache. Eviction is FIFO: a reply only needs to
 /// survive as long as its client might still retransmit the request, so
@@ -89,6 +153,14 @@ impl Server {
             completed: HashMap::new(),
             completed_order: VecDeque::new(),
             stats: ServerStats::default(),
+            window,
+            sync: None,
+            syncing: false,
+            incarnation: 0,
+            sync_responders: HashSet::new(),
+            server_req: 0,
+            amnesia_seen: 0,
+            last_sweep: Instant::now(),
         }
     }
 
@@ -96,6 +168,18 @@ impl Server {
     /// bound it must respect relative to client timeouts).
     pub fn set_prepared_ttl(&mut self, ttl: Duration) {
         self.prepared_ttl = ttl;
+    }
+
+    /// Install the cluster-awareness that enables catch-up sync after a
+    /// crash-with-amnesia. Without it a wiped server restarts empty and
+    /// keeps serving — acceptable only for standalone unit-test servers.
+    pub fn set_sync_config(&mut self, sync: SyncConfig) {
+        self.sync = Some(sync);
+    }
+
+    /// Is this replica still catching up after an amnesia wipe?
+    pub fn is_syncing(&self) -> bool {
+        self.syncing
     }
 
     /// Reclaim prepared entries older than the TTL, releasing their locks.
@@ -121,14 +205,112 @@ impl Server {
         expired.len()
     }
 
-    /// Counters so far.
+    /// Counters so far, with the store digest computed at call time.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        let mut s = self.stats.clone();
+        s.digest = self.store.digest();
+        s
     }
 
     /// Direct store access for tests and cluster seeding.
     pub fn store_mut(&mut self) -> &mut Store {
         &mut self.store
+    }
+
+    /// Crash-with-amnesia landed: lose the store, the prepared table, the
+    /// dedup cache and the contention window, then (when peers are known)
+    /// enter catch-up mode — reads and prepare votes are refused until
+    /// peer inventories covering a read quorum have been absorbed.
+    pub fn wipe_for_amnesia(&mut self) {
+        self.store.wipe();
+        self.prepared.clear();
+        self.completed.clear();
+        self.completed_order.clear();
+        self.contention = ContentionWindow::new(self.window);
+        self.incarnation += 1;
+        self.sync_responders.clear();
+        self.stats.amnesia_wipes += 1;
+        // Without peers there is nobody to catch up from; restarting
+        // empty is all a standalone server can do.
+        self.syncing = self.sync.is_some();
+    }
+
+    /// The [`Msg::SyncReq`] to (re)broadcast to every peer while catching
+    /// up, with the peer list. `None` when not syncing or peerless.
+    /// Re-broadcasting with a fresh correlation id is harmless: responses
+    /// are matched by incarnation, not request id.
+    pub fn sync_probe(&mut self) -> Option<(Vec<NodeId>, Msg)> {
+        if !self.syncing {
+            return None;
+        }
+        let sync = self.sync.as_ref()?;
+        self.server_req += 1;
+        let peers = (0..sync.servers)
+            .filter(|&r| r != sync.rank)
+            .map(|r| NodeId(r as u32))
+            .collect();
+        Some((
+            peers,
+            Msg::SyncReq {
+                req: self.server_req,
+                incarnation: self.incarnation,
+            },
+        ))
+    }
+
+    /// Absorb one peer's [`Msg::SyncResp`] inventory. Catch-up completes —
+    /// and the replica resumes voting and serving reads — once the set of
+    /// responders covers a full read quorum *excluding this server*: any
+    /// read quorum intersects every write quorum in at least one member,
+    /// and since none of the responders is this (wiped) server, the
+    /// max-version union over them dominates every write committed before
+    /// the snapshots. Writes concurrent with catch-up either include this
+    /// replica in their write quorum (refused → the client aborts and
+    /// retries) or avoid it entirely, in which case missing them here is
+    /// ordinary replica staleness that quorum reads already mask.
+    fn absorb_sync_resp(
+        &mut self,
+        src: NodeId,
+        incarnation: u64,
+        entries: Vec<(ObjectId, crate::messages::Version, acn_txir::ObjectVal)>,
+    ) {
+        if !self.syncing || incarnation != self.incarnation {
+            return; // stale response to an earlier recovery attempt
+        }
+        for (obj, version, value) in entries {
+            if self.store.apply(obj, version, value, REPAIR_TXN) {
+                self.stats.sync_objects_received += 1;
+            }
+        }
+        let Some(sync) = &self.sync else { return };
+        self.sync_responders.insert(src.index());
+        let rank = sync.rank;
+        let responders = &self.sync_responders;
+        let covered = sync
+            .quorums
+            .read_quorum(0, &|r| r != rank && responders.contains(&r))
+            .is_some();
+        if covered {
+            self.syncing = false;
+            self.stats.syncs_completed += 1;
+        }
+    }
+
+    /// [`Server::handle`] with the sender known: intercepts peer-to-peer
+    /// sync responses (which update recovery state instead of producing a
+    /// reply) and delegates everything else. The service loop always goes
+    /// through here.
+    pub fn handle_from(&mut self, src: NodeId, msg: Msg, now: Instant) -> Option<Msg> {
+        if let Msg::SyncResp {
+            incarnation,
+            entries,
+            ..
+        } = msg
+        {
+            self.absorb_sync_resp(src, incarnation, entries);
+            return None;
+        }
+        self.handle(msg, now)
     }
 
     /// Handle one request, producing the reply to send back (if any).
@@ -138,8 +320,21 @@ impl Server {
     /// chaos duplication in flight — replays the original reply without
     /// touching locks, versions, or counters. Reads are not deduped; they
     /// are naturally idempotent and re-reading gives the client fresher
-    /// data.
+    /// data. Sync refusals are not cached either: the same request id may
+    /// legitimately be retried after catch-up completes and must then get
+    /// a real vote.
+    ///
+    /// Message arrival also drives a lazy TTL sweep: a server whose
+    /// service loop sat blocked in a long receive would otherwise only
+    /// reclaim expired prepares on the loop's timeout cadence, so an
+    /// expired lock could outlive its TTL by a full idle gap and reject
+    /// the very prepare that just arrived.
     pub fn handle(&mut self, msg: Msg, now: Instant) -> Option<Msg> {
+        let sweep_every = (self.prepared_ttl / 4).max(Duration::from_millis(100));
+        if now.saturating_duration_since(self.last_sweep) >= sweep_every {
+            self.sweep_expired(now);
+            self.last_sweep = now;
+        }
         let dedup_key = match &msg {
             Msg::PrepareReq { txn, req, .. }
             | Msg::CommitReq { txn, req, .. }
@@ -153,7 +348,8 @@ impl Server {
             }
         }
         let reply = self.handle_fresh(msg, now);
-        if let (Some(key), Some(r)) = (dedup_key, &reply) {
+        let cacheable = !matches!(&reply, Some(Msg::PrepareResp { syncing: true, .. }));
+        if let (Some(key), Some(r), true) = (dedup_key, &reply, cacheable) {
             if self.completed.len() >= DEDUP_CAPACITY {
                 if let Some(old) = self.completed_order.pop_front() {
                     self.completed.remove(&old);
@@ -168,6 +364,32 @@ impl Server {
 
     /// [`Server::handle`] past the dedup cache: executes the request.
     fn handle_fresh(&mut self, msg: Msg, now: Instant) -> Option<Msg> {
+        // Catch-up mode: an amnesiac store reads every object as version 0,
+        // so serving reads would hand out phantom-fresh copies and voting
+        // yes in prepares would silently pass validation against wiped
+        // state. Refuse both. Phase-2 messages are still processed below —
+        // the commit/abort decision was already made from quorum votes that
+        // did not include this replica's, and `Store::apply` only moves
+        // versions forward.
+        if self.syncing {
+            match &msg {
+                Msg::ReadReq { req, .. } | Msg::ReadBatchReq { req, .. } => {
+                    self.stats.sync_read_refusals += 1;
+                    return Some(Msg::Syncing { req: *req });
+                }
+                Msg::PrepareReq { req, .. } => {
+                    self.stats.sync_vote_refusals += 1;
+                    return Some(Msg::PrepareResp {
+                        req: *req,
+                        vote: false,
+                        invalid: vec![],
+                        locked: None,
+                        syncing: true,
+                    });
+                }
+                _ => {}
+            }
+        }
         match msg {
             Msg::ReadReq {
                 txn,
@@ -299,6 +521,7 @@ impl Server {
                     vote,
                     invalid,
                     locked: lock_conflict,
+                    syncing: false,
                 })
             }
             Msg::CommitReq { txn, req, writes } => {
@@ -335,6 +558,36 @@ impl Server {
                     abort_levels,
                 })
             }
+            Msg::SyncReq { req, incarnation } => {
+                // A replica that is itself catching up must not seed
+                // another: its amnesiac inventory would launder version-0
+                // state into the requester's "covered" quorum. Stay silent
+                // and let the requester's re-broadcast find healthy peers.
+                if self.syncing {
+                    return None;
+                }
+                self.stats.syncs_served += 1;
+                Some(Msg::SyncResp {
+                    req,
+                    incarnation,
+                    entries: self.store.inventory(),
+                })
+            }
+            Msg::RepairWrite { writes, .. } => {
+                self.stats.repair_writes_received += 1;
+                for (obj, version, value) in writes {
+                    // Forward-only apply under a sentinel txn: a repair can
+                    // never regress a concurrent commit or release a real
+                    // transaction's lock. Safe even on protected objects —
+                    // the repaired version is an already-committed one,
+                    // which validation guarantees is ≤ any version the
+                    // lock-holding prepare will install.
+                    if self.store.apply(obj, version, value, REPAIR_TXN) {
+                        self.stats.repair_writes_applied += 1;
+                    }
+                }
+                None // fire-and-forget: no ack
+            }
             Msg::Shutdown => None,
             // Responses should never arrive at a server.
             other => {
@@ -350,17 +603,42 @@ impl Server {
     /// Periodically sweeps expired prepared transactions, so a client that
     /// crashed (or timed out) between prepare and phase 2 cannot leave its
     /// write-set locked — and the `prepared` map growing — forever.
+    ///
+    /// Each iteration also polls the fault table's amnesia epoch: when a
+    /// crash-with-amnesia lands, the replica wipes itself immediately (so
+    /// no pre-wipe state survives into recovery) and, once reachable
+    /// again, re-broadcasts [`Msg::SyncReq`] to its peers every probe
+    /// interval until their inventories cover a read quorum.
     pub fn run(mut self, endpoint: Endpoint<Msg>) -> ServerStats {
         let sweep_every = (self.prepared_ttl / 4).max(Duration::from_millis(100));
+        let probe_every = Duration::from_millis(40);
         let mut next_sweep = Instant::now() + sweep_every;
+        let mut next_probe = Instant::now();
         loop {
-            match endpoint.recv_timeout(Duration::from_millis(100)) {
+            let epoch = endpoint.amnesia_epoch();
+            if epoch > self.amnesia_seen {
+                self.amnesia_seen = epoch;
+                self.wipe_for_amnesia();
+            }
+            if self.syncing && !endpoint.is_failed() {
+                let now = Instant::now();
+                if now >= next_probe {
+                    if let Some((peers, probe)) = self.sync_probe() {
+                        let bytes = probe.wire_bytes();
+                        endpoint.broadcast(&peers, probe, bytes);
+                    }
+                    next_probe = now + probe_every;
+                }
+            }
+            // A short receive keeps the amnesia poll and probe cadence
+            // responsive while the node is failed or idle.
+            match endpoint.recv_timeout(Duration::from_millis(20)) {
                 Ok((src, Msg::Shutdown)) => {
                     let _ = src;
                     break;
                 }
                 Ok((src, msg)) => {
-                    if let Some(reply) = self.handle(msg, Instant::now()) {
+                    if let Some(reply) = self.handle_from(src, msg, Instant::now()) {
                         let bytes = reply.wire_bytes();
                         endpoint.send_sized(src, reply, bytes);
                     }
@@ -374,7 +652,7 @@ impl Server {
                 next_sweep = now + sweep_every;
             }
         }
-        self.stats
+        self.stats()
     }
 }
 
@@ -1043,6 +1321,398 @@ mod tests {
             Instant::now(),
         );
         assert_eq!(s.stats().dedup_hits, 0);
+    }
+
+    fn sync_cfg(rank: usize, servers: usize) -> SyncConfig {
+        use acn_quorum::DaryTree;
+        SyncConfig {
+            quorums: LevelQuorums::new(DaryTree::new(servers, 3)),
+            rank,
+            servers,
+        }
+    }
+
+    fn commit_obj(s: &mut Server, t: TxnId, req_base: u64, obj: ObjectId, ver: u64, v: i64) {
+        s.handle(
+            Msg::PrepareReq {
+                txn: t,
+                req: req_base,
+                validate: vec![],
+                writes: vec![(obj, ver - 1)],
+            },
+            Instant::now(),
+        );
+        s.handle(
+            Msg::CommitReq {
+                txn: t,
+                req: req_base + 1,
+                writes: vec![(obj, ver, val(v))],
+            },
+            Instant::now(),
+        );
+    }
+
+    #[test]
+    fn amnesia_wipe_refuses_reads_and_votes_until_quorum_synced() {
+        let mut s = server();
+        s.set_sync_config(sync_cfg(0, 4));
+        commit_obj(&mut s, txn(1), 1, OBJ, 1, 42);
+        s.wipe_for_amnesia();
+        assert!(s.is_syncing());
+        assert_eq!(s.stats().amnesia_wipes, 1);
+        assert_eq!(s.stats().digest.total_objects(), 0, "store is gone");
+
+        // Reads: refused with a Syncing response, not served as v0.
+        match s
+            .handle(
+                Msg::ReadReq {
+                    txn: txn(2),
+                    req: 7,
+                    obj: OBJ,
+                    validate: vec![],
+                    sample: vec![],
+                },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::Syncing { req } => assert_eq!(req, 7),
+            other => panic!("{other:?}"),
+        }
+        match s
+            .handle(
+                Msg::ReadBatchReq {
+                    txn: txn(2),
+                    req: 8,
+                    objs: vec![OBJ, OBJ2],
+                    validate: vec![],
+                    sample: vec![],
+                },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::Syncing { req } => assert_eq!(req, 8),
+            other => panic!("{other:?}"),
+        }
+        // Votes: refused, flagged as a sync refusal, nothing locked.
+        match s
+            .handle(
+                Msg::PrepareReq {
+                    txn: txn(3),
+                    req: 9,
+                    validate: vec![(OBJ, 0)],
+                    writes: vec![(OBJ, 0)],
+                },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::PrepareResp {
+                vote,
+                syncing,
+                invalid,
+                locked,
+                ..
+            } => {
+                assert!(!vote);
+                assert!(syncing);
+                assert!(invalid.is_empty() && locked.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.store_mut().lock_holder(OBJ), None);
+        assert_eq!(s.stats().sync_vote_refusals, 1);
+        assert_eq!(s.stats().sync_read_refusals, 2);
+
+        // Phase 2 of an already-decided commit still applies.
+        s.handle(
+            Msg::CommitReq {
+                txn: txn(4),
+                req: 10,
+                writes: vec![(OBJ2, 2, val(9))],
+            },
+            Instant::now(),
+        );
+
+        // Probe names every peer and carries the current incarnation.
+        let (peers, probe) = s.sync_probe().expect("syncing server probes");
+        assert_eq!(peers, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let inc = match probe {
+            Msg::SyncReq { incarnation, .. } => incarnation,
+            other => panic!("{other:?}"),
+        };
+
+        // A healthy peer's inventory: OBJ at version 4. With 4 servers
+        // (tree levels {0} and {1,2,3}) the recovering rank 0 needs a
+        // majority of the deepest level — two peers — to finish.
+        let entries = vec![(OBJ, 4u64, val(40))];
+        s.handle_from(
+            NodeId(1),
+            Msg::SyncResp {
+                req: 1,
+                incarnation: inc,
+                entries: entries.clone(),
+            },
+            Instant::now(),
+        );
+        assert!(s.is_syncing(), "one responder is below a read quorum");
+        s.handle_from(
+            NodeId(2),
+            Msg::SyncResp {
+                req: 1,
+                incarnation: inc,
+                entries: entries.clone(),
+            },
+            Instant::now(),
+        );
+        assert!(!s.is_syncing(), "two peers cover a read quorum: done");
+        assert_eq!(s.stats().syncs_completed, 1);
+        assert!(s.stats().sync_objects_received >= 1);
+
+        // Reads serve the synced copy; the mid-sync commit survived.
+        match read(&mut s, txn(5), OBJ, vec![]) {
+            Msg::ReadResp { version, value, .. } => {
+                assert_eq!(version, 4);
+                assert_eq!(value, val(40));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.store_mut().read(OBJ2).0, 2, "mid-sync commit kept");
+        // Votes work again.
+        assert!(matches!(
+            s.handle(
+                Msg::PrepareReq {
+                    txn: txn(6),
+                    req: 11,
+                    validate: vec![(OBJ, 4)],
+                    writes: vec![(OBJ, 4)],
+                },
+                Instant::now()
+            ),
+            Some(Msg::PrepareResp { vote: true, .. })
+        ));
+    }
+
+    #[test]
+    fn sync_refusal_is_not_cached_for_dedup() {
+        let mut s = server();
+        s.set_sync_config(sync_cfg(0, 4));
+        s.wipe_for_amnesia();
+        let prepare = Msg::PrepareReq {
+            txn: txn(1),
+            req: 1,
+            validate: vec![],
+            writes: vec![(OBJ, 0)],
+        };
+        assert!(matches!(
+            s.handle(prepare.clone(), Instant::now()),
+            Some(Msg::PrepareResp { syncing: true, .. })
+        ));
+        // Catch-up completes…
+        let (_, probe) = s.sync_probe().unwrap();
+        let inc = match probe {
+            Msg::SyncReq { incarnation, .. } => incarnation,
+            other => panic!("{other:?}"),
+        };
+        for rank in 1..=3u32 {
+            s.handle_from(
+                NodeId(rank),
+                Msg::SyncResp {
+                    req: 1,
+                    incarnation: inc,
+                    entries: vec![],
+                },
+                Instant::now(),
+            );
+        }
+        // …and the *same* (txn, req) retry must now get a real vote, not
+        // a dedup replay of the refusal.
+        match s.handle(prepare, Instant::now()).unwrap() {
+            Msg::PrepareResp { vote, syncing, .. } => {
+                assert!(vote, "retry after catch-up gets a real vote");
+                assert!(!syncing);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().dedup_hits, 0);
+    }
+
+    #[test]
+    fn stale_sync_resp_from_earlier_incarnation_is_ignored() {
+        let mut s = server();
+        s.set_sync_config(sync_cfg(0, 4));
+        s.wipe_for_amnesia(); // incarnation 1
+        s.wipe_for_amnesia(); // incarnation 2: the one that counts
+        let (_, probe) = s.sync_probe().unwrap();
+        let inc = match probe {
+            Msg::SyncReq { incarnation, .. } => incarnation,
+            other => panic!("{other:?}"),
+        };
+        for rank in 1..=3u32 {
+            s.handle_from(
+                NodeId(rank),
+                Msg::SyncResp {
+                    req: 1,
+                    incarnation: inc - 1, // answers the *first* recovery
+                    entries: vec![(OBJ, 9, val(9))],
+                },
+                Instant::now(),
+            );
+        }
+        assert!(s.is_syncing(), "stale responses must not complete sync");
+        assert_eq!(s.store_mut().version(OBJ), 0, "stale entries not applied");
+        for rank in 1..=3u32 {
+            s.handle_from(
+                NodeId(rank),
+                Msg::SyncResp {
+                    req: 2,
+                    incarnation: inc,
+                    entries: vec![(OBJ, 9, val(9))],
+                },
+                Instant::now(),
+            );
+        }
+        assert!(!s.is_syncing());
+        assert_eq!(s.store_mut().version(OBJ), 9);
+    }
+
+    #[test]
+    fn syncing_peer_serves_no_inventory() {
+        let mut s = server();
+        s.set_sync_config(sync_cfg(1, 4));
+        commit_obj(&mut s, txn(1), 1, OBJ, 1, 5);
+        // Healthy: serves its inventory.
+        match s
+            .handle(
+                Msg::SyncReq {
+                    req: 3,
+                    incarnation: 7,
+                },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::SyncResp {
+                req,
+                incarnation,
+                entries,
+            } => {
+                assert_eq!((req, incarnation), (3, 7), "echoed for correlation");
+                assert_eq!(entries, vec![(OBJ, 1, val(5))]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().syncs_served, 1);
+        // Amnesiac: must not seed another replica with wiped state.
+        s.wipe_for_amnesia();
+        assert!(s
+            .handle(
+                Msg::SyncReq {
+                    req: 4,
+                    incarnation: 8
+                },
+                Instant::now()
+            )
+            .is_none());
+        assert_eq!(s.stats().syncs_served, 1);
+    }
+
+    #[test]
+    fn repair_write_applies_forward_only_without_reply() {
+        let mut s = server();
+        commit_obj(&mut s, txn(1), 1, OBJ, 5, 50);
+        let reply = s.handle(
+            Msg::RepairWrite {
+                req: 1,
+                writes: vec![(OBJ, 3, val(30)), (OBJ2, 7, val(70))],
+            },
+            Instant::now(),
+        );
+        assert!(reply.is_none(), "repair writes are fire-and-forget");
+        assert_eq!(s.store_mut().version(OBJ), 5, "stale repair ignored");
+        assert_eq!(s.store_mut().version(OBJ2), 7, "fresh repair applied");
+        assert_eq!(s.stats().repair_writes_received, 1);
+        assert_eq!(s.stats().repair_writes_applied, 1, "only the effective one");
+        // A repair on a protected object must not touch the lock.
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(9),
+                req: 9,
+                validate: vec![],
+                writes: vec![(OBJ, 5)],
+            },
+            Instant::now(),
+        );
+        s.handle(
+            Msg::RepairWrite {
+                req: 2,
+                writes: vec![(OBJ, 4, val(4))],
+            },
+            Instant::now(),
+        );
+        assert_eq!(s.store_mut().lock_holder(OBJ), Some(txn(9)));
+        assert_eq!(s.store_mut().version(OBJ), 5);
+    }
+
+    #[test]
+    fn lazy_sweep_fires_from_the_message_path() {
+        // Regression: a server sitting in a long idle gap must reclaim
+        // expired prepares when the *next message* arrives, not only when
+        // its service loop's timer cadence happens to fire.
+        let mut s = server();
+        s.set_prepared_ttl(Duration::from_millis(10));
+        let t0 = Instant::now();
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            t0,
+        );
+        assert_eq!(s.store_mut().lock_holder(OBJ), Some(txn(1)));
+        // Long idle gap, then a conflicting prepare arrives. The lazy
+        // sweep (cadence max(ttl/4, 100 ms)) must run first and release
+        // the expired lock, so the new prepare succeeds immediately.
+        match s
+            .handle(
+                Msg::PrepareReq {
+                    txn: txn(2),
+                    req: 2,
+                    validate: vec![],
+                    writes: vec![(OBJ, 0)],
+                },
+                t0 + Duration::from_millis(150),
+            )
+            .unwrap()
+        {
+            Msg::PrepareResp { vote, .. } => assert!(vote, "expired lock must not block"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().expired_prepares, 1);
+    }
+
+    #[test]
+    fn wipe_loses_prepared_and_dedup_state() {
+        let mut s = server();
+        s.set_sync_config(sync_cfg(0, 4));
+        let prepare = Msg::PrepareReq {
+            txn: txn(1),
+            req: 1,
+            validate: vec![],
+            writes: vec![(OBJ, 0)],
+        };
+        s.handle(prepare, Instant::now());
+        commit_obj(&mut s, txn(2), 5, OBJ2, 1, 1);
+        assert!(!s.prepared.is_empty());
+        assert!(!s.completed.is_empty());
+        s.wipe_for_amnesia();
+        assert!(s.prepared.is_empty(), "prepared table wiped");
+        assert!(s.completed.is_empty(), "dedup cache wiped");
+        assert!(s.completed_order.is_empty());
+        assert!(s.store_mut().is_empty(), "store wiped");
     }
 
     #[test]

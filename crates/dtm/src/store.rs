@@ -2,7 +2,40 @@
 
 use crate::messages::{TxnId, Version};
 use acn_txir::{ObjectId, ObjectVal};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// One object class's slice of a [`StoreDigest`]: enough to detect
+/// divergence between replicas cheaply (count + max + xor of versions)
+/// without shipping or comparing the objects themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassDigest {
+    /// Objects of this class materialised on the replica.
+    pub count: u64,
+    /// Highest committed version among them.
+    pub max_version: Version,
+    /// XOR over `version * (object index + 1)` of every object, an
+    /// order-independent fingerprint: two replicas that agree per class on
+    /// `count`, `max_version` and `xor` almost certainly hold identical
+    /// version vectors.
+    pub xor: u64,
+}
+
+/// A replica's per-class store fingerprint, cheap to compute and compare.
+/// Used by the recovery subsystem to assert that a re-synced replica
+/// converged to a healthy peer, and exported through `ServerStats` for
+/// divergence checks in tests and chaos suites.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreDigest {
+    /// Digest per object-class id, ordered by class id.
+    pub classes: BTreeMap<u16, ClassDigest>,
+}
+
+impl StoreDigest {
+    /// Total objects across all classes.
+    pub fn total_objects(&self) -> u64 {
+        self.classes.values().map(|c| c.count).sum()
+    }
+}
 
 /// One replicated object as held by a server: the paper's per-object
 /// meta-data is the *version number* (used during validation) and the
@@ -77,15 +110,49 @@ impl Store {
     /// `txn`'s lock. Versions only move forward — a replica that already
     /// holds a newer copy (possible when a stale client commit races a
     /// recovered replica) keeps it.
-    pub fn apply(&mut self, obj: ObjectId, version: Version, value: ObjectVal, txn: TxnId) {
+    /// Returns `true` when the write advanced the replica's copy (the
+    /// repair path counts only effective repairs).
+    pub fn apply(&mut self, obj: ObjectId, version: Version, value: ObjectVal, txn: TxnId) -> bool {
         let entry = self.objects.entry(obj).or_default();
-        if version > entry.version {
+        let advanced = version > entry.version;
+        if advanced {
             entry.version = version;
             entry.value = value;
         }
         if entry.protected == Some(txn) {
             entry.protected = None;
         }
+        advanced
+    }
+
+    /// Wipe every object (crash-with-amnesia). Locks vanish with the
+    /// state; the lock holders' 2PC outcomes are unaffected because a
+    /// wiped replica refuses to vote until it has re-synced.
+    pub fn wipe(&mut self) {
+        self.objects.clear();
+    }
+
+    /// Snapshot the full inventory — `(object, version, value)` for every
+    /// materialised object — for a [`crate::Msg::SyncResp`]. Lock state is
+    /// deliberately excluded: a recovering replica must not inherit
+    /// another replica's in-flight `protected` flags.
+    pub fn inventory(&self) -> Vec<(ObjectId, Version, ObjectVal)> {
+        self.objects
+            .iter()
+            .map(|(&obj, o)| (obj, o.version, o.value.clone()))
+            .collect()
+    }
+
+    /// Per-class fingerprint of the store (see [`StoreDigest`]).
+    pub fn digest(&self) -> StoreDigest {
+        let mut classes: BTreeMap<u16, ClassDigest> = BTreeMap::new();
+        for (obj, o) in &self.objects {
+            let d = classes.entry(obj.class.id).or_default();
+            d.count += 1;
+            d.max_version = d.max_version.max(o.version);
+            d.xor ^= o.version.wrapping_mul(obj.index.wrapping_add(1));
+        }
+        StoreDigest { classes }
     }
 
     /// Number of objects this replica has materialised.
@@ -177,6 +244,75 @@ mod tests {
         s.apply(OBJ, 3, val(30), txn(2));
         assert_eq!(s.lock_holder(OBJ), None);
         assert_eq!(s.version(OBJ), 5);
+    }
+
+    #[test]
+    fn apply_reports_whether_it_advanced() {
+        let mut s = Store::new();
+        assert!(s.apply(OBJ, 5, val(50), txn(1)), "fresh install advances");
+        assert!(!s.apply(OBJ, 3, val(30), txn(2)), "stale apply does not");
+        assert!(!s.apply(OBJ, 5, val(50), txn(3)), "same version does not");
+        assert!(s.apply(OBJ, 6, val(60), txn(4)));
+    }
+
+    #[test]
+    fn wipe_loses_everything_including_locks() {
+        let mut s = Store::new();
+        s.apply(OBJ, 4, val(4), txn(1));
+        s.try_lock(ObjectId::new(C, 2), txn(2));
+        s.wipe();
+        assert!(s.is_empty());
+        assert_eq!(s.version(OBJ), 0, "amnesia: reads as fresh");
+        assert_eq!(s.lock_holder(ObjectId::new(C, 2)), None);
+    }
+
+    #[test]
+    fn inventory_round_trips_through_apply() {
+        let mut a = Store::new();
+        a.apply(OBJ, 3, val(3), txn(1));
+        a.apply(ObjectId::new(C, 2), 7, val(7), txn(1));
+        a.try_lock(OBJ, txn(9)); // locks must not travel
+        let mut b = Store::new();
+        for (obj, ver, value) in a.inventory() {
+            b.apply(obj, ver, value, txn(0));
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(b.lock_holder(OBJ), None, "inventory carries no locks");
+        assert_eq!(b.read(OBJ).0, 3);
+        assert_eq!(b.read(ObjectId::new(C, 2)).1, val(7));
+    }
+
+    #[test]
+    fn digest_detects_divergence_per_class() {
+        const D: ObjClass = ObjClass::new(1, "D");
+        let mut a = Store::new();
+        a.apply(OBJ, 3, val(3), txn(1));
+        a.apply(ObjectId::new(D, 1), 2, val(2), txn(1));
+        let mut b = Store::new();
+        b.apply(OBJ, 3, val(3), txn(1));
+        b.apply(ObjectId::new(D, 1), 2, val(2), txn(1));
+        assert_eq!(a.digest(), b.digest(), "identical stores agree");
+        assert_eq!(a.digest().total_objects(), 2);
+
+        b.apply(ObjectId::new(D, 1), 4, val(4), txn(2));
+        let (da, db) = (a.digest(), b.digest());
+        assert_ne!(da, db, "a newer version must change the digest");
+        assert_eq!(
+            da.classes.get(&0),
+            db.classes.get(&0),
+            "the untouched class still agrees"
+        );
+        let dd = db.classes.get(&1).unwrap();
+        assert_eq!(dd.max_version, 4);
+        assert_eq!(dd.count, 1);
+
+        // Same count and max but a different version *vector* still
+        // diverges, caught by the xor term.
+        let mut c = Store::new();
+        c.apply(ObjectId::new(C, 5), 3, val(1), txn(1));
+        let mut e = Store::new();
+        e.apply(ObjectId::new(C, 6), 3, val(1), txn(1));
+        assert_ne!(c.digest(), e.digest());
     }
 
     #[test]

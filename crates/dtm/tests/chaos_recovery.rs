@@ -188,6 +188,172 @@ fn lost_votes_trigger_best_effort_abort_that_releases_locks() {
     );
 }
 
+/// Crash-with-amnesia end to end: a replica loses its entire store, dedup
+/// cache, and prepared table; on rejoin it must refuse reads and prepare
+/// votes until a read quorum of peers has answered its catch-up probes,
+/// and once caught up its store digest must match the root replica's
+/// (which sits in every write quorum and therefore holds everything).
+#[test]
+fn amnesia_recovery_refuses_votes_then_converges() {
+    // 4 servers, ternary tree → levels [[0], [1,2,3]]. Write quorum =
+    // {0} + 2 of {1,2,3}; with rank 3 wiped, its catch-up read quorum
+    // must cover {1,2}, whose union holds every committed write.
+    let cluster = Cluster::start(ClusterConfig::test(4, 2));
+    let mut writer = cluster.client(0);
+    for i in 20..28u64 {
+        seed(&mut writer, ObjectId::new(BRANCH, i), i as i64);
+    }
+
+    // Wipe server 3. Give its service loop a beat to observe the epoch
+    // bump (it polls every receive timeout, well under this sleep).
+    cluster.fail_server_amnesia(3);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Writes while the replica is down all land on {0, 1, 2}.
+    for i in 20..24u64 {
+        let obj = ObjectId::new(BRANCH, i);
+        let mut ctx = TxnCtx::begin(&mut writer);
+        ctx.open(&mut writer, obj, true).unwrap();
+        ctx.set_field(obj, BAL, Value::Int(100 + i as i64));
+        ctx.commit(&mut writer).unwrap();
+    }
+
+    // Hold the replica in the syncing state: its probes reach the peers,
+    // but every response (peer → 3) is dropped at send time.
+    let node3 = NodeId(3);
+    for rank in 0..3u32 {
+        cluster.net().fail_link(NodeId(rank), node3);
+    }
+    cluster.recover_server(3);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // (a) While catching up the replica must refuse reads...
+    let zombie = cluster.net().endpoint(NodeId(4 + 1));
+    let probe = ObjectId::new(BRANCH, 20);
+    zombie.send(
+        node3,
+        Msg::ReadReq {
+            txn: TxnId {
+                client: NodeId(4 + 1),
+                seq: 0,
+            },
+            req: 1,
+            obj: probe,
+            validate: vec![],
+            sample: vec![],
+        },
+    );
+    match zombie.recv_timeout(Duration::from_millis(500)) {
+        Ok((src, Msg::Syncing { req })) => {
+            assert_eq!(src, node3);
+            assert_eq!(req, 1);
+        }
+        other => panic!("expected a Syncing read refusal, got {other:?}"),
+    }
+
+    // ...and refuse prepare votes, attributing the no-vote to recovery.
+    let ztxn = TxnId {
+        client: NodeId(4 + 1),
+        seq: 1,
+    };
+    let prepare = Msg::PrepareReq {
+        txn: ztxn,
+        req: 2,
+        validate: vec![],
+        writes: vec![(probe, 5)],
+    };
+    zombie.send(node3, prepare.clone());
+    match zombie.recv_timeout(Duration::from_millis(500)) {
+        Ok((
+            _,
+            Msg::PrepareResp {
+                req,
+                vote,
+                invalid,
+                locked,
+                syncing,
+            },
+        )) => {
+            assert_eq!(req, 2);
+            assert!(!vote, "a syncing replica must not vote yes");
+            assert!(syncing, "the no-vote must be attributed to catch-up");
+            assert!(invalid.is_empty() && locked.is_none());
+        }
+        other => panic!("expected a syncing vote refusal, got {other:?}"),
+    }
+
+    // Let the sync responses through; catch-up completes within a couple
+    // of probe rounds.
+    cluster.heal_partition();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica 3 never finished catching up"
+        );
+        zombie.send(
+            node3,
+            Msg::ReadReq {
+                txn: TxnId {
+                    client: NodeId(4 + 1),
+                    seq: 2,
+                },
+                req: 3,
+                obj: probe,
+                validate: vec![],
+                sample: vec![],
+            },
+        );
+        match zombie.recv_timeout(Duration::from_millis(500)) {
+            Ok((_, Msg::Syncing { .. })) => std::thread::sleep(Duration::from_millis(20)),
+            Ok((_, Msg::ReadResp { version, value, .. })) => {
+                // The wiped replica must have recovered the down-time
+                // write, not resurrected the pre-crash value.
+                assert!(version >= 2, "synced version must be post-downtime");
+                assert_eq!(value.get(BAL), Some(&Value::Int(120)));
+                break;
+            }
+            other => panic!("expected Syncing or ReadResp, got {other:?}"),
+        }
+    }
+
+    // The refusal was not dedup-cached: the *same* (txn, req) prepare now
+    // earns a real vote.
+    zombie.send(node3, prepare);
+    match zombie.recv_timeout(Duration::from_millis(500)) {
+        Ok((
+            _,
+            Msg::PrepareResp {
+                req, vote, syncing, ..
+            },
+        )) => {
+            assert_eq!(req, 2);
+            assert!(vote, "a caught-up replica must vote on the retried prepare");
+            assert!(!syncing);
+        }
+        other => panic!("expected a real vote after catch-up, got {other:?}"),
+    }
+    zombie.send(node3, Msg::AbortReq { txn: ztxn, req: 4 });
+    let _ = zombie.recv_timeout(Duration::from_millis(500));
+
+    // (b) Convergence: rank 0 is in every write quorum, so its digest is
+    // the complete committed state; the recovered replica must match it.
+    let stats = cluster.shutdown();
+    assert_eq!(stats[3].amnesia_wipes, 1);
+    assert_eq!(stats[3].syncs_completed, 1);
+    assert!(stats[3].sync_read_refusals >= 1);
+    assert!(stats[3].sync_vote_refusals >= 1);
+    assert!(
+        stats[3].sync_objects_received >= 8,
+        "catch-up must have pulled the seeded objects: {}",
+        stats[3].sync_objects_received
+    );
+    assert_eq!(
+        stats[3].digest, stats[0].digest,
+        "recovered replica must converge to the root replica's state"
+    );
+}
+
 /// With every `PrepareReq` duplicated (and half of them delayed behind
 /// later traffic), commits must still apply exactly once: servers dedup
 /// retried phase-1/phase-2 requests by `(txn, req)` id.

@@ -123,9 +123,14 @@ fn read_only_commit_validates() {
     ro.open(&mut c1, acct(1), false).unwrap();
     seed(&mut c0, acct(1), 6); // invalidate before the read-only commit
     match ro.commit(&mut c1) {
-        Err(DtmError::Conflict { invalid, locked }) => {
+        Err(DtmError::Conflict {
+            invalid,
+            locked,
+            syncing,
+        }) => {
             assert_eq!(invalid, vec![acct(1)]);
             assert!(locked.is_empty(), "validation failure, not a lock conflict");
+            assert!(!syncing, "no replica was recovering");
         }
         other => panic!("expected conflict, got {other:?}"),
     }

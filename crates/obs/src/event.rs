@@ -8,7 +8,7 @@ use acn_txir::ObjectId;
 
 /// Why an execution attempt (or one Block of it) was thrown away.
 ///
-/// The first five kinds are emitted by the nesting executor and map
+/// The first six kinds are emitted by the nesting executor and map
 /// one-to-one onto its [`ExecStats`]-incrementing sites, so
 /// `sum(attributed aborts over executor kinds) == full_aborts +
 /// partial_aborts + locked_aborts`. The checkpoint runner uses its own two
@@ -30,6 +30,10 @@ pub enum AbortKind {
     /// A livelocked child exhausted its partial-retry budget and escalated
     /// to a full restart.
     Escalated,
+    /// Two-phase commit refused *only* because a quorum member was still
+    /// catching up after a crash-with-amnesia — recovery back-pressure,
+    /// not data contention (no stale and no locked object was named).
+    SyncRefused,
     /// Checkpoint runner: rollback to an intermediate checkpoint.
     CkptRollback,
     /// Checkpoint runner: restart from the very beginning.
@@ -40,12 +44,13 @@ impl AbortKind {
     /// The executor kinds whose attributed counts sum to
     /// `full_aborts + partial_aborts + locked_aborts` of the nesting
     /// executor's stats (everything except the checkpoint-runner kinds).
-    pub const EXECUTOR_KINDS: [AbortKind; 5] = [
+    pub const EXECUTOR_KINDS: [AbortKind; 6] = [
         AbortKind::Partial,
         AbortKind::ReadInvalid,
         AbortKind::CommitConflict,
         AbortKind::LockedOut,
         AbortKind::Escalated,
+        AbortKind::SyncRefused,
     ];
 
     /// Stable lower-case label used in the JSON-lines export.
@@ -56,6 +61,7 @@ impl AbortKind {
             AbortKind::CommitConflict => "commit_conflict",
             AbortKind::LockedOut => "locked_out",
             AbortKind::Escalated => "escalated",
+            AbortKind::SyncRefused => "sync_refused",
             AbortKind::CkptRollback => "ckpt_rollback",
             AbortKind::CkptRestart => "ckpt_restart",
         }
@@ -69,6 +75,7 @@ impl AbortKind {
             "commit_conflict" => AbortKind::CommitConflict,
             "locked_out" => AbortKind::LockedOut,
             "escalated" => AbortKind::Escalated,
+            "sync_refused" => AbortKind::SyncRefused,
             "ckpt_rollback" => AbortKind::CkptRollback,
             "ckpt_restart" => AbortKind::CkptRestart,
             _ => return None,
@@ -145,6 +152,7 @@ mod tests {
             AbortKind::CommitConflict,
             AbortKind::LockedOut,
             AbortKind::Escalated,
+            AbortKind::SyncRefused,
             AbortKind::CkptRollback,
             AbortKind::CkptRestart,
         ] {

@@ -28,6 +28,6 @@ pub use attribution::{AbortSite, AbortTable, TxnObserver};
 pub use event::{AbortKind, TxnEvent};
 pub use registry::{
     AbortRow, CheckpointCounters, ContentionLevel, ExecCounters, LatencySummary, MetricsRegistry,
-    MetricsReport, NetCounters,
+    MetricsReport, NetCounters, RecoveryCounters,
 };
 pub use trace::{ObsConfig, TraceRing, TraceSummary, DEFAULT_TRACE_CAPACITY};

@@ -50,6 +50,27 @@ pub struct CheckpointCounters {
     pub full_restarts: u64,
 }
 
+/// Replica-recovery counters, aggregated across servers (the wipe/sync
+/// side) and clients (the repair side) of a run. Present only when the run
+/// exercised crash-with-amnesia faults or read repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Crash-with-amnesia wipes performed by servers.
+    pub amnesia_wipes: u64,
+    /// Catch-up rounds that completed (responders covered a read quorum).
+    pub syncs_completed: u64,
+    /// Objects whose copy moved forward while absorbing peer inventories.
+    pub sync_objects_received: u64,
+    /// Prepare votes refused by replicas still catching up.
+    pub sync_vote_refusals: u64,
+    /// Read rounds refused by replicas still catching up.
+    pub sync_read_refusals: u64,
+    /// Read-repair messages clients sent to lagging replicas.
+    pub repair_writes_sent: u64,
+    /// Repaired objects that actually advanced a replica's copy.
+    pub repair_writes_applied: u64,
+}
+
 /// Mirror of the simulated network's `NetStatsSnapshot`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetCounters {
@@ -127,6 +148,9 @@ pub struct MetricsReport {
     pub exec: ExecCounters,
     /// Checkpoint-runner counters, when that design ran.
     pub checkpoint: Option<CheckpointCounters>,
+    /// Replica-recovery counters, when the run exercised amnesia faults or
+    /// read repair.
+    pub recovery: Option<RecoveryCounters>,
     /// Network counters.
     pub net: NetCounters,
     /// Commit-latency percentiles.
@@ -194,6 +218,18 @@ impl MetricsReport {
                 .u64_field("rollbacks", c.rollbacks)
                 .u64_field("checkpoints", c.checkpoints)
                 .u64_field("full_restarts", c.full_restarts);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        if let Some(r) = &self.recovery {
+            let mut o = JsonObj::new("recovery");
+            o.u64_field("amnesia_wipes", r.amnesia_wipes)
+                .u64_field("syncs_completed", r.syncs_completed)
+                .u64_field("sync_objects_received", r.sync_objects_received)
+                .u64_field("sync_vote_refusals", r.sync_vote_refusals)
+                .u64_field("sync_read_refusals", r.sync_read_refusals)
+                .u64_field("repair_writes_sent", r.repair_writes_sent)
+                .u64_field("repair_writes_applied", r.repair_writes_applied);
             out.push_str(&o.finish());
             out.push('\n');
         }
@@ -296,6 +332,19 @@ impl MetricsReport {
                         full_restarts: req_u64(&map, "full_restarts").map_err(ctx)?,
                     })
                 }
+                "recovery" => {
+                    report.recovery = Some(RecoveryCounters {
+                        amnesia_wipes: req_u64(&map, "amnesia_wipes").map_err(ctx)?,
+                        syncs_completed: req_u64(&map, "syncs_completed").map_err(ctx)?,
+                        sync_objects_received: req_u64(&map, "sync_objects_received")
+                            .map_err(ctx)?,
+                        sync_vote_refusals: req_u64(&map, "sync_vote_refusals").map_err(ctx)?,
+                        sync_read_refusals: req_u64(&map, "sync_read_refusals").map_err(ctx)?,
+                        repair_writes_sent: req_u64(&map, "repair_writes_sent").map_err(ctx)?,
+                        repair_writes_applied: req_u64(&map, "repair_writes_applied")
+                            .map_err(ctx)?,
+                    })
+                }
                 "net" => {
                     report.net = NetCounters {
                         sent: req_u64(&map, "sent").map_err(ctx)?,
@@ -392,6 +441,12 @@ impl MetricsRegistry {
         self
     }
 
+    /// Publish replica-recovery counters.
+    pub fn recovery(&mut self, r: RecoveryCounters) -> &mut Self {
+        self.report.recovery = Some(r);
+        self
+    }
+
     /// Publish the network counters.
     pub fn net(&mut self, net: NetCounters) -> &mut Self {
         self.report.net = net;
@@ -478,6 +533,15 @@ mod tests {
                 rollbacks: 3,
                 checkpoints: 20,
                 full_restarts: 1,
+            })
+            .recovery(RecoveryCounters {
+                amnesia_wipes: 1,
+                syncs_completed: 1,
+                sync_objects_received: 250,
+                sync_vote_refusals: 4,
+                sync_read_refusals: 6,
+                repair_writes_sent: 9,
+                repair_writes_applied: 5,
             })
             .net(NetCounters {
                 sent: 500,

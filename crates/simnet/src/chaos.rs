@@ -111,6 +111,11 @@ pub enum ChaosDecision {
 pub enum FaultAction {
     /// Fail-stop a node (drains its inbox; see [`crate::Network::fail`]).
     Crash(NodeId),
+    /// Fail-stop a node **and lose its state**: besides the crash drain,
+    /// the node's amnesia epoch advances so its service loop wipes local
+    /// state and must catch up from peers after [`FaultAction::Recover`]
+    /// (see [`crate::Network::fail_amnesia`]).
+    CrashAmnesia(NodeId),
     /// Recover a crashed node (drains again so pre-crash traffic that
     /// raced past the crash drain is not replayed).
     Recover(NodeId),
@@ -162,6 +167,10 @@ pub struct ChaosProfile {
     pub partitions: usize,
     /// Number of single-server crash windows to schedule.
     pub crashes: usize,
+    /// Number of single-server **crash-with-amnesia** windows to schedule:
+    /// like a crash window, but the victim loses its state and must run
+    /// the layer-above catch-up protocol after recovery.
+    pub amnesia_crashes: usize,
     /// Length of the run the plan is generated for.
     pub horizon: Duration,
     /// Every scheduled fault is healed by `horizon * heal_by` so the tail
@@ -178,6 +187,7 @@ impl Default for ChaosProfile {
             extra_delay: Duration::from_millis(1),
             partitions: 1,
             crashes: 1,
+            amnesia_crashes: 0,
             horizon: Duration::from_millis(400),
             heal_by: 0.45,
         }
@@ -212,8 +222,10 @@ impl FaultPlan {
     ///
     /// The generated plan has one catch-all message rule with the profile's
     /// probabilities, plus `partitions` minority-partition windows (a
-    /// random minority of servers, each client assigned a random side) and
-    /// `crashes` single-server crash windows. All faults heal by
+    /// random minority of servers, each client assigned a random side),
+    /// `crashes` single-server crash windows, and `amnesia_crashes`
+    /// crash-with-amnesia windows (the victim's state is lost and must be
+    /// re-synced from peers after recovery). All faults heal by
     /// `horizon * heal_by`.
     pub fn generate(seed: u64, servers: usize, clients: usize, profile: &ChaosProfile) -> Self {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_D15E_A5E5);
@@ -277,6 +289,23 @@ impl FaultPlan {
             events.push(TimedFault {
                 at: Duration::from_micros(start),
                 action: FaultAction::Crash(victim),
+            });
+            events.push(TimedFault {
+                at: Duration::from_micros(end),
+                action: FaultAction::Recover(victim),
+            });
+        }
+
+        for _ in 0..profile.amnesia_crashes {
+            if servers == 0 {
+                break;
+            }
+            let victim = NodeId(rng.gen_range(0..servers) as u32);
+            let start = rng.gen_range(0..heal_deadline_us / 2);
+            let end = rng.gen_range(start + heal_deadline_us / 4..=heal_deadline_us);
+            events.push(TimedFault {
+                at: Duration::from_micros(start),
+                action: FaultAction::CrashAmnesia(victim),
             });
             events.push(TimedFault {
                 at: Duration::from_micros(end),
@@ -418,6 +447,41 @@ mod tests {
         for w in plan.events.windows(2) {
             assert!(w[0].at <= w[1].at);
         }
+    }
+
+    #[test]
+    fn amnesia_windows_pair_crash_with_recover() {
+        let prof = ChaosProfile {
+            partitions: 0,
+            crashes: 0,
+            amnesia_crashes: 2,
+            ..Default::default()
+        };
+        for seed in 0..10 {
+            let plan = FaultPlan::generate(seed, 7, 3, &prof);
+            let crashes: Vec<_> = plan
+                .events
+                .iter()
+                .filter_map(|e| match &e.action {
+                    FaultAction::CrashAmnesia(n) => Some((e.at, *n)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(crashes.len(), 2, "seed {seed}: two amnesia windows");
+            for (at, victim) in crashes {
+                assert!(
+                    plan.events.iter().any(|e| e.at >= at
+                        && matches!(&e.action, FaultAction::Recover(n) if *n == victim)),
+                    "seed {seed}: amnesia victim {victim} must recover later"
+                );
+                assert!(victim.0 < 7, "victims are servers only");
+            }
+        }
+        // Deterministic like every other window type.
+        assert_eq!(
+            FaultPlan::generate(5, 7, 3, &prof),
+            FaultPlan::generate(5, 7, 3, &prof)
+        );
     }
 
     #[test]

@@ -2,16 +2,25 @@
 
 use crate::node::NodeId;
 use parking_lot::RwLock;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Shared record of which nodes and directed links are currently failed.
 ///
 /// A failed node neither receives new messages (they are dropped at the
 /// sender, as on a real network where the host is unreachable) nor should it
 /// keep servicing requests — server loops consult [`FaultTable::is_failed`]
-/// between messages. Recovery makes the node reachable again; the DTM layer
-/// is quorum-replicated, so a recovered server simply resumes with whatever
-/// (possibly stale) state it holds and the version numbers reconcile reads.
+/// between messages. Recovery makes the node reachable again. Two crash
+/// flavours exist:
+///
+/// * **crash-resume** ([`FaultTable::fail`]): the node comes back with
+///   whatever (possibly stale) state it held; version numbers reconcile
+///   reads, so the DTM layer needs no extra machinery.
+/// * **crash-with-amnesia** ([`FaultTable::bump_amnesia`], applied together
+///   with `fail` by `Network::fail_amnesia`): the node's durable state is
+///   presumed lost. The table only records a per-node *amnesia epoch*;
+///   the node's own service loop polls [`FaultTable::amnesia_epoch`] and
+///   wipes its state when the epoch moves, then runs whatever catch-up
+///   protocol the layer above defines before serving again.
 ///
 /// Link faults are *directed*: failing `a → b` silently drops messages from
 /// `a` to `b` while `b → a` keeps working, which models asymmetric routing
@@ -23,6 +32,7 @@ use std::collections::HashSet;
 pub struct FaultTable {
     failed: RwLock<HashSet<NodeId>>,
     links: RwLock<HashSet<(NodeId, NodeId)>>,
+    amnesia: RwLock<HashMap<NodeId, u64>>,
 }
 
 impl FaultTable {
@@ -54,6 +64,22 @@ impl FaultTable {
     /// Snapshot of the failed set, for quorum construction.
     pub fn failed_set(&self) -> HashSet<NodeId> {
         self.failed.read().clone()
+    }
+
+    /// Advance `node`'s amnesia epoch, marking its state as lost. The
+    /// node's service loop detects the change via
+    /// [`FaultTable::amnesia_epoch`] and wipes itself. Returns the new
+    /// epoch (first amnesia crash is epoch 1).
+    pub fn bump_amnesia(&self, node: NodeId) -> u64 {
+        let mut map = self.amnesia.write();
+        let e = map.entry(node).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// `node`'s current amnesia epoch (0 = never amnesia-crashed).
+    pub fn amnesia_epoch(&self, node: NodeId) -> u64 {
+        self.amnesia.read().get(&node).copied().unwrap_or(0)
     }
 
     /// Fail the directed link `src → dst`. Returns `true` if it was
@@ -118,6 +144,22 @@ mod tests {
         assert!(t.recover(NodeId(3)));
         assert!(!t.is_failed(NodeId(3)));
         assert!(!t.recover(NodeId(3)), "double-recover reports not failed");
+    }
+
+    #[test]
+    fn amnesia_epoch_counts_up_per_node() {
+        let t = FaultTable::new();
+        assert_eq!(t.amnesia_epoch(NodeId(2)), 0, "never crashed");
+        assert_eq!(t.bump_amnesia(NodeId(2)), 1);
+        assert_eq!(t.amnesia_epoch(NodeId(2)), 1);
+        assert_eq!(t.bump_amnesia(NodeId(2)), 2);
+        assert_eq!(t.amnesia_epoch(NodeId(2)), 2);
+        assert_eq!(t.amnesia_epoch(NodeId(3)), 0, "epochs are per-node");
+        assert!(
+            !t.is_failed(NodeId(2)),
+            "the epoch alone does not fail the node; Network::fail_amnesia \
+             combines both"
+        );
     }
 
     #[test]

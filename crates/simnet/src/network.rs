@@ -104,6 +104,21 @@ impl<M: Send + 'static> Network<M> {
         self.shared.inboxes[node.index()].drain();
     }
 
+    /// Fault-injection handle: crash `node` **with amnesia** — besides
+    /// failing it and dropping in-flight messages (as [`Network::fail`]),
+    /// its amnesia epoch is advanced so the node's own service loop (via
+    /// [`Endpoint::amnesia_epoch`]) wipes its state before serving again.
+    pub fn fail_amnesia(&self, node: NodeId) {
+        self.shared.faults.fail(node);
+        self.shared.inboxes[node.index()].drain();
+        self.shared.faults.bump_amnesia(node);
+    }
+
+    /// `node`'s amnesia epoch (0 = never amnesia-crashed).
+    pub fn amnesia_epoch(&self, node: NodeId) -> u64 {
+        self.shared.faults.amnesia_epoch(node)
+    }
+
     /// Recover a previously failed node.
     ///
     /// The inbox is drained again on recovery: a sender that raced past the
@@ -179,6 +194,7 @@ impl<M: Send + 'static> Network<M> {
     pub fn apply_fault(&self, action: &FaultAction) {
         match action {
             FaultAction::Crash(n) => self.fail(*n),
+            FaultAction::CrashAmnesia(n) => self.fail_amnesia(*n),
             FaultAction::Recover(n) => self.recover(*n),
             FaultAction::FailLink { src, dst } => self.fail_link(*src, *dst),
             FaultAction::HealLink { src, dst } => self.heal_link(*src, *dst),
@@ -372,6 +388,13 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
         self.shared.faults.is_failed(self.id)
     }
 
+    /// This node's amnesia epoch. A service loop that observes the epoch
+    /// moving past the last value it acted on must treat its local state
+    /// as lost: wipe, then catch up before serving.
+    pub fn amnesia_epoch(&self) -> u64 {
+        self.shared.faults.amnesia_epoch(self.id)
+    }
+
     /// Upper-bound one-way latency of the network's model (for timeouts).
     pub fn max_latency(&self) -> Duration {
         self.shared.latency.max_latency()
@@ -447,6 +470,32 @@ mod tests {
             RecvError::Timeout,
             "in-flight message should have been lost with the crash"
         );
+    }
+
+    #[test]
+    fn amnesia_crash_fails_drains_and_bumps_epoch() {
+        let net: Network<u32> = Network::new(2, LatencyModel::Constant(Duration::from_millis(50)));
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        assert_eq!(b.amnesia_epoch(), 0);
+        a.send(NodeId(1), 1); // in flight for 50 ms
+        net.fail_amnesia(NodeId(1));
+        assert!(net.is_failed(NodeId(1)), "amnesia crash is also a crash");
+        assert_eq!(net.amnesia_epoch(NodeId(1)), 1);
+        net.recover(NodeId(1));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(80)).unwrap_err(),
+            RecvError::Timeout,
+            "in-flight message lost with the crash"
+        );
+        assert_eq!(
+            b.amnesia_epoch(),
+            1,
+            "epoch survives recovery for the node to act on"
+        );
+        a.send(NodeId(1), 2);
+        let (_, v) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(v, 2, "recovered node is reachable again");
     }
 
     #[test]

@@ -13,10 +13,10 @@ use acn_core::{
     AcnController, AlgorithmModule, BlockSeq, ContentionModel, ControllerConfig, ExecStats,
     ExecutorConfig, ExecutorEngine, LatencyHistogram, RetryPolicy, StaticModule, SumModel,
 };
-use acn_dtm::{Cluster, ClusterConfig, HistoryLog};
+use acn_dtm::{Cluster, ClusterConfig, HistoryLog, ServerStats};
 use acn_obs::{
     AbortTable, ContentionLevel, MetricsRegistry, MetricsReport, NetCounters, ObsConfig,
-    TraceSummary, TxnObserver,
+    RecoveryCounters, TraceSummary, TxnObserver,
 };
 use acn_simnet::{FaultPlan, NetStatsSnapshot};
 use acn_txir::{DependencyModel, ObjClass, Stmt};
@@ -153,6 +153,14 @@ pub struct ScenarioResult {
     pub net: NetStatsSnapshot,
     /// Observability outputs, present when [`ScenarioConfig::obs`] was set.
     pub obs: Option<ScenarioObs>,
+    /// Final per-server stats collected at shutdown, in rank order. Carries
+    /// each replica's store digest, so suites can assert replica
+    /// convergence after recovery chaos.
+    pub server_stats: Vec<ServerStats>,
+    /// Replica-recovery counters aggregated over servers (wipes, catch-up
+    /// sync, refusals) and clients (read repair). All-zero on runs without
+    /// amnesia faults or repair traffic.
+    pub recovery: RecoveryCounters,
 }
 
 /// Merged observability outputs of one scenario run.
@@ -229,6 +237,9 @@ impl ScenarioResult {
         })
         .net(net_counters(&self.net))
         .latency(self.latency.summary());
+        if self.recovery != RecoveryCounters::default() {
+            reg.recovery(self.recovery);
+        }
         if let Some(obs) = &self.obs {
             for level in &obs.contention {
                 reg.contention(level.clone());
@@ -389,6 +400,9 @@ pub fn run_scenario_with_model(
     let failed = AtomicU64::new(0);
     // Per-thread observers merge here when the scope ends.
     let merged_obs: Mutex<(AbortTable, TraceSummary)> = Mutex::new(Default::default());
+    // Client-side recovery traffic (read repairs sent, sync refusals seen),
+    // summed over worker threads.
+    let merged_client: Mutex<(u64, u64)> = Mutex::new((0, 0));
     let deadline_len = cfg.interval * cfg.intervals as u32;
     let start = Instant::now();
 
@@ -428,6 +442,7 @@ pub fn run_scenario_with_model(
             let latency = &latency;
             let failed = &failed;
             let merged_obs = &merged_obs;
+            let merged_client = &merged_client;
             let plan = &plan;
             let dms = &dms;
             let engine = ExecutorEngine::with_config(cfg.retry, cfg.exec);
@@ -493,6 +508,12 @@ pub fn run_scenario_with_model(
                     prev = stats;
                 }
                 latency.lock().merge(&hist);
+                {
+                    let cs = client.stats();
+                    let mut m = merged_client.lock();
+                    m.0 += cs.repair_writes_sent;
+                    m.1 += cs.sync_refusals_seen;
+                }
                 if let Some(obs) = &observer {
                     let mut m = merged_obs.lock();
                     let (aborts, trace) = &mut *m;
@@ -539,9 +560,21 @@ pub fn run_scenario_with_model(
     });
 
     let net = cluster.net().stats();
-    cluster.shutdown();
+    let server_stats = cluster.shutdown();
+    let (repair_writes_sent, _sync_refusals_seen) = merged_client.into_inner();
+    let recovery = RecoveryCounters {
+        amnesia_wipes: server_stats.iter().map(|s| s.amnesia_wipes).sum(),
+        syncs_completed: server_stats.iter().map(|s| s.syncs_completed).sum(),
+        sync_objects_received: server_stats.iter().map(|s| s.sync_objects_received).sum(),
+        sync_vote_refusals: server_stats.iter().map(|s| s.sync_vote_refusals).sum(),
+        sync_read_refusals: server_stats.iter().map(|s| s.sync_read_refusals).sum(),
+        repair_writes_sent,
+        repair_writes_applied: server_stats.iter().map(|s| s.repair_writes_applied).sum(),
+    };
 
     ScenarioResult {
+        server_stats,
+        recovery,
         latency: latency.into_inner(),
         system: cfg.system,
         interval: cfg.interval,
@@ -670,6 +703,8 @@ mod tests {
             failed: 0,
             net: NetStatsSnapshot::default(),
             obs: None,
+            server_stats: Vec::new(),
+            recovery: RecoveryCounters::default(),
         };
         assert_eq!(r.throughput(0), 100.0);
         assert_eq!(r.throughput(1), 200.0);

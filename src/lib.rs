@@ -94,7 +94,7 @@ pub mod prelude {
     };
     pub use acn_dtm::{
         check_history, ChildCtx, ClientConfig, Cluster, ClusterConfig, CommitRecord, DtmClient,
-        DtmError, HistoryLog, HistorySummary, TxnCtx, TxnId, Violation,
+        DtmError, HistoryLog, HistorySummary, StoreDigest, SyncConfig, TxnCtx, TxnId, Violation,
     };
     pub use acn_obs::{
         AbortKind, AbortSite, AbortTable, MetricsRegistry, MetricsReport, ObsConfig, TraceRing,

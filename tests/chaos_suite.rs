@@ -102,6 +102,71 @@ fn run_under_seed(workload: &dyn Workload, system: SystemKind, fault_seed: u64) 
     verdict.is_ok()
 }
 
+/// Run one workload under an **amnesia-crash** schedule: one server loses
+/// its entire store mid-run and must catch up from its peers before it may
+/// serve reads or vote again. Asserts the committed history stays clean,
+/// the healed tail makes progress (post-recovery staleness converges), the
+/// wipe-and-catch-up actually happened, and abort attribution still
+/// reconciles exactly — sync refusals included.
+fn run_amnesia_seed(workload: &dyn Workload, system: SystemKind, fault_seed: u64) {
+    eprintln!("amnesia chaos seed {fault_seed} ({system})");
+    let (mut cfg, history) = suite_config(system, fault_seed);
+    cfg.chaos = Some(FaultPlan::generate(
+        fault_seed,
+        7,
+        3,
+        &ChaosProfile {
+            partitions: 0,
+            crashes: 0,
+            amnesia_crashes: 1,
+            ..ChaosProfile::default()
+        },
+    ));
+    cfg.obs = Some(ObsConfig::default());
+    let result = qr_acn::workloads::run_scenario(workload, &cfg);
+
+    let records = history.snapshot();
+    if let Err(violations) = check_history(&records) {
+        panic!(
+            "seed {fault_seed}: amnesia run failed the history checker with {} violation(s): {:#?}",
+            violations.len(),
+            &violations[..violations.len().min(5)]
+        );
+    }
+    assert!(
+        result
+            .intervals
+            .last()
+            .expect("intervals non-empty")
+            .commits
+            > 0,
+        "seed {fault_seed}: no progress after the amnesia window healed: {:?}",
+        result.intervals
+    );
+    assert!(
+        result.recovery.amnesia_wipes >= 1,
+        "seed {fault_seed}: the scheduled amnesia crash must have wiped a replica"
+    );
+    assert!(
+        result.recovery.syncs_completed >= 1,
+        "seed {fault_seed}: the wiped replica must finish catch-up before the run ends \
+         (wipes={}, completed={})",
+        result.recovery.amnesia_wipes,
+        result.recovery.syncs_completed
+    );
+    // Attribution exactness survives recovery back-pressure: every abort
+    // the executor counted — sync-refused commits included — is attributed
+    // exactly once.
+    let obs = result.obs.as_ref().expect("observability was enabled");
+    let counted =
+        result.total_full_aborts() + result.total_partial_aborts() + result.total_locked_aborts();
+    assert_eq!(
+        obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS),
+        counted,
+        "seed {fault_seed}: attributed aborts must equal executor counters under amnesia chaos"
+    );
+}
+
 /// One seed always expands to one fault schedule, and two consecutive runs
 /// of the same seeded scenario reach the same invariant-checker verdict.
 #[test]
@@ -156,6 +221,22 @@ fn vacation_history_is_serializable_under_every_seed() {
     let vacation = Vacation::default();
     for seed in seeds() {
         run_under_seed(&vacation, SystemKind::QrCn, seed);
+    }
+}
+
+#[test]
+fn bank_recovers_from_amnesia_crashes_under_every_seed() {
+    let bank = Bank::default();
+    for seed in seeds() {
+        run_amnesia_seed(&bank, SystemKind::QrAcn, seed);
+    }
+}
+
+#[test]
+fn vacation_recovers_from_amnesia_crashes_under_every_seed() {
+    let vacation = Vacation::default();
+    for seed in seeds() {
+        run_amnesia_seed(&vacation, SystemKind::QrCn, seed);
     }
 }
 
