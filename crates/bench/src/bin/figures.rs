@@ -5,10 +5,12 @@
 //! cargo run --release -p acn-bench --bin figures fig4a      # one subplot
 //! cargo run --release -p acn-bench --bin figures list       # enumerate
 //! cargo run --release -p acn-bench --bin figures readpath   # batched-read ablation
+//! cargo run --release -p acn-bench --bin figures fig4f --trace out/  # span trace
 //! ```
 
 use acn_bench::figures::{
     all_figures, print_figure, print_read_path_ablation, run_figure, write_csv, write_jsonl,
+    write_trace,
 };
 
 fn main() {
@@ -24,6 +26,16 @@ fn main() {
         let dir = args
             .get(i + 1)
             .expect("--jsonl requires a directory")
+            .clone();
+        args.drain(i..=i + 1);
+        std::path::PathBuf::from(dir)
+    });
+    // `--trace DIR` writes each system's span trace as Chrome-trace JSON
+    // (open in Perfetto or chrome://tracing). Requires observability on.
+    let trace_dir = args.iter().position(|a| a == "--trace").map(|i| {
+        let dir = args
+            .get(i + 1)
+            .expect("--trace requires a directory")
             .clone();
         args.drain(i..=i + 1);
         std::path::PathBuf::from(dir)
@@ -71,6 +83,15 @@ fn main() {
         }
         if let Some(dir) = &jsonl_dir {
             for path in write_jsonl(spec, &result, dir).expect("write jsonl") {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        if let Some(dir) = &trace_dir {
+            let paths = write_trace(spec, &result, dir).expect("write trace");
+            if paths.is_empty() {
+                eprintln!("no spans recorded (is ACN_OBS=0?) — no trace written");
+            }
+            for path in paths {
                 eprintln!("wrote {}", path.display());
             }
         }

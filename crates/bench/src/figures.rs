@@ -341,6 +341,44 @@ pub fn write_jsonl(
     Ok(paths)
 }
 
+/// Write one figure's span traces as Chrome-trace JSON, one
+/// `<figure>-<system>.trace.json` file per system that recorded spans —
+/// open them in Perfetto or `chrome://tracing`. Every file is parsed back
+/// with the vendored parser and compared for exact equality before this
+/// returns, so a malformed export never goes unnoticed.
+pub fn write_trace(
+    spec: &FigureSpec,
+    fig: &FigureResult,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for r in &fig.results {
+        let Some(obs) = &r.obs else { continue };
+        if obs.spans.is_empty() {
+            continue;
+        }
+        let text = acn_obs::write_chrome_trace(&obs.spans, &obs.thread_traces);
+        let (spans, threads) = acn_obs::parse_chrome_trace(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        assert_eq!(spans, obs.spans, "Chrome-trace export must round-trip");
+        assert_eq!(
+            threads, obs.thread_traces,
+            "completeness rows must round-trip"
+        );
+        let path = dir.join(format!(
+            "{}-{}.trace.json",
+            spec.id,
+            r.system.to_string().to_lowercase()
+        ));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(text.as_bytes())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
 /// One arm of the read-path ablation: network and client counters for a
 /// run of Bank-style wide-read transactions under one executor config.
 #[derive(Debug, Clone, Copy)]

@@ -17,9 +17,10 @@ use crate::blocks::BlockSeq;
 use crate::executor::rand_like::jitter;
 use crate::executor::{run_block, FlatAccess, Frame, RetryPolicy, RunError, StepError};
 use acn_dtm::{DtmClient, DtmError, TxnCtx};
-use acn_obs::{AbortKind, TxnEvent, TxnObserver};
+use acn_obs::{AbortKind, SpanKind, TxnEvent, TxnObserver};
 use acn_txir::{ObjectId, Program, Value};
 use std::collections::HashMap;
+use std::time::Instant;
 
 fn emit(obs: &mut Option<&mut TxnObserver>, ev: TxnEvent) {
     if let Some(o) = obs.as_deref_mut() {
@@ -140,12 +141,18 @@ pub fn run_checkpointed_observed(
                             kind: AbortKind::CkptRollback,
                         },
                     );
+                    let rb = Instant::now();
                     let (saved_ctx, saved_frame) = snapshots[target].clone();
                     ctx = saved_ctx;
                     frame = saved_frame;
                     // Invalidate bookkeeping past the restore point.
                     first_read_block.retain(|_, &mut b| b < target);
                     block_idx = target;
+                    // The restore itself (state clone + bookkeeping) is the
+                    // checkpoint design's redo overhead — span it.
+                    if let Some(t) = client.tracer_mut() {
+                        t.record_plain(SpanKind::CkptRollback, rb);
+                    }
                 }
                 Err(StepError::Dtm(DtmError::Unavailable)) => return Err(RunError::Unavailable),
                 Err(StepError::Dtm(e)) => {

@@ -9,12 +9,12 @@
 
 use crate::blocks::BlockSeq;
 use acn_dtm::{AbortScope, ChildCtx, DtmClient, DtmError, TxnCtx};
-use acn_obs::{AbortKind, TxnEvent, TxnObserver};
+use acn_obs::{AbortKind, SpanKind, TxnEvent, TxnObserver};
 use acn_txir::{
     prefetchable_opens, AccessMode, EvalError, ObjectId, Operand, Program, Stmt, StmtIdx, Value,
 };
 use rand_like::jitter;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Record `ev` when an observer is attached; a no-op (one branch) when not,
 /// so the unobserved hot path stays unchanged.
@@ -448,7 +448,11 @@ impl ExecutorEngine {
                     if restarts >= self.policy.max_restarts {
                         return Err(RunError::RetriesExhausted);
                     }
+                    let bo = Instant::now();
                     jitter(self.policy.backoff_base, restarts);
+                    if let Some(t) = client.tracer_mut() {
+                        t.record_plain(SpanKind::Backoff, bo);
+                    }
                 }
                 Err(AttemptError::Fatal(RunError::Unavailable))
                     if unavailable < self.policy.max_unavailable_retries =>
@@ -459,7 +463,11 @@ impl ExecutorEngine {
                     unavailable += 1;
                     stats.unavailable_retries += 1;
                     emit(&mut obs, TxnEvent::UnavailableRetry);
+                    let bo = Instant::now();
                     jitter(self.policy.backoff_base.saturating_mul(8), unavailable);
+                    if let Some(t) = client.tracer_mut() {
+                        t.record_plain(SpanKind::Backoff, bo);
+                    }
                 }
                 Err(AttemptError::Fatal(e)) => return Err(e),
             }
@@ -520,6 +528,9 @@ impl ExecutorEngine {
                 let mut partial_tries = 0usize;
                 loop {
                     emit(&mut obs, TxnEvent::BlockStart { block: bi as u32 });
+                    if let Some(t) = client.tracer_mut() {
+                        t.block_start(bi as u32);
+                    }
                     let mut child = ctx.child();
                     // Prefetch this Block's known opens through the child:
                     // the fetches become child-first reads, so a later
@@ -554,9 +565,19 @@ impl ExecutorEngine {
                     match result {
                         Ok(()) => {
                             child.commit_into(&mut ctx);
+                            if let Some(t) = client.tracer_mut() {
+                                t.block_end(false);
+                            }
                             break;
                         }
                         Err(e) => {
+                            // Every error path abandons this Block run —
+                            // whether it retries the Block, escalates, or
+                            // surfaces a fatal error — so the open Block
+                            // span always closes as rolled back.
+                            if let Some(t) = client.tracer_mut() {
+                                t.block_end(true);
+                            }
                             let (scope, blamed) = match &e {
                                 StepError::Dtm(DtmError::Invalidated { objs }) => {
                                     (Some(child.classify(&ctx, objs)), objs.first().copied())

@@ -4,6 +4,7 @@
 use crate::error::DtmError;
 use crate::history::{CommitRecord, HistoryLog};
 use crate::messages::{Msg, ReqId, TxnId, ValidateEntry, Version};
+use acn_obs::{PendingSpan, SpanKind, Tracer};
 use acn_quorum::LevelQuorums;
 use acn_simnet::{Endpoint, Network, NodeId, RecvError};
 use acn_txir::{ObjectId, ObjectVal};
@@ -119,6 +120,10 @@ pub struct DtmClient {
     /// Cluster-wide committed-history log; every successful commit
     /// (read-only validations included) appends a [`CommitRecord`].
     history: Option<Arc<HistoryLog>>,
+    /// Span tracer: when installed *and* a transaction trace is open,
+    /// quorum rounds become spans and requests ship wrapped in
+    /// [`Msg::Traced`] so servers can parent their own spans to the round.
+    tracer: Option<Box<Tracer>>,
 }
 
 /// Process-wide client incarnation counter. Two `DtmClient` instances bound
@@ -152,6 +157,7 @@ impl DtmClient {
             piggybacked: HashMap::new(),
             backoff_state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
             history: None,
+            tracer: None,
         }
     }
 
@@ -165,6 +171,24 @@ impl DtmClient {
     /// serializability checker.
     pub fn set_history(&mut self, history: Arc<HistoryLog>) {
         self.history = Some(history);
+    }
+
+    /// Install a span tracer. The client records one round span per quorum
+    /// RPC broadcast and one lock-wait span per locked-read backoff —
+    /// but only while the tracer has an open transaction, so seeding and
+    /// contention-query traffic stays untraced and unwrapped.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// The installed tracer, for the executor's transaction/Block hooks.
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Remove and return the tracer (drained by the driver at run end).
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take().map(|b| *b)
     }
 
     /// Piggyback a contention sample of `classes` on every subsequent
@@ -185,8 +209,14 @@ impl DtmClient {
         self.endpoint.id()
     }
 
-    /// Start a transaction: allocate its globally unique id.
+    /// Start a transaction: allocate its globally unique id. Each call is
+    /// one execution attempt, so the tracer opens an attempt span here
+    /// (closing the previous one as rolled back if the last attempt never
+    /// finished — that is what a full restart looks like).
     pub fn begin(&mut self) -> TxnId {
+        if let Some(t) = self.tracer.as_mut() {
+            t.begin_attempt();
+        }
         let txn = TxnId {
             client: self.endpoint.id(),
             seq: self.next_txn,
@@ -197,6 +227,49 @@ impl DtmClient {
 
     fn server_node(rank: usize) -> NodeId {
         NodeId(rank as u32)
+    }
+
+    /// The round-span kind a request message opens.
+    fn round_kind(msg: &Msg) -> SpanKind {
+        match msg {
+            Msg::ReadReq { .. } | Msg::ReadBatchReq { .. } => SpanKind::ReadRound,
+            Msg::PrepareReq { .. } => SpanKind::PrepareRound,
+            Msg::CommitReq { .. } => SpanKind::CommitRound,
+            Msg::AbortReq { .. } => SpanKind::AbortRound,
+            _ => SpanKind::QueryRound,
+        }
+    }
+
+    /// Open a round span for `msg` (only while tracing an open transaction)
+    /// and wrap the request with the span's wire context so servers can
+    /// parent their queue/handling spans to it. Returns the message to
+    /// send, its wire size, and the pending span to close at round end.
+    fn trace_round(&mut self, msg: Msg) -> (Msg, u64, Option<PendingSpan>) {
+        let bytes = msg.wire_bytes();
+        match self
+            .tracer
+            .as_mut()
+            .and_then(|t| t.start_round(Self::round_kind(&msg)))
+        {
+            Some(p) => (
+                Msg::Traced {
+                    ctx: p.ctx(),
+                    inner: Box::new(msg),
+                },
+                bytes + 16,
+                Some(p),
+            ),
+            None => (msg, bytes, None),
+        }
+    }
+
+    /// Close a round span opened by [`DtmClient::trace_round`]. Called on
+    /// every exit path — timeouts included — so a server span's parent
+    /// always exists client-side.
+    fn end_round(&mut self, pending: Option<PendingSpan>, failed: bool) {
+        if let (Some(t), Some(p)) = (self.tracer.as_mut(), pending) {
+            t.end_round(p, failed);
+        }
     }
 
     fn alive_fn(&self) -> impl Fn(usize) -> bool {
@@ -283,13 +356,14 @@ impl DtmClient {
         debug_assert!((1..=members.len()).contains(&need));
         let req = self.next_req;
         self.next_req += 1;
-        let msg = build(req);
-        let bytes = msg.wire_bytes();
+        let (msg, bytes, pending) = self.trace_round(build(req));
         let nodes: Vec<NodeId> = members.iter().map(|&m| Self::server_node(m)).collect();
         self.endpoint.broadcast(&nodes, msg, bytes);
         let deadline = Instant::now() + self.cfg.rpc_timeout;
         let mut got = Vec::with_capacity(need);
-        self.gather(req, need, members.len(), deadline, &mut got)?;
+        let res = self.gather(req, need, members.len(), deadline, &mut got);
+        self.end_round(pending, res.is_err());
+        res?;
         self.stats.quorum_waits_saved += (members.len() - got.len()) as u64;
         Ok(got)
     }
@@ -312,7 +386,6 @@ impl DtmClient {
         let req = self.next_req;
         self.next_req += 1;
         let msg = build(req);
-        let bytes = msg.wire_bytes();
         let nodes: Vec<NodeId> = members.iter().map(|&m| Self::server_node(m)).collect();
         let mut got: Vec<(NodeId, Msg)> = Vec::with_capacity(members.len());
         for attempt in 0..=self.cfg.quorum_retries {
@@ -322,13 +395,17 @@ impl DtmClient {
             }
             // Re-broadcast to everyone: servers that already answered hit
             // their dedup cache (or redo an idempotent read), the rest get
-            // another chance to respond.
-            self.endpoint.broadcast(&nodes, msg.clone(), bytes);
+            // another chance to respond. Each broadcast is its own round
+            // span (a fresh wire context), so a retry's server spans are
+            // children of the attempt that actually carried them.
+            let (wire, bytes, pending) = self.trace_round(msg.clone());
+            self.endpoint.broadcast(&nodes, wire, bytes);
             let deadline = Instant::now() + self.cfg.rpc_timeout;
-            if self
+            let ok = self
                 .gather(req, members.len(), members.len(), deadline, &mut got)
-                .is_ok()
-            {
+                .is_ok();
+            self.end_round(pending, !ok);
+            if ok {
                 return Ok(got.into_iter().map(|(_, m)| m).collect());
             }
         }
@@ -343,10 +420,11 @@ impl DtmClient {
     fn abort_best_effort(&mut self, txn: TxnId, members: &[usize]) {
         let req = self.next_req;
         self.next_req += 1;
-        let msg = Msg::AbortReq { txn, req };
-        let bytes = msg.wire_bytes();
+        let (msg, bytes, pending) = self.trace_round(Msg::AbortReq { txn, req });
         let nodes: Vec<NodeId> = members.iter().map(|&m| Self::server_node(m)).collect();
         self.endpoint.broadcast(&nodes, msg, bytes);
+        // No replies are awaited; close the round span at the broadcast.
+        self.end_round(pending, false);
         self.stats.best_effort_aborts += 1;
     }
 
@@ -451,7 +529,11 @@ impl DtmClient {
                 if locked_attempts > self.cfg.locked_retries {
                     return Err(DtmError::LockedOut { obj });
                 }
+                let lw = Instant::now();
                 std::thread::sleep(self.cfg.locked_backoff);
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record_plain(SpanKind::LockWait, lw);
+                }
                 continue;
             }
             let (best_version, best_value) = best.expect("quorum is non-empty");
@@ -601,7 +683,11 @@ impl DtmClient {
                 if locked_attempts > self.cfg.locked_retries {
                     return Err(DtmError::LockedOut { obj });
                 }
+                let lw = Instant::now();
                 std::thread::sleep(self.cfg.locked_backoff);
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record_plain(SpanKind::LockWait, lw);
+                }
                 continue;
             }
             // The round validated `validate[start..]` at every replier, and

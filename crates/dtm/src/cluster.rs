@@ -4,8 +4,10 @@ use crate::client::{ClientConfig, DtmClient};
 use crate::contention::WindowConfig;
 use crate::messages::Msg;
 use crate::server::{Server, ServerStats, SyncConfig};
+use acn_obs::SpanCollector;
 use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
 use acn_simnet::{FaultPlan, LatencyModel, Network, NodeId};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -34,6 +36,11 @@ pub struct ClusterConfig {
     /// first client's phase-2 writes on this replica — a torn commit the
     /// history checker will flag.
     pub prepared_ttl: Duration,
+    /// Shared sink for server-side spans. `None` (the default) leaves the
+    /// servers span-free; when set, every server records inbox-dwell /
+    /// handling / sync-refusal spans for requests that arrive wrapped in
+    /// [`Msg::Traced`].
+    pub spans: Option<Arc<SpanCollector>>,
 }
 
 impl ClusterConfig {
@@ -49,6 +56,7 @@ impl ClusterConfig {
             window: WindowConfig::default(),
             client_cfg: ClientConfig::default(),
             prepared_ttl: Duration::from_secs(30),
+            spans: None,
         }
     }
 
@@ -63,6 +71,7 @@ impl ClusterConfig {
             window: WindowConfig::default(),
             client_cfg: ClientConfig::default(),
             prepared_ttl: Duration::from_secs(30),
+            spans: None,
         }
     }
 }
@@ -92,6 +101,9 @@ impl Cluster {
                     rank,
                     servers: cfg.servers,
                 });
+                if let Some(spans) = &cfg.spans {
+                    server.set_span_collector(spans.clone());
+                }
                 std::thread::Builder::new()
                     .name(format!("qr-server-{rank}"))
                     .spawn(move || server.run(endpoint))

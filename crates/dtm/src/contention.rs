@@ -82,7 +82,9 @@ impl ContentionWindow {
         if elapsed < self.cfg.window {
             return;
         }
-        if elapsed >= self.cfg.window * 2 {
+        let win_ns = self.cfg.window.as_nanos().max(1);
+        let windows = (elapsed.as_nanos() / win_ns).min(u32::MAX as u128) as u32;
+        if windows >= 2 {
             // Two or more windows passed: whatever sits in `current` was
             // collected in a window that ended at least one full (silent)
             // window ago — it is not the "last complete window" any more.
@@ -96,9 +98,13 @@ impl ContentionWindow {
             self.completed = Self::aggregate(&mut self.current);
             self.completed_aborts = Self::aggregate(&mut self.current_aborts);
         }
-        // Jump straight to the current instant rather than advancing by one
-        // window: after an idle gap the window grid restarts here.
-        self.window_start = now;
+        // Advance on the window grid rather than jumping to `now`: a
+        // rotation is triggered by the first event *after* a boundary, and
+        // restarting the window at that event's timestamp would slip the
+        // grid forward by the event's offset on every rotation. Sampled
+        // spans and the driver's per-interval rows share one interval
+        // clock only because the grid holds still.
+        self.window_start += self.cfg.window * windows;
     }
 
     /// Record one committed write to `obj`.
@@ -271,10 +277,30 @@ mod tests {
             "stale current counters are discarded, not carried forward"
         );
 
-        // Exactly one window late (elapsed in [window, 2·window)) still
-        // publishes: the data genuinely is the last complete window.
+        // Exactly one window late (elapsed in [window, 2·window) from the
+        // grid-aligned window start) still publishes: the data genuinely is
+        // the last complete window. t3 sits 50 ms into its grid window, so
+        // 100 ms later is 150 ms past the boundary — one window late.
         w.record_write(ObjectId::new(BRANCH, 1), t3);
-        let t4 = t3 + Duration::from_millis(150);
+        let t4 = t3 + Duration::from_millis(100);
         assert!(w.class_level(BRANCH.id, t4) > 0.0, "on-time data publishes");
+    }
+
+    #[test]
+    fn rotation_grid_does_not_drift_with_late_events() {
+        let mut w = win(100);
+        let t0 = Instant::now();
+        w.record_write(ObjectId::new(BRANCH, 1), t0);
+        // The first event after the boundary arrives 90 ms late. The
+        // rotation must advance the grid to the boundary (t0 + 100 ms),
+        // not restart the window at the event's own timestamp.
+        let t1 = t0 + Duration::from_millis(190);
+        assert!(w.class_level(BRANCH.id, t1) > 0.0, "first window publishes");
+        // 150 ms into the grid window that began at t0 + 100 ms: this must
+        // rotate again (publishing an empty window). Under drift — window
+        // restarted at t0 + 190 ms — we would still be mid-window here and
+        // the stale level would survive.
+        let t2 = t0 + Duration::from_millis(250);
+        assert_eq!(w.class_level(BRANCH.id, t2), 0.0, "grid stays aligned");
     }
 }

@@ -239,6 +239,20 @@ pub enum Msg {
     },
     /// Orderly server termination (cluster shutdown).
     Shutdown,
+    /// A client request wrapped with its causal span context. Servers
+    /// unwrap before handling and record their queue-dwell / handling
+    /// spans as children of `ctx.span` (the client's round span).
+    ///
+    /// [`Msg::kind`] and [`Msg::response_req`] delegate to the inner
+    /// message, so chaos classification — and therefore every seeded fault
+    /// schedule — is identical whether tracing is on or off. Responses are
+    /// never wrapped: the client already owns the round span.
+    Traced {
+        /// Trace id + parent (round) span id.
+        ctx: acn_obs::TraceCtx,
+        /// The wrapped request.
+        inner: Box<Msg>,
+    },
 }
 
 /// Message-kind constants for the chaos layer's (src, dst, kind) filters.
@@ -303,6 +317,7 @@ impl Msg {
             Msg::RepairWrite { .. } => kind::REPAIR_WRITE,
             Msg::Syncing { .. } => kind::SYNCING,
             Msg::Shutdown => kind::SHUTDOWN,
+            Msg::Traced { inner, .. } => inner.kind(),
         }
     }
 
@@ -317,6 +332,7 @@ impl Msg {
             | Msg::ContentionResp { req, .. }
             | Msg::SyncResp { req, .. }
             | Msg::Syncing { req } => Some(*req),
+            Msg::Traced { inner, .. } => inner.response_req(),
             _ => None,
         }
     }
@@ -394,6 +410,8 @@ impl Msg {
             Msg::SyncReq { .. } => HDR + 8,
             Msg::Syncing { .. } => HDR,
             Msg::Shutdown => HDR,
+            // Two span ids ride along with the inner message.
+            Msg::Traced { inner, .. } => inner.wire_bytes() + 16,
         }
     }
 }
@@ -563,6 +581,33 @@ mod tests {
         }
         .wire_bytes();
         assert!(batch(8, 0).wire_bytes() < 8 * single);
+    }
+
+    #[test]
+    fn traced_wrapper_is_transparent_to_chaos_classification() {
+        let t = TxnId {
+            client: NodeId(0),
+            seq: 1,
+        };
+        let inner = Msg::PrepareReq {
+            txn: t,
+            req: 3,
+            validate: vec![],
+            writes: vec![],
+        };
+        let plain_kind = inner.kind();
+        let plain_bytes = inner.wire_bytes();
+        let wrapped = Msg::Traced {
+            ctx: acn_obs::TraceCtx { trace: 7, span: 9 },
+            inner: Box::new(inner),
+        };
+        assert_eq!(
+            wrapped.kind(),
+            plain_kind,
+            "same chaos fate with tracing on or off"
+        );
+        assert_eq!(wrapped.wire_bytes(), plain_bytes + 16);
+        assert_eq!(wrapped.response_req(), None);
     }
 
     #[test]

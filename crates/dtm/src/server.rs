@@ -3,10 +3,12 @@
 use crate::contention::{ContentionWindow, WindowConfig};
 use crate::messages::{Msg, ReqId, TxnId};
 use crate::store::{Store, StoreDigest};
+use acn_obs::{RawSpan, SpanCollector, SpanKind, FLAG_ROLLED_BACK};
 use acn_quorum::LevelQuorums;
 use acn_simnet::{Endpoint, NodeId, RecvError};
 use acn_txir::ObjectId;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Counters a server reports on shutdown.
@@ -119,6 +121,11 @@ pub struct Server {
     amnesia_seen: u64,
     /// When the message-path lazy sweep last ran (see [`Server::handle`]).
     last_sweep: Instant,
+    /// Sink for server-side spans (inbox dwell, handling, sync refusals),
+    /// parented by the trace context a [`Msg::Traced`] request carries.
+    /// `None` (the default) disables span recording entirely; spans never
+    /// touch [`ServerStats`].
+    spans: Option<Arc<SpanCollector>>,
 }
 
 /// Lock-release sentinel for writes installed outside 2PC (sync catch-up
@@ -161,7 +168,15 @@ impl Server {
             server_req: 0,
             amnesia_seen: 0,
             last_sweep: Instant::now(),
+            spans: None,
         }
+    }
+
+    /// Install the span sink the service loop records server-side spans
+    /// into. Spans are only recorded for requests that arrive wrapped in
+    /// [`Msg::Traced`]; bare requests stay span-free either way.
+    pub fn set_span_collector(&mut self, spans: Arc<SpanCollector>) {
+        self.spans = Some(spans);
     }
 
     /// Override the prepare TTL (see `DEFAULT_PREPARED_TTL` for the safety
@@ -330,6 +345,13 @@ impl Server {
     /// expired lock could outlive its TTL by a full idle gap and reject
     /// the very prepare that just arrived.
     pub fn handle(&mut self, msg: Msg, now: Instant) -> Option<Msg> {
+        // Unwrap a trace envelope defensively so direct calls (tests,
+        // embedders) behave exactly like the service loop, which strips
+        // the envelope itself to time the handling.
+        let msg = match msg {
+            Msg::Traced { inner, .. } => *inner,
+            other => other,
+        };
         let sweep_every = (self.prepared_ttl / 4).max(Duration::from_millis(100));
         if now.saturating_duration_since(self.last_sweep) >= sweep_every {
             self.sweep_expired(now);
@@ -632,13 +654,63 @@ impl Server {
             }
             // A short receive keeps the amnesia poll and probe cadence
             // responsive while the node is failed or idle.
-            match endpoint.recv_timeout(Duration::from_millis(20)) {
-                Ok((src, Msg::Shutdown)) => {
-                    let _ = src;
-                    break;
-                }
-                Ok((src, msg)) => {
-                    if let Some(reply) = self.handle_from(src, msg, Instant::now()) {
+            match endpoint.recv_timeout_meta(Duration::from_millis(20)) {
+                Ok((src, msg, meta)) => {
+                    // Strip the trace envelope before dispatch so handling
+                    // (and the Shutdown check) sees the bare request; the
+                    // carried context parents the server-side spans below.
+                    let (ctx, msg) = match msg {
+                        Msg::Traced { ctx, inner } => (Some(ctx), *inner),
+                        other => (None, other),
+                    };
+                    if matches!(msg, Msg::Shutdown) {
+                        break;
+                    }
+                    let reply = self.handle_from(src, msg, Instant::now());
+                    if let (Some(spans), Some(ctx)) = (self.spans.as_ref(), ctx) {
+                        let node = endpoint.id().0;
+                        let done = Instant::now();
+                        // Inbox dwell: matured on the wire at `deliver_at`,
+                        // picked up by this single-threaded loop at
+                        // `received_at` — the server-queue segment.
+                        spans.record(RawSpan {
+                            parent: ctx.span,
+                            trace: ctx.trace,
+                            kind: SpanKind::ServerQueue,
+                            node,
+                            start: meta.deliver_at,
+                            end: meta.received_at,
+                            flags: 0,
+                        });
+                        spans.record(RawSpan {
+                            parent: ctx.span,
+                            trace: ctx.trace,
+                            kind: SpanKind::ServerHandle,
+                            node,
+                            start: meta.received_at,
+                            end: done,
+                            flags: 0,
+                        });
+                        // A refusal while catching up reads as a rolled-back
+                        // server span: the client will retry elsewhere.
+                        let refused = matches!(
+                            &reply,
+                            Some(Msg::Syncing { .. })
+                                | Some(Msg::PrepareResp { syncing: true, .. })
+                        );
+                        if refused {
+                            spans.record(RawSpan {
+                                parent: ctx.span,
+                                trace: ctx.trace,
+                                kind: SpanKind::SyncRefusal,
+                                node,
+                                start: meta.received_at,
+                                end: done,
+                                flags: FLAG_ROLLED_BACK,
+                            });
+                        }
+                    }
+                    if let Some(reply) = reply {
                         let bytes = reply.wire_bytes();
                         endpoint.send_sized(src, reply, bytes);
                     }

@@ -15,19 +15,32 @@
 //!   neutral mirrors of executor / checkpoint / network / latency /
 //!   contention counters with a JSON-lines exporter whose output parses
 //!   back to an equal report.
+//! - **Span tracer** ([`Tracer`] / [`SpanCollector`] / [`critical_path`]):
+//!   causal spans across client, wire and servers with a per-committed-txn
+//!   critical-path decomposition and a Chrome-trace/Perfetto exporter
+//!   ([`write_chrome_trace`]) whose output parses back exactly.
 
 #![warn(missing_docs)]
 
 mod attribution;
+mod chrome;
 mod event;
 pub mod json;
 mod registry;
+mod span;
 mod trace;
 
 pub use attribution::{AbortSite, AbortTable, TxnObserver};
+pub use chrome::{parse_chrome_trace, write_chrome_trace};
 pub use event::{AbortKind, TxnEvent};
 pub use registry::{
-    AbortRow, CheckpointCounters, ContentionLevel, ExecCounters, LatencySummary, MetricsRegistry,
-    MetricsReport, NetCounters, RecoveryCounters,
+    AbortRow, CheckpointCounters, ContentionLevel, CritPathRow, ExecCounters, LatencySummary,
+    MetricsRegistry, MetricsReport, NetCounters, RecoveryCounters, ThreadTraceRow,
+    SERVER_TRACE_THREAD,
+};
+pub use span::{
+    aggregate_critpath, critical_path, BlockCost, PendingSpan, RawSpan, Span, SpanCollector,
+    SpanKind, SpanRing, TraceCtx, Tracer, TxnCritPath, DEFAULT_SPAN_CAPACITY, FLAG_COMMITTED,
+    FLAG_ROLLED_BACK,
 };
 pub use trace::{ObsConfig, TraceRing, TraceSummary, DEFAULT_TRACE_CAPACITY};

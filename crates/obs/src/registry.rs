@@ -138,6 +138,60 @@ pub struct AbortRow {
     pub count: u64,
 }
 
+/// One `(class, block)` row of the aggregated commit critical path: where
+/// the end-to-end latency of committed transactions went. Transaction-wide
+/// segments (`redo`, `local`) live on the class's `block = -1` row;
+/// per-Block rows carry only the `{net, srvq, lock}` split of their rounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CritPathRow {
+    /// Workload class (transaction template) name.
+    pub class: String,
+    /// Block index (`-1` = outside any Block / whole transaction).
+    pub block: i64,
+    /// Committed transactions contributing to this row.
+    pub txns: u64,
+    /// Local compute + bookkeeping nanoseconds.
+    pub local_ns: u64,
+    /// Network + server-handle nanoseconds.
+    pub net_ns: u64,
+    /// Server inbox dwell nanoseconds (slowest responder per round).
+    pub srvq_ns: u64,
+    /// Client lock-wait sleep nanoseconds.
+    pub lock_ns: u64,
+    /// Rollback-redo nanoseconds (discarded attempts + restart backoff).
+    pub redo_ns: u64,
+}
+
+/// `ThreadTraceRow::thread` value naming the shared server-side span
+/// collector rather than a client worker thread. Chosen to fit the JSON
+/// codec's `i64` integers while never colliding with a thread index.
+pub const SERVER_TRACE_THREAD: u64 = 1 << 32;
+
+/// One worker thread's span-ring completeness: how much of its trace the
+/// bounded ring kept. `thread == SERVER_TRACE_THREAD` is the server-side
+/// collector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadTraceRow {
+    /// Worker thread index (or [`SERVER_TRACE_THREAD`]).
+    pub thread: u64,
+    /// Spans recorded (dropped ones included).
+    pub recorded: u64,
+    /// Spans overwritten because the ring was full.
+    pub dropped: u64,
+    /// Ring capacity, in spans.
+    pub capacity: u64,
+}
+
+impl ThreadTraceRow {
+    /// Share of recorded spans the ring kept, as an integer percentage
+    /// (an empty ring counts as 100% complete).
+    pub fn kept_pct(&self) -> u64 {
+        ((self.recorded - self.dropped) * 100)
+            .checked_div(self.recorded)
+            .unwrap_or(100)
+    }
+}
+
 /// Everything a run exports, in one comparable value.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsReport {
@@ -159,6 +213,10 @@ pub struct MetricsReport {
     pub contention: Vec<ContentionLevel>,
     /// Abort attribution rows, in [`AbortTable`] key order.
     pub aborts: Vec<AbortRow>,
+    /// Aggregated critical-path rows, keyed by `(class, block)`.
+    pub critpath: Vec<CritPathRow>,
+    /// Per-thread span-ring completeness rows.
+    pub thread_traces: Vec<ThreadTraceRow>,
     /// Trace-ring counters summed over threads.
     pub trace: TraceSummary,
 }
@@ -278,6 +336,28 @@ impl MetricsReport {
             out.push_str(&o.finish());
             out.push('\n');
         }
+        for r in &self.critpath {
+            let mut o = JsonObj::new("critpath");
+            o.str_field("class", &r.class)
+                .i64_field("block", r.block)
+                .u64_field("txns", r.txns)
+                .u64_field("local_ns", r.local_ns)
+                .u64_field("net_ns", r.net_ns)
+                .u64_field("srvq_ns", r.srvq_ns)
+                .u64_field("lock_ns", r.lock_ns)
+                .u64_field("redo_ns", r.redo_ns);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        for t in &self.thread_traces {
+            let mut o = JsonObj::new("trace_thread");
+            o.u64_field("thread", t.thread)
+                .u64_field("recorded", t.recorded)
+                .u64_field("dropped", t.dropped)
+                .u64_field("capacity", t.capacity);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
         {
             let t = &self.trace;
             let mut o = JsonObj::new("trace");
@@ -390,6 +470,25 @@ impl MetricsReport {
                         count: req_u64(&map, "count").map_err(ctx)?,
                     });
                 }
+                "critpath" => report.critpath.push(CritPathRow {
+                    class: req_str(&map, "class").map_err(ctx)?,
+                    block: match map.get("block") {
+                        Some(JsonVal::Int(n)) => *n,
+                        other => return Err(ctx(format!("bad block field {other:?}"))),
+                    },
+                    txns: req_u64(&map, "txns").map_err(ctx)?,
+                    local_ns: req_u64(&map, "local_ns").map_err(ctx)?,
+                    net_ns: req_u64(&map, "net_ns").map_err(ctx)?,
+                    srvq_ns: req_u64(&map, "srvq_ns").map_err(ctx)?,
+                    lock_ns: req_u64(&map, "lock_ns").map_err(ctx)?,
+                    redo_ns: req_u64(&map, "redo_ns").map_err(ctx)?,
+                }),
+                "trace_thread" => report.thread_traces.push(ThreadTraceRow {
+                    thread: req_u64(&map, "thread").map_err(ctx)?,
+                    recorded: req_u64(&map, "recorded").map_err(ctx)?,
+                    dropped: req_u64(&map, "dropped").map_err(ctx)?,
+                    capacity: req_u64(&map, "capacity").map_err(ctx)?,
+                }),
                 "trace" => {
                     report.trace = TraceSummary {
                         recorded: req_u64(&map, "recorded").map_err(ctx)?,
@@ -483,6 +582,18 @@ impl MetricsRegistry {
         self
     }
 
+    /// Publish the aggregated critical-path rows.
+    pub fn critpath(&mut self, rows: Vec<CritPathRow>) -> &mut Self {
+        self.report.critpath = rows;
+        self
+    }
+
+    /// Append one thread's (or the server collector's) span completeness.
+    pub fn thread_trace(&mut self, row: ThreadTraceRow) -> &mut Self {
+        self.report.thread_traces.push(row);
+        self
+    }
+
     /// Publish the merged trace-ring counters.
     pub fn trace(&mut self, trace: TraceSummary) -> &mut Self {
         self.report.trace = trace;
@@ -562,6 +673,40 @@ mod tests {
                 aborts_milli: 9_000,
             })
             .aborts(&table)
+            .critpath(vec![
+                CritPathRow {
+                    class: "transfer".into(),
+                    block: -1,
+                    txns: 100,
+                    local_ns: 5_000,
+                    net_ns: 1_000,
+                    srvq_ns: 200,
+                    lock_ns: 0,
+                    redo_ns: 900,
+                },
+                CritPathRow {
+                    class: "transfer".into(),
+                    block: 0,
+                    txns: 100,
+                    local_ns: 0,
+                    net_ns: 7_000,
+                    srvq_ns: 800,
+                    lock_ns: 300,
+                    redo_ns: 0,
+                },
+            ])
+            .thread_trace(ThreadTraceRow {
+                thread: 0,
+                recorded: 600,
+                dropped: 12,
+                capacity: 2048,
+            })
+            .thread_trace(ThreadTraceRow {
+                thread: SERVER_TRACE_THREAD,
+                recorded: 400,
+                dropped: 0,
+                capacity: 2048,
+            })
             .trace(TraceSummary {
                 recorded: 1_000,
                 dropped: 12,
@@ -586,6 +731,14 @@ mod tests {
             report.exec.total_aborts()
         );
         assert_eq!(report.top_classes(1), vec![("Branch".to_owned(), 7)]);
+    }
+
+    #[test]
+    fn completeness_percentage_is_sane() {
+        let report = sample_report();
+        assert_eq!(report.thread_traces[0].kept_pct(), 98);
+        assert_eq!(report.thread_traces[1].kept_pct(), 100);
+        assert_eq!(ThreadTraceRow::default().kept_pct(), 100);
     }
 
     #[test]

@@ -17,12 +17,19 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 pub struct ObsConfig {
     /// Capacity of each thread's trace ring, in events.
     pub trace_capacity: usize,
+    /// Record causal spans (client rounds, server dwell, Blocks) too.
+    pub trace_spans: bool,
+    /// Capacity of each thread's span ring (and the shared server-side
+    /// collector), in spans.
+    pub span_capacity: usize,
 }
 
 impl Default for ObsConfig {
     fn default() -> Self {
         ObsConfig {
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            trace_spans: true,
+            span_capacity: crate::span::DEFAULT_SPAN_CAPACITY,
         }
     }
 }

@@ -68,6 +68,9 @@ pub struct Envelope<M> {
     pub src: NodeId,
     /// Destination node.
     pub dst: NodeId,
+    /// Instant the sender handed the message to the network (span tracing
+    /// splits a round into wire time vs. inbox dwell with this).
+    pub sent_at: Instant,
     /// Earliest instant at which the destination may observe the message.
     pub deliver_at: Instant,
     /// Global send sequence number (tie-breaker for equal `deliver_at`).
@@ -109,6 +112,7 @@ mod tests {
         Envelope {
             src: NodeId(0),
             dst: NodeId(1),
+            sent_at: at,
             deliver_at: at,
             seq,
             payload: Payload::Owned(0),

@@ -135,10 +135,12 @@ mod tests {
     use crate::node::NodeId;
 
     fn env(payload: u32, delay: Duration, seq: u64) -> Envelope<u32> {
+        let now = Instant::now();
         Envelope {
             src: NodeId(0),
             dst: NodeId(1),
-            deliver_at: Instant::now() + delay,
+            sent_at: now,
+            deliver_at: now + delay,
             seq,
             payload: Payload::Owned(payload),
         }
@@ -198,6 +200,7 @@ mod tests {
             inbox.push(Envelope {
                 src: NodeId(0),
                 dst: NodeId(1),
+                sent_at: at,
                 deliver_at: at,
                 seq,
                 payload: Payload::Owned(seq as u32),

@@ -52,6 +52,6 @@ pub use envelope::{Envelope, Payload};
 pub use fault::FaultTable;
 pub use inbox::RecvError;
 pub use latency::LatencyModel;
-pub use network::{Endpoint, Network};
+pub use network::{Endpoint, Network, RecvMeta};
 pub use node::NodeId;
 pub use stats::{NetStats, NetStatsSnapshot};

@@ -232,6 +232,20 @@ impl<M: Send + 'static> Network<M> {
     }
 }
 
+/// Timing metadata of one received message, for span tracing: the gap
+/// `deliver_at − sent_at` is modelled wire latency, `received_at −
+/// deliver_at` is inbox dwell (server queueing) — the time the message sat
+/// mature in the inbox before the service loop picked it up.
+#[derive(Debug, Clone, Copy)]
+pub struct RecvMeta {
+    /// When the sender handed the message to the network.
+    pub sent_at: Instant,
+    /// When the message became observable at the destination.
+    pub deliver_at: Instant,
+    /// When the receiving thread actually dequeued it.
+    pub received_at: Instant,
+}
+
 /// A node's connection to the network.
 pub struct Endpoint<M> {
     id: NodeId,
@@ -333,10 +347,12 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
 
     fn enqueue(&self, to: NodeId, payload: Payload<M>, bytes: u64, extra: Duration) {
         let delay = self.shared.latency.sample(&mut rand::thread_rng()) + extra;
+        let now = Instant::now();
         let env = Envelope {
             src: self.id,
             dst: to,
-            deliver_at: Instant::now() + delay,
+            sent_at: now,
+            deliver_at: now + delay,
             seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
             payload,
         };
@@ -369,6 +385,30 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
         self.shared.inboxes[self.id.index()]
             .recv_deadline(deadline)
             .map(|e| (e.src, e.payload.into_inner()))
+    }
+
+    /// [`Endpoint::recv_timeout`] that also reports the message's timing
+    /// metadata (see [`RecvMeta`]).
+    pub fn recv_timeout_meta(&self, timeout: Duration) -> Result<(NodeId, M, RecvMeta), RecvError> {
+        self.recv_deadline_meta(Instant::now() + timeout)
+    }
+
+    /// [`Endpoint::recv_deadline`] that also reports the message's timing
+    /// metadata (see [`RecvMeta`]).
+    pub fn recv_deadline_meta(
+        &self,
+        deadline: Instant,
+    ) -> Result<(NodeId, M, RecvMeta), RecvError> {
+        self.shared.inboxes[self.id.index()]
+            .recv_deadline(deadline)
+            .map(|e| {
+                let meta = RecvMeta {
+                    sent_at: e.sent_at,
+                    deliver_at: e.deliver_at,
+                    received_at: Instant::now(),
+                };
+                (e.src, e.payload.into_inner(), meta)
+            })
     }
 
     /// Non-blocking receive.
@@ -520,6 +560,22 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         n2.shutdown();
         assert_eq!(h.join().unwrap().unwrap_err(), RecvError::Closed);
+    }
+
+    #[test]
+    fn recv_meta_separates_wire_time_from_inbox_dwell() {
+        let net: Network<u32> = Network::new(2, LatencyModel::Constant(Duration::from_millis(10)));
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), 5);
+        std::thread::sleep(Duration::from_millis(25)); // let it sit mature
+        let (_, v, meta) = b.recv_timeout_meta(Duration::from_secs(1)).unwrap();
+        assert_eq!(v, 5);
+        assert!(meta.deliver_at - meta.sent_at >= Duration::from_millis(10));
+        assert!(
+            meta.received_at - meta.deliver_at >= Duration::from_millis(10),
+            "message matured well before the receive, so dwell must show"
+        );
     }
 
     #[test]

@@ -15,8 +15,9 @@ use acn_core::{
 };
 use acn_dtm::{Cluster, ClusterConfig, HistoryLog, ServerStats};
 use acn_obs::{
-    AbortTable, ContentionLevel, MetricsRegistry, MetricsReport, NetCounters, ObsConfig,
-    RecoveryCounters, TraceSummary, TxnObserver,
+    aggregate_critpath, critical_path, AbortTable, ContentionLevel, CritPathRow, MetricsRegistry,
+    MetricsReport, NetCounters, ObsConfig, RecoveryCounters, Span, SpanCollector, ThreadTraceRow,
+    TraceSummary, Tracer, TxnCritPath, TxnObserver, SERVER_TRACE_THREAD,
 };
 use acn_simnet::{FaultPlan, NetStatsSnapshot};
 use acn_txir::{DependencyModel, ObjClass, Stmt};
@@ -173,6 +174,17 @@ pub struct ScenarioObs {
     /// Per-class contention levels sampled from the cluster right after
     /// the measurement deadline (empty if the quorum was unavailable).
     pub contention: Vec<ContentionLevel>,
+    /// Every span the run kept — client rings and the server collector
+    /// merged, sorted by `(trace, start, id)`. Empty when
+    /// [`ObsConfig::trace_spans`] is off.
+    pub spans: Vec<Span>,
+    /// Per-committed-transaction critical-path decomposition.
+    pub critpath: Vec<TxnCritPath>,
+    /// [`ScenarioObs::critpath`] aggregated per `(class, block)`.
+    pub critpath_rows: Vec<CritPathRow>,
+    /// Span-ring completeness per worker thread, plus the server
+    /// collector's row under [`SERVER_TRACE_THREAD`].
+    pub thread_traces: Vec<ThreadTraceRow>,
 }
 
 impl ScenarioResult {
@@ -245,6 +257,10 @@ impl ScenarioResult {
                 reg.contention(level.clone());
             }
             reg.aborts(&obs.aborts).trace(obs.trace);
+            reg.critpath(obs.critpath_rows.clone());
+            for row in &obs.thread_traces {
+                reg.thread_trace(*row);
+            }
         }
         reg.snapshot()
     }
@@ -346,7 +362,18 @@ pub fn run_scenario_with_model(
         cfg.client_threads <= cfg.cluster.clients,
         "not enough client slots"
     );
-    let cluster = Cluster::start(cfg.cluster.clone());
+    // Span tracing: one bounded collector shared by every server thread,
+    // drained (with the same origin instant as the client rings) after
+    // shutdown.
+    let span_collector = match cfg.obs {
+        Some(o) if o.trace_spans => Some(Arc::new(SpanCollector::new(o.span_capacity))),
+        _ => None,
+    };
+    let mut cluster_cfg = cfg.cluster.clone();
+    if cluster_cfg.spans.is_none() {
+        cluster_cfg.spans = span_collector.clone();
+    }
+    let cluster = Cluster::start(cluster_cfg);
 
     // Seed initial state from slot 0 before measurement starts. The seeder
     // records into the history log too — the checker needs the initial
@@ -400,6 +427,9 @@ pub fn run_scenario_with_model(
     let failed = AtomicU64::new(0);
     // Per-thread observers merge here when the scope ends.
     let merged_obs: Mutex<(AbortTable, TraceSummary)> = Mutex::new(Default::default());
+    // Per-thread span rings drain here; the server collector's spans join
+    // after shutdown (when every server thread has flushed).
+    let merged_spans: Mutex<(Vec<Span>, Vec<ThreadTraceRow>)> = Mutex::new(Default::default());
     // Client-side recovery traffic (read repairs sent, sync refusals seen),
     // summed over worker threads.
     let merged_client: Mutex<(u64, u64)> = Mutex::new((0, 0));
@@ -438,10 +468,17 @@ pub fn run_scenario_with_model(
             if let Some(h) = &cfg.history {
                 client.set_history(Arc::clone(h));
             }
+            if let Some(o) = cfg.obs.filter(|o| o.trace_spans) {
+                // Origin = the measurement start, the same zero the
+                // interval clock and the server collector drain use.
+                let node = (cfg.cluster.servers + t) as u32;
+                client.set_tracer(Tracer::new(start, node, t as u64, o.span_capacity));
+            }
             let buckets = &buckets;
             let latency = &latency;
             let failed = &failed;
             let merged_obs = &merged_obs;
+            let merged_spans = &merged_spans;
             let merged_client = &merged_client;
             let plan = &plan;
             let dms = &dms;
@@ -469,7 +506,10 @@ pub fn run_scenario_with_model(
                             c.current()
                         }
                     };
-                    if let Err(e) = engine.run_timed_observed(
+                    if let Some(tr) = client.tracer_mut() {
+                        tr.start_txn(req.template as u16);
+                    }
+                    let res = engine.run_timed_observed(
                         &mut client,
                         &dm.program,
                         &req.params,
@@ -477,7 +517,11 @@ pub fn run_scenario_with_model(
                         &mut stats,
                         &mut hist,
                         observer.as_mut(),
-                    ) {
+                    );
+                    if let Some(tr) = client.tracer_mut() {
+                        tr.end_txn(res.is_ok());
+                    }
+                    if let Err(e) = res {
                         if cfg.chaos.is_some() {
                             // A fault window can legitimately starve this
                             // client; count it and keep the thread alive so
@@ -507,6 +551,17 @@ pub fn run_scenario_with_model(
                     );
                     prev = stats;
                 }
+                if let Some(tracer) = client.take_tracer() {
+                    let (spans, summary) = tracer.drain();
+                    let mut m = merged_spans.lock();
+                    m.0.extend(spans);
+                    m.1.push(ThreadTraceRow {
+                        thread: t as u64,
+                        recorded: summary.recorded,
+                        dropped: summary.dropped,
+                        capacity: summary.capacity,
+                    });
+                }
                 latency.lock().merge(&hist);
                 {
                     let cs = client.stats();
@@ -531,7 +586,7 @@ pub fn run_scenario_with_model(
     // While the cluster is still up: one contention sample over every class
     // the workload touches (best-effort — a chaos plan may have taken the
     // quorum down, in which case the report just omits contention rows).
-    let obs = cfg.obs.map(|_| {
+    let mut obs = cfg.obs.map(|_| {
         let (aborts, trace) = merged_obs.into_inner();
         let classes = collect_classes(&dms);
         let ids: Vec<u16> = classes.iter().map(|c| c.id).collect();
@@ -556,11 +611,44 @@ pub fn run_scenario_with_model(
             aborts,
             trace,
             contention,
+            spans: Vec::new(),
+            critpath: Vec::new(),
+            critpath_rows: Vec::new(),
+            thread_traces: Vec::new(),
         }
     });
 
     let net = cluster.net().stats();
     let server_stats = cluster.shutdown();
+
+    // Every server thread has joined: drain the shared span sink, merge it
+    // with the client rings, and decompose the committed transactions'
+    // critical paths.
+    if let Some(obs) = obs.as_mut() {
+        let (mut spans, mut thread_rows) = merged_spans.into_inner();
+        if let Some(collector) = &span_collector {
+            let (srv, summary) = collector.drain(start);
+            spans.extend(srv);
+            thread_rows.push(ThreadTraceRow {
+                thread: SERVER_TRACE_THREAD,
+                recorded: summary.recorded,
+                dropped: summary.dropped,
+                capacity: summary.capacity,
+            });
+        }
+        spans.sort_by_key(|s| (s.trace, s.start_ns, s.id));
+        thread_rows.sort_by_key(|r| r.thread);
+        let critpath = critical_path(&spans);
+        let critpath_rows = aggregate_critpath(&critpath, |c| {
+            dms.get(c as usize)
+                .map(|dm| dm.program.name.to_string())
+                .unwrap_or_else(|| format!("class{c}"))
+        });
+        obs.spans = spans;
+        obs.critpath = critpath;
+        obs.critpath_rows = critpath_rows;
+        obs.thread_traces = thread_rows;
+    }
     let (repair_writes_sent, _sync_refusals_seen) = merged_client.into_inner();
     let recovery = RecoveryCounters {
         amnesia_wipes: server_stats.iter().map(|s| s.amnesia_wipes).sum(),

@@ -20,7 +20,7 @@
 //! | [`quorum`] | `acn-quorum` | Agrawal–El Abbadi tree quorums (level-majority + classic) |
 //! | [`txir`] | `acn-txir` | transaction IR, UnitGraph, data-flow, UnitBlock extraction |
 //! | [`dtm`] | `acn-dtm` | QR-DTM replication protocol + QR-CN closed nesting + contention windows |
-//! | [`obs`] | `acn-obs` | observability: txn traces, abort attribution, unified metrics export |
+//! | [`obs`] | `acn-obs` | observability: span tracer + critical paths, abort attribution, metrics export |
 //! | [`core`] | `acn-core` | ACN: static/dynamic/algorithm modules, executor engine, controller |
 //! | [`workloads`] | `acn-workloads` | Bank, Vacation, TPC-C + the measurement driver |
 //!
@@ -97,8 +97,10 @@ pub mod prelude {
         DtmError, HistoryLog, HistorySummary, StoreDigest, SyncConfig, TxnCtx, TxnId, Violation,
     };
     pub use acn_obs::{
-        AbortKind, AbortSite, AbortTable, MetricsRegistry, MetricsReport, ObsConfig, TraceRing,
-        TraceSummary, TxnEvent, TxnObserver,
+        aggregate_critpath, critical_path, parse_chrome_trace, write_chrome_trace, AbortKind,
+        AbortSite, AbortTable, CritPathRow, MetricsRegistry, MetricsReport, ObsConfig, Span,
+        SpanCollector, SpanKind, ThreadTraceRow, TraceCtx, TraceRing, TraceSummary, Tracer,
+        TxnCritPath, TxnEvent, TxnObserver, SERVER_TRACE_THREAD,
     };
     pub use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
     pub use acn_simnet::{

@@ -167,6 +167,72 @@ fn run_amnesia_seed(workload: &dyn Workload, system: SystemKind, fault_seed: u64
     );
 }
 
+/// Under a faulted run — message drops, duplicates, delays and an amnesia
+/// crash — every server-side span must still attach to a client-side parent
+/// span. The client closes its round span on *every* exit path (timeouts
+/// included), so a server span whose request was duplicated, or whose reply
+/// was dropped, still resolves to a recorded parent: no orphans.
+#[test]
+fn server_spans_have_client_parents_under_chaos() {
+    let bank = Bank::default();
+    let fault_seed = SEEDS[2];
+    eprintln!("orphan-span chaos seed {fault_seed}");
+    let (mut cfg, _history) = suite_config(SystemKind::QrCn, fault_seed);
+    cfg.chaos = Some(FaultPlan::generate(
+        fault_seed,
+        7,
+        3,
+        &ChaosProfile {
+            partitions: 0,
+            crashes: 0,
+            amnesia_crashes: 1,
+            ..ChaosProfile::default()
+        },
+    ));
+    // Rings big enough that nothing is evicted: a dropped client span would
+    // make the check vacuous (an orphan could hide behind the eviction).
+    cfg.obs = Some(ObsConfig {
+        span_capacity: 1 << 18,
+        ..ObsConfig::default()
+    });
+    let result = qr_acn::workloads::run_scenario(&bank, &cfg);
+
+    let obs = result.obs.as_ref().expect("observability was enabled");
+    for row in &obs.thread_traces {
+        assert_eq!(
+            row.dropped, 0,
+            "seed {fault_seed}: ring {} evicted spans; orphan check would be vacuous",
+            row.thread
+        );
+    }
+    let client_ids: std::collections::HashSet<u64> = obs
+        .spans
+        .iter()
+        .filter(|s| !SpanKind::SERVER.contains(&s.kind))
+        .map(|s| s.id)
+        .collect();
+    let server_spans: Vec<&Span> = obs
+        .spans
+        .iter()
+        .filter(|s| SpanKind::SERVER.contains(&s.kind))
+        .collect();
+    assert!(
+        !server_spans.is_empty(),
+        "seed {fault_seed}: a faulted bank run must record server-side spans"
+    );
+    for s in &server_spans {
+        assert!(
+            s.parent != 0 && client_ids.contains(&s.parent),
+            "seed {fault_seed}: orphan {:?} span on node {} (parent {} not found \
+             among {} client spans)",
+            s.kind,
+            s.node,
+            s.parent,
+            client_ids.len()
+        );
+    }
+}
+
 /// One seed always expands to one fault schedule, and two consecutive runs
 /// of the same seeded scenario reach the same invariant-checker verdict.
 #[test]

@@ -85,3 +85,118 @@ fn report_carries_every_interval_counter() {
         r.obs.as_ref().unwrap().trace.recorded
     );
 }
+
+/// The critical-path decomposition telescopes *exactly*: for every
+/// committed transaction, `redo + lock + srvq + net + local` equals the
+/// end-to-end span duration in integer nanoseconds — no residue, no
+/// double-counting — and the per-class aggregate counts every decomposed
+/// transaction exactly once.
+#[test]
+fn critical_path_sums_to_end_to_end() {
+    let r = observed_bank_scenario();
+    let obs = r.obs.as_ref().expect("observability was enabled");
+    assert!(
+        !obs.critpath.is_empty(),
+        "committed transactions must decompose into critical paths"
+    );
+    for p in &obs.critpath {
+        assert_eq!(
+            p.redo_ns + p.lock_ns + p.srvq_ns + p.net_ns + p.local_ns,
+            p.end_to_end_ns,
+            "segments must telescope exactly for trace {}",
+            p.trace
+        );
+    }
+    // Ring accounting: one row per client worker thread plus the shared
+    // server collector's row.
+    assert_eq!(obs.thread_traces.len(), 4 + 1);
+    assert!(obs
+        .thread_traces
+        .iter()
+        .any(|row| row.thread == SERVER_TRACE_THREAD));
+    // The whole-transaction (block == -1) aggregate rows carry the txn
+    // counts: together they count every decomposed transaction once.
+    let total: u64 = obs
+        .critpath_rows
+        .iter()
+        .filter(|row| row.block == -1)
+        .map(|row| row.txns)
+        .sum();
+    assert_eq!(total, obs.critpath.len() as u64);
+}
+
+/// The CI trace artifact: a contended Bank run over a lossy-free but slow
+/// network whose Chrome-trace export round-trips *exactly* through the
+/// vendored parser, and whose spans show the full client→server→client
+/// nesting with non-zero server-queue and lock-wait segments. Prints the
+/// repro seed on success; writes the trace into `$OBS_TRACE_DIR` when set
+/// (CI uploads it as a workflow artifact).
+#[test]
+fn trace_artifact_round_trips() {
+    let bank = Bank::new(BankConfig {
+        hot_pool: 4,
+        cold_pool: 512,
+        write_pct: 95,
+    });
+    for seed in 42u64..=46 {
+        let mut cfg = ScenarioConfig::scaled(SystemKind::QrCn, 4);
+        cfg.cluster = ClusterConfig::test(10, 4);
+        cfg.cluster.latency = LatencyModel::Uniform {
+            min: Duration::from_micros(20),
+            max: Duration::from_micros(120),
+        };
+        cfg.cluster.window.window = Duration::from_millis(40);
+        cfg.intervals = 2;
+        cfg.interval = Duration::from_millis(100);
+        cfg.seed = seed;
+        cfg.obs = Some(ObsConfig::default());
+        let r = run_scenario(&bank, &cfg);
+        let obs = r.obs.as_ref().expect("observability was enabled");
+
+        let dur_of = |kind: SpanKind| -> u64 {
+            obs.spans
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(|s| s.dur_ns)
+                .sum()
+        };
+        let lock = dur_of(SpanKind::LockWait);
+        let srvq = dur_of(SpanKind::ServerQueue);
+        if lock == 0 || srvq == 0 || obs.critpath.is_empty() {
+            eprintln!("seed {seed}: lock={lock}ns srvq={srvq}ns — retrying with next seed");
+            continue;
+        }
+        println!("trace artifact repro: contended Bank, seed {seed}");
+
+        // Full nesting: some server-queue span hangs off a client quorum
+        // round, which hangs off a committed attempt.
+        let nested = obs.spans.iter().any(|sq| {
+            sq.kind == SpanKind::ServerQueue
+                && obs.spans.iter().any(|round| {
+                    round.id == sq.parent
+                        && SpanKind::ROUNDS.contains(&round.kind)
+                        && obs
+                            .spans
+                            .iter()
+                            .any(|att| att.id == round.parent && att.kind == SpanKind::Attempt)
+                })
+        });
+        assert!(nested, "seed {seed}: no client→server→client span chain");
+
+        // Exact export/import round-trip through the vendored parser.
+        let text = write_chrome_trace(&obs.spans, &obs.thread_traces);
+        let (spans, rows) = parse_chrome_trace(&text).expect("trace must parse");
+        assert_eq!(spans, obs.spans, "span round-trip must be exact");
+        assert_eq!(rows, obs.thread_traces, "thread rows must round-trip");
+
+        if let Ok(dir) = std::env::var("OBS_TRACE_DIR") {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).expect("create OBS_TRACE_DIR");
+            let path = dir.join(format!("bank-contended-seed{seed}.trace.json"));
+            std::fs::write(&path, &text).expect("write trace artifact");
+            println!("wrote {}", path.display());
+        }
+        return;
+    }
+    panic!("no seed in 42..=46 produced both lock-wait and server-queue spans");
+}
