@@ -107,12 +107,14 @@ fn bench_read_path(c: &mut Criterion) {
             "unbatched",
             ExecutorConfig {
                 batched_reads: false,
+                ..ExecutorConfig::default()
             },
         ),
         (
             "batched",
             ExecutorConfig {
                 batched_reads: true,
+                ..ExecutorConfig::default()
             },
         ),
     ];

@@ -1,0 +1,464 @@
+//! The batch-ingest before/after benchmark: `BENCH_seed.json` (closed
+//! loop) vs `BENCH_batch.json` (conflict-graph batch scheduling), on the
+//! saturated Bank and the TPC-C NewOrder profile.
+//!
+//! The seed arm is the repo's ordinary closed loop: every worker generates
+//! and retries its own transactions, so under a saturated hot set most of
+//! the cluster's time goes into optimistic work that validation then
+//! throws away. The batch arm feeds the same workload through the
+//! conflict-graph wave scheduler: statically known conflicts become
+//! ordering edges, independent transactions run concurrently, and the
+//! dynamic leftovers surface as `Spec*` aborts repaired by partial
+//! rollback. The third arm — same scheduler, flat sequences — is the
+//! Block-STM-style ablation: every mis-speculation pays a full
+//! re-execution, isolating what partial rollback itself buys.
+
+use acn_core::RetryPolicy;
+use acn_dtm::ClusterConfig;
+use acn_obs::AbortKind;
+use acn_simnet::LatencyModel;
+use acn_workloads::bank::{Bank, BankConfig};
+use acn_workloads::tpcc::{Tpcc, TpccConfig, TpccMix};
+use acn_workloads::{
+    run_scenario, BatchConfig, ScenarioConfig, ScenarioResult, SpecMode, SystemKind, Workload,
+};
+use std::time::Duration;
+
+/// Run shape for the before/after comparison. [`BenchScale::full`] is the
+/// recorded configuration; [`BenchScale::smoke`] is the CI-sized variant.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Worker threads (= client slots).
+    pub threads: usize,
+    /// Measurement windows per arm.
+    pub intervals: usize,
+    /// Window length.
+    pub interval: Duration,
+    /// Transactions per scheduled wave.
+    pub wave: usize,
+}
+
+impl BenchScale {
+    /// The configuration behind the recorded `BENCH_*.json` numbers.
+    pub fn full() -> Self {
+        BenchScale {
+            threads: 8,
+            intervals: 5,
+            interval: Duration::from_millis(400),
+            wave: 32,
+        }
+    }
+
+    /// Reduced scale for the CI bench-smoke job: same shape, ~6x shorter.
+    pub fn smoke() -> Self {
+        BenchScale {
+            threads: 4,
+            intervals: 3,
+            interval: Duration::from_millis(120),
+            wave: 16,
+        }
+    }
+}
+
+/// The saturated Bank: a small hot pool of branches under 90% writes.
+/// Sixteen branches across eight optimistic workers collide on most
+/// attempts (each transfer writes two branches), so the closed loop
+/// discards over half its work as validation aborts — while the colored
+/// conflict graph still yields enough parallel width to keep the workers
+/// fed. A pool of four would serialize the graph itself (every pair of
+/// transfers conflicts) and measure nothing but the chain.
+fn saturated_bank() -> Bank {
+    Bank::new(BankConfig {
+        hot_pool: 16,
+        cold_pool: 2048,
+        write_pct: 90,
+    })
+}
+
+/// TPC-C NewOrder: Param-indexed warehouse/district/stock opens resolve
+/// exactly; the Var-indexed order rows keep the template inexact. Under
+/// the default pessimistic fallback the whole profile serializes
+/// (max_width 1), so this workload runs with `speculate_inexact` —
+/// inexact pairs get no edge, real collisions surface dynamically as
+/// `Spec*` aborts, and the [`SpecMode`] arms measure what the recovery
+/// strategy costs when speculation is genuinely wrong.
+fn tpcc_new_order() -> Tpcc {
+    Tpcc::new(
+        TpccConfig {
+            warehouses: 1,
+            districts_per_warehouse: 4,
+            customers_per_district: 400,
+            items: 200,
+            ol_min: 5,
+            ol_max: 10,
+        },
+        TpccMix::NEW_ORDER,
+    )
+}
+
+fn bench_scenario(scale: &BenchScale, batch: Option<BatchConfig>) -> ScenarioConfig {
+    let mut cluster = ClusterConfig::paper(scale.threads);
+    cluster.latency = LatencyModel::Uniform {
+        min: Duration::from_micros(80),
+        max: Duration::from_micros(240),
+    };
+    cluster.window.window = Duration::from_millis(150);
+    let mut cfg = ScenarioConfig::scaled(SystemKind::QrCn, scale.threads);
+    cfg.cluster = cluster;
+    cfg.intervals = scale.intervals;
+    cfg.interval = scale.interval;
+    cfg.retry = RetryPolicy::default();
+    cfg.obs = crate::figures::obs_from_env();
+    cfg.batch = batch;
+    cfg
+}
+
+/// The measured summary of one arm.
+#[derive(Debug, Clone)]
+pub struct ArmSummary {
+    /// Arm label (`closed_loop`, `batch_partial`, `batch_full_restart`).
+    pub label: &'static str,
+    /// Mean committed transactions per second over the whole run.
+    pub commits_per_sec: f64,
+    /// p99 end-to-end commit latency, milliseconds.
+    pub p99_ms: f64,
+    /// Where the p99 came from: the span critical path when tracing was
+    /// on, the commit-latency histogram otherwise.
+    pub p99_source: &'static str,
+    /// Total commits.
+    pub commits: u64,
+    /// Abort mix: `(kind label, count)` for every executor kind that
+    /// fired, from attribution when observability was on, from the
+    /// interval counters otherwise.
+    pub aborts: Vec<(&'static str, u64)>,
+    /// Wave-scheduling aggregates (batch arms only).
+    pub waves: Option<acn_core::WaveStats>,
+}
+
+/// Condense one scenario result into the exported arm summary.
+pub fn summarize(label: &'static str, r: &ScenarioResult) -> ArmSummary {
+    let secs = r.interval.as_secs_f64() * r.intervals.len() as f64;
+    let (p99_ms, p99_source) = match r.obs.as_ref().filter(|o| !o.critpath.is_empty()) {
+        Some(obs) => {
+            let mut e2e: Vec<u64> = obs.critpath.iter().map(|c| c.end_to_end_ns).collect();
+            e2e.sort_unstable();
+            let idx = ((e2e.len() as f64 * 0.99).ceil() as usize).clamp(1, e2e.len()) - 1;
+            (e2e[idx] as f64 / 1e6, "critpath")
+        }
+        None => (
+            r.latency
+                .percentile(0.99)
+                .map(|d| d.as_secs_f64() * 1e3)
+                .unwrap_or(0.0),
+            "histogram",
+        ),
+    };
+    let aborts = match &r.obs {
+        Some(obs) => AbortKind::EXECUTOR_KINDS
+            .iter()
+            .map(|k| (k.label(), obs.aborts.total_of(std::slice::from_ref(k))))
+            .filter(|(_, n)| *n > 0)
+            .collect(),
+        None => [
+            ("full", r.total_full_aborts()),
+            ("partial", r.total_partial_aborts()),
+            ("locked", r.total_locked_aborts()),
+        ]
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .collect(),
+    };
+    ArmSummary {
+        label,
+        commits_per_sec: r.total_commits() as f64 / secs,
+        p99_ms,
+        p99_source,
+        commits: r.total_commits(),
+        aborts,
+        waves: r.batch,
+    }
+}
+
+/// All three arms of one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadBench {
+    /// Short workload key used in the JSON (`bank`, `tpcc_neworder`).
+    pub key: &'static str,
+    /// Whether the batch arms speculated through inexact access sets
+    /// instead of taking the class-level pessimistic fallback.
+    pub speculate_inexact: bool,
+    /// Closed-loop seed arm.
+    pub seed: ArmSummary,
+    /// Batch arm with partial-rollback repair.
+    pub partial: ArmSummary,
+    /// Batch arm with Block-STM-style full re-execution.
+    pub full_restart: ArmSummary,
+}
+
+impl WorkloadBench {
+    /// Batch (partial) throughput over the closed-loop seed.
+    pub fn speedup_vs_seed(&self) -> f64 {
+        self.partial.commits_per_sec / self.seed.commits_per_sec.max(1e-9)
+    }
+
+    /// Partial-rollback batch throughput over the full-restart ablation.
+    pub fn partial_over_full(&self) -> f64 {
+        self.partial.commits_per_sec / self.full_restart.commits_per_sec.max(1e-9)
+    }
+}
+
+/// Run the three arms for one workload. `speculate_inexact` picks the
+/// scheduler's policy for access sets the static analysis could not
+/// resolve: `false` keeps the pessimistic class-level fallback, `true`
+/// drops those edges and lets dynamic validation + rollback repair the
+/// collisions.
+pub fn bench_workload(
+    key: &'static str,
+    workload: &dyn Workload,
+    scale: &BenchScale,
+    speculate_inexact: bool,
+) -> WorkloadBench {
+    let arm = |label, batch: Option<BatchConfig>| {
+        eprintln!("  {key}: {label} …");
+        summarize(
+            label,
+            &run_scenario(workload, &bench_scenario(scale, batch)),
+        )
+    };
+    let seed = arm("closed_loop", None);
+    let partial = arm(
+        "batch_partial",
+        Some(BatchConfig {
+            wave: scale.wave,
+            spec: SpecMode::Partial,
+            overlap: true,
+            speculate_inexact,
+        }),
+    );
+    let full_restart = arm(
+        "batch_full_restart",
+        Some(BatchConfig {
+            wave: scale.wave,
+            spec: SpecMode::FullRestart,
+            overlap: true,
+            speculate_inexact,
+        }),
+    );
+    WorkloadBench {
+        key,
+        speculate_inexact,
+        seed,
+        partial,
+        full_restart,
+    }
+}
+
+fn json_arm(a: &ArmSummary, indent: &str) -> String {
+    let aborts: Vec<String> = a
+        .aborts
+        .iter()
+        .map(|(k, n)| format!("\"{k}\": {n}"))
+        .collect();
+    let mut s = format!(
+        "{indent}\"commits_per_sec\": {:.1},\n\
+         {indent}\"p99_ms\": {:.3},\n\
+         {indent}\"p99_source\": \"{}\",\n\
+         {indent}\"commits\": {},\n\
+         {indent}\"aborts\": {{{}}}",
+        a.commits_per_sec,
+        a.p99_ms,
+        a.p99_source,
+        a.commits,
+        aborts.join(", ")
+    );
+    if let Some(w) = &a.waves {
+        s.push_str(&format!(
+            ",\n{indent}\"waves\": {},\n\
+             {indent}\"wave_txns\": {},\n\
+             {indent}\"wave_edges\": {},\n\
+             {indent}\"pessimistic_edges\": {},\n\
+             {indent}\"inexact_txns\": {},\n\
+             {indent}\"cross_edges\": {},\n\
+             {indent}\"mean_layers\": {:.2},\n\
+             {indent}\"max_width\": {}",
+            w.waves,
+            w.txns,
+            w.edges,
+            w.pessimistic_edges,
+            w.inexact_txns,
+            w.cross_edges,
+            w.layers as f64 / (w.waves.max(1)) as f64,
+            w.max_width
+        ));
+    }
+    s
+}
+
+/// Render `BENCH_seed.json`: the closed-loop baseline per workload.
+pub fn render_seed_json(benches: &[WorkloadBench], scale: &BenchScale) -> String {
+    let mut out = String::from("{\n  \"bench\": \"batch_seed\",\n  \"mode\": \"closed_loop\",\n");
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"intervals\": {},\n  \"interval_ms\": {},\n",
+        scale.threads,
+        scale.intervals,
+        scale.interval.as_millis()
+    ));
+    out.push_str("  \"workloads\": {\n");
+    let entries: Vec<String> = benches
+        .iter()
+        .map(|b| {
+            format!(
+                "    \"{}\": {{\n{}\n    }}",
+                b.key,
+                json_arm(&b.seed, "      ")
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Render `BENCH_batch.json`: the batch arms, the speedup over the seed,
+/// and the partial-vs-full-restart ablation.
+pub fn render_batch_json(benches: &[WorkloadBench], scale: &BenchScale) -> String {
+    let mut out = String::from("{\n  \"bench\": \"batch\",\n  \"mode\": \"batch_partial\",\n");
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"intervals\": {},\n  \"interval_ms\": {},\n  \"wave\": {},\n",
+        scale.threads,
+        scale.intervals,
+        scale.interval.as_millis(),
+        scale.wave
+    ));
+    out.push_str("  \"workloads\": {\n");
+    let entries: Vec<String> = benches
+        .iter()
+        .map(|b| {
+            format!(
+                "    \"{}\": {{\n      \"speculate_inexact\": {},\n{},\n      \
+                 \"speedup_vs_seed\": {:.2},\n      \"ablation\": {{\n\
+                         \"full_restart\": {{\n{}\n        }}\n      }},\n      \
+                 \"partial_over_full_restart\": {:.2}\n    }}",
+                b.key,
+                b.speculate_inexact,
+                json_arm(&b.partial, "      "),
+                b.speedup_vs_seed(),
+                json_arm(&b.full_restart, "          "),
+                b.partial_over_full()
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Run the whole before/after benchmark and write `BENCH_seed.json` and
+/// `BENCH_batch.json` into `dir`. Returns the per-workload summaries.
+pub fn run_batch_bench(
+    scale: &BenchScale,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<WorkloadBench>> {
+    std::fs::create_dir_all(dir)?;
+    let bank = saturated_bank();
+    let tpcc = tpcc_new_order();
+    let benches = vec![
+        bench_workload("bank", &bank, scale, false),
+        bench_workload("tpcc_neworder", &tpcc, scale, true),
+    ];
+    std::fs::write(
+        dir.join("BENCH_seed.json"),
+        render_seed_json(&benches, scale),
+    )?;
+    std::fs::write(
+        dir.join("BENCH_batch.json"),
+        render_batch_json(&benches, scale),
+    )?;
+    for b in &benches {
+        println!(
+            "{:>14}: closed loop {:>7.1}/s | batch {:>7.1}/s ({:.2}x) | full-restart {:>7.1}/s \
+             (partial/full {:.2}x) | p99 {:.1}ms -> {:.1}ms [{}]",
+            b.key,
+            b.seed.commits_per_sec,
+            b.partial.commits_per_sec,
+            b.speedup_vs_seed(),
+            b.full_restart.commits_per_sec,
+            b.partial_over_full(),
+            b.seed.p99_ms,
+            b.partial.p99_ms,
+            b.partial.p99_source,
+        );
+        if let Some(w) = &b.partial.waves {
+            println!(
+                "{:>14}  waves={} txns={} edges={} (pessimistic {}, cross {}) inexact={} \
+                 mean_layers={:.1} max_width={} speculate_inexact={}",
+                "",
+                w.waves,
+                w.txns,
+                w.edges,
+                w.pessimistic_edges,
+                w.cross_edges,
+                w.inexact_txns,
+                w.layers as f64 / w.waves.max(1) as f64,
+                w.max_width,
+                b.speculate_inexact,
+            );
+        }
+    }
+    Ok(benches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let arm = |label, cps| ArmSummary {
+            label,
+            commits_per_sec: cps,
+            p99_ms: 4.2,
+            p99_source: "histogram",
+            commits: 100,
+            aborts: vec![("spec_full", 3), ("locked_out", 1)],
+            waves: Some(acn_core::WaveStats {
+                waves: 5,
+                txns: 160,
+                edges: 40,
+                pessimistic_edges: 8,
+                inexact_txns: 12,
+                layers: 15,
+                max_width: 9,
+                cross_edges: 7,
+            }),
+        };
+        let b = WorkloadBench {
+            key: "bank",
+            speculate_inexact: false,
+            seed: ArmSummary {
+                waves: None,
+                ..arm("closed_loop", 100.0)
+            },
+            partial: arm("batch_partial", 150.0),
+            full_restart: arm("batch_full_restart", 120.0),
+        };
+        assert!((b.speedup_vs_seed() - 1.5).abs() < 1e-9);
+        assert!((b.partial_over_full() - 1.25).abs() < 1e-9);
+        let scale = BenchScale::smoke();
+        let seed = render_seed_json(std::slice::from_ref(&b), &scale);
+        let batch = render_batch_json(std::slice::from_ref(&b), &scale);
+        for text in [&seed, &batch] {
+            assert_eq!(
+                text.matches('{').count(),
+                text.matches('}').count(),
+                "balanced braces in:\n{text}"
+            );
+        }
+        assert!(seed.contains("\"closed_loop\"") || seed.contains("batch_seed"));
+        assert!(batch.contains("\"speedup_vs_seed\": 1.50"));
+        assert!(batch.contains("\"full_restart\""));
+        assert!(batch.contains("\"pessimistic_edges\": 8"));
+        assert!(batch.contains("\"cross_edges\": 7"));
+        assert!(batch.contains("\"speculate_inexact\": false"));
+    }
+}

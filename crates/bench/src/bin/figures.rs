@@ -5,6 +5,8 @@
 //! cargo run --release -p acn-bench --bin figures fig4a      # one subplot
 //! cargo run --release -p acn-bench --bin figures list       # enumerate
 //! cargo run --release -p acn-bench --bin figures readpath   # batched-read ablation
+//! cargo run --release -p acn-bench --bin figures batch      # batch-ingest before/after
+//! cargo run --release -p acn-bench --bin figures batch --smoke --out dir/  # CI scale
 //! cargo run --release -p acn-bench --bin figures fig4f --trace out/  # span trace
 //! ```
 
@@ -45,6 +47,39 @@ fn main() {
     if args.first().map(String::as_str) == Some("list") {
         for f in &figs {
             println!("{:7} {} — paper: {}", f.id, f.title, f.paper_claim);
+        }
+        return;
+    }
+
+    if args.first().map(String::as_str) == Some("batch") {
+        use acn_bench::batch_bench::{run_batch_bench, BenchScale};
+        let scale = if args.iter().any(|a| a == "--smoke") {
+            BenchScale::smoke()
+        } else {
+            BenchScale::full()
+        };
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        let benches = run_batch_bench(&scale, &out).expect("batch bench failed");
+        eprintln!(
+            "wrote {} and {}",
+            out.join("BENCH_seed.json").display(),
+            out.join("BENCH_batch.json").display()
+        );
+        // The CI smoke leg only checks the pipeline end to end; the
+        // speedup floor is asserted at full scale.
+        if !args.iter().any(|a| a == "--smoke") {
+            let bank = benches.iter().find(|b| b.key == "bank").unwrap();
+            assert!(
+                bank.speedup_vs_seed() >= 1.3,
+                "batch mode must beat the closed loop by >=1.3x on the saturated Bank \
+                 (got {:.2}x)",
+                bank.speedup_vs_seed()
+            );
         }
         return;
     }

@@ -91,6 +91,7 @@ fn main() {
             chaos: None,
             history: None,
             obs: obs_from_env(),
+            batch: None,
         };
         let r = run_scenario(workload.as_ref(), &cfg);
         let per: Vec<String> = (0..cfg.intervals)

@@ -175,6 +175,7 @@ pub fn run_figure(spec: &FigureSpec) -> FigureResult {
             chaos: None,
             history: None,
             obs: obs_from_env(),
+            batch: None,
         };
         eprintln!("  {system} …");
         results.push(run_scenario(spec.workload.as_ref(), &cfg));
@@ -439,6 +440,7 @@ pub fn read_path_sample(objects: usize, txns: usize, batched: bool) -> ReadPathS
         RetryPolicy::default(),
         ExecutorConfig {
             batched_reads: batched,
+            ..ExecutorConfig::default()
         },
     );
     let net_before = cluster.net().stats();

@@ -7,4 +7,5 @@
 //! paper's reported improvements. The `figures` binary is the CLI front
 //! end; criterion micro-benchmarks live in `benches/`.
 
+pub mod batch_bench;
 pub mod figures;

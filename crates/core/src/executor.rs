@@ -63,12 +63,21 @@ pub struct ExecutorConfig {
     /// back to single reads. On by default; turn off for the unbatched
     /// baseline in ablations.
     pub batched_reads: bool,
+    /// The transaction runs under the batch scheduler's conflict-graph
+    /// speculation: dynamic conflicts are mis-speculations (the static
+    /// access sets missed them), so the conflict-driven abort sites emit
+    /// [`AbortKind::SpecPartial`] / [`AbortKind::SpecFull`] instead of the
+    /// ordinary contention kinds. Counters are untouched — only the
+    /// attribution label changes, so the exactness invariant holds in both
+    /// modes. Off by default (closed-loop execution).
+    pub speculation: bool,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
         ExecutorConfig {
             batched_reads: true,
+            speculation: false,
         }
     }
 }
@@ -592,7 +601,11 @@ impl ExecutorEngine {
                                         TxnEvent::PartialAbort {
                                             block: bi as u32,
                                             obj: blamed,
-                                            kind: AbortKind::Partial,
+                                            kind: if self.config.speculation {
+                                                AbortKind::SpecPartial
+                                            } else {
+                                                AbortKind::Partial
+                                            },
                                         },
                                     );
                                     partial_tries += 1;
@@ -650,7 +663,11 @@ impl ExecutorEngine {
                     TxnEvent::FullAbort {
                         block,
                         obj: objs.first().copied(),
-                        kind: AbortKind::ReadInvalid,
+                        kind: if self.config.speculation {
+                            AbortKind::SpecFull
+                        } else {
+                            AbortKind::ReadInvalid
+                        },
                     },
                 );
                 AttemptError::Restart
@@ -680,6 +697,8 @@ impl ExecutorEngine {
                 // can tell recovery stalls from data contention.
                 let kind = if syncing && invalid.is_empty() && locked.is_empty() {
                     AbortKind::SyncRefused
+                } else if self.config.speculation {
+                    AbortKind::SpecFull
                 } else {
                     AbortKind::CommitConflict
                 };
@@ -1003,6 +1022,7 @@ mod tests {
             RetryPolicy::default(),
             ExecutorConfig {
                 batched_reads: false,
+                ..ExecutorConfig::default()
             },
         );
         let mut stats = ExecStats::default();

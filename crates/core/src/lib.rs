@@ -41,6 +41,7 @@ mod controller;
 mod dynamic_module;
 mod executor;
 mod histogram;
+mod scheduler;
 mod static_module;
 
 pub use algorithm::{AlgorithmConfig, AlgorithmModule};
@@ -51,4 +52,7 @@ pub use controller::{AcnController, ControllerConfig, SamplingMode};
 pub use dynamic_module::{DynamicModule, LevelMetric};
 pub use executor::{ExecStats, ExecutorConfig, ExecutorEngine, RetryPolicy, RunError};
 pub use histogram::LatencyHistogram;
+pub use scheduler::{
+    conflicts, conflicts_with, plan_wave, plan_wave_with, InexactPolicy, WavePlan, WaveStats,
+};
 pub use static_module::StaticModule;

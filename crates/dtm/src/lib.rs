@@ -37,6 +37,7 @@ mod context;
 mod error;
 mod history;
 mod messages;
+mod pool;
 mod server;
 mod store;
 
@@ -47,5 +48,6 @@ pub use context::{ChildCtx, TxnCtx};
 pub use error::{AbortScope, DtmError};
 pub use history::{check_history, CommitRecord, HistoryLog, HistorySummary, Violation};
 pub use messages::{kind as msg_kind, BatchRead, Msg, ReqId, TxnId, ValidateEntry, Version};
+pub use pool::ClientPool;
 pub use server::{Server, ServerStats, SyncConfig};
 pub use store::{ClassDigest, Store, StoreDigest, VersionedObject};

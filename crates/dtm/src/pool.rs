@@ -1,0 +1,104 @@
+//! A reusable pool of client handles for scheduled (batch) execution.
+//!
+//! The closed-loop driver builds one [`DtmClient`] per worker thread and
+//! lets the thread own it for the whole run. The batch scheduler has a
+//! different shape: a coordinator hands transactions to whichever worker's
+//! conflict indegree drained first, and the per-run configuration (history
+//! log, tracer, piggyback classes) must survive across *every* transaction
+//! a worker executes. Rebuilding a handle per scheduled transaction would
+//! re-allocate the endpoint receive state and silently drop the tracer ring
+//! and client stats each time; the pool builds each slot's handle **once**
+//! at startup, leases it to the executing worker, and gives the whole set
+//! back at shutdown so stats and span rings can be drained.
+
+use crate::client::DtmClient;
+use crate::cluster::Cluster;
+use parking_lot::{Mutex, MutexGuard};
+
+/// Slot-indexed pool of [`DtmClient`] handles, built once per run.
+pub struct ClientPool {
+    slots: Vec<Mutex<DtmClient>>,
+}
+
+impl ClientPool {
+    /// Build handles for client slots `0..slots` of `cluster`. Each slot's
+    /// endpoint is created exactly once — the per-slot receive queue and a
+    /// slot's transaction-id band both assume a single live handle.
+    pub fn new(cluster: &Cluster, slots: usize) -> Self {
+        ClientPool {
+            slots: (0..slots).map(|i| Mutex::new(cluster.client(i))).collect(),
+        }
+    }
+
+    /// Number of pooled slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Apply per-slot startup configuration (history log, tracer,
+    /// piggyback classes) before workers start executing.
+    pub fn configure(&self, mut f: impl FnMut(usize, &mut DtmClient)) {
+        for (i, slot) in self.slots.iter().enumerate() {
+            f(i, &mut slot.lock());
+        }
+    }
+
+    /// Lease slot `i`'s handle for one scheduled transaction (or a whole
+    /// worker loop). The guard's lifetime bounds the lease; the handle —
+    /// with its accumulated stats, backoff state and tracer — stays in the
+    /// pool for the next lease.
+    pub fn lease(&self, i: usize) -> MutexGuard<'_, DtmClient> {
+        self.slots[i].lock()
+    }
+
+    /// Tear the pool down, yielding every handle in slot order so the
+    /// caller can drain tracers and client stats.
+    pub fn into_clients(self) -> Vec<DtmClient> {
+        self.slots.into_iter().map(Mutex::into_inner).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use acn_txir::{FieldId, ObjClass, ObjectId, Value};
+
+    const ACCT: ObjClass = ObjClass::new(0, "acct");
+    const BAL: FieldId = FieldId(0);
+
+    #[test]
+    fn handles_persist_across_leases() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 2));
+        let pool = ClientPool::new(&cluster, 2);
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+        // Two transactions through the same leased slot: the second sees
+        // the first's committed write, and the handle's stats accumulate.
+        {
+            let mut c = pool.lease(0);
+            let mut ctx = crate::context::TxnCtx::begin(&mut c);
+            ctx.open(&mut c, ObjectId::new(ACCT, 1), true).unwrap();
+            ctx.set_field(ObjectId::new(ACCT, 1), BAL, Value::Int(7));
+            ctx.commit(&mut c).unwrap();
+        }
+        {
+            let mut c = pool.lease(0);
+            let mut ctx = crate::context::TxnCtx::begin(&mut c);
+            ctx.open(&mut c, ObjectId::new(ACCT, 1), false).unwrap();
+            assert_eq!(ctx.get_field(ObjectId::new(ACCT, 1), BAL), Value::Int(7));
+        }
+        let clients = pool.into_clients();
+        assert_eq!(clients.len(), 2);
+        assert!(
+            clients[0].stats().commits >= 1,
+            "stats survived the lease boundary"
+        );
+        cluster.shutdown();
+    }
+}

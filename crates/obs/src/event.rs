@@ -8,11 +8,14 @@ use acn_txir::ObjectId;
 
 /// Why an execution attempt (or one Block of it) was thrown away.
 ///
-/// The first six kinds are emitted by the nesting executor and map
-/// one-to-one onto its [`ExecStats`]-incrementing sites, so
-/// `sum(attributed aborts over executor kinds) == full_aborts +
-/// partial_aborts + locked_aborts`. The checkpoint runner uses its own two
-/// kinds so a mixed run never conflates the two partial-rollback designs.
+/// The executor kinds ([`AbortKind::EXECUTOR_KINDS`]) are emitted by the
+/// nesting executor and map one-to-one onto its [`ExecStats`]-incrementing
+/// sites, so `sum(attributed aborts over executor kinds) == full_aborts +
+/// partial_aborts + locked_aborts`. Under speculative batch execution the
+/// same sites emit the `Spec*` variants instead, so a report separates
+/// scheduler mis-speculation from ordinary contention without disturbing
+/// that invariant. The checkpoint runner uses its own two kinds so a mixed
+/// run never conflates the two partial-rollback designs.
 ///
 /// [`ExecStats`]: crate::ExecCounters
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -34,6 +37,13 @@ pub enum AbortKind {
     /// catching up after a crash-with-amnesia — recovery back-pressure,
     /// not data contention (no stale and no locked object was named).
     SyncRefused,
+    /// Mis-speculation under the batch scheduler recovered by a child-scope
+    /// partial rollback — a conflict the static access sets missed, repaired
+    /// from the offending Block instead of a full re-execution.
+    SpecPartial,
+    /// Mis-speculation under the batch scheduler that forced a full
+    /// re-execution (Block-STM-style recovery; the ablation's other arm).
+    SpecFull,
     /// Checkpoint runner: rollback to an intermediate checkpoint.
     CkptRollback,
     /// Checkpoint runner: restart from the very beginning.
@@ -44,13 +54,15 @@ impl AbortKind {
     /// The executor kinds whose attributed counts sum to
     /// `full_aborts + partial_aborts + locked_aborts` of the nesting
     /// executor's stats (everything except the checkpoint-runner kinds).
-    pub const EXECUTOR_KINDS: [AbortKind; 6] = [
+    pub const EXECUTOR_KINDS: [AbortKind; 8] = [
         AbortKind::Partial,
         AbortKind::ReadInvalid,
         AbortKind::CommitConflict,
         AbortKind::LockedOut,
         AbortKind::Escalated,
         AbortKind::SyncRefused,
+        AbortKind::SpecPartial,
+        AbortKind::SpecFull,
     ];
 
     /// Stable lower-case label used in the JSON-lines export.
@@ -62,6 +74,8 @@ impl AbortKind {
             AbortKind::LockedOut => "locked_out",
             AbortKind::Escalated => "escalated",
             AbortKind::SyncRefused => "sync_refused",
+            AbortKind::SpecPartial => "spec_partial",
+            AbortKind::SpecFull => "spec_full",
             AbortKind::CkptRollback => "ckpt_rollback",
             AbortKind::CkptRestart => "ckpt_restart",
         }
@@ -76,6 +90,8 @@ impl AbortKind {
             "locked_out" => AbortKind::LockedOut,
             "escalated" => AbortKind::Escalated,
             "sync_refused" => AbortKind::SyncRefused,
+            "spec_partial" => AbortKind::SpecPartial,
+            "spec_full" => AbortKind::SpecFull,
             "ckpt_rollback" => AbortKind::CkptRollback,
             "ckpt_restart" => AbortKind::CkptRestart,
             _ => return None,
@@ -153,6 +169,8 @@ mod tests {
             AbortKind::LockedOut,
             AbortKind::Escalated,
             AbortKind::SyncRefused,
+            AbortKind::SpecPartial,
+            AbortKind::SpecFull,
             AbortKind::CkptRollback,
             AbortKind::CkptRestart,
         ] {

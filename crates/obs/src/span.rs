@@ -78,11 +78,14 @@ pub enum SpanKind {
     ServerHandle,
     /// Server: the request was refused because the replica was syncing.
     SyncRefusal,
+    /// Batch coordinator: building and dispatching one wave's conflict
+    /// graph (a root span — waves are not nested inside any transaction).
+    WaveSchedule,
 }
 
 impl SpanKind {
     /// Every kind, for round-trip tests.
-    pub const ALL: [SpanKind; 14] = [
+    pub const ALL: [SpanKind; 15] = [
         SpanKind::Txn,
         SpanKind::Attempt,
         SpanKind::Block,
@@ -97,6 +100,7 @@ impl SpanKind {
         SpanKind::ServerQueue,
         SpanKind::ServerHandle,
         SpanKind::SyncRefusal,
+        SpanKind::WaveSchedule,
     ];
 
     /// The quorum-round kinds — the spans whose wire context servers see.
@@ -132,6 +136,7 @@ impl SpanKind {
             SpanKind::ServerQueue => "server_queue",
             SpanKind::ServerHandle => "server_handle",
             SpanKind::SyncRefusal => "sync_refusal",
+            SpanKind::WaveSchedule => "wave_schedule",
         }
     }
 
@@ -152,6 +157,7 @@ impl SpanKind {
             "server_queue" => SpanKind::ServerQueue,
             "server_handle" => SpanKind::ServerHandle,
             "sync_refusal" => SpanKind::SyncRefusal,
+            "wave_schedule" => SpanKind::WaveSchedule,
             _ => return None,
         })
     }
@@ -474,6 +480,29 @@ impl Tracer {
             start_ns: self.ns(p.start),
             dur_ns: Instant::now().saturating_duration_since(p.start).as_nanos() as u64,
             flags: if failed { FLAG_ROLLED_BACK } else { 0 },
+        };
+        self.ring.push(span);
+    }
+
+    /// Record a standalone root span of `kind` from `start` to now — its
+    /// own trace, no parent. Unlike every other record method this works
+    /// *outside* any open transaction; the batch coordinator uses it to
+    /// time wave scheduling, which wraps many transactions rather than
+    /// living inside one. `class` carries a kind-specific payload (for
+    /// [`SpanKind::WaveSchedule`]: the number of transactions in the wave).
+    pub fn record_root(&mut self, kind: SpanKind, start: Instant, class: u16) {
+        let id = self.alloc();
+        let span = Span {
+            id,
+            parent: 0,
+            trace: id,
+            kind,
+            class,
+            block: -1,
+            node: self.node,
+            start_ns: self.ns(start),
+            dur_ns: Instant::now().saturating_duration_since(start).as_nanos() as u64,
+            flags: 0,
         };
         self.ring.push(span);
     }

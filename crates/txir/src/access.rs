@@ -1,0 +1,277 @@
+//! Static access-set export for the batch scheduler.
+//!
+//! The conflict-graph scheduler needs, per transaction template, the set of
+//! objects an instance will read and write — *before* the instance runs.
+//! Top-level opens whose index operand is a `Const` or `Param` are exactly
+//! the [`crate::analysis::prefetchable_opens`] population: their concrete
+//! [`ObjectId`] is computable from the parameter vector alone. Register
+//! -indexed opens (pointer chases) and `Cond`-nested opens are not — for
+//! those the summary only records the *classes* that may be touched and
+//! clears the [`AccessSummary::exact`] flag, telling the scheduler to fall
+//! back to pessimistic class-level conflict edges.
+
+use crate::ir::{AccessMode, Operand, Program, Stmt};
+use crate::object::{ObjClass, ObjectId};
+use crate::value::Value;
+
+/// One top-level open whose target object is statically resolvable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticAccess {
+    /// Class of the object the open targets.
+    pub class: ObjClass,
+    /// The statically known index operand (`Const` or `Param`).
+    pub index: Operand,
+    /// `true` for `Update` opens (write intent), `false` for reads.
+    pub write: bool,
+}
+
+/// Per-template access summary: the statically resolvable opens plus a
+/// class-level over-approximation of everything else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessSummary {
+    /// Statically resolvable top-level opens, in statement order.
+    pub accesses: Vec<StaticAccess>,
+    /// Every class the template may read (including `Cond`-nested and
+    /// register-indexed opens), in id order. Updates count as reads too.
+    pub read_classes: Vec<ObjClass>,
+    /// Every class the template may write, in id order.
+    pub write_classes: Vec<ObjClass>,
+    /// `true` iff every open in the template is a top-level `Const`/`Param`
+    /// -indexed open — i.e. [`AccessSummary::resolve`] yields the *complete*
+    /// read/write sets of any instance. When `false` the resolved sets are
+    /// a lower bound and the class sets are the sound upper bound.
+    pub exact: bool,
+}
+
+/// Concrete read/write object sets of one transaction instance, plus the
+/// class-level fallback information the scheduler needs when the static
+/// sets are incomplete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedAccess {
+    /// Objects the instance reads (updates included), sorted and deduped.
+    pub reads: Vec<ObjectId>,
+    /// Objects the instance writes, sorted and deduped.
+    pub writes: Vec<ObjectId>,
+    /// Class ids the instance may read (template-level upper bound).
+    pub read_classes: Vec<u16>,
+    /// Class ids the instance may write (template-level upper bound).
+    pub write_classes: Vec<u16>,
+    /// Copied from [`AccessSummary::exact`]: when `false`, `reads`/`writes`
+    /// under-approximate and conflict detection must use the class sets.
+    pub exact: bool,
+}
+
+impl AccessSummary {
+    /// Summarize a template. Mirrors the executor's prefetch rule: only
+    /// top-level non-`Var`-indexed opens resolve statically; everything
+    /// else degrades the summary to class level.
+    pub fn of(program: &Program) -> Self {
+        let mut accesses = Vec::new();
+        let mut read_classes: Vec<ObjClass> = Vec::new();
+        let mut write_classes: Vec<ObjClass> = Vec::new();
+        let mut exact = true;
+        fn touch(set: &mut Vec<ObjClass>, class: ObjClass) {
+            if !set.iter().any(|c| c.id == class.id) {
+                set.push(class);
+            }
+        }
+        fn walk(
+            stmts: &[Stmt],
+            nested: bool,
+            accesses: &mut Vec<StaticAccess>,
+            read_classes: &mut Vec<ObjClass>,
+            write_classes: &mut Vec<ObjClass>,
+            exact: &mut bool,
+        ) {
+            for s in stmts {
+                match s {
+                    Stmt::Open {
+                        class, index, mode, ..
+                    } => {
+                        let write = *mode == AccessMode::Update;
+                        touch(read_classes, *class);
+                        if write {
+                            touch(write_classes, *class);
+                        }
+                        if nested || matches!(index, Operand::Var(_)) {
+                            // Data-dependent target: unresolvable before
+                            // execution → class-level pessimism.
+                            *exact = false;
+                        } else {
+                            accesses.push(StaticAccess {
+                                class: *class,
+                                index: index.clone(),
+                                write,
+                            });
+                        }
+                    }
+                    Stmt::Cond {
+                        then_br, else_br, ..
+                    } => {
+                        walk(then_br, true, accesses, read_classes, write_classes, exact);
+                        walk(else_br, true, accesses, read_classes, write_classes, exact);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(
+            &program.stmts,
+            false,
+            &mut accesses,
+            &mut read_classes,
+            &mut write_classes,
+            &mut exact,
+        );
+        read_classes.sort_by_key(|c| c.id);
+        write_classes.sort_by_key(|c| c.id);
+        AccessSummary {
+            accesses,
+            read_classes,
+            write_classes,
+            exact,
+        }
+    }
+
+    /// Resolve the static accesses of one instance under `params`. An
+    /// operand that fails to evaluate (mistyped parameter) is skipped —
+    /// the `Open` itself surfaces the error at execution time, and the
+    /// summary soundly degrades to inexact for this instance.
+    pub fn resolve(&self, params: &[Value]) -> ResolvedAccess {
+        let mut reads = Vec::with_capacity(self.accesses.len());
+        let mut writes = Vec::new();
+        let mut exact = self.exact;
+        for a in &self.accesses {
+            let idx = match &a.index {
+                Operand::Const(v) => v.as_int(),
+                Operand::Param(p) => match params.get(p.0 as usize) {
+                    Some(v) => v.as_int(),
+                    None => {
+                        exact = false;
+                        continue;
+                    }
+                },
+                Operand::Var(_) => unreachable!("static accesses never use registers"),
+            };
+            match idx {
+                Ok(i) => {
+                    let obj = ObjectId::new(a.class, i as u64);
+                    reads.push(obj);
+                    if a.write {
+                        writes.push(obj);
+                    }
+                }
+                Err(_) => exact = false,
+            }
+        }
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        ResolvedAccess {
+            reads,
+            writes,
+            read_classes: self.read_classes.iter().map(|c| c.id).collect(),
+            write_classes: self.write_classes.iter().map(|c| c.id).collect(),
+            exact,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::object::FieldId;
+
+    const A: ObjClass = ObjClass::new(0, "A");
+    const B: ObjClass = ObjClass::new(1, "B");
+    const C: ObjClass = ObjClass::new(2, "C");
+    const F: FieldId = FieldId(0);
+
+    #[test]
+    fn fully_static_template_is_exact() {
+        let mut b = ProgramBuilder::new("t", 2);
+        let oa = b.open_update(A, b.param(0));
+        let ob = b.open_read(B, b.param(1));
+        let va = b.get(oa, F);
+        let vb = b.get(ob, F);
+        let s = b.add(va, vb);
+        b.set(oa, F, s);
+        let sum = AccessSummary::of(&b.finish());
+        assert!(sum.exact);
+        assert_eq!(sum.accesses.len(), 2);
+        assert_eq!(sum.read_classes, vec![A, B]);
+        assert_eq!(sum.write_classes, vec![A]);
+
+        let r = sum.resolve(&[Value::Int(7), Value::Int(9)]);
+        assert!(r.exact);
+        assert_eq!(r.reads, vec![ObjectId::new(A, 7), ObjectId::new(B, 9)]);
+        assert_eq!(r.writes, vec![ObjectId::new(A, 7)]);
+        assert_eq!(r.read_classes, vec![0, 1]);
+        assert_eq!(r.write_classes, vec![0]);
+    }
+
+    #[test]
+    fn var_indexed_open_degrades_to_class_level() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let oa = b.open_read(A, b.param(0));
+        let va = b.get(oa, F);
+        let oc = b.open_update(C, va); // pointer chase
+        b.set(oc, F, 1i64);
+        let sum = AccessSummary::of(&b.finish());
+        assert!(!sum.exact, "register-indexed open is data-dependent");
+        // The static part still carries the resolvable A open.
+        assert_eq!(sum.accesses.len(), 1);
+        assert_eq!(sum.accesses[0].class, A);
+        assert_eq!(sum.read_classes, vec![A, C]);
+        assert_eq!(sum.write_classes, vec![C]);
+        let r = sum.resolve(&[Value::Int(3)]);
+        assert!(!r.exact);
+        assert_eq!(r.reads, vec![ObjectId::new(A, 3)]);
+        assert!(r.writes.is_empty());
+    }
+
+    #[test]
+    fn cond_nested_open_degrades_but_records_classes() {
+        let mut b = ProgramBuilder::new("t", 0);
+        let flag = b.constant(true);
+        b.cond(
+            flag,
+            |b| {
+                let o = b.open_update(B, 1i64);
+                b.set(o, F, 5i64);
+            },
+            |_| {},
+        );
+        let _oa = b.open_read(A, 2i64);
+        let sum = AccessSummary::of(&b.finish());
+        assert!(!sum.exact, "conditional open may or may not run");
+        assert_eq!(sum.accesses.len(), 1, "only the top-level open resolves");
+        assert_eq!(sum.read_classes, vec![A, B]);
+        assert_eq!(sum.write_classes, vec![B]);
+    }
+
+    #[test]
+    fn duplicate_targets_dedup() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let o1 = b.open_update(A, b.param(0));
+        let o2 = b.open_read(A, b.param(0));
+        let v = b.get(o2, F);
+        b.set(o1, F, v);
+        let sum = AccessSummary::of(&b.finish());
+        let r = sum.resolve(&[Value::Int(4)]);
+        assert_eq!(r.reads, vec![ObjectId::new(A, 4)]);
+        assert_eq!(r.writes, vec![ObjectId::new(A, 4)]);
+    }
+
+    #[test]
+    fn missing_param_degrades_instead_of_panicking() {
+        let mut b = ProgramBuilder::new("t", 2);
+        let _oa = b.open_read(A, b.param(1));
+        let sum = AccessSummary::of(&b.finish());
+        let r = sum.resolve(&[Value::Int(1)]); // param 1 absent
+        assert!(!r.exact);
+        assert!(r.reads.is_empty());
+    }
+}

@@ -7,6 +7,7 @@
 //! contended *eligible* host). Graph utilities for lifting statement edges
 //! to block edges and for dependency-preserving sorts live here too.
 
+use crate::access::AccessSummary;
 use crate::analysis::{
     extract_unit_blocks, prefetchable_opens, PrefetchOpen, UnitBlock, UnitBlockId,
 };
@@ -36,6 +37,9 @@ pub struct DependencyModel {
     /// Opens whose target `ObjectId` is known at transaction entry
     /// ([`prefetchable_opens`]) — the executor's batched-read candidates.
     pub prefetch: Vec<PrefetchOpen>,
+    /// Static access summary for the batch scheduler, computed once here so
+    /// the driver never re-derives it from the template per submission.
+    pub access: AccessSummary,
 }
 
 impl DependencyModel {
@@ -81,6 +85,7 @@ impl DependencyModel {
             .collect();
 
         let prefetch = prefetchable_opens(&program);
+        let access = AccessSummary::of(&program);
         Ok(DependencyModel {
             program,
             graph,
@@ -88,6 +93,7 @@ impl DependencyModel {
             default_assignment,
             eligible_hosts,
             prefetch,
+            access,
         })
     }
 

@@ -43,6 +43,7 @@
 //! order around an aliased handle. The bundled workload generators draw
 //! ids without replacement where it matters (e.g. TPC-C order lines).
 
+mod access;
 mod analysis;
 mod builder;
 mod depmodel;
@@ -52,6 +53,7 @@ mod unitgraph;
 mod validate;
 mod value;
 
+pub use access::{AccessSummary, ResolvedAccess, StaticAccess};
 pub use analysis::{extract_unit_blocks, prefetchable_opens, PrefetchOpen, UnitBlock, UnitBlockId};
 pub use builder::ProgramBuilder;
 pub use depmodel::{

@@ -1,0 +1,462 @@
+//! Batch-ingest execution: conflict-graph waves over the worker pool.
+//!
+//! Instead of each client thread generating and running its own
+//! transactions in a closed loop, a coordinator collects `wave` in-flight
+//! transactions at a time, resolves each instance's statically declared
+//! read/write sets (cached per template on the [`DependencyModel`]), builds
+//! the conflict DAG with [`plan_wave`], and feeds a readiness queue:
+//! a transaction becomes dispatchable the moment its conflict indegree
+//! drains, so independent transactions run concurrently on the worker
+//! threads while conflicting ones execute in arrival order — turning
+//! conflicts the static analysis can see into *ordering* instead of
+//! aborts.
+//!
+//! Waves pipeline: [`BatchConfig::overlap`] admits the next wave once the
+//! current one is half drained, and the dispatcher links every conflict
+//! between a still-unfinished transaction and a newly admitted one as a
+//! cross-wave edge, so overlap never loses ordering information. The edge
+//! points *from* the old transaction only when it has already started;
+//! against a still-pending one the new transaction may go first, which
+//! keeps the pipeline's critical path close to the per-wave coloring
+//! depth. (Acyclic: a cycle would need a path from a pending job into a
+//! running one, and a job only starts after every ancestor finished.)
+//!
+//! Conflicts the static sets *cannot see* — inexact templates scheduled
+//! under [`BatchConfig::speculate_inexact`], which deliberately drops the
+//! pessimistic class-level edges — surface at run time as validation or
+//! lock aborts. The executor runs with [`ExecutorConfig::speculation`]
+//! set, so those mis-speculations are attributed as `SpecPartial` /
+//! `SpecFull`, and — in [`SpecMode::Partial`] — recovered by the
+//! closed-nesting executor's partial rollback from the offending Block.
+//! [`SpecMode::FullRestart`] forces a flat (single-Block) sequence,
+//! reproducing Block-STM's re-execute-from-scratch recovery: the ablation
+//! the paper never ran.
+
+use crate::driver::{phase_for, Buckets, Plan, ScenarioConfig};
+use crate::workload::{TxnRequest, Workload};
+use acn_core::{
+    conflicts_with, plan_wave_with, BlockSeq, ExecStats, ExecutorConfig, ExecutorEngine,
+    InexactPolicy, LatencyHistogram, WaveStats,
+};
+use acn_dtm::{ClientPool, Cluster};
+use acn_obs::{AbortTable, Span, SpanKind, ThreadTraceRow, TraceSummary, Tracer, TxnObserver};
+use acn_txir::{DependencyModel, ResolvedAccess};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the executor recovers from a dynamic mis-speculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecMode {
+    /// Closed-nested Block sequences: a missed conflict rolls back only
+    /// the offending Block (the paper's partial-rollback machinery).
+    Partial,
+    /// Flat sequences: every missed conflict re-executes the whole
+    /// transaction — Block-STM-style recovery, the ablation baseline.
+    FullRestart,
+}
+
+/// Batch-mode knobs on [`ScenarioConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Transactions collected per wave.
+    pub wave: usize,
+    /// Mis-speculation recovery mode.
+    pub spec: SpecMode,
+    /// Admit the next wave once the current one is half drained instead of
+    /// waiting for a full barrier. Conflicts against still-unfinished
+    /// transactions become cross-wave edges, so overlap keeps the workers
+    /// fed without losing any ordering the static sets can prove.
+    pub overlap: bool,
+    /// Speculate on inexact pairs: drop the pessimistic class-level edges
+    /// for pairs the static analysis could not fully resolve and dispatch
+    /// them concurrently. A real collision is caught by the DTM's
+    /// validation and repaired per [`SpecMode`] — this is the knob that
+    /// turns the scheduler from conservative ordering into speculation
+    /// with a partial-rollback safety net.
+    pub speculate_inexact: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            wave: 32,
+            spec: SpecMode::Partial,
+            overlap: true,
+            speculate_inexact: false,
+        }
+    }
+}
+
+/// One scheduled transaction in the readiness queue.
+struct Job {
+    req: TxnRequest,
+    /// Successor job indices (already offset into the global job list).
+    succs: Vec<usize>,
+}
+
+/// Queue state shared between the coordinator and the workers.
+struct QueueState {
+    jobs: Vec<Job>,
+    /// Resolved access set per job, kept for cross-wave edge tests.
+    access: Vec<ResolvedAccess>,
+    indeg: Vec<usize>,
+    /// Dispatched flag per job. A `ready` entry is stale once a cross-wave
+    /// edge re-raises the job's indegree or a duplicate push landed;
+    /// workers skip entries whose indegree is non-zero or that started.
+    started: Vec<bool>,
+    ready: VecDeque<usize>,
+    /// Indices of admitted-but-unfinished jobs (dispatched or not) — the
+    /// set newly admitted waves must be conflict-tested against.
+    live: Vec<usize>,
+    /// Jobs admitted but not yet completed.
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    q: Mutex<QueueState>,
+    /// Workers wait here for ready jobs.
+    work: Condvar,
+    /// The coordinator waits here for the wave to drain.
+    drained: Condvar,
+}
+
+/// Everything the wave loop borrows from the scenario runner.
+pub(crate) struct BatchRun<'a> {
+    pub cfg: &'a ScenarioConfig,
+    pub bc: &'a BatchConfig,
+    pub workload: &'a dyn Workload,
+    pub cluster: &'a Cluster,
+    pub dms: &'a [Arc<DependencyModel>],
+    pub plan: &'a Plan,
+    pub buckets: &'a Buckets,
+    pub latency: &'a Mutex<LatencyHistogram>,
+    pub failed: &'a AtomicU64,
+    pub merged_obs: &'a Mutex<(AbortTable, TraceSummary)>,
+    pub merged_spans: &'a Mutex<(Vec<Span>, Vec<ThreadTraceRow>)>,
+    pub merged_client: &'a Mutex<(u64, u64)>,
+    pub piggyback_classes: &'a [u16],
+    pub start: Instant,
+    pub deadline_len: Duration,
+}
+
+/// Run the batch-scheduled measurement phase: spawn the worker pool, then
+/// coordinate waves from the calling thread until the deadline. Returns
+/// the per-wave aggregate stats.
+pub(crate) fn run_waves(r: &BatchRun<'_>) -> WaveStats {
+    let threads = r.cfg.client_threads;
+    let pool = ClientPool::new(r.cluster, threads);
+    pool.configure(|i, client| {
+        if !r.piggyback_classes.is_empty() {
+            client.set_piggyback_classes(r.piggyback_classes.to_vec());
+        }
+        if let Some(h) = &r.cfg.history {
+            client.set_history(Arc::clone(h));
+        }
+        if let Some(o) = r.cfg.obs.filter(|o| o.trace_spans) {
+            let node = (r.cfg.cluster.servers + i) as u32;
+            client.set_tracer(Tracer::new(r.start, node, i as u64, o.span_capacity));
+        }
+    });
+
+    // Mis-speculations get the dedicated Spec* attribution.
+    let exec = ExecutorConfig {
+        speculation: true,
+        ..r.cfg.exec
+    };
+    // The ablation arm: flat sequences so every recovery is a full
+    // re-execution, regardless of what the plan would nest.
+    let flat: Vec<Arc<BlockSeq>> = match r.bc.spec {
+        SpecMode::FullRestart => r
+            .dms
+            .iter()
+            .map(|dm| Arc::new(BlockSeq::flat(dm)))
+            .collect(),
+        SpecMode::Partial => Vec::new(),
+    };
+
+    let shared = Shared {
+        q: Mutex::new(QueueState {
+            jobs: Vec::new(),
+            access: Vec::new(),
+            indeg: Vec::new(),
+            started: Vec::new(),
+            ready: VecDeque::new(),
+            live: Vec::new(),
+            remaining: 0,
+            shutdown: false,
+        }),
+        work: Condvar::new(),
+        drained: Condvar::new(),
+    };
+    let mut stats = WaveStats::default();
+
+    std::thread::scope(|s| {
+        if let Some(plan) = &r.cfg.chaos {
+            if !plan.events.is_empty() {
+                let net = r.cluster.net().clone();
+                let events = plan.events.clone();
+                let start = r.start;
+                s.spawn(move || net.run_fault_schedule(&events, start));
+            }
+        }
+        for t in 0..threads {
+            let shared = &shared;
+            let pool = &pool;
+            let flat = &flat;
+            s.spawn(move || worker_loop(r, t, pool, shared, flat, exec));
+        }
+
+        // Coordinator: generate, schedule and admit waves until the
+        // deadline. One RNG stream makes the generated transaction
+        // sequence independent of the worker count.
+        let mut rng = StdRng::seed_from_u64(r.cfg.seed);
+        // The coordinator's own tracer records one root span per wave; its
+        // id band (`threads`) is disjoint from every worker's.
+        let mut wave_tracer = r.cfg.obs.filter(|o| o.trace_spans).map(|o| {
+            let node = (r.cfg.cluster.servers + threads) as u32;
+            Tracer::new(r.start, node, threads as u64, o.span_capacity)
+        });
+        let hard_deadline = r.start + r.deadline_len;
+        loop {
+            let elapsed = r.start.elapsed();
+            if elapsed >= r.deadline_len {
+                break;
+            }
+            let interval_now = (elapsed.as_nanos() / r.cfg.interval.as_nanos()) as usize;
+            let phase = phase_for(r.cfg, interval_now);
+            let sched_start = Instant::now();
+            let reqs: Vec<TxnRequest> = (0..r.bc.wave)
+                .map(|_| r.workload.next(&mut rng, phase))
+                .collect();
+            let policy = if r.bc.speculate_inexact {
+                InexactPolicy::Speculate
+            } else {
+                InexactPolicy::Order
+            };
+            let accesses: Vec<_> = reqs
+                .iter()
+                .map(|req| r.dms[req.template].access.resolve(&req.params))
+                .collect();
+            let wave = plan_wave_with(&accesses, policy);
+            stats.absorb(&wave);
+            if let Some(tr) = wave_tracer.as_mut() {
+                tr.record_root(SpanKind::WaveSchedule, sched_start, wave.n as u16);
+            }
+
+            let mut q = shared.q.lock();
+            let base = q.jobs.len();
+            q.indeg.extend(wave.indegree.iter().copied());
+            q.started.extend(std::iter::repeat_n(false, wave.n));
+            for (k, req) in reqs.into_iter().enumerate() {
+                q.jobs.push(Job {
+                    req,
+                    succs: wave.succs[k].iter().map(|&j| j + base).collect(),
+                });
+            }
+            // Cross-wave edges: every conflict between a new transaction
+            // and a still-unfinished earlier one becomes an edge, so
+            // overlap pipelines the waves without dropping provable
+            // ordering. An already-running earlier transaction must come
+            // first; a still-pending one can just as soundly run *after*
+            // the newcomer, which avoids chaining each wave's tail to the
+            // next wave's head.
+            for (k, acc) in accesses.iter().enumerate() {
+                for li in 0..q.live.len() {
+                    let i = q.live[li];
+                    if conflicts_with(&q.access[i], acc, policy) {
+                        if q.started[i] {
+                            q.jobs[i].succs.push(base + k);
+                            q.indeg[base + k] += 1;
+                        } else {
+                            q.jobs[base + k].succs.push(i);
+                            q.indeg[i] += 1;
+                        }
+                        stats.cross_edges += 1;
+                    }
+                }
+            }
+            q.access.extend(accesses);
+            for k in 0..wave.n {
+                q.live.push(base + k);
+                if q.indeg[base + k] == 0 {
+                    q.ready.push_back(base + k);
+                }
+            }
+            q.remaining += wave.n;
+            shared.work.notify_all();
+            // Barrier (or half-barrier under overlap): wait until the wave
+            // drains far enough to admit the next one.
+            let admit_at = if r.bc.overlap { r.bc.wave / 2 } else { 0 };
+            while q.remaining > admit_at {
+                if shared.drained.wait_until(&mut q, hard_deadline).timed_out() {
+                    break;
+                }
+            }
+        }
+        let mut q = shared.q.lock();
+        q.shutdown = true;
+        shared.work.notify_all();
+        drop(q);
+
+        if let Some(tracer) = wave_tracer {
+            let (spans, summary) = tracer.drain();
+            let mut m = r.merged_spans.lock();
+            m.0.extend(spans);
+            m.1.push(ThreadTraceRow {
+                thread: threads as u64,
+                recorded: summary.recorded,
+                dropped: summary.dropped,
+                capacity: summary.capacity,
+            });
+        }
+    });
+
+    // Every worker has exited: drain the pooled handles.
+    for (t, mut client) in pool.into_clients().into_iter().enumerate() {
+        if let Some(tracer) = client.take_tracer() {
+            let (spans, summary) = tracer.drain();
+            let mut m = r.merged_spans.lock();
+            m.0.extend(spans);
+            m.1.push(ThreadTraceRow {
+                thread: t as u64,
+                recorded: summary.recorded,
+                dropped: summary.dropped,
+                capacity: summary.capacity,
+            });
+        }
+        let cs = client.stats();
+        let mut m = r.merged_client.lock();
+        m.0 += cs.repair_writes_sent;
+        m.1 += cs.sync_refusals_seen;
+    }
+    stats
+}
+
+/// One worker: pull ready jobs, execute them on the leased pool handle,
+/// then drain successors' indegrees.
+fn worker_loop(
+    r: &BatchRun<'_>,
+    t: usize,
+    pool: &ClientPool,
+    shared: &Shared,
+    flat: &[Arc<BlockSeq>],
+    exec: ExecutorConfig,
+) {
+    let engine = ExecutorEngine::with_config(r.cfg.retry, exec);
+    let mut stats = ExecStats::default();
+    let mut prev = stats;
+    let mut hist = LatencyHistogram::new();
+    let mut observer = r.cfg.obs.map(TxnObserver::new);
+    loop {
+        let req = {
+            let mut q = shared.q.lock();
+            let idx = loop {
+                if q.shutdown {
+                    break None;
+                }
+                // Pop until a genuinely ready job; entries go stale when a
+                // cross-wave edge re-raises an indegree or a job was
+                // pushed twice (each drain to zero pushes).
+                let mut found = None;
+                while let Some(i) = q.ready.pop_front() {
+                    if q.indeg[i] == 0 && !q.started[i] {
+                        found = Some(i);
+                        break;
+                    }
+                }
+                if found.is_some() {
+                    break found;
+                }
+                shared.work.wait(&mut q);
+            };
+            idx.map(|i| {
+                q.started[i] = true;
+                (i, q.jobs[i].req.clone())
+            })
+        };
+        let Some((idx, req)) = req else { break };
+
+        let dm = &r.dms[req.template];
+        let seq = match r.bc.spec {
+            SpecMode::FullRestart => Arc::clone(&flat[req.template]),
+            SpecMode::Partial => match r.plan {
+                Plan::Fixed(seqs) => Arc::clone(&seqs[req.template]),
+                Plan::Acn(ctrls) => {
+                    let c = &ctrls[req.template];
+                    let mut client = pool.lease(t);
+                    c.maybe_refresh(&mut client);
+                    c.current()
+                }
+            },
+        };
+        {
+            let mut client = pool.lease(t);
+            if let Some(tr) = client.tracer_mut() {
+                tr.start_txn(req.template as u16);
+            }
+            let res = engine.run_timed_observed(
+                &mut client,
+                &dm.program,
+                &req.params,
+                &seq,
+                &mut stats,
+                &mut hist,
+                observer.as_mut(),
+            );
+            if let Some(tr) = client.tracer_mut() {
+                tr.end_txn(res.is_ok());
+            }
+            if let Err(e) = res {
+                if r.cfg.chaos.is_some() {
+                    r.failed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    panic!("batch transaction failed: {e}");
+                }
+            }
+        }
+        // Attribute to the completion window, exactly like the closed loop.
+        let done = r.start.elapsed();
+        let idx_w =
+            ((done.as_nanos() / r.cfg.interval.as_nanos()) as usize).min(r.cfg.intervals - 1);
+        r.buckets.commits[idx_w].fetch_add(stats.commits - prev.commits, Ordering::Relaxed);
+        r.buckets.fulls[idx_w].fetch_add(stats.full_aborts - prev.full_aborts, Ordering::Relaxed);
+        r.buckets.partials[idx_w].fetch_add(
+            stats.partial_aborts - prev.partial_aborts,
+            Ordering::Relaxed,
+        );
+        r.buckets.locked[idx_w]
+            .fetch_add(stats.locked_aborts - prev.locked_aborts, Ordering::Relaxed);
+        r.buckets.unavail[idx_w].fetch_add(
+            stats.unavailable_retries - prev.unavailable_retries,
+            Ordering::Relaxed,
+        );
+        prev = stats;
+
+        let mut q = shared.q.lock();
+        let succs = std::mem::take(&mut q.jobs[idx].succs);
+        for sdx in succs {
+            q.indeg[sdx] -= 1;
+            if q.indeg[sdx] == 0 {
+                q.ready.push_back(sdx);
+                shared.work.notify_one();
+            }
+        }
+        if let Some(p) = q.live.iter().position(|&i| i == idx) {
+            q.live.swap_remove(p);
+        }
+        q.remaining -= 1;
+        shared.drained.notify_one();
+    }
+    r.latency.lock().merge(&hist);
+    if let Some(obs) = &observer {
+        let mut m = r.merged_obs.lock();
+        let (aborts, trace) = &mut *m;
+        obs.merge_into(aborts, trace);
+    }
+}

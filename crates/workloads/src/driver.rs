@@ -8,10 +8,12 @@
 //! the network latency; hot-set shifts are expressed as a phase index per
 //! interval.
 
+use crate::batch::{run_waves, BatchConfig, BatchRun};
 use crate::workload::Workload;
 use acn_core::{
     AcnController, AlgorithmModule, BlockSeq, ContentionModel, ControllerConfig, ExecStats,
     ExecutorConfig, ExecutorEngine, LatencyHistogram, RetryPolicy, StaticModule, SumModel,
+    WaveStats,
 };
 use acn_dtm::{Cluster, ClusterConfig, HistoryLog, ServerStats};
 use acn_obs::{
@@ -86,6 +88,11 @@ pub struct ScenarioConfig {
     /// attribution into a per-thread [`TxnObserver`], merged into
     /// [`ScenarioResult::obs`] at the end. `None` = zero overhead.
     pub obs: Option<ObsConfig>,
+    /// Batch-ingest mode: when set, a coordinator collects waves of
+    /// transactions, schedules them over the conflict graph of their
+    /// statically resolved access sets, and dispatches independent ones
+    /// concurrently across the worker pool. `None` = closed loop.
+    pub batch: Option<BatchConfig>,
 }
 
 impl ScenarioConfig {
@@ -112,6 +119,7 @@ impl ScenarioConfig {
             chaos: None,
             history: None,
             obs: None,
+            batch: None,
         }
     }
 }
@@ -162,6 +170,9 @@ pub struct ScenarioResult {
     /// sync, refusals) and clients (read repair). All-zero on runs without
     /// amnesia faults or repair traffic.
     pub recovery: RecoveryCounters,
+    /// Conflict-graph scheduling aggregates, present when the run used
+    /// [`ScenarioConfig::batch`].
+    pub batch: Option<WaveStats>,
 }
 
 /// Merged observability outputs of one scenario run.
@@ -240,6 +251,16 @@ impl ScenarioResult {
         for (k, v) in meta {
             reg.meta(k, v);
         }
+        if let Some(b) = &self.batch {
+            reg.meta("batch_waves", b.waves)
+                .meta("batch_txns", b.txns)
+                .meta("batch_edges", b.edges)
+                .meta("batch_pessimistic_edges", b.pessimistic_edges)
+                .meta("batch_inexact_txns", b.inexact_txns)
+                .meta("batch_layers", b.layers)
+                .meta("batch_max_width", b.max_width)
+                .meta("batch_cross_edges", b.cross_edges);
+        }
         reg.exec(acn_obs::ExecCounters {
             commits: self.total_commits(),
             full_aborts: self.total_full_aborts(),
@@ -307,17 +328,17 @@ fn collect_classes(dms: &[Arc<DependencyModel>]) -> Vec<ObjClass> {
     classes
 }
 
-enum Plan {
+pub(crate) enum Plan {
     Fixed(Vec<Arc<BlockSeq>>),
     Acn(Vec<Arc<AcnController>>),
 }
 
-struct Buckets {
-    commits: Vec<AtomicU64>,
-    fulls: Vec<AtomicU64>,
-    partials: Vec<AtomicU64>,
-    locked: Vec<AtomicU64>,
-    unavail: Vec<AtomicU64>,
+pub(crate) struct Buckets {
+    pub(crate) commits: Vec<AtomicU64>,
+    pub(crate) fulls: Vec<AtomicU64>,
+    pub(crate) partials: Vec<AtomicU64>,
+    pub(crate) locked: Vec<AtomicU64>,
+    pub(crate) unavail: Vec<AtomicU64>,
 }
 
 impl Buckets {
@@ -333,7 +354,7 @@ impl Buckets {
     }
 }
 
-fn phase_for(cfg: &ScenarioConfig, interval: usize) -> usize {
+pub(crate) fn phase_for(cfg: &ScenarioConfig, interval: usize) -> usize {
     match cfg.phase_per_interval.len() {
         0 => 0,
         n => cfg.phase_per_interval[interval.min(n - 1)],
@@ -448,22 +469,96 @@ pub fn run_scenario_with_model(
         _ => Vec::new(),
     };
 
+    let wave_stats = if let Some(bc) = &cfg.batch {
+        Some(run_waves(&BatchRun {
+            cfg,
+            bc,
+            workload,
+            cluster: &cluster,
+            dms: &dms,
+            plan: &plan,
+            buckets: &buckets,
+            latency: &latency,
+            failed: &failed,
+            merged_obs: &merged_obs,
+            merged_spans: &merged_spans,
+            merged_client: &merged_client,
+            piggyback_classes: &piggyback_classes,
+            start,
+            deadline_len,
+        }))
+    } else {
+        run_closed_loop(
+            workload,
+            cfg,
+            &cluster,
+            &dms,
+            &plan,
+            &buckets,
+            &latency,
+            &failed,
+            &merged_obs,
+            &merged_spans,
+            &merged_client,
+            &piggyback_classes,
+            start,
+            deadline_len,
+        );
+        None
+    };
+    drive_to_result(
+        cfg,
+        cluster,
+        &dms,
+        plan,
+        buckets,
+        latency,
+        failed,
+        merged_obs,
+        merged_spans,
+        merged_client,
+        span_collector,
+        start,
+        wave_stats,
+    )
+}
+
+/// The closed-loop measurement phase: each worker thread owns its client
+/// handle and generates, decomposes and executes transactions back to back
+/// until the deadline.
+#[allow(clippy::too_many_arguments)]
+fn run_closed_loop(
+    workload: &dyn Workload,
+    cfg: &ScenarioConfig,
+    cluster: &Cluster,
+    dms: &[Arc<DependencyModel>],
+    plan: &Plan,
+    buckets: &Buckets,
+    latency: &Mutex<LatencyHistogram>,
+    failed: &AtomicU64,
+    merged_obs: &Mutex<(AbortTable, TraceSummary)>,
+    merged_spans: &Mutex<(Vec<Span>, Vec<ThreadTraceRow>)>,
+    merged_client: &Mutex<(u64, u64)>,
+    piggyback_classes: &[u16],
+    start: Instant,
+    deadline_len: Duration,
+) {
     std::thread::scope(|s| {
         // Timed crash/partition events run on a supervisor thread; the
         // schedule ends at its last event, all of which precede the
         // measurement deadline in a sane plan, so the scope's implicit
         // join does not stall.
-        if let Some(plan) = &cfg.chaos {
-            if !plan.events.is_empty() {
+        if let Some(fault_plan) = &cfg.chaos {
+            if !fault_plan.events.is_empty() {
                 let net = cluster.net().clone();
-                let events = plan.events.clone();
+                let events = fault_plan.events.clone();
                 s.spawn(move || net.run_fault_schedule(&events, start));
             }
         }
         for t in 0..cfg.client_threads {
             let mut client = cluster.client(t);
             if !piggyback_classes.is_empty() {
-                client.set_piggyback_classes(piggyback_classes.clone());
+                client.set_piggyback_classes(piggyback_classes.to_vec());
             }
             if let Some(h) = &cfg.history {
                 client.set_history(Arc::clone(h));
@@ -474,14 +569,6 @@ pub fn run_scenario_with_model(
                 let node = (cfg.cluster.servers + t) as u32;
                 client.set_tracer(Tracer::new(start, node, t as u64, o.span_capacity));
             }
-            let buckets = &buckets;
-            let latency = &latency;
-            let failed = &failed;
-            let merged_obs = &merged_obs;
-            let merged_spans = &merged_spans;
-            let merged_client = &merged_client;
-            let plan = &plan;
-            let dms = &dms;
             let engine = ExecutorEngine::with_config(cfg.retry, cfg.exec);
             let mut rng = StdRng::seed_from_u64(cfg.seed + t as u64);
             s.spawn(move || {
@@ -577,7 +664,27 @@ pub fn run_scenario_with_model(
             });
         }
     });
+}
 
+/// Post-measurement assembly shared by both execution modes: controller
+/// refresh totals, contention sampling, cluster shutdown, span merging and
+/// the final [`ScenarioResult`].
+#[allow(clippy::too_many_arguments)]
+fn drive_to_result(
+    cfg: &ScenarioConfig,
+    cluster: Cluster,
+    dms: &[Arc<DependencyModel>],
+    plan: Plan,
+    buckets: Buckets,
+    latency: Mutex<LatencyHistogram>,
+    failed: AtomicU64,
+    merged_obs: Mutex<(AbortTable, TraceSummary)>,
+    merged_spans: Mutex<(Vec<Span>, Vec<ThreadTraceRow>)>,
+    merged_client: Mutex<(u64, u64)>,
+    span_collector: Option<Arc<SpanCollector>>,
+    start: Instant,
+    wave_stats: Option<WaveStats>,
+) -> ScenarioResult {
     let refreshes = match &plan {
         Plan::Fixed(_) => 0,
         Plan::Acn(ctrls) => ctrls.iter().map(|c| c.refresh_count()).sum(),
@@ -588,7 +695,7 @@ pub fn run_scenario_with_model(
     // quorum down, in which case the report just omits contention rows).
     let mut obs = cfg.obs.map(|_| {
         let (aborts, trace) = merged_obs.into_inner();
-        let classes = collect_classes(&dms);
+        let classes = collect_classes(dms);
         let ids: Vec<u16> = classes.iter().map(|c| c.id).collect();
         let mut sampler = cluster.client(0);
         let contention = match sampler.query_contention_full(&ids) {
@@ -679,6 +786,7 @@ pub fn run_scenario_with_model(
         failed: failed.into_inner(),
         net,
         obs,
+        batch: wave_stats,
     }
 }
 
@@ -686,6 +794,7 @@ pub fn run_scenario_with_model(
 mod tests {
     use super::*;
     use crate::bank::{Bank, BankConfig};
+    use crate::batch::SpecMode;
     use acn_simnet::LatencyModel;
 
     fn tiny(system: SystemKind) -> ScenarioConfig {
@@ -793,6 +902,7 @@ mod tests {
             obs: None,
             server_stats: Vec::new(),
             recovery: RecoveryCounters::default(),
+            batch: None,
         };
         assert_eq!(r.throughput(0), 100.0);
         assert_eq!(r.throughput(1), 200.0);
@@ -811,6 +921,86 @@ mod tests {
         let lines = report.to_json_lines();
         let parsed = MetricsReport::parse_json_lines(&lines).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn batch_scenario_commits_and_reports_waves() {
+        let bank = Bank::new(BankConfig {
+            hot_pool: 4,
+            cold_pool: 256,
+            write_pct: 90,
+        });
+        let mut cfg = tiny(SystemKind::QrCn);
+        cfg.batch = Some(BatchConfig::default());
+        let r = run_scenario(&bank, &cfg);
+        assert!(r.total_commits() > 0, "batch mode makes progress");
+        let ws = r.batch.expect("wave stats present in batch mode");
+        assert!(ws.waves > 0);
+        assert!(ws.txns >= r.total_commits(), "every commit was scheduled");
+        assert!(ws.edges > 0, "hot branches must conflict within a wave");
+        let report = r.metrics_report(&[]);
+        assert!(
+            report.meta.iter().any(|(k, _)| k == "batch_waves"),
+            "wave stats exported in the report meta"
+        );
+    }
+
+    #[test]
+    fn batch_attribution_reconciles_with_speculation_kinds() {
+        let bank = Bank::new(BankConfig {
+            hot_pool: 2,
+            cold_pool: 64,
+            write_pct: 95,
+        });
+        let mut cfg = tiny(SystemKind::QrCn);
+        cfg.batch = Some(BatchConfig {
+            wave: 16,
+            spec: SpecMode::Partial,
+            overlap: true,
+            speculate_inexact: false,
+        });
+        cfg.obs = Some(ObsConfig::default());
+        let r = run_scenario(&bank, &cfg);
+        assert!(r.total_commits() > 0);
+        let obs = r.obs.as_ref().expect("obs enabled");
+        // The exactness invariant must survive the Spec* remapping: every
+        // executor-counted abort is attributed exactly once, whichever
+        // label it carries.
+        assert_eq!(
+            obs.aborts.total_of(&acn_obs::AbortKind::EXECUTOR_KINDS),
+            r.total_full_aborts() + r.total_partial_aborts() + r.total_locked_aborts(),
+            "attribution must reconcile with the interval counters"
+        );
+        // In batch mode the executor runs with speculation labelling, so
+        // no abort may carry the closed-loop labels.
+        assert_eq!(
+            obs.aborts.total_of(&[
+                acn_obs::AbortKind::ReadInvalid,
+                acn_obs::AbortKind::CommitConflict,
+                acn_obs::AbortKind::Partial,
+            ]),
+            0,
+            "batch-mode aborts must be attributed to Spec* kinds"
+        );
+    }
+
+    #[test]
+    fn batch_full_restart_never_partially_rolls_back() {
+        let bank = Bank::default();
+        let mut cfg = tiny(SystemKind::QrCn);
+        cfg.batch = Some(BatchConfig {
+            wave: 16,
+            spec: SpecMode::FullRestart,
+            overlap: true,
+            speculate_inexact: false,
+        });
+        let r = run_scenario(&bank, &cfg);
+        assert!(r.total_commits() > 0);
+        assert_eq!(
+            r.total_partial_aborts(),
+            0,
+            "the Block-STM ablation arm runs flat sequences"
+        );
     }
 
     #[test]

@@ -23,12 +23,14 @@
 //!   counts — the data behind every subplot of Figure 4.
 
 pub mod bank;
+mod batch;
 pub mod driver;
 pub mod schema;
 pub mod tpcc;
 pub mod vacation;
 mod workload;
 
+pub use batch::{BatchConfig, SpecMode};
 pub use driver::{
     run_scenario, IntervalStats, ScenarioConfig, ScenarioObs, ScenarioResult, SystemKind,
 };

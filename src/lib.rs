@@ -111,6 +111,7 @@ pub mod prelude {
         Program, ProgramBuilder, Stmt, Value,
     };
     pub use acn_workloads::{
-        run_scenario, ScenarioConfig, ScenarioObs, ScenarioResult, SystemKind, TxnRequest, Workload,
+        run_scenario, BatchConfig, ScenarioConfig, ScenarioObs, ScenarioResult, SpecMode,
+        SystemKind, TxnRequest, Workload,
     };
 }

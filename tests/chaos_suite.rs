@@ -102,6 +102,98 @@ fn run_under_seed(workload: &dyn Workload, system: SystemKind, fault_seed: u64) 
     verdict.is_ok()
 }
 
+/// Run one workload in **batch-ingest mode** under one fault seed: the
+/// conflict-graph scheduler dispatches wave after wave (with overlap, so
+/// cross-wave conflicts are genuinely speculative) while the fault schedule
+/// drops, duplicates and delays messages. The DTM's validation still
+/// guards every commit — speculation changes who aborts and how aborts are
+/// repaired, never what commits — so the history checker must stay clean
+/// and abort attribution must reconcile exactly against the new `Spec*`
+/// kinds.
+fn run_batch_seed(workload: &dyn Workload, system: SystemKind, spec: SpecMode, fault_seed: u64) {
+    eprintln!("batch chaos seed {fault_seed} ({system}, {spec:?})");
+    let (mut cfg, history) = suite_config(system, fault_seed);
+    cfg.batch = Some(BatchConfig {
+        wave: 24,
+        spec,
+        overlap: true,
+        speculate_inexact: false,
+    });
+    cfg.obs = Some(ObsConfig::default());
+    let result = qr_acn::workloads::run_scenario(workload, &cfg);
+
+    let records = history.snapshot();
+    if let Err(violations) = check_history(&records) {
+        panic!(
+            "seed {fault_seed}: batch-mode run failed the history checker with {} violation(s): \
+             {:#?}\nreproduce with: CHAOS_SEED={fault_seed} cargo test --test chaos_suite",
+            violations.len(),
+            &violations[..violations.len().min(5)]
+        );
+    }
+    assert!(
+        result.total_commits() > 0,
+        "seed {fault_seed}: batch mode made no progress: {:?}",
+        result.intervals
+    );
+    let ws = result.batch.expect("wave stats present in batch mode");
+    assert!(
+        ws.txns >= result.total_commits(),
+        "seed {fault_seed}: every counted commit was scheduled through a wave"
+    );
+    let obs = result.obs.as_ref().expect("observability was enabled");
+    let counted =
+        result.total_full_aborts() + result.total_partial_aborts() + result.total_locked_aborts();
+    assert_eq!(
+        obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS),
+        counted,
+        "seed {fault_seed}: attributed aborts must equal executor counters in batch mode"
+    );
+    assert_eq!(
+        obs.aborts.total_of(&[
+            AbortKind::ReadInvalid,
+            AbortKind::CommitConflict,
+            AbortKind::Partial,
+        ]),
+        0,
+        "seed {fault_seed}: batch-mode aborts must carry the Spec* labels"
+    );
+}
+
+#[test]
+fn bank_batch_history_is_serializable_under_every_seed() {
+    let bank = Bank::default();
+    for seed in seeds() {
+        run_batch_seed(&bank, SystemKind::QrCn, SpecMode::Partial, seed);
+    }
+}
+
+#[test]
+fn tpcc_batch_history_is_serializable_under_every_seed() {
+    let tpcc = Tpcc::new(
+        qr_acn::workloads::tpcc::TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 4,
+            customers_per_district: 20,
+            items: 40,
+            ol_min: 3,
+            ol_max: 6,
+        },
+        qr_acn::workloads::tpcc::TpccMix::MIXED,
+    );
+    for seed in seeds() {
+        run_batch_seed(&tpcc, SystemKind::QrCn, SpecMode::Partial, seed);
+    }
+}
+
+/// The Block-STM-style ablation arm survives chaos too: flat sequences,
+/// full re-execution on every mis-speculation, history still clean.
+#[test]
+fn bank_batch_full_restart_stays_serializable() {
+    let bank = Bank::default();
+    run_batch_seed(&bank, SystemKind::QrCn, SpecMode::FullRestart, SEEDS[1]);
+}
+
 /// Run one workload under an **amnesia-crash** schedule: one server loses
 /// its entire store mid-run and must catch up from its peers before it may
 /// serve reads or vote again. Asserts the committed history stays clean,
