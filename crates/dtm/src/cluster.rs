@@ -4,12 +4,27 @@ use crate::client::{ClientConfig, DtmClient};
 use crate::contention::WindowConfig;
 use crate::messages::Msg;
 use crate::server::{Server, ServerStats, SyncConfig};
+use crate::wal::{FileLog, MemLog, Persistence};
 use acn_obs::SpanCollector;
 use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
 use acn_simnet::{FaultPlan, LatencyModel, Network, NodeId};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Which durable-log backend each server gets (see [`crate::Persistence`]).
+#[derive(Debug, Clone, Default)]
+pub enum PersistenceMode {
+    /// Per-server in-memory ring (the default): survives a simulated
+    /// [`Cluster::fail_server_restart`] — the server thread keeps owning
+    /// the log across the fault — but not process death. Right for tests.
+    #[default]
+    Memory,
+    /// Append-only file log per server at `dir/server-{rank}.wal`,
+    /// length-prefixed checksummed frames. Survives real process death.
+    File(PathBuf),
+}
 
 /// Cluster shape and protocol parameters.
 #[derive(Debug, Clone)]
@@ -41,6 +56,9 @@ pub struct ClusterConfig {
     /// handling / sync-refusal spans for requests that arrive wrapped in
     /// [`Msg::Traced`].
     pub spans: Option<Arc<SpanCollector>>,
+    /// Durable-log backend per server (write-ahead decision log replayed
+    /// on crash-restart).
+    pub persistence: PersistenceMode,
 }
 
 impl ClusterConfig {
@@ -57,6 +75,7 @@ impl ClusterConfig {
             client_cfg: ClientConfig::default(),
             prepared_ttl: Duration::from_secs(30),
             spans: None,
+            persistence: PersistenceMode::default(),
         }
     }
 
@@ -72,6 +91,7 @@ impl ClusterConfig {
             client_cfg: ClientConfig::default(),
             prepared_ttl: Duration::from_secs(30),
             spans: None,
+            persistence: PersistenceMode::default(),
         }
     }
 }
@@ -104,6 +124,17 @@ impl Cluster {
                 if let Some(spans) = &cfg.spans {
                     server.set_span_collector(spans.clone());
                 }
+                let wal: Box<dyn Persistence> = match &cfg.persistence {
+                    PersistenceMode::Memory => Box::new(MemLog::new()),
+                    PersistenceMode::File(dir) => {
+                        std::fs::create_dir_all(dir).expect("create WAL directory");
+                        Box::new(
+                            FileLog::open(dir.join(format!("server-{rank}.wal")))
+                                .expect("open server WAL"),
+                        )
+                    }
+                };
+                server.set_persistence(wal);
                 std::thread::Builder::new()
                     .name(format!("qr-server-{rank}"))
                     .spawn(move || server.run(endpoint))
@@ -154,6 +185,15 @@ impl Cluster {
     pub fn fail_server_amnesia(&self, rank: usize) {
         assert!(rank < self.cfg.servers);
         self.net.fail_amnesia(NodeId(rank as u32));
+    }
+
+    /// Crash server `rank` *keeping its durable log*: its messages drop
+    /// and — once recovered — the replica replays its WAL, reconstructs
+    /// its store, prepared table and dedup cache, and fetches only the
+    /// writes it missed from peers (delta sync) before serving again.
+    pub fn fail_server_restart(&self, rank: usize) {
+        assert!(rank < self.cfg.servers);
+        self.net.fail_restart(NodeId(rank as u32));
     }
 
     /// Recover server `rank`.

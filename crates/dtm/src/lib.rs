@@ -40,9 +40,10 @@ mod messages;
 mod pool;
 mod server;
 mod store;
+mod wal;
 
 pub use client::{ClientConfig, ClientStats, ContentionSample, DtmClient};
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, PersistenceMode};
 pub use contention::{ContentionWindow, WindowConfig};
 pub use context::{ChildCtx, TxnCtx};
 pub use error::{AbortScope, DtmError};
@@ -51,3 +52,7 @@ pub use messages::{kind as msg_kind, BatchRead, Msg, ReqId, TxnId, ValidateEntry
 pub use pool::ClientPool;
 pub use server::{Server, ServerStats, SyncConfig};
 pub use store::{ClassDigest, Store, StoreDigest, VersionedObject};
+pub use wal::{
+    checksum, decode_stream, replay, FileLog, LoadedLog, MemLog, Persistence, ReplayState,
+    WalRecord, FRAME_HDR,
+};

@@ -217,6 +217,19 @@ pub enum Msg {
         /// `(object, version, value)` for every object the peer holds.
         entries: Vec<(ObjectId, Version, ObjectVal)>,
     },
+    /// Recovering server → peer server: a replica that *replayed a WAL*
+    /// on restart already holds most of its state; it sends the versions
+    /// it has so the peer answers with only the newer/missing objects
+    /// (the delta), not the full inventory. Same incarnation-staleness
+    /// rule as [`Msg::SyncReq`]; the peer replies with a [`Msg::SyncResp`].
+    SyncDeltaReq {
+        /// Correlation id (the recovering server's own counter).
+        req: ReqId,
+        /// The requester's recovery incarnation this request belongs to.
+        incarnation: u64,
+        /// `(object, version)` the requester already holds.
+        known: Vec<(ObjectId, Version)>,
+    },
     /// Client → lagging read-quorum member, fire-and-forget: after a
     /// quorum read disagreed on versions, push the winning copy back to
     /// the responders that served an older one. Applied through the same
@@ -294,6 +307,8 @@ pub mod kind {
     pub const REPAIR_WRITE: MsgKind = 15;
     /// [`super::Msg::Syncing`]
     pub const SYNCING: MsgKind = 16;
+    /// [`super::Msg::SyncDeltaReq`]
+    pub const SYNC_DELTA_REQ: MsgKind = 17;
 }
 
 impl Msg {
@@ -313,6 +328,7 @@ impl Msg {
             Msg::ContentionReq { .. } => kind::CONTENTION_REQ,
             Msg::ContentionResp { .. } => kind::CONTENTION_RESP,
             Msg::SyncReq { .. } => kind::SYNC_REQ,
+            Msg::SyncDeltaReq { .. } => kind::SYNC_DELTA_REQ,
             Msg::SyncResp { .. } => kind::SYNC_RESP,
             Msg::RepairWrite { .. } => kind::REPAIR_WRITE,
             Msg::Syncing { .. } => kind::SYNCING,
@@ -408,6 +424,7 @@ impl Msg {
                 ..
             } => HDR + LVL * (levels.len() + abort_levels.len()) as u64,
             Msg::SyncReq { .. } => HDR + 8,
+            Msg::SyncDeltaReq { known, .. } => HDR + 8 + VE * known.len() as u64,
             Msg::Syncing { .. } => HDR,
             Msg::Shutdown => HDR,
             // Two span ids ride along with the inner message.
@@ -497,6 +514,16 @@ mod tests {
             None
         );
         assert_eq!(
+            Msg::SyncDeltaReq {
+                req: 1,
+                incarnation: 1,
+                known: vec![]
+            }
+            .response_req(),
+            None,
+            "a delta sync probe is a request, not a response"
+        );
+        assert_eq!(
             Msg::RepairWrite {
                 req: 1,
                 writes: vec![]
@@ -518,6 +545,11 @@ mod tests {
                 req: 1,
                 incarnation: 1,
             },
+            Msg::SyncDeltaReq {
+                req: 1,
+                incarnation: 1,
+                known: vec![],
+            },
             Msg::SyncResp {
                 req: 1,
                 incarnation: 1,
@@ -538,7 +570,8 @@ mod tests {
         let kinds: std::collections::HashSet<_> = all.iter().map(|m| m.kind()).collect();
         assert_eq!(kinds.len(), all.len(), "kinds must not collide");
         assert_eq!(all[0].kind(), kind::SYNC_REQ);
-        assert_eq!(all[3].kind(), kind::SYNCING);
+        assert_eq!(all[1].kind(), kind::SYNC_DELTA_REQ);
+        assert_eq!(all[4].kind(), kind::SYNCING);
         // Sync payload cost scales with the inventory like a commit's.
         use acn_txir::ObjClass;
         let obj = |i| ObjectId::new(ObjClass::new(1, "c"), i);
@@ -549,6 +582,14 @@ mod tests {
         };
         let per_entry = resp(2).wire_bytes() - resp(1).wire_bytes();
         assert!(per_entry >= 20, "entries are not free: {per_entry}");
+        // A delta probe pays per known-version entry (object id + version),
+        // trading probe size for a delta-sized response.
+        let probe = |n: u64| Msg::SyncDeltaReq {
+            req: 1,
+            incarnation: 1,
+            known: (0..n).map(|i| (obj(i), i)).collect(),
+        };
+        assert_eq!(probe(3).wire_bytes() - probe(1).wire_bytes(), 2 * 20);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::contention::{ContentionWindow, WindowConfig};
 use crate::messages::{Msg, ReqId, TxnId};
 use crate::store::{Store, StoreDigest};
+use crate::wal::{replay, Persistence, WalRecord};
 use acn_obs::{RawSpan, SpanCollector, SpanKind, FLAG_ROLLED_BACK};
 use acn_quorum::LevelQuorums;
 use acn_simnet::{Endpoint, NodeId, RecvError};
@@ -50,6 +51,16 @@ pub struct ServerStats {
     pub repair_writes_received: u64,
     /// Repaired objects that actually advanced this replica's copy.
     pub repair_writes_applied: u64,
+    /// Crash-restart recoveries performed (WAL replayed, delta fetched).
+    pub restart_replays: u64,
+    /// WAL records applied across all restart replays.
+    pub wal_records_replayed: u64,
+    /// Torn/corrupt log tails detected by checksum and truncated.
+    pub torn_tails_truncated: u64,
+    /// Objects received in delta-sync responses after a restart replay
+    /// (the work a recovery cost — it must scale with the outage, not
+    /// with the store).
+    pub delta_objects_fetched: u64,
     /// Per-class store fingerprint, filled when the stats are taken — the
     /// cheap divergence check between replicas.
     pub digest: StoreDigest,
@@ -119,6 +130,18 @@ pub struct Server {
     server_req: ReqId,
     /// Last amnesia epoch acted upon (vs. the endpoint's fault table).
     amnesia_seen: u64,
+    /// Last crash-restart epoch acted upon (vs. the endpoint's fault
+    /// table). A restart keeps the WAL: the replica replays it instead
+    /// of wiping.
+    restart_seen: u64,
+    /// Durable decision log (`None` = no persistence: a restart degrades
+    /// to amnesia-style full catch-up).
+    wal: Option<Box<dyn Persistence>>,
+    /// True while the current catch-up round should fetch only the delta
+    /// (set by a restart replay, cleared by amnesia and by completion):
+    /// probes carry the replica's known versions so peers answer with
+    /// just the newer/missing objects.
+    delta_sync: bool,
     /// When the message-path lazy sweep last ran (see [`Server::handle`]).
     last_sweep: Instant,
     /// Sink for server-side spans (inbox dwell, handling, sync refusals),
@@ -167,9 +190,19 @@ impl Server {
             sync_responders: HashSet::new(),
             server_req: 0,
             amnesia_seen: 0,
+            restart_seen: 0,
+            wal: None,
+            delta_sync: false,
             last_sweep: Instant::now(),
             spans: None,
         }
+    }
+
+    /// Install the durable decision log. Appends happen at the 2PC
+    /// decision points (prepare grant, commit apply, abort, incarnation
+    /// bump); [`Server::recover_from_restart`] replays it.
+    pub fn set_persistence(&mut self, wal: Box<dyn Persistence>) {
+        self.wal = Some(wal);
     }
 
     /// Install the span sink the service loop records server-side spans
@@ -245,8 +278,68 @@ impl Server {
         self.incarnation += 1;
         self.sync_responders.clear();
         self.stats.amnesia_wipes += 1;
+        // Amnesia loses the disk too: the log restarts empty, seeded
+        // with the new incarnation, and catch-up is a full sync.
+        if let Some(wal) = self.wal.as_mut() {
+            wal.reset();
+            wal.append(&WalRecord::IncarnationBump {
+                incarnation: self.incarnation,
+            });
+        }
+        self.delta_sync = false;
         // Without peers there is nobody to catch up from; restarting
         // empty is all a standalone server can do.
+        self.syncing = self.sync.is_some();
+    }
+
+    /// Crash-restart landed: the process died but the log survived.
+    /// Volatile state (store, prepared table, dedup cache, contention
+    /// window) is dropped and rebuilt by deterministically replaying the
+    /// WAL — torn tail truncated, `(txn, req)`-idempotent apply, replies
+    /// reconstructed so post-restart client retries hit the dedup cache.
+    /// Catch-up then runs in *delta* mode: only writes committed while
+    /// this replica was down need fetching from peers.
+    pub fn recover_from_restart(&mut self) {
+        self.stats.restart_replays += 1;
+        self.store = Store::new();
+        self.prepared.clear();
+        self.completed.clear();
+        self.completed_order.clear();
+        self.contention = ContentionWindow::new(self.window);
+        self.sync_responders.clear();
+        let now = Instant::now();
+        let mut replayed_incarnation = 0;
+        if let Some(wal) = self.wal.as_mut() {
+            let loaded = wal.load();
+            self.stats.torn_tails_truncated += loaded.torn_tails_truncated;
+            let st = replay(loaded.records);
+            self.stats.wal_records_replayed += st.records;
+            replayed_incarnation = st.incarnation;
+            self.store = st.store;
+            for (txn, objs) in st.prepared {
+                // The prepare's age did not survive the crash; re-arming
+                // the TTL from now is the conservative choice (locks are
+                // held at most one extra TTL, never released early).
+                self.prepared.insert(txn, PreparedTxn { objs, at: now });
+            }
+            for (key, reply) in st.replies {
+                if self.completed.len() >= DEDUP_CAPACITY {
+                    if let Some(old) = self.completed_order.pop_front() {
+                        self.completed.remove(&old);
+                    }
+                }
+                if self.completed.insert(key, reply).is_none() {
+                    self.completed_order.push_back(key);
+                }
+            }
+        }
+        self.incarnation = self.incarnation.max(replayed_incarnation) + 1;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&WalRecord::IncarnationBump {
+                incarnation: self.incarnation,
+            });
+        }
+        self.delta_sync = true;
         self.syncing = self.sync.is_some();
     }
 
@@ -264,13 +357,19 @@ impl Server {
             .filter(|&r| r != sync.rank)
             .map(|r| NodeId(r as u32))
             .collect();
-        Some((
-            peers,
+        let probe = if self.delta_sync {
+            Msg::SyncDeltaReq {
+                req: self.server_req,
+                incarnation: self.incarnation,
+                known: self.store.known_versions(),
+            }
+        } else {
             Msg::SyncReq {
                 req: self.server_req,
                 incarnation: self.incarnation,
-            },
-        ))
+            }
+        };
+        Some((peers, probe))
     }
 
     /// Absorb one peer's [`Msg::SyncResp`] inventory. Catch-up completes —
@@ -292,6 +391,11 @@ impl Server {
         if !self.syncing || incarnation != self.incarnation {
             return; // stale response to an earlier recovery attempt
         }
+        if self.delta_sync {
+            // Every entry a peer shipped is recovery work the restart
+            // cost; the regression tests pin this to the outage size.
+            self.stats.delta_objects_fetched += entries.len() as u64;
+        }
         for (obj, version, value) in entries {
             if self.store.apply(obj, version, value, REPAIR_TXN) {
                 self.stats.sync_objects_received += 1;
@@ -307,6 +411,7 @@ impl Server {
             .is_some();
         if covered {
             self.syncing = false;
+            self.delta_sync = false;
             self.stats.syncs_completed += 1;
         }
     }
@@ -524,6 +629,13 @@ impl Server {
                     // Read-only prepares (no writes) hold no locks and need
                     // no phase 2, so nothing is recorded for them.
                     if !locked.is_empty() {
+                        if let Some(wal) = self.wal.as_mut() {
+                            wal.append(&WalRecord::PrepareGrant {
+                                txn,
+                                req,
+                                objs: locked.clone(),
+                            });
+                        }
                         self.prepared.insert(
                             txn,
                             PreparedTxn {
@@ -548,6 +660,15 @@ impl Server {
             }
             Msg::CommitReq { txn, req, writes } => {
                 self.stats.commits += 1;
+                // Write-ahead: the decision is durable before the store
+                // mutates, so a crash between the two replays the apply.
+                if let Some(wal) = self.wal.as_mut() {
+                    wal.append(&WalRecord::CommitApply {
+                        txn,
+                        req,
+                        writes: writes.clone(),
+                    });
+                }
                 for (obj, version, value) in writes {
                     self.store.apply(obj, version, value, txn);
                     self.contention.record_write(obj, now);
@@ -557,6 +678,9 @@ impl Server {
             }
             Msg::AbortReq { txn, req } => {
                 self.stats.aborts += 1;
+                if let Some(wal) = self.wal.as_mut() {
+                    wal.append(&WalRecord::Abort { txn, req });
+                }
                 if let Some(p) = self.prepared.remove(&txn) {
                     for obj in p.objs {
                         self.store.unlock(obj, txn);
@@ -593,6 +717,33 @@ impl Server {
                     req,
                     incarnation,
                     entries: self.store.inventory(),
+                })
+            }
+            Msg::SyncDeltaReq {
+                req,
+                incarnation,
+                known,
+            } => {
+                // Same no-amnesiac-seeding rule as a full SyncReq.
+                if self.syncing {
+                    return None;
+                }
+                self.stats.syncs_served += 1;
+                // Ship only what the requester is missing: objects it has
+                // never seen, or holds at an older version. A never-written
+                // object reads as version 0 everywhere, so absent == 0.
+                let known: HashMap<ObjectId, crate::messages::Version> =
+                    known.into_iter().collect();
+                let entries = self
+                    .store
+                    .inventory()
+                    .into_iter()
+                    .filter(|(obj, version, _)| known.get(obj).copied().unwrap_or(0) < *version)
+                    .collect();
+                Some(Msg::SyncResp {
+                    req,
+                    incarnation,
+                    entries,
                 })
             }
             Msg::RepairWrite { writes, .. } => {
@@ -637,10 +788,18 @@ impl Server {
         let mut next_sweep = Instant::now() + sweep_every;
         let mut next_probe = Instant::now();
         loop {
+            // Amnesia first: if both faults landed in one poll gap, the
+            // disk is gone too — the replay then finds the wiped log,
+            // which is exactly what the combined fault means.
             let epoch = endpoint.amnesia_epoch();
             if epoch > self.amnesia_seen {
                 self.amnesia_seen = epoch;
                 self.wipe_for_amnesia();
+            }
+            let repoch = endpoint.restart_epoch();
+            if repoch > self.restart_seen {
+                self.restart_seen = repoch;
+                self.recover_from_restart();
             }
             if self.syncing && !endpoint.is_failed() {
                 let now = Instant::now();
@@ -1608,6 +1767,140 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(s.stats().dedup_hits, 0);
+    }
+
+    #[test]
+    fn restart_replays_wal_then_delta_syncs_only_missing_writes() {
+        use crate::wal::MemLog;
+        let mut s = server();
+        s.set_sync_config(sync_cfg(0, 4));
+        s.set_persistence(Box::new(MemLog::new()));
+        commit_obj(&mut s, txn(1), 1, OBJ, 1, 42);
+        commit_obj(&mut s, txn(2), 3, OBJ2, 1, 7);
+
+        s.recover_from_restart();
+        assert!(s.is_syncing(), "still needs the delta from peers");
+        assert_eq!(s.stats().restart_replays, 1);
+        assert_eq!(s.stats().amnesia_wipes, 0);
+        // 2 grants + 2 commits came back from the log…
+        assert_eq!(s.stats().wal_records_replayed, 4);
+        // …and rebuilt the store without touching the network.
+        assert_eq!(s.store_mut().version(OBJ), 1);
+        assert_eq!(s.store_mut().version(OBJ2), 1);
+
+        // A client retrying a pre-crash phase-2 hits the rebuilt dedup
+        // cache instead of re-executing (or being refused while syncing).
+        match s
+            .handle(
+                Msg::CommitReq {
+                    txn: txn(1),
+                    req: 2,
+                    writes: vec![(OBJ, 1, val(42))],
+                },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::CommitAck { req } => assert_eq!(req, 2),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().dedup_hits, 1);
+
+        // The probe advertises what the replica already has…
+        let (peers, probe) = s.sync_probe().expect("restarting server probes");
+        assert_eq!(peers, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let (inc, mut known) = match probe {
+            Msg::SyncDeltaReq {
+                incarnation, known, ..
+            } => (incarnation, known),
+            other => panic!("expected delta probe, got {other:?}"),
+        };
+        known.sort();
+        assert_eq!(known, vec![(OBJ, 1), (OBJ2, 1)]);
+
+        // …so peers ship only the missed write; its cost is counted.
+        let delta = vec![(OBJ2, 3u64, val(9))];
+        for rank in [1u32, 2] {
+            s.handle_from(
+                NodeId(rank),
+                Msg::SyncResp {
+                    req: 1,
+                    incarnation: inc,
+                    entries: delta.clone(),
+                },
+                Instant::now(),
+            );
+        }
+        assert!(!s.is_syncing(), "two peers cover a read quorum");
+        assert_eq!(s.stats().delta_objects_fetched, 2, "one entry per peer");
+        assert_eq!(s.store_mut().version(OBJ2), 3);
+        assert_eq!(s.stats().syncs_completed, 1);
+    }
+
+    #[test]
+    fn delta_sync_request_serves_only_newer_versions() {
+        let mut s = server();
+        s.set_sync_config(sync_cfg(1, 4));
+        commit_obj(&mut s, txn(1), 1, OBJ, 2, 20);
+        commit_obj(&mut s, txn(2), 3, OBJ2, 5, 50);
+        match s
+            .handle(
+                Msg::SyncDeltaReq {
+                    req: 6,
+                    incarnation: 3,
+                    known: vec![(OBJ, 2), (OBJ2, 1)],
+                },
+                Instant::now(),
+            )
+            .unwrap()
+        {
+            Msg::SyncResp {
+                req,
+                incarnation,
+                entries,
+            } => {
+                assert_eq!((req, incarnation), (6, 3), "echoed for correlation");
+                // OBJ is already current on the requester; only OBJ2 moved.
+                assert_eq!(entries, vec![(OBJ2, 5, val(50))]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().syncs_served, 1);
+        // A syncing peer must not seed anyone, delta or not.
+        s.wipe_for_amnesia();
+        assert!(s
+            .handle(
+                Msg::SyncDeltaReq {
+                    req: 7,
+                    incarnation: 4,
+                    known: vec![],
+                },
+                Instant::now()
+            )
+            .is_none());
+        assert_eq!(s.stats().syncs_served, 1);
+    }
+
+    #[test]
+    fn amnesia_resets_the_wal_so_restart_replays_nothing() {
+        use crate::wal::MemLog;
+        let mut s = server();
+        s.set_sync_config(sync_cfg(0, 4));
+        s.set_persistence(Box::new(MemLog::new()));
+        commit_obj(&mut s, txn(1), 1, OBJ, 1, 42);
+        s.wipe_for_amnesia();
+        // If a restart lands after the disk was wiped, the replay must
+        // find only the amnesia incarnation bump — no resurrected state.
+        s.recover_from_restart();
+        assert_eq!(s.stats().wal_records_replayed, 1, "just the bump");
+        assert_eq!(s.store_mut().version(OBJ), 0);
+        // And the incarnation keeps moving strictly forward through both
+        // faults, so pre-amnesia sync responses stay refusable.
+        let (_, probe) = s.sync_probe().unwrap();
+        match probe {
+            Msg::SyncDeltaReq { incarnation, .. } => assert_eq!(incarnation, 2),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

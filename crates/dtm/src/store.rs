@@ -143,6 +143,16 @@ impl Store {
             .collect()
     }
 
+    /// The versions this replica already holds — the "I have" half of a
+    /// delta sync ([`crate::Msg::SyncDeltaReq`]): a peer answers with
+    /// only the objects that are absent here or newer there.
+    pub fn known_versions(&self) -> Vec<(ObjectId, Version)> {
+        self.objects
+            .iter()
+            .map(|(&obj, o)| (obj, o.version))
+            .collect()
+    }
+
     /// Per-class fingerprint of the store (see [`StoreDigest`]).
     pub fn digest(&self) -> StoreDigest {
         let mut classes: BTreeMap<u16, ClassDigest> = BTreeMap::new();

@@ -1,0 +1,768 @@
+//! Durable write-ahead log for crash-restart recovery.
+//!
+//! Each server appends a [`WalRecord`] at every 2PC *decision point* —
+//! prepare grants, commit applications, aborts — plus an incarnation bump
+//! whenever it re-identifies itself after a wipe or restart. On restart the
+//! log is replayed deterministically by [`replay`]: apply is idempotent
+//! (keyed by `(TxnId, ReqId)`, the same key as the live dedup cache), so a
+//! record that survives both in the log and in a retried client request is
+//! applied exactly once. A torn tail — the frame being written when the
+//! crash hit — is detected by the length prefix + checksum and truncated;
+//! everything before it is whole by construction (appends are
+//! frame-atomic in the ring backend and flushed in order in the file
+//! backend).
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [len: u32 LE] [crc: u64 LE] [payload: len bytes]
+//! ```
+//!
+//! `crc` is FNV-1a 64 over the payload (hand-rolled — no external deps).
+//! Decoding stops at the first frame whose header is short, whose payload
+//! is short, whose checksum mismatches, or whose payload fails structural
+//! decode; the byte offset of that frame is the truncation point.
+//!
+//! Object classes are encoded by id only: [`ObjClass`] equality and
+//! hashing are by id (the name is diagnostics), so decode materialises a
+//! `"wal"` placeholder name and round-trip *equality* still holds.
+
+use crate::messages::{Msg, ReqId, TxnId, Version};
+use crate::store::Store;
+use acn_simnet::NodeId;
+use acn_txir::{FieldId, ObjClass, ObjectId, ObjectVal, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// One durable decision. The three 2PC records carry the `(txn, req)`
+/// dedup key; replay uses it to apply each decision at most once and to
+/// reconstruct the reply the server would have sent, so post-restart
+/// client retries hit the dedup cache instead of re-executing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Phase 1 voted yes: `objs` were locked for `txn`.
+    PrepareGrant {
+        /// The transaction that locked.
+        txn: TxnId,
+        /// Request id of the `PrepareReq` (dedup key half).
+        req: ReqId,
+        /// The objects locked on this replica.
+        objs: Vec<ObjectId>,
+    },
+    /// Phase 2 commit: `writes` were applied forward-only.
+    CommitApply {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Request id of the `CommitReq`.
+        req: ReqId,
+        /// `(object, version, value)` triples exactly as applied.
+        writes: Vec<(ObjectId, Version, ObjectVal)>,
+    },
+    /// Phase 2 abort: `txn`'s locks were released.
+    Abort {
+        /// The aborting transaction.
+        txn: TxnId,
+        /// Request id of the `AbortReq`.
+        req: ReqId,
+    },
+    /// The server adopted a new incarnation (restart replay or amnesia).
+    IncarnationBump {
+        /// The incarnation adopted.
+        incarnation: u64,
+    },
+}
+
+const TAG_PREPARE: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_ABORT: u8 = 3;
+const TAG_INCARNATION: u8 = 4;
+
+const VAL_UNIT: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_BOOL: u8 = 2;
+const VAL_STR: u8 = 3;
+
+/// Frame header: `len: u32` + `crc: u64`.
+pub const FRAME_HDR: usize = 12;
+
+/// FNV-1a 64 over `bytes` — the frame checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Sequential little-endian reader over a payload slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+fn put_txn(buf: &mut Vec<u8>, txn: TxnId) {
+    put_u32(buf, txn.client.0);
+    put_u64(buf, txn.seq);
+}
+
+fn get_txn(c: &mut Cursor<'_>) -> Option<TxnId> {
+    Some(TxnId {
+        client: NodeId(c.u32()?),
+        seq: c.u64()?,
+    })
+}
+
+fn put_obj(buf: &mut Vec<u8>, obj: ObjectId) {
+    put_u16(buf, obj.class.id);
+    put_u64(buf, obj.index);
+}
+
+fn get_obj(c: &mut Cursor<'_>) -> Option<ObjectId> {
+    let id = c.u16()?;
+    let index = c.u64()?;
+    // Class names are diagnostics; identity (Eq/Hash/Ord) is by id.
+    Some(ObjectId::new(ObjClass::new(id, "wal"), index))
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Unit => buf.push(VAL_UNIT),
+        Value::Int(i) => {
+            buf.push(VAL_INT);
+            put_u64(buf, *i as u64);
+        }
+        Value::Bool(b) => {
+            buf.push(VAL_BOOL);
+            buf.push(*b as u8);
+        }
+        Value::Str(s) => {
+            buf.push(VAL_STR);
+            put_u32(buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+fn get_value(c: &mut Cursor<'_>) -> Option<Value> {
+    match c.u8()? {
+        VAL_UNIT => Some(Value::Unit),
+        VAL_INT => Some(Value::Int(c.u64()? as i64)),
+        VAL_BOOL => match c.u8()? {
+            0 => Some(Value::Bool(false)),
+            1 => Some(Value::Bool(true)),
+            _ => None,
+        },
+        VAL_STR => {
+            let len = c.u32()? as usize;
+            let raw = c.take(len)?;
+            let s = std::str::from_utf8(raw).ok()?;
+            Some(Value::str(s))
+        }
+        _ => None,
+    }
+}
+
+fn put_val(buf: &mut Vec<u8>, val: &ObjectVal) {
+    put_u32(buf, val.len() as u32);
+    for (field, v) in val.iter() {
+        put_u16(buf, field.0);
+        put_value(buf, v);
+    }
+}
+
+fn get_val(c: &mut Cursor<'_>) -> Option<ObjectVal> {
+    let n = c.u32()? as usize;
+    let mut pairs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let field = FieldId(c.u16()?);
+        pairs.push((field, get_value(c)?));
+    }
+    Some(ObjectVal::from_fields(pairs))
+}
+
+impl WalRecord {
+    /// Encode the record payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            WalRecord::PrepareGrant { txn, req, objs } => {
+                buf.push(TAG_PREPARE);
+                put_txn(&mut buf, *txn);
+                put_u64(&mut buf, *req);
+                put_u32(&mut buf, objs.len() as u32);
+                for obj in objs {
+                    put_obj(&mut buf, *obj);
+                }
+            }
+            WalRecord::CommitApply { txn, req, writes } => {
+                buf.push(TAG_COMMIT);
+                put_txn(&mut buf, *txn);
+                put_u64(&mut buf, *req);
+                put_u32(&mut buf, writes.len() as u32);
+                for (obj, version, value) in writes {
+                    put_obj(&mut buf, *obj);
+                    put_u64(&mut buf, *version);
+                    put_val(&mut buf, value);
+                }
+            }
+            WalRecord::Abort { txn, req } => {
+                buf.push(TAG_ABORT);
+                put_txn(&mut buf, *txn);
+                put_u64(&mut buf, *req);
+            }
+            WalRecord::IncarnationBump { incarnation } => {
+                buf.push(TAG_INCARNATION);
+                put_u64(&mut buf, *incarnation);
+            }
+        }
+        buf
+    }
+
+    /// Decode a payload produced by [`encode`](Self::encode). `None` on
+    /// any structural violation (bad tag, short buffer, trailing bytes).
+    pub fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let mut c = Cursor::new(payload);
+        let rec = match c.u8()? {
+            TAG_PREPARE => {
+                let txn = get_txn(&mut c)?;
+                let req = c.u64()?;
+                let n = c.u32()? as usize;
+                let mut objs = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    objs.push(get_obj(&mut c)?);
+                }
+                WalRecord::PrepareGrant { txn, req, objs }
+            }
+            TAG_COMMIT => {
+                let txn = get_txn(&mut c)?;
+                let req = c.u64()?;
+                let n = c.u32()? as usize;
+                let mut writes = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    let obj = get_obj(&mut c)?;
+                    let version = c.u64()?;
+                    writes.push((obj, version, get_val(&mut c)?));
+                }
+                WalRecord::CommitApply { txn, req, writes }
+            }
+            TAG_ABORT => {
+                let txn = get_txn(&mut c)?;
+                let req = c.u64()?;
+                WalRecord::Abort { txn, req }
+            }
+            TAG_INCARNATION => WalRecord::IncarnationBump {
+                incarnation: c.u64()?,
+            },
+            _ => return None,
+        };
+        if !c.done() {
+            return None; // trailing garbage inside a checksummed frame
+        }
+        Some(rec)
+    }
+
+    /// Append this record as a whole frame (`len` + `crc` + payload).
+    pub fn frame_into(&self, out: &mut Vec<u8>) {
+        let payload = self.encode();
+        put_u32(out, payload.len() as u32);
+        put_u64(out, checksum(&payload));
+        out.extend_from_slice(&payload);
+    }
+}
+
+/// Decode a byte stream of frames. Returns the records decoded, the byte
+/// length of the whole-frame prefix, and whether a torn/corrupt tail was
+/// cut (`true` when `good_len < bytes.len()`).
+pub fn decode_stream(bytes: &[u8]) -> (Vec<WalRecord>, usize, bool) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let Some(hdr) = bytes.get(at..at + FRAME_HDR) else {
+            break; // short header: torn mid-header
+        };
+        let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap()) as usize;
+        let crc = u64::from_le_bytes(hdr[4..12].try_into().unwrap());
+        let Some(payload) = bytes.get(at + FRAME_HDR..at + FRAME_HDR + len) else {
+            break; // short payload: torn mid-frame
+        };
+        if checksum(payload) != crc {
+            break; // bit rot or interleaved torn write
+        }
+        let Some(rec) = WalRecord::decode(payload) else {
+            break; // checksum ok but structurally invalid — treat as torn
+        };
+        records.push(rec);
+        at += FRAME_HDR + len;
+    }
+    (records, at, at < bytes.len())
+}
+
+/// What a backend hands back on [`Persistence::load`].
+#[derive(Debug, Default)]
+pub struct LoadedLog {
+    /// Every whole record, in append order.
+    pub records: Vec<WalRecord>,
+    /// 1 when a torn/corrupt tail was detected and truncated, else 0.
+    pub torn_tails_truncated: u64,
+}
+
+/// A durable decision log. `append` must be frame-atomic from the point
+/// of view of a later `load` on the *same* backend instance family: the
+/// ring never exposes partial frames, and the file backend truncates the
+/// torn tail on load.
+pub trait Persistence: Send {
+    /// Durably append one record.
+    fn append(&mut self, rec: &WalRecord);
+    /// Read back every whole record, truncating any torn tail in the
+    /// backing store so subsequent appends extend a clean log.
+    fn load(&mut self) -> LoadedLog;
+    /// Destroy the log (crash-with-amnesia loses the disk too).
+    fn reset(&mut self);
+}
+
+/// Default [`MemLog`] frame capacity. Old frames are dropped FIFO past
+/// this; a restarted server covers the gap via the peer delta sync, so a
+/// bounded ring is safe (if conservative) for tests.
+pub const MEMLOG_CAPACITY: usize = 1 << 16;
+
+/// In-memory ring backend for tests: frames survive a simulated restart
+/// (the `Cluster` owns the log across the fault) but not process death.
+#[derive(Debug, Default)]
+pub struct MemLog {
+    frames: VecDeque<Vec<u8>>,
+    capacity: usize,
+}
+
+impl MemLog {
+    /// An empty ring with the default capacity.
+    pub fn new() -> Self {
+        MemLog {
+            frames: VecDeque::new(),
+            capacity: MEMLOG_CAPACITY,
+        }
+    }
+
+    /// An empty ring bounded to `capacity` frames.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemLog {
+            frames: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of frames currently held.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frame is held.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+impl Persistence for MemLog {
+    fn append(&mut self, rec: &WalRecord) {
+        let mut frame = Vec::new();
+        rec.frame_into(&mut frame);
+        if self.frames.len() == self.capacity {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(frame);
+    }
+
+    fn load(&mut self) -> LoadedLog {
+        let mut out = LoadedLog::default();
+        for frame in &self.frames {
+            let (mut recs, _, torn) = decode_stream(frame);
+            debug_assert!(!torn, "ring frames are whole by construction");
+            out.records.append(&mut recs);
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.frames.clear();
+    }
+}
+
+/// Append-only file backend: length-prefixed checksummed frames, flushed
+/// per append. `load` truncates the file at the first torn/corrupt frame.
+#[derive(Debug)]
+pub struct FileLog {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl FileLog {
+    /// Open (creating if absent) the log at `path`.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        Ok(FileLog { path, file })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Persistence for FileLog {
+    fn append(&mut self, rec: &WalRecord) {
+        let mut frame = Vec::new();
+        rec.frame_into(&mut frame);
+        // Treat I/O failure as a crash of the frame mid-write: the
+        // checksum catches the torn tail on the next load.
+        let _ = self.file.seek(SeekFrom::End(0));
+        let _ = self.file.write_all(&frame);
+        let _ = self.file.flush();
+    }
+
+    fn load(&mut self) -> LoadedLog {
+        let mut bytes = Vec::new();
+        if self.file.seek(SeekFrom::Start(0)).is_err() || self.file.read_to_end(&mut bytes).is_err()
+        {
+            return LoadedLog::default();
+        }
+        let (records, good_len, torn) = decode_stream(&bytes);
+        if torn {
+            let _ = self.file.set_len(good_len as u64);
+            let _ = self.file.seek(SeekFrom::End(0));
+        }
+        LoadedLog {
+            records,
+            torn_tails_truncated: torn as u64,
+        }
+    }
+
+    fn reset(&mut self) {
+        let _ = self.file.set_len(0);
+        let _ = self.file.seek(SeekFrom::Start(0));
+    }
+}
+
+/// The deterministic product of replaying a log prefix.
+#[derive(Debug, Default)]
+pub struct ReplayState {
+    /// The store as of the last whole record.
+    pub store: Store,
+    /// Prepared-but-undecided transactions and the objects they lock.
+    pub prepared: HashMap<TxnId, Vec<ObjectId>>,
+    /// `(dedup key, reply)` pairs in log order — the replies the server
+    /// sent before crashing, for rebuilding the dedup cache so retries
+    /// are answered without re-execution.
+    pub replies: Vec<((TxnId, ReqId), Msg)>,
+    /// Highest incarnation recorded in the log.
+    pub incarnation: u64,
+    /// Records applied (idempotent duplicates are skipped, not counted).
+    pub records: u64,
+}
+
+/// Replay `records` into a fresh state. Deterministic and idempotent:
+/// the same log always produces the same state, and a `(txn, req)` pair
+/// appearing twice applies once — so replaying `log + log` equals
+/// replaying `log`, and any *prefix* of a valid log is itself a valid
+/// state (the property the WAL proptests pin down).
+pub fn replay(records: impl IntoIterator<Item = WalRecord>) -> ReplayState {
+    let mut st = ReplayState::default();
+    let mut seen: HashSet<(TxnId, ReqId)> = HashSet::new();
+    for rec in records {
+        match rec {
+            WalRecord::PrepareGrant { txn, req, objs } => {
+                if !seen.insert((txn, req)) {
+                    continue;
+                }
+                for obj in &objs {
+                    st.store.try_lock(*obj, txn);
+                }
+                st.prepared.insert(txn, objs);
+                st.replies.push((
+                    (txn, req),
+                    Msg::PrepareResp {
+                        req,
+                        vote: true,
+                        invalid: vec![],
+                        locked: None,
+                        syncing: false,
+                    },
+                ));
+                st.records += 1;
+            }
+            WalRecord::CommitApply { txn, req, writes } => {
+                if !seen.insert((txn, req)) {
+                    continue;
+                }
+                for (obj, version, value) in writes {
+                    st.store.apply(obj, version, value, txn);
+                }
+                st.prepared.remove(&txn);
+                st.replies.push(((txn, req), Msg::CommitAck { req }));
+                st.records += 1;
+            }
+            WalRecord::Abort { txn, req } => {
+                if !seen.insert((txn, req)) {
+                    continue;
+                }
+                if let Some(objs) = st.prepared.remove(&txn) {
+                    for obj in objs {
+                        st.store.unlock(obj, txn);
+                    }
+                }
+                st.replies.push(((txn, req), Msg::AbortAck { req }));
+                st.records += 1;
+            }
+            WalRecord::IncarnationBump { incarnation } => {
+                st.incarnation = st.incarnation.max(incarnation);
+                st.records += 1;
+            }
+        }
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BRANCH: ObjClass = ObjClass::new(0, "Branch");
+    const BAL: FieldId = FieldId(0);
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId {
+            client: NodeId(10),
+            seq,
+        }
+    }
+
+    fn val(v: i64) -> ObjectVal {
+        ObjectVal::from_fields([(BAL, Value::Int(v))])
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        let obj = ObjectId::new(BRANCH, 3);
+        vec![
+            WalRecord::PrepareGrant {
+                txn: txn(1),
+                req: 7,
+                objs: vec![obj, ObjectId::new(BRANCH, 4)],
+            },
+            WalRecord::CommitApply {
+                txn: txn(1),
+                req: 8,
+                writes: vec![(obj, 1, val(42))],
+            },
+            WalRecord::PrepareGrant {
+                txn: txn(2),
+                req: 9,
+                objs: vec![obj],
+            },
+            WalRecord::Abort {
+                txn: txn(2),
+                req: 10,
+            },
+            WalRecord::IncarnationBump { incarnation: 3 },
+        ]
+    }
+
+    #[test]
+    fn codec_round_trips_every_record_kind() {
+        for rec in sample_records() {
+            let payload = rec.encode();
+            assert_eq!(WalRecord::decode(&payload), Some(rec));
+        }
+        // All value kinds survive, including strings.
+        let rich = WalRecord::CommitApply {
+            txn: txn(9),
+            req: 99,
+            writes: vec![(
+                ObjectId::new(BRANCH, 0),
+                5,
+                ObjectVal::from_fields([
+                    (FieldId(0), Value::Unit),
+                    (FieldId(1), Value::Int(-7)),
+                    (FieldId(2), Value::Bool(true)),
+                    (FieldId(3), Value::str("warehouse")),
+                ]),
+            )],
+        };
+        assert_eq!(WalRecord::decode(&rich.encode()), Some(rich));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes_and_bad_tags() {
+        let mut payload = WalRecord::Abort {
+            txn: txn(1),
+            req: 2,
+        }
+        .encode();
+        payload.push(0);
+        assert_eq!(WalRecord::decode(&payload), None);
+        assert_eq!(WalRecord::decode(&[200]), None);
+        assert_eq!(WalRecord::decode(&[]), None);
+    }
+
+    #[test]
+    fn stream_stops_at_corrupt_frame() {
+        let mut bytes = Vec::new();
+        for rec in sample_records() {
+            rec.frame_into(&mut bytes);
+        }
+        let (recs, good, torn) = decode_stream(&bytes);
+        assert_eq!(recs, sample_records());
+        assert_eq!(good, bytes.len());
+        assert!(!torn);
+
+        // Flip one payload byte of the final frame: the stream must keep
+        // everything before it and report a torn tail.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        let (recs, good, torn) = decode_stream(&corrupt);
+        assert_eq!(recs.len(), sample_records().len() - 1);
+        assert!(good < corrupt.len());
+        assert!(torn);
+    }
+
+    #[test]
+    fn memlog_round_trips_and_bounds_capacity() {
+        let mut log = MemLog::with_capacity(3);
+        for rec in sample_records() {
+            log.append(&rec);
+        }
+        assert_eq!(log.len(), 3);
+        let loaded = log.load();
+        assert_eq!(loaded.torn_tails_truncated, 0);
+        assert_eq!(loaded.records, sample_records()[2..].to_vec());
+        log.reset();
+        assert!(log.is_empty());
+        assert!(log.load().records.is_empty());
+    }
+
+    #[test]
+    fn filelog_survives_reopen_and_truncates_torn_tail() {
+        let dir = std::env::temp_dir().join(format!(
+            "acn-wal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server-0.wal");
+        {
+            let mut log = FileLog::open(&path).unwrap();
+            log.reset();
+            for rec in sample_records() {
+                log.append(&rec);
+            }
+        }
+        // Tear the tail: chop 3 bytes off the final frame.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let mut log = FileLog::open(&path).unwrap();
+        let loaded = log.load();
+        assert_eq!(loaded.torn_tails_truncated, 1);
+        assert_eq!(loaded.records, sample_records()[..4].to_vec());
+
+        // The torn tail was physically truncated: appending after the
+        // load yields a clean log with the new record following record 4.
+        log.append(&WalRecord::IncarnationBump { incarnation: 9 });
+        let reloaded = log.load();
+        assert_eq!(reloaded.torn_tails_truncated, 0);
+        assert_eq!(reloaded.records.len(), 5);
+        assert_eq!(
+            reloaded.records[4],
+            WalRecord::IncarnationBump { incarnation: 9 }
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_reconstructs_store_prepared_and_replies() {
+        let st = replay(sample_records());
+        let obj = ObjectId::new(BRANCH, 3);
+        let (version, value, lock) = st.store.read(obj);
+        assert_eq!(version, 1);
+        assert_eq!(value.get(BAL), Some(&Value::Int(42)));
+        assert_eq!(lock, None, "commit and abort must both have unlocked");
+        // txn(1)'s grant also locked object 4 but its commit never wrote
+        // it: apply() only releases what it writes, so the lock survives
+        // replay exactly as it survived live — the TTL sweep reclaims it.
+        assert_eq!(st.store.lock_holder(ObjectId::new(BRANCH, 4)), Some(txn(1)));
+        assert!(st.prepared.is_empty());
+        assert_eq!(st.incarnation, 3);
+        assert_eq!(st.records, 5);
+        assert_eq!(st.replies.len(), 4);
+    }
+
+    #[test]
+    fn replay_is_idempotent_per_dedup_key() {
+        let once = replay(sample_records());
+        let twice = replay(sample_records().into_iter().chain(sample_records()));
+        assert_eq!(once.store.digest(), twice.store.digest());
+        assert_eq!(once.records, twice.records - 1, "only the bump re-applies");
+        assert_eq!(once.replies.len(), twice.replies.len());
+    }
+
+    #[test]
+    fn replay_of_undecided_prepare_keeps_the_lock() {
+        let obj = ObjectId::new(BRANCH, 8);
+        let st = replay([WalRecord::PrepareGrant {
+            txn: txn(5),
+            req: 1,
+            objs: vec![obj],
+        }]);
+        assert_eq!(st.store.lock_holder(obj), Some(txn(5)));
+        assert_eq!(st.prepared.get(&txn(5)), Some(&vec![obj]));
+    }
+}

@@ -354,6 +354,217 @@ fn amnesia_recovery_refuses_votes_then_converges() {
     );
 }
 
+/// Crash-restart end to end: unlike amnesia, the replica keeps its durable
+/// log. On rejoin it must replay the WAL (not refetch its whole store),
+/// refuse reads and votes only until the *delta* sync covers a read
+/// quorum, and converge to the root replica's digest.
+#[test]
+fn crash_restart_replays_log_then_fetches_only_the_delta() {
+    let cluster = Cluster::start(ClusterConfig::test(4, 2));
+    let mut writer = cluster.client(0);
+    for i in 40..48u64 {
+        seed(&mut writer, ObjectId::new(BRANCH, i), i as i64);
+    }
+
+    // Crash server 3 keeping its log; let its loop observe the epoch.
+    cluster.fail_server_restart(3);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Writes while the replica is down all land on {0, 1, 2}.
+    for i in 40..44u64 {
+        let obj = ObjectId::new(BRANCH, i);
+        let mut ctx = TxnCtx::begin(&mut writer);
+        ctx.open(&mut writer, obj, true).unwrap();
+        ctx.set_field(obj, BAL, Value::Int(100 + i as i64));
+        ctx.commit(&mut writer).unwrap();
+    }
+
+    // Hold the replica mid-recovery: probes flow out, responses drop.
+    let node3 = NodeId(3);
+    for rank in 0..3u32 {
+        cluster.net().fail_link(NodeId(rank), node3);
+    }
+    cluster.recover_server(3);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Even with its WAL replayed, the replica must refuse until the
+    // delta arrives — its log cannot contain the down-time writes.
+    let zombie = cluster.net().endpoint(NodeId(4 + 1));
+    let probe = ObjectId::new(BRANCH, 40);
+    zombie.send(
+        node3,
+        Msg::ReadReq {
+            txn: TxnId {
+                client: NodeId(4 + 1),
+                seq: 0,
+            },
+            req: 1,
+            obj: probe,
+            validate: vec![],
+            sample: vec![],
+        },
+    );
+    match zombie.recv_timeout(Duration::from_millis(500)) {
+        Ok((src, Msg::Syncing { req })) => {
+            assert_eq!(src, node3);
+            assert_eq!(req, 1);
+        }
+        other => panic!("expected a Syncing read refusal, got {other:?}"),
+    }
+
+    // Let the delta through; recovery completes within a few probes.
+    cluster.heal_partition();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica 3 never finished its delta sync"
+        );
+        zombie.send(
+            node3,
+            Msg::ReadReq {
+                txn: TxnId {
+                    client: NodeId(4 + 1),
+                    seq: 1,
+                },
+                req: 2,
+                obj: probe,
+                validate: vec![],
+                sample: vec![],
+            },
+        );
+        match zombie.recv_timeout(Duration::from_millis(500)) {
+            Ok((_, Msg::Syncing { .. })) => std::thread::sleep(Duration::from_millis(20)),
+            Ok((_, Msg::ReadResp { version, value, .. })) => {
+                // The down-time write arrived via the delta, not a stale
+                // replayed copy.
+                assert!(version >= 2, "synced version must be post-downtime");
+                assert_eq!(value.get(BAL), Some(&Value::Int(140)));
+                break;
+            }
+            other => panic!("expected Syncing or ReadResp, got {other:?}"),
+        }
+    }
+
+    let stats = cluster.shutdown();
+    assert_eq!(stats[3].restart_replays, 1, "one restart recovery");
+    assert_eq!(stats[3].amnesia_wipes, 0, "the disk survived");
+    assert_eq!(stats[3].torn_tails_truncated, 0, "the log was whole");
+    // 8 seeds + 4 pre-crash writes each logged a grant and a commit.
+    assert!(
+        stats[3].wal_records_replayed >= 16,
+        "the store must come back from the log: {}",
+        stats[3].wal_records_replayed
+    );
+    assert_eq!(stats[3].syncs_completed, 1);
+    assert!(stats[3].sync_read_refusals >= 1);
+    // Peers shipped (and the replica paid for) only the outage delta:
+    // 4 changed objects from at most 3 peers over the few probe rounds
+    // between heal and quorum coverage — nowhere near 8 × 3 for a full
+    // re-fetch per round.
+    assert!(
+        stats[3].delta_objects_fetched >= 4,
+        "the delta must actually flow: {}",
+        stats[3].delta_objects_fetched
+    );
+    assert_eq!(
+        stats[3].digest, stats[0].digest,
+        "restarted replica must converge to the root replica's state"
+    );
+}
+
+/// The durable-recovery payoff, pinned as a regression: after a short
+/// outage on a *large* store, recovery work scales with the delta (what
+/// changed while down), not with the store size. Counter-based and fully
+/// deterministic: the WAL replays the whole inventory, while peers ship
+/// only the handful of objects written during the outage.
+#[test]
+fn restart_recovery_work_scales_with_the_delta_not_the_store() {
+    const STORE_OBJS: u64 = 192;
+    const DELTA_OBJS: u64 = 4;
+    let cluster = Cluster::start(ClusterConfig::test(4, 2));
+    let mut writer = cluster.client(0);
+    for i in 0..STORE_OBJS {
+        seed(&mut writer, ObjectId::new(BRANCH, i), i as i64);
+    }
+
+    cluster.fail_server_restart(3);
+    std::thread::sleep(Duration::from_millis(150));
+    for i in 0..DELTA_OBJS {
+        let obj = ObjectId::new(BRANCH, i);
+        let mut ctx = TxnCtx::begin(&mut writer);
+        ctx.open(&mut writer, obj, true).unwrap();
+        ctx.set_field(obj, BAL, Value::Int(1000 + i as i64));
+        ctx.commit(&mut writer).unwrap();
+    }
+    cluster.recover_server(3);
+
+    // Wait until the replica serves again (sync complete).
+    let zombie = cluster.net().endpoint(NodeId(4 + 1));
+    let node3 = NodeId(3);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut req = 0;
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica 3 never finished its delta sync"
+        );
+        req += 1;
+        zombie.send(
+            node3,
+            Msg::ReadReq {
+                txn: TxnId {
+                    client: NodeId(4 + 1),
+                    seq: req,
+                },
+                req,
+                obj: ObjectId::new(BRANCH, 0),
+                validate: vec![],
+                sample: vec![],
+            },
+        );
+        match zombie.recv_timeout(Duration::from_millis(500)) {
+            Ok((_, Msg::Syncing { .. })) => std::thread::sleep(Duration::from_millis(20)),
+            Ok((_, Msg::ReadResp { version, .. })) => {
+                assert!(version >= 2);
+                break;
+            }
+            other => panic!("expected Syncing or ReadResp, got {other:?}"),
+        }
+    }
+
+    let stats = cluster.shutdown();
+    let s3 = &stats[3];
+    // The whole inventory came back from the local log…
+    assert!(
+        s3.wal_records_replayed >= 2 * STORE_OBJS,
+        "each seeded object logged a grant and a commit: {}",
+        s3.wal_records_replayed
+    );
+    assert_eq!(
+        s3.digest.total_objects(),
+        STORE_OBJS,
+        "recovered inventory must be the full store"
+    );
+    // …while the network shipped only the outage delta. The hard bound:
+    // at most 3 peers answer each of the few probe rounds between
+    // recovery and quorum coverage with the 4 changed objects. A full
+    // refetch would move ≥ STORE_OBJS per responding peer.
+    assert!(
+        s3.delta_objects_fetched >= DELTA_OBJS,
+        "the delta must actually flow: {}",
+        s3.delta_objects_fetched
+    );
+    assert!(
+        s3.delta_objects_fetched < STORE_OBJS / 4,
+        "recovery traffic must scale with the outage, not the store: \
+         fetched {} of a {}-object inventory",
+        s3.delta_objects_fetched,
+        STORE_OBJS
+    );
+    assert_eq!(s3.digest, stats[0].digest);
+}
+
 /// With every `PrepareReq` duplicated (and half of them delayed behind
 /// later traffic), commits must still apply exactly once: servers dedup
 /// retried phase-1/phase-2 requests by `(txn, req)` id.

@@ -69,6 +69,15 @@ pub struct RecoveryCounters {
     pub repair_writes_sent: u64,
     /// Repaired objects that actually advanced a replica's copy.
     pub repair_writes_applied: u64,
+    /// Crash-restart recoveries performed (WAL replayed, delta fetched).
+    pub restart_replays: u64,
+    /// WAL records servers applied across restart replays.
+    pub wal_records_replayed: u64,
+    /// Torn/corrupt WAL tails detected by checksum and truncated.
+    pub torn_tails_truncated: u64,
+    /// Objects shipped in delta-sync responses after restart replays —
+    /// the recovery work that must scale with the outage, not the store.
+    pub delta_objects_fetched: u64,
 }
 
 /// Mirror of the simulated network's `NetStatsSnapshot`.
@@ -287,7 +296,11 @@ impl MetricsReport {
                 .u64_field("sync_vote_refusals", r.sync_vote_refusals)
                 .u64_field("sync_read_refusals", r.sync_read_refusals)
                 .u64_field("repair_writes_sent", r.repair_writes_sent)
-                .u64_field("repair_writes_applied", r.repair_writes_applied);
+                .u64_field("repair_writes_applied", r.repair_writes_applied)
+                .u64_field("restart_replays", r.restart_replays)
+                .u64_field("wal_records_replayed", r.wal_records_replayed)
+                .u64_field("torn_tails_truncated", r.torn_tails_truncated)
+                .u64_field("delta_objects_fetched", r.delta_objects_fetched);
             out.push_str(&o.finish());
             out.push('\n');
         }
@@ -422,6 +435,11 @@ impl MetricsReport {
                         sync_read_refusals: req_u64(&map, "sync_read_refusals").map_err(ctx)?,
                         repair_writes_sent: req_u64(&map, "repair_writes_sent").map_err(ctx)?,
                         repair_writes_applied: req_u64(&map, "repair_writes_applied")
+                            .map_err(ctx)?,
+                        restart_replays: req_u64(&map, "restart_replays").map_err(ctx)?,
+                        wal_records_replayed: req_u64(&map, "wal_records_replayed").map_err(ctx)?,
+                        torn_tails_truncated: req_u64(&map, "torn_tails_truncated").map_err(ctx)?,
+                        delta_objects_fetched: req_u64(&map, "delta_objects_fetched")
                             .map_err(ctx)?,
                     })
                 }
@@ -653,6 +671,10 @@ mod tests {
                 sync_read_refusals: 6,
                 repair_writes_sent: 9,
                 repair_writes_applied: 5,
+                restart_replays: 1,
+                wal_records_replayed: 180,
+                torn_tails_truncated: 1,
+                delta_objects_fetched: 12,
             })
             .net(NetCounters {
                 sent: 500,

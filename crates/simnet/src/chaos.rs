@@ -116,6 +116,11 @@ pub enum FaultAction {
     /// state and must catch up from peers after [`FaultAction::Recover`]
     /// (see [`crate::Network::fail_amnesia`]).
     CrashAmnesia(NodeId),
+    /// Fail-stop a node **keeping its durable log**: besides the crash
+    /// drain, the node's restart epoch advances so its service loop drops
+    /// volatile state and replays its log after [`FaultAction::Recover`]
+    /// (see [`crate::Network::fail_restart`]).
+    CrashRestart(NodeId),
     /// Recover a crashed node (drains again so pre-crash traffic that
     /// raced past the crash drain is not replayed).
     Recover(NodeId),
@@ -171,6 +176,10 @@ pub struct ChaosProfile {
     /// like a crash window, but the victim loses its state and must run
     /// the layer-above catch-up protocol after recovery.
     pub amnesia_crashes: usize,
+    /// Number of single-server **crash-restart** windows to schedule:
+    /// the victim's process dies but its durable log survives; after
+    /// recovery it replays the log and fetches only the delta from peers.
+    pub restart_crashes: usize,
     /// Length of the run the plan is generated for.
     pub horizon: Duration,
     /// Every scheduled fault is healed by `horizon * heal_by` so the tail
@@ -188,6 +197,7 @@ impl Default for ChaosProfile {
             partitions: 1,
             crashes: 1,
             amnesia_crashes: 0,
+            restart_crashes: 0,
             horizon: Duration::from_millis(400),
             heal_by: 0.45,
         }
@@ -223,9 +233,11 @@ impl FaultPlan {
     /// The generated plan has one catch-all message rule with the profile's
     /// probabilities, plus `partitions` minority-partition windows (a
     /// random minority of servers, each client assigned a random side),
-    /// `crashes` single-server crash windows, and `amnesia_crashes`
+    /// `crashes` single-server crash windows, `amnesia_crashes`
     /// crash-with-amnesia windows (the victim's state is lost and must be
-    /// re-synced from peers after recovery). All faults heal by
+    /// re-synced from peers after recovery), and `restart_crashes`
+    /// crash-restart windows (the victim's durable log survives; it
+    /// replays and fetches only the delta). All faults heal by
     /// `horizon * heal_by`.
     pub fn generate(seed: u64, servers: usize, clients: usize, profile: &ChaosProfile) -> Self {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_D15E_A5E5);
@@ -306,6 +318,23 @@ impl FaultPlan {
             events.push(TimedFault {
                 at: Duration::from_micros(start),
                 action: FaultAction::CrashAmnesia(victim),
+            });
+            events.push(TimedFault {
+                at: Duration::from_micros(end),
+                action: FaultAction::Recover(victim),
+            });
+        }
+
+        for _ in 0..profile.restart_crashes {
+            if servers == 0 {
+                break;
+            }
+            let victim = NodeId(rng.gen_range(0..servers) as u32);
+            let start = rng.gen_range(0..heal_deadline_us / 2);
+            let end = rng.gen_range(start + heal_deadline_us / 4..=heal_deadline_us);
+            events.push(TimedFault {
+                at: Duration::from_micros(start),
+                action: FaultAction::CrashRestart(victim),
             });
             events.push(TimedFault {
                 at: Duration::from_micros(end),
@@ -476,6 +505,48 @@ mod tests {
                 );
                 assert!(victim.0 < 7, "victims are servers only");
             }
+        }
+        // Deterministic like every other window type.
+        assert_eq!(
+            FaultPlan::generate(5, 7, 3, &prof),
+            FaultPlan::generate(5, 7, 3, &prof)
+        );
+    }
+
+    #[test]
+    fn restart_windows_pair_crash_with_recover() {
+        let prof = ChaosProfile {
+            partitions: 0,
+            crashes: 0,
+            restart_crashes: 2,
+            ..Default::default()
+        };
+        for seed in 0..10 {
+            let plan = FaultPlan::generate(seed, 7, 3, &prof);
+            let crashes: Vec<_> = plan
+                .events
+                .iter()
+                .filter_map(|e| match &e.action {
+                    FaultAction::CrashRestart(n) => Some((e.at, *n)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(crashes.len(), 2, "seed {seed}: two restart windows");
+            for (at, victim) in crashes {
+                assert!(
+                    plan.events.iter().any(|e| e.at >= at
+                        && matches!(&e.action, FaultAction::Recover(n) if *n == victim)),
+                    "seed {seed}: restart victim {victim} must recover later"
+                );
+                assert!(victim.0 < 7, "victims are servers only");
+            }
+            assert!(
+                !plan
+                    .events
+                    .iter()
+                    .any(|e| matches!(&e.action, FaultAction::CrashAmnesia(_))),
+                "seed {seed}: a restart profile schedules no amnesia"
+            );
         }
         // Deterministic like every other window type.
         assert_eq!(

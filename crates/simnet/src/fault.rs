@@ -21,6 +21,12 @@ use std::collections::{HashMap, HashSet};
 ///   the node's own service loop polls [`FaultTable::amnesia_epoch`] and
 ///   wipes its state when the epoch moves, then runs whatever catch-up
 ///   protocol the layer above defines before serving again.
+/// * **crash-restart** ([`FaultTable::bump_restart`], applied together
+///   with `fail` by `Network::fail_restart`): the process died but its
+///   durable log survived. The node's service loop polls
+///   [`FaultTable::restart_epoch`], drops volatile state, and replays its
+///   log before serving again — the layer above decides what "replay"
+///   means.
 ///
 /// Link faults are *directed*: failing `a → b` silently drops messages from
 /// `a` to `b` while `b → a` keeps working, which models asymmetric routing
@@ -33,6 +39,7 @@ pub struct FaultTable {
     failed: RwLock<HashSet<NodeId>>,
     links: RwLock<HashSet<(NodeId, NodeId)>>,
     amnesia: RwLock<HashMap<NodeId, u64>>,
+    restarts: RwLock<HashMap<NodeId, u64>>,
 }
 
 impl FaultTable {
@@ -80,6 +87,22 @@ impl FaultTable {
     /// `node`'s current amnesia epoch (0 = never amnesia-crashed).
     pub fn amnesia_epoch(&self, node: NodeId) -> u64 {
         self.amnesia.read().get(&node).copied().unwrap_or(0)
+    }
+
+    /// Advance `node`'s crash-restart epoch: the process died with its
+    /// durable log intact. The node's service loop detects the change via
+    /// [`FaultTable::restart_epoch`] and replays. Returns the new epoch
+    /// (first restart is epoch 1).
+    pub fn bump_restart(&self, node: NodeId) -> u64 {
+        let mut map = self.restarts.write();
+        let e = map.entry(node).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// `node`'s current crash-restart epoch (0 = never restart-crashed).
+    pub fn restart_epoch(&self, node: NodeId) -> u64 {
+        self.restarts.read().get(&node).copied().unwrap_or(0)
     }
 
     /// Fail the directed link `src → dst`. Returns `true` if it was
@@ -155,6 +178,14 @@ mod tests {
         assert_eq!(t.bump_amnesia(NodeId(2)), 2);
         assert_eq!(t.amnesia_epoch(NodeId(2)), 2);
         assert_eq!(t.amnesia_epoch(NodeId(3)), 0, "epochs are per-node");
+        assert_eq!(
+            t.restart_epoch(NodeId(2)),
+            0,
+            "amnesia and restart epochs are independent ledgers"
+        );
+        assert_eq!(t.bump_restart(NodeId(2)), 1);
+        assert_eq!(t.restart_epoch(NodeId(2)), 1);
+        assert_eq!(t.amnesia_epoch(NodeId(2)), 2, "restart leaves amnesia be");
         assert!(
             !t.is_failed(NodeId(2)),
             "the epoch alone does not fail the node; Network::fail_amnesia \

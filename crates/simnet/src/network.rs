@@ -119,6 +119,22 @@ impl<M: Send + 'static> Network<M> {
         self.shared.faults.amnesia_epoch(node)
     }
 
+    /// Fault-injection handle: crash `node` **preserving its durable
+    /// log** — it is failed and its in-flight messages dropped (as
+    /// [`Network::fail`]), and its restart epoch is advanced so the
+    /// node's own service loop (via [`Endpoint::restart_epoch`]) drops
+    /// volatile state and replays its log before serving again.
+    pub fn fail_restart(&self, node: NodeId) {
+        self.shared.faults.fail(node);
+        self.shared.inboxes[node.index()].drain();
+        self.shared.faults.bump_restart(node);
+    }
+
+    /// `node`'s crash-restart epoch (0 = never restart-crashed).
+    pub fn restart_epoch(&self, node: NodeId) -> u64 {
+        self.shared.faults.restart_epoch(node)
+    }
+
     /// Recover a previously failed node.
     ///
     /// The inbox is drained again on recovery: a sender that raced past the
@@ -195,6 +211,7 @@ impl<M: Send + 'static> Network<M> {
         match action {
             FaultAction::Crash(n) => self.fail(*n),
             FaultAction::CrashAmnesia(n) => self.fail_amnesia(*n),
+            FaultAction::CrashRestart(n) => self.fail_restart(*n),
             FaultAction::Recover(n) => self.recover(*n),
             FaultAction::FailLink { src, dst } => self.fail_link(*src, *dst),
             FaultAction::HealLink { src, dst } => self.heal_link(*src, *dst),
@@ -435,6 +452,13 @@ impl<M: Send + Clone + 'static> Endpoint<M> {
         self.shared.faults.amnesia_epoch(self.id)
     }
 
+    /// This node's crash-restart epoch. A service loop that observes the
+    /// epoch moving past the last value it acted on must drop volatile
+    /// state and replay its durable log before serving.
+    pub fn restart_epoch(&self) -> u64 {
+        self.shared.faults.restart_epoch(self.id)
+    }
+
     /// Upper-bound one-way latency of the network's model (for timeouts).
     pub fn max_latency(&self) -> Duration {
         self.shared.latency.max_latency()
@@ -530,6 +554,37 @@ mod tests {
         );
         assert_eq!(
             b.amnesia_epoch(),
+            1,
+            "epoch survives recovery for the node to act on"
+        );
+        a.send(NodeId(1), 2);
+        let (_, v) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(v, 2, "recovered node is reachable again");
+    }
+
+    #[test]
+    fn restart_crash_fails_drains_and_bumps_only_its_epoch() {
+        let net: Network<u32> = Network::new(2, LatencyModel::Constant(Duration::from_millis(50)));
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        assert_eq!(b.restart_epoch(), 0);
+        a.send(NodeId(1), 1); // in flight for 50 ms
+        net.fail_restart(NodeId(1));
+        assert!(net.is_failed(NodeId(1)), "restart crash is also a crash");
+        assert_eq!(net.restart_epoch(NodeId(1)), 1);
+        assert_eq!(
+            net.amnesia_epoch(NodeId(1)),
+            0,
+            "a restart preserves the log: amnesia must not fire"
+        );
+        net.recover(NodeId(1));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(80)).unwrap_err(),
+            RecvError::Timeout,
+            "in-flight message lost with the crash"
+        );
+        assert_eq!(
+            b.restart_epoch(),
             1,
             "epoch survives recovery for the node to act on"
         );

@@ -765,6 +765,10 @@ fn drive_to_result(
         sync_read_refusals: server_stats.iter().map(|s| s.sync_read_refusals).sum(),
         repair_writes_sent,
         repair_writes_applied: server_stats.iter().map(|s| s.repair_writes_applied).sum(),
+        restart_replays: server_stats.iter().map(|s| s.restart_replays).sum(),
+        wal_records_replayed: server_stats.iter().map(|s| s.wal_records_replayed).sum(),
+        torn_tails_truncated: server_stats.iter().map(|s| s.torn_tails_truncated).sum(),
+        delta_objects_fetched: server_stats.iter().map(|s| s.delta_objects_fetched).sum(),
     };
 
     ScenarioResult {

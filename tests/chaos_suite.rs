@@ -398,6 +398,189 @@ fn vacation_recovers_from_amnesia_crashes_under_every_seed() {
     }
 }
 
+/// Run one workload under a **crash-restart** schedule: one server crashes
+/// keeping its durable log, replays it on rejoin, and fetches only the
+/// outage delta from peers. Asserts the committed history stays clean, the
+/// healed tail makes progress, the replay-then-delta-sync recovery actually
+/// happened (amnesia was *not* involved), abort attribution reconciles
+/// exactly, and the recovery counters survive the metrics-report round
+/// trip.
+fn run_crash_restart_seed(workload: &dyn Workload, system: SystemKind, fault_seed: u64) {
+    eprintln!("crash-restart chaos seed {fault_seed} ({system})");
+    let (mut cfg, history) = suite_config(system, fault_seed);
+    cfg.chaos = Some(FaultPlan::generate(
+        fault_seed,
+        7,
+        3,
+        &ChaosProfile {
+            partitions: 0,
+            crashes: 0,
+            restart_crashes: 1,
+            ..ChaosProfile::default()
+        },
+    ));
+    cfg.obs = Some(ObsConfig::default());
+    let result = qr_acn::workloads::run_scenario(workload, &cfg);
+
+    let records = history.snapshot();
+    if let Err(violations) = check_history(&records) {
+        panic!(
+            "seed {fault_seed}: crash-restart run failed the history checker with \
+             {} violation(s): {:#?}\nreproduce with: CHAOS_SEED={fault_seed} cargo test \
+             --test chaos_suite",
+            violations.len(),
+            &violations[..violations.len().min(5)]
+        );
+    }
+    assert!(
+        result
+            .intervals
+            .last()
+            .expect("intervals non-empty")
+            .commits
+            > 0,
+        "seed {fault_seed}: no progress after the restart window healed: {:?}",
+        result.intervals
+    );
+    assert!(
+        result.recovery.restart_replays >= 1,
+        "seed {fault_seed}: the scheduled crash-restart must have replayed a WAL"
+    );
+    assert!(
+        result.recovery.wal_records_replayed >= 1,
+        "seed {fault_seed}: the victim was seeded before the crash, its log cannot be empty"
+    );
+    assert_eq!(
+        result.recovery.amnesia_wipes, 0,
+        "seed {fault_seed}: a restart crash must not wipe the disk"
+    );
+    assert!(
+        result.recovery.syncs_completed >= 1,
+        "seed {fault_seed}: the restarted replica must finish its delta sync before the \
+         run ends (replays={}, completed={})",
+        result.recovery.restart_replays,
+        result.recovery.syncs_completed
+    );
+    // Attribution exactness survives recovery back-pressure.
+    let obs = result.obs.as_ref().expect("observability was enabled");
+    let counted =
+        result.total_full_aborts() + result.total_partial_aborts() + result.total_locked_aborts();
+    assert_eq!(
+        obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS),
+        counted,
+        "seed {fault_seed}: attributed aborts must equal executor counters under restart chaos"
+    );
+    // The new counters ride the metrics report, not just ScenarioResult.
+    let report = result.metrics_report(&[]);
+    let reported = report
+        .recovery
+        .expect("a restart run must report recovery counters");
+    assert_eq!(
+        reported, result.recovery,
+        "seed {fault_seed}: reported recovery counters must match the run's"
+    );
+}
+
+#[test]
+fn bank_recovers_from_crash_restarts_under_every_seed() {
+    let bank = Bank::default();
+    for seed in seeds() {
+        run_crash_restart_seed(&bank, SystemKind::QrAcn, seed);
+    }
+}
+
+#[test]
+fn tpcc_recovers_from_crash_restarts_under_every_seed() {
+    // Same scaled-down catalog as the serializability TPC-C arm.
+    let tpcc = Tpcc::new(
+        qr_acn::workloads::tpcc::TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 4,
+            customers_per_district: 20,
+            items: 40,
+            ol_min: 3,
+            ol_max: 6,
+        },
+        qr_acn::workloads::tpcc::TpccMix::MIXED,
+    );
+    for seed in seeds() {
+        run_crash_restart_seed(&tpcc, SystemKind::QrDtm, seed);
+    }
+}
+
+/// Both crash flavors in one schedule: one replica restarts with its log,
+/// another loses everything. The two recovery paths must coexist without
+/// confusing each other's sync traffic (incarnations keep them apart), the
+/// history must stay clean, and both paths must complete.
+#[test]
+fn mixed_restart_and_amnesia_crashes_stay_serializable() {
+    let bank = Bank::default();
+    for fault_seed in seeds() {
+        eprintln!("mixed crash chaos seed {fault_seed}");
+        let (mut cfg, history) = suite_config(SystemKind::QrAcn, fault_seed);
+        cfg.chaos = Some(FaultPlan::generate(
+            fault_seed,
+            7,
+            3,
+            &ChaosProfile {
+                partitions: 0,
+                crashes: 0,
+                amnesia_crashes: 1,
+                restart_crashes: 1,
+                ..ChaosProfile::default()
+            },
+        ));
+        cfg.obs = Some(ObsConfig::default());
+        let result = qr_acn::workloads::run_scenario(&bank, &cfg);
+
+        let records = history.snapshot();
+        if let Err(violations) = check_history(&records) {
+            panic!(
+                "seed {fault_seed}: mixed-crash run failed the history checker with \
+                 {} violation(s): {:#?}",
+                violations.len(),
+                &violations[..violations.len().min(5)]
+            );
+        }
+        assert!(
+            result
+                .intervals
+                .last()
+                .expect("intervals non-empty")
+                .commits
+                > 0,
+            "seed {fault_seed}: no progress after the mixed crash windows healed"
+        );
+        assert!(
+            result.recovery.restart_replays >= 1,
+            "seed {fault_seed}: the restart crash must have replayed a WAL"
+        );
+        assert!(
+            result.recovery.amnesia_wipes >= 1,
+            "seed {fault_seed}: the amnesia crash must have wiped a replica"
+        );
+        // ≥ 1, not 2: overlapping windows on one victim legitimately merge
+        // the two recoveries into a single completed catch-up.
+        assert!(
+            result.recovery.syncs_completed >= 1,
+            "seed {fault_seed}: recovery must complete before the run ends \
+             (replays={}, wipes={}, completed={})",
+            result.recovery.restart_replays,
+            result.recovery.amnesia_wipes,
+            result.recovery.syncs_completed
+        );
+        let obs = result.obs.as_ref().expect("observability was enabled");
+        let counted = result.total_full_aborts()
+            + result.total_partial_aborts()
+            + result.total_locked_aborts();
+        assert_eq!(
+            obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS),
+            counted,
+            "seed {fault_seed}: attributed aborts must reconcile under mixed crash chaos"
+        );
+    }
+}
+
 /// Negative control: the checker must flag a deliberately torn commit — a
 /// forged transaction claiming a write of an already-committed version.
 #[test]
