@@ -76,12 +76,14 @@ fn saturated_bank() -> Bank {
 }
 
 /// TPC-C NewOrder: Param-indexed warehouse/district/stock opens resolve
-/// exactly; the Var-indexed order rows keep the template inexact. Under
-/// the default pessimistic fallback the whole profile serializes
-/// (max_width 1), so this workload runs with `speculate_inexact` —
-/// inexact pairs get no edge, real collisions surface dynamically as
-/// `Spec*` aborts, and the [`SpecMode`] arms measure what the recovery
-/// strategy costs when speculation is genuinely wrong.
+/// exactly, and the Var-indexed order rows (`oidx = d·1M + D_NEXT_OID`)
+/// now resolve *predicted-exact* through the symbolic evaluator plus the
+/// coordinator's hot-counter predictor — so waves schedule at object
+/// granularity (`inexact_txns == 0`, `max_width > 1`) instead of
+/// serializing under the class-level fallback. The profile still runs
+/// with `speculate_inexact` so any residually inexact instance
+/// speculates rather than serializes; wrong counter predictions surface
+/// as `spec_mispredict` aborts repaired per [`SpecMode`].
 fn tpcc_new_order() -> Tpcc {
     Tpcc::new(
         TpccConfig {
@@ -278,6 +280,8 @@ fn json_arm(a: &ArmSummary, indent: &str) -> String {
              {indent}\"wave_edges\": {},\n\
              {indent}\"pessimistic_edges\": {},\n\
              {indent}\"inexact_txns\": {},\n\
+             {indent}\"predicted_txns\": {},\n\
+             {indent}\"mispredicts\": {},\n\
              {indent}\"cross_edges\": {},\n\
              {indent}\"mean_layers\": {:.2},\n\
              {indent}\"max_width\": {}",
@@ -286,6 +290,8 @@ fn json_arm(a: &ArmSummary, indent: &str) -> String {
             w.edges,
             w.pessimistic_edges,
             w.inexact_txns,
+            w.predicted_txns,
+            w.mispredicts,
             w.cross_edges,
             w.layers as f64 / (w.waves.max(1)) as f64,
             w.max_width
@@ -391,7 +397,8 @@ pub fn run_batch_bench(
         if let Some(w) = &b.partial.waves {
             println!(
                 "{:>14}  waves={} txns={} edges={} (pessimistic {}, cross {}) inexact={} \
-                 mean_layers={:.1} max_width={} speculate_inexact={}",
+                 predicted={} mispredicts={} mean_layers={:.1} max_width={} \
+                 speculate_inexact={}",
                 "",
                 w.waves,
                 w.txns,
@@ -399,6 +406,8 @@ pub fn run_batch_bench(
                 w.pessimistic_edges,
                 w.cross_edges,
                 w.inexact_txns,
+                w.predicted_txns,
+                w.mispredicts,
                 w.layers as f64 / w.waves.max(1) as f64,
                 w.max_width,
                 b.speculate_inexact,
@@ -430,6 +439,8 @@ mod tests {
                 layers: 15,
                 max_width: 9,
                 cross_edges: 7,
+                predicted_txns: 96,
+                mispredicts: 3,
             }),
         };
         let b = WorkloadBench {
@@ -459,6 +470,8 @@ mod tests {
         assert!(batch.contains("\"full_restart\""));
         assert!(batch.contains("\"pessimistic_edges\": 8"));
         assert!(batch.contains("\"cross_edges\": 7"));
+        assert!(batch.contains("\"predicted_txns\": 96"));
+        assert!(batch.contains("\"mispredicts\": 3"));
         assert!(batch.contains("\"speculate_inexact\": false"));
     }
 }

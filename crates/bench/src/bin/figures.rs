@@ -70,6 +70,23 @@ fn main() {
             out.join("BENCH_seed.json").display(),
             out.join("BENCH_batch.json").display()
         );
+        // TPC-C NewOrder must schedule at object granularity at every
+        // scale: the symbolic resolver plus the hot-counter predictor
+        // resolve each Var-indexed open, so no instance falls back to
+        // the class-level pessimistic tier and the hot waves stop
+        // serializing. (This is the regression the CI smoke leg guards.)
+        let tpcc = benches.iter().find(|b| b.key == "tpcc_neworder").unwrap();
+        for arm in [&tpcc.partial, &tpcc.full_restart] {
+            let w = arm.waves.as_ref().expect("batch arm records wave stats");
+            assert!(
+                w.inexact_txns == 0 && w.max_width > 1,
+                "NewOrder `{}` arm must resolve every access symbolically and \
+                 parallelize its waves (inexact_txns={}, max_width={})",
+                arm.label,
+                w.inexact_txns,
+                w.max_width
+            );
+        }
         // The CI smoke leg only checks the pipeline end to end; the
         // speedup floor is asserted at full scale.
         if !args.iter().any(|a| a == "--smoke") {

@@ -15,7 +15,7 @@
 
 use crate::blocks::BlockSeq;
 use crate::executor::rand_like::jitter;
-use crate::executor::{run_block, FlatAccess, Frame, RetryPolicy, RunError, StepError};
+use crate::executor::{run_block, FlatAccess, Frame, RetryPolicy, RunError, StepError, StepGuards};
 use acn_dtm::{DtmClient, DtmError, TxnCtx};
 use acn_obs::{AbortKind, SpanKind, TxnEvent, TxnObserver};
 use acn_txir::{ObjectId, Program, Value};
@@ -105,13 +105,18 @@ pub fn run_checkpointed_observed(
 
             let reads_before = ctx.reads_len();
             let result = {
-                let mut acc = FlatAccess { ctx: &mut ctx };
+                let mut acc = FlatAccess {
+                    ctx: &mut ctx,
+                    spec: None,
+                    blind: &[],
+                };
                 run_block(
                     &mut acc,
                     client,
                     &mut frame,
                     program,
                     &seq.blocks[block_idx],
+                    &mut StepGuards::none(),
                 )
             };
             match result {
@@ -173,6 +178,9 @@ pub fn run_checkpointed_observed(
                     continue 'restart;
                 }
                 Err(StepError::Eval(e)) => return Err(RunError::Eval(e)),
+                Err(StepError::Mispredict { .. }) | Err(StepError::Aliased { .. }) => {
+                    unreachable!("checkpoint runner executes without guards")
+                }
             }
         }
 

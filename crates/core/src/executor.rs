@@ -8,10 +8,11 @@
 //! with a bounded randomized backoff between restarts.
 
 use crate::blocks::BlockSeq;
-use acn_dtm::{AbortScope, ChildCtx, DtmClient, DtmError, TxnCtx};
+use acn_dtm::{AbortScope, ChildCtx, DtmClient, DtmError, SpecCache, TxnCtx};
 use acn_obs::{AbortKind, SpanKind, TxnEvent, TxnObserver};
 use acn_txir::{
-    prefetchable_opens, AccessMode, EvalError, ObjectId, Operand, Program, Stmt, StmtIdx, Value,
+    prefetchable_opens, AccessMode, EvalError, ObjectId, Operand, PredictedRead, Program, Stmt,
+    StmtIdx, Value,
 };
 use rand_like::jitter;
 use std::time::{Duration, Instant};
@@ -144,9 +145,54 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// Feedback from one predicted run (see [`ExecutorEngine::run_predicted`]):
+/// what the executor actually observed at counter reads that failed
+/// validation — the coordinator's predictor re-seeds from `observed +
+/// delta` — plus any aliased-open degradations the run absorbed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PredictionOutcome {
+    /// `(prediction, observed value)` for every failed validation.
+    pub mispredicts: Vec<(PredictedRead, i64)>,
+    /// Aliased-open aborts that degraded the run to flat program order.
+    pub aliased: u64,
+}
+
+/// A speculative access plan for one predicted instance: the objects to
+/// fetch ahead in one quorum round, and the value-blind writes to open
+/// with **no** fetch at all — insert-only objects whose template never
+/// reads a field of the handle, presumed absent (version 0, default
+/// value) and validated like any other read-set entry at commit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecSets {
+    /// Objects to prefetch into the [`SpecCache`].
+    pub fetch: Vec<ObjectId>,
+    /// Value-blind writes, opened without fetching (disjoint from `fetch`).
+    pub blind: Vec<ObjectId>,
+}
+
+/// Re-resolves a predicted instance's access plan mid-run. Called after a
+/// mispredict with every `(prediction, observed value)` pair recorded so
+/// far (latest observation per site wins); returns the corrected exact
+/// plan, or `None` when correction is unavailable — the run then falls
+/// back to one remote read per cache-missing open.
+pub type RespecFn<'a> = &'a dyn Fn(&[(PredictedRead, i64)]) -> Option<SpecSets>;
+
 pub(crate) enum StepError {
     Dtm(DtmError),
     Eval(EvalError),
+    /// A predicted counter read observed a different value than the batch
+    /// scheduler assumed: the wave's access sets were wrong for this
+    /// instance. Handled at the abort sites (never reaches `step_error`).
+    Mispredict {
+        pred: PredictedRead,
+        observed: i64,
+    },
+    /// An `Open` resolved to an object already held by a *different*
+    /// handle, voiding the dependency analysis's distinct-objects
+    /// assumption. Handled at the abort sites (never reaches `step_error`).
+    Aliased {
+        obj: ObjectId,
+    },
 }
 
 impl From<DtmError> for StepError {
@@ -171,6 +217,12 @@ pub(crate) trait Access {
 
 pub(crate) struct FlatAccess<'a> {
     pub(crate) ctx: &'a mut TxnCtx,
+    /// Speculative whole-transaction prefetch cache, when the run carries
+    /// a predicted-exact access set (see [`ExecutorEngine::run_predicted`]).
+    pub(crate) spec: Option<&'a SpecCache>,
+    /// Sorted value-blind write set: these opens fetch nothing at all
+    /// (see [`SpecSets`]).
+    pub(crate) blind: &'a [ObjectId],
 }
 
 impl Access for FlatAccess<'_> {
@@ -180,7 +232,14 @@ impl Access for FlatAccess<'_> {
         obj: ObjectId,
         update: bool,
     ) -> Result<(), DtmError> {
-        self.ctx.open(client, obj, update)
+        if self.blind.binary_search(&obj).is_ok() {
+            self.ctx.open_blind(obj, update);
+            return Ok(());
+        }
+        match self.spec {
+            Some(cache) => self.ctx.open_spec(client, obj, update, cache),
+            None => self.ctx.open(client, obj, update),
+        }
     }
     fn get(&self, obj: ObjectId, field: acn_txir::FieldId) -> Value {
         self.ctx.get_field(obj, field)
@@ -193,6 +252,9 @@ impl Access for FlatAccess<'_> {
 struct ChildAccess<'a> {
     child: &'a mut ChildCtx,
     parent: &'a TxnCtx,
+    spec: Option<&'a SpecCache>,
+    /// Sorted value-blind write set (see [`SpecSets`]).
+    blind: &'a [ObjectId],
 }
 
 impl Access for ChildAccess<'_> {
@@ -202,7 +264,16 @@ impl Access for ChildAccess<'_> {
         obj: ObjectId,
         update: bool,
     ) -> Result<(), DtmError> {
-        self.child.open(client, self.parent, obj, update)
+        if self.blind.binary_search(&obj).is_ok() {
+            self.child.open_blind(self.parent, obj, update);
+            return Ok(());
+        }
+        match self.spec {
+            Some(cache) => self
+                .child
+                .open_spec(client, self.parent, obj, update, cache),
+            None => self.child.open(client, self.parent, obj, update),
+        }
     }
     fn get(&self, obj: ObjectId, field: acn_txir::FieldId) -> Value {
         self.child.get_field(self.parent, obj, field)
@@ -242,11 +313,30 @@ impl<'p> Frame<'p> {
     }
 }
 
+/// Run-time guards threaded through statement execution: the attempt's
+/// still-active counter predictions (validated at the real read) and the
+/// aliased-open check (nested mode only — flat program order is
+/// alias-safe, and so is the checkpoint runner's snapshot replay).
+pub(crate) struct StepGuards<'a> {
+    pub(crate) preds: Option<&'a mut Vec<PredictedRead>>,
+    pub(crate) alias_check: bool,
+}
+
+impl StepGuards<'_> {
+    pub(crate) fn none() -> StepGuards<'static> {
+        StepGuards {
+            preds: None,
+            alias_check: false,
+        }
+    }
+}
+
 fn run_stmt<A: Access>(
     acc: &mut A,
     client: &mut DtmClient,
     frame: &mut Frame<'_>,
     stmt: &Stmt,
+    guards: &mut StepGuards<'_>,
 ) -> Result<(), StepError> {
     match stmt {
         Stmt::Open {
@@ -257,11 +347,55 @@ fn run_stmt<A: Access>(
         } => {
             let idx = frame.eval(index).as_int()? as u64;
             let obj = ObjectId::new(*class, idx);
+            if guards.alias_check {
+                // Handle slots from a rolled-back child run may be stale
+                // (a re-run can take the other Cond branch), so this scan
+                // can false-positive — safe, since the only consequence is
+                // degrading the attempt to the flat program-order path.
+                let slot = var.0 as usize;
+                if frame
+                    .handles
+                    .iter()
+                    .enumerate()
+                    .any(|(i, h)| i != slot && *h == Some(obj))
+                {
+                    return Err(StepError::Aliased { obj });
+                }
+            }
             acc.open(client, obj, matches!(mode, AccessMode::Update))?;
             frame.handles[var.0 as usize] = Some(obj);
         }
         Stmt::GetField { var, obj, field } => {
-            let value = acc.get(frame.handle(*obj), *field);
+            let handle = frame.handle(*obj);
+            let value = acc.get(handle, *field);
+            if let Some(preds) = guards.preds.as_deref_mut() {
+                if let Some(pos) = preds
+                    .iter()
+                    .position(|p| p.obj == handle && p.field == *field)
+                {
+                    let p = preds[pos];
+                    match value.as_int() {
+                        Ok(v) if v == p.value => {
+                            // Validated: retire the prediction so later
+                            // re-reads (after the counter advanced) don't
+                            // compare against the pre-advance value.
+                            preds.swap_remove(pos);
+                        }
+                        Ok(v) => {
+                            return Err(StepError::Mispredict {
+                                pred: p,
+                                observed: v,
+                            })
+                        }
+                        Err(_) => {
+                            return Err(StepError::Mispredict {
+                                pred: p,
+                                observed: 0,
+                            })
+                        }
+                    }
+                }
+            }
             frame.env[var.0 as usize] = value;
         }
         Stmt::SetField { obj, field, value } => {
@@ -283,7 +417,7 @@ fn run_stmt<A: Access>(
                 else_br
             };
             for s in branch {
-                run_stmt(acc, client, frame, s)?;
+                run_stmt(acc, client, frame, s, guards)?;
             }
         }
     }
@@ -329,9 +463,10 @@ pub(crate) fn run_block<A: Access>(
     frame: &mut Frame<'_>,
     program: &Program,
     stmts: &[StmtIdx],
+    guards: &mut StepGuards<'_>,
 ) -> Result<(), StepError> {
     for &i in stmts {
-        run_stmt(acc, client, frame, &program.stmts[i])?;
+        run_stmt(acc, client, frame, &program.stmts[i], guards)?;
     }
     Ok(())
 }
@@ -415,7 +550,70 @@ impl ExecutorEngine {
         params: &[Value],
         seq: &BlockSeq,
         stats: &mut ExecStats,
+        obs: Option<&mut TxnObserver>,
+    ) -> Result<(), RunError> {
+        self.run_loop(client, program, params, seq, stats, obs, None)
+    }
+
+    /// [`ExecutorEngine::run_timed_observed`] under batch-scheduler counter
+    /// predictions: each [`PredictedRead`] is validated at the instance's
+    /// real read of that counter. On mismatch the attempt is repaired — a
+    /// partial rollback of the offending Block on a nested schedule
+    /// ([`AbortKind::SpecMispredict`]), a full restart on the flat arm —
+    /// with the failed prediction dropped so the re-run reads freely, and
+    /// the observed value reported through `outcome` so the coordinator's
+    /// predictor can resynchronize. Aliased opens degrade the run to flat
+    /// program order ([`AbortKind::AliasedOpen`]) and are counted there too.
+    ///
+    /// `spec_objs` is the instance's resolved access set (empty to opt
+    /// out): every attempt fetches it in **one** quorum round into a side
+    /// cache that `Open` statements install from ([`SpecCache`]), so a
+    /// predicted-exact instance — Var-indexed opens included — pays a
+    /// single read round instead of one per Block plus one per
+    /// data-dependent open. Mispredicted objects are simply never
+    /// installed; the real open misses the cache and reads remotely.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_predicted(
+        &self,
+        client: &mut DtmClient,
+        program: &Program,
+        params: &[Value],
+        seq: &BlockSeq,
+        preds: &[PredictedRead],
+        spec_objs: &[ObjectId],
+        blind: &[ObjectId],
+        respec: Option<RespecFn<'_>>,
+        stats: &mut ExecStats,
+        latency: &mut crate::histogram::LatencyHistogram,
+        obs: Option<&mut TxnObserver>,
+        outcome: &mut PredictionOutcome,
+    ) -> Result<(), RunError> {
+        let start = std::time::Instant::now();
+        let out = self.run_loop(
+            client,
+            program,
+            params,
+            seq,
+            stats,
+            obs,
+            Some((preds, spec_objs, blind, respec, outcome)),
+        );
+        if out.is_ok() {
+            latency.record(start.elapsed());
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_loop(
+        &self,
+        client: &mut DtmClient,
+        program: &Program,
+        params: &[Value],
+        seq: &BlockSeq,
+        stats: &mut ExecStats,
         mut obs: Option<&mut TxnObserver>,
+        preds: Option<PredInput<'_>>,
     ) -> Result<(), RunError> {
         assert_eq!(
             params.len(),
@@ -430,6 +628,28 @@ impl ExecutorEngine {
         } else {
             None
         };
+        // Predictions persist across attempts: a prediction dropped after a
+        // mispredict stays dropped, so a restarted attempt cannot trip over
+        // the same wrong value again.
+        let mut pred_state = preds.map(|(p, objs, blind, respec, outcome)| PredState {
+            active: p.to_vec(),
+            spec_objs: if self.config.batched_reads {
+                objs.to_vec()
+            } else {
+                Vec::new()
+            },
+            blind: if self.config.batched_reads {
+                let mut b = blind.to_vec();
+                b.sort_unstable();
+                b
+            } else {
+                Vec::new()
+            },
+            unblinded: Vec::new(),
+            respec,
+            outcome,
+        });
+        let mut forced_flat = false;
         let mut restarts = 0usize;
         let mut unavailable = 0usize;
         loop {
@@ -441,6 +661,8 @@ impl ExecutorEngine {
                 plan.as_deref(),
                 stats,
                 obs.as_deref_mut(),
+                pred_state.as_mut(),
+                &mut forced_flat,
             ) {
                 Ok(()) => {
                     stats.commits += 1;
@@ -490,6 +712,76 @@ enum AttemptError {
     Fatal(RunError),
 }
 
+/// The prediction inputs a caller hands [`ExecutorEngine::run_predicted`]:
+/// predictions, speculative fetch set, blind set, re-resolver, feedback sink.
+type PredInput<'a> = (
+    &'a [PredictedRead],
+    &'a [ObjectId],
+    &'a [ObjectId],
+    Option<RespecFn<'a>>,
+    &'a mut PredictionOutcome,
+);
+
+/// Per-run prediction state: the still-active predictions (mutated as they
+/// validate or fail), the resolved access set to prefetch speculatively
+/// (empty when batched reads are off), and the caller's feedback sink.
+struct PredState<'a> {
+    active: Vec<PredictedRead>,
+    spec_objs: Vec<ObjectId>,
+    /// Sorted value-blind write set ([`SpecSets::blind`]).
+    blind: Vec<ObjectId>,
+    /// Blind objects that turned out to exist (their presumed version-0
+    /// read failed validation): demoted to fetched opens, and never
+    /// re-blinded by a later correction.
+    unblinded: Vec<ObjectId>,
+    respec: Option<RespecFn<'a>>,
+    outcome: &'a mut PredictionOutcome,
+}
+
+impl PredState<'_> {
+    /// After a mispredict: re-resolve the access plan under the observed
+    /// counter values so the next speculative fetch targets the objects
+    /// the re-run will actually open. Returns the corrected fetch set
+    /// when the run speculates and the caller's re-resolution succeeds.
+    fn correct_spec(&mut self) -> Option<Vec<ObjectId>> {
+        if self.spec_objs.is_empty() && self.blind.is_empty() {
+            return None;
+        }
+        let mut sets = (self.respec?)(&self.outcome.mispredicts)?;
+        sets.blind.sort_unstable();
+        // An object demoted by `unblind` stays demoted: re-blinding a
+        // known-existing object would just invalidate again.
+        for o in &self.unblinded {
+            if let Ok(i) = sets.blind.binary_search(o) {
+                sets.blind.remove(i);
+                if !sets.fetch.contains(o) {
+                    sets.fetch.push(*o);
+                }
+            }
+        }
+        self.spec_objs.clone_from(&sets.fetch);
+        self.blind = sets.blind;
+        Some(sets.fetch)
+    }
+
+    /// Demote invalidated blind opens to ordinary fetched opens: the
+    /// presumed-absent object exists, so the retry must read its real
+    /// version and value.
+    fn unblind(&mut self, objs: &[ObjectId]) {
+        for o in objs {
+            if let Ok(i) = self.blind.binary_search(o) {
+                self.blind.remove(i);
+                if let Err(j) = self.unblinded.binary_search(o) {
+                    self.unblinded.insert(j, *o);
+                }
+                if !self.spec_objs.contains(o) {
+                    self.spec_objs.push(*o);
+                }
+            }
+        }
+    }
+}
+
 impl ExecutorEngine {
     #[allow(clippy::too_many_arguments)]
     fn attempt(
@@ -501,12 +793,51 @@ impl ExecutorEngine {
         plan: Option<&[Vec<ObjectId>]>,
         stats: &mut ExecStats,
         mut obs: Option<&mut TxnObserver>,
+        mut preds: Option<&mut PredState<'_>>,
+        forced_flat: &mut bool,
     ) -> Result<(), AttemptError> {
         emit(&mut obs, TxnEvent::Begin);
         let mut ctx = TxnCtx::begin(client);
         let mut frame = Frame::new(program, params);
 
-        if seq.is_flat() {
+        // Speculative whole-transaction prefetch: one quorum round fetches
+        // the instance's resolved access set into a side cache that the
+        // `Open` statements below install from. It supersedes the static
+        // per-Block plan — a resolved-exact set covers the statically known
+        // opens too — so with it active no other read round is issued
+        // unless a prediction was wrong (cache miss at the real open).
+        let mut spec = match preds.as_deref_mut() {
+            Some(p) if !p.spec_objs.is_empty() => {
+                // `preds` is mutably borrowed here, but a fresh context has
+                // an empty read-set — this fetch cannot surface a blind
+                // invalidation, so there is nothing to unblind.
+                let cache = ctx
+                    .fetch_spec(client, &p.spec_objs)
+                    .map_err(|e| self.step_error(StepError::Dtm(e), stats, None, None, &mut obs))?;
+                if !cache.is_empty() {
+                    emit(
+                        &mut obs,
+                        TxnEvent::BatchedRead {
+                            block: None,
+                            objs: cache.len() as u32,
+                        },
+                    );
+                }
+                Some(cache)
+            }
+            _ => None,
+        };
+        // The static plan only drives prefetch rounds when the speculative
+        // cache is absent — and it must also stand down while any blind
+        // opens are pending, or it would fetch the presumed-absent objects
+        // before the blind check at `Access::open` ever runs.
+        let plan = if spec.is_none() && preds.as_deref().is_none_or(|p| p.blind.is_empty()) {
+            plan
+        } else {
+            None
+        };
+
+        if seq.is_flat() || *forced_flat {
             if let Some(plan) = plan {
                 // Flat execution has a single Block: prefetch the union of
                 // every statically known open in one quorum round.
@@ -516,8 +847,15 @@ impl ExecutorEngine {
                         union.push(*obj);
                     }
                 }
-                ctx.open_batch(client, &union)
-                    .map_err(|e| self.step_error(StepError::Dtm(e), stats, None, &mut obs))?;
+                ctx.open_batch(client, &union).map_err(|e| {
+                    self.step_error(
+                        StepError::Dtm(e),
+                        stats,
+                        None,
+                        preds.as_deref_mut(),
+                        &mut obs,
+                    )
+                })?;
                 if !union.is_empty() {
                     emit(
                         &mut obs,
@@ -528,10 +866,54 @@ impl ExecutorEngine {
                     );
                 }
             }
-            let all: Vec<StmtIdx> = seq.blocks.iter().flatten().copied().collect();
-            let mut acc = FlatAccess { ctx: &mut ctx };
-            run_block(&mut acc, client, &mut frame, program, &all)
-                .map_err(|e| self.step_error(e, stats, None, &mut obs))?;
+            // Program order, not schedule order: a genuinely flat sequence
+            // is already sorted, and the aliased-open degrade path relies
+            // on re-running a reordered nested schedule in program order,
+            // where aliasing is harmless.
+            let mut all: Vec<StmtIdx> = seq.blocks.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let result = {
+                let (active, blind) = match preds.as_deref_mut() {
+                    Some(p) => (Some(&mut p.active), p.blind.as_slice()),
+                    None => (None, &[][..]),
+                };
+                let mut guards = StepGuards {
+                    preds: active,
+                    alias_check: false,
+                };
+                let mut acc = FlatAccess {
+                    ctx: &mut ctx,
+                    spec: spec.as_ref(),
+                    blind,
+                };
+                run_block(&mut acc, client, &mut frame, program, &all, &mut guards)
+            };
+            if let Err(e) = result {
+                if let StepError::Mispredict { pred, observed } = &e {
+                    // Flat arm: no child scope to repair — full restart,
+                    // with the prediction dropped and fed back.
+                    if let Some(p) = preds.as_deref_mut() {
+                        p.active
+                            .retain(|q| !(q.obj == pred.obj && q.field == pred.field));
+                        p.outcome.mispredicts.push((*pred, *observed));
+                        // Correct the speculative fetch set so the restart
+                        // refetches the objects the re-run will actually
+                        // open — still one round, no per-open cache misses.
+                        p.correct_spec();
+                    }
+                    stats.full_aborts += 1;
+                    emit(
+                        &mut obs,
+                        TxnEvent::FullAbort {
+                            block: None,
+                            obj: Some(pred.obj),
+                            kind: AbortKind::SpecMispredict,
+                        },
+                    );
+                    return Err(AttemptError::Restart);
+                }
+                return Err(self.step_error(e, stats, None, preds.as_deref_mut(), &mut obs));
+            }
         } else {
             for (bi, block) in seq.blocks.iter().enumerate() {
                 let mut partial_tries = 0usize;
@@ -565,11 +947,21 @@ impl ExecutorEngine {
                         }
                     }
                     let result = prefetched.and_then(|()| {
+                        let (active, blind) = match preds.as_deref_mut() {
+                            Some(p) => (Some(&mut p.active), p.blind.as_slice()),
+                            None => (None, &[][..]),
+                        };
+                        let mut guards = StepGuards {
+                            preds: active,
+                            alias_check: true,
+                        };
                         let mut acc = ChildAccess {
                             child: &mut child,
                             parent: &ctx,
+                            spec: spec.as_ref(),
+                            blind,
                         };
-                        run_block(&mut acc, client, &mut frame, program, block)
+                        run_block(&mut acc, client, &mut frame, program, block, &mut guards)
                     });
                     match result {
                         Ok(()) => {
@@ -587,25 +979,77 @@ impl ExecutorEngine {
                             if let Some(t) = client.tracer_mut() {
                                 t.block_end(true);
                             }
-                            let (scope, blamed) = match &e {
-                                StepError::Dtm(DtmError::Invalidated { objs }) => {
-                                    (Some(child.classify(&ctx, objs)), objs.first().copied())
+                            if let StepError::Aliased { obj } = e {
+                                // The distinct-objects assumption behind
+                                // Block reordering is void for this
+                                // instance: full abort, then re-run the
+                                // whole transaction as a flat program-order
+                                // sequence where aliasing is harmless.
+                                stats.full_aborts += 1;
+                                emit(
+                                    &mut obs,
+                                    TxnEvent::FullAbort {
+                                        block: Some(bi as u32),
+                                        obj: Some(obj),
+                                        kind: AbortKind::AliasedOpen,
+                                    },
+                                );
+                                *forced_flat = true;
+                                if let Some(p) = preds.as_deref_mut() {
+                                    p.outcome.aliased += 1;
                                 }
-                                _ => (None, None),
+                                return Err(AttemptError::Restart);
+                            }
+                            let (scope, blamed, kind) = match &e {
+                                StepError::Dtm(DtmError::Invalidated { objs }) => (
+                                    Some(child.classify(&ctx, objs)),
+                                    objs.first().copied(),
+                                    if self.config.speculation {
+                                        AbortKind::SpecPartial
+                                    } else {
+                                        AbortKind::Partial
+                                    },
+                                ),
+                                // A mispredict is always repairable from
+                                // this Block: dropping the child discards
+                                // nothing the parent needs, and dropping
+                                // the prediction guarantees the re-run
+                                // cannot trip over the same value again.
+                                StepError::Mispredict { pred, observed } => {
+                                    if let Some(p) = preds.as_deref_mut() {
+                                        p.active.retain(|q| {
+                                            !(q.obj == pred.obj && q.field == pred.field)
+                                        });
+                                        p.outcome.mispredicts.push((*pred, *observed));
+                                    }
+                                    (
+                                        Some(AbortScope::Child),
+                                        Some(pred.obj),
+                                        AbortKind::SpecMispredict,
+                                    )
+                                }
+                                _ => (None, None, AbortKind::Partial),
                             };
                             match scope {
                                 Some(AbortScope::Child) => {
+                                    // A blind open whose presumed-absent
+                                    // object exists fails validation as a
+                                    // child-first read: demote it so the
+                                    // Block retry fetches the real value.
+                                    if let (
+                                        StepError::Dtm(DtmError::Invalidated { objs }),
+                                        Some(p),
+                                    ) = (&e, preds.as_deref_mut())
+                                    {
+                                        p.unblind(objs);
+                                    }
                                     stats.partial_aborts += 1;
                                     emit(
                                         &mut obs,
                                         TxnEvent::PartialAbort {
                                             block: bi as u32,
                                             obj: blamed,
-                                            kind: if self.config.speculation {
-                                                AbortKind::SpecPartial
-                                            } else {
-                                                AbortKind::Partial
-                                            },
+                                            kind,
                                         },
                                     );
                                     partial_tries += 1;
@@ -622,6 +1066,56 @@ impl ExecutorEngine {
                                         );
                                         return Err(AttemptError::Restart);
                                     }
+                                    // Mispredict repair refill: re-resolve
+                                    // the access set under the observed
+                                    // counter value and refetch, in one
+                                    // batched round, whatever the cache no
+                                    // longer holds — the aborted child
+                                    // consumed its own installs (counter
+                                    // included, which thus comes back
+                                    // fresh), and the corrected derived
+                                    // objects were never fetched at all.
+                                    if matches!(kind, AbortKind::SpecMispredict) {
+                                        let mut fetch_err = None;
+                                        if let (Some(p), Some(cache)) =
+                                            (preds.as_deref_mut(), spec.as_mut())
+                                        {
+                                            if let Some(objs) = p.correct_spec() {
+                                                let missing: Vec<ObjectId> = objs
+                                                    .into_iter()
+                                                    .filter(|o| !cache.contains(o))
+                                                    .collect();
+                                                match ctx.fetch_spec(client, &missing) {
+                                                    Ok(fresh) => {
+                                                        if !fresh.is_empty() {
+                                                            emit(
+                                                                &mut obs,
+                                                                TxnEvent::BatchedRead {
+                                                                    block: Some(bi as u32),
+                                                                    objs: fresh.len() as u32,
+                                                                },
+                                                            );
+                                                        }
+                                                        cache.absorb(fresh);
+                                                    }
+                                                    Err(e) => fetch_err = Some(e),
+                                                }
+                                            }
+                                        }
+                                        if let Some(e) = fetch_err {
+                                            // A parent-level read that
+                                            // invalidates the parent's
+                                            // history is a full abort, as
+                                            // at the initial fetch.
+                                            return Err(self.step_error(
+                                                StepError::Dtm(e),
+                                                stats,
+                                                None,
+                                                preds.as_deref_mut(),
+                                                &mut obs,
+                                            ));
+                                        }
+                                    }
                                     continue; // re-run just this Block
                                 }
                                 _ => {
@@ -629,6 +1123,7 @@ impl ExecutorEngine {
                                         e,
                                         stats,
                                         Some(bi as u32),
+                                        preds.as_deref_mut(),
                                         &mut obs,
                                     ))
                                 }
@@ -641,7 +1136,7 @@ impl ExecutorEngine {
 
         match ctx.commit(client) {
             Ok(()) => Ok(()),
-            Err(e) => Err(self.step_error(StepError::Dtm(e), stats, None, &mut obs)),
+            Err(e) => Err(self.step_error(StepError::Dtm(e), stats, None, preds, &mut obs)),
         }
     }
 
@@ -653,10 +1148,17 @@ impl ExecutorEngine {
         e: StepError,
         stats: &mut ExecStats,
         block: Option<u32>,
+        preds: Option<&mut PredState<'_>>,
         obs: &mut Option<&mut TxnObserver>,
     ) -> AttemptError {
         match e {
             StepError::Dtm(DtmError::Invalidated { objs }) => {
+                // Invalidated blind opens (the presumed-absent object
+                // exists) are demoted before the restart so the next
+                // attempt fetches their real versions.
+                if let Some(p) = preds {
+                    p.unblind(&objs);
+                }
                 stats.full_aborts += 1;
                 emit(
                     obs,
@@ -689,6 +1191,11 @@ impl ExecutorEngine {
                 locked,
                 syncing,
             }) => {
+                // A blind open can surface here too: prepare found the
+                // presumed-absent object already written.
+                if let Some(p) = preds {
+                    p.unblind(&invalid);
+                }
                 stats.full_aborts += 1;
                 // A conflict that names no stale and no locked object and
                 // was flagged `syncing` is pure recovery back-pressure — a
@@ -716,6 +1223,9 @@ impl ExecutorEngine {
             }
             StepError::Dtm(DtmError::Unavailable) => AttemptError::Fatal(RunError::Unavailable),
             StepError::Eval(e) => AttemptError::Fatal(RunError::Eval(e)),
+            StepError::Mispredict { .. } | StepError::Aliased { .. } => {
+                unreachable!("guard errors are attributed at their abort sites")
+            }
         }
     }
 }
@@ -1378,6 +1888,308 @@ mod tests {
             obs.total_of(&AbortKind::EXECUTOR_KINDS),
             stats.full_aborts + stats.partial_aborts + stats.locked_aborts,
             "attribution must reconcile against ExecStats to the unit"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn aliased_open_degrades_to_flat_and_still_commits() {
+        use acn_obs::{AbortKind, TxnObserver};
+        // Deliberately alias: transfer(1, 1, 30) opens ACCOUNT 1 through
+        // two different handles. The nested schedule must detect the alias
+        // at the second open, abort once with AliasedOpen, and re-run the
+        // whole instance in flat program order (net effect: -30 then +30).
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = transfer_model();
+        let dep = deposit_model();
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        engine
+            .run(
+                &mut client,
+                &dep.program,
+                &[Value::Int(1), Value::Int(100)],
+                &BlockSeq::flat(&dep),
+                &mut stats,
+            )
+            .unwrap();
+        let seq = BlockSeq::from_units(&dm);
+        assert_eq!(seq.len(), 2);
+        let mut stats = ExecStats::default();
+        let mut obs = TxnObserver::default();
+        engine
+            .run_observed(
+                &mut client,
+                &dm.program,
+                &[Value::Int(1), Value::Int(1), Value::Int(30)],
+                &seq,
+                &mut stats,
+                Some(&mut obs),
+            )
+            .unwrap();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.full_aborts, 1, "exactly one aliased-open abort");
+        assert_eq!(stats.partial_aborts, 0);
+        assert_eq!(obs.aborts.total_of(&[AbortKind::AliasedOpen]), 1);
+        assert_eq!(
+            obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS),
+            stats.full_aborts + stats.partial_aborts + stats.locked_aborts,
+            "attribution stays exact through the degrade path"
+        );
+        assert_eq!(read_bal(&mut client, 1), 100, "self-transfer is a no-op");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn distinct_objects_do_not_trip_the_alias_check() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = transfer_model();
+        let mut stats = ExecStats::default();
+        ExecutorEngine::default()
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(1), Value::Int(2), Value::Int(30)],
+                &BlockSeq::from_units(&dm),
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(stats.full_aborts, 0);
+        assert_eq!(read_bal(&mut client, 1), -30);
+        assert_eq!(read_bal(&mut client, 2), 30);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn correct_prediction_validates_silently() {
+        use acn_obs::TxnObserver;
+        use acn_txir::PredictedRead;
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = deposit_model();
+        let engine = ExecutorEngine::default();
+        let mut stats = ExecStats::default();
+        // Never-written fields read as Int(0), so 0 is the right first
+        // prediction — the same rule the coordinator's predictor seeds from.
+        let pred = PredictedRead {
+            obj: ObjectId::new(ACCOUNT, 7),
+            field: BAL,
+            value: 0,
+            delta: 10,
+        };
+        let mut latency = crate::histogram::LatencyHistogram::default();
+        let mut obs = TxnObserver::default();
+        let mut outcome = PredictionOutcome::default();
+        engine
+            .run_predicted(
+                &mut client,
+                &dm.program,
+                &[Value::Int(7), Value::Int(10)],
+                &BlockSeq::flat(&dm),
+                &[pred],
+                &[],
+                &[],
+                None,
+                &mut stats,
+                &mut latency,
+                Some(&mut obs),
+                &mut outcome,
+            )
+            .unwrap();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.full_aborts + stats.partial_aborts, 0);
+        assert!(outcome.mispredicts.is_empty());
+        assert_eq!(outcome.aliased, 0);
+        assert_eq!(read_bal(&mut client, 7), 10);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn nested_mispredict_repairs_by_partial_rollback() {
+        use acn_obs::{AbortKind, TxnObserver};
+        use acn_txir::PredictedRead;
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = transfer_model();
+        let engine = ExecutorEngine::default();
+        // Wrong prediction for the first Block's balance read: the Block
+        // must partial-abort once under SpecMispredict, drop the
+        // prediction, and commit on the re-run.
+        let pred = PredictedRead {
+            obj: ObjectId::new(ACCOUNT, 1),
+            field: BAL,
+            value: 999,
+            delta: -5,
+        };
+        let mut stats = ExecStats::default();
+        let mut latency = crate::histogram::LatencyHistogram::default();
+        let mut obs = TxnObserver::default();
+        let mut outcome = PredictionOutcome::default();
+        engine
+            .run_predicted(
+                &mut client,
+                &dm.program,
+                &[Value::Int(1), Value::Int(2), Value::Int(5)],
+                &BlockSeq::from_units(&dm),
+                &[pred],
+                &[],
+                &[],
+                None,
+                &mut stats,
+                &mut latency,
+                Some(&mut obs),
+                &mut outcome,
+            )
+            .unwrap();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.partial_aborts, 1, "repaired from the Block");
+        assert_eq!(stats.full_aborts, 0, "no full restart needed");
+        assert_eq!(obs.aborts.total_of(&[AbortKind::SpecMispredict]), 1);
+        assert_eq!(
+            obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS),
+            stats.full_aborts + stats.partial_aborts + stats.locked_aborts,
+        );
+        assert_eq!(outcome.mispredicts, vec![(pred, 0)], "observed fed back");
+        assert_eq!(read_bal(&mut client, 1), -5);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn flat_mispredict_restarts_once() {
+        use acn_obs::{AbortKind, TxnObserver};
+        use acn_txir::PredictedRead;
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = deposit_model();
+        let engine = ExecutorEngine::default();
+        let pred = PredictedRead {
+            obj: ObjectId::new(ACCOUNT, 7),
+            field: BAL,
+            value: 42,
+            delta: 10,
+        };
+        let mut stats = ExecStats::default();
+        let mut latency = crate::histogram::LatencyHistogram::default();
+        let mut obs = TxnObserver::default();
+        let mut outcome = PredictionOutcome::default();
+        engine
+            .run_predicted(
+                &mut client,
+                &dm.program,
+                &[Value::Int(7), Value::Int(10)],
+                &BlockSeq::flat(&dm),
+                &[pred],
+                &[],
+                &[],
+                None,
+                &mut stats,
+                &mut latency,
+                Some(&mut obs),
+                &mut outcome,
+            )
+            .unwrap();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.full_aborts, 1, "flat arm restarts on mispredict");
+        assert_eq!(obs.aborts.total_of(&[AbortKind::SpecMispredict]), 1);
+        assert_eq!(outcome.mispredicts, vec![(pred, 0)]);
+        assert_eq!(read_bal(&mut client, 7), 10);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn blind_open_commits_with_zero_read_rounds() {
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = deposit_model();
+        let engine = ExecutorEngine::default();
+        let obj = ObjectId::new(ACCOUNT, 7);
+        let before = {
+            let s = client.stats();
+            s.remote_reads + s.batched_reads
+        };
+        let mut stats = ExecStats::default();
+        let mut latency = crate::histogram::LatencyHistogram::default();
+        let mut outcome = PredictionOutcome::default();
+        engine
+            .run_predicted(
+                &mut client,
+                &dm.program,
+                &[Value::Int(7), Value::Int(10)],
+                &BlockSeq::flat(&dm),
+                &[],
+                &[],
+                &[obj],
+                None,
+                &mut stats,
+                &mut latency,
+                None,
+                &mut outcome,
+            )
+            .unwrap();
+        let after = {
+            let s = client.stats();
+            s.remote_reads + s.batched_reads
+        };
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.full_aborts + stats.partial_aborts, 0);
+        assert_eq!(after, before, "a correct blind presumption reads nothing");
+        assert_eq!(read_bal(&mut client, 7), 10, "deposit onto the default 0");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn wrong_blind_presumption_demotes_and_retries() {
+        use acn_obs::TxnObserver;
+        let cluster = Cluster::start(ClusterConfig::test(4, 1));
+        let mut client = cluster.client(0);
+        let dm = deposit_model();
+        let engine = ExecutorEngine::default();
+        let obj = ObjectId::new(ACCOUNT, 7);
+        // The object exists — the blind presumption (version 0, value 0)
+        // is wrong and must be caught at prepare, not silently clobber
+        // the stored balance.
+        let mut seed_stats = ExecStats::default();
+        engine
+            .run(
+                &mut client,
+                &dm.program,
+                &[Value::Int(7), Value::Int(100)],
+                &BlockSeq::flat(&dm),
+                &mut seed_stats,
+            )
+            .unwrap();
+        let mut stats = ExecStats::default();
+        let mut latency = crate::histogram::LatencyHistogram::default();
+        let mut obs = TxnObserver::default();
+        let mut outcome = PredictionOutcome::default();
+        engine
+            .run_predicted(
+                &mut client,
+                &dm.program,
+                &[Value::Int(7), Value::Int(10)],
+                &BlockSeq::flat(&dm),
+                &[],
+                &[],
+                &[obj],
+                None,
+                &mut stats,
+                &mut latency,
+                Some(&mut obs),
+                &mut outcome,
+            )
+            .unwrap();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.full_aborts, 1, "one commit-time rejection");
+        assert_eq!(
+            obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS),
+            stats.full_aborts + stats.partial_aborts + stats.locked_aborts,
+        );
+        assert_eq!(
+            read_bal(&mut client, 7),
+            110,
+            "the retry reads the real balance (unblinded) and adds to it"
         );
         cluster.shutdown();
     }

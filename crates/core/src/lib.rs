@@ -50,7 +50,10 @@ pub use checkpoint::{run_checkpointed, CheckpointStats};
 pub use contention_model::{AbortProbabilityModel, ContentionModel, MaxModel, SumModel};
 pub use controller::{AcnController, ControllerConfig, SamplingMode};
 pub use dynamic_module::{DynamicModule, LevelMetric};
-pub use executor::{ExecStats, ExecutorConfig, ExecutorEngine, RetryPolicy, RunError};
+pub use executor::{
+    ExecStats, ExecutorConfig, ExecutorEngine, PredictionOutcome, RespecFn, RetryPolicy, RunError,
+    SpecSets,
+};
 pub use histogram::LatencyHistogram;
 pub use scheduler::{
     conflicts, conflicts_with, plan_wave, plan_wave_with, InexactPolicy, WavePlan, WaveStats,

@@ -61,6 +61,10 @@ pub struct WavePlan {
     pub pessimistic_edges: u64,
     /// Transactions whose access sets were inexact (fallback candidates).
     pub inexact: u64,
+    /// Transactions whose access sets are *predicted-exact*: exact modulo
+    /// a non-empty [`ResolvedAccess::predicted`] counter-read list that the
+    /// executor validates at run time.
+    pub predicted: u64,
 }
 
 /// What to do with a pair the static sets cannot fully resolve.
@@ -206,6 +210,10 @@ pub fn plan_wave_with(accesses: &[ResolvedAccess], policy: InexactPolicy) -> Wav
         edges,
         pessimistic_edges,
         inexact: accesses.iter().filter(|a| !a.exact).count() as u64,
+        predicted: accesses
+            .iter()
+            .filter(|a| a.exact && !a.predicted.is_empty())
+            .count() as u64,
     }
 }
 
@@ -255,6 +263,13 @@ pub struct WaveStats {
     /// transaction to a newly admitted one, added by the dispatcher when
     /// waves overlap. Not part of any [`WavePlan`].
     pub cross_edges: u64,
+    /// Predicted-exact transactions across all waves (exact access sets
+    /// conditional on hot-counter predictions).
+    pub predicted_txns: u64,
+    /// Counter predictions that failed validation at run time and were
+    /// repaired by the executor. Accumulated by the dispatcher from
+    /// [`crate::PredictionOutcome`] feedback, not from any [`WavePlan`].
+    pub mispredicts: u64,
 }
 
 impl WaveStats {
@@ -265,6 +280,7 @@ impl WaveStats {
         self.edges += plan.edges;
         self.pessimistic_edges += plan.pessimistic_edges;
         self.inexact_txns += plan.inexact;
+        self.predicted_txns += plan.predicted;
         self.layers += plan.layers() as u64;
         self.max_width = self.max_width.max(plan.width() as u64);
     }
@@ -289,6 +305,8 @@ mod tests {
             read_classes: vec![0],
             write_classes: if writes.is_empty() { vec![] } else { vec![0] },
             exact: true,
+            predicted: Vec::new(),
+            blind: Vec::new(),
         }
     }
 
@@ -299,6 +317,8 @@ mod tests {
             read_classes: read_classes.to_vec(),
             write_classes: write_classes.to_vec(),
             exact: false,
+            predicted: Vec::new(),
+            blind: Vec::new(),
         }
     }
 

@@ -44,6 +44,8 @@ fn access(reads: Vec<(u8, u8)>, writes: Vec<(u8, u8)>, exact: bool) -> ResolvedA
         read_classes: rc,
         write_classes: wc,
         exact,
+        predicted: Vec::new(),
+        blind: Vec::new(),
     }
 }
 

@@ -20,6 +20,46 @@ use acn_simnet::NodeId;
 use acn_txir::{FieldId, ObjectId, ObjectVal, Value};
 use std::collections::{HashMap, HashSet};
 
+/// A speculative whole-transaction prefetch: versioned object copies
+/// fetched in **one** quorum round at attempt start from the batch
+/// scheduler's resolved (predicted-exact) access set.
+///
+/// Entries are *not* part of any read-set until an `Open` installs them
+/// via [`TxnCtx::open_spec`] / [`ChildCtx::open_spec`] — a mispredicted
+/// object that the instance never actually opens therefore never enters
+/// validation and cannot cause a spurious abort. Installing removes the
+/// entry, so a rolled-back Block's re-run misses the cache and refetches
+/// a fresh copy instead of replaying a stale one. A stale copy that *is*
+/// installed is caught exactly like any stale read: by incremental
+/// validation on later remote rounds or by commit-time validation.
+#[derive(Debug, Default)]
+pub struct SpecCache {
+    map: HashMap<ObjectId, (Version, ObjectVal)>,
+}
+
+impl SpecCache {
+    /// Number of cached (not yet installed) copies.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// No cached copies left (or none fetched).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether a copy of `obj` is still cached (not yet installed).
+    pub fn contains(&self, obj: &ObjectId) -> bool {
+        self.map.contains_key(obj)
+    }
+
+    /// Merge a corrective fetch into this cache; `other` wins on overlap
+    /// (it was fetched later, so its copies are at least as fresh).
+    pub fn absorb(&mut self, other: SpecCache) {
+        self.map.extend(other.map);
+    }
+}
+
 /// The root (parent) transaction context.
 ///
 /// `Clone` exists for the checkpointing executor in `acn-core`, which
@@ -134,6 +174,88 @@ impl TxnCtx {
                 }
                 Ok(())
             }
+        }
+    }
+
+    /// Fetch speculative copies of every not-yet-read object of `objs` in
+    /// one quorum round, into a side cache that leaves the read-set
+    /// untouched (see [`SpecCache`]). Reads are validated incrementally
+    /// against the current read-set like any other remote round.
+    pub fn fetch_spec(
+        &mut self,
+        client: &mut DtmClient,
+        objs: &[ObjectId],
+    ) -> Result<SpecCache, DtmError> {
+        let mut missing: Vec<ObjectId> = Vec::new();
+        for &obj in objs {
+            if !self.has_read(obj) && !missing.contains(&obj) {
+                missing.push(obj);
+            }
+        }
+        let mut map = HashMap::with_capacity(missing.len());
+        match missing.len() {
+            0 => {}
+            1 => {
+                let (version, value) = client.remote_read(self.txn, missing[0], &self.read_set)?;
+                map.insert(missing[0], (version, value));
+            }
+            _ => {
+                let fetched = client.remote_read_batch(
+                    self.txn,
+                    &missing,
+                    &self.read_set,
+                    &mut self.watermarks,
+                )?;
+                for (obj, version, value) in fetched {
+                    map.insert(obj, (version, value));
+                }
+            }
+        }
+        Ok(SpecCache { map })
+    }
+
+    /// [`TxnCtx::open`] through the speculative cache: a hit installs a
+    /// copy of the prefetched entry as a first read with no remote round;
+    /// a miss — a mispredicted object — is a normal remote open. The entry
+    /// stays cached (peek, not take): it belongs to this transaction's
+    /// attempt, so a rolled-back sub-transaction can re-install the same
+    /// copy for free, and commit validation still rejects it if stale.
+    pub fn open_spec(
+        &mut self,
+        client: &mut DtmClient,
+        obj: ObjectId,
+        update: bool,
+        cache: &SpecCache,
+    ) -> Result<(), DtmError> {
+        if !self.has_read(obj) {
+            if let Some((version, value)) = cache.map.get(&obj) {
+                self.read_index.insert(obj, self.read_set.len());
+                self.read_set.push((obj, *version));
+                self.buffers.insert(obj, value.clone());
+                if update {
+                    self.writes.insert(obj);
+                }
+                return Ok(());
+            }
+        }
+        self.open(client, obj, update)
+    }
+
+    /// Open `obj` presuming it *fresh*: install a synthesized
+    /// `(version 0, default value)` copy with no remote round at all.
+    /// Used for value-blind updates (insert-only rows): the template never
+    /// reads a field, so only the version assumption matters — and commit
+    /// validation checks it like any read, failing the transaction if the
+    /// object in fact exists. The executor then demotes the object to a
+    /// real read on the retry.
+    pub fn open_blind(&mut self, obj: ObjectId, update: bool) {
+        if !self.has_read(obj) {
+            self.read_index.insert(obj, self.read_set.len());
+            self.read_set.push((obj, 0));
+            self.buffers.insert(obj, ObjectVal::new());
+        }
+        if update {
+            self.writes.insert(obj);
         }
     }
 
@@ -279,6 +401,49 @@ impl ChildCtx {
                 }
                 Ok(())
             }
+        }
+    }
+
+    /// [`ChildCtx::open`] through the speculative cache: a hit installs a
+    /// copy of the prefetched entry as a **child-first** read with no
+    /// remote round, so a later invalidation of it still classifies as a
+    /// partial rollback; a miss is a normal remote open. The entry stays
+    /// cached (peek, not take): when this child rolls back, its re-run —
+    /// and every later Block — re-installs from the cache for free instead
+    /// of refetching state the transaction already holds.
+    pub fn open_spec(
+        &mut self,
+        client: &mut DtmClient,
+        parent: &TxnCtx,
+        obj: ObjectId,
+        update: bool,
+        cache: &SpecCache,
+    ) -> Result<(), DtmError> {
+        if !self.read_index.contains_key(&obj) && !parent.has_read(obj) {
+            if let Some((version, value)) = cache.map.get(&obj) {
+                self.read_index.insert(obj, self.reads.len());
+                self.reads.push((obj, *version));
+                self.overlay.insert(obj, value.clone());
+                if update {
+                    self.writes.insert(obj);
+                }
+                return Ok(());
+            }
+        }
+        self.open(client, parent, obj, update)
+    }
+
+    /// [`TxnCtx::open_blind`] inside the sub-transaction: the presumed
+    /// `(version 0, default)` copy installs as a **child-first** read, so
+    /// a failed presumption surfacing mid-run rolls back only this Block.
+    pub fn open_blind(&mut self, parent: &TxnCtx, obj: ObjectId, update: bool) {
+        if !self.read_index.contains_key(&obj) && !parent.has_read(obj) {
+            self.read_index.insert(obj, self.reads.len());
+            self.reads.push((obj, 0));
+            self.overlay.insert(obj, ObjectVal::new());
+        }
+        if update {
+            self.writes.insert(obj);
         }
     }
 
@@ -486,6 +651,33 @@ mod tests {
         // B1 is child-local.
         assert_eq!(c.classify(&p, &[B1, A1]), AbortScope::Parent);
         assert_eq!(c.classify(&p, &[A1]), AbortScope::Parent);
+    }
+
+    #[test]
+    fn open_blind_installs_presumed_absent_entry() {
+        let mut p = parent_with(&[]);
+        p.open_blind(A1, true);
+        assert!(p.has_read(A1));
+        assert_eq!(p.read_version(A1), Some(0), "presumed never written");
+        assert_eq!(p.get_field(A1, F), Value::Int(0), "default value");
+        assert!(p.writes.contains(&A1));
+        p.set_field(A1, F, Value::Int(5));
+        assert_eq!(p.get_field(A1, F), Value::Int(5));
+    }
+
+    #[test]
+    fn child_open_blind_is_child_scoped() {
+        let mut p = parent_with(&[]);
+        let mut c = p.child();
+        c.open_blind(&p, A1, true);
+        assert_eq!(c.get_field(&p, A1, F), Value::Int(0));
+        // The presumption is a child-first read: if it is wrong, only
+        // this Block rolls back.
+        assert_eq!(c.classify(&p, &[A1]), AbortScope::Child);
+        c.commit_into(&mut p);
+        assert!(p.has_read(A1));
+        assert_eq!(p.read_version(A1), Some(0));
+        assert!(p.writes.contains(&A1));
     }
 
     #[test]

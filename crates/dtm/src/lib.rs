@@ -45,7 +45,7 @@ mod wal;
 pub use client::{ClientConfig, ClientStats, ContentionSample, DtmClient};
 pub use cluster::{Cluster, ClusterConfig, PersistenceMode};
 pub use contention::{ContentionWindow, WindowConfig};
-pub use context::{ChildCtx, TxnCtx};
+pub use context::{ChildCtx, SpecCache, TxnCtx};
 pub use error::{AbortScope, DtmError};
 pub use history::{check_history, CommitRecord, HistoryLog, HistorySummary, Violation};
 pub use messages::{kind as msg_kind, BatchRead, Msg, ReqId, TxnId, ValidateEntry, Version};

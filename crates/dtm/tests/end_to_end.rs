@@ -67,6 +67,42 @@ fn repeated_open_is_local() {
 }
 
 #[test]
+fn blind_open_commits_with_no_read_round() {
+    let cluster = Cluster::start(ClusterConfig::test(4, 1));
+    let mut c = cluster.client(0);
+    let before = c.stats().remote_reads;
+    let mut ctx = TxnCtx::begin(&mut c);
+    ctx.open_blind(acct(50), true);
+    ctx.set_field(acct(50), BAL, Value::Int(9));
+    ctx.commit(&mut c).unwrap();
+    assert_eq!(
+        c.stats().remote_reads,
+        before,
+        "a blind insert pays no read round"
+    );
+    assert_eq!(read_bal(&mut c, acct(50)), 9);
+    cluster.shutdown();
+}
+
+#[test]
+fn blind_open_of_existing_object_is_rejected() {
+    let cluster = Cluster::start(ClusterConfig::test(4, 1));
+    let mut c = cluster.client(0);
+    seed(&mut c, acct(51), 123);
+    // A blind open presumes version 0; prepare validation must catch the
+    // existing object before the write can clobber it.
+    let mut ctx = TxnCtx::begin(&mut c);
+    ctx.open_blind(acct(51), true);
+    ctx.set_field(acct(51), BAL, Value::Int(0));
+    match ctx.commit(&mut c) {
+        Err(DtmError::Conflict { invalid, .. }) => assert_eq!(invalid, vec![acct(51)]),
+        other => panic!("expected commit conflict, got {other:?}"),
+    }
+    assert_eq!(read_bal(&mut c, acct(51)), 123, "existing value survives");
+    cluster.shutdown();
+}
+
+#[test]
 fn stale_read_set_detected_on_next_open() {
     let cluster = Cluster::start(ClusterConfig::test(10, 2));
     let mut c0 = cluster.client(0);

@@ -44,6 +44,18 @@ pub enum AbortKind {
     /// Mis-speculation under the batch scheduler that forced a full
     /// re-execution (Block-STM-style recovery; the ablation's other arm).
     SpecFull,
+    /// A predicted-exact counter read observed a different value than the
+    /// wave scheduler assumed: the access sets the wave was ordered by were
+    /// wrong, and the Block holding the prediction was repaired by partial
+    /// rollback (or, on the flat full-restart arm, the attempt restarted).
+    /// Distinct from [`AbortKind::SpecPartial`] so the ablation separates
+    /// wrong-prediction repair from ordinary missed conflicts.
+    SpecMispredict,
+    /// An `Open` resolved to an object already held by a *different*
+    /// handle, voiding the dependency analysis's distinct-objects
+    /// assumption; the attempt restarted as a flat (program-order)
+    /// sequence, where aliasing is harmless.
+    AliasedOpen,
     /// Checkpoint runner: rollback to an intermediate checkpoint.
     CkptRollback,
     /// Checkpoint runner: restart from the very beginning.
@@ -54,7 +66,7 @@ impl AbortKind {
     /// The executor kinds whose attributed counts sum to
     /// `full_aborts + partial_aborts + locked_aborts` of the nesting
     /// executor's stats (everything except the checkpoint-runner kinds).
-    pub const EXECUTOR_KINDS: [AbortKind; 8] = [
+    pub const EXECUTOR_KINDS: [AbortKind; 10] = [
         AbortKind::Partial,
         AbortKind::ReadInvalid,
         AbortKind::CommitConflict,
@@ -63,6 +75,8 @@ impl AbortKind {
         AbortKind::SyncRefused,
         AbortKind::SpecPartial,
         AbortKind::SpecFull,
+        AbortKind::SpecMispredict,
+        AbortKind::AliasedOpen,
     ];
 
     /// Stable lower-case label used in the JSON-lines export.
@@ -76,6 +90,8 @@ impl AbortKind {
             AbortKind::SyncRefused => "sync_refused",
             AbortKind::SpecPartial => "spec_partial",
             AbortKind::SpecFull => "spec_full",
+            AbortKind::SpecMispredict => "spec_mispredict",
+            AbortKind::AliasedOpen => "aliased_open",
             AbortKind::CkptRollback => "ckpt_rollback",
             AbortKind::CkptRestart => "ckpt_restart",
         }
@@ -92,6 +108,8 @@ impl AbortKind {
             "sync_refused" => AbortKind::SyncRefused,
             "spec_partial" => AbortKind::SpecPartial,
             "spec_full" => AbortKind::SpecFull,
+            "spec_mispredict" => AbortKind::SpecMispredict,
+            "aliased_open" => AbortKind::AliasedOpen,
             "ckpt_rollback" => AbortKind::CkptRollback,
             "ckpt_restart" => AbortKind::CkptRestart,
             _ => return None,
@@ -171,6 +189,8 @@ mod tests {
             AbortKind::SyncRefused,
             AbortKind::SpecPartial,
             AbortKind::SpecFull,
+            AbortKind::SpecMispredict,
+            AbortKind::AliasedOpen,
             AbortKind::CkptRollback,
             AbortKind::CkptRestart,
         ] {

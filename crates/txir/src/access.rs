@@ -11,7 +11,8 @@
 //! back to pessimistic class-level conflict edges.
 
 use crate::ir::{AccessMode, Operand, Program, Stmt};
-use crate::object::{ObjClass, ObjectId};
+use crate::object::{FieldId, ObjClass, ObjectId};
+use crate::symbolic::SymbolicSummary;
 use crate::value::Value;
 
 /// One top-level open whose target object is statically resolvable.
@@ -23,6 +24,9 @@ pub struct StaticAccess {
     pub index: Operand,
     /// `true` for `Update` opens (write intent), `false` for reads.
     pub write: bool,
+    /// `true` for value-blind `Update` opens (no field of the handle is
+    /// ever read) — see [`ResolvedAccess::blind`].
+    pub blind: bool,
 }
 
 /// Per-template access summary: the statically resolvable opens plus a
@@ -41,6 +45,48 @@ pub struct AccessSummary {
     /// read/write sets of any instance. When `false` the resolved sets are
     /// a lower bound and the class sets are the sound upper bound.
     pub exact: bool,
+    /// Symbolic view of the same opens, covering `Var`-indexed ones whose
+    /// index is a pure `Compute` chain over params and hot-counter reads —
+    /// the input to [`AccessSummary::resolve_with`].
+    pub symbolic: SymbolicSummary,
+}
+
+/// A hot-counter read an instance is about to perform, as presented to a
+/// [`CounterOracle`] for prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSite {
+    /// The counter's host object (index already resolved under the
+    /// instance's parameters).
+    pub obj: ObjectId,
+    /// The counter field.
+    pub field: FieldId,
+    /// How much this instance will advance the counter (0 = read-only).
+    pub delta: i64,
+}
+
+/// Predicts the value a hot-counter read will observe. A `Some(v)` answer
+/// must also advance the oracle's own cursor by `site.delta`, so that the
+/// next instance of the same wave predicts `v + delta`. Returning `None`
+/// soundly degrades the instance to inexact.
+pub trait CounterOracle {
+    /// Predict the value `site` will read, advancing the internal cursor.
+    fn predict(&mut self, site: &CounterSite) -> Option<i64>;
+}
+
+/// One counter read whose value was predicted rather than known: the
+/// executor validates `obj.field == value` at the real read and repairs
+/// the transaction (partial rollback + re-read) on mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictedRead {
+    /// The counter's host object.
+    pub obj: ObjectId,
+    /// The counter field.
+    pub field: FieldId,
+    /// The value the scheduler assumed this instance reads.
+    pub value: i64,
+    /// The advance the instance applies — feedback uses `observed + delta`
+    /// to re-seed the predictor after a mispredict.
+    pub delta: i64,
 }
 
 /// Concrete read/write object sets of one transaction instance, plus the
@@ -58,7 +104,20 @@ pub struct ResolvedAccess {
     pub write_classes: Vec<u16>,
     /// Copied from [`AccessSummary::exact`]: when `false`, `reads`/`writes`
     /// under-approximate and conflict detection must use the class sets.
+    /// [`AccessSummary::resolve_with`] also sets it for *predicted-exact*
+    /// instances, whose `predicted` list is then non-empty.
     pub exact: bool,
+    /// Counter reads whose values the sets above assume. Empty for truly
+    /// static instances; non-empty means the sets are exact *iff* every
+    /// prediction validates at execution time.
+    pub predicted: Vec<PredictedRead>,
+    /// The *value-blind* subset of `writes` (sorted, deduped): objects the
+    /// instance updates without ever reading a field — insert-only rows.
+    /// Execution may open them without a remote fetch by presuming a fresh
+    /// `(version 0, default)` copy; commit validation rejects the
+    /// presumption if the object in fact exists, so the shortcut is sound.
+    /// An object is only listed when *every* open of it is blind.
+    pub blind: Vec<ObjectId>,
 }
 
 impl AccessSummary {
@@ -75,9 +134,12 @@ impl AccessSummary {
                 set.push(class);
             }
         }
+        let read_handles = crate::symbolic::handles_read(&program.stmts);
+        #[allow(clippy::too_many_arguments)]
         fn walk(
             stmts: &[Stmt],
             nested: bool,
+            read_handles: &std::collections::HashSet<crate::ir::VarId>,
             accesses: &mut Vec<StaticAccess>,
             read_classes: &mut Vec<ObjClass>,
             write_classes: &mut Vec<ObjClass>,
@@ -86,7 +148,10 @@ impl AccessSummary {
             for s in stmts {
                 match s {
                     Stmt::Open {
-                        class, index, mode, ..
+                        var,
+                        class,
+                        index,
+                        mode,
                     } => {
                         let write = *mode == AccessMode::Update;
                         touch(read_classes, *class);
@@ -102,14 +167,31 @@ impl AccessSummary {
                                 class: *class,
                                 index: index.clone(),
                                 write,
+                                blind: write && !read_handles.contains(var),
                             });
                         }
                     }
                     Stmt::Cond {
                         then_br, else_br, ..
                     } => {
-                        walk(then_br, true, accesses, read_classes, write_classes, exact);
-                        walk(else_br, true, accesses, read_classes, write_classes, exact);
+                        walk(
+                            then_br,
+                            true,
+                            read_handles,
+                            accesses,
+                            read_classes,
+                            write_classes,
+                            exact,
+                        );
+                        walk(
+                            else_br,
+                            true,
+                            read_handles,
+                            accesses,
+                            read_classes,
+                            write_classes,
+                            exact,
+                        );
                     }
                     _ => {}
                 }
@@ -118,6 +200,7 @@ impl AccessSummary {
         walk(
             &program.stmts,
             false,
+            &read_handles,
             &mut accesses,
             &mut read_classes,
             &mut write_classes,
@@ -130,6 +213,7 @@ impl AccessSummary {
             read_classes,
             write_classes,
             exact,
+            symbolic: SymbolicSummary::of(program),
         }
     }
 
@@ -140,6 +224,8 @@ impl AccessSummary {
     pub fn resolve(&self, params: &[Value]) -> ResolvedAccess {
         let mut reads = Vec::with_capacity(self.accesses.len());
         let mut writes = Vec::new();
+        let mut blind = Vec::new();
+        let mut valued = Vec::new();
         let mut exact = self.exact;
         for a in &self.accesses {
             let idx = match &a.index {
@@ -160,6 +246,11 @@ impl AccessSummary {
                     if a.write {
                         writes.push(obj);
                     }
+                    if a.blind {
+                        blind.push(obj);
+                    } else {
+                        valued.push(obj);
+                    }
                 }
                 Err(_) => exact = false,
             }
@@ -174,8 +265,100 @@ impl AccessSummary {
             read_classes: self.read_classes.iter().map(|c| c.id).collect(),
             write_classes: self.write_classes.iter().map(|c| c.id).collect(),
             exact,
+            predicted: Vec::new(),
+            blind: blind_only(blind, valued),
         }
     }
+
+    /// Resolve one instance's access sets, upgrading `Var`-indexed opens
+    /// through the symbolic summary: pure `Compute` chains over params
+    /// evaluate directly, counter-dependent chains evaluate against the
+    /// oracle's predictions. On success the instance is *predicted-exact*
+    /// (`exact == true`, `predicted` lists the assumptions to validate);
+    /// any unresolvable piece falls back to [`AccessSummary::resolve`]'s
+    /// sound inexact result.
+    pub fn resolve_with(&self, params: &[Value], oracle: &mut dyn CounterOracle) -> ResolvedAccess {
+        let base = self.resolve(params);
+        if base.exact || !self.symbolic.complete {
+            return base;
+        }
+        // Predict every counter site up front — expressions may share them.
+        let mut counter_vals = Vec::with_capacity(self.symbolic.counters.len());
+        let mut predicted = Vec::new();
+        for (id, c) in self.symbolic.counters.iter().enumerate() {
+            let idx = match c.index.eval(params, &[]).map(|v| v.as_int()) {
+                Some(Ok(i)) => i,
+                _ => return base,
+            };
+            let site = CounterSite {
+                obj: ObjectId::new(c.class, idx as u64),
+                field: c.field,
+                delta: c.delta,
+            };
+            let Some(value) = oracle.predict(&site) else {
+                return base;
+            };
+            counter_vals.push(value);
+            // Only counters an index actually depends on need run-time
+            // validation; unused ones cannot skew the schedule.
+            if self
+                .symbolic
+                .accesses
+                .iter()
+                .any(|a| a.index.uses_counter(id))
+            {
+                predicted.push(PredictedRead {
+                    obj: site.obj,
+                    field: site.field,
+                    value,
+                    delta: site.delta,
+                });
+            }
+        }
+        let mut reads = Vec::with_capacity(self.symbolic.accesses.len());
+        let mut writes = Vec::new();
+        let mut blind = Vec::new();
+        let mut valued = Vec::new();
+        for a in &self.symbolic.accesses {
+            let idx = match a.index.eval(params, &counter_vals).map(|v| v.as_int()) {
+                Some(Ok(i)) => i,
+                _ => return base,
+            };
+            let obj = ObjectId::new(a.class, idx as u64);
+            reads.push(obj);
+            if a.write {
+                writes.push(obj);
+            }
+            if a.blind {
+                blind.push(obj);
+            } else {
+                valued.push(obj);
+            }
+        }
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        ResolvedAccess {
+            reads,
+            writes,
+            read_classes: self.read_classes.iter().map(|c| c.id).collect(),
+            write_classes: self.write_classes.iter().map(|c| c.id).collect(),
+            exact: true,
+            predicted,
+            blind: blind_only(blind, valued),
+        }
+    }
+}
+
+/// Keep only the objects *every* open of which was blind: an object also
+/// opened with a value-reading handle needs its real copy regardless.
+fn blind_only(mut blind: Vec<ObjectId>, mut valued: Vec<ObjectId>) -> Vec<ObjectId> {
+    blind.sort_unstable();
+    blind.dedup();
+    valued.sort_unstable();
+    blind.retain(|o| valued.binary_search(o).is_err());
+    blind
 }
 
 #[cfg(test)]
@@ -263,6 +446,148 @@ mod tests {
         let r = sum.resolve(&[Value::Int(4)]);
         assert_eq!(r.reads, vec![ObjectId::new(A, 4)]);
         assert_eq!(r.writes, vec![ObjectId::new(A, 4)]);
+    }
+
+    /// A counting oracle with the store's `get_or_zero` default: unseen
+    /// counters start at 0 and advance by `delta` per prediction.
+    #[derive(Default)]
+    struct MapOracle(std::collections::HashMap<(u16, u64, u16), i64>);
+
+    impl CounterOracle for MapOracle {
+        fn predict(&mut self, site: &CounterSite) -> Option<i64> {
+            let e = self
+                .0
+                .entry((site.obj.class.id, site.obj.index, site.field.0))
+                .or_insert(0);
+            let v = *e;
+            *e += site.delta;
+            Some(v)
+        }
+    }
+
+    /// NewOrder's shape: `order = district_param*1000 + next_oid`.
+    fn counter_template() -> AccessSummary {
+        let mut b = ProgramBuilder::new("t", 1);
+        let d = b.open_update(A, b.param(0));
+        let oid = b.get(d, F);
+        let next = b.add(oid, 1i64);
+        b.set(d, F, next);
+        let base = b.compute(
+            crate::ir::ComputeOp::Mul,
+            [b.param(0).into(), 1000i64.into()],
+        );
+        let oidx = b.add(base, oid);
+        let o = b.open_update(B, oidx);
+        b.set(o, F, 7i64);
+        AccessSummary::of(&b.finish())
+    }
+
+    #[test]
+    fn counter_indexed_open_resolves_predicted_exact() {
+        let sum = counter_template();
+        assert!(!sum.exact, "statically the Var index is unresolvable");
+        assert!(sum.symbolic.complete);
+        let mut oracle = MapOracle::default();
+        let p = [Value::Int(3)];
+        let r1 = sum.resolve_with(&p, &mut oracle);
+        assert!(r1.exact);
+        assert_eq!(r1.predicted.len(), 1);
+        assert_eq!(r1.predicted[0].obj, ObjectId::new(A, 3));
+        assert_eq!(r1.predicted[0].value, 0, "store default for unseeded");
+        assert_eq!(r1.predicted[0].delta, 1);
+        assert_eq!(r1.reads, vec![ObjectId::new(A, 3), ObjectId::new(B, 3000)]);
+        assert_eq!(r1.writes, r1.reads);
+        // Same district again: the cursor advanced.
+        let r2 = sum.resolve_with(&p, &mut oracle);
+        assert_eq!(r2.predicted[0].value, 1);
+        assert_eq!(r2.reads[1], ObjectId::new(B, 3001));
+        // A different district has its own counter.
+        let r3 = sum.resolve_with(&[Value::Int(4)], &mut oracle);
+        assert_eq!(r3.predicted[0].value, 0);
+        assert_eq!(r3.reads[1], ObjectId::new(B, 4000));
+    }
+
+    #[test]
+    fn pure_var_chain_upgrades_without_predictions() {
+        let mut b = ProgramBuilder::new("t", 2);
+        let x = b.compute(crate::ir::ComputeOp::Mul, [b.param(0).into(), 10i64.into()]);
+        let y = b.add(x, b.param(1));
+        let _o = b.open_update(C, y);
+        let sum = AccessSummary::of(&b.finish());
+        assert!(!sum.exact);
+        let mut oracle = MapOracle::default();
+        let r = sum.resolve_with(&[Value::Int(4), Value::Int(2)], &mut oracle);
+        assert!(r.exact);
+        assert!(r.predicted.is_empty(), "no counter involved");
+        assert_eq!(r.writes, vec![ObjectId::new(C, 42)]);
+        assert!(oracle.0.is_empty());
+    }
+
+    #[test]
+    fn refusing_oracle_degrades_soundly() {
+        struct Refuse;
+        impl CounterOracle for Refuse {
+            fn predict(&mut self, _: &CounterSite) -> Option<i64> {
+                None
+            }
+        }
+        let sum = counter_template();
+        let r = sum.resolve_with(&[Value::Int(3)], &mut Refuse);
+        assert!(!r.exact);
+        assert!(r.predicted.is_empty());
+        assert_eq!(r.reads, vec![ObjectId::new(A, 3)], "static part survives");
+    }
+
+    #[test]
+    fn incomplete_symbolic_summary_stays_inexact_under_oracle() {
+        // A pointer chase: two reads of the same field → no counter.
+        let mut b = ProgramBuilder::new("t", 1);
+        let a = b.open_read(A, b.param(0));
+        let v = b.get(a, F);
+        let _v2 = b.get(a, F);
+        let _o = b.open_update(C, v);
+        let sum = AccessSummary::of(&b.finish());
+        let r = sum.resolve_with(&[Value::Int(1)], &mut MapOracle::default());
+        assert!(!r.exact);
+    }
+
+    #[test]
+    fn insert_only_opens_are_value_blind() {
+        // Static path: a set-only Update open is blind; a get+set one is
+        // not.
+        let mut b = ProgramBuilder::new("t", 2);
+        let oa = b.open_update(A, b.param(0));
+        let v = b.get(oa, F);
+        b.set(oa, F, v);
+        let ob = b.open_update(B, b.param(1));
+        b.set(ob, F, 1i64);
+        let sum = AccessSummary::of(&b.finish());
+        let r = sum.resolve(&[Value::Int(1), Value::Int(2)]);
+        assert!(r.exact);
+        assert_eq!(r.blind, vec![ObjectId::new(B, 2)]);
+
+        // Predicted path: the counter-derived insert is blind, the
+        // counter itself (read before written) is not.
+        let sum = counter_template();
+        let r = sum.resolve_with(&[Value::Int(3)], &mut MapOracle::default());
+        assert!(r.exact);
+        assert_eq!(r.blind, vec![ObjectId::new(B, 3000)]);
+        assert!(r.reads.contains(&ObjectId::new(B, 3000)), "blind ⊆ reads");
+    }
+
+    #[test]
+    fn aliased_valued_open_suppresses_blind() {
+        // The same object opened set-only by one handle but read through
+        // another must not be treated as blind.
+        let mut b = ProgramBuilder::new("t", 1);
+        let ow = b.open_update(A, b.param(0));
+        b.set(ow, F, 1i64);
+        let or = b.open_read(A, b.param(0));
+        let _v = b.get(or, F);
+        let sum = AccessSummary::of(&b.finish());
+        let r = sum.resolve(&[Value::Int(5)]);
+        assert!(r.exact);
+        assert!(r.blind.is_empty());
     }
 
     #[test]

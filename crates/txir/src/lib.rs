@@ -36,12 +36,26 @@
 //! information is statically unavailable, exactly as for the paper's
 //! Soot-based analysis of `getRemote(id)` call sites. Consequently a
 //! template whose instances open the *same* object through two different
-//! statements must ensure the two statements' effects commute (e.g. pure
-//! reads); otherwise Block reordering may change which buffered value a
-//! later read observes. Transaction-level atomicity and isolation are
-//! never affected — the hazard is purely the intra-transaction read/write
-//! order around an aliased handle. The bundled workload generators draw
-//! ids without replacement where it matters (e.g. TPC-C order lines).
+//! statements could otherwise let Block reordering change which buffered
+//! value a later read observes. Transaction-level atomicity and isolation
+//! are never affected — the hazard is purely the intra-transaction
+//! read/write order around an aliased handle. The executor in `acn-core`
+//! enforces the contract at run time: an `Open` resolving to an object
+//! already held by a *different* handle aborts the attempt and re-runs it
+//! as a flat (program-order) sequence, where aliasing is harmless. The
+//! bundled workload generators still draw ids without replacement where it
+//! matters (e.g. TPC-C order lines), so the degraded path stays cold.
+//!
+//! ## Symbolic access resolution
+//!
+//! [`SymbolicSummary`] (see `symbolic.rs`) extends the static
+//! [`AccessSummary`] to `Var`-indexed opens whose index is a pure
+//! `Compute` chain over parameters and designated *hot-counter* reads
+//! (TPC-C's `D_NEXT_OID`). [`AccessSummary::resolve_with`] evaluates those
+//! chains against a [`CounterOracle`]'s predictions, producing
+//! *predicted-exact* access sets the batch scheduler can order at object
+//! granularity; the executor validates each [`PredictedRead`] at the real
+//! read and repairs mismatches by partial rollback.
 
 mod access;
 mod analysis;
@@ -49,11 +63,14 @@ mod builder;
 mod depmodel;
 mod ir;
 mod object;
+mod symbolic;
 mod unitgraph;
 mod validate;
 mod value;
 
-pub use access::{AccessSummary, ResolvedAccess, StaticAccess};
+pub use access::{
+    AccessSummary, CounterOracle, CounterSite, PredictedRead, ResolvedAccess, StaticAccess,
+};
 pub use analysis::{extract_unit_blocks, prefetchable_opens, PrefetchOpen, UnitBlock, UnitBlockId};
 pub use builder::ProgramBuilder;
 pub use depmodel::{
@@ -61,6 +78,7 @@ pub use depmodel::{
 };
 pub use ir::{AccessMode, ComputeOp, Operand, ParamId, Program, Stmt, StmtIdx, VarId};
 pub use object::{FieldId, ObjClass, ObjectId, ObjectVal};
+pub use symbolic::{CounterRef, SymExpr, SymbolicAccess, SymbolicSummary};
 pub use unitgraph::{StmtInfo, UnitGraph};
 pub use validate::{validate, ValidateError};
 pub use value::{EvalError, Value};

@@ -36,15 +36,15 @@ use crate::driver::{phase_for, Buckets, Plan, ScenarioConfig};
 use crate::workload::{TxnRequest, Workload};
 use acn_core::{
     conflicts_with, plan_wave_with, BlockSeq, ExecStats, ExecutorConfig, ExecutorEngine,
-    InexactPolicy, LatencyHistogram, WaveStats,
+    InexactPolicy, LatencyHistogram, PredictionOutcome, SpecSets, WaveStats,
 };
 use acn_dtm::{ClientPool, Cluster};
 use acn_obs::{AbortTable, Span, SpanKind, ThreadTraceRow, TraceSummary, Tracer, TxnObserver};
-use acn_txir::{DependencyModel, ResolvedAccess};
+use acn_txir::{CounterOracle, CounterSite, DependencyModel, PredictedRead, ResolvedAccess};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -89,6 +89,34 @@ impl Default for BatchConfig {
             overlap: true,
             speculate_inexact: false,
         }
+    }
+}
+
+/// Key of one hot-counter cursor: `(class id, host object index, field)`.
+type CounterKey = (u16, u64, u16);
+
+/// The coordinator-side counter predictor: one cursor per hot-counter site,
+/// seeded at 0 (the store's never-written default), advanced by each
+/// predicted instance's delta, and re-seeded by the workers from
+/// `observed + delta` whenever a prediction fails validation — so the
+/// cursor resynchronizes with the store within one repair.
+type CounterCursors = Mutex<HashMap<CounterKey, i64>>;
+
+/// [`CounterOracle`] over a cursor map: predict the current cursor value
+/// and advance it by the instance's delta.
+struct CursorOracle<'a> {
+    map: &'a mut HashMap<CounterKey, i64>,
+}
+
+impl CounterOracle for CursorOracle<'_> {
+    fn predict(&mut self, site: &CounterSite) -> Option<i64> {
+        let e = self
+            .map
+            .entry((site.obj.class.id, site.obj.index, site.field.0))
+            .or_insert(0);
+        let v = *e;
+        *e += site.delta;
+        Some(v)
     }
 }
 
@@ -195,6 +223,10 @@ pub(crate) fn run_waves(r: &BatchRun<'_>) -> WaveStats {
         drained: Condvar::new(),
     };
     let mut stats = WaveStats::default();
+    // Hot-counter cursors shared between the coordinator (prediction) and
+    // the workers (mispredict feedback), plus the global mispredict tally.
+    let counters: CounterCursors = Mutex::new(HashMap::new());
+    let mispredicted = AtomicU64::new(0);
 
     std::thread::scope(|s| {
         if let Some(plan) = &r.cfg.chaos {
@@ -209,7 +241,9 @@ pub(crate) fn run_waves(r: &BatchRun<'_>) -> WaveStats {
             let shared = &shared;
             let pool = &pool;
             let flat = &flat;
-            s.spawn(move || worker_loop(r, t, pool, shared, flat, exec));
+            let counters = &counters;
+            let mispredicted = &mispredicted;
+            s.spawn(move || worker_loop(r, t, pool, shared, flat, exec, counters, mispredicted));
         }
 
         // Coordinator: generate, schedule and admit waves until the
@@ -239,11 +273,42 @@ pub(crate) fn run_waves(r: &BatchRun<'_>) -> WaveStats {
             } else {
                 InexactPolicy::Order
             };
-            let accesses: Vec<_> = reqs
+            // Two-pass predicted resolution. Pass 1 resolves against a
+            // scratch copy of the counter cursors (arrival order) just to
+            // build the plan; pass 2 re-resolves in execution order —
+            // `(layer, arrival)`, the order conflicting clique members
+            // actually dispatch — against the real cursors, so the k-th
+            // same-counter transaction to *run* predicts the k-th counter
+            // value. The plan is reused across passes: permuting predicted
+            // values within a counter group preserves its conflict edges
+            // (same-counter instances already conflict on the exact,
+            // Param-indexed host object itself), and any residual
+            // discrepancy is just a mis-speculation the DTM validates and
+            // the executor repairs.
+            let mut scratch = counters.lock().clone();
+            let pass1: Vec<_> = reqs
                 .iter()
-                .map(|req| r.dms[req.template].access.resolve(&req.params))
+                .map(|req| {
+                    r.dms[req.template]
+                        .access
+                        .resolve_with(&req.params, &mut CursorOracle { map: &mut scratch })
+                })
                 .collect();
-            let wave = plan_wave_with(&accesses, policy);
+            let wave = plan_wave_with(&pass1, policy);
+            let mut order: Vec<usize> = (0..wave.n).collect();
+            order.sort_by_key(|&k| (wave.layer[k], k));
+            let mut accesses: Vec<Option<ResolvedAccess>> = (0..wave.n).map(|_| None).collect();
+            {
+                let mut cursors = counters.lock();
+                for &k in &order {
+                    accesses[k] = Some(
+                        r.dms[reqs[k].template]
+                            .access
+                            .resolve_with(&reqs[k].params, &mut CursorOracle { map: &mut cursors }),
+                    );
+                }
+            }
+            let accesses: Vec<ResolvedAccess> = accesses.into_iter().flatten().collect();
             stats.absorb(&wave);
             if let Some(tr) = wave_tracer.as_mut() {
                 tr.record_root(SpanKind::WaveSchedule, sched_start, wave.n as u16);
@@ -317,6 +382,8 @@ pub(crate) fn run_waves(r: &BatchRun<'_>) -> WaveStats {
         }
     });
 
+    stats.mispredicts = mispredicted.load(Ordering::Relaxed);
+
     // Every worker has exited: drain the pooled handles.
     for (t, mut client) in pool.into_clients().into_iter().enumerate() {
         if let Some(tracer) = client.take_tracer() {
@@ -340,6 +407,7 @@ pub(crate) fn run_waves(r: &BatchRun<'_>) -> WaveStats {
 
 /// One worker: pull ready jobs, execute them on the leased pool handle,
 /// then drain successors' indegrees.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     r: &BatchRun<'_>,
     t: usize,
@@ -347,6 +415,8 @@ fn worker_loop(
     shared: &Shared,
     flat: &[Arc<BlockSeq>],
     exec: ExecutorConfig,
+    counters: &CounterCursors,
+    mispredicted: &AtomicU64,
 ) {
     let engine = ExecutorEngine::with_config(r.cfg.retry, exec);
     let mut stats = ExecStats::default();
@@ -377,10 +447,29 @@ fn worker_loop(
             };
             idx.map(|i| {
                 q.started[i] = true;
-                (i, q.jobs[i].req.clone())
+                let acc = &q.access[i];
+                // Exact instances carry their full resolved access plan
+                // (`reads` includes updates) so the executor can fetch it
+                // in one speculative round instead of per-Block prefetch
+                // plus one round per Var-indexed open. Value-blind writes
+                // are carved out of the fetch set entirely: the executor
+                // opens them with no read round at all.
+                let sets = if acc.exact {
+                    let mut fetch = acc.reads.clone();
+                    fetch.retain(|o| acc.blind.binary_search(o).is_err());
+                    SpecSets {
+                        fetch,
+                        blind: acc.blind.clone(),
+                    }
+                } else {
+                    SpecSets::default()
+                };
+                (i, q.jobs[i].req.clone(), acc.predicted.clone(), sets)
             })
         };
-        let Some((idx, req)) = req else { break };
+        let Some((idx, req, preds, spec)) = req else {
+            break;
+        };
 
         let dm = &r.dms[req.template];
         let seq = match r.bc.spec {
@@ -400,15 +489,90 @@ fn worker_loop(
             if let Some(tr) = client.tracer_mut() {
                 tr.start_txn(req.template as u16);
             }
-            let res = engine.run_timed_observed(
-                &mut client,
-                &dm.program,
-                &req.params,
-                &seq,
-                &mut stats,
-                &mut hist,
-                observer.as_mut(),
-            );
+            let res = if preds.is_empty() && spec.fetch.is_empty() && spec.blind.is_empty() {
+                engine.run_timed_observed(
+                    &mut client,
+                    &dm.program,
+                    &req.params,
+                    &seq,
+                    &mut stats,
+                    &mut hist,
+                    observer.as_mut(),
+                )
+            } else {
+                let mut outcome = PredictionOutcome::default();
+                // Mispredict re-resolution: re-run the symbolic access
+                // resolution with observed counter values substituted for
+                // the failed predictions (latest observation per site
+                // wins, untouched sites keep their scheduled prediction),
+                // so the executor refetches the *corrected* access set in
+                // one batched round instead of paying one remote read per
+                // derived open that now misses the speculative cache.
+                let respec = |seen: &[(PredictedRead, i64)]| -> Option<SpecSets> {
+                    struct Observed<'a> {
+                        seen: &'a [(PredictedRead, i64)],
+                        preds: &'a [PredictedRead],
+                    }
+                    impl CounterOracle for Observed<'_> {
+                        fn predict(&mut self, site: &CounterSite) -> Option<i64> {
+                            let at =
+                                |p: &&PredictedRead| p.obj == site.obj && p.field == site.field;
+                            Some(
+                                self.seen
+                                    .iter()
+                                    .rev()
+                                    .find(|(p, _)| p.obj == site.obj && p.field == site.field)
+                                    .map(|(_, v)| *v)
+                                    .or_else(|| self.preds.iter().find(at).map(|p| p.value))
+                                    // A site no index depends on: its value
+                                    // cannot change the resolved sets.
+                                    .unwrap_or(0),
+                            )
+                        }
+                    }
+                    let r = dm.access.resolve_with(
+                        &req.params,
+                        &mut Observed {
+                            seen,
+                            preds: &preds,
+                        },
+                    );
+                    if !r.exact {
+                        return None;
+                    }
+                    let mut fetch = r.reads;
+                    fetch.retain(|o| r.blind.binary_search(o).is_err());
+                    Some(SpecSets {
+                        fetch,
+                        blind: r.blind,
+                    })
+                };
+                let res = engine.run_predicted(
+                    &mut client,
+                    &dm.program,
+                    &req.params,
+                    &seq,
+                    &preds,
+                    &spec.fetch,
+                    &spec.blind,
+                    Some(&respec),
+                    &mut stats,
+                    &mut hist,
+                    observer.as_mut(),
+                    &mut outcome,
+                );
+                if !outcome.mispredicts.is_empty() {
+                    mispredicted.fetch_add(outcome.mispredicts.len() as u64, Ordering::Relaxed);
+                    // Re-seed the coordinator's cursor from what the store
+                    // actually held, plus this instance's own advance —
+                    // the next wave predicts correctly again.
+                    let mut map = counters.lock();
+                    for (p, observed) in &outcome.mispredicts {
+                        map.insert((p.obj.class.id, p.obj.index, p.field.0), observed + p.delta);
+                    }
+                }
+                res
+            };
             if let Some(tr) = client.tracer_mut() {
                 tr.end_txn(res.is_ok());
             }

@@ -259,7 +259,9 @@ impl ScenarioResult {
                 .meta("batch_inexact_txns", b.inexact_txns)
                 .meta("batch_layers", b.layers)
                 .meta("batch_max_width", b.max_width)
-                .meta("batch_cross_edges", b.cross_edges);
+                .meta("batch_cross_edges", b.cross_edges)
+                .meta("batch_predicted_txns", b.predicted_txns)
+                .meta("batch_mispredicts", b.mispredicts);
         }
         reg.exec(acn_obs::ExecCounters {
             commits: self.total_commits(),
@@ -1004,6 +1006,63 @@ mod tests {
             r.total_partial_aborts(),
             0,
             "the Block-STM ablation arm runs flat sequences"
+        );
+    }
+
+    #[test]
+    fn neworder_batch_schedules_at_object_granularity() {
+        // The regression PR 6 shipped with: ORDER/NEW_ORDER/ORDER_LINE are
+        // `Var`-indexed, so without symbolic resolution every NewOrder
+        // instance was inexact and the class-level fallback serialized the
+        // waves (max_width 1). With the symbolic evaluator + counter
+        // predictor the whole mix must resolve predicted-exact — no
+        // `speculate_inexact` crutch needed.
+        let tpcc = crate::tpcc::Tpcc::new(
+            crate::tpcc::TpccConfig {
+                warehouses: 2,
+                districts_per_warehouse: 4,
+                customers_per_district: 20,
+                items: 40,
+                ol_min: 3,
+                ol_max: 6,
+            },
+            crate::tpcc::TpccMix::NEW_ORDER,
+        );
+        let mut cfg = tiny(SystemKind::QrCn);
+        cfg.batch = Some(BatchConfig {
+            wave: 24,
+            spec: SpecMode::Partial,
+            overlap: true,
+            speculate_inexact: false,
+        });
+        cfg.obs = Some(ObsConfig::default());
+        let r = run_scenario(&tpcc, &cfg);
+        assert!(r.total_commits() > 0);
+        let ws = r.batch.expect("wave stats present in batch mode");
+        assert_eq!(
+            ws.inexact_txns, 0,
+            "every NewOrder access set must resolve (predicted-)exact"
+        );
+        assert!(
+            ws.predicted_txns > 0,
+            "the hot-counter predictor must be in play, not just statics"
+        );
+        assert!(
+            ws.max_width > 1,
+            "different districts must share a layer (got width {})",
+            ws.max_width
+        );
+        // Predictions ride the same exactness contract as everything else.
+        let obs = r.obs.as_ref().expect("obs enabled");
+        assert_eq!(
+            obs.aborts.total_of(&acn_obs::AbortKind::EXECUTOR_KINDS),
+            r.total_full_aborts() + r.total_partial_aborts() + r.total_locked_aborts(),
+            "attribution must reconcile with the interval counters"
+        );
+        let report = r.metrics_report(&[]);
+        assert!(
+            report.meta.iter().any(|(k, _)| k == "batch_predicted_txns"),
+            "predictor counters exported in the report meta"
         );
     }
 

@@ -125,7 +125,11 @@ pub fn params(tpcc: &Tpcc, rng: &mut StdRng, k: usize) -> Vec<Value> {
     // Items are drawn without replacement: opening the same Stock row via
     // two different statements would alias the handles, and the static
     // dependency analysis (like the paper's Soot-based one) assumes
-    // distinct opens touch distinct objects when reordering blocks.
+    // distinct opens touch distinct objects when reordering blocks. The
+    // executor now enforces that assumption at run time — an aliased open
+    // aborts the attempt and re-runs it in flat program order — so drawing
+    // without replacement is a performance choice (keeps the degraded
+    // path cold), not a correctness requirement.
     let mut items: Vec<u64> = Vec::with_capacity(k);
     while items.len() < k {
         let it = rng.gen_range(0..cfg.items);

@@ -111,13 +111,23 @@ fn run_under_seed(workload: &dyn Workload, system: SystemKind, fault_seed: u64) 
 /// and abort attribution must reconcile exactly against the new `Spec*`
 /// kinds.
 fn run_batch_seed(workload: &dyn Workload, system: SystemKind, spec: SpecMode, fault_seed: u64) {
-    eprintln!("batch chaos seed {fault_seed} ({system}, {spec:?})");
+    run_batch_seed_with(workload, system, spec, false, fault_seed)
+}
+
+fn run_batch_seed_with(
+    workload: &dyn Workload,
+    system: SystemKind,
+    spec: SpecMode,
+    speculate_inexact: bool,
+    fault_seed: u64,
+) {
+    eprintln!("batch chaos seed {fault_seed} ({system}, {spec:?}, speculate={speculate_inexact})");
     let (mut cfg, history) = suite_config(system, fault_seed);
     cfg.batch = Some(BatchConfig {
         wave: 24,
         spec,
         overlap: true,
-        speculate_inexact: false,
+        speculate_inexact,
     });
     cfg.obs = Some(ObsConfig::default());
     let result = qr_acn::workloads::run_scenario(workload, &cfg);
@@ -192,6 +202,31 @@ fn tpcc_batch_history_is_serializable_under_every_seed() {
 fn bank_batch_full_restart_stays_serializable() {
     let bank = Bank::default();
     run_batch_seed(&bank, SystemKind::QrCn, SpecMode::FullRestart, SEEDS[1]);
+}
+
+/// The NEW_ORDER-only mix on the `speculate_inexact` arm: every instance
+/// carries predicted-exact access sets from the symbolic resolver and the
+/// hot-counter predictor, so wrong counter guesses surface dynamically as
+/// `spec_mispredict` aborts while fault injection scrambles the message
+/// schedule underneath. The history must stay clean and abort attribution
+/// must reconcile exactly — mispredictions get their own kind instead of
+/// being lumped into `SpecPartial` (DESIGN.md §14).
+#[test]
+fn tpcc_neworder_batch_speculative_attribution_stays_exact() {
+    let tpcc = Tpcc::new(
+        qr_acn::workloads::tpcc::TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 4,
+            customers_per_district: 20,
+            items: 40,
+            ol_min: 3,
+            ol_max: 6,
+        },
+        qr_acn::workloads::tpcc::TpccMix::NEW_ORDER,
+    );
+    for seed in seeds() {
+        run_batch_seed_with(&tpcc, SystemKind::QrCn, SpecMode::Partial, true, seed);
+    }
 }
 
 /// Run one workload under an **amnesia-crash** schedule: one server loses
