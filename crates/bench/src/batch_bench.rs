@@ -67,7 +67,7 @@ impl BenchScale {
 /// conflict graph still yields enough parallel width to keep the workers
 /// fed. A pool of four would serialize the graph itself (every pair of
 /// transfers conflicts) and measure nothing but the chain.
-fn saturated_bank() -> Bank {
+pub(crate) fn saturated_bank() -> Bank {
     Bank::new(BankConfig {
         hot_pool: 16,
         cold_pool: 2048,

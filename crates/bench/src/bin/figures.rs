@@ -7,6 +7,8 @@
 //! cargo run --release -p acn-bench --bin figures readpath   # batched-read ablation
 //! cargo run --release -p acn-bench --bin figures batch      # batch-ingest before/after
 //! cargo run --release -p acn-bench --bin figures batch --smoke --out dir/  # CI scale
+//! cargo run --release -p acn-bench --bin figures wal        # durability-mode ablation
+//! cargo run --release -p acn-bench --bin figures wal --smoke --out dir/    # CI scale
 //! cargo run --release -p acn-bench --bin figures fig4f --trace out/  # span trace
 //! ```
 
@@ -96,6 +98,44 @@ fn main() {
                 "batch mode must beat the closed loop by >=1.3x on the saturated Bank \
                  (got {:.2}x)",
                 bank.speedup_vs_seed()
+            );
+        }
+        return;
+    }
+
+    if args.first().map(String::as_str) == Some("wal") {
+        use acn_bench::batch_bench::BenchScale;
+        use acn_bench::wal_bench::run_wal_bench;
+        let scale = if args.iter().any(|a| a == "--smoke") {
+            BenchScale::smoke()
+        } else {
+            BenchScale::full()
+        };
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        let bench = run_wal_bench(&scale, &out).expect("wal bench failed");
+        eprintln!("wrote {}", out.join("BENCH_wal.json").display());
+        // The CI smoke leg only checks the pipeline end to end; the
+        // retention floor is asserted at full scale. Group commit must
+        // keep >=80% of Buffered's throughput while every ack it releases
+        // carries EveryRecord-level durability — below that, batching is
+        // not paying for the deferral and the knob needs retuning.
+        if !args.iter().any(|a| a == "--smoke") {
+            assert!(
+                bench.group_commit_over_buffered() >= 0.8,
+                "group commit must retain >=80% of Buffered throughput (got {:.1}%)",
+                bench.group_commit_over_buffered() * 100.0
+            );
+            assert!(
+                bench.group_commit.records_per_sync() > bench.every_record.records_per_sync(),
+                "group commit must amortize more records per fsync than EveryRecord \
+                 ({:.2} vs {:.2})",
+                bench.group_commit.records_per_sync(),
+                bench.every_record.records_per_sync()
             );
         }
         return;

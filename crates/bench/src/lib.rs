@@ -9,3 +9,4 @@
 
 pub mod batch_bench;
 pub mod figures;
+pub mod wal_bench;

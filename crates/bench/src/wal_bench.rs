@@ -1,0 +1,267 @@
+//! The WAL durability ablation: `BENCH_wal.json` — EveryRecord vs
+//! GroupCommit vs Buffered on the saturated Bank, with real file-backed
+//! logs so every sync pays an actual `fsync`.
+//!
+//! The three arms span the honesty spectrum. `EveryRecord` syncs before
+//! every 2PC ack — the fully honest baseline, one fsync per record.
+//! `Buffered` acks immediately and syncs only at shutdown — the fastest
+//! and the least honest: a crash loses every ack since the last sync.
+//! `GroupCommit` is the claim under test: acks still wait for the fsync
+//! that covers them (EveryRecord-level durability for everything the
+//! client was told committed), but one fsync amortizes over every record
+//! that accumulated while the previous one ran. The recorded headline is
+//! the `group_commit_over_buffered` ratio — how much of Buffered's
+//! throughput group commit retains while giving up none of its honesty.
+//!
+//! What that ratio comes out to is a property of the deployment point,
+//! not of the code alone: honesty costs roughly one fsync per 2PC round
+//! on the critical path, so the visible overhead is the fsync:RTT ratio.
+//! The bench pins a representative point — four servers per host disk
+//! and a same-region cross-AZ network (0.4–1.2 ms RTT) — and records it
+//! in the JSON. On an intra-rack 100 µs fabric with ten logs sharing one
+//! spindle the same code measures mostly the host's flush queue; that
+//! configuration is a storage-bound stress test, not this ablation.
+
+use crate::batch_bench::{saturated_bank, summarize, ArmSummary, BenchScale};
+use acn_core::RetryPolicy;
+use acn_dtm::{ClusterConfig, DurabilityMode, PersistenceMode};
+use acn_simnet::LatencyModel;
+use acn_workloads::{run_scenario, ScenarioConfig, SystemKind};
+use std::path::Path;
+use std::time::Duration;
+
+/// One durability arm: the scenario summary plus the WAL sync counters
+/// that show *why* the throughput moved.
+#[derive(Debug, Clone)]
+pub struct WalArm {
+    /// Arm key in the JSON (`every_record`, `group_commit`, `buffered`).
+    pub key: &'static str,
+    /// Throughput / latency / abort summary of the run.
+    pub summary: ArmSummary,
+    /// Syncs that flushed at least one record, summed over all servers.
+    pub wal_sync_batches: u64,
+    /// Records those syncs covered.
+    pub wal_records_synced: u64,
+}
+
+impl WalArm {
+    /// Mean records amortized per fsync (1.0 for EveryRecord by
+    /// construction; the batching win group commit is named after).
+    pub fn records_per_sync(&self) -> f64 {
+        self.wal_records_synced as f64 / self.wal_sync_batches.max(1) as f64
+    }
+}
+
+/// All three arms of the ablation.
+#[derive(Debug, Clone)]
+pub struct WalBench {
+    /// Sync before every ack.
+    pub every_record: WalArm,
+    /// Batched syncs, acks still deferred until covered.
+    pub group_commit: WalArm,
+    /// Immediate acks, sync at shutdown only.
+    pub buffered: WalArm,
+}
+
+impl WalBench {
+    /// Group-commit throughput as a fraction of Buffered's — the share of
+    /// the dishonest arm's speed retained at full ack honesty.
+    pub fn group_commit_over_buffered(&self) -> f64 {
+        self.group_commit.summary.commits_per_sec / self.buffered.summary.commits_per_sec.max(1e-9)
+    }
+
+    /// Group-commit throughput over the per-record-fsync baseline.
+    pub fn group_commit_over_every_record(&self) -> f64 {
+        self.group_commit.summary.commits_per_sec
+            / self.every_record.summary.commits_per_sec.max(1e-9)
+    }
+}
+
+/// The recorded group-commit shape: a batch closes at 32 records or 1 ms,
+/// whichever lands first — small enough that ack latency stays bounded by
+/// the RPC timeout, large enough to amortize under saturation.
+pub fn group_commit_mode() -> DurabilityMode {
+    DurabilityMode::GroupCommit {
+        max_records: 32,
+        max_delay: Duration::from_millis(1),
+    }
+}
+
+fn wal_scenario(scale: &BenchScale, mode: DurabilityMode, wal_dir: &Path) -> ScenarioConfig {
+    let mut cluster = ClusterConfig::paper(scale.threads);
+    // Four servers, not the ten-node paper shape: every server's WAL
+    // lands on this host's single disk, and ten colocated logs saturate
+    // the device's flush queue — the bench would measure the host's
+    // fsync capacity, not the durability discipline. A real deployment
+    // gives each server its own device; four logs per disk keeps the
+    // per-sync cost representative. The shape is identical across all
+    // three arms, so the ablation stays a fair comparison.
+    cluster.servers = 4;
+    // Same-region cross-AZ RTT (0.4–1.2 ms), the deployment the paper's
+    // durability story targets. The fsyncs this bench pays are real, so
+    // the network model has to be the matching half of the deployment
+    // point: against an intra-rack 100 µs fabric the ablation would
+    // measure this host's flush latency and nothing else.
+    cluster.latency = LatencyModel::Uniform {
+        min: Duration::from_micros(400),
+        max: Duration::from_micros(1200),
+    };
+    cluster.window.window = Duration::from_millis(150);
+    cluster.persistence = PersistenceMode::File(wal_dir.to_path_buf());
+    cluster.durability = mode;
+    let mut cfg = ScenarioConfig::scaled(SystemKind::QrCn, scale.threads);
+    cfg.cluster = cluster;
+    cfg.intervals = scale.intervals;
+    cfg.interval = scale.interval;
+    cfg.retry = RetryPolicy::default();
+    cfg.obs = crate::figures::obs_from_env();
+    cfg
+}
+
+fn run_arm(key: &'static str, scale: &BenchScale, mode: DurabilityMode) -> WalArm {
+    eprintln!("  wal: {key} …");
+    // Fresh per-arm log directory: a stale log from a previous run would
+    // replay into the new cluster and skew the seeded state.
+    let wal_dir = std::env::temp_dir().join(format!("acn-wal-bench-{key}"));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let result = run_scenario(&saturated_bank(), &wal_scenario(scale, mode, &wal_dir));
+    let arm = WalArm {
+        key,
+        summary: summarize(key, &result),
+        wal_sync_batches: result.recovery.wal_sync_batches,
+        wal_records_synced: result.recovery.wal_records_synced,
+    };
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    arm
+}
+
+fn json_arm(a: &WalArm, indent: &str) -> String {
+    let aborts: Vec<String> = a
+        .summary
+        .aborts
+        .iter()
+        .map(|(k, n)| format!("\"{k}\": {n}"))
+        .collect();
+    format!(
+        "{indent}\"commits_per_sec\": {:.1},\n\
+         {indent}\"p99_ms\": {:.3},\n\
+         {indent}\"p99_source\": \"{}\",\n\
+         {indent}\"commits\": {},\n\
+         {indent}\"wal_sync_batches\": {},\n\
+         {indent}\"wal_records_synced\": {},\n\
+         {indent}\"records_per_sync\": {:.2},\n\
+         {indent}\"aborts\": {{{}}}",
+        a.summary.commits_per_sec,
+        a.summary.p99_ms,
+        a.summary.p99_source,
+        a.summary.commits,
+        a.wal_sync_batches,
+        a.wal_records_synced,
+        a.records_per_sync(),
+        aborts.join(", ")
+    )
+}
+
+/// Render `BENCH_wal.json`.
+pub fn render_wal_json(b: &WalBench, scale: &BenchScale) -> String {
+    let mut out = String::from("{\n  \"bench\": \"wal\",\n  \"workload\": \"bank_saturated\",\n");
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"intervals\": {},\n  \"interval_ms\": {},\n",
+        scale.threads,
+        scale.intervals,
+        scale.interval.as_millis()
+    ));
+    out.push_str("  \"servers\": 4,\n  \"rtt_us\": { \"min\": 400, \"max\": 1200 },\n");
+    out.push_str("  \"group_commit_shape\": { \"max_records\": 32, \"max_delay_ms\": 1 },\n");
+    out.push_str("  \"arms\": {\n");
+    let entries: Vec<String> = [&b.every_record, &b.group_commit, &b.buffered]
+        .iter()
+        .map(|a| format!("    \"{}\": {{\n{}\n    }}", a.key, json_arm(a, "      ")))
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str(&format!(
+        "\n  }},\n  \"group_commit_over_buffered\": {:.3},\n  \
+         \"group_commit_over_every_record\": {:.3}\n}}\n",
+        b.group_commit_over_buffered(),
+        b.group_commit_over_every_record()
+    ));
+    out
+}
+
+/// Run all three arms and write `BENCH_wal.json` into `dir`.
+pub fn run_wal_bench(scale: &BenchScale, dir: &Path) -> std::io::Result<WalBench> {
+    std::fs::create_dir_all(dir)?;
+    let bench = WalBench {
+        every_record: run_arm("every_record", scale, DurabilityMode::EveryRecord),
+        group_commit: run_arm("group_commit", scale, group_commit_mode()),
+        buffered: run_arm("buffered", scale, DurabilityMode::Buffered),
+    };
+    std::fs::write(dir.join("BENCH_wal.json"), render_wal_json(&bench, scale))?;
+    for a in [&bench.every_record, &bench.group_commit, &bench.buffered] {
+        println!(
+            "{:>13}: {:>7.1}/s | p99 {:>6.1}ms [{}] | {:>6} syncs over {:>7} records \
+             ({:.2} records/sync)",
+            a.key,
+            a.summary.commits_per_sec,
+            a.summary.p99_ms,
+            a.summary.p99_source,
+            a.wal_sync_batches,
+            a.wal_records_synced,
+            a.records_per_sync(),
+        );
+    }
+    println!(
+        "group commit retains {:.0}% of Buffered throughput ({:.2}x over EveryRecord)",
+        bench.group_commit_over_buffered() * 100.0,
+        bench.group_commit_over_every_record()
+    );
+    Ok(bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_json_rendering_is_well_formed() {
+        let arm = |key, cps, batches, records| WalArm {
+            key,
+            summary: ArmSummary {
+                label: key,
+                commits_per_sec: cps,
+                p99_ms: 3.1,
+                p99_source: "histogram",
+                commits: 500,
+                aborts: vec![("full", 7)],
+                waves: None,
+            },
+            wal_sync_batches: batches,
+            wal_records_synced: records,
+        };
+        let b = WalBench {
+            every_record: arm("every_record", 800.0, 4000, 4000),
+            group_commit: arm("group_commit", 1900.0, 900, 4100),
+            buffered: arm("buffered", 2000.0, 10, 4200),
+        };
+        assert!((b.group_commit_over_buffered() - 0.95).abs() < 1e-9);
+        assert!((b.every_record.records_per_sync() - 1.0).abs() < 1e-9);
+        let text = render_wal_json(&b, &BenchScale::smoke());
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "balanced braces in:\n{text}"
+        );
+        for needle in [
+            "\"bench\": \"wal\"",
+            "\"rtt_us\": { \"min\": 400, \"max\": 1200 }",
+            "\"every_record\"",
+            "\"group_commit\"",
+            "\"buffered\"",
+            "\"group_commit_over_buffered\": 0.950",
+            "\"records_per_sync\": 4.56",
+            "\"wal_sync_batches\": 900",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1190,6 +1190,7 @@ impl ExecutorEngine {
                 invalid,
                 locked,
                 syncing,
+                wal_refused,
             }) => {
                 // A blind open can surface here too: prepare found the
                 // presumed-absent object already written.
@@ -1200,10 +1201,14 @@ impl ExecutorEngine {
                 // A conflict that names no stale and no locked object and
                 // was flagged `syncing` is pure recovery back-pressure — a
                 // replica refused to vote while catching up after a
-                // crash-with-amnesia. Attribute it separately so chaos runs
-                // can tell recovery stalls from data contention.
+                // crash-with-amnesia. Same shape flagged `wal_refused` is
+                // storage back-pressure: a replica's WAL could not make the
+                // grant durable. Attribute both separately so chaos runs
+                // can tell recovery/storage stalls from data contention.
                 let kind = if syncing && invalid.is_empty() && locked.is_empty() {
                     AbortKind::SyncRefused
+                } else if wal_refused && invalid.is_empty() && locked.is_empty() {
+                    AbortKind::WalRefused
                 } else if self.config.speculation {
                     AbortKind::SpecFull
                 } else {

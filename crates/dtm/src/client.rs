@@ -792,12 +792,14 @@ impl DtmClient {
         let mut invalid: Vec<ObjectId> = Vec::new();
         let mut locked: Vec<ObjectId> = Vec::new();
         let mut sync_refused = false;
+        let mut wal_refused = false;
         for r in &resps {
             if let Msg::PrepareResp {
                 vote,
                 invalid: inv,
                 locked: lock,
                 syncing,
+                wal_refused: walr,
                 ..
             } = r
             {
@@ -807,6 +809,9 @@ impl DtmClient {
                 if *syncing {
                     sync_refused = true;
                     self.stats.sync_refusals_seen += 1;
+                }
+                if *walr {
+                    wal_refused = true;
                 }
                 invalid.extend(inv.iter().copied());
                 locked.extend(lock.iter().copied());
@@ -821,6 +826,7 @@ impl DtmClient {
                 invalid,
                 locked,
                 syncing: sync_refused,
+                wal_refused,
             }
         };
         if writes.is_empty() {
@@ -833,6 +839,7 @@ impl DtmClient {
                         reads: validate.to_vec(),
                         writes: Vec::new(),
                     });
+                    h.record_ack(txn);
                 }
                 Ok(())
             } else {
@@ -869,6 +876,15 @@ impl DtmClient {
             req,
             writes: commit_writes.clone(),
         })?;
+        // Only now — with a CommitAck from the full write quorum in hand —
+        // is the commit *acknowledged*: under ack-after-durable servers
+        // held those acks until the covering WAL records were synced, so
+        // everything recorded here must survive any later crash-restart.
+        // (The history record above is different: it marks the decision,
+        // which servers may apply even when every ack is lost.)
+        if let Some(h) = &self.history {
+            h.record_ack(txn);
+        }
         self.stats.commits += 1;
         Ok(())
     }

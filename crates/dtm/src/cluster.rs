@@ -3,8 +3,8 @@
 use crate::client::{ClientConfig, DtmClient};
 use crate::contention::WindowConfig;
 use crate::messages::Msg;
-use crate::server::{Server, ServerStats, SyncConfig};
-use crate::wal::{FileLog, MemLog, Persistence};
+use crate::server::{Server, ServerStats, SyncConfig, DEFAULT_PREPARED_TTL};
+use crate::wal::{DurabilityMode, FaultLog, FaultLogConfig, FileLog, MemLog, Persistence};
 use acn_obs::SpanCollector;
 use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
 use acn_simnet::{FaultPlan, LatencyModel, Network, NodeId};
@@ -59,6 +59,13 @@ pub struct ClusterConfig {
     /// Durable-log backend per server (write-ahead decision log replayed
     /// on crash-restart).
     pub persistence: PersistenceMode,
+    /// When servers release 2PC acks relative to the WAL (default:
+    /// [`DurabilityMode::EveryRecord`] — sync before every ack).
+    pub durability: DurabilityMode,
+    /// Storage fault injection: when set, every server's WAL backend is
+    /// wrapped in a [`FaultLog`] with this configuration (the seed is
+    /// decorrelated per rank so replicas don't fail in lockstep).
+    pub wal_faults: Option<FaultLogConfig>,
 }
 
 impl ClusterConfig {
@@ -73,9 +80,11 @@ impl ClusterConfig {
             latency: LatencyModel::Zero,
             window: WindowConfig::default(),
             client_cfg: ClientConfig::default(),
-            prepared_ttl: Duration::from_secs(30),
+            prepared_ttl: DEFAULT_PREPARED_TTL,
             spans: None,
             persistence: PersistenceMode::default(),
+            durability: DurabilityMode::default(),
+            wal_faults: None,
         }
     }
 
@@ -89,9 +98,11 @@ impl ClusterConfig {
             latency: LatencyModel::lan(),
             window: WindowConfig::default(),
             client_cfg: ClientConfig::default(),
-            prepared_ttl: Duration::from_secs(30),
+            prepared_ttl: DEFAULT_PREPARED_TTL,
             spans: None,
             persistence: PersistenceMode::default(),
+            durability: DurabilityMode::default(),
+            wal_faults: None,
         }
     }
 }
@@ -134,7 +145,19 @@ impl Cluster {
                         )
                     }
                 };
+                let wal: Box<dyn Persistence> = match &cfg.wal_faults {
+                    Some(faults) => {
+                        let mut faults = faults.clone();
+                        // Decorrelate the per-replica fault streams: the
+                        // same base seed must not make every server's disk
+                        // fail on the same operation index.
+                        faults.seed ^= (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        Box::new(FaultLog::new(wal, faults))
+                    }
+                    None => wal,
+                };
                 server.set_persistence(wal);
+                server.set_durability(cfg.durability.clone());
                 std::thread::Builder::new()
                     .name(format!("qr-server-{rank}"))
                     .spawn(move || server.run(endpoint))

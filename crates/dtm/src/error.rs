@@ -38,6 +38,11 @@ pub enum DtmError {
         /// recovery back-pressure, not data contention — the abort
         /// attribution layer classifies it separately.
         syncing: bool,
+        /// True when at least one quorum member refused to vote because
+        /// its WAL could not make the grant durable. Like `syncing`,
+        /// transient storage back-pressure classified separately by the
+        /// abort attribution layer.
+        wal_refused: bool,
     },
     /// A read kept hitting `protected` objects and gave up after the
     /// configured number of retries.
@@ -57,10 +62,12 @@ impl fmt::Display for DtmError {
                 invalid,
                 locked,
                 syncing,
+                wal_refused,
             } => {
                 write!(
                     f,
-                    "commit conflict (stale: {invalid:?}, locked: {locked:?}, syncing: {syncing})"
+                    "commit conflict (stale: {invalid:?}, locked: {locked:?}, syncing: \
+                     {syncing}, wal_refused: {wal_refused})"
                 )
             }
             DtmError::LockedOut { obj } => write!(f, "read locked out on {obj}"),

@@ -24,7 +24,7 @@
 use crate::messages::{TxnId, ValidateEntry, Version};
 use acn_txir::ObjectId;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One committed transaction's externally visible footprint.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +41,11 @@ pub struct CommitRecord {
 #[derive(Default)]
 pub struct HistoryLog {
     records: Mutex<Vec<CommitRecord>>,
+    /// Transactions whose commit was *acknowledged* to the issuing client
+    /// (phase 2 gathered from the full write quorum). Stricter than
+    /// `records`: a record marks the decision, an ack marks the promise —
+    /// the durability checker holds servers to the promise.
+    acked: Mutex<HashSet<TxnId>>,
 }
 
 impl HistoryLog {
@@ -67,6 +72,19 @@ impl HistoryLog {
     /// Copy of the records so far.
     pub fn snapshot(&self) -> Vec<CommitRecord> {
         self.records.lock().clone()
+    }
+
+    /// Mark a transaction's commit as acknowledged to its client. Under
+    /// ack-after-durable servers only release the ack once the covering
+    /// WAL records are synced, so everything marked here must survive any
+    /// later crash-restart — [`check_durability`] verifies exactly that.
+    pub fn record_ack(&self, txn: TxnId) {
+        self.acked.lock().insert(txn);
+    }
+
+    /// Copy of the acknowledged-transaction set so far.
+    pub fn acked_snapshot(&self) -> HashSet<TxnId> {
+        self.acked.lock().clone()
     }
 
     /// Run the invariant checker over the current records.
@@ -118,6 +136,27 @@ pub enum Violation {
         /// The transactions on the detected cycle, in graph order.
         txns: Vec<TxnId>,
     },
+    /// A commit acknowledged to a client did not survive: no replica
+    /// retained the written object at (or above) the acked version. The
+    /// durability promise — ack only after the covering WAL records are
+    /// synced — was broken.
+    LostAck {
+        /// The acked-but-lost transaction.
+        txn: TxnId,
+        /// The object whose write vanished.
+        obj: ObjectId,
+        /// The version the ack promised.
+        version: Version,
+    },
+    /// A replica retained an (object, version) no committed transaction
+    /// wrote — a torn or partial replay leaked phantom state past the
+    /// WAL's checksum/truncation discipline.
+    TornReplay {
+        /// The phantom object.
+        obj: ObjectId,
+        /// The version no committed transaction produced.
+        version: Version,
+    },
 }
 
 /// What a passing check covered.
@@ -131,6 +170,95 @@ pub struct HistorySummary {
     pub max_version: Version,
     /// Dependency edges in the serialization graph.
     pub edges: usize,
+}
+
+/// What a passing durability check covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilitySummary {
+    /// Acknowledged commits whose writes were verified present.
+    pub acked_commits: usize,
+    /// Replica inventories compared against.
+    pub replicas: usize,
+    /// Distinct objects any replica retained.
+    pub objects_covered: usize,
+}
+
+/// The lost-ack checker: cross-examine the committed history against the
+/// object-version inventories the replicas actually hold (typically taken
+/// after crash-restart recovery, when [`crate::FaultLogConfig`] has been
+/// dropping unsynced WAL suffixes).
+///
+/// Two invariants, the two halves of the durability contract:
+///
+/// 1. **No lost acks** — every write of every *acknowledged* transaction
+///    must be retained by at least one replica at (or above) the acked
+///    version. The ack required phase-2 responses from the full write
+///    quorum, each held back until the covering WAL records were synced;
+///    versions only move forward, so the maximum over replicas dominating
+///    the acked version is exactly "the write survived". Un-acked commits
+///    are exempt: the client never got the promise, losing them is
+///    allowed (their decision-point records still feed invariant 2).
+/// 2. **No torn replay** — a replica must never retain an (object,
+///    version) that no committed transaction wrote: a half-replayed or
+///    corrupt frame surviving into the store would show up as exactly
+///    such phantom state.
+pub fn check_durability(
+    records: &[CommitRecord],
+    acked: &HashSet<TxnId>,
+    inventories: &[Vec<(ObjectId, Version)>],
+) -> Result<DurabilitySummary, Vec<Violation>> {
+    let mut violations = Vec::new();
+
+    // Best surviving version per object across every replica.
+    let mut best: HashMap<ObjectId, Version> = HashMap::new();
+    for inv in inventories {
+        for &(obj, v) in inv {
+            let e = best.entry(obj).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+
+    // Invariant 1: acked writes survived somewhere.
+    for rec in records {
+        if !acked.contains(&rec.txn) {
+            continue;
+        }
+        for &(obj, version) in &rec.writes {
+            if best.get(&obj).copied().unwrap_or(0) < version {
+                violations.push(Violation::LostAck {
+                    txn: rec.txn,
+                    obj,
+                    version,
+                });
+            }
+        }
+    }
+
+    // Invariant 2: everything retained was committed by someone. All
+    // committed writes legitimize replica state here, acked or not — a
+    // decided commit may survive without its ack ever reaching the client.
+    let written: HashSet<(ObjectId, Version)> = records
+        .iter()
+        .flat_map(|r| r.writes.iter().copied())
+        .collect();
+    let mut reported: HashSet<(ObjectId, Version)> = HashSet::new();
+    for inv in inventories {
+        for &(obj, version) in inv {
+            if version > 0 && !written.contains(&(obj, version)) && reported.insert((obj, version))
+            {
+                violations.push(Violation::TornReplay { obj, version });
+            }
+        }
+    }
+
+    if !violations.is_empty() {
+        return Err(violations);
+    }
+    Ok(DurabilitySummary {
+        acked_commits: records.iter().filter(|r| acked.contains(&r.txn)).count(),
+        replicas: inventories.len(),
+        objects_covered: best.len(),
+    })
 }
 
 /// Check a history for the invariants described at module level. Returns
@@ -420,6 +548,63 @@ mod tests {
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::Cycle { txns } if txns.len() == 2)));
+    }
+
+    #[test]
+    fn durability_clean_when_acked_writes_survive() {
+        let h = vec![
+            rec(txn(9, 0), &[(1, 0)], &[(1, 1)]),
+            rec(txn(9, 1), &[(1, 1)], &[(1, 2)]),
+        ];
+        let acked: HashSet<TxnId> = [txn(9, 0), txn(9, 1)].into_iter().collect();
+        // One replica caught up, one stale — the max over replicas covers.
+        let inventories = vec![vec![(obj(1), 2)], vec![(obj(1), 1)]];
+        let s = check_durability(&h, &acked, &inventories).expect("clean");
+        assert_eq!(s.acked_commits, 2);
+        assert_eq!(s.replicas, 2);
+        assert_eq!(s.objects_covered, 1);
+    }
+
+    #[test]
+    fn durability_unacked_commits_may_be_lost() {
+        // The decision was recorded but no ack ever reached the client:
+        // every replica losing the write is within contract.
+        let h = vec![rec(txn(9, 0), &[(1, 0)], &[(1, 1)])];
+        let acked = HashSet::new();
+        let inventories = vec![vec![], vec![]];
+        assert!(check_durability(&h, &acked, &inventories).is_ok());
+    }
+
+    #[test]
+    fn durability_lost_ack_flagged() {
+        let h = vec![rec(txn(9, 0), &[(1, 0)], &[(1, 1)])];
+        let acked: HashSet<TxnId> = [txn(9, 0)].into_iter().collect();
+        let inventories = vec![vec![], vec![(obj(1), 0)]];
+        let v = check_durability(&h, &acked, &inventories).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::LostAck { version: 1, .. })));
+    }
+
+    #[test]
+    fn durability_torn_replay_flagged() {
+        // A replica holds a:3 but no committed transaction wrote it.
+        let h = vec![rec(txn(9, 0), &[(1, 0)], &[(1, 1)])];
+        let acked: HashSet<TxnId> = [txn(9, 0)].into_iter().collect();
+        let inventories = vec![vec![(obj(1), 1)], vec![(obj(1), 3)]];
+        let v = check_durability(&h, &acked, &inventories).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::TornReplay { version: 3, .. })));
+    }
+
+    #[test]
+    fn log_tracks_acks_separately_from_records() {
+        let log = HistoryLog::new();
+        log.record(rec(txn(9, 0), &[(1, 0)], &[(1, 1)]));
+        assert!(log.acked_snapshot().is_empty(), "decision is not the ack");
+        log.record_ack(txn(9, 0));
+        assert!(log.acked_snapshot().contains(&txn(9, 0)));
     }
 
     #[test]

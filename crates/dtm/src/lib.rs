@@ -47,12 +47,15 @@ pub use cluster::{Cluster, ClusterConfig, PersistenceMode};
 pub use contention::{ContentionWindow, WindowConfig};
 pub use context::{ChildCtx, SpecCache, TxnCtx};
 pub use error::{AbortScope, DtmError};
-pub use history::{check_history, CommitRecord, HistoryLog, HistorySummary, Violation};
+pub use history::{
+    check_durability, check_history, CommitRecord, DurabilitySummary, HistoryLog, HistorySummary,
+    Violation,
+};
 pub use messages::{kind as msg_kind, BatchRead, Msg, ReqId, TxnId, ValidateEntry, Version};
 pub use pool::ClientPool;
-pub use server::{Server, ServerStats, SyncConfig};
+pub use server::{Server, ServerStats, SyncConfig, DEFAULT_PREPARED_TTL};
 pub use store::{ClassDigest, Store, StoreDigest, VersionedObject};
 pub use wal::{
-    checksum, decode_stream, replay, FileLog, LoadedLog, MemLog, Persistence, ReplayState,
-    WalRecord, FRAME_HDR,
+    checksum, decode_stream, replay, DurabilityMode, FaultLog, FaultLogConfig, FileLog, LoadedLog,
+    MemLog, Persistence, ReplayState, WalError, WalRecord, FRAME_HDR,
 };

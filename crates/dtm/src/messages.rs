@@ -149,6 +149,12 @@ pub enum Msg {
         /// `invalid`/`locked`; the client must not blame an object and
         /// should retry against a fresh quorum.
         syncing: bool,
+        /// The replica refused to vote because its WAL is failing: the
+        /// grant could not be made durable, so granting it would risk an
+        /// unreplayable decision. Like `syncing`, always a no-vote with
+        /// empty `invalid`/`locked` and attributed separately (storage
+        /// back-pressure, not data contention).
+        wal_refused: bool,
     },
     /// Phase 2, commit: apply buffered writes, bump versions, count writes
     /// into the contention window, release locks.
@@ -404,7 +410,7 @@ impl Msg {
             } => HDR + VE * (validate.len() + writes.len()) as u64,
             Msg::PrepareResp {
                 invalid, locked, ..
-            } => HDR + 2 + OID * (invalid.len() as u64 + u64::from(locked.is_some())),
+            } => HDR + 3 + OID * (invalid.len() as u64 + u64::from(locked.is_some())),
             Msg::CommitReq { writes, .. }
             | Msg::SyncResp {
                 entries: writes, ..

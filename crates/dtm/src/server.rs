@@ -1,9 +1,9 @@
 //! The quorum server: request handling and the service loop.
 
 use crate::contention::{ContentionWindow, WindowConfig};
-use crate::messages::{Msg, ReqId, TxnId};
+use crate::messages::{Msg, ReqId, TxnId, Version};
 use crate::store::{Store, StoreDigest};
-use crate::wal::{replay, Persistence, WalRecord};
+use crate::wal::{replay, DurabilityMode, Persistence, WalRecord};
 use acn_obs::{RawSpan, SpanCollector, SpanKind, FLAG_ROLLED_BACK};
 use acn_quorum::LevelQuorums;
 use acn_simnet::{Endpoint, NodeId, RecvError};
@@ -61,6 +61,21 @@ pub struct ServerStats {
     /// (the work a recovery cost — it must scale with the outage, not
     /// with the store).
     pub delta_objects_fetched: u64,
+    /// WAL append/sync failures surfaced by the persistence backend
+    /// (previously `FileLog` swallowed these silently).
+    pub wal_io_errors: u64,
+    /// Prepare votes refused because the WAL could not make the grant
+    /// durable (degraded mode while the backend keeps erroring).
+    pub wal_vote_refusals: u64,
+    /// Successful WAL syncs that made at least one new record durable.
+    pub wal_sync_batches: u64,
+    /// Records made durable across those batches; divided by
+    /// `wal_sync_batches` this is the group-commit batching factor.
+    pub wal_records_synced: u64,
+    /// Object versions this replica holds when the stats are taken,
+    /// sorted by object id. The lost-ack checker compares these against
+    /// the set of commits acknowledged to clients.
+    pub inventory: Vec<(ObjectId, Version)>,
     /// Per-class store fingerprint, filled when the stats are taken — the
     /// cheap divergence check between replicas.
     pub digest: StoreDigest,
@@ -137,6 +152,21 @@ pub struct Server {
     /// Durable decision log (`None` = no persistence: a restart degrades
     /// to amnesia-style full catch-up).
     wal: Option<Box<dyn Persistence>>,
+    /// When 2PC acks may be released relative to the log — see
+    /// [`DurabilityMode`]. Ignored without a WAL.
+    durability: DurabilityMode,
+    /// Records appended to the WAL since startup (monotonic watermark).
+    wal_appended: u64,
+    /// High-water mark of `wal_appended` covered by a successful sync.
+    wal_durable: u64,
+    /// True from an append/sync error until a sync succeeds. While set,
+    /// new prepares are refused with `wal_refused` — the server degrades
+    /// to back-pressure instead of handing out grants the log cannot
+    /// make durable (or panicking).
+    wal_failed: bool,
+    /// When the oldest not-yet-durable record was appended — drives the
+    /// group-commit `max_delay` deadline.
+    wal_first_dirty_at: Option<Instant>,
     /// True while the current catch-up round should fetch only the delta
     /// (set by a restart replay, cleared by amnesia and by completion):
     /// probes carry the replica's known versions so peers answer with
@@ -170,7 +200,8 @@ const DEDUP_CAPACITY: usize = 8192;
 /// [`crate::ClientConfig`]): reclaiming a *live* client's locks would let
 /// another transaction commit in between, and version monotonicity would
 /// then silently discard the first client's phase-2 writes on this replica.
-const DEFAULT_PREPARED_TTL: Duration = Duration::from_secs(30);
+/// Shared with [`crate::ClusterConfig`] so the two defaults cannot drift.
+pub const DEFAULT_PREPARED_TTL: Duration = Duration::from_secs(30);
 
 impl Server {
     /// A fresh replica with an empty store.
@@ -192,6 +223,11 @@ impl Server {
             amnesia_seen: 0,
             restart_seen: 0,
             wal: None,
+            durability: DurabilityMode::default(),
+            wal_appended: 0,
+            wal_durable: 0,
+            wal_failed: false,
+            wal_first_dirty_at: None,
             delta_sync: false,
             last_sweep: Instant::now(),
             spans: None,
@@ -203,6 +239,116 @@ impl Server {
     /// bump); [`Server::recover_from_restart`] replays it.
     pub fn set_persistence(&mut self, wal: Box<dyn Persistence>) {
         self.wal = Some(wal);
+    }
+
+    /// Choose when 2PC acks are released relative to the log. With
+    /// `EveryRecord` (the default) and `GroupCommit`, the service loop
+    /// holds `PrepareResp`/`CommitAck`/`AbortAck` replies until a sync
+    /// covers the records they depend on; `Buffered` acks immediately
+    /// and never syncs (the pre-durability behaviour, kept for ablation).
+    pub fn set_durability(&mut self, mode: DurabilityMode) {
+        self.durability = mode;
+    }
+
+    /// Append one record, tracking the dirty window. Returns `false` on
+    /// backend error, in which case the record was *not* staged and the
+    /// server enters degraded mode (`wal_failed`) until a sync succeeds.
+    /// `true` when there is no WAL at all: callers treat "no log" as
+    /// "nothing to make durable".
+    fn append_wal(&mut self, rec: &WalRecord) -> bool {
+        let Some(wal) = self.wal.as_mut() else {
+            return true;
+        };
+        match wal.append(rec) {
+            Ok(()) => {
+                self.wal_appended += 1;
+                if self.wal_first_dirty_at.is_none() {
+                    self.wal_first_dirty_at = Some(Instant::now());
+                }
+                true
+            }
+            Err(_) => {
+                self.stats.wal_io_errors += 1;
+                self.wal_failed = true;
+                false
+            }
+        }
+    }
+
+    /// Try to make every appended record durable. Returns `true` when the
+    /// log is fully durable afterwards (trivially so without a WAL). A
+    /// successful sync also clears degraded mode: the backend is healthy
+    /// again and new prepares may be granted.
+    fn sync_wal(&mut self) -> bool {
+        let dirty = self.wal_appended - self.wal_durable;
+        if dirty == 0 && !self.wal_failed {
+            return true;
+        }
+        let Some(wal) = self.wal.as_mut() else {
+            return true;
+        };
+        match wal.sync() {
+            Ok(()) => {
+                if dirty > 0 {
+                    self.stats.wal_sync_batches += 1;
+                    self.stats.wal_records_synced += dirty;
+                }
+                self.wal_durable = self.wal_appended;
+                self.wal_first_dirty_at = None;
+                self.wal_failed = false;
+                true
+            }
+            Err(_) => {
+                self.stats.wal_io_errors += 1;
+                self.wal_failed = true;
+                false
+            }
+        }
+    }
+
+    /// When must the next sync happen? `None` means no sync is scheduled
+    /// (clean log, no WAL, or Buffered mode — which only syncs at
+    /// shutdown). Degraded mode is due immediately, to exit back-pressure
+    /// as soon as the backend heals. Under GroupCommit, `waiting` says
+    /// acks are parked on the durable watermark: that makes a sync due at
+    /// once — the loop drained the inbox first, so the batch is whatever
+    /// accumulated while the previous fsync ran, and ack latency stays
+    /// one fsync rather than one aging period. (Holding waiters for a
+    /// sub-millisecond accumulation window was tried and measured worse:
+    /// the extra prepare-ack delay stretches lock hold time, and on a
+    /// contended workload the conflict aborts that causes cost more than
+    /// the larger batches save.) The record/age caps bound the dirty
+    /// window when *no* ack is waiting (refused votes, best-effort
+    /// decision appends). The service loop shortens its receive timeout
+    /// to this deadline so aging fires on time.
+    fn wal_sync_deadline(&self, now: Instant, waiting: bool) -> Option<Instant> {
+        self.wal.as_ref()?;
+        if self.wal_failed {
+            return Some(now);
+        }
+        let dirty = self.wal_appended - self.wal_durable;
+        if dirty == 0 {
+            return None;
+        }
+        match self.durability {
+            DurabilityMode::EveryRecord => Some(now),
+            DurabilityMode::GroupCommit {
+                max_records,
+                max_delay,
+            } => {
+                if waiting || dirty as usize >= max_records {
+                    return Some(now);
+                }
+                Some(self.wal_first_dirty_at.unwrap_or(now) + max_delay)
+            }
+            DurabilityMode::Buffered => None,
+        }
+    }
+
+    /// Has [`Self::wal_sync_deadline`] passed?
+    fn wal_sync_due(&self, now: Instant, waiting: bool) -> bool {
+        self.wal_sync_deadline(now, waiting)
+            .is_some_and(|due| due <= now)
     }
 
     /// Install the span sink the service loop records server-side spans
@@ -253,10 +399,13 @@ impl Server {
         expired.len()
     }
 
-    /// Counters so far, with the store digest computed at call time.
+    /// Counters so far, with the store digest and the object-version
+    /// inventory computed at call time.
     pub fn stats(&self) -> ServerStats {
         let mut s = self.stats.clone();
         s.digest = self.store.digest();
+        s.inventory = self.store.known_versions();
+        s.inventory.sort_unstable();
         s
     }
 
@@ -282,10 +431,13 @@ impl Server {
         // with the new incarnation, and catch-up is a full sync.
         if let Some(wal) = self.wal.as_mut() {
             wal.reset();
-            wal.append(&WalRecord::IncarnationBump {
-                incarnation: self.incarnation,
-            });
         }
+        // The reset emptied whatever was dirty; start a fresh window.
+        self.wal_durable = self.wal_appended;
+        self.wal_first_dirty_at = None;
+        self.wal_failed = false;
+        let incarnation = self.incarnation;
+        self.append_wal(&WalRecord::IncarnationBump { incarnation });
         self.delta_sync = false;
         // Without peers there is nobody to catch up from; restarting
         // empty is all a standalone server can do.
@@ -334,11 +486,13 @@ impl Server {
             }
         }
         self.incarnation = self.incarnation.max(replayed_incarnation) + 1;
-        if let Some(wal) = self.wal.as_mut() {
-            wal.append(&WalRecord::IncarnationBump {
-                incarnation: self.incarnation,
-            });
-        }
+        // The load dropped whatever the backend lost (e.g. a fault-injected
+        // unsynced suffix); the surviving prefix is durable by definition.
+        self.wal_durable = self.wal_appended;
+        self.wal_first_dirty_at = None;
+        self.wal_failed = false;
+        let incarnation = self.incarnation;
+        self.append_wal(&WalRecord::IncarnationBump { incarnation });
         self.delta_sync = true;
         self.syncing = self.sync.is_some();
     }
@@ -475,7 +629,17 @@ impl Server {
             }
         }
         let reply = self.handle_fresh(msg, now);
-        let cacheable = !matches!(&reply, Some(Msg::PrepareResp { syncing: true, .. }));
+        // Refusals are not cached: the same request id may legitimately
+        // be retried after catch-up completes (syncing) or the storage
+        // backend heals (wal_refused) and must then get a real vote.
+        let cacheable = !matches!(
+            &reply,
+            Some(Msg::PrepareResp { syncing: true, .. })
+                | Some(Msg::PrepareResp {
+                    wal_refused: true,
+                    ..
+                })
+        );
         if let (Some(key), Some(r), true) = (dedup_key, &reply, cacheable) {
             if self.completed.len() >= DEDUP_CAPACITY {
                 if let Some(old) = self.completed_order.pop_front() {
@@ -512,9 +676,28 @@ impl Server {
                         invalid: vec![],
                         locked: None,
                         syncing: true,
+                        wal_refused: false,
                     });
                 }
                 _ => {}
+            }
+        }
+        // Degraded mode: the WAL cannot currently make anything durable,
+        // so granting a prepare would hand out a lock whose grant record
+        // is unloggable. Refuse new prepares with back-pressure the
+        // client attributes separately; phase-2 commits/aborts (decisions
+        // already made by the quorum) are still applied below.
+        if self.wal_failed {
+            if let Msg::PrepareReq { req, .. } = &msg {
+                self.stats.wal_vote_refusals += 1;
+                return Some(Msg::PrepareResp {
+                    req: *req,
+                    vote: false,
+                    invalid: vec![],
+                    locked: None,
+                    syncing: false,
+                    wal_refused: true,
+                });
             }
         }
         match msg {
@@ -629,11 +812,24 @@ impl Server {
                     // Read-only prepares (no writes) hold no locks and need
                     // no phase 2, so nothing is recorded for them.
                     if !locked.is_empty() {
-                        if let Some(wal) = self.wal.as_mut() {
-                            wal.append(&WalRecord::PrepareGrant {
-                                txn,
+                        if !self.append_wal(&WalRecord::PrepareGrant {
+                            txn,
+                            req,
+                            objs: locked.clone(),
+                        }) {
+                            // The grant could not even be staged: undo the
+                            // locks and refuse with storage back-pressure.
+                            for obj in locked {
+                                self.store.unlock(obj, txn);
+                            }
+                            self.stats.wal_vote_refusals += 1;
+                            return Some(Msg::PrepareResp {
                                 req,
-                                objs: locked.clone(),
+                                vote: false,
+                                invalid: vec![],
+                                locked: None,
+                                syncing: false,
+                                wal_refused: true,
                             });
                         }
                         self.prepared.insert(
@@ -656,19 +852,23 @@ impl Server {
                     invalid,
                     locked: lock_conflict,
                     syncing: false,
+                    wal_refused: false,
                 })
             }
             Msg::CommitReq { txn, req, writes } => {
                 self.stats.commits += 1;
                 // Write-ahead: the decision is durable before the store
                 // mutates, so a crash between the two replays the apply.
-                if let Some(wal) = self.wal.as_mut() {
-                    wal.append(&WalRecord::CommitApply {
-                        txn,
-                        req,
-                        writes: writes.clone(),
-                    });
-                }
+                // On append failure the decision — already made by the
+                // quorum — is applied anyway: refusing it would strand the
+                // locks, while a lost record is repaired by delta sync
+                // after the next restart. The error is counted and the
+                // server degrades to refusing *new* prepares.
+                self.append_wal(&WalRecord::CommitApply {
+                    txn,
+                    req,
+                    writes: writes.clone(),
+                });
                 for (obj, version, value) in writes {
                     self.store.apply(obj, version, value, txn);
                     self.contention.record_write(obj, now);
@@ -678,9 +878,10 @@ impl Server {
             }
             Msg::AbortReq { txn, req } => {
                 self.stats.aborts += 1;
-                if let Some(wal) = self.wal.as_mut() {
-                    wal.append(&WalRecord::Abort { txn, req });
-                }
+                // Best-effort like the commit record: an abort whose
+                // record is lost replays as a still-prepared transaction,
+                // which the post-restart TTL sweep reclaims.
+                self.append_wal(&WalRecord::Abort { txn, req });
                 if let Some(p) = self.prepared.remove(&txn) {
                     for obj in p.objs {
                         self.store.unlock(obj, txn);
@@ -787,7 +988,21 @@ impl Server {
         let probe_every = Duration::from_millis(40);
         let mut next_sweep = Instant::now() + sweep_every;
         let mut next_probe = Instant::now();
-        loop {
+        // Acks held back until the WAL records they depend on are durable:
+        // (covering append watermark, destination, reply). Watermarks are
+        // appended in increasing order, so the front is always the next
+        // releasable entry.
+        let mut wal_waiters: VecDeque<(u64, NodeId, Msg)> = VecDeque::new();
+        // Group commit batches by *arrival concurrency*: the loop drains
+        // every message already queued in the inbox before syncing, so one
+        // fsync covers everything that accumulated while the previous one
+        // ran. EveryRecord keeps a drain of 1 — its contract is one sync
+        // per record, and the ablation measures exactly that.
+        let drain: usize = match self.durability {
+            DurabilityMode::GroupCommit { .. } => 64,
+            _ => 1,
+        };
+        'serve: loop {
             // Amnesia first: if both faults landed in one poll gap, the
             // disk is gone too — the replay then finds the wiped log,
             // which is exactly what the combined fault means.
@@ -812,75 +1027,143 @@ impl Server {
                 }
             }
             // A short receive keeps the amnesia poll and probe cadence
-            // responsive while the node is failed or idle.
-            match endpoint.recv_timeout_meta(Duration::from_millis(20)) {
-                Ok((src, msg, meta)) => {
-                    // Strip the trace envelope before dispatch so handling
-                    // (and the Shutdown check) sees the bare request; the
-                    // carried context parents the server-side spans below.
-                    let (ctx, msg) = match msg {
-                        Msg::Traced { ctx, inner } => (Some(ctx), *inner),
-                        other => (None, other),
-                    };
-                    if matches!(msg, Msg::Shutdown) {
-                        break;
+            // responsive while the node is failed or idle, shortened to
+            // the sync deadline when records are dirty so aging (and the
+            // waiter accumulation window) fires on time; after the first
+            // message, zero-timeout receives drain what is already queued.
+            'drain: for received in 0..drain {
+                let timeout = if received == 0 {
+                    let idle = Duration::from_millis(20);
+                    match self.wal_sync_deadline(Instant::now(), !wal_waiters.is_empty()) {
+                        Some(due) => idle.min(due.saturating_duration_since(Instant::now())),
+                        None => idle,
                     }
-                    let reply = self.handle_from(src, msg, Instant::now());
-                    if let (Some(spans), Some(ctx)) = (self.spans.as_ref(), ctx) {
-                        let node = endpoint.id().0;
-                        let done = Instant::now();
-                        // Inbox dwell: matured on the wire at `deliver_at`,
-                        // picked up by this single-threaded loop at
-                        // `received_at` — the server-queue segment.
-                        spans.record(RawSpan {
-                            parent: ctx.span,
-                            trace: ctx.trace,
-                            kind: SpanKind::ServerQueue,
-                            node,
-                            start: meta.deliver_at,
-                            end: meta.received_at,
-                            flags: 0,
-                        });
-                        spans.record(RawSpan {
-                            parent: ctx.span,
-                            trace: ctx.trace,
-                            kind: SpanKind::ServerHandle,
-                            node,
-                            start: meta.received_at,
-                            end: done,
-                            flags: 0,
-                        });
-                        // A refusal while catching up reads as a rolled-back
-                        // server span: the client will retry elsewhere.
-                        let refused = matches!(
-                            &reply,
-                            Some(Msg::Syncing { .. })
-                                | Some(Msg::PrepareResp { syncing: true, .. })
-                        );
-                        if refused {
+                } else {
+                    Duration::ZERO
+                };
+                match endpoint.recv_timeout_meta(timeout) {
+                    Ok((src, msg, meta)) => {
+                        // Strip the trace envelope before dispatch so
+                        // handling (and the Shutdown check) sees the bare
+                        // request; the carried context parents the
+                        // server-side spans below.
+                        let (ctx, msg) = match msg {
+                            Msg::Traced { ctx, inner } => (Some(ctx), *inner),
+                            other => (None, other),
+                        };
+                        if matches!(msg, Msg::Shutdown) {
+                            break 'serve;
+                        }
+                        let reply = self.handle_from(src, msg, Instant::now());
+                        if let (Some(spans), Some(ctx)) = (self.spans.as_ref(), ctx) {
+                            let node = endpoint.id().0;
+                            let done = Instant::now();
+                            // Inbox dwell: matured on the wire at
+                            // `deliver_at`, picked up by this
+                            // single-threaded loop at `received_at` — the
+                            // server-queue segment.
                             spans.record(RawSpan {
                                 parent: ctx.span,
                                 trace: ctx.trace,
-                                kind: SpanKind::SyncRefusal,
+                                kind: SpanKind::ServerQueue,
+                                node,
+                                start: meta.deliver_at,
+                                end: meta.received_at,
+                                flags: 0,
+                            });
+                            spans.record(RawSpan {
+                                parent: ctx.span,
+                                trace: ctx.trace,
+                                kind: SpanKind::ServerHandle,
                                 node,
                                 start: meta.received_at,
                                 end: done,
-                                flags: FLAG_ROLLED_BACK,
+                                flags: 0,
                             });
+                            // A refusal while catching up reads as a
+                            // rolled-back server span: the client will
+                            // retry elsewhere.
+                            let refused = matches!(
+                                &reply,
+                                Some(Msg::Syncing { .. })
+                                    | Some(Msg::PrepareResp { syncing: true, .. })
+                            );
+                            if refused {
+                                spans.record(RawSpan {
+                                    parent: ctx.span,
+                                    trace: ctx.trace,
+                                    kind: SpanKind::SyncRefusal,
+                                    node,
+                                    start: meta.received_at,
+                                    end: done,
+                                    flags: FLAG_ROLLED_BACK,
+                                });
+                            }
+                        }
+                        if let Some(reply) = reply {
+                            // Ack-after-durable: a 2PC reply that depends
+                            // on log records still in the dirty window is
+                            // parked until a sync covers the current
+                            // watermark. Reads and refusals (no vote ⇒ no
+                            // grant record) go out immediately; Buffered
+                            // mode never defers — that is exactly the
+                            // honesty gap the ablation measures.
+                            let needs_durability = matches!(
+                                &reply,
+                                Msg::PrepareResp { vote: true, .. }
+                                    | Msg::CommitAck { .. }
+                                    | Msg::AbortAck { .. }
+                            );
+                            let defer = needs_durability
+                                && self.wal.is_some()
+                                && self.durability != DurabilityMode::Buffered
+                                && self.wal_durable < self.wal_appended;
+                            if defer {
+                                wal_waiters.push_back((self.wal_appended, src, reply));
+                            } else {
+                                let bytes = reply.wire_bytes();
+                                endpoint.send_sized(src, reply, bytes);
+                            }
                         }
                     }
-                    if let Some(reply) = reply {
-                        let bytes = reply.wire_bytes();
-                        endpoint.send_sized(src, reply, bytes);
-                    }
+                    Err(RecvError::Timeout) => break 'drain,
+                    Err(RecvError::Closed) => break 'serve,
                 }
-                Err(RecvError::Timeout) => {}
-                Err(RecvError::Closed) => break,
             }
+            // Sync on the durability mode's cadence (EveryRecord: right
+            // here, before the ack leaves; GroupCommit: once the oldest
+            // parked ack has aged past the accumulation window — the
+            // drain above already emptied the inbox, so the batch is
+            // everything that arrived during the window plus the previous
+            // fsync — or when the dirty window fills or ages out with no
+            // waiter), then release every waiter the new durable watermark
+            // covers.
             let now = Instant::now();
+            if self.wal_sync_due(now, !wal_waiters.is_empty()) {
+                self.sync_wal();
+            }
+            while let Some(&(mark, _, _)) = wal_waiters.front() {
+                if mark > self.wal_durable {
+                    break;
+                }
+                let (_, dst, msg) = wal_waiters.pop_front().expect("front checked");
+                let bytes = msg.wire_bytes();
+                endpoint.send_sized(dst, msg, bytes);
+            }
             if now >= next_sweep {
                 self.sweep_expired(now);
                 next_sweep = now + sweep_every;
+            }
+        }
+        // Final sync so a cleanly shut-down log is durable even under
+        // GroupCommit/Buffered, and any still-parked acks are released
+        // (waiters whose records the backend persistently refuses to
+        // sync are dropped — exactly a never-sent ack).
+        self.sync_wal();
+        while let Some((mark, dst, msg)) = wal_waiters.pop_front() {
+            if mark <= self.wal_durable {
+                let bytes = msg.wire_bytes();
+                endpoint.send_sized(dst, msg, bytes);
             }
         }
         self.stats()

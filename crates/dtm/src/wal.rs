@@ -34,6 +34,7 @@ use acn_txir::{FieldId, ObjClass, ObjectId, ObjectVal, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// One durable decision. The three 2PC records carry the `(txn, req)`
 /// dedup key; replay uses it to apply each decision at most once and to
@@ -351,13 +352,69 @@ pub struct LoadedLog {
     pub torn_tails_truncated: u64,
 }
 
+/// A storage-layer failure surfaced by a [`Persistence`] backend. The
+/// server does not panic on these: it degrades to refusing new prepares
+/// (the decision would not be durable) until a later sync succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalError {
+    /// The backing device failed the write, flush, or sync.
+    Io,
+    /// The backing device is out of space (ENOSPC).
+    NoSpace,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io => write!(f, "wal i/o error"),
+            WalError::NoSpace => write!(f, "wal device out of space"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// When an appended WAL record becomes *durable* — and therefore when the
+/// server may release the ack that depends on it. The contract checked by
+/// the lost-ack checker is: a reply covered by a WAL record is sent only
+/// once that record has been synced (except under `Buffered`, which
+/// deliberately weakens the contract to measure its cost).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// Sync after every appended record before releasing its ack:
+    /// strongest guarantee, one sync per decision.
+    #[default]
+    EveryRecord,
+    /// Batch appended records and sync when either bound trips; acks for
+    /// the batch are parked until the covering sync completes. Same
+    /// guarantee as [`DurabilityMode::EveryRecord`] for every *released*
+    /// ack, at a fraction of the syncs.
+    GroupCommit {
+        /// Sync once this many records are dirty.
+        max_records: usize,
+        /// Sync once the oldest dirty record has waited this long.
+        max_delay: Duration,
+    },
+    /// Never sync from the ack path (the backend still flushes whenever
+    /// it likes). Acks may outrun durability: an acked commit can be
+    /// lost with the unsynced suffix. The honest upper bound for the
+    /// sync-mode ablation.
+    Buffered,
+}
+
 /// A durable decision log. `append` must be frame-atomic from the point
 /// of view of a later `load` on the *same* backend instance family: the
 /// ring never exposes partial frames, and the file backend truncates the
-/// torn tail on load.
+/// torn tail on load. `append` stages the record; `sync` makes every
+/// staged record durable — a record is only guaranteed to survive a
+/// crash once a covering `sync` returned `Ok`.
 pub trait Persistence: Send {
-    /// Durably append one record.
-    fn append(&mut self, rec: &WalRecord);
+    /// Append one record to the log. On `Err` the record was *not*
+    /// appended; the caller must treat the covered decision as
+    /// non-durable.
+    fn append(&mut self, rec: &WalRecord) -> Result<(), WalError>;
+    /// Make every appended record durable. Idempotent when clean.
+    fn sync(&mut self) -> Result<(), WalError>;
     /// Read back every whole record, truncating any torn tail in the
     /// backing store so subsequent appends extend a clean log.
     fn load(&mut self) -> LoadedLog;
@@ -407,13 +464,19 @@ impl MemLog {
 }
 
 impl Persistence for MemLog {
-    fn append(&mut self, rec: &WalRecord) {
+    fn append(&mut self, rec: &WalRecord) -> Result<(), WalError> {
         let mut frame = Vec::new();
         rec.frame_into(&mut frame);
         if self.frames.len() == self.capacity {
             self.frames.pop_front();
         }
         self.frames.push_back(frame);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        // Memory is "durable" for the simulated-restart lifetime.
+        Ok(())
     }
 
     fn load(&mut self) -> LoadedLog {
@@ -458,15 +521,31 @@ impl FileLog {
     }
 }
 
+fn io_err(e: std::io::Error) -> WalError {
+    if e.raw_os_error() == Some(28) {
+        // ENOSPC
+        WalError::NoSpace
+    } else {
+        WalError::Io
+    }
+}
+
 impl Persistence for FileLog {
-    fn append(&mut self, rec: &WalRecord) {
+    fn append(&mut self, rec: &WalRecord) -> Result<(), WalError> {
         let mut frame = Vec::new();
         rec.frame_into(&mut frame);
-        // Treat I/O failure as a crash of the frame mid-write: the
-        // checksum catches the torn tail on the next load.
-        let _ = self.file.seek(SeekFrom::End(0));
-        let _ = self.file.write_all(&frame);
-        let _ = self.file.flush();
+        // A failed or partial write is a torn tail: the checksum catches
+        // it on the next load. The error still propagates so the server
+        // stops acking decisions it cannot make durable.
+        self.file.seek(SeekFrom::End(0)).map_err(io_err)?;
+        self.file.write_all(&frame).map_err(io_err)?;
+        self.file.flush().map_err(io_err)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        self.file.flush().map_err(io_err)?;
+        self.file.sync_data().map_err(io_err)
     }
 
     fn load(&mut self) -> LoadedLog {
@@ -489,6 +568,163 @@ impl Persistence for FileLog {
     fn reset(&mut self) {
         let _ = self.file.set_len(0);
         let _ = self.file.seek(SeekFrom::Start(0));
+    }
+}
+
+/// Storage fault model for [`FaultLog`], driven by the same seeded-hash
+/// discipline as the network chaos layer: every fault fate is a pure
+/// function of `(seed, op counter)`, so a schedule replays exactly from
+/// its seed.
+#[derive(Debug, Clone)]
+pub struct FaultLogConfig {
+    /// Fault-schedule seed.
+    pub seed: u64,
+    /// Probability an append fails with [`WalError::Io`].
+    pub append_error_p: f64,
+    /// Probability a sync fails with [`WalError::Io`] (staged records
+    /// stay staged and the next sync retries them).
+    pub sync_error_p: f64,
+    /// Stall injected into every successful sync (fsync latency / a
+    /// device hiccup). Zero disables.
+    pub sync_stall: Duration,
+    /// Total bytes the device accepts before appends fail with
+    /// [`WalError::NoSpace`]. `None` = unbounded.
+    pub byte_budget: Option<u64>,
+    /// On [`Persistence::load`] (= the crash-restart path), drop every
+    /// record appended since the last successful sync — the physical
+    /// meaning of an unsynced page cache dying with the machine.
+    pub lose_unsynced_on_restart: bool,
+}
+
+impl Default for FaultLogConfig {
+    fn default() -> Self {
+        FaultLogConfig {
+            seed: 0,
+            append_error_p: 0.0,
+            sync_error_p: 0.0,
+            sync_stall: Duration::ZERO,
+            byte_budget: None,
+            lose_unsynced_on_restart: false,
+        }
+    }
+}
+
+// Same splitmix64 finalizer + unit-interval mapping the simnet chaos
+// layer uses for per-message fates (kept local: they are private there).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const FAULT_SALT_APPEND: u64 = 0x5741_4c5f_4150_5044; // "WAL_APPD"
+const FAULT_SALT_SYNC: u64 = 0x5741_4c5f_5359_4e43; // "WAL_SYNC"
+
+/// Fault-injecting wrapper over any [`Persistence`] backend. Appends are
+/// *staged* in memory and only reach the inner backend on a successful
+/// `sync` — which is exactly what an OS page cache does between
+/// `write(2)` and `fsync(2)` — so `lose_unsynced_on_restart` can model
+/// crash-time loss of the unsynced suffix even over backends (like
+/// [`MemLog`]) that have no real page cache.
+pub struct FaultLog {
+    inner: Box<dyn Persistence>,
+    cfg: FaultLogConfig,
+    /// Records appended since the last successful sync.
+    staged: VecDeque<WalRecord>,
+    /// Monotone op counter: one draw per append / sync attempt.
+    ops: u64,
+    /// Cumulative frame bytes accepted, checked against `byte_budget`.
+    bytes_accepted: u64,
+    /// Records dropped by `lose_unsynced_on_restart` loads.
+    suffix_records_lost: u64,
+}
+
+impl FaultLog {
+    /// Wrap `inner` with the fault model in `cfg`.
+    pub fn new(inner: Box<dyn Persistence>, cfg: FaultLogConfig) -> Self {
+        FaultLog {
+            inner,
+            cfg,
+            staged: VecDeque::new(),
+            ops: 0,
+            bytes_accepted: 0,
+            suffix_records_lost: 0,
+        }
+    }
+
+    /// Records staged but not yet durable.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Records dropped so far by suffix-loss loads.
+    pub fn suffix_records_lost(&self) -> u64 {
+        self.suffix_records_lost
+    }
+
+    fn draw(&mut self, salt: u64) -> f64 {
+        self.ops += 1;
+        unit(mix64(self.cfg.seed ^ mix64(self.ops) ^ salt))
+    }
+
+    /// Push every staged record into the inner backend.
+    fn flush_staged(&mut self) -> Result<(), WalError> {
+        while let Some(rec) = self.staged.front() {
+            self.inner.append(rec)?;
+            self.staged.pop_front();
+        }
+        Ok(())
+    }
+}
+
+impl Persistence for FaultLog {
+    fn append(&mut self, rec: &WalRecord) -> Result<(), WalError> {
+        if self.cfg.append_error_p > 0.0 && self.draw(FAULT_SALT_APPEND) < self.cfg.append_error_p {
+            return Err(WalError::Io);
+        }
+        let mut frame = Vec::new();
+        rec.frame_into(&mut frame);
+        if let Some(budget) = self.cfg.byte_budget {
+            if self.bytes_accepted + frame.len() as u64 > budget {
+                return Err(WalError::NoSpace);
+            }
+        }
+        self.bytes_accepted += frame.len() as u64;
+        self.staged.push_back(rec.clone());
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        if !self.cfg.sync_stall.is_zero() {
+            std::thread::sleep(self.cfg.sync_stall);
+        }
+        if self.cfg.sync_error_p > 0.0 && self.draw(FAULT_SALT_SYNC) < self.cfg.sync_error_p {
+            return Err(WalError::Io);
+        }
+        self.flush_staged()?;
+        self.inner.sync()
+    }
+
+    fn load(&mut self) -> LoadedLog {
+        if self.cfg.lose_unsynced_on_restart {
+            // The crash takes the page cache with it: only synced
+            // records survive into the replayed log.
+            self.suffix_records_lost += self.staged.len() as u64;
+            self.staged.clear();
+        } else {
+            let _ = self.flush_staged();
+        }
+        self.inner.load()
+    }
+
+    fn reset(&mut self) {
+        self.staged.clear();
+        self.inner.reset();
     }
 }
 
@@ -535,6 +771,7 @@ pub fn replay(records: impl IntoIterator<Item = WalRecord>) -> ReplayState {
                         invalid: vec![],
                         locked: None,
                         syncing: false,
+                        wal_refused: false,
                     },
                 ));
                 st.records += 1;
@@ -678,8 +915,9 @@ mod tests {
     fn memlog_round_trips_and_bounds_capacity() {
         let mut log = MemLog::with_capacity(3);
         for rec in sample_records() {
-            log.append(&rec);
+            log.append(&rec).unwrap();
         }
+        log.sync().unwrap();
         assert_eq!(log.len(), 3);
         let loaded = log.load();
         assert_eq!(loaded.torn_tails_truncated, 0);
@@ -702,8 +940,9 @@ mod tests {
             let mut log = FileLog::open(&path).unwrap();
             log.reset();
             for rec in sample_records() {
-                log.append(&rec);
+                log.append(&rec).unwrap();
             }
+            log.sync().unwrap();
         }
         // Tear the tail: chop 3 bytes off the final frame.
         let bytes = std::fs::read(&path).unwrap();
@@ -716,7 +955,8 @@ mod tests {
 
         // The torn tail was physically truncated: appending after the
         // load yields a clean log with the new record following record 4.
-        log.append(&WalRecord::IncarnationBump { incarnation: 9 });
+        log.append(&WalRecord::IncarnationBump { incarnation: 9 })
+            .unwrap();
         let reloaded = log.load();
         assert_eq!(reloaded.torn_tails_truncated, 0);
         assert_eq!(reloaded.records.len(), 5);
@@ -752,6 +992,95 @@ mod tests {
         assert_eq!(once.store.digest(), twice.store.digest());
         assert_eq!(once.records, twice.records - 1, "only the bump re-applies");
         assert_eq!(once.replies.len(), twice.replies.len());
+    }
+
+    #[test]
+    fn fault_log_drops_unsynced_suffix_on_restart_load() {
+        let mut log = FaultLog::new(
+            Box::new(MemLog::new()),
+            FaultLogConfig {
+                lose_unsynced_on_restart: true,
+                ..FaultLogConfig::default()
+            },
+        );
+        let recs = sample_records();
+        // First three records synced, last two staged only.
+        for rec in &recs[..3] {
+            log.append(rec).unwrap();
+        }
+        log.sync().unwrap();
+        for rec in &recs[3..] {
+            log.append(rec).unwrap();
+        }
+        assert_eq!(log.staged_len(), 2);
+        let loaded = log.load();
+        assert_eq!(loaded.records, recs[..3].to_vec(), "suffix lost");
+        assert_eq!(log.suffix_records_lost(), 2);
+        // Without suffix loss, load flushes the stage instead.
+        let mut keep = FaultLog::new(Box::new(MemLog::new()), FaultLogConfig::default());
+        for rec in &recs {
+            keep.append(rec).unwrap();
+        }
+        assert_eq!(keep.load().records, recs);
+    }
+
+    #[test]
+    fn fault_log_errors_are_seeded_and_enospc_trips_on_budget() {
+        let cfg = FaultLogConfig {
+            seed: 7,
+            append_error_p: 0.5,
+            ..FaultLogConfig::default()
+        };
+        let run = |cfg: FaultLogConfig| {
+            let mut log = FaultLog::new(Box::new(MemLog::new()), cfg);
+            (0..32)
+                .map(|i| {
+                    log.append(&WalRecord::IncarnationBump { incarnation: i })
+                        .is_ok()
+                })
+                .collect::<Vec<bool>>()
+        };
+        let a = run(cfg.clone());
+        assert_eq!(a, run(cfg), "same seed, same fault schedule");
+        assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !*ok));
+
+        let mut small = FaultLog::new(
+            Box::new(MemLog::new()),
+            FaultLogConfig {
+                byte_budget: Some(64),
+                ..FaultLogConfig::default()
+            },
+        );
+        let mut saw_nospace = false;
+        for i in 0..16 {
+            if small.append(&WalRecord::IncarnationBump { incarnation: i })
+                == Err(WalError::NoSpace)
+            {
+                saw_nospace = true;
+            }
+        }
+        assert!(saw_nospace, "byte budget must surface ENOSPC");
+    }
+
+    #[test]
+    fn fault_log_failed_sync_keeps_records_staged_for_retry() {
+        // sync_error_p = 1 fails every sync; staged records must survive
+        // so a later (clean) sync can still land them.
+        let mut log = FaultLog::new(
+            Box::new(MemLog::new()),
+            FaultLogConfig {
+                sync_error_p: 1.0,
+                ..FaultLogConfig::default()
+            },
+        );
+        log.append(&WalRecord::IncarnationBump { incarnation: 1 })
+            .unwrap();
+        assert_eq!(log.sync(), Err(WalError::Io));
+        assert_eq!(log.staged_len(), 1, "failed sync must not lose records");
+        log.cfg.sync_error_p = 0.0;
+        log.sync().unwrap();
+        assert_eq!(log.staged_len(), 0);
+        assert_eq!(log.load().records.len(), 1);
     }
 
     #[test]

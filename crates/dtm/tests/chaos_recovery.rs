@@ -272,11 +272,13 @@ fn amnesia_recovery_refuses_votes_then_converges() {
                 invalid,
                 locked,
                 syncing,
+                wal_refused,
             },
         )) => {
             assert_eq!(req, 2);
             assert!(!vote, "a syncing replica must not vote yes");
             assert!(syncing, "the no-vote must be attributed to catch-up");
+            assert!(!wal_refused, "catch-up, not storage, refused this vote");
             assert!(invalid.is_empty() && locked.is_none());
         }
         other => panic!("expected a syncing vote refusal, got {other:?}"),

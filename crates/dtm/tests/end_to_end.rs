@@ -163,10 +163,12 @@ fn read_only_commit_validates() {
             invalid,
             locked,
             syncing,
+            wal_refused,
         }) => {
             assert_eq!(invalid, vec![acct(1)]);
             assert!(locked.is_empty(), "validation failure, not a lock conflict");
             assert!(!syncing, "no replica was recovering");
+            assert!(!wal_refused, "no replica's storage was failing");
         }
         other => panic!("expected conflict, got {other:?}"),
     }

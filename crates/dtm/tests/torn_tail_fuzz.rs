@@ -191,7 +191,8 @@ fn filelog_physically_truncates_then_appends_cleanly() {
 
             // …so an append after recovery yields a clean, longer log.
             let retry = log[log.len() - 1].clone();
-            wal.append(&retry);
+            wal.append(&retry).expect("append after recovery");
+            wal.sync().expect("sync after recovery");
             drop(wal);
             let mut reopened = FileLog::open(&path).expect("reopen log");
             let reloaded = reopened.load();

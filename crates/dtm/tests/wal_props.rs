@@ -11,7 +11,9 @@
 //!   log, replies a literal prefix), and replay must be idempotent per
 //!   dedup key so a log that was partially re-shipped applies once.
 
-use acn_dtm::{decode_stream, replay, MemLog, Msg, Persistence, TxnId, WalRecord};
+use acn_dtm::{
+    decode_stream, replay, FaultLog, FaultLogConfig, MemLog, Msg, Persistence, TxnId, WalRecord,
+};
 use acn_simnet::NodeId;
 use acn_txir::{FieldId, ObjClass, ObjectId, ObjectVal, Value};
 use proptest::prelude::*;
@@ -134,7 +136,7 @@ proptest! {
     fn memlog_loads_exactly_what_was_appended(log in log_strategy()) {
         let mut wal = MemLog::new();
         for rec in &log {
-            wal.append(rec);
+            wal.append(rec).unwrap();
         }
         let loaded = wal.load();
         prop_assert_eq!(loaded.records, log);
@@ -170,6 +172,54 @@ proptest! {
             ));
             prop_assert!(decided_later || full.prepared.contains_key(t));
         }
+    }
+
+    /// Group-commit equivalence: a group-committed log crashed at *any*
+    /// point recovers byte-identically to the same workload logged with
+    /// `EveryRecord` and crashed at the last sync boundary — the unsynced
+    /// suffix is the only thing group commit puts at risk.
+    #[test]
+    fn group_commit_crash_recovers_to_the_last_sync_boundary(
+        log in log_strategy(),
+        group in 1usize..6,
+        cut in any::<u16>(),
+    ) {
+        let cut = cut as usize % (log.len() + 1);
+        let lossy = || FaultLogConfig {
+            lose_unsynced_on_restart: true,
+            ..FaultLogConfig::default()
+        };
+        // Group-committed: sync every `group`-th append, crash after `cut`
+        // appends, restart drops whatever no sync covered.
+        let mut gc = FaultLog::new(Box::new(MemLog::new()), lossy());
+        for (i, rec) in log[..cut].iter().enumerate() {
+            gc.append(rec).unwrap();
+            if (i + 1) % group == 0 {
+                gc.sync().unwrap();
+            }
+        }
+        let survived = gc.load().records;
+        // EveryRecord: every append synced, crashed at the boundary the
+        // group-committed log's last sync covered.
+        let boundary = (cut / group) * group;
+        let mut er = FaultLog::new(Box::new(MemLog::new()), lossy());
+        for rec in &log[..boundary] {
+            er.append(rec).unwrap();
+            er.sync().unwrap();
+        }
+        let reference = er.load().records;
+        prop_assert_eq!(&survived, &reference);
+        let a = replay(survived.clone());
+        let b = replay(reference.clone());
+        prop_assert_eq!(a.store.digest(), b.store.digest());
+        let mut av = a.store.known_versions();
+        let mut bv = b.store.known_versions();
+        av.sort_unstable();
+        bv.sort_unstable();
+        prop_assert_eq!(av, bv);
+        prop_assert_eq!(a.prepared, b.prepared);
+        prop_assert_eq!(a.incarnation, b.incarnation);
+        prop_assert_eq!(reply_shape(&a.replies), reply_shape(&b.replies));
     }
 
     /// Replay is idempotent per dedup key: a log that was re-shipped in

@@ -37,6 +37,11 @@ pub enum AbortKind {
     /// catching up after a crash-with-amnesia — recovery back-pressure,
     /// not data contention (no stale and no locked object was named).
     SyncRefused,
+    /// Two-phase commit refused *only* because a quorum member's WAL
+    /// could not make the prepare grant durable (storage I/O errors or
+    /// ENOSPC) — storage back-pressure, not data contention (no stale
+    /// and no locked object was named).
+    WalRefused,
     /// Mis-speculation under the batch scheduler recovered by a child-scope
     /// partial rollback — a conflict the static access sets missed, repaired
     /// from the offending Block instead of a full re-execution.
@@ -66,13 +71,14 @@ impl AbortKind {
     /// The executor kinds whose attributed counts sum to
     /// `full_aborts + partial_aborts + locked_aborts` of the nesting
     /// executor's stats (everything except the checkpoint-runner kinds).
-    pub const EXECUTOR_KINDS: [AbortKind; 10] = [
+    pub const EXECUTOR_KINDS: [AbortKind; 11] = [
         AbortKind::Partial,
         AbortKind::ReadInvalid,
         AbortKind::CommitConflict,
         AbortKind::LockedOut,
         AbortKind::Escalated,
         AbortKind::SyncRefused,
+        AbortKind::WalRefused,
         AbortKind::SpecPartial,
         AbortKind::SpecFull,
         AbortKind::SpecMispredict,
@@ -88,6 +94,7 @@ impl AbortKind {
             AbortKind::LockedOut => "locked_out",
             AbortKind::Escalated => "escalated",
             AbortKind::SyncRefused => "sync_refused",
+            AbortKind::WalRefused => "wal_refused",
             AbortKind::SpecPartial => "spec_partial",
             AbortKind::SpecFull => "spec_full",
             AbortKind::SpecMispredict => "spec_mispredict",
@@ -106,6 +113,7 @@ impl AbortKind {
             "locked_out" => AbortKind::LockedOut,
             "escalated" => AbortKind::Escalated,
             "sync_refused" => AbortKind::SyncRefused,
+            "wal_refused" => AbortKind::WalRefused,
             "spec_partial" => AbortKind::SpecPartial,
             "spec_full" => AbortKind::SpecFull,
             "spec_mispredict" => AbortKind::SpecMispredict,
@@ -187,6 +195,7 @@ mod tests {
             AbortKind::LockedOut,
             AbortKind::Escalated,
             AbortKind::SyncRefused,
+            AbortKind::WalRefused,
             AbortKind::SpecPartial,
             AbortKind::SpecFull,
             AbortKind::SpecMispredict,

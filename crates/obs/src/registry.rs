@@ -78,6 +78,14 @@ pub struct RecoveryCounters {
     /// Objects shipped in delta-sync responses after restart replays —
     /// the recovery work that must scale with the outage, not the store.
     pub delta_objects_fetched: u64,
+    /// WAL append/sync failures surfaced by the storage backend.
+    pub wal_io_errors: u64,
+    /// Successful WAL syncs that made at least one new record durable.
+    pub wal_sync_batches: u64,
+    /// Records made durable across those batches; divided by
+    /// `wal_sync_batches` this is the group-commit records-per-sync
+    /// batching factor.
+    pub wal_records_synced: u64,
 }
 
 /// Mirror of the simulated network's `NetStatsSnapshot`.
@@ -300,7 +308,10 @@ impl MetricsReport {
                 .u64_field("restart_replays", r.restart_replays)
                 .u64_field("wal_records_replayed", r.wal_records_replayed)
                 .u64_field("torn_tails_truncated", r.torn_tails_truncated)
-                .u64_field("delta_objects_fetched", r.delta_objects_fetched);
+                .u64_field("delta_objects_fetched", r.delta_objects_fetched)
+                .u64_field("wal_io_errors", r.wal_io_errors)
+                .u64_field("wal_sync_batches", r.wal_sync_batches)
+                .u64_field("wal_records_synced", r.wal_records_synced);
             out.push_str(&o.finish());
             out.push('\n');
         }
@@ -441,6 +452,9 @@ impl MetricsReport {
                         torn_tails_truncated: req_u64(&map, "torn_tails_truncated").map_err(ctx)?,
                         delta_objects_fetched: req_u64(&map, "delta_objects_fetched")
                             .map_err(ctx)?,
+                        wal_io_errors: req_u64(&map, "wal_io_errors").map_err(ctx)?,
+                        wal_sync_batches: req_u64(&map, "wal_sync_batches").map_err(ctx)?,
+                        wal_records_synced: req_u64(&map, "wal_records_synced").map_err(ctx)?,
                     })
                 }
                 "net" => {
@@ -675,6 +689,9 @@ mod tests {
                 wal_records_replayed: 180,
                 torn_tails_truncated: 1,
                 delta_objects_fetched: 12,
+                wal_io_errors: 2,
+                wal_sync_batches: 40,
+                wal_records_synced: 210,
             })
             .net(NetCounters {
                 sent: 500,

@@ -771,6 +771,9 @@ fn drive_to_result(
         wal_records_replayed: server_stats.iter().map(|s| s.wal_records_replayed).sum(),
         torn_tails_truncated: server_stats.iter().map(|s| s.torn_tails_truncated).sum(),
         delta_objects_fetched: server_stats.iter().map(|s| s.delta_objects_fetched).sum(),
+        wal_io_errors: server_stats.iter().map(|s| s.wal_io_errors).sum(),
+        wal_sync_batches: server_stats.iter().map(|s| s.wal_sync_batches).sum(),
+        wal_records_synced: server_stats.iter().map(|s| s.wal_records_synced).sum(),
     };
 
     ScenarioResult {

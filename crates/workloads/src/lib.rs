@@ -34,4 +34,4 @@ pub use batch::{BatchConfig, SpecMode};
 pub use driver::{
     run_scenario, IntervalStats, ScenarioConfig, ScenarioObs, ScenarioResult, SystemKind,
 };
-pub use workload::{TxnRequest, Workload};
+pub use workload::{seed_txn, TxnRequest, Workload};

@@ -25,7 +25,7 @@ mod payment;
 
 use crate::schema::{D_TAX, ITEM, I_PRICE, STOCK, S_QTY, WAREHOUSE, W_TAX};
 use crate::workload::{TxnRequest, Workload};
-use acn_dtm::{DtmClient, TxnCtx};
+use acn_dtm::DtmClient;
 use acn_txir::{DependencyModel, ObjectId, Program, UnitBlockId, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -203,31 +203,33 @@ impl Workload for Tpcc {
     fn seed(&self, client: &mut DtmClient) {
         // Items + stock, batched to bound read-set sizes.
         for chunk in (0..self.cfg.items).collect::<Vec<_>>().chunks(25) {
-            let mut ctx = TxnCtx::begin(client);
-            for &i in chunk {
-                let item = ObjectId::new(ITEM, i);
-                ctx.open(client, item, true).expect("seed item");
-                ctx.set_field(item, I_PRICE, Value::Int(100 + (i as i64 % 900)));
-                for w in 0..self.cfg.warehouses {
-                    let stock = ObjectId::new(STOCK, self.stock_index(w, i));
-                    ctx.open(client, stock, true).expect("seed stock");
-                    ctx.set_field(stock, S_QTY, Value::Int(1_000));
+            crate::seed_txn(client, |client, ctx| {
+                for &i in chunk {
+                    let item = ObjectId::new(ITEM, i);
+                    ctx.open(client, item, true)?;
+                    ctx.set_field(item, I_PRICE, Value::Int(100 + (i as i64 % 900)));
+                    for w in 0..self.cfg.warehouses {
+                        let stock = ObjectId::new(STOCK, self.stock_index(w, i));
+                        ctx.open(client, stock, true)?;
+                        ctx.set_field(stock, S_QTY, Value::Int(1_000));
+                    }
+                }
+                Ok(())
+            });
+        }
+        crate::seed_txn(client, |client, ctx| {
+            for w in 0..self.cfg.warehouses {
+                let wh = ObjectId::new(WAREHOUSE, w);
+                ctx.open(client, wh, true)?;
+                ctx.set_field(wh, W_TAX, Value::Int(8));
+                for d in 0..self.cfg.districts_per_warehouse {
+                    let dist = ObjectId::new(DISTRICT, self.district_index(w, d));
+                    ctx.open(client, dist, true)?;
+                    ctx.set_field(dist, D_TAX, Value::Int(2));
                 }
             }
-            ctx.commit(client).expect("seed commit");
-        }
-        let mut ctx = TxnCtx::begin(client);
-        for w in 0..self.cfg.warehouses {
-            let wh = ObjectId::new(WAREHOUSE, w);
-            ctx.open(client, wh, true).expect("seed warehouse");
-            ctx.set_field(wh, W_TAX, Value::Int(8));
-            for d in 0..self.cfg.districts_per_warehouse {
-                let dist = ObjectId::new(DISTRICT, self.district_index(w, d));
-                ctx.open(client, dist, true).expect("seed district");
-                ctx.set_field(dist, D_TAX, Value::Int(2));
-            }
-        }
-        ctx.commit(client).expect("seed commit");
+            Ok(())
+        });
     }
 }
 

@@ -93,8 +93,9 @@ pub mod prelude {
         SumModel,
     };
     pub use acn_dtm::{
-        check_history, ChildCtx, ClientConfig, Cluster, ClusterConfig, CommitRecord, DtmClient,
-        DtmError, HistoryLog, HistorySummary, StoreDigest, SyncConfig, TxnCtx, TxnId, Violation,
+        check_durability, check_history, ChildCtx, ClientConfig, Cluster, ClusterConfig,
+        CommitRecord, DtmClient, DtmError, DurabilityMode, DurabilitySummary, FaultLogConfig,
+        HistoryLog, HistorySummary, StoreDigest, SyncConfig, TxnCtx, TxnId, Violation,
     };
     pub use acn_obs::{
         aggregate_critpath, critical_path, parse_chrome_trace, write_chrome_trace, AbortKind,

@@ -543,6 +543,146 @@ fn tpcc_recovers_from_crash_restarts_under_every_seed() {
     }
 }
 
+/// Run one workload through the **durability gauntlet**: group-commit
+/// batching on every replica's WAL, seeded storage faults (append and sync
+/// I/O errors with degraded-mode vote refusals), and a crash-restart whose
+/// reload drops the victim's entire unsynced suffix — the OS page cache
+/// the power cut never flushed. The lost-ack invariant must hold anyway:
+/// every transaction whose commit the client saw acknowledged survives in
+/// at least one final replica inventory, and no replica replays a version
+/// nobody committed. Acks are only honest if the server defers them until
+/// the covering WAL record is durable; this profile is the test that
+/// catches an early ack.
+fn run_durability_seed(workload: &dyn Workload, system: SystemKind, fault_seed: u64) {
+    eprintln!("durability chaos seed {fault_seed} ({system})");
+    let (mut cfg, history) = suite_config(system, fault_seed);
+    cfg.chaos = Some(FaultPlan::generate(
+        fault_seed,
+        7,
+        3,
+        &ChaosProfile {
+            partitions: 0,
+            crashes: 0,
+            restart_crashes: 1,
+            ..ChaosProfile::default()
+        },
+    ));
+    cfg.obs = Some(ObsConfig::default());
+    cfg.cluster.durability = DurabilityMode::GroupCommit {
+        max_records: 8,
+        max_delay: Duration::from_millis(2),
+    };
+    cfg.cluster.wal_faults = Some(FaultLogConfig {
+        seed: fault_seed,
+        append_error_p: 0.02,
+        sync_error_p: 0.02,
+        lose_unsynced_on_restart: true,
+        ..FaultLogConfig::default()
+    });
+    let result = qr_acn::workloads::run_scenario(workload, &cfg);
+
+    let records = history.snapshot();
+    if let Err(violations) = check_history(&records) {
+        panic!(
+            "seed {fault_seed}: durability run failed the history checker with \
+             {} violation(s): {:#?}\nreproduce with: CHAOS_SEED={fault_seed} cargo test \
+             --test chaos_suite",
+            violations.len(),
+            &violations[..violations.len().min(5)]
+        );
+    }
+    let acked = history.acked_snapshot();
+    let inventories: Vec<_> = result
+        .server_stats
+        .iter()
+        .map(|s| s.inventory.clone())
+        .collect();
+    match check_durability(&records, &acked, &inventories) {
+        Ok(summary) => {
+            assert!(
+                summary.acked_commits > 0,
+                "seed {fault_seed}: the run acknowledged commits, the checker must see them"
+            );
+            assert_eq!(
+                summary.replicas, 7,
+                "seed {fault_seed}: every replica reported an inventory"
+            );
+        }
+        Err(violations) => panic!(
+            "seed {fault_seed}: lost-ack checker failed with {} violation(s): {:#?}\n\
+             reproduce with: CHAOS_SEED={fault_seed} cargo test --test chaos_suite",
+            violations.len(),
+            &violations[..violations.len().min(5)]
+        ),
+    }
+    assert!(
+        result
+            .intervals
+            .last()
+            .expect("intervals non-empty")
+            .commits
+            > 0,
+        "seed {fault_seed}: no progress after the restart window healed: {:?}",
+        result.intervals
+    );
+    assert!(
+        result.recovery.restart_replays >= 1,
+        "seed {fault_seed}: the scheduled crash-restart must have replayed a WAL"
+    );
+    // No lower bound on `wal_records_replayed` here: if the victim joined
+    // its first write quorum shortly before the crash, the lost unsynced
+    // suffix can legitimately be its *entire* log — that is the fault
+    // being modeled, and the lost-ack check above is what bounds it.
+    assert!(
+        result.recovery.wal_sync_batches >= 1,
+        "seed {fault_seed}: deferred acks force syncs; none were counted"
+    );
+    assert!(
+        result.recovery.wal_records_synced >= result.recovery.wal_sync_batches,
+        "seed {fault_seed}: every counted sync batch covers at least one record \
+         (batches={}, records={})",
+        result.recovery.wal_sync_batches,
+        result.recovery.wal_records_synced
+    );
+    // Attribution exactness survives storage back-pressure: `wal_refused`
+    // votes get their own kind instead of inflating CommitConflict.
+    let obs = result.obs.as_ref().expect("observability was enabled");
+    let counted =
+        result.total_full_aborts() + result.total_partial_aborts() + result.total_locked_aborts();
+    assert_eq!(
+        obs.aborts.total_of(&AbortKind::EXECUTOR_KINDS),
+        counted,
+        "seed {fault_seed}: attributed aborts must equal executor counters under storage faults"
+    );
+}
+
+#[test]
+fn bank_durability_survives_suffix_loss_under_every_seed() {
+    let bank = Bank::default();
+    for seed in seeds() {
+        run_durability_seed(&bank, SystemKind::QrAcn, seed);
+    }
+}
+
+#[test]
+fn tpcc_durability_survives_suffix_loss_under_every_seed() {
+    // Same scaled-down catalog as the serializability TPC-C arm.
+    let tpcc = Tpcc::new(
+        qr_acn::workloads::tpcc::TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 4,
+            customers_per_district: 20,
+            items: 40,
+            ol_min: 3,
+            ol_max: 6,
+        },
+        qr_acn::workloads::tpcc::TpccMix::MIXED,
+    );
+    for seed in seeds() {
+        run_durability_seed(&tpcc, SystemKind::QrDtm, seed);
+    }
+}
+
 /// Both crash flavors in one schedule: one replica restarts with its log,
 /// another loses everything. The two recovery paths must coexist without
 /// confusing each other's sync traffic (incarnations keep them apart), the
@@ -649,5 +789,57 @@ fn checker_flags_a_deliberately_torn_commit() {
             .iter()
             .any(|v| matches!(v, Violation::TornWrite { .. })),
         "expected a TornWrite violation, got {violations:?}"
+    );
+}
+
+/// Negative control for the durability checker: forge an *acknowledged*
+/// commit whose write survives on no replica — exactly the state an early
+/// ack plus a crash would produce — and the checker must flag it as a
+/// lost ack.
+#[test]
+fn durability_checker_flags_a_forged_lost_ack() {
+    let bank = Bank::default();
+    let mut cfg = ScenarioConfig::scaled(SystemKind::QrDtm, 2);
+    cfg.cluster = ClusterConfig::test(4, 2);
+    cfg.intervals = 2;
+    cfg.interval = Duration::from_millis(50);
+    let history = Arc::new(HistoryLog::new());
+    cfg.history = Some(Arc::clone(&history));
+    let result = qr_acn::workloads::run_scenario(&bank, &cfg);
+
+    let mut records = history.snapshot();
+    let mut acked = history.acked_snapshot();
+    let inventories: Vec<_> = result
+        .server_stats
+        .iter()
+        .map(|s| s.inventory.clone())
+        .collect();
+    check_durability(&records, &acked, &inventories).expect("healthy run must be durably clean");
+
+    // The forged transaction claims writes far above anything any replica
+    // retained, and claims the client saw its commit acknowledged.
+    let victim = records
+        .iter()
+        .find(|r| !r.writes.is_empty())
+        .expect("a bank run commits writes")
+        .clone();
+    let mut forged = victim;
+    forged.txn = TxnId {
+        client: NodeId(9_999),
+        seq: 0,
+    };
+    for (_, v) in forged.writes.iter_mut() {
+        *v += 1_000_000;
+    }
+    acked.insert(forged.txn);
+    records.push(forged);
+
+    let violations = check_durability(&records, &acked, &inventories)
+        .expect_err("a forged lost ack must be flagged");
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::LostAck { .. })),
+        "expected a LostAck violation, got {violations:?}"
     );
 }
