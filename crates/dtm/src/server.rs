@@ -167,6 +167,20 @@ pub struct Server {
     /// When the oldest not-yet-durable record was appended — drives the
     /// group-commit `max_delay` deadline.
     wal_first_dirty_at: Option<Instant>,
+    /// Decision records (commit apply / abort) whose original append
+    /// failed. The quorum's decision is applied to the store regardless
+    /// (refusing it would strand the locks), but its ack is parked past
+    /// these: every sync attempt first re-appends the queue in order, so
+    /// the ack releases only once a re-append plus a covering sync made
+    /// the record durable — ack-after-durable holds across append faults.
+    wal_retry: VecDeque<WalRecord>,
+    /// Earliest time the next sync attempt may run while the backend is
+    /// unhealthy; `None` = no backoff pending (healthy, or first failure
+    /// not yet retried).
+    wal_retry_after: Option<Instant>,
+    /// Current degraded-mode backoff step (doubles per failed attempt,
+    /// bounded by [`WAL_RETRY_BACKOFF_MAX`]).
+    wal_backoff: Duration,
     /// True while the current catch-up round should fetch only the delta
     /// (set by a restart replay, cleared by amnesia and by completion):
     /// probes carry the replica's known versions so peers answer with
@@ -203,6 +217,14 @@ const DEDUP_CAPACITY: usize = 8192;
 /// Shared with [`crate::ClusterConfig`] so the two defaults cannot drift.
 pub const DEFAULT_PREPARED_TTL: Duration = Duration::from_secs(30);
 
+/// Backoff bounds for retrying WAL syncs (and failed-append re-stages)
+/// while the backend keeps erroring. Without a backoff the service loop's
+/// "degraded mode is due now" rule turns a persistently failing device
+/// into a 100% CPU spin; the cap matches the loop's idle receive timeout,
+/// so a healed backend is still noticed within one idle period.
+const WAL_RETRY_BACKOFF_MIN: Duration = Duration::from_millis(1);
+const WAL_RETRY_BACKOFF_MAX: Duration = Duration::from_millis(20);
+
 impl Server {
     /// A fresh replica with an empty store.
     pub fn new(window: WindowConfig) -> Self {
@@ -228,6 +250,9 @@ impl Server {
             wal_durable: 0,
             wal_failed: false,
             wal_first_dirty_at: None,
+            wal_retry: VecDeque::new(),
+            wal_retry_after: None,
+            wal_backoff: Duration::ZERO,
             delta_sync: false,
             last_sweep: Instant::now(),
             spans: None,
@@ -276,18 +301,30 @@ impl Server {
     }
 
     /// Try to make every appended record durable. Returns `true` when the
-    /// log is fully durable afterwards (trivially so without a WAL). A
-    /// successful sync also clears degraded mode: the backend is healthy
-    /// again and new prepares may be granted.
+    /// log is fully durable afterwards (trivially so without a WAL) —
+    /// which also clears degraded mode: the backend is healthy again and
+    /// new prepares may be granted. Anything less (sync error, or a
+    /// failed-append retry still pending) keeps degraded mode and backs
+    /// off the next attempt so a dead backend is not hammered in a spin.
     fn sync_wal(&mut self) -> bool {
+        // Re-stage decision records whose original append failed, in
+        // order, ahead of the sync: the acks parked on them release only
+        // once these reach the log under a covering sync.
+        while let Some(rec) = self.wal_retry.front().cloned() {
+            if self.append_wal(&rec) {
+                self.wal_retry.pop_front();
+            } else {
+                break;
+            }
+        }
         let dirty = self.wal_appended - self.wal_durable;
-        if dirty == 0 && !self.wal_failed {
+        if dirty == 0 && !self.wal_failed && self.wal_retry.is_empty() {
             return true;
         }
         let Some(wal) = self.wal.as_mut() else {
             return true;
         };
-        match wal.sync() {
+        let synced = match wal.sync() {
             Ok(()) => {
                 if dirty > 0 {
                     self.stats.wal_sync_batches += 1;
@@ -295,21 +332,32 @@ impl Server {
                 }
                 self.wal_durable = self.wal_appended;
                 self.wal_first_dirty_at = None;
-                self.wal_failed = false;
                 true
             }
             Err(_) => {
                 self.stats.wal_io_errors += 1;
-                self.wal_failed = true;
                 false
             }
+        };
+        let healthy = synced && self.wal_retry.is_empty();
+        self.wal_failed = !healthy;
+        if healthy {
+            self.wal_retry_after = None;
+            self.wal_backoff = Duration::ZERO;
+        } else {
+            self.wal_backoff =
+                (self.wal_backoff * 2).clamp(WAL_RETRY_BACKOFF_MIN, WAL_RETRY_BACKOFF_MAX);
+            self.wal_retry_after = Some(Instant::now() + self.wal_backoff);
         }
+        healthy
     }
 
     /// When must the next sync happen? `None` means no sync is scheduled
     /// (clean log, no WAL, or Buffered mode — which only syncs at
-    /// shutdown). Degraded mode is due immediately, to exit back-pressure
-    /// as soon as the backend heals. Under GroupCommit, `waiting` says
+    /// shutdown). Degraded mode (sync failure or a pending failed-append
+    /// retry) is due after its backoff — immediate enough to exit
+    /// back-pressure as the backend heals, without busy-spinning on one
+    /// that stays broken. Under GroupCommit, `waiting` says
     /// acks are parked on the durable watermark: that makes a sync due at
     /// once — the loop drained the inbox first, so the batch is whatever
     /// accumulated while the previous fsync ran, and ack latency stays
@@ -323,8 +371,8 @@ impl Server {
     /// to this deadline so aging fires on time.
     fn wal_sync_deadline(&self, now: Instant, waiting: bool) -> Option<Instant> {
         self.wal.as_ref()?;
-        if self.wal_failed {
-            return Some(now);
+        if self.wal_failed || !self.wal_retry.is_empty() {
+            return Some(self.wal_retry_after.unwrap_or(now));
         }
         let dirty = self.wal_appended - self.wal_durable;
         if dirty == 0 {
@@ -433,9 +481,15 @@ impl Server {
             wal.reset();
         }
         // The reset emptied whatever was dirty; start a fresh window.
+        // Failed-append retries lived only in this process's memory and
+        // reference the wiped log — they die with it, exactly like the
+        // acks the service loop had parked on them.
         self.wal_durable = self.wal_appended;
         self.wal_first_dirty_at = None;
         self.wal_failed = false;
+        self.wal_retry.clear();
+        self.wal_retry_after = None;
+        self.wal_backoff = Duration::ZERO;
         let incarnation = self.incarnation;
         self.append_wal(&WalRecord::IncarnationBump { incarnation });
         self.delta_sync = false;
@@ -488,9 +542,14 @@ impl Server {
         self.incarnation = self.incarnation.max(replayed_incarnation) + 1;
         // The load dropped whatever the backend lost (e.g. a fault-injected
         // unsynced suffix); the surviving prefix is durable by definition.
+        // Failed-append retries were in-memory only — the crash loses
+        // them, exactly like the acks the service loop had parked on them.
         self.wal_durable = self.wal_appended;
         self.wal_first_dirty_at = None;
         self.wal_failed = false;
+        self.wal_retry.clear();
+        self.wal_retry_after = None;
+        self.wal_backoff = Duration::ZERO;
         let incarnation = self.incarnation;
         self.append_wal(&WalRecord::IncarnationBump { incarnation });
         self.delta_sync = true;
@@ -860,15 +919,20 @@ impl Server {
                 // Write-ahead: the decision is durable before the store
                 // mutates, so a crash between the two replays the apply.
                 // On append failure the decision — already made by the
-                // quorum — is applied anyway: refusing it would strand the
-                // locks, while a lost record is repaired by delta sync
-                // after the next restart. The error is counted and the
-                // server degrades to refusing *new* prepares.
-                self.append_wal(&WalRecord::CommitApply {
+                // quorum — is applied anyway (refusing it would strand
+                // the locks), but the record goes onto the retry queue:
+                // the ack stays parked until a re-append plus a covering
+                // sync make it durable, so ack-after-durable holds even
+                // when the append itself faulted. The error is counted
+                // and the server degrades to refusing *new* prepares.
+                let rec = WalRecord::CommitApply {
                     txn,
                     req,
                     writes: writes.clone(),
-                });
+                };
+                if !self.append_wal(&rec) {
+                    self.wal_retry.push_back(rec);
+                }
                 for (obj, version, value) in writes {
                     self.store.apply(obj, version, value, txn);
                     self.contention.record_write(obj, now);
@@ -878,10 +942,16 @@ impl Server {
             }
             Msg::AbortReq { txn, req } => {
                 self.stats.aborts += 1;
-                // Best-effort like the commit record: an abort whose
-                // record is lost replays as a still-prepared transaction,
-                // which the post-restart TTL sweep reclaims.
-                self.append_wal(&WalRecord::Abort { txn, req });
+                // Same retry discipline as the commit record: the abort
+                // is applied now, its ack parked until the record is
+                // durable. A record lost to a crash before the retry
+                // lands replays as a still-prepared transaction, which
+                // the post-restart TTL sweep reclaims — and the parked
+                // ack dies with the crash, never sent.
+                let rec = WalRecord::Abort { txn, req };
+                if !self.append_wal(&rec) {
+                    self.wal_retry.push_back(rec);
+                }
                 if let Some(p) = self.prepared.remove(&txn) {
                     for obj in p.objs {
                         self.store.unlock(obj, txn);
@@ -1010,11 +1080,20 @@ impl Server {
             if epoch > self.amnesia_seen {
                 self.amnesia_seen = epoch;
                 self.wipe_for_amnesia();
+                // A crashed process loses its in-memory parked acks: they
+                // were never sent, and the records covering them may have
+                // died with the wiped log or the unsynced suffix —
+                // releasing them post-recovery would ack decisions the
+                // log no longer holds, the exact early ack the
+                // ack-after-durable contract forbids.
+                wal_waiters.clear();
             }
             let repoch = endpoint.restart_epoch();
             if repoch > self.restart_seen {
                 self.restart_seen = repoch;
                 self.recover_from_restart();
+                // Same as amnesia: pre-crash parked acks die unsent.
+                wal_waiters.clear();
             }
             if self.syncing && !endpoint.is_failed() {
                 let now = Instant::now();
@@ -1114,12 +1193,18 @@ impl Server {
                                     | Msg::CommitAck { .. }
                                     | Msg::AbortAck { .. }
                             );
+                            // A pending failed-append retry counts into
+                            // the covering watermark: its record is not
+                            // even staged yet, and will occupy the slots
+                            // past everything queued before it once the
+                            // sync path re-appends the queue in order.
+                            let mark = self.wal_appended + self.wal_retry.len() as u64;
                             let defer = needs_durability
                                 && self.wal.is_some()
                                 && self.durability != DurabilityMode::Buffered
-                                && self.wal_durable < self.wal_appended;
+                                && self.wal_durable < mark;
                             if defer {
-                                wal_waiters.push_back((self.wal_appended, src, reply));
+                                wal_waiters.push_back((mark, src, reply));
                             } else {
                                 let bytes = reply.wire_bytes();
                                 endpoint.send_sized(src, reply, bytes);
@@ -2361,6 +2446,169 @@ mod tests {
         assert!(s.completed.is_empty(), "dedup cache wiped");
         assert!(s.completed_order.is_empty());
         assert!(s.store_mut().is_empty(), "store wiped");
+    }
+
+    /// Test backend: fails chosen 1-based append calls and the first
+    /// `failing_syncs` sync calls, delegating everything else (including
+    /// load/replay) to a [`crate::wal::MemLog`].
+    struct FlakyLog {
+        inner: crate::wal::MemLog,
+        appends_seen: u64,
+        fail_appends: Vec<u64>,
+        failing_syncs: u32,
+    }
+
+    impl FlakyLog {
+        fn failing_appends(fail_appends: Vec<u64>) -> Self {
+            FlakyLog {
+                inner: crate::wal::MemLog::new(),
+                appends_seen: 0,
+                fail_appends,
+                failing_syncs: 0,
+            }
+        }
+
+        fn failing_syncs(failing_syncs: u32) -> Self {
+            FlakyLog {
+                inner: crate::wal::MemLog::new(),
+                appends_seen: 0,
+                fail_appends: vec![],
+                failing_syncs,
+            }
+        }
+    }
+
+    impl Persistence for FlakyLog {
+        fn append(&mut self, rec: &WalRecord) -> Result<(), crate::wal::WalError> {
+            self.appends_seen += 1;
+            if self.fail_appends.contains(&self.appends_seen) {
+                return Err(crate::wal::WalError::Io);
+            }
+            self.inner.append(rec)
+        }
+
+        fn sync(&mut self) -> Result<(), crate::wal::WalError> {
+            if self.failing_syncs > 0 {
+                self.failing_syncs -= 1;
+                return Err(crate::wal::WalError::Io);
+            }
+            self.inner.sync()
+        }
+
+        fn load(&mut self) -> crate::wal::LoadedLog {
+            self.inner.load()
+        }
+
+        fn reset(&mut self) {
+            self.inner.reset();
+        }
+    }
+
+    #[test]
+    fn failed_commit_append_is_retried_so_the_ack_waits_for_durability() {
+        let mut s = server();
+        // Append 1 is the prepare grant; append 2 — the commit decision —
+        // fails once.
+        s.set_persistence(Box::new(FlakyLog::failing_appends(vec![2])));
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            Instant::now(),
+        );
+        let ack = s
+            .handle(
+                Msg::CommitReq {
+                    txn: txn(1),
+                    req: 2,
+                    writes: vec![(OBJ, 1, val(42))],
+                },
+                Instant::now(),
+            )
+            .unwrap();
+        // The quorum's decision still applies locally…
+        assert!(matches!(ack, Msg::CommitAck { req: 2 }));
+        assert_eq!(s.store_mut().version(OBJ), 1);
+        // …but the record is queued for retry and the server is degraded:
+        // the covering watermark sits past the queued record, so the
+        // service loop would park the ack, not release it.
+        assert_eq!(s.stats().wal_io_errors, 1);
+        assert!(s.wal_failed);
+        assert_eq!(s.wal_retry.len(), 1);
+        assert_eq!(s.wal_appended + s.wal_retry.len() as u64, 2);
+        assert!(s.wal_durable < 2, "commit record must not count durable");
+        // The sync path re-appends the queue ahead of the sync: fully
+        // durable, degraded mode over, nothing left queued.
+        assert!(s.sync_wal());
+        assert!(s.wal_retry.is_empty());
+        assert_eq!((s.wal_appended, s.wal_durable), (2, 2));
+        assert!(!s.wal_failed);
+        // Proof the record physically landed: a restart replays it.
+        s.recover_from_restart();
+        assert_eq!(s.store_mut().version(OBJ), 1);
+    }
+
+    #[test]
+    fn crash_before_append_retry_loses_record_and_queue_together() {
+        let mut s = server();
+        s.set_persistence(Box::new(FlakyLog::failing_appends(vec![2])));
+        s.handle(
+            Msg::PrepareReq {
+                txn: txn(1),
+                req: 1,
+                validate: vec![],
+                writes: vec![(OBJ, 0)],
+            },
+            Instant::now(),
+        );
+        s.handle(
+            Msg::CommitReq {
+                txn: txn(1),
+                req: 2,
+                writes: vec![(OBJ, 1, val(42))],
+            },
+            Instant::now(),
+        );
+        assert_eq!(s.store_mut().version(OBJ), 1, "decision applied pre-crash");
+        // Crash before the retry lands: the record never reached the log
+        // and the retry queue was memory-only — both are gone, exactly
+        // like the ack the service loop had parked (and drops on the
+        // crash epoch). Losing an *unacked* commit is the contract.
+        s.recover_from_restart();
+        assert!(s.wal_retry.is_empty(), "retry queue dies with the process");
+        assert_eq!(s.store_mut().version(OBJ), 0, "unacked commit lost");
+        assert!(
+            s.prepared.contains_key(&txn(1)),
+            "the synced grant replays as still-prepared; the TTL sweep reclaims it"
+        );
+    }
+
+    #[test]
+    fn degraded_mode_backs_off_instead_of_hot_spinning() {
+        let mut s = server();
+        s.set_persistence(Box::new(FlakyLog::failing_syncs(2)));
+        commit_obj(&mut s, txn(1), 1, OBJ, 1, 42);
+        assert!(!s.sync_wal());
+        assert_eq!(s.wal_backoff, WAL_RETRY_BACKOFF_MIN);
+        // The deadline honours the backoff instead of reading "due now":
+        // that gap is what keeps the service loop off a 100% CPU spin
+        // while the backend stays broken.
+        let now = Instant::now();
+        assert_eq!(s.wal_sync_deadline(now, true), s.wal_retry_after);
+        assert!(s.wal_retry_after.is_some());
+        assert!(!s.sync_wal());
+        assert_eq!(s.wal_backoff, WAL_RETRY_BACKOFF_MIN * 2, "doubles");
+        assert!(s.sync_wal(), "third attempt heals");
+        assert!(!s.wal_failed);
+        assert_eq!(s.wal_backoff, Duration::ZERO, "healthy resets backoff");
+        assert_eq!(
+            s.wal_sync_deadline(Instant::now(), false),
+            None,
+            "clean log schedules nothing"
+        );
     }
 
     #[test]

@@ -640,7 +640,9 @@ pub struct FaultLog {
     ops: u64,
     /// Cumulative frame bytes accepted, checked against `byte_budget`.
     bytes_accepted: u64,
-    /// Records dropped by `lose_unsynced_on_restart` loads.
+    /// Staged records dropped at load: the unsynced suffix under
+    /// `lose_unsynced_on_restart`, plus anything the inner backend
+    /// refused when a healthy load flushed the stage.
     suffix_records_lost: u64,
 }
 
@@ -662,7 +664,7 @@ impl FaultLog {
         self.staged.len()
     }
 
-    /// Records dropped so far by suffix-loss loads.
+    /// Records dropped so far at load (suffix loss or a failed flush).
     pub fn suffix_records_lost(&self) -> u64 {
         self.suffix_records_lost
     }
@@ -716,8 +718,15 @@ impl Persistence for FaultLog {
             // records survive into the replayed log.
             self.suffix_records_lost += self.staged.len() as u64;
             self.staged.clear();
-        } else {
-            let _ = self.flush_staged();
+        } else if self.flush_staged().is_err() {
+            // A healthy restart flushes the stage, but the inner backend
+            // can refuse mid-flush; whatever it refused is as lost as a
+            // dropped suffix, so count it — silently omitting records
+            // whose append was acknowledged with Ok would make the loss
+            // invisible to the checker. (`flush_staged` pops each record
+            // as it lands, so what remains staged is exactly the loss.)
+            self.suffix_records_lost += self.staged.len() as u64;
+            self.staged.clear();
         }
         self.inner.load()
     }
@@ -1022,6 +1031,58 @@ mod tests {
             keep.append(rec).unwrap();
         }
         assert_eq!(keep.load().records, recs);
+    }
+
+    /// Inner backend that accepts a fixed number of appends, then
+    /// refuses with [`WalError::Io`] — for driving flush failures.
+    struct QuotaLog {
+        inner: MemLog,
+        accepts: usize,
+    }
+
+    impl Persistence for QuotaLog {
+        fn append(&mut self, rec: &WalRecord) -> Result<(), WalError> {
+            if self.accepts == 0 {
+                return Err(WalError::Io);
+            }
+            self.accepts -= 1;
+            self.inner.append(rec)
+        }
+
+        fn sync(&mut self) -> Result<(), WalError> {
+            self.inner.sync()
+        }
+
+        fn load(&mut self) -> LoadedLog {
+            self.inner.load()
+        }
+
+        fn reset(&mut self) {
+            self.inner.reset();
+        }
+    }
+
+    #[test]
+    fn fault_log_counts_records_a_failed_flush_drops_at_load() {
+        // Healthy-restart load (no suffix loss configured), but the inner
+        // backend dies one record into the flush: the record that landed
+        // is loaded, the two it refused are counted as lost rather than
+        // silently vanishing.
+        let mut log = FaultLog::new(
+            Box::new(QuotaLog {
+                inner: MemLog::new(),
+                accepts: 1,
+            }),
+            FaultLogConfig::default(),
+        );
+        let recs = sample_records();
+        for rec in &recs[..3] {
+            log.append(rec).unwrap();
+        }
+        let loaded = log.load();
+        assert_eq!(loaded.records, recs[..1].to_vec());
+        assert_eq!(log.suffix_records_lost(), 2);
+        assert_eq!(log.staged_len(), 0, "nothing left half-staged");
     }
 
     #[test]
