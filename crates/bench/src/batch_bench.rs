@@ -140,12 +140,25 @@ pub struct ArmSummary {
 /// Condense one scenario result into the exported arm summary.
 pub fn summarize(label: &'static str, r: &ScenarioResult) -> ArmSummary {
     let secs = r.interval.as_secs_f64() * r.intervals.len() as f64;
+    // A degenerate run (zero intervals, zero-length windows) must export
+    // 0.0, never NaN/inf — `{:.1}` would render those as invalid JSON.
+    let commits_per_sec = if secs > 0.0 {
+        r.total_commits() as f64 / secs
+    } else {
+        0.0
+    };
     let (p99_ms, p99_source) = match r.obs.as_ref().filter(|o| !o.critpath.is_empty()) {
         Some(obs) => {
             let mut e2e: Vec<u64> = obs.critpath.iter().map(|c| c.end_to_end_ns).collect();
             e2e.sort_unstable();
-            let idx = ((e2e.len() as f64 * 0.99).ceil() as usize).clamp(1, e2e.len()) - 1;
-            (e2e[idx] as f64 / 1e6, "critpath")
+            // The filter above guarantees `e2e` is non-empty, but keep the
+            // guard explicit: `clamp(1, 0)` would panic, not truncate.
+            if e2e.is_empty() {
+                (0.0, "critpath")
+            } else {
+                let idx = ((e2e.len() as f64 * 0.99).ceil() as usize).clamp(1, e2e.len()) - 1;
+                (e2e[idx] as f64 / 1e6, "critpath")
+            }
         }
         None => (
             r.latency
@@ -172,7 +185,7 @@ pub fn summarize(label: &'static str, r: &ScenarioResult) -> ArmSummary {
     };
     ArmSummary {
         label,
-        commits_per_sec: r.total_commits() as f64 / secs,
+        commits_per_sec,
         p99_ms,
         p99_source,
         commits: r.total_commits(),

@@ -9,12 +9,15 @@
 //! cargo run --release -p acn-bench --bin figures batch --smoke --out dir/  # CI scale
 //! cargo run --release -p acn-bench --bin figures wal        # durability-mode ablation
 //! cargo run --release -p acn-bench --bin figures wal --smoke --out dir/    # CI scale
+//! cargo run --release -p acn-bench --bin figures obs        # telemetry-overhead A/B
+//! cargo run --release -p acn-bench --bin figures obs --smoke --out dir/    # CI scale
 //! cargo run --release -p acn-bench --bin figures fig4f --trace out/  # span trace
+//! cargo run --release -p acn-bench --bin figures fig4f --prom out/   # Prometheus text
 //! ```
 
 use acn_bench::figures::{
     all_figures, print_figure, print_read_path_ablation, run_figure, write_csv, write_jsonl,
-    write_trace,
+    write_prom, write_trace,
 };
 
 fn main() {
@@ -40,6 +43,16 @@ fn main() {
         let dir = args
             .get(i + 1)
             .expect("--trace requires a directory")
+            .clone();
+        args.drain(i..=i + 1);
+        std::path::PathBuf::from(dir)
+    });
+    // `--prom DIR` writes each system's metrics in Prometheus exposition
+    // format (parsed back and re-rendered for equality before landing).
+    let prom_dir = args.iter().position(|a| a == "--prom").map(|i| {
+        let dir = args
+            .get(i + 1)
+            .expect("--prom requires a directory")
             .clone();
         args.drain(i..=i + 1);
         std::path::PathBuf::from(dir)
@@ -141,6 +154,40 @@ fn main() {
         return;
     }
 
+    if args.first().map(String::as_str) == Some("obs") {
+        use acn_bench::batch_bench::BenchScale;
+        use acn_bench::obs_bench::{run_obs_bench, OVERHEAD_BUDGET_PCT};
+        let scale = if args.iter().any(|a| a == "--smoke") {
+            BenchScale::smoke()
+        } else {
+            BenchScale::full()
+        };
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        let bench = run_obs_bench(&scale, &out).expect("obs bench failed");
+        eprintln!("wrote {}", out.join("BENCH_obs.json").display());
+        println!(
+            "telemetry overhead: {:.2}% (off {:.0} tps, on {:.0} tps, budget {:.0}%)",
+            bench.overhead_pct(),
+            bench.off.commits_per_sec,
+            bench.on.commits_per_sec,
+            OVERHEAD_BUDGET_PCT
+        );
+        // The "cheap enough to leave on" claim, enforced at every scale
+        // this bench runs at — CI gates the smoke scale on exactly this.
+        assert!(
+            bench.overhead_pct() < OVERHEAD_BUDGET_PCT,
+            "full telemetry must cost <{OVERHEAD_BUDGET_PCT}% throughput \
+             (measured {:.2}%)",
+            bench.overhead_pct()
+        );
+        return;
+    }
+
     if args.first().map(String::as_str) == Some("readpath") {
         let objects: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
         let txns: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
@@ -184,6 +231,11 @@ fn main() {
                 eprintln!("no spans recorded (is ACN_OBS=0?) — no trace written");
             }
             for path in paths {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        if let Some(dir) = &prom_dir {
+            for path in write_prom(spec, &result, dir).expect("write prom") {
                 eprintln!("wrote {}", path.display());
             }
         }

@@ -92,6 +92,7 @@ fn main() {
             history: None,
             obs: obs_from_env(),
             batch: None,
+            slo: None,
         };
         let r = run_scenario(workload.as_ref(), &cfg);
         let per: Vec<String> = (0..cfg.intervals)

@@ -176,6 +176,7 @@ pub fn run_figure(spec: &FigureSpec) -> FigureResult {
             history: None,
             obs: obs_from_env(),
             batch: None,
+            slo: None,
         };
         eprintln!("  {system} …");
         results.push(run_scenario(spec.workload.as_ref(), &cfg));
@@ -332,6 +333,45 @@ pub fn write_jsonl(
         assert_eq!(parsed, report, "JSON-lines export must round-trip");
         let path = dir.join(format!(
             "{}-{}.jsonl",
+            spec.id,
+            r.system.to_string().to_lowercase()
+        ));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(text.as_bytes())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Write one figure's metrics in Prometheus exposition format, one
+/// `<figure>-<system>.prom` file per system. Each exposition is parsed
+/// back with the vendored parser and re-rendered for exact equality
+/// before it lands on disk — the scrape surface rides the same
+/// round-trip contract as every other codec in the workspace.
+pub fn write_prom(
+    spec: &FigureSpec,
+    fig: &FigureResult,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for r in &fig.results {
+        let report = r.metrics_report(&[
+            ("figure", spec.id.to_string()),
+            ("title", spec.title.to_string()),
+        ]);
+        let families = acn_obs::report_to_prom(&report);
+        let text = acn_obs::render_prom(&families);
+        let parsed = acn_obs::parse_prom(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        assert_eq!(
+            acn_obs::render_prom(&parsed),
+            text,
+            "Prometheus exposition must round-trip"
+        );
+        let path = dir.join(format!(
+            "{}-{}.prom",
             spec.id,
             r.system.to_string().to_lowercase()
         ));

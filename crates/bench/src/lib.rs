@@ -9,4 +9,5 @@
 
 pub mod batch_bench;
 pub mod figures;
+pub mod obs_bench;
 pub mod wal_bench;

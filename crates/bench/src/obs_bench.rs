@@ -1,0 +1,183 @@
+//! The telemetry-overhead A/B: `BENCH_obs.json`.
+//!
+//! Same saturated Bank, same closed loop, two arms: observability fully
+//! on ([`acn_obs::ObsConfig::default`] — trace rings, abort attribution,
+//! the wasted-work ledger, windowed series *and* span tracing) versus
+//! fully off (`cfg.obs = None`, the `ACN_OBS=0` kill-switch path). Each
+//! arm runs three times and keeps its best throughput, so a scheduler
+//! hiccup in one rep cannot masquerade as telemetry cost. The exported
+//! overhead is the fraction of the off arm's throughput the on arm gives
+//! up; the `figures obs` front end asserts it stays under
+//! [`OVERHEAD_BUDGET_PCT`] — the "observability is cheap enough to leave
+//! on" claim, enforced at every scale the bench runs at.
+
+use crate::batch_bench::{saturated_bank, BenchScale};
+use acn_dtm::ClusterConfig;
+use acn_obs::ObsConfig;
+use acn_simnet::LatencyModel;
+use acn_workloads::{run_scenario, ScenarioConfig, SystemKind, Workload};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The on arm may cost at most this share of the off arm's throughput.
+pub const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+/// Reps per arm; each arm reports its best.
+const REPS: usize = 3;
+
+/// One arm of the A/B.
+#[derive(Debug, Clone)]
+pub struct ObsArm {
+    /// `obs_on` / `obs_off`.
+    pub label: &'static str,
+    /// Best-of-reps committed transactions per second.
+    pub commits_per_sec: f64,
+    /// Commits of the best rep.
+    pub commits: u64,
+}
+
+/// The measured A/B.
+#[derive(Debug, Clone)]
+pub struct ObsBench {
+    /// Telemetry disabled (`cfg.obs = None`).
+    pub off: ObsArm,
+    /// Telemetry fully enabled ([`ObsConfig::default`]).
+    pub on: ObsArm,
+}
+
+impl ObsBench {
+    /// Throughput the on arm gives up, as a percentage of the off arm's.
+    /// Negative when the on arm happened to run faster (noise floor).
+    pub fn overhead_pct(&self) -> f64 {
+        (1.0 - self.on.commits_per_sec / self.off.commits_per_sec.max(1e-9)) * 100.0
+    }
+}
+
+fn obs_scenario(scale: &BenchScale, obs: Option<ObsConfig>) -> ScenarioConfig {
+    let mut cluster = ClusterConfig::paper(scale.threads);
+    cluster.latency = LatencyModel::Uniform {
+        min: Duration::from_micros(80),
+        max: Duration::from_micros(240),
+    };
+    cluster.window.window = Duration::from_millis(150);
+    let mut cfg = ScenarioConfig::scaled(SystemKind::QrCn, scale.threads);
+    cfg.cluster = cluster;
+    cfg.intervals = scale.intervals;
+    cfg.interval = scale.interval;
+    cfg.obs = obs;
+    cfg
+}
+
+fn run_arm(
+    label: &'static str,
+    workload: &dyn Workload,
+    scale: &BenchScale,
+    obs: Option<ObsConfig>,
+) -> ObsArm {
+    let secs = scale.interval.as_secs_f64() * scale.intervals as f64;
+    let mut best = ObsArm {
+        label,
+        commits_per_sec: 0.0,
+        commits: 0,
+    };
+    for rep in 0..REPS {
+        eprintln!("  obs bench: {label} rep {}/{REPS} …", rep + 1);
+        let r = run_scenario(workload, &obs_scenario(scale, obs));
+        let tput = if secs > 0.0 {
+            r.total_commits() as f64 / secs
+        } else {
+            0.0
+        };
+        if tput > best.commits_per_sec {
+            best.commits_per_sec = tput;
+            best.commits = r.total_commits();
+        }
+    }
+    best
+}
+
+/// Render `BENCH_obs.json`. Values are formatted with fixed precision
+/// from already-guarded finite floats, so the output is always valid
+/// JSON.
+pub fn render_obs_json(bench: &ObsBench, scale: &BenchScale) -> String {
+    let arm = |a: &ObsArm| {
+        format!(
+            "{{\n      \"commits_per_sec\": {:.1},\n      \"commits\": {}\n    }}",
+            a.commits_per_sec, a.commits
+        )
+    };
+    format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": \"bank_saturated\",\n  \
+         \"threads\": {},\n  \"intervals\": {},\n  \"interval_ms\": {},\n  \
+         \"reps_per_arm\": {},\n  \"arms\": {{\n    \"obs_off\": {},\n    \"obs_on\": {}\n  }},\n  \
+         \"overhead_pct\": {:.2},\n  \"budget_pct\": {:.1}\n}}\n",
+        scale.threads,
+        scale.intervals,
+        scale.interval.as_millis(),
+        REPS,
+        arm(&bench.off),
+        arm(&bench.on),
+        bench.overhead_pct(),
+        OVERHEAD_BUDGET_PCT,
+    )
+}
+
+/// Run the A/B at the given scale and write `BENCH_obs.json` under `out`.
+/// Does *not* assert the budget — the caller owns the gate, so tests can
+/// inspect a failing measurement instead of panicking inside the run.
+pub fn run_obs_bench(scale: &BenchScale, out: &Path) -> std::io::Result<ObsBench> {
+    let bank = saturated_bank();
+    let off = run_arm("obs_off", &bank, scale, None);
+    let on = run_arm("obs_on", &bank, scale, Some(ObsConfig::default()));
+    let bench = ObsBench { off, on };
+    std::fs::create_dir_all(out)?;
+    let path: PathBuf = out.join("BENCH_obs.json");
+    std::fs::write(&path, render_obs_json(&bench, scale))?;
+    Ok(bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math_and_json_shape() {
+        let bench = ObsBench {
+            off: ObsArm {
+                label: "obs_off",
+                commits_per_sec: 1000.0,
+                commits: 1200,
+            },
+            on: ObsArm {
+                label: "obs_on",
+                commits_per_sec: 970.0,
+                commits: 1164,
+            },
+        };
+        assert!((bench.overhead_pct() - 3.0).abs() < 1e-9);
+        let json = render_obs_json(&bench, &BenchScale::smoke());
+        assert!(json.contains("\"overhead_pct\": 3.00"));
+        assert!(json.contains("\"obs_off\""));
+        assert!(json.contains("\"obs_on\""));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn zero_throughput_off_arm_never_divides_by_zero() {
+        let bench = ObsBench {
+            off: ObsArm {
+                label: "obs_off",
+                commits_per_sec: 0.0,
+                commits: 0,
+            },
+            on: ObsArm {
+                label: "obs_on",
+                commits_per_sec: 0.0,
+                commits: 0,
+            },
+        };
+        assert!(bench.overhead_pct().is_finite());
+        let json = render_obs_json(&bench, &BenchScale::smoke());
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+}

@@ -104,21 +104,35 @@ pub fn run_checkpointed_observed(
             stats.checkpoints += 1;
 
             let reads_before = ctx.reads_len();
+            let mut lock_holds: u32 = 0;
             let result = {
                 let mut acc = FlatAccess {
                     ctx: &mut ctx,
                     spec: None,
                     blind: &[],
                 };
+                let mut guards = StepGuards::none();
+                guards.lock_holds = Some(&mut lock_holds);
                 run_block(
                     &mut acc,
                     client,
                     &mut frame,
                     program,
                     &seq.blocks[block_idx],
-                    &mut StepGuards::none(),
+                    &mut guards,
                 )
             };
+            // Before the terminal event, so a rollback charges this run's
+            // holds to the discarded block and a completed run keeps them.
+            if lock_holds > 0 {
+                emit(
+                    &mut obs,
+                    TxnEvent::LockHolds {
+                        block: Some(block_idx as u32),
+                        holds: lock_holds,
+                    },
+                );
+            }
             match result {
                 Ok(()) => {
                     // Record first-read blocks for objects this block added.

@@ -320,6 +320,9 @@ impl<'p> Frame<'p> {
 pub(crate) struct StepGuards<'a> {
     pub(crate) preds: Option<&'a mut Vec<PredictedRead>>,
     pub(crate) alias_check: bool,
+    /// When observing, counts update-mode opens (commit-time lock claims)
+    /// for the wasted-work ledger's `LockHolds` event.
+    pub(crate) lock_holds: Option<&'a mut u32>,
 }
 
 impl StepGuards<'_> {
@@ -327,6 +330,7 @@ impl StepGuards<'_> {
         StepGuards {
             preds: None,
             alias_check: false,
+            lock_holds: None,
         }
     }
 }
@@ -362,7 +366,13 @@ fn run_stmt<A: Access>(
                     return Err(StepError::Aliased { obj });
                 }
             }
-            acc.open(client, obj, matches!(mode, AccessMode::Update))?;
+            let update = matches!(mode, AccessMode::Update);
+            acc.open(client, obj, update)?;
+            if update {
+                if let Some(holds) = guards.lock_holds.as_deref_mut() {
+                    *holds += 1;
+                }
+            }
             frame.handles[var.0 as usize] = Some(obj);
         }
         Stmt::GetField { var, obj, field } => {
@@ -872,6 +882,7 @@ impl ExecutorEngine {
             // where aliasing is harmless.
             let mut all: Vec<StmtIdx> = seq.blocks.iter().flatten().copied().collect();
             all.sort_unstable();
+            let mut lock_holds: u32 = 0;
             let result = {
                 let (active, blind) = match preds.as_deref_mut() {
                     Some(p) => (Some(&mut p.active), p.blind.as_slice()),
@@ -880,6 +891,7 @@ impl ExecutorEngine {
                 let mut guards = StepGuards {
                     preds: active,
                     alias_check: false,
+                    lock_holds: Some(&mut lock_holds),
                 };
                 let mut acc = FlatAccess {
                     ctx: &mut ctx,
@@ -888,6 +900,18 @@ impl ExecutorEngine {
                 };
                 run_block(&mut acc, client, &mut frame, program, &all, &mut guards)
             };
+            // Charged before any terminal event so the wasted-work ledger
+            // attributes these holds to whatever this attempt becomes —
+            // a commit or the discarded side of the abort below.
+            if lock_holds > 0 {
+                emit(
+                    &mut obs,
+                    TxnEvent::LockHolds {
+                        block: None,
+                        holds: lock_holds,
+                    },
+                );
+            }
             if let Err(e) = result {
                 if let StepError::Mispredict { pred, observed } = &e {
                     // Flat arm: no child scope to repair — full restart,
@@ -946,6 +970,7 @@ impl ExecutorEngine {
                             }
                         }
                     }
+                    let mut lock_holds: u32 = 0;
                     let result = prefetched.and_then(|()| {
                         let (active, blind) = match preds.as_deref_mut() {
                             Some(p) => (Some(&mut p.active), p.blind.as_slice()),
@@ -954,6 +979,7 @@ impl ExecutorEngine {
                         let mut guards = StepGuards {
                             preds: active,
                             alias_check: true,
+                            lock_holds: Some(&mut lock_holds),
                         };
                         let mut acc = ChildAccess {
                             child: &mut child,
@@ -963,6 +989,18 @@ impl ExecutorEngine {
                         };
                         run_block(&mut acc, client, &mut frame, program, block, &mut guards)
                     });
+                    // Emitted before the Block's terminal event: a partial
+                    // abort must charge this run's holds to the discarded
+                    // Block, a completed run keeps them with the Block.
+                    if lock_holds > 0 {
+                        emit(
+                            &mut obs,
+                            TxnEvent::LockHolds {
+                                block: Some(bi as u32),
+                                holds: lock_holds,
+                            },
+                        );
+                    }
                     match result {
                         Ok(()) => {
                             child.commit_into(&mut ctx);

@@ -4,7 +4,7 @@ use crate::contention::{ContentionWindow, WindowConfig};
 use crate::messages::{Msg, ReqId, TxnId, Version};
 use crate::store::{Store, StoreDigest};
 use crate::wal::{replay, DurabilityMode, Persistence, WalRecord};
-use acn_obs::{RawSpan, SpanCollector, SpanKind, FLAG_ROLLED_BACK};
+use acn_obs::{RawSpan, SpanCollector, SpanKind, TraceCtx, FLAG_ROLLED_BACK};
 use acn_quorum::LevelQuorums;
 use acn_simnet::{Endpoint, NodeId, RecvError};
 use acn_txir::ObjectId;
@@ -1059,10 +1059,13 @@ impl Server {
         let mut next_sweep = Instant::now() + sweep_every;
         let mut next_probe = Instant::now();
         // Acks held back until the WAL records they depend on are durable:
-        // (covering append watermark, destination, reply). Watermarks are
-        // appended in increasing order, so the front is always the next
-        // releasable entry.
-        let mut wal_waiters: VecDeque<(u64, NodeId, Msg)> = VecDeque::new();
+        // (covering append watermark, destination, reply, and — when the
+        // request carried a trace — its context plus park time, so the
+        // release records a `WalPark` span covering the held interval).
+        // Watermarks are appended in increasing order, so the front is
+        // always the next releasable entry.
+        type Parked = (u64, NodeId, Msg, Option<(TraceCtx, Instant)>);
+        let mut wal_waiters: VecDeque<Parked> = VecDeque::new();
         // Group commit batches by *arrival concurrency*: the loop drains
         // every message already queued in the inbox before syncing, so one
         // fsync covers everything that accumulated while the previous one
@@ -1204,7 +1207,8 @@ impl Server {
                                 && self.durability != DurabilityMode::Buffered
                                 && self.wal_durable < mark;
                             if defer {
-                                wal_waiters.push_back((mark, src, reply));
+                                let parked = ctx.map(|c| (c, Instant::now()));
+                                wal_waiters.push_back((mark, src, reply, parked));
                             } else {
                                 let bytes = reply.wire_bytes();
                                 endpoint.send_sized(src, reply, bytes);
@@ -1225,13 +1229,39 @@ impl Server {
             // covers.
             let now = Instant::now();
             if self.wal_sync_due(now, !wal_waiters.is_empty()) {
+                let sync_start = Instant::now();
                 self.sync_wal();
+                // The fsync itself is server-local work with no client
+                // parent — a root-level span so flight-recorder dumps show
+                // when the disk was busy.
+                if let Some(spans) = self.spans.as_ref() {
+                    spans.record(RawSpan {
+                        parent: 0,
+                        trace: 0,
+                        kind: SpanKind::WalSync,
+                        node: endpoint.id().0,
+                        start: sync_start,
+                        end: Instant::now(),
+                        flags: 0,
+                    });
+                }
             }
-            while let Some(&(mark, _, _)) = wal_waiters.front() {
+            while let Some(&(mark, _, _, _)) = wal_waiters.front() {
                 if mark > self.wal_durable {
                     break;
                 }
-                let (_, dst, msg) = wal_waiters.pop_front().expect("front checked");
+                let (_, dst, msg, parked) = wal_waiters.pop_front().expect("front checked");
+                if let (Some(spans), Some((c, at))) = (self.spans.as_ref(), parked) {
+                    spans.record(RawSpan {
+                        parent: c.span,
+                        trace: c.trace,
+                        kind: SpanKind::WalPark,
+                        node: endpoint.id().0,
+                        start: at,
+                        end: Instant::now(),
+                        flags: 0,
+                    });
+                }
                 let bytes = msg.wire_bytes();
                 endpoint.send_sized(dst, msg, bytes);
             }
@@ -1245,8 +1275,19 @@ impl Server {
         // (waiters whose records the backend persistently refuses to
         // sync are dropped — exactly a never-sent ack).
         self.sync_wal();
-        while let Some((mark, dst, msg)) = wal_waiters.pop_front() {
+        while let Some((mark, dst, msg, parked)) = wal_waiters.pop_front() {
             if mark <= self.wal_durable {
+                if let (Some(spans), Some((c, at))) = (self.spans.as_ref(), parked) {
+                    spans.record(RawSpan {
+                        parent: c.span,
+                        trace: c.trace,
+                        kind: SpanKind::WalPark,
+                        node: endpoint.id().0,
+                        start: at,
+                        end: Instant::now(),
+                        flags: 0,
+                    });
+                }
                 let bytes = msg.wire_bytes();
                 endpoint.send_sized(dst, msg, bytes);
             }

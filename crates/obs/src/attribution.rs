@@ -10,6 +10,7 @@
 
 use crate::event::{AbortKind, TxnEvent};
 use crate::trace::{ObsConfig, TraceRing};
+use crate::wasted::{WorkLedger, WorkTotals};
 use acn_txir::ObjClass;
 use std::collections::BTreeMap;
 
@@ -121,6 +122,9 @@ pub struct TxnObserver {
     /// Abort attribution counts (exact, unbounded only in distinct keys —
     /// bounded in practice by classes × blocks × kinds).
     pub aborts: AbortTable,
+    /// Wasted-work ledger: every unit of work charged to the outcome
+    /// (commit, full discard, partial discard) that settled it.
+    pub work: WorkLedger,
 }
 
 impl TxnObserver {
@@ -129,11 +133,13 @@ impl TxnObserver {
         TxnObserver {
             trace: TraceRing::new(cfg.trace_capacity),
             aborts: AbortTable::new(),
+            work: WorkLedger::new(),
         }
     }
 
     /// Record one event. Abort events additionally feed the attribution
-    /// table, so callers never double-book.
+    /// table, and every event feeds the wasted-work ledger, so callers
+    /// never double-book and the three views never disagree.
     pub fn on_event(&mut self, ev: TxnEvent) {
         match ev {
             TxnEvent::PartialAbort { block, obj, kind } => self.aborts.record(AbortSite {
@@ -148,14 +154,22 @@ impl TxnObserver {
             }),
             _ => {}
         }
+        self.work.on_event(ev);
         self.trace.push(ev);
     }
 
-    /// Merge another observer's attribution and trace counters into this
-    /// one (the merged trace keeps only counter totals, not events).
-    pub fn merge_into(&self, aborts: &mut AbortTable, trace: &mut crate::trace::TraceSummary) {
+    /// Merge another observer's attribution, trace counters, and settled
+    /// wasted-work totals into the caller's accumulators (the merged trace
+    /// keeps only counter totals, not events).
+    pub fn merge_into(
+        &self,
+        aborts: &mut AbortTable,
+        trace: &mut crate::trace::TraceSummary,
+        work: &mut WorkTotals,
+    ) {
         aborts.merge(&self.aborts);
         trace.merge(&self.trace.summary());
+        work.merge(&self.work.snapshot());
     }
 }
 

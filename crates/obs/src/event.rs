@@ -173,6 +173,15 @@ pub enum TxnEvent {
         /// Why.
         kind: AbortKind,
     },
+    /// Update-mode opens acquired by this Block (or flat body) — each one
+    /// is a commit-time lock claim the wasted-work ledger charges to the
+    /// scope that discards it.
+    LockHolds {
+        /// Block the locks belong to (`None` = flat body).
+        block: Option<u32>,
+        /// Number of update-mode opens recorded.
+        holds: u32,
+    },
     /// A quorum-unavailable round was absorbed by the retry policy.
     UnavailableRetry,
     /// The transaction committed.

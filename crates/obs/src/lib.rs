@@ -19,6 +19,20 @@
 //!   causal spans across client, wire and servers with a per-committed-txn
 //!   critical-path decomposition and a Chrome-trace/Perfetto exporter
 //!   ([`write_chrome_trace`]) whose output parses back exactly.
+//! - **Live telemetry** ([`LogHistogram`] / [`WindowedSeries`] /
+//!   [`WorkLedger`]): log-bucketed latency histograms with lossless merge
+//!   and bounded-error quantiles, grid-aligned per-window counters, and a
+//!   wasted-work ledger whose totals obey
+//!   `committed + discarded(full) + discarded(partial) == executed`
+//!   exactly.
+//! - **SLO gauges + flight recorder** ([`SloPolicy`] / [`record_flight`]):
+//!   declarative budgets (p99, abort storm, WAL-degraded, sync refusals)
+//!   whose tripped triggers dump the span rings through the Chrome
+//!   exporter and land as [`FlightRecord`] rows in the report.
+//! - **Prometheus surface** ([`report_to_prom`] / [`render_prom`] /
+//!   [`parse_prom`]): the dependency-free exposition-format exporter the
+//!   future `acn-node` will scrape, round-trip-parsed like every codec
+//!   here.
 
 #![warn(missing_docs)]
 
@@ -26,21 +40,29 @@ mod attribution;
 mod chrome;
 mod event;
 pub mod json;
+mod prom;
 mod registry;
+mod slo;
 mod span;
+mod timeseries;
 mod trace;
+mod wasted;
 
 pub use attribution::{AbortSite, AbortTable, TxnObserver};
 pub use chrome::{parse_chrome_trace, write_chrome_trace};
 pub use event::{AbortKind, TxnEvent};
+pub use prom::{parse_prom, render_prom, report_to_prom, PromMetric, PromSample, PromType};
 pub use registry::{
     AbortRow, CheckpointCounters, ContentionLevel, CritPathRow, ExecCounters, LatencySummary,
-    MetricsRegistry, MetricsReport, NetCounters, RecoveryCounters, ThreadTraceRow,
-    SERVER_TRACE_THREAD,
+    MetricsRegistry, MetricsReport, NetCounters, RecoveryCounters, SeriesRow, ThreadTraceRow,
+    SCHEMA_VERSION, SERVER_TRACE_THREAD,
 };
+pub use slo::{record_flight, FlightRecord, SloInputs, SloPolicy, SloRule, SloTrigger};
 pub use span::{
     aggregate_critpath, critical_path, BlockCost, PendingSpan, RawSpan, Span, SpanCollector,
     SpanKind, SpanRing, TraceCtx, Tracer, TxnCritPath, DEFAULT_SPAN_CAPACITY, FLAG_COMMITTED,
     FLAG_ROLLED_BACK,
 };
+pub use timeseries::{LogHistogram, WindowCell, WindowedSeries};
 pub use trace::{ObsConfig, TraceRing, TraceSummary, DEFAULT_TRACE_CAPACITY};
+pub use wasted::{WorkLedger, WorkTotals, WorkUnits};

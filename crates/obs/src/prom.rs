@@ -1,0 +1,479 @@
+//! A dependency-free Prometheus text-format exporter.
+//!
+//! This is the scrape surface the ROADMAP's `acn-node` binary will serve:
+//! [`report_to_prom`] maps a [`MetricsReport`] onto metric families, and
+//! [`render_prom`] writes them in the Prometheus exposition format
+//! (`# HELP` / `# TYPE` headers, one sample per line, labels escaped).
+//! In keeping with the workspace's codec discipline the format is
+//! round-trip-parsed, not eyeballed: [`parse_prom`] reads the exposition
+//! text back into the same [`PromMetric`] values, and the figure runner
+//! asserts `parse(render(m)) == m` on every export. Sample values are
+//! integers — every metric here is a counter or an integer gauge — which
+//! is what makes the exact round trip possible at all.
+
+use crate::registry::MetricsReport;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Metric family type, as Prometheus understands it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromType {
+    /// Monotone counter (`_total` names).
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+}
+
+impl PromType {
+    fn label(&self) -> &'static str {
+        match self {
+            PromType::Counter => "counter",
+            PromType::Gauge => "gauge",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<PromType> {
+        match s {
+            "counter" => Some(PromType::Counter),
+            "gauge" => Some(PromType::Gauge),
+            _ => None,
+        }
+    }
+}
+
+/// One sample of a metric family: a label set and an integer value.
+/// Labels are sorted by name so rendering is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromSample {
+    /// `(name, value)` label pairs, sorted by name.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: u64,
+}
+
+/// One metric family: name, help text, type, and its samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromMetric {
+    /// Metric family name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// Help line (shown by Prometheus tooling; escaped on render).
+    pub help: String,
+    /// Family type.
+    pub ty: PromType,
+    /// Samples, in insertion order.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromMetric {
+    fn new(name: &str, help: &str, ty: PromType) -> Self {
+        PromMetric {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            ty,
+            samples: Vec::new(),
+        }
+    }
+
+    fn sample(&mut self, labels: &[(&str, &str)], value: u64) -> &mut Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        self.samples.push(PromSample { labels, value });
+        self
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render metric families in the Prometheus exposition format. Families
+/// with no samples are skipped (Prometheus rejects headerless bodies and
+/// bodyless headers are noise).
+pub fn render_prom(metrics: &[PromMetric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        if m.samples.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
+        let _ = writeln!(out, "# TYPE {} {}", m.name, m.ty.label());
+        for s in &m.samples {
+            out.push_str(&m.name);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+                }
+                out.push('}');
+            }
+            let _ = writeln!(out, " {}", s.value);
+        }
+    }
+    out
+}
+
+fn unescape(s: &str, in_label: bool) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('"') if in_label => out.push('"'),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse exposition text produced by [`render_prom`] back into metric
+/// families; the exact inverse on anything it renders. Rejects malformed
+/// lines, unknown types, duplicate family headers and samples appearing
+/// before their family's `# TYPE` line.
+pub fn parse_prom(input: &str) -> Result<Vec<PromMetric>, String> {
+    let mut out: Vec<PromMetric> = Vec::new();
+    let mut index: BTreeMap<String, usize> = BTreeMap::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for (lineno, line) in input.lines().enumerate() {
+        let err = |e: String| format!("line {}: {e}", lineno + 1);
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| err("HELP without text".into()))?;
+            pending_help = Some((name.to_owned(), unescape(help, false).map_err(err)?));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest
+                .split_once(' ')
+                .ok_or_else(|| err("TYPE without type".into()))?;
+            let ty = PromType::from_label(ty)
+                .ok_or_else(|| err(format!("unknown metric type {ty:?}")))?;
+            if index.contains_key(name) {
+                return Err(err(format!("duplicate family {name:?}")));
+            }
+            let help = match pending_help.take() {
+                Some((h_name, help)) if h_name == name => help,
+                _ => return Err(err(format!("TYPE for {name:?} without matching HELP"))),
+            };
+            index.insert(name.to_owned(), out.len());
+            out.push(PromMetric {
+                name: name.to_owned(),
+                help,
+                ty,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // Comments are legal exposition content.
+        }
+        // A sample line: name[{labels}] value
+        let (head, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("sample without value".into()))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|e| err(format!("bad sample value {value:?}: {e}")))?;
+        let (name, labels) = match head.split_once('{') {
+            None => (head, Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set".into()))?;
+                let mut labels = Vec::new();
+                let mut remaining = body;
+                while !remaining.is_empty() {
+                    let (k, rest) = remaining
+                        .split_once("=\"")
+                        .ok_or_else(|| err(format!("bad label in {body:?}")))?;
+                    // Find the closing unescaped quote.
+                    let mut end = None;
+                    let mut prev_backslashes = 0usize;
+                    for (i, c) in rest.char_indices() {
+                        match c {
+                            '"' if prev_backslashes.is_multiple_of(2) => {
+                                end = Some(i);
+                                break;
+                            }
+                            '\\' => prev_backslashes += 1,
+                            _ => prev_backslashes = 0,
+                        }
+                    }
+                    let end = end.ok_or_else(|| err("unterminated label value".into()))?;
+                    labels.push((k.to_owned(), unescape(&rest[..end], true).map_err(err)?));
+                    remaining = rest[end + 1..]
+                        .strip_prefix(',')
+                        .unwrap_or(&rest[end + 1..]);
+                }
+                (name, labels)
+            }
+        };
+        let &i = index
+            .get(name)
+            .ok_or_else(|| err(format!("sample for undeclared family {name:?}")))?;
+        out[i].samples.push(PromSample { labels, value });
+    }
+    if pending_help.is_some() {
+        return Err("trailing HELP without TYPE".into());
+    }
+    Ok(out)
+}
+
+/// Map a [`MetricsReport`] onto Prometheus metric families. Every value is
+/// an integer counter/gauge; classes, kinds and scopes become labels.
+pub fn report_to_prom(report: &MetricsReport) -> Vec<PromMetric> {
+    let mut out = Vec::new();
+
+    let mut info = PromMetric::new(
+        "acn_run_info",
+        "Run description; value is always 1, the description rides the labels",
+        PromType::Gauge,
+    );
+    if !report.meta.is_empty() {
+        let labels: Vec<(&str, &str)> = report
+            .meta
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        info.sample(&labels, 1);
+    }
+    out.push(info);
+
+    let mut txns = PromMetric::new(
+        "acn_txns_total",
+        "Transaction outcomes by the executor",
+        PromType::Counter,
+    );
+    txns.sample(&[("outcome", "commit")], report.exec.commits)
+        .sample(&[("outcome", "full_abort")], report.exec.full_aborts)
+        .sample(&[("outcome", "partial_abort")], report.exec.partial_aborts)
+        .sample(&[("outcome", "locked_abort")], report.exec.locked_aborts)
+        .sample(
+            &[("outcome", "unavailable_retry")],
+            report.exec.unavailable_retries,
+        );
+    out.push(txns);
+
+    let mut lat = PromMetric::new(
+        "acn_commit_latency_ns",
+        "Commit-latency percentiles, nanoseconds",
+        PromType::Gauge,
+    );
+    if report.latency.samples > 0 {
+        lat.sample(&[("quantile", "0.5")], report.latency.p50_nanos)
+            .sample(&[("quantile", "0.95")], report.latency.p95_nanos)
+            .sample(&[("quantile", "0.99")], report.latency.p99_nanos);
+    }
+    out.push(lat);
+
+    let mut aborts = PromMetric::new(
+        "acn_aborts_total",
+        "Abort attribution by kind, blamed class and block",
+        PromType::Counter,
+    );
+    for r in &report.aborts {
+        let block = r.block.map(|b| b.to_string());
+        aborts.sample(
+            &[
+                ("kind", r.kind.label()),
+                ("class", r.class.as_deref().unwrap_or("")),
+                ("block", block.as_deref().unwrap_or("-1")),
+            ],
+            r.count,
+        );
+    }
+    out.push(aborts);
+
+    let mut net = PromMetric::new(
+        "acn_net_messages_total",
+        "Simulated-network message counters",
+        PromType::Counter,
+    );
+    net.sample(&[("event", "sent")], report.net.sent)
+        .sample(&[("event", "delivered")], report.net.delivered)
+        .sample(&[("event", "dropped_chaos")], report.net.dropped_chaos)
+        .sample(&[("event", "dropped_failed")], report.net.dropped_failed);
+    out.push(net);
+
+    let mut wasted = PromMetric::new(
+        "acn_work_units_total",
+        "Wasted-work ledger: work units by outcome scope and unit",
+        PromType::Counter,
+    );
+    if let Some(w) = &report.wasted {
+        for (scope, u) in [
+            ("executed", w.executed),
+            ("committed", w.committed),
+            ("discarded_full", w.discarded_full),
+            ("discarded_partial", w.discarded_partial),
+            ("abandoned", w.abandoned),
+        ] {
+            wasted
+                .sample(&[("scope", scope), ("unit", "blocks")], u.blocks)
+                .sample(&[("scope", scope), ("unit", "read_rounds")], u.read_rounds)
+                .sample(&[("scope", scope), ("unit", "lock_holds")], u.lock_holds);
+        }
+    }
+    out.push(wasted);
+
+    let mut wasted_kind = PromMetric::new(
+        "acn_work_discarded_total",
+        "Discarded work units by abort kind and unit",
+        PromType::Counter,
+    );
+    if let Some(w) = &report.wasted {
+        for (k, u) in &w.by_kind {
+            wasted_kind
+                .sample(&[("kind", k.label()), ("unit", "blocks")], u.blocks)
+                .sample(
+                    &[("kind", k.label()), ("unit", "read_rounds")],
+                    u.read_rounds,
+                )
+                .sample(&[("kind", k.label()), ("unit", "lock_holds")], u.lock_holds);
+        }
+    }
+    out.push(wasted_kind);
+
+    let mut recov = PromMetric::new(
+        "acn_recovery_events_total",
+        "Replica recovery and durability counters",
+        PromType::Counter,
+    );
+    if let Some(r) = &report.recovery {
+        recov
+            .sample(&[("event", "amnesia_wipes")], r.amnesia_wipes)
+            .sample(&[("event", "syncs_completed")], r.syncs_completed)
+            .sample(&[("event", "sync_vote_refusals")], r.sync_vote_refusals)
+            .sample(&[("event", "sync_read_refusals")], r.sync_read_refusals)
+            .sample(&[("event", "restart_replays")], r.restart_replays)
+            .sample(&[("event", "wal_io_errors")], r.wal_io_errors)
+            .sample(&[("event", "wal_sync_batches")], r.wal_sync_batches)
+            .sample(&[("event", "wal_records_synced")], r.wal_records_synced);
+    }
+    out.push(recov);
+
+    let mut series = PromMetric::new(
+        "acn_window_commits",
+        "Per-window commit counts of the live time-series",
+        PromType::Gauge,
+    );
+    let mut series_p99 = PromMetric::new(
+        "acn_window_p99_ns",
+        "Per-window p99 commit latency, nanoseconds",
+        PromType::Gauge,
+    );
+    for row in &report.series {
+        let w = row.window.to_string();
+        series.sample(&[("window", w.as_str())], row.commits);
+        if row.samples > 0 {
+            series_p99.sample(&[("window", w.as_str())], row.p99_ns);
+        }
+    }
+    out.push(series);
+    out.push(series_p99);
+
+    let mut flights = PromMetric::new(
+        "acn_slo_trips_total",
+        "Anomaly triggers tripped, by rule",
+        PromType::Counter,
+    );
+    let mut by_rule: BTreeMap<&str, u64> = BTreeMap::new();
+    for f in &report.flights {
+        *by_rule.entry(f.trigger.as_str()).or_insert(0) += 1;
+    }
+    for (rule, n) in by_rule {
+        flights.sample(&[("rule", rule)], n);
+    }
+    out.push(flights);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> Vec<PromMetric> {
+        let mut a = PromMetric::new("acn_txns_total", "Transaction outcomes", PromType::Counter);
+        a.sample(&[("outcome", "commit")], 120)
+            .sample(&[("outcome", "full_abort")], 7);
+        let mut b = PromMetric::new(
+            "acn_commit_latency_ns",
+            "Latency with \"quotes\" and a \\ slash\nsecond line",
+            PromType::Gauge,
+        );
+        b.sample(&[("quantile", "0.99"), ("class", "odd\"label\\value")], 42)
+            .sample(&[], 7);
+        vec![a, b]
+    }
+
+    #[test]
+    fn exposition_round_trips_exactly() {
+        let metrics = sample_metrics();
+        let text = render_prom(&metrics);
+        let back = parse_prom(&text).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn empty_families_are_skipped() {
+        let metrics = vec![PromMetric::new(
+            "acn_nothing",
+            "no samples",
+            PromType::Gauge,
+        )];
+        assert_eq!(render_prom(&metrics), "");
+        assert!(parse_prom("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_expositions_are_rejected() {
+        for bad in [
+            "acn_orphan_sample 1",
+            "# TYPE acn_x gauge\nacn_x 1",
+            "# HELP acn_x help\n# TYPE acn_x nonsense\nacn_x 1",
+            "# HELP acn_x help\n# TYPE acn_x gauge\nacn_x notanumber",
+            "# HELP acn_x help\n# TYPE acn_x gauge\nacn_x{l=\"unterminated} 1",
+            "# HELP acn_x help\n# TYPE acn_x gauge\n# HELP acn_x help\n# TYPE acn_x gauge\n",
+            "# HELP acn_dangling help",
+        ] {
+            assert!(parse_prom(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn report_mapping_round_trips() {
+        // An all-defaults report still renders (and round-trips) the
+        // families that always carry samples.
+        let report = MetricsReport::default();
+        let metrics = report_to_prom(&report);
+        let text = render_prom(&metrics);
+        let back = parse_prom(&text).unwrap();
+        let rendered: Vec<&PromMetric> = metrics.iter().filter(|m| !m.samples.is_empty()).collect();
+        assert_eq!(back.len(), rendered.len());
+        for (b, m) in back.iter().zip(rendered) {
+            assert_eq!(b, m);
+        }
+    }
+}

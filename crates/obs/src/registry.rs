@@ -11,8 +11,16 @@
 use crate::attribution::{AbortSite, AbortTable};
 use crate::event::AbortKind;
 use crate::json::{parse_line, req_str, req_u64, JsonObj, JsonVal};
+use crate::slo::FlightRecord;
+use crate::timeseries::WindowedSeries;
 use crate::trace::TraceSummary;
+use crate::wasted::{WorkTotals, WorkUnits};
 use std::collections::BTreeMap;
+
+/// Version of the JSON-lines schema this build writes. Parsers accept the
+/// current version plus version-1 exports (which predate the field); any
+/// other value is rejected loudly rather than misparsed silently.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Mirror of the nesting executor's `ExecStats` counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -177,6 +185,57 @@ pub struct CritPathRow {
     pub lock_ns: u64,
     /// Rollback-redo nanoseconds (discarded attempts + restart backoff).
     pub redo_ns: u64,
+    /// WAL fsync-park nanoseconds (slowest responder per round).
+    pub wal_ns: u64,
+}
+
+/// One interval window of the live time-series, flattened for export:
+/// counters plus the window's latency quantiles (integer nanoseconds, as
+/// histogram-bucket upper bounds, so the round trip is exact).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeriesRow {
+    /// Grid index: `window × window_ns` is the window's start on the
+    /// run-relative clock.
+    pub window: u64,
+    /// Width of every window in this series, nanoseconds.
+    pub window_ns: u64,
+    /// Commits in the window.
+    pub commits: u64,
+    /// Full aborts in the window.
+    pub full_aborts: u64,
+    /// Partial aborts in the window.
+    pub partial_aborts: u64,
+    /// Commit-latency samples in the window.
+    pub samples: u64,
+    /// Window p50 commit latency (bucket upper bound, ns); 0 if empty.
+    pub p50_ns: u64,
+    /// Window p99 commit latency.
+    pub p99_ns: u64,
+    /// Window p999 commit latency.
+    pub p999_ns: u64,
+}
+
+impl SeriesRow {
+    /// Flatten a [`WindowedSeries`] into export rows, one per non-idle
+    /// window, in grid order.
+    pub fn from_series(s: &WindowedSeries) -> Vec<SeriesRow> {
+        s.iter()
+            .map(|(window, cell)| {
+                let (p50_ns, p99_ns, p999_ns) = cell.latency.quantile_snapshot();
+                SeriesRow {
+                    window,
+                    window_ns: s.window_ns(),
+                    commits: cell.commits,
+                    full_aborts: cell.full_aborts,
+                    partial_aborts: cell.partial_aborts,
+                    samples: cell.latency.len(),
+                    p50_ns,
+                    p99_ns,
+                    p999_ns,
+                }
+            })
+            .collect()
+    }
 }
 
 /// `ThreadTraceRow::thread` value naming the shared server-side span
@@ -236,6 +295,12 @@ pub struct MetricsReport {
     pub thread_traces: Vec<ThreadTraceRow>,
     /// Trace-ring counters summed over threads.
     pub trace: TraceSummary,
+    /// Wasted-work totals, when the run recorded the ledger.
+    pub wasted: Option<WorkTotals>,
+    /// Live time-series windows, in grid order.
+    pub series: Vec<SeriesRow>,
+    /// Flight-recorder artifacts written by tripped anomaly triggers.
+    pub flights: Vec<FlightRecord>,
 }
 
 impl MetricsReport {
@@ -269,8 +334,12 @@ impl MetricsReport {
     /// detectable.
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
-        out.push_str(&JsonObj::new("report").finish());
-        out.push('\n');
+        {
+            let mut o = JsonObj::new("report");
+            o.u64_field("schema_version", SCHEMA_VERSION);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
         for (k, v) in &self.meta {
             let mut o = JsonObj::new("meta");
             o.str_field("key", k).str_field("value", v);
@@ -369,7 +438,8 @@ impl MetricsReport {
                 .u64_field("net_ns", r.net_ns)
                 .u64_field("srvq_ns", r.srvq_ns)
                 .u64_field("lock_ns", r.lock_ns)
-                .u64_field("redo_ns", r.redo_ns);
+                .u64_field("redo_ns", r.redo_ns)
+                .u64_field("wal_ns", r.wal_ns);
             out.push_str(&o.finish());
             out.push('\n');
         }
@@ -388,6 +458,55 @@ impl MetricsReport {
             o.u64_field("recorded", t.recorded)
                 .u64_field("dropped", t.dropped)
                 .u64_field("capacity", t.capacity);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        if let Some(w) = &self.wasted {
+            for (scope, u) in [
+                ("executed", w.executed),
+                ("committed", w.committed),
+                ("discarded_full", w.discarded_full),
+                ("discarded_partial", w.discarded_partial),
+                ("abandoned", w.abandoned),
+            ] {
+                let mut o = JsonObj::new("wasted");
+                o.str_field("scope", scope)
+                    .u64_field("blocks", u.blocks)
+                    .u64_field("read_rounds", u.read_rounds)
+                    .u64_field("lock_holds", u.lock_holds);
+                out.push_str(&o.finish());
+                out.push('\n');
+            }
+            for (k, u) in &w.by_kind {
+                let mut o = JsonObj::new("wasted_kind");
+                o.str_field("kind", k.label())
+                    .u64_field("blocks", u.blocks)
+                    .u64_field("read_rounds", u.read_rounds)
+                    .u64_field("lock_holds", u.lock_holds);
+                out.push_str(&o.finish());
+                out.push('\n');
+            }
+        }
+        for r in &self.series {
+            let mut o = JsonObj::new("series");
+            o.u64_field("window", r.window)
+                .u64_field("window_ns", r.window_ns)
+                .u64_field("commits", r.commits)
+                .u64_field("full_aborts", r.full_aborts)
+                .u64_field("partial_aborts", r.partial_aborts)
+                .u64_field("samples", r.samples)
+                .u64_field("p50_ns", r.p50_ns)
+                .u64_field("p99_ns", r.p99_ns)
+                .u64_field("p999_ns", r.p999_ns);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        for f in &self.flights {
+            let mut o = JsonObj::new("flight");
+            o.str_field("trigger", &f.trigger)
+                .u64_field("value_milli", f.value_milli)
+                .u64_field("budget_milli", f.budget_milli)
+                .str_field("artifact", &f.artifact);
             out.push_str(&o.finish());
             out.push('\n');
         }
@@ -414,7 +533,20 @@ impl MetricsReport {
             let ty = req_str(&map, "type").map_err(|e| format!("line {}: {e}", lineno + 1))?;
             let ctx = |e: String| format!("line {} ({ty}): {e}", lineno + 1);
             match ty.as_str() {
-                "report" => saw_header = true,
+                "report" => {
+                    saw_header = true;
+                    match map.get("schema_version") {
+                        // Version-1 exports predate the field.
+                        None | Some(JsonVal::Int(1)) => {}
+                        Some(JsonVal::Int(n)) if *n >= 0 && *n as u64 == SCHEMA_VERSION => {}
+                        Some(other) => {
+                            return Err(ctx(format!(
+                                "unsupported schema_version {other:?} \
+                                 (this reader handles versions 1..={SCHEMA_VERSION})"
+                            )))
+                        }
+                    }
+                }
                 "end" => saw_end = true,
                 "meta" => report.meta.push((req_str(&map, "key").map_err(ctx)?, {
                     req_str(&map, "value").map_err(ctx)?
@@ -514,6 +646,7 @@ impl MetricsReport {
                     srvq_ns: req_u64(&map, "srvq_ns").map_err(ctx)?,
                     lock_ns: req_u64(&map, "lock_ns").map_err(ctx)?,
                     redo_ns: req_u64(&map, "redo_ns").map_err(ctx)?,
+                    wal_ns: req_u64(&map, "wal_ns").map_err(ctx)?,
                 }),
                 "trace_thread" => report.thread_traces.push(ThreadTraceRow {
                     thread: req_u64(&map, "thread").map_err(ctx)?,
@@ -528,6 +661,55 @@ impl MetricsReport {
                         capacity: req_u64(&map, "capacity").map_err(ctx)?,
                     }
                 }
+                "wasted" => {
+                    let u = WorkUnits {
+                        blocks: req_u64(&map, "blocks").map_err(ctx)?,
+                        read_rounds: req_u64(&map, "read_rounds").map_err(ctx)?,
+                        lock_holds: req_u64(&map, "lock_holds").map_err(ctx)?,
+                    };
+                    let w = report.wasted.get_or_insert_with(WorkTotals::default);
+                    let scope = req_str(&map, "scope").map_err(ctx)?;
+                    match scope.as_str() {
+                        "executed" => w.executed = u,
+                        "committed" => w.committed = u,
+                        "discarded_full" => w.discarded_full = u,
+                        "discarded_partial" => w.discarded_partial = u,
+                        "abandoned" => w.abandoned = u,
+                        other => return Err(ctx(format!("unknown wasted scope {other:?}"))),
+                    }
+                }
+                "wasted_kind" => {
+                    let kind_label = req_str(&map, "kind").map_err(ctx)?;
+                    let kind = AbortKind::from_label(&kind_label)
+                        .ok_or_else(|| ctx(format!("unknown abort kind {kind_label:?}")))?;
+                    let u = WorkUnits {
+                        blocks: req_u64(&map, "blocks").map_err(ctx)?,
+                        read_rounds: req_u64(&map, "read_rounds").map_err(ctx)?,
+                        lock_holds: req_u64(&map, "lock_holds").map_err(ctx)?,
+                    };
+                    report
+                        .wasted
+                        .get_or_insert_with(WorkTotals::default)
+                        .by_kind
+                        .insert(kind, u);
+                }
+                "series" => report.series.push(SeriesRow {
+                    window: req_u64(&map, "window").map_err(ctx)?,
+                    window_ns: req_u64(&map, "window_ns").map_err(ctx)?,
+                    commits: req_u64(&map, "commits").map_err(ctx)?,
+                    full_aborts: req_u64(&map, "full_aborts").map_err(ctx)?,
+                    partial_aborts: req_u64(&map, "partial_aborts").map_err(ctx)?,
+                    samples: req_u64(&map, "samples").map_err(ctx)?,
+                    p50_ns: req_u64(&map, "p50_ns").map_err(ctx)?,
+                    p99_ns: req_u64(&map, "p99_ns").map_err(ctx)?,
+                    p999_ns: req_u64(&map, "p999_ns").map_err(ctx)?,
+                }),
+                "flight" => report.flights.push(FlightRecord {
+                    trigger: req_str(&map, "trigger").map_err(ctx)?,
+                    value_milli: req_u64(&map, "value_milli").map_err(ctx)?,
+                    budget_milli: req_u64(&map, "budget_milli").map_err(ctx)?,
+                    artifact: req_str(&map, "artifact").map_err(ctx)?,
+                }),
                 other => return Err(format!("line {}: unknown type {other:?}", lineno + 1)),
             }
         }
@@ -632,6 +814,24 @@ impl MetricsRegistry {
         self
     }
 
+    /// Publish the merged wasted-work totals.
+    pub fn wasted(&mut self, w: WorkTotals) -> &mut Self {
+        self.report.wasted = Some(w);
+        self
+    }
+
+    /// Publish the live time-series, flattened into window rows.
+    pub fn series(&mut self, s: &WindowedSeries) -> &mut Self {
+        self.report.series = SeriesRow::from_series(s);
+        self
+    }
+
+    /// Append flight-recorder rows from tripped anomaly triggers.
+    pub fn flights(&mut self, flights: Vec<FlightRecord>) -> &mut Self {
+        self.report.flights.extend(flights);
+        self
+    }
+
     /// The assembled report.
     pub fn snapshot(&self) -> MetricsReport {
         self.report.clone()
@@ -722,6 +922,7 @@ mod tests {
                     srvq_ns: 200,
                     lock_ns: 0,
                     redo_ns: 900,
+                    wal_ns: 150,
                 },
                 CritPathRow {
                     class: "transfer".into(),
@@ -732,6 +933,7 @@ mod tests {
                     srvq_ns: 800,
                     lock_ns: 300,
                     redo_ns: 0,
+                    wal_ns: 0,
                 },
             ])
             .thread_trace(ThreadTraceRow {
@@ -751,6 +953,63 @@ mod tests {
                 dropped: 12,
                 capacity: 4096,
             });
+        let mut wasted = WorkTotals {
+            executed: WorkUnits {
+                blocks: 120,
+                read_rounds: 60,
+                lock_holds: 40,
+            },
+            committed: WorkUnits {
+                blocks: 100,
+                read_rounds: 50,
+                lock_holds: 35,
+            },
+            discarded_full: WorkUnits {
+                blocks: 13,
+                read_rounds: 6,
+                lock_holds: 3,
+            },
+            discarded_partial: WorkUnits {
+                blocks: 7,
+                read_rounds: 4,
+                lock_holds: 2,
+            },
+            abandoned: WorkUnits {
+                blocks: 2,
+                read_rounds: 1,
+                lock_holds: 0,
+            },
+            by_kind: BTreeMap::new(),
+        };
+        wasted.by_kind.insert(
+            AbortKind::Partial,
+            WorkUnits {
+                blocks: 7,
+                read_rounds: 4,
+                lock_holds: 2,
+            },
+        );
+        wasted.by_kind.insert(
+            AbortKind::CommitConflict,
+            WorkUnits {
+                blocks: 11,
+                read_rounds: 5,
+                lock_holds: 3,
+            },
+        );
+        wasted.check().expect("sample totals balance");
+        let mut series = WindowedSeries::new(100_000_000);
+        series.record_commit(50_000_000, 1_200_000);
+        series.record_commit(150_000_000, 900_000);
+        series.record_aborts(150_000_000, 1, 3);
+        reg.wasted(wasted)
+            .series(&series)
+            .flights(vec![FlightRecord {
+                trigger: "p99_latency".into(),
+                value_milli: 3_000,
+                budget_milli: 2_000,
+                artifact: "flights/flight-fig1-p99_latency.json".into(),
+            }]);
         reg.snapshot()
     }
 
@@ -778,6 +1037,35 @@ mod tests {
         assert_eq!(report.thread_traces[0].kept_pct(), 98);
         assert_eq!(report.thread_traces[1].kept_pct(), 100);
         assert_eq!(ThreadTraceRow::default().kept_pct(), 100);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected_with_a_clear_error() {
+        let report = sample_report();
+        let text = report.to_json_lines();
+        let header = format!("{{\"type\":\"report\",\"schema_version\":{SCHEMA_VERSION}}}");
+        assert!(text.starts_with(&header), "header carries the version");
+        // A version-1 export (no field at all) still parses.
+        let v1 = text.replacen(&header, "{\"type\":\"report\"}", 1);
+        assert!(MetricsReport::parse_json_lines(&v1).is_ok());
+        // An explicit version 1 still parses.
+        let v1e = text.replacen(&header, "{\"type\":\"report\",\"schema_version\":1}", 1);
+        assert!(MetricsReport::parse_json_lines(&v1e).is_ok());
+        // A future version is refused loudly, naming the supported range.
+        let v99 = text.replacen(&header, "{\"type\":\"report\",\"schema_version\":99}", 1);
+        let err = MetricsReport::parse_json_lines(&v99).unwrap_err();
+        assert!(err.contains("unsupported schema_version"), "{err}");
+        assert!(err.contains(&format!("1..={SCHEMA_VERSION}")), "{err}");
+    }
+
+    #[test]
+    fn wasted_rows_reconstruct_balanced_totals() {
+        let report = sample_report();
+        let text = report.to_json_lines();
+        let back = MetricsReport::parse_json_lines(&text).unwrap();
+        let w = back.wasted.expect("wasted rows present");
+        w.check().expect("parsed totals still balance");
+        assert_eq!(Some(w), report.wasted);
     }
 
     #[test]

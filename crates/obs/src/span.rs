@@ -78,6 +78,12 @@ pub enum SpanKind {
     ServerHandle,
     /// Server: the request was refused because the replica was syncing.
     SyncRefusal,
+    /// Server: one WAL fsync batch (group commit's durability point). A
+    /// server-local root span — fsyncs serve many traces at once.
+    WalSync,
+    /// Server: an ack parked by group commit until its WAL mark became
+    /// durable — the fsync-stall share of the client round that caused it.
+    WalPark,
     /// Batch coordinator: building and dispatching one wave's conflict
     /// graph (a root span — waves are not nested inside any transaction).
     WaveSchedule,
@@ -85,7 +91,7 @@ pub enum SpanKind {
 
 impl SpanKind {
     /// Every kind, for round-trip tests.
-    pub const ALL: [SpanKind; 15] = [
+    pub const ALL: [SpanKind; 17] = [
         SpanKind::Txn,
         SpanKind::Attempt,
         SpanKind::Block,
@@ -100,6 +106,8 @@ impl SpanKind {
         SpanKind::ServerQueue,
         SpanKind::ServerHandle,
         SpanKind::SyncRefusal,
+        SpanKind::WalSync,
+        SpanKind::WalPark,
         SpanKind::WaveSchedule,
     ];
 
@@ -113,10 +121,12 @@ impl SpanKind {
     ];
 
     /// The server-side kinds (recorded into the [`SpanCollector`]).
-    pub const SERVER: [SpanKind; 3] = [
+    pub const SERVER: [SpanKind; 5] = [
         SpanKind::ServerQueue,
         SpanKind::ServerHandle,
         SpanKind::SyncRefusal,
+        SpanKind::WalSync,
+        SpanKind::WalPark,
     ];
 
     /// Stable lower-case label used in the Chrome-trace export.
@@ -136,6 +146,8 @@ impl SpanKind {
             SpanKind::ServerQueue => "server_queue",
             SpanKind::ServerHandle => "server_handle",
             SpanKind::SyncRefusal => "sync_refusal",
+            SpanKind::WalSync => "wal_sync",
+            SpanKind::WalPark => "wal_park",
             SpanKind::WaveSchedule => "wave_schedule",
         }
     }
@@ -157,6 +169,8 @@ impl SpanKind {
             "server_queue" => SpanKind::ServerQueue,
             "server_handle" => SpanKind::ServerHandle,
             "sync_refusal" => SpanKind::SyncRefusal,
+            "wal_sync" => SpanKind::WalSync,
+            "wal_park" => SpanKind::WalPark,
             "wave_schedule" => SpanKind::WaveSchedule,
             _ => return None,
         })
@@ -682,11 +696,14 @@ pub struct BlockCost {
     pub srvq_ns: u64,
     /// Client-side lock-wait sleeps in this Block.
     pub lock_ns: u64,
+    /// WAL fsync stall carved out of those rounds (slowest responder's
+    /// group-commit park).
+    pub wal_ns: u64,
 }
 
-/// One committed transaction's critical-path decomposition. The five
+/// One committed transaction's critical-path decomposition. The six
 /// segments telescope exactly:
-/// `redo + lock + srvq + net + local == end_to_end` (integer ns).
+/// `redo + lock + srvq + net + wal + local == end_to_end` (integer ns).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxnCritPath {
     /// Trace id of the transaction.
@@ -703,6 +720,9 @@ pub struct TxnCritPath {
     /// Server inbox dwell on the slowest responder of each final-attempt
     /// round.
     pub srvq_ns: u64,
+    /// WAL fsync stall on the slowest responder of each final-attempt
+    /// round (acks parked by group commit until their mark was durable).
+    pub wal_ns: u64,
     /// The rest of the final attempt's quorum rounds: wire time plus
     /// server request execution.
     pub net_ns: u64,
@@ -754,14 +774,26 @@ pub fn critical_path(spans: &[Span]) -> Vec<TxnCritPath> {
                     .max()
                     .unwrap_or(0)
                     .min(s.dur_ns);
+                // The slowest responder's fsync stall is carved after the
+                // queue dwell, so the three server-side shares can never
+                // exceed the round they were carved from.
+                let wal = spans
+                    .iter()
+                    .filter(|c| c.parent == s.id && c.kind == SpanKind::WalPark)
+                    .map(|c| c.dur_ns)
+                    .max()
+                    .unwrap_or(0)
+                    .min(s.dur_ns - srvq);
                 let b = blocks.entry(s.block).or_default();
                 b.srvq_ns += srvq;
-                b.net_ns += s.dur_ns - srvq;
+                b.wal_ns += wal;
+                b.net_ns += s.dur_ns - srvq - wal;
             }
         }
         let mut lock = 0u64;
         let mut srvq = 0u64;
         let mut net = 0u64;
+        let mut wal = 0u64;
         let mut rows: Vec<BlockCost> = blocks
             .into_iter()
             .map(|(block, mut c)| {
@@ -769,13 +801,15 @@ pub fn critical_path(spans: &[Span]) -> Vec<TxnCritPath> {
                 lock += c.lock_ns;
                 srvq += c.srvq_ns;
                 net += c.net_ns;
+                wal += c.wal_ns;
                 c
             })
             .collect();
         rows.sort_by_key(|c| c.block);
-        let spent = redo
-            .checked_add(lock)
-            .and_then(|v| v.checked_add(srvq).and_then(|v| v.checked_add(net)));
+        let spent = redo.checked_add(lock).and_then(|v| {
+            v.checked_add(srvq)
+                .and_then(|v| v.checked_add(net).and_then(|v| v.checked_add(wal)))
+        });
         let local = match spent.and_then(|v| txn.dur_ns.checked_sub(v)) {
             Some(l) => l,
             None => {
@@ -793,6 +827,7 @@ pub fn critical_path(spans: &[Span]) -> Vec<TxnCritPath> {
             redo_ns: redo,
             lock_ns: lock,
             srvq_ns: srvq,
+            wal_ns: wal,
             net_ns: net,
             local_ns: local,
             blocks: rows,
@@ -839,6 +874,7 @@ pub fn aggregate_critpath<F: Fn(u16) -> String>(
             r.net_ns += b.net_ns;
             r.srvq_ns += b.srvq_ns;
             r.lock_ns += b.lock_ns;
+            r.wal_ns += b.wal_ns;
         }
     }
     rows.into_values().collect()
@@ -996,9 +1032,12 @@ mod tests {
             mk(103, 102, SpanKind::ReadRound, 0, 310, 100, 0),
             mk(900, 103, SpanKind::ServerQueue, -1, 315, 25, 0),
             mk(901, 103, SpanKind::ServerQueue, -1, 315, 40, 0),
-            // …a lock wait in Block 0, and a commit-phase prepare round.
+            // …a lock wait in Block 0, and a commit-phase prepare round
+            // whose slowest responder parked its ack 30 ns for an fsync.
             mk(104, 102, SpanKind::LockWait, 0, 420, 50, 0),
             mk(105, 102, SpanKind::PrepareRound, -1, 500, 200, 0),
+            mk(902, 105, SpanKind::WalPark, -1, 520, 30, 0),
+            mk(903, 105, SpanKind::WalPark, -1, 520, 10, 0),
             // Rounds of the *failed* attempt must not count (they are redo).
             mk(106, 101, SpanKind::ReadRound, 0, 10, 100, 0),
         ];
@@ -1010,15 +1049,17 @@ mod tests {
         assert_eq!(p.redo_ns, 300);
         assert_eq!(p.lock_ns, 50);
         assert_eq!(p.srvq_ns, 40, "slowest responder's dwell, not the sum");
-        assert_eq!(p.net_ns, (100 - 40) + 200);
+        assert_eq!(p.wal_ns, 30, "slowest responder's fsync park");
+        assert_eq!(p.net_ns, (100 - 40) + (200 - 30));
         assert_eq!(
-            p.redo_ns + p.lock_ns + p.srvq_ns + p.net_ns + p.local_ns,
+            p.redo_ns + p.lock_ns + p.srvq_ns + p.net_ns + p.wal_ns + p.local_ns,
             p.end_to_end_ns,
             "segments must telescope exactly"
         );
         assert_eq!(p.blocks.len(), 2);
         assert_eq!(p.blocks[0].block, -1);
-        assert_eq!(p.blocks[0].net_ns, 200);
+        assert_eq!(p.blocks[0].net_ns, 170);
+        assert_eq!(p.blocks[0].wal_ns, 30);
         assert_eq!(p.blocks[1].block, 0);
         assert_eq!(p.blocks[1].lock_ns, 50);
         assert_eq!(p.blocks[1].srvq_ns, 40);
@@ -1058,7 +1099,8 @@ mod tests {
             redo_ns: 10,
             lock_ns: 5,
             srvq_ns: 15,
-            net_ns: 30,
+            wal_ns: 4,
+            net_ns: 26,
             local_ns: 40,
             blocks: vec![
                 BlockCost {
@@ -1066,12 +1108,14 @@ mod tests {
                     net_ns: 10,
                     srvq_ns: 5,
                     lock_ns: 0,
+                    wal_ns: 4,
                 },
                 BlockCost {
                     block: 0,
                     net_ns: 20,
                     srvq_ns: 10,
                     lock_ns: 5,
+                    wal_ns: 0,
                 },
             ],
         };

@@ -32,14 +32,14 @@
 //! reproducing Block-STM's re-execute-from-scratch recovery: the ablation
 //! the paper never ran.
 
-use crate::driver::{phase_for, Buckets, Plan, ScenarioConfig};
+use crate::driver::{phase_for, Buckets, MergedObs, Plan, ScenarioConfig};
 use crate::workload::{TxnRequest, Workload};
 use acn_core::{
     conflicts_with, plan_wave_with, BlockSeq, ExecStats, ExecutorConfig, ExecutorEngine,
     InexactPolicy, LatencyHistogram, PredictionOutcome, SpecSets, WaveStats,
 };
 use acn_dtm::{ClientPool, Cluster};
-use acn_obs::{AbortTable, Span, SpanKind, ThreadTraceRow, TraceSummary, Tracer, TxnObserver};
+use acn_obs::{Span, SpanKind, ThreadTraceRow, Tracer, TxnObserver, WindowedSeries};
 use acn_txir::{CounterOracle, CounterSite, DependencyModel, PredictedRead, ResolvedAccess};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
@@ -165,7 +165,7 @@ pub(crate) struct BatchRun<'a> {
     pub buckets: &'a Buckets,
     pub latency: &'a Mutex<LatencyHistogram>,
     pub failed: &'a AtomicU64,
-    pub merged_obs: &'a Mutex<(AbortTable, TraceSummary)>,
+    pub merged_obs: &'a Mutex<MergedObs>,
     pub merged_spans: &'a Mutex<(Vec<Span>, Vec<ThreadTraceRow>)>,
     pub merged_client: &'a Mutex<(u64, u64)>,
     pub piggyback_classes: &'a [u16],
@@ -423,6 +423,11 @@ fn worker_loop(
     let mut prev = stats;
     let mut hist = LatencyHistogram::new();
     let mut observer = r.cfg.obs.map(TxnObserver::new);
+    // Same interval grid as the closed loop, so the merge is exact.
+    let mut series = r
+        .cfg
+        .obs
+        .map(|_| WindowedSeries::new(r.cfg.interval.as_nanos() as u64));
     loop {
         let req = {
             let mut q = shared.q.lock();
@@ -470,6 +475,7 @@ fn worker_loop(
         let Some((idx, req, preds, spec)) = req else {
             break;
         };
+        let job_start = r.start.elapsed();
 
         let dm = &r.dms[req.template];
         let seq = match r.bc.spec {
@@ -600,6 +606,18 @@ fn worker_loop(
             stats.unavailable_retries - prev.unavailable_retries,
             Ordering::Relaxed,
         );
+        if let Some(series) = series.as_mut() {
+            let at_ns = done.as_nanos() as u64;
+            if stats.commits > prev.commits {
+                series.record_commit(at_ns, (done - job_start).as_nanos() as u64);
+            }
+            let fulls =
+                (stats.full_aborts - prev.full_aborts) + (stats.locked_aborts - prev.locked_aborts);
+            let partials = stats.partial_aborts - prev.partial_aborts;
+            if fulls + partials > 0 {
+                series.record_aborts(at_ns, fulls, partials);
+            }
+        }
         prev = stats;
 
         let mut q = shared.q.lock();
@@ -620,7 +638,10 @@ fn worker_loop(
     r.latency.lock().merge(&hist);
     if let Some(obs) = &observer {
         let mut m = r.merged_obs.lock();
-        let (aborts, trace) = &mut *m;
-        obs.merge_into(aborts, trace);
+        let m = &mut *m;
+        obs.merge_into(&mut m.aborts, &mut m.trace, &mut m.work);
+        if let Some(series) = &series {
+            m.series.merge(series);
+        }
     }
 }

@@ -17,15 +17,17 @@ use acn_core::{
 };
 use acn_dtm::{Cluster, ClusterConfig, HistoryLog, ServerStats};
 use acn_obs::{
-    aggregate_critpath, critical_path, AbortTable, ContentionLevel, CritPathRow, MetricsRegistry,
-    MetricsReport, NetCounters, ObsConfig, RecoveryCounters, Span, SpanCollector, ThreadTraceRow,
-    TraceSummary, Tracer, TxnCritPath, TxnObserver, SERVER_TRACE_THREAD,
+    aggregate_critpath, critical_path, record_flight, AbortKind, AbortTable, ContentionLevel,
+    CritPathRow, FlightRecord, MetricsRegistry, MetricsReport, NetCounters, ObsConfig,
+    RecoveryCounters, SloInputs, SloPolicy, Span, SpanCollector, ThreadTraceRow, TraceSummary,
+    Tracer, TxnCritPath, TxnObserver, WindowedSeries, WorkTotals, SERVER_TRACE_THREAD,
 };
 use acn_simnet::{FaultPlan, NetStatsSnapshot};
 use acn_txir::{DependencyModel, ObjClass, Stmt};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,6 +95,24 @@ pub struct ScenarioConfig {
     /// statically resolved access sets, and dispatches independent ones
     /// concurrently across the worker pool. `None` = closed loop.
     pub batch: Option<BatchConfig>,
+    /// SLO budgets evaluated over the finished run's merged telemetry.
+    /// Requires [`ScenarioConfig::obs`]: tripped rules dump the retained
+    /// spans as a flight-recorder artifact and land as
+    /// [`FlightRecord`] rows in [`ScenarioObs::flights`]. `None` (or a
+    /// disabled policy) skips evaluation entirely.
+    pub slo: Option<SloConfig>,
+}
+
+/// Where a scenario's SLO budgets live and where tripped evaluations dump
+/// their flight-recorder artifacts.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// The budgets to check after the run.
+    pub policy: SloPolicy,
+    /// Directory receiving `flight-<label>.json` Chrome-trace dumps.
+    pub flight_dir: PathBuf,
+    /// Artifact label distinguishing concurrent runs (figure id, seed).
+    pub label: String,
 }
 
 impl ScenarioConfig {
@@ -120,6 +140,7 @@ impl ScenarioConfig {
             history: None,
             obs: None,
             batch: None,
+            slo: None,
         }
     }
 }
@@ -196,6 +217,16 @@ pub struct ScenarioObs {
     /// Span-ring completeness per worker thread, plus the server
     /// collector's row under [`SERVER_TRACE_THREAD`].
     pub thread_traces: Vec<ThreadTraceRow>,
+    /// Wasted-work totals merged over all worker threads; obeys
+    /// `committed + discarded(full) + discarded(partial) == executed`
+    /// exactly (see [`WorkTotals::check`]).
+    pub wasted: WorkTotals,
+    /// Per-window commit/abort counters and latency histograms on the
+    /// measurement-interval grid, merged over all worker threads.
+    pub series: WindowedSeries,
+    /// Tripped SLO rules and their flight-recorder artifacts (empty
+    /// unless [`ScenarioConfig::slo`] was set and a budget broke).
+    pub flights: Vec<FlightRecord>,
 }
 
 impl ScenarioResult {
@@ -284,6 +315,11 @@ impl ScenarioResult {
             for row in &obs.thread_traces {
                 reg.thread_trace(*row);
             }
+            if !obs.wasted.is_empty() {
+                reg.wasted(obs.wasted.clone());
+            }
+            reg.series(&obs.series);
+            reg.flights(obs.flights.clone());
         }
         reg.snapshot()
     }
@@ -333,6 +369,28 @@ fn collect_classes(dms: &[Arc<DependencyModel>]) -> Vec<ObjClass> {
 pub(crate) enum Plan {
     Fixed(Vec<Arc<BlockSeq>>),
     Acn(Vec<Arc<AcnController>>),
+}
+
+/// Per-thread observer outputs merged under one lock when each worker's
+/// scope ends: attribution, trace-ring counters, the wasted-work ledger
+/// totals and the windowed commit/abort series (all threads share one
+/// grid, so the merge is exact).
+pub(crate) struct MergedObs {
+    pub(crate) aborts: AbortTable,
+    pub(crate) trace: TraceSummary,
+    pub(crate) work: WorkTotals,
+    pub(crate) series: WindowedSeries,
+}
+
+impl MergedObs {
+    pub(crate) fn new(window_ns: u64) -> Self {
+        MergedObs {
+            aborts: AbortTable::default(),
+            trace: TraceSummary::default(),
+            work: WorkTotals::default(),
+            series: WindowedSeries::new(window_ns),
+        }
+    }
 }
 
 pub(crate) struct Buckets {
@@ -448,8 +506,10 @@ pub fn run_scenario_with_model(
     let buckets = Buckets::new(cfg.intervals);
     let latency = Mutex::new(LatencyHistogram::new());
     let failed = AtomicU64::new(0);
-    // Per-thread observers merge here when the scope ends.
-    let merged_obs: Mutex<(AbortTable, TraceSummary)> = Mutex::new(Default::default());
+    // Per-thread observers merge here when the scope ends. The series
+    // grid equals the measurement interval, so window rows line up with
+    // the `IntervalStats` buckets.
+    let merged_obs: Mutex<MergedObs> = Mutex::new(MergedObs::new(cfg.interval.as_nanos() as u64));
     // Per-thread span rings drain here; the server collector's spans join
     // after shutdown (when every server thread has flushed).
     let merged_spans: Mutex<(Vec<Span>, Vec<ThreadTraceRow>)> = Mutex::new(Default::default());
@@ -538,7 +598,7 @@ fn run_closed_loop(
     buckets: &Buckets,
     latency: &Mutex<LatencyHistogram>,
     failed: &AtomicU64,
-    merged_obs: &Mutex<(AbortTable, TraceSummary)>,
+    merged_obs: &Mutex<MergedObs>,
     merged_spans: &Mutex<(Vec<Span>, Vec<ThreadTraceRow>)>,
     merged_client: &Mutex<(u64, u64)>,
     piggyback_classes: &[u16],
@@ -577,6 +637,12 @@ fn run_closed_loop(
                 let mut stats = ExecStats::default();
                 let mut hist = LatencyHistogram::new();
                 let mut observer = cfg.obs.map(TxnObserver::new);
+                // Per-thread windowed series on the run-origin grid; the
+                // merge at scope end is exact because every thread shares
+                // the same window width and zero.
+                let mut series = cfg
+                    .obs
+                    .map(|_| WindowedSeries::new(cfg.interval.as_nanos() as u64));
                 let mut prev = stats;
                 loop {
                     let elapsed = start.elapsed();
@@ -638,6 +704,21 @@ fn run_closed_loop(
                         stats.unavailable_retries - prev.unavailable_retries,
                         Ordering::Relaxed,
                     );
+                    if let Some(series) = series.as_mut() {
+                        let at_ns = done.as_nanos() as u64;
+                        if stats.commits > prev.commits {
+                            // End-to-end iteration latency (retries and
+                            // backoff included), like `hist`.
+                            let lat = (done - elapsed).as_nanos() as u64;
+                            series.record_commit(at_ns, lat);
+                        }
+                        let fulls = (stats.full_aborts - prev.full_aborts)
+                            + (stats.locked_aborts - prev.locked_aborts);
+                        let partials = stats.partial_aborts - prev.partial_aborts;
+                        if fulls + partials > 0 {
+                            series.record_aborts(at_ns, fulls, partials);
+                        }
+                    }
                     prev = stats;
                 }
                 if let Some(tracer) = client.take_tracer() {
@@ -660,8 +741,11 @@ fn run_closed_loop(
                 }
                 if let Some(obs) = &observer {
                     let mut m = merged_obs.lock();
-                    let (aborts, trace) = &mut *m;
-                    obs.merge_into(aborts, trace);
+                    let m = &mut *m;
+                    obs.merge_into(&mut m.aborts, &mut m.trace, &mut m.work);
+                    if let Some(series) = &series {
+                        m.series.merge(series);
+                    }
                 }
             });
         }
@@ -680,7 +764,7 @@ fn drive_to_result(
     buckets: Buckets,
     latency: Mutex<LatencyHistogram>,
     failed: AtomicU64,
-    merged_obs: Mutex<(AbortTable, TraceSummary)>,
+    merged_obs: Mutex<MergedObs>,
     merged_spans: Mutex<(Vec<Span>, Vec<ThreadTraceRow>)>,
     merged_client: Mutex<(u64, u64)>,
     span_collector: Option<Arc<SpanCollector>>,
@@ -696,7 +780,7 @@ fn drive_to_result(
     // the workload touches (best-effort — a chaos plan may have taken the
     // quorum down, in which case the report just omits contention rows).
     let mut obs = cfg.obs.map(|_| {
-        let (aborts, trace) = merged_obs.into_inner();
+        let merged = merged_obs.into_inner();
         let classes = collect_classes(dms);
         let ids: Vec<u16> = classes.iter().map(|c| c.id).collect();
         let mut sampler = cluster.client(0);
@@ -717,13 +801,16 @@ fn drive_to_result(
             Err(_) => Vec::new(),
         };
         ScenarioObs {
-            aborts,
-            trace,
+            aborts: merged.aborts,
+            trace: merged.trace,
             contention,
             spans: Vec::new(),
             critpath: Vec::new(),
             critpath_rows: Vec::new(),
             thread_traces: Vec::new(),
+            wasted: merged.work,
+            series: merged.series,
+            flights: Vec::new(),
         }
     });
 
@@ -775,11 +862,56 @@ fn drive_to_result(
         wal_sync_batches: server_stats.iter().map(|s| s.wal_sync_batches).sum(),
         wal_records_synced: server_stats.iter().map(|s| s.wal_records_synced).sum(),
     };
+    let latency = latency.into_inner();
+
+    // SLO evaluation over the finished run's merged telemetry; tripped
+    // rules dump the retained spans as a flight-recorder artifact. Needs
+    // the observer outputs, so `slo` without `obs` evaluates nothing.
+    if let (Some(obs), Some(slo)) = (obs.as_mut(), cfg.slo.as_ref()) {
+        if !slo.policy.is_disabled() {
+            let sum =
+                |b: &[AtomicU64]| -> u64 { b.iter().map(|a| a.load(Ordering::Relaxed)).sum() };
+            let inputs = SloInputs {
+                p99_ns: latency
+                    .percentile(0.99)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0),
+                commits: sum(&buckets.commits),
+                aborts: sum(&buckets.fulls) + sum(&buckets.partials) + sum(&buckets.locked),
+                wal_refusals: obs.aborts.total_of(&[AbortKind::WalRefused]),
+                sync_refusals: recovery.sync_vote_refusals + recovery.sync_read_refusals,
+            };
+            let triggers = slo.policy.evaluate(&inputs);
+            if !triggers.is_empty() {
+                // Best-effort artifact: an unwritable flight dir must not
+                // fail the run, but the tripped rules still surface as
+                // rows (with an empty artifact path).
+                obs.flights = record_flight(
+                    &slo.flight_dir,
+                    &slo.label,
+                    &triggers,
+                    &obs.spans,
+                    &obs.thread_traces,
+                )
+                .unwrap_or_else(|_| {
+                    triggers
+                        .iter()
+                        .map(|t| FlightRecord {
+                            trigger: t.rule.label().to_owned(),
+                            value_milli: t.value_milli,
+                            budget_milli: t.budget_milli,
+                            artifact: String::new(),
+                        })
+                        .collect()
+                });
+            }
+        }
+    }
 
     ScenarioResult {
         server_stats,
         recovery,
-        latency: latency.into_inner(),
+        latency,
         system: cfg.system,
         interval: cfg.interval,
         intervals: (0..cfg.intervals)

@@ -98,10 +98,12 @@ pub mod prelude {
         HistoryLog, HistorySummary, StoreDigest, SyncConfig, TxnCtx, TxnId, Violation,
     };
     pub use acn_obs::{
-        aggregate_critpath, critical_path, parse_chrome_trace, write_chrome_trace, AbortKind,
-        AbortSite, AbortTable, CritPathRow, MetricsRegistry, MetricsReport, ObsConfig, Span,
-        SpanCollector, SpanKind, ThreadTraceRow, TraceCtx, TraceRing, TraceSummary, Tracer,
-        TxnCritPath, TxnEvent, TxnObserver, SERVER_TRACE_THREAD,
+        aggregate_critpath, critical_path, parse_chrome_trace, parse_prom, record_flight,
+        render_prom, report_to_prom, write_chrome_trace, AbortKind, AbortSite, AbortTable,
+        CritPathRow, FlightRecord, LogHistogram, MetricsRegistry, MetricsReport, ObsConfig,
+        PromMetric, SloInputs, SloPolicy, SloRule, SloTrigger, Span, SpanCollector, SpanKind,
+        ThreadTraceRow, TraceCtx, TraceRing, TraceSummary, Tracer, TxnCritPath, TxnEvent,
+        TxnObserver, WindowedSeries, WorkLedger, WorkTotals, WorkUnits, SERVER_TRACE_THREAD,
     };
     pub use acn_quorum::{DaryTree, LevelQuorums, ReadLevelPolicy};
     pub use acn_simnet::{
@@ -112,7 +114,7 @@ pub mod prelude {
         Program, ProgramBuilder, Stmt, Value,
     };
     pub use acn_workloads::{
-        run_scenario, BatchConfig, ScenarioConfig, ScenarioObs, ScenarioResult, SpecMode,
-        SystemKind, TxnRequest, Workload,
+        run_scenario, BatchConfig, ScenarioConfig, ScenarioObs, ScenarioResult, SloConfig,
+        SpecMode, SystemKind, TxnRequest, Workload,
     };
 }

@@ -10,7 +10,7 @@ use acn_workloads::bank::{Bank, BankConfig};
 use qr_acn::prelude::*;
 use std::time::Duration;
 
-fn observed_bank_scenario() -> ScenarioResult {
+fn observed_bank_config() -> (Bank, ScenarioConfig) {
     let bank = Bank::new(BankConfig {
         hot_pool: 8,
         cold_pool: 1024,
@@ -23,6 +23,11 @@ fn observed_bank_scenario() -> ScenarioResult {
     cfg.intervals = 3;
     cfg.interval = Duration::from_millis(80);
     cfg.obs = Some(ObsConfig::default());
+    (bank, cfg)
+}
+
+fn observed_bank_scenario() -> ScenarioResult {
+    let (bank, cfg) = observed_bank_config();
     run_scenario(&bank, &cfg)
 }
 
@@ -87,10 +92,12 @@ fn report_carries_every_interval_counter() {
 }
 
 /// The critical-path decomposition telescopes *exactly*: for every
-/// committed transaction, `redo + lock + srvq + net + local` equals the
-/// end-to-end span duration in integer nanoseconds — no residue, no
+/// committed transaction, `redo + lock + srvq + wal + net + local` equals
+/// the end-to-end span duration in integer nanoseconds — no residue, no
 /// double-counting — and the per-class aggregate counts every decomposed
-/// transaction exactly once.
+/// transaction exactly once. The `wal` segment (group-commit park time,
+/// carved out of `net` by the `WalPark` spans) must telescope with the
+/// rest even when it is zero on an in-memory cluster.
 #[test]
 fn critical_path_sums_to_end_to_end() {
     let r = observed_bank_scenario();
@@ -101,7 +108,7 @@ fn critical_path_sums_to_end_to_end() {
     );
     for p in &obs.critpath {
         assert_eq!(
-            p.redo_ns + p.lock_ns + p.srvq_ns + p.net_ns + p.local_ns,
+            p.redo_ns + p.lock_ns + p.srvq_ns + p.wal_ns + p.net_ns + p.local_ns,
             p.end_to_end_ns,
             "segments must telescope exactly for trace {}",
             p.trace
@@ -199,4 +206,203 @@ fn trace_artifact_round_trips() {
         return;
     }
     panic!("no seed in 42..=46 produced both lock-wait and server-queue spans");
+}
+
+/// The wasted-work ledger reconciles *exactly* on a healthy run: every
+/// work unit the executors performed is either committed or discarded
+/// (never both, never lost), the per-kind breakdown sums to the discard
+/// totals, and the ledger agrees with the executor's own counters.
+#[test]
+fn wasted_work_ledger_reconciles_exactly() {
+    let r = observed_bank_scenario();
+    let obs = r.obs.as_ref().expect("observability was enabled");
+    assert!(!obs.wasted.is_empty(), "the ledger must have seen work");
+    obs.wasted
+        .check()
+        .expect("wasted-work invariant must hold exactly");
+    // Every commit ran at least one block to completion, and a contended
+    // hot pool discards real work on the way.
+    assert!(
+        obs.wasted.committed.blocks >= r.total_commits(),
+        "committed blocks ({}) must cover every commit ({})",
+        obs.wasted.committed.blocks,
+        r.total_commits()
+    );
+    assert!(
+        !obs.wasted.discarded().is_zero(),
+        "hot-pool aborts must discard work"
+    );
+    // The per-kind breakdown only ever blames kinds the executor raises.
+    for kind in obs.wasted.by_kind.keys() {
+        assert!(
+            AbortKind::EXECUTOR_KINDS.contains(kind),
+            "healthy run blamed non-executor kind {kind:?}"
+        );
+    }
+}
+
+/// The same invariant under a *pinned* fault schedule: crashes, drops and
+/// duplicate deliveries must not lose or double-charge a single work
+/// unit. This is the CI chaos leg — the seed is pinned so the schedule
+/// (and therefore the assertion) is reproducible bit-for-bit.
+#[test]
+fn wasted_invariant_holds_under_chaos() {
+    const FAULT_SEED: u64 = 2026;
+    let bank = Bank::new(BankConfig {
+        hot_pool: 8,
+        cold_pool: 1024,
+        write_pct: 95,
+    });
+    let mut cfg = ScenarioConfig::scaled(SystemKind::QrCn, 3);
+    cfg.cluster = ClusterConfig::test(7, 3);
+    cfg.cluster.client_cfg = ClientConfig {
+        rpc_timeout: Duration::from_millis(30),
+        quorum_retries: 3,
+        retry_backoff: Duration::from_micros(100),
+        ..ClientConfig::default()
+    };
+    cfg.cluster.prepared_ttl = Duration::from_secs(2);
+    cfg.cluster.window.window = Duration::from_millis(50);
+    cfg.intervals = 3;
+    cfg.interval = Duration::from_millis(100);
+    cfg.retry.max_unavailable_retries = 1_000;
+    cfg.seed = FAULT_SEED ^ 0xABCD; // workload RNG, distinct from the fault stream
+    cfg.chaos = Some(FaultPlan::generate(
+        FAULT_SEED,
+        7,
+        3,
+        &ChaosProfile::default(),
+    ));
+    cfg.obs = Some(ObsConfig::default());
+    let r = run_scenario(&bank, &cfg);
+    assert!(r.total_commits() > 0, "chaos run must make progress");
+    let obs = r.obs.as_ref().expect("observability was enabled");
+    obs.wasted.check().unwrap_or_else(|e| {
+        panic!("seed {FAULT_SEED}: wasted-work invariant broke under chaos: {e}")
+    });
+    assert!(
+        !obs.wasted.discarded().is_zero(),
+        "seed {FAULT_SEED}: a fault schedule must discard some work"
+    );
+    // The report round-trips exactly with the chaos-shaped ledger rows in.
+    let report = r.metrics_report(&[("bench", "obs_chaos".to_string())]);
+    let parsed =
+        MetricsReport::parse_json_lines(&report.to_json_lines()).expect("export must parse");
+    assert_eq!(parsed, report, "chaos report round-trip must be exact");
+}
+
+/// The windowed series counts every commit and abort exactly once, on the
+/// measurement-interval grid, and merges across the worker threads
+/// without loss — the per-window cells sum back to the run's counters.
+#[test]
+fn windowed_series_counts_every_outcome() {
+    let r = observed_bank_scenario();
+    let obs = r.obs.as_ref().expect("observability was enabled");
+    assert!(!obs.series.is_empty(), "the run must fill windows");
+    assert_eq!(
+        obs.series.window_ns(),
+        Duration::from_millis(80).as_nanos() as u64,
+        "series grid must be the measurement interval"
+    );
+    assert_eq!(obs.series.evicted(), 0, "no healthy run evicts windows");
+    assert_eq!(
+        obs.series.total_commits(),
+        r.total_commits(),
+        "series must count every commit exactly once"
+    );
+    let (mut fulls, mut partials, mut lat_samples) = (0u64, 0u64, 0u64);
+    for (_, cell) in obs.series.iter() {
+        fulls += cell.full_aborts;
+        partials += cell.partial_aborts;
+        lat_samples += cell.latency.len();
+    }
+    assert_eq!(
+        fulls,
+        r.total_full_aborts() + r.total_locked_aborts(),
+        "full restarts (incl. lock escalations) must land in the series"
+    );
+    assert_eq!(partials, r.total_partial_aborts());
+    assert_eq!(
+        lat_samples,
+        r.total_commits(),
+        "every commit must contribute one latency sample"
+    );
+}
+
+/// An SLO trigger demonstrably fires and dumps the flight recorder: with
+/// an impossibly tight p99 budget the policy must trip, the span rings
+/// must land on disk as a Chrome trace that parses back *exactly*, and
+/// the `flight` rows must ride the JSON-lines report. `$OBS_FLIGHT_DIR`
+/// overrides the dump directory so CI can upload the artifact.
+#[test]
+fn slo_trigger_dumps_valid_flight_record() {
+    let (bank, mut cfg) = observed_bank_config();
+    let dir = std::env::var("OBS_FLIGHT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("acn-obs-flight-smoke"));
+    cfg.slo = Some(SloConfig {
+        policy: SloPolicy {
+            p99_budget_ns: Some(1), // any real commit breaks a 1ns budget
+            ..SloPolicy::default()
+        },
+        flight_dir: dir.clone(),
+        label: "obs-smoke".to_string(),
+    });
+    let r = run_scenario(&bank, &cfg);
+    assert!(r.total_commits() > 0, "scenario must make progress");
+    let obs = r.obs.as_ref().expect("observability was enabled");
+
+    let rec = obs
+        .flights
+        .iter()
+        .find(|f| f.trigger == "p99_latency")
+        .expect("a 1ns p99 budget must trip");
+    assert!(
+        rec.value_milli > rec.budget_milli,
+        "the trigger must record the measured value against its budget"
+    );
+    assert!(!rec.artifact.is_empty(), "the dump must land on disk");
+
+    // The artifact is a valid Chrome trace holding exactly the spans the
+    // run retained.
+    let text = std::fs::read_to_string(&rec.artifact).expect("flight artifact must be readable");
+    let (spans, rows) = parse_chrome_trace(&text).expect("flight dump must be a valid trace");
+    assert_eq!(spans, obs.spans, "the dump must hold the retained spans");
+    assert_eq!(rows, obs.thread_traces);
+
+    // The flight rows ride the report and round-trip exactly.
+    let report = r.metrics_report(&[("bench", "obs_slo".to_string())]);
+    let text = report.to_json_lines();
+    assert!(text.contains("p99_latency"), "flight rows must be exported");
+    let parsed = MetricsReport::parse_json_lines(&text).expect("export must parse");
+    assert_eq!(parsed, report, "flight-row round-trip must be exact");
+}
+
+/// The Prometheus exposition of a real run round-trips exactly through
+/// the vendored parser — `parse(render(m)) == m` — and carries the
+/// headline families the scrape surface promises.
+#[test]
+fn prometheus_export_round_trips() {
+    let r = observed_bank_scenario();
+    let report = r.metrics_report(&[("bench", "obs_prom".to_string())]);
+    let metrics = report_to_prom(&report);
+    assert!(!metrics.is_empty());
+    let text = render_prom(&metrics);
+    for family in [
+        "acn_txns_total",
+        "acn_commit_latency_ns",
+        "acn_aborts_total",
+        "acn_work_units_total",
+    ] {
+        assert!(text.contains(family), "exposition must carry {family}");
+    }
+    // Empty families (no SLO trips on this run) are skipped on render —
+    // the round trip is exact over every family that made the wire.
+    let parsed = parse_prom(&text).expect("prometheus text must parse");
+    let rendered: Vec<&PromMetric> = metrics.iter().filter(|m| !m.samples.is_empty()).collect();
+    assert_eq!(parsed.len(), rendered.len());
+    for (back, orig) in parsed.iter().zip(rendered) {
+        assert_eq!(back, orig, "prometheus round-trip must be exact");
+    }
+    assert_eq!(render_prom(&parsed), text, "re-render must be identical");
 }
